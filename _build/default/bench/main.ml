@@ -1,0 +1,260 @@
+(* The full benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Table I, Figures 3-7) plus the ablation benches, printing the same
+   rows/series the paper reports.
+
+   Part 2 runs Bechamel micro-benchmarks of the core building blocks
+   (certifier conflict check, writeset application, MVCC reads, query
+   execution, history checking) so component-level regressions are
+   visible independently of the system experiments.
+
+   Set REPRO_QUICK=1 for a fast pass with smaller sweeps. *)
+
+let quick =
+  match Sys.getenv_opt "REPRO_QUICK" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  say "[%s took %.1fs]" label (Unix.gettimeofday () -. t0);
+  r
+
+(* --- Part 1: paper tables and figures --- *)
+
+let micro_params =
+  if quick then { Workload.Microbench.default with rows = 2_000 }
+  else Workload.Microbench.default
+
+let micro_windows = if quick then (1_000.0, 4_000.0) else (2_000.0, 8_000.0)
+let tpcw_windows = if quick then (3_000.0, 10_000.0) else (5_000.0, 20_000.0)
+let replica_counts = if quick then [ 1; 2; 4; 8 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let run_table1 () = print_string (Experiments.Table1.render ())
+
+let run_fig3 () =
+  let warmup_ms, measure_ms = micro_windows in
+  let update_points =
+    if quick then [ 0; 10; 20; 40 ] else [ 0; 5; 10; 15; 20; 25; 30; 35; 40 ]
+  in
+  let points =
+    Experiments.Fig3.run ~params:micro_params ~update_points ~warmup_ms ~measure_ms ()
+  in
+  print_string (Experiments.Fig3.render points)
+
+let run_fig4 () =
+  let warmup_ms, measure_ms = micro_windows in
+  let results = Experiments.Fig4.run ~params:micro_params ~warmup_ms ~measure_ms () in
+  print_string (Experiments.Fig4.render results)
+
+let run_fig56 () =
+  let warmup_ms, measure_ms = tpcw_windows in
+  let points = Experiments.Tpcw_sweep.scaled ~replica_counts ~warmup_ms ~measure_ms () in
+  print_string (Experiments.Fig5.render points);
+  print_string (Experiments.Fig6.render points)
+
+let run_fig7 () =
+  let warmup_ms, measure_ms = tpcw_windows in
+  let points = Experiments.Tpcw_sweep.fixed ~replica_counts ~warmup_ms ~measure_ms () in
+  print_string (Experiments.Fig7.render points)
+
+let run_ablations () =
+  let measure_ms = if quick then 3_000.0 else 6_000.0 in
+  print_string
+    (Experiments.Ablation.render ~title:"Ablation: writeset shipping vs re-execution"
+       (Experiments.Ablation.apply_vs_reexec ~measure_ms ()));
+  print_string
+    (Experiments.Ablation.render ~title:"Ablation: table-set granularity"
+       (Experiments.Ablation.table_span ~measure_ms ()));
+  print_string
+    (Experiments.Ablation.render ~title:"Ablation: early certification"
+       (Experiments.Ablation.early_certification ~measure_ms ()));
+  print_string
+    (Experiments.Ablation.render ~title:"Ablation: load-balancer routing"
+       (Experiments.Ablation.routing ~measure_ms ()))
+
+(* Extension workloads: one comparative run each (TPC-C, YCSB-A). *)
+let run_extensions () =
+  let header () = say "%-8s %9s %9s %8s %9s" "mode" "TPS" "resp(ms)" "abort%" "sync(ms)" in
+  let row mode cluster =
+    let m = Core.Cluster.metrics cluster in
+    say "%-8s %9.0f %9.2f %8.2f %9.2f"
+      (Core.Consistency.to_string mode)
+      (Core.Metrics.throughput_tps m) (Core.Metrics.mean_response_ms m)
+      (100.0 *. Core.Metrics.abort_rate m)
+      (Core.Metrics.sync_delay_ms m)
+  in
+  say "%s" (Experiments.Report.section "Extension: TPC-C (8 warehouses, 40 terminals)");
+  let tpcc_params = { Workload.Tpcc.default with Workload.Tpcc.warehouses = 8 } in
+  header ();
+  List.iter
+    (fun mode ->
+      let cluster =
+        Core.Cluster.create
+          ~config:{ Core.Config.default with replicas = 4 }
+          ~mode ~schemas:Workload.Tpcc.schemas
+          ~load:(Workload.Tpcc.load tpcc_params)
+          ()
+      in
+      Core.Client.spawn_many cluster ~n:40 ~first_sid:0
+        {
+          (Workload.Tpcc.workload tpcc_params) with
+          Core.Client.think_ms = Core.Client.exp_think ~mean_ms:100.0;
+        };
+      Core.Cluster.run_for cluster ~warmup_ms:1_000.0
+        ~measure_ms:(if quick then 3_000.0 else 6_000.0);
+      row mode cluster)
+    Core.Consistency.all;
+  say "%s" (Experiments.Report.section "Extension: YCSB-A (zipf 0.99, 40 clients)");
+  header ();
+  List.iter
+    (fun mode ->
+      let cluster =
+        Core.Cluster.create
+          ~config:{ Core.Config.default with replicas = 4 }
+          ~mode
+          ~schemas:(Workload.Ycsb.schemas Workload.Ycsb.default)
+          ~load:(Workload.Ycsb.load Workload.Ycsb.default)
+          ()
+      in
+      Core.Client.spawn_many cluster ~n:40 ~first_sid:0
+        (Workload.Ycsb.workload Workload.Ycsb.default Workload.Ycsb.A);
+      Core.Cluster.run_for cluster ~warmup_ms:1_000.0
+        ~measure_ms:(if quick then 3_000.0 else 5_000.0);
+      row mode cluster)
+    Core.Consistency.all
+
+(* --- Part 2: Bechamel component micro-benchmarks --- *)
+
+let bench_fixture () =
+  (* A populated standalone database for storage-level benches. *)
+  let schema =
+    Storage.Schema.make ~name:"bench"
+      ~columns:
+        [ ("id", Storage.Value.Tint); ("val", Storage.Value.Tint);
+          ("tag", Storage.Value.Ttext) ]
+      ~indexes:[ "tag" ] ~key:[ "id" ] ()
+  in
+  let db = Storage.Database.create () in
+  ignore (Storage.Database.create_table db schema);
+  Storage.Database.load db "bench"
+    (List.init 10_000 (fun i ->
+         [|
+           Storage.Value.Int i; Storage.Value.Int (i * 7);
+           Storage.Value.Text (Printf.sprintf "tag%d" (i mod 100));
+         |]));
+  db
+
+let writeset_of_size n =
+  Storage.Writeset.of_entries
+    (List.init n (fun i ->
+         {
+           Storage.Writeset.ws_table = "bench";
+           ws_key = [| Storage.Value.Int i |];
+           ws_op =
+             Storage.Writeset.Put
+               [| Storage.Value.Int i; Storage.Value.Int 0; Storage.Value.Text "t" |];
+         }))
+
+let component_tests () =
+  let open Bechamel in
+  let db = bench_fixture () in
+  let rng = Util.Rng.create 1 in
+  let mvcc_point_read =
+    Test.make ~name:"mvcc point read"
+      (Staged.stage (fun () ->
+           let key = [| Storage.Value.Int (Util.Rng.int rng 10_000) |] in
+           ignore (Storage.Table.read (Storage.Database.table db "bench") ~key ~at:0)))
+  in
+  let txn_update =
+    Test.make ~name:"txn update + writeset extraction"
+      (Staged.stage (fun () ->
+           let txn = Storage.Txn.begin_ db in
+           ignore
+             (Storage.Txn.update_key txn ~table:"bench"
+                ~key:[| Storage.Value.Int (Util.Rng.int rng 10_000) |]
+                ~set:[ ("val", Storage.Expr.i 1) ]);
+           ignore (Storage.Txn.writeset txn)))
+  in
+  let index_select =
+    Test.make ~name:"secondary-index select (~100 rows)"
+      (Staged.stage (fun () ->
+           let txn = Storage.Txn.begin_ db in
+           let tag = Printf.sprintf "tag%d" (Util.Rng.int rng 100) in
+           ignore
+             (Storage.Txn.select txn ~table:"bench"
+                ~where:Storage.Expr.(Col 2 = Const (Storage.Value.Text tag))
+                ())))
+  in
+  let small = writeset_of_size 4 and big = writeset_of_size 64 in
+  let ws_conflict =
+    Test.make ~name:"writeset conflict check (4 vs 64)"
+      (Staged.stage (fun () -> ignore (Storage.Writeset.conflicts small big)))
+  in
+  let checker =
+    let log =
+      List.init 200 (fun i ->
+          {
+            Check.Runlog.tid = i;
+            session = i mod 10;
+            begin_time = float_of_int i;
+            ack_time = float_of_int i +. 0.5;
+            snapshot_version = i;
+            commit_version = (if i mod 2 = 0 then Some (i + 1) else None);
+            table_set = [ "t" ];
+            tables_written = (if i mod 2 = 0 then [ "t" ] else []);
+            write_keys = (if i mod 2 = 0 then [ ("t", string_of_int i) ] else []);
+          })
+    in
+    Test.make ~name:"strong-consistency check (200 txns)"
+      (Staged.stage (fun () -> ignore (Check.Runlog.strong_consistency log)))
+  in
+  let sim_events =
+    Test.make ~name:"simulator: 1000 timer events"
+      (Staged.stage (fun () ->
+           let engine = Sim.Engine.create () in
+           for i = 0 to 999 do
+             Sim.Engine.schedule engine ~delay:(float_of_int i) (fun () -> ())
+           done;
+           Sim.Engine.run engine))
+  in
+  Test.make_grouped ~name:"components"
+    [ mvcc_point_read; txn_update; index_select; ws_conflict; checker; sim_events ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  let results = analyze (benchmark (component_tests ())) in
+  say "%s" (Experiments.Report.section "Component micro-benchmarks (Bechamel)");
+  Hashtbl.iter
+    (fun name result ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some [ est ] -> say "%-48s %12.0f ns/run" name est
+      | Some _ | None -> say "%-48s (no estimate)" name)
+    results
+
+let () =
+  say "Reproduction benchmarks — 'Strongly consistent replication for a bargain'";
+  say "mode: %s (set REPRO_QUICK=1 for a fast pass)\n"
+    (if quick then "quick" else "full");
+  timed "table1" run_table1;
+  timed "fig3" run_fig3;
+  timed "fig4" run_fig4;
+  timed "fig5+fig6" run_fig56;
+  timed "fig7" run_fig7;
+  timed "ablations" run_ablations;
+  timed "extensions" run_extensions;
+  timed "bechamel" run_bechamel;
+  say "\nDone. See EXPERIMENTS.md for the paper-vs-measured comparison."

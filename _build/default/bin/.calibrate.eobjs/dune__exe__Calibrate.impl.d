@@ -1,0 +1,1 @@
+bin/calibrate.ml: Array Core Experiments List Printf Sys Unix Workload

@@ -1,0 +1,1 @@
+bin/repro.ml: Arg Check Cmd Cmdliner Core Experiments List Printf Term Workload

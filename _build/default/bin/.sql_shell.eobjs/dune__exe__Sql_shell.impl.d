@@ -1,0 +1,1 @@
+bin/sql_shell.ml: Buffer List Printf Sql String Sys

@@ -1,0 +1,60 @@
+(* Scratch calibration driver: small sweeps to sanity-check shapes while
+   tuning the cost model. Not part of the documented CLI. *)
+
+let micro () =
+  let params = { Workload.Microbench.default with rows = 2_000 } in
+  let clients = 80 in
+  Printf.printf "mode      upd%%   TPS    resp(ms)  ver   qry   cert  sync  cmt   glob  abrt\n%!";
+  List.iter
+    (fun update_types ->
+      List.iter
+        (fun mode ->
+          let t0 = Unix.gettimeofday () in
+          let s =
+            Experiments.Runner.run_micro ~mode
+              ~params:{ params with update_types }
+              ~clients ~warmup_ms:1_000.0 ~measure_ms:4_000.0 ()
+          in
+          Printf.printf "%-8s %4d%% %7.0f %8.2f %6.2f %5.2f %5.2f %5.2f %5.2f %5.2f %5.3f  [%0.1fs]\n%!"
+            (Core.Consistency.to_string mode)
+            (update_types * 100 / 40)
+            s.Experiments.Runner.tps s.response_ms s.stage_ms.(0) s.stage_ms.(1)
+            s.stage_ms.(2) s.stage_ms.(3) s.stage_ms.(4) s.stage_update_ms.(5) s.abort_rate
+            (Unix.gettimeofday () -. t0))
+        Core.Consistency.all;
+      print_newline ())
+    [ 0; 2; 10; 20; 40 ]
+
+let tpcw ~fixed () =
+  let params = Workload.Tpcw.default in
+  Printf.printf "mix       mode     reps clients  TPS   resp(ms) sync(ms) abrt\n%!";
+  List.iter
+    (fun mix ->
+      List.iter
+        (fun replicas ->
+          List.iter
+            (fun mode ->
+              let t0 = Unix.gettimeofday () in
+              let cpr = Experiments.Tpcw_sweep.clients_per_replica mix in
+              let clients = if fixed then cpr else cpr * replicas in
+              let config = { Core.Config.tpcw with replicas } in
+              let s =
+                Experiments.Runner.run_tpcw ~config ~mode ~params ~mix ~clients
+                  ~warmup_ms:5_000.0 ~measure_ms:30_000.0 ()
+              in
+              Printf.printf "%-9s %-8s %4d %7d %6.0f %8.1f %8.2f %5.3f  [%0.1fs]\n%!"
+                (Workload.Tpcw.mix_name mix)
+                (Core.Consistency.to_string mode)
+                replicas clients s.Experiments.Runner.tps s.response_ms s.sync_delay_ms
+                s.abort_rate
+                (Unix.gettimeofday () -. t0))
+            Core.Consistency.all;
+          print_newline ())
+        [ 1; 4; 8 ])
+    [ Workload.Tpcw.Shopping; Workload.Tpcw.Ordering ]
+
+let () =
+  match Sys.argv with
+  | [| _; "tpcw" |] -> tpcw ~fixed:false ()
+  | [| _; "tpcw-fixed" |] -> tpcw ~fixed:true ()
+  | _ -> micro ()

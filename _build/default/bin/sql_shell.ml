@@ -1,0 +1,50 @@
+(* Interactive SQL shell over the storage engine.
+
+   Usage:
+     dune exec bin/sql_shell.exe                # interactive REPL
+     dune exec bin/sql_shell.exe -- script.sql  # execute a script, then exit
+
+   Statements end with ';'. BEGIN/COMMIT/ROLLBACK give explicit
+   snapshot-isolation transactions; everything else auto-commits. *)
+
+let run_input session input ~echo =
+  match Sql.Session.exec_script session input with
+  | Ok results -> List.iter (fun r -> print_string (Sql.Session.render r)) results
+  | Error msg ->
+    if echo then Printf.printf "error: %s\n%!" msg
+    else begin
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    end
+
+let repl session =
+  print_endline "repro SQL shell — end statements with ';', ctrl-D to exit.";
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       print_string (if Buffer.length buf = 0 then "sql> " else "  -> ");
+       flush stdout;
+       let line = input_line stdin in
+       Buffer.add_string buf line;
+       Buffer.add_char buf '\n';
+       if String.contains line ';' then begin
+         let statement = Buffer.contents buf in
+         Buffer.clear buf;
+         run_input session statement ~echo:true
+       end
+     done
+   with End_of_file -> print_newline ())
+
+let () =
+  let session = Sql.Session.create () in
+  match Sys.argv with
+  | [| _ |] -> repl session
+  | [| _; path |] ->
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    run_input session contents ~echo:false
+  | _ ->
+    prerr_endline "usage: sql_shell [script.sql]";
+    exit 2

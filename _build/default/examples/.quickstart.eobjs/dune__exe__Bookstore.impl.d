@@ -1,0 +1,1 @@
+examples/bookstore.ml: Check Core List Printf Workload

@@ -1,0 +1,1 @@
+examples/failover.ml: Check Core List Printf Sim Workload

@@ -1,0 +1,1 @@
+examples/hidden_channel.ml: Core List Printf Sim Storage Util

@@ -1,0 +1,1 @@
+examples/serializability.ml: Check Format List Printf Workload

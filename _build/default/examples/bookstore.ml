@@ -1,0 +1,50 @@
+(* An online bookstore on the replicated database: the TPC-W schema and
+   transactions driven through the public API, with a small load of
+   emulated browsers, comparing two consistency configurations.
+
+   Run with: dune exec examples/bookstore.exe *)
+
+let params =
+  { Workload.Tpcw.default with items = 1_000; customers = 500; authors = 100;
+    initial_orders = 400; think_mean_ms = 200.0 }
+
+let config =
+  { Core.Config.tpcw with replicas = 4; seed = 11; record_log = true }
+
+let run mode =
+  let cluster =
+    Core.Cluster.create ~config ~mode ~schemas:Workload.Tpcw.schemas
+      ~load:(Workload.Tpcw.load params)
+      ()
+  in
+  (* 40 emulated browsers on the shopping mix. *)
+  for sid = 0 to 39 do
+    Core.Client.spawn cluster ~sid ~rng:(Core.Cluster.rng cluster)
+      (Workload.Tpcw.workload params Workload.Tpcw.Shopping ~sid)
+  done;
+  Core.Cluster.run_for cluster ~warmup_ms:2_000.0 ~measure_ms:15_000.0;
+  cluster
+
+let () =
+  print_endline "TPC-W bookstore, 4 replicas, 40 emulated browsers, shopping mix\n";
+  List.iter
+    (fun mode ->
+      let cluster = run mode in
+      let m = Core.Cluster.metrics cluster in
+      Printf.printf "%-8s: %5.1f TPS, response %6.1f ms, sync delay %6.2f ms, aborts %.2f%%\n"
+        (Core.Consistency.to_string mode)
+        (Core.Metrics.throughput_tps m)
+        (Core.Metrics.mean_response_ms m)
+        (Core.Metrics.sync_delay_ms m)
+        (100.0 *. Core.Metrics.abort_rate m);
+      (* Validate the run's log against the mode's guarantee. *)
+      let log = Core.Cluster.records cluster in
+      let strong = Check.Runlog.strong_consistency log in
+      let scoped = Check.Runlog.fine_strong_consistency log in
+      let session = Check.Runlog.session_consistency log in
+      Printf.printf
+        "          log: %d txns | strong violations: %d | table-set violations: %d | \
+         session violations: %d\n\n"
+        (List.length log) (List.length strong) (List.length scoped)
+        (List.length session))
+    [ Core.Consistency.Coarse; Core.Consistency.Session ]

@@ -1,0 +1,1 @@
+lib/check/checker.ml: Hashtbl History List Option

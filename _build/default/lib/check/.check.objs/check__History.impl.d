@@ -1,0 +1,1 @@
+lib/check/history.ml: Format Hashtbl List Printf

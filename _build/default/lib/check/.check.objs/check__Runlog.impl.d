@@ -1,0 +1,1 @@
+lib/check/runlog.ml: Array Format Hashtbl List Option Printf

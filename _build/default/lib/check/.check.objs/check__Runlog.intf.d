@@ -1,0 +1,1 @@
+lib/check/runlog.mli: Format

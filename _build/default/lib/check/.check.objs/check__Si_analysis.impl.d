@@ -1,0 +1,1 @@
+lib/check/si_analysis.ml: Format Hashtbl List Option String

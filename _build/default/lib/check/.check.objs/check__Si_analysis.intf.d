@@ -1,0 +1,1 @@
+lib/check/si_analysis.mli: Format

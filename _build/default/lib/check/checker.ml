@@ -1,0 +1,171 @@
+type mode = [ `Any | `Session of History.tx -> int | `Strong ]
+
+(* Program-order operations of one transaction. *)
+let ops_of h t =
+  List.filter
+    (function
+      | History.Read (t', _, _) | History.Write (t', _, _) -> t' = t
+      | History.Begin _ | History.Commit _ | History.Abort _ -> false)
+    h
+
+(* Replay [txs] serially from the all-zero initial state; check that every
+   read observes what the serial execution would produce. *)
+let serial_consistent h txs =
+  let state : (History.item, int) Hashtbl.t = Hashtbl.create 8 in
+  let lookup tbl item = Option.value (Hashtbl.find_opt tbl item) ~default:0 in
+  let run_tx t =
+    let local = Hashtbl.create 4 in
+    let ok =
+      List.for_all
+        (function
+          | History.Read (_, item, v) ->
+            let expected =
+              match Hashtbl.find_opt local item with
+              | Some v' -> v'
+              | None -> lookup state item
+            in
+            expected = v
+          | History.Write (_, item, v) ->
+            Hashtbl.replace local item v;
+            true
+          | History.Begin _ | History.Commit _ | History.Abort _ -> true)
+        (ops_of h t)
+    in
+    if ok then Hashtbl.iter (fun item v -> Hashtbl.replace state item v) local;
+    ok
+  in
+  List.for_all run_tx txs
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let serializable h =
+  let txs = History.committed h in
+  List.exists (fun order -> serial_consistent h order) (permutations txs)
+
+(* State of the database after the first [k] transactions of the commit
+   order have been applied. *)
+let state_after_prefix h commit_order k =
+  let state = Hashtbl.create 8 in
+  List.iteri
+    (fun i t ->
+      if i < k then
+        List.iter
+          (fun (item, v) -> Hashtbl.replace state item v)
+          (History.writes_of h t))
+    commit_order;
+  state
+
+(* Number of commit events preceding T's begin, and the largest commit
+   position among same-session predecessors — both are prefixes of the
+   commit order because commit events are totally ordered in time. *)
+let begin_horizon h t =
+  let rec walk count = function
+    | [] -> count
+    | History.Begin t' :: _ when t' = t -> count
+    | History.Commit _ :: rest -> walk (count + 1) rest
+    | _ :: rest -> walk count rest
+  in
+  walk 0 h
+
+let session_horizon h session t =
+  let own = session t in
+  let rec walk pos best = function
+    | [] -> best
+    | History.Begin t' :: _ when t' = t -> best
+    | History.Commit tc :: rest ->
+      let best = if session tc = own then pos + 1 else best in
+      walk (pos + 1) best rest
+    | _ :: rest -> walk pos best rest
+  in
+  walk 0 0 h
+
+let snapshot_consistent ~mode h =
+  let commit_order = History.committed h in
+  let position t =
+    let rec find i = function
+      | [] -> invalid_arg "not committed"
+      | x :: rest -> if x = t then i else find (i + 1) rest
+    in
+    find 0 commit_order
+  in
+  (* Each transaction's reads depend only on its own snapshot prefix, so
+     each can be validated independently. *)
+  List.for_all
+    (fun t ->
+      let hi = begin_horizon h t in
+      let lo =
+        match mode with
+        | `Any -> 0
+        | `Strong -> hi
+        | `Session session -> session_horizon h session t
+      in
+      let hi = min hi (position t) in
+      if lo > hi then false
+      else begin
+        let reads_ok k =
+          let state = state_after_prefix h commit_order k in
+          let local = Hashtbl.create 4 in
+          List.for_all
+            (function
+              | History.Read (_, item, v) ->
+                let expected =
+                  match Hashtbl.find_opt local item with
+                  | Some v' -> v'
+                  | None -> Option.value (Hashtbl.find_opt state item) ~default:0
+                in
+                expected = v
+              | History.Write (_, item, v) ->
+                Hashtbl.replace local item v;
+                true
+              | History.Begin _ | History.Commit _ | History.Abort _ -> true)
+            (ops_of h t)
+        in
+        let rec try_k k = k <= hi && (reads_ok k || try_k (k + 1)) in
+        try_k lo
+      end)
+    commit_order
+
+let strongly_consistent h = snapshot_consistent ~mode:`Strong h
+
+let session_consistent ~session h = snapshot_consistent ~mode:(`Session session) h
+
+let first_committer_wins h =
+  let committed = History.committed h in
+  let index_of pred =
+    let rec find i = function
+      | [] -> None
+      | op :: rest -> if pred op then Some i else find (i + 1) rest
+    in
+    find 0 h
+  in
+  let window t =
+    match
+      ( index_of (function History.Begin t' -> t' = t | _ -> false),
+        index_of (function History.Commit t' -> t' = t | _ -> false) )
+    with
+    | Some b, Some c -> (b, c)
+    | _ -> invalid_arg "first_committer_wins: malformed history"
+  in
+  let write_items t = List.map fst (History.writes_of h t) in
+  let conflict ti tj =
+    let wi = write_items ti and wj = write_items tj in
+    List.exists (fun x -> List.mem x wj) wi
+  in
+  let concurrent ti tj =
+    let bi, ci = window ti and bj, cj = window tj in
+    bi < cj && bj < ci
+  in
+  let rec pairs = function
+    | [] -> true
+    | ti :: rest ->
+      List.for_all (fun tj -> not (concurrent ti tj && conflict ti tj)) rest
+      && pairs rest
+  in
+  pairs committed

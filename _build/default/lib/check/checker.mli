@@ -1,0 +1,37 @@
+(** Consistency checkers over abstract {!History.t} values.
+
+    These implement the paper's §II definitions on small histories:
+
+    - {!serializable}: exists a serial single-copy history view-equivalent
+      to the input (brute-force over permutations of committed
+      transactions — intended for unit-test-sized histories).
+    - {!snapshot_consistent}: exists a multiversion single-copy history
+      view-equivalent to the input: every transaction reads from a
+      snapshot that is a prefix of the (real-time) commit order.
+      The [mode] strengthens which prefix is acceptable:
+      {ul
+      {- [`Any]: any prefix not beyond the transaction's own commit —
+         plain GSI-style legality;}
+      {- [`Session sess]: the prefix must include every transaction of
+         the {e same session} that committed before this one began
+         (Definition 2, session consistency);}
+      {- [`Strong]: the prefix must include {e every} transaction that
+         committed before this one began (Definition 1, strong
+         consistency).}}
+    - {!first_committer_wins}: no two committed transactions with
+      intersecting write sets where one commits inside the other's
+      (snapshot, commit] window — the SI/GSI write-conflict rule, using
+      the real-time positions as snapshot points. *)
+
+type mode = [ `Any | `Session of History.tx -> int | `Strong ]
+
+val serializable : History.t -> bool
+
+val snapshot_consistent : mode:mode -> History.t -> bool
+
+val strongly_consistent : History.t -> bool
+(** [snapshot_consistent ~mode:`Strong]. *)
+
+val session_consistent : session:(History.tx -> int) -> History.t -> bool
+
+val first_committer_wins : History.t -> bool

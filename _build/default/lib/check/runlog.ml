@@ -1,0 +1,151 @@
+type record = {
+  tid : int;
+  session : int;
+  begin_time : float;
+  ack_time : float;
+  snapshot_version : int;
+  commit_version : int option;
+  table_set : string list;
+  tables_written : string list;
+  write_keys : (string * string) list;
+}
+
+type violation = {
+  first : record;
+  second : record;
+  reason : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "T%d -> T%d: %s" v.first.tid v.second.tid v.reason
+
+(* All pairs (ti, tj) such that ti's ack precedes tj's begin. Sorting by
+   begin time lets us stop the inner scan early for long logs. *)
+let precedence_pairs records ~relevant ~check =
+  let by_begin = List.sort (fun a b -> compare a.begin_time b.begin_time) records in
+  let arr = Array.of_list by_begin in
+  let violations = ref [] in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    let ti = arr.(i) in
+    match ti.commit_version with
+    | None -> ()
+    | Some vi ->
+      for j = 0 to n - 1 do
+        let tj = arr.(j) in
+        if ti.tid <> tj.tid && ti.ack_time < tj.begin_time && relevant ti tj then
+          match check vi ti tj with
+          | None -> ()
+          | Some reason -> violations := { first = ti; second = tj; reason } :: !violations
+      done
+  done;
+  List.rev !violations
+
+let strong_consistency records =
+  precedence_pairs records
+    ~relevant:(fun _ _ -> true)
+    ~check:(fun vi ti tj ->
+      if tj.snapshot_version >= vi then None
+      else
+        Some
+          (Printf.sprintf
+             "T%d (commit v%d, acked %.3f) invisible to T%d (begin %.3f, snapshot v%d)"
+             ti.tid vi ti.ack_time tj.tid tj.begin_time tj.snapshot_version))
+
+let fine_strong_consistency records =
+  let intersects a b = List.exists (fun x -> List.mem x b) a in
+  precedence_pairs records
+    ~relevant:(fun ti tj -> intersects ti.tables_written tj.table_set)
+    ~check:(fun vi ti tj ->
+      if tj.snapshot_version >= vi then None
+      else
+        Some
+          (Printf.sprintf
+             "T%d wrote tables in T%d's table-set at v%d but T%d read snapshot v%d" ti.tid
+             tj.tid vi tj.tid tj.snapshot_version))
+
+let session_consistency records =
+  precedence_pairs records
+    ~relevant:(fun ti tj -> ti.session = tj.session)
+    ~check:(fun vi ti tj ->
+      if tj.snapshot_version >= vi then None
+      else
+        Some
+          (Printf.sprintf
+             "session %d: T%d committed v%d before T%d began, but T%d read snapshot v%d"
+             ti.session ti.tid vi tj.tid tj.tid tj.snapshot_version))
+
+let first_committer_wins records =
+  let updates =
+    List.filter_map
+      (fun r -> match r.commit_version with Some v -> Some (r, v) | None -> None)
+      records
+  in
+  let conflict a b = List.exists (fun k -> List.mem k b.write_keys) a.write_keys in
+  let rec pairs acc = function
+    | [] -> List.rev acc
+    | (ri, vi) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc (rj, vj) ->
+            (* Windows (snapshot, commit] overlap iff each commit falls
+               after the other's snapshot. *)
+            let overlap = vi > rj.snapshot_version && vj > ri.snapshot_version in
+            if overlap && conflict ri rj then
+              {
+                first = ri;
+                second = rj;
+                reason =
+                  Printf.sprintf
+                    "write-write conflict between concurrent T%d (v%d..%d] and T%d (v%d..%d]"
+                    ri.tid ri.snapshot_version vi rj.tid rj.snapshot_version vj;
+              }
+              :: acc
+            else acc)
+          acc rest
+      in
+      pairs acc rest
+  in
+  pairs [] updates
+
+let bounded_staleness ~k records =
+  precedence_pairs records
+    ~relevant:(fun _ _ -> true)
+    ~check:(fun vi ti tj ->
+      if tj.snapshot_version >= vi - k then None
+      else
+        Some
+          (Printf.sprintf
+             "T%d read snapshot v%d, more than %d versions behind T%d's commit v%d"
+             tj.tid tj.snapshot_version k ti.tid vi))
+
+let monotone_session_snapshots records =
+  let by_session = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let l = Option.value (Hashtbl.find_opt by_session r.session) ~default:[] in
+      Hashtbl.replace by_session r.session (r :: l))
+    records;
+  let violations = ref [] in
+  Hashtbl.iter
+    (fun _ rs ->
+      let ordered = List.sort (fun a b -> compare a.begin_time b.begin_time) rs in
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+          (* Only constrain non-overlapping pairs: a acked before b began. *)
+          if a.ack_time < b.begin_time && b.snapshot_version < a.snapshot_version then
+            violations :=
+              {
+                first = a;
+                second = b;
+                reason =
+                  Printf.sprintf "session snapshot went back in time: v%d then v%d"
+                    a.snapshot_version b.snapshot_version;
+              }
+              :: !violations;
+          walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk ordered)
+    by_session;
+  List.rev !violations

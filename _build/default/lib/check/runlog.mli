@@ -1,0 +1,58 @@
+(** Execution-log consistency checks for the replicated system.
+
+    The cluster records one {!record} per committed transaction. Because
+    the prototype is a multiversion (GSI) system, consistency properties
+    reduce to constraints between {e real-time} commit-acknowledgement
+    order and {e snapshot versions}:
+
+    - strong consistency: if Ti's commit was acknowledged to its client
+      before Tj began, then Tj's snapshot includes Ti's commit version;
+    - fine-grained strong consistency: the same, but only when Ti wrote
+      at least one table in Tj's table-set (Theorem 2: the table-set is a
+      superset of the data-set, so this still guarantees that Tj observes
+      the latest committed state of all the data it accesses);
+    - session consistency: the strong constraint restricted to pairs in
+      the same session;
+    - first-committer-wins (GSI): two committed update transactions with
+      intersecting writesets must not have overlapping
+      (snapshot, commit] version windows. *)
+
+type record = {
+  tid : int;
+  session : int;
+  begin_time : float;  (** when the client issued the transaction *)
+  ack_time : float;  (** when the client learned the commit outcome *)
+  snapshot_version : int;  (** database version the txn read from *)
+  commit_version : int option;  (** [None] for read-only transactions *)
+  table_set : string list;  (** declared tables the txn may access *)
+  tables_written : string list;  (** tables in the writeset *)
+  write_keys : (string * string) list;  (** (table, rendered key) written *)
+}
+
+type violation = {
+  first : record;
+  second : record;
+  reason : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val strong_consistency : record list -> violation list
+(** Empty iff the log is strongly consistent. *)
+
+val fine_strong_consistency : record list -> violation list
+(** Empty iff the log satisfies table-set-based strong consistency. *)
+
+val session_consistency : record list -> violation list
+
+val first_committer_wins : record list -> violation list
+
+val bounded_staleness : k:int -> record list -> violation list
+(** Relaxed-currency check: if Ti's commit was acknowledged before Tj
+    began, Tj's snapshot trails Ti's commit version by at most [k].
+    [bounded_staleness ~k:0] coincides with {!strong_consistency}. *)
+
+val monotone_session_snapshots : record list -> violation list
+(** Within a session, a later transaction never reads an older snapshot
+    than an earlier one's observed commit — the "never goes back in
+    time" session guarantee. *)

@@ -1,0 +1,105 @@
+type profile = {
+  name : string;
+  reads : string list;
+  writes : string list;
+}
+
+let profile ~name ?(reads = []) ?(writes = []) () =
+  (* An SI update reads the version it overwrites. *)
+  let reads = List.sort_uniq compare (reads @ writes) in
+  { name; reads; writes = List.sort_uniq compare writes }
+
+type edge = {
+  src : string;
+  dst : string;
+  kind : [ `Rw | `Ww | `Wr ];
+  item : string;
+}
+
+let intersect_witness a b = List.find_opt (fun x -> List.mem x b) a
+
+let edges profiles =
+  let out = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a.name <> b.name then begin
+            (* a reads an item b writes: rw anti-dependency a -> b. *)
+            (match intersect_witness a.reads b.writes with
+            | Some item -> out := { src = a.name; dst = b.name; kind = `Rw; item } :: !out
+            | None -> ());
+            (* a writes an item b writes: ww a -> b (one direction per
+               ordered pair; the reverse pair adds the other). *)
+            (match intersect_witness a.writes b.writes with
+            | Some item -> out := { src = a.name; dst = b.name; kind = `Ww; item } :: !out
+            | None -> ());
+            (* a writes an item b reads: wr a -> b. *)
+            match intersect_witness a.writes b.reads with
+            | Some item -> out := { src = a.name; dst = b.name; kind = `Wr; item } :: !out
+            | None -> ()
+          end)
+        profiles)
+    profiles;
+  List.rev !out
+
+type dangerous = {
+  pivot : string;
+  in_rw : edge;
+  out_rw : edge;
+}
+
+(* Reachability over all dependency edges. *)
+let reachable edges ~from ~target =
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let l = Option.value (Hashtbl.find_opt adj e.src) ~default:[] in
+      Hashtbl.replace adj e.src (e.dst :: l))
+    edges;
+  let visited = Hashtbl.create 16 in
+  let rec dfs node =
+    if String.equal node target then true
+    else if Hashtbl.mem visited node then false
+    else begin
+      Hashtbl.add visited node ();
+      List.exists dfs (Option.value (Hashtbl.find_opt adj node) ~default:[])
+    end
+  in
+  dfs from
+
+let dangerous_structures profiles =
+  let es = edges profiles in
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace by_name p.name p) profiles;
+  (* An rw anti-dependency is "vulnerable" only between transactions that
+     can commit concurrently — i.e. that do not also write-write
+     conflict (first-committer-wins would abort one of them). *)
+  let vulnerable e =
+    match (Hashtbl.find_opt by_name e.src, Hashtbl.find_opt by_name e.dst) with
+    | Some a, Some b -> intersect_witness a.writes b.writes = None
+    | _ -> false
+  in
+  let rw = List.filter (fun e -> e.kind = `Rw && vulnerable e) es in
+  List.concat_map
+    (fun in_rw ->
+      let pivot = in_rw.dst in
+      List.filter_map
+        (fun out_rw ->
+          if String.equal out_rw.src pivot && not (String.equal out_rw.dst pivot) then begin
+            (* The structure is dangerous when the cycle can close: T2
+               reaches T1 through dependency edges, or T1 = T2. *)
+            let t1 = in_rw.src and t2 = out_rw.dst in
+            if String.equal t1 t2 || reachable es ~from:t2 ~target:t1 then
+              Some { pivot; in_rw; out_rw }
+            else None
+          end
+          else None)
+        rw)
+    rw
+
+let serializable_under_si profiles = dangerous_structures profiles = []
+
+let pp_dangerous ppf d =
+  Format.fprintf ppf "%s --rw(%s)--> %s --rw(%s)--> %s" d.in_rw.src d.in_rw.item d.pivot
+    d.out_rw.item d.out_rw.dst

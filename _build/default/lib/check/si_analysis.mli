@@ -1,0 +1,60 @@
+(** Static serializability analysis for snapshot isolation.
+
+    The paper (§IV) notes that GSI is weaker than serializability but
+    that "conditions exist to check if a workload runs serializably"
+    under SI — the dangerous-structure theory of Fekete et al. (Making
+    snapshot isolation serializable, TODS 2005), which the paper cites
+    to argue the TPC-C and TPC-W workloads run serializably under GSI.
+
+    This module implements that static check over transaction
+    {e profiles}: abstract read- and write-sets of logical items. Every
+    anomaly of an SI history requires a {e dangerous structure} in the
+    static dependency graph — a transaction [P] (the pivot) with an
+    incoming and an outgoing rw-antidependency edge,
+    [T1 --rw--> P --rw--> T2], where [T1] and [T2] may run concurrently
+    with [P] and the cycle can close from [T2] back to [T1]. A workload
+    whose graph has no dangerous structure is serializable under SI
+    (and under GSI, whose histories are SI histories over older
+    snapshots). *)
+
+type profile = {
+  name : string;
+  reads : string list;  (** logical items (e.g. "table.column" or finer) read *)
+  writes : string list;  (** logical items written *)
+}
+
+val profile : name:string -> ?reads:string list -> ?writes:string list -> unit -> profile
+(** Writes are implicitly also reads (SI updates read the row version
+    they overwrite). *)
+
+type edge = {
+  src : string;
+  dst : string;
+  kind : [ `Rw  (** anti-dependency: src reads what dst writes *)
+         | `Ww  (** write-write *)
+         | `Wr  (** write-read *) ];
+  item : string;  (** a witness item inducing the edge *)
+}
+
+val edges : profile list -> edge list
+(** The static dependency multigraph (one witness edge per kind per
+    ordered pair). *)
+
+type dangerous = {
+  pivot : string;
+  in_rw : edge;  (** T1 --rw--> pivot *)
+  out_rw : edge;  (** pivot --rw--> T2 *)
+}
+
+val dangerous_structures : profile list -> dangerous list
+(** All pivots with consecutive {e vulnerable} rw-antidependencies that
+    can occur in a cycle: an rw edge is vulnerable only between
+    transactions that do not also write-write conflict (those cannot
+    commit concurrently under first-committer-wins), and the cycle must
+    be closable — [in_rw.src] reachable from [out_rw.dst] through
+    dependency edges (the degenerate T1 = T2 case included). Empty means
+    every execution of the workload under SI/GSI is serializable. *)
+
+val serializable_under_si : profile list -> bool
+
+val pp_dangerous : Format.formatter -> dangerous -> unit

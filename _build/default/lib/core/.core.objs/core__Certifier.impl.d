@@ -1,0 +1,1 @@
+lib/core/certifier.ml: Array Config Consistency Float Hashtbl List Sim Storage Util

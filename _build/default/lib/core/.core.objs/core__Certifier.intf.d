@@ -1,0 +1,1 @@
+lib/core/certifier.mli: Config Consistency Sim Storage Util

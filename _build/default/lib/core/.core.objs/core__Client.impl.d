@@ -1,0 +1,1 @@
+lib/core/client.ml: Cluster Config Metrics Sim Transaction Util

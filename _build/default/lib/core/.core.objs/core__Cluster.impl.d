@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Certifier Check Config List Load_balancer Logs Metrics Option Replica Sim Storage String Transaction Util

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Certifier Check Config Consistency Load_balancer Metrics Replica Sim Storage Transaction Util

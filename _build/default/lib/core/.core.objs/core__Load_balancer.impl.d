@@ -1,0 +1,1 @@
+lib/core/load_balancer.ml: Array Config Consistency Hashtbl List Option Util

@@ -1,0 +1,1 @@
+lib/core/replica.ml: Config Hashtbl List Sim Storage Transaction Util

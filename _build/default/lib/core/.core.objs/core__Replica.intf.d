@@ -1,0 +1,1 @@
+lib/core/replica.mli: Config Sim Storage Transaction Util

@@ -1,0 +1,1 @@
+lib/core/transaction.ml: Format List Printf Storage

@@ -1,0 +1,1 @@
+lib/core/transaction.mli: Format Storage

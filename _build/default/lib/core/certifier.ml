@@ -1,0 +1,235 @@
+type eager_state = {
+  waiting_on : (int, unit) Hashtbl.t;  (* replica ids that have not acked *)
+  done_ : unit Sim.Ivar.t;
+}
+
+(* A standby certifier: a synchronously maintained copy of the decision
+   log (the certifier is deterministic, so the log IS the state — the
+   state-machine replication approach of §IV). *)
+type standby = {
+  mutable sb_version : int;
+  mutable sb_log : Storage.Writeset.t Util.Vec.t;
+  mutable sb_log_base : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  cfg : Config.t;
+  rng : Util.Rng.t;
+  network : Sim.Network.t;
+  mode : Consistency.mode;
+  cpu : Sim.Resource.t;
+  mutable version : int;
+  mutable log : Storage.Writeset.t Util.Vec.t;  (* index i holds version log_base+i+1 *)
+  mutable log_base : int;  (* all versions <= log_base have been pruned *)
+  subscribers : (int, version:int -> ws:Storage.Writeset.t -> unit) Hashtbl.t;
+  live : (int, unit) Hashtbl.t;
+  eager_pending : (int, eager_state) Hashtbl.t;  (* keyed by version *)
+  standbys : standby array;
+  mutable crashed : bool;
+  revive : Sim.Condition.t;
+  mutable failovers : int;
+  mutable commits : int;
+  mutable aborts : int;
+}
+
+type decision =
+  | Commit of { version : int; global_commit : unit Sim.Ivar.t option }
+  | Abort
+
+let create engine cfg ~rng ~network ~mode =
+  {
+    engine;
+    cfg;
+    rng;
+    network;
+    mode;
+    cpu = Sim.Resource.create engine ~servers:1;
+    version = 0;
+    log = Util.Vec.create ();
+    log_base = 0;
+    subscribers = Hashtbl.create 16;
+    live = Hashtbl.create 16;
+    eager_pending = Hashtbl.create 64;
+    standbys =
+      Array.init cfg.Config.certifier_standbys (fun _ ->
+          { sb_version = 0; sb_log = Util.Vec.create (); sb_log_base = 0 });
+    crashed = false;
+    revive = Sim.Condition.create engine;
+    failovers = 0;
+    commits = 0;
+    aborts = 0;
+  }
+
+let subscribe t ~replica deliver =
+  Hashtbl.replace t.subscribers replica deliver;
+  Hashtbl.replace t.live replica ()
+
+let version t = t.version
+
+let service_time t base =
+  if t.cfg.Config.service_jitter then base *. Util.Rng.exponential t.rng ~mean:1.0
+  else base
+
+let log_entry t v = Util.Vec.get t.log (v - t.log_base - 1)
+
+let conflicts_since t ~snapshot ws =
+  (* Scan committed writesets in (snapshot, version]. *)
+  let rec scan v =
+    if v <= snapshot then false
+    else if Storage.Writeset.conflicts ws (log_entry t v) then true
+    else scan (v - 1)
+  in
+  scan t.version
+
+(* Synchronously replicate a freshly decided commit to every standby:
+   one round trip to the slowest standby, while the state copy itself is
+   deterministic replay of the same decision. *)
+let replicate_to_standbys t v ws =
+  if Array.length t.standbys > 0 then begin
+    let size_bytes = Storage.Codec.writeset_bytes ws + 32 in
+    let slowest =
+      Array.fold_left
+        (fun acc _ -> Float.max acc (2.0 *. Sim.Network.latency t.network ~size_bytes))
+        0.0 t.standbys
+    in
+    Sim.Process.sleep t.engine slowest;
+    Array.iter
+      (fun sb ->
+        assert (sb.sb_version = v - 1);
+        Util.Vec.push sb.sb_log ws;
+        sb.sb_version <- v)
+      t.standbys
+  end
+
+let certify t ~origin ~snapshot ~ws =
+  (* During a certifier outage, requests queue until failover completes. *)
+  Sim.Condition.await t.revive (fun () -> not t.crashed);
+  Sim.Resource.acquire t.cpu;
+  let rows = Storage.Writeset.cardinal ws in
+  let cost =
+    t.cfg.Config.certify_base_ms +. (float_of_int rows *. t.cfg.Config.certify_row_ms)
+  in
+  Sim.Process.sleep t.engine (service_time t cost);
+  if snapshot < t.log_base || conflicts_since t ~snapshot ws then begin
+    (* A snapshot older than the pruned log horizon cannot be checked and
+       is conservatively aborted — in practice the horizon trails the
+       slowest replica by [gc_window] versions, so this only hits
+       pathologically old transactions. *)
+    t.aborts <- t.aborts + 1;
+    Sim.Resource.release t.cpu;
+    Abort
+  end
+  else begin
+    t.version <- t.version + 1;
+    let v = t.version in
+    Util.Vec.push t.log ws;
+    t.commits <- t.commits + 1;
+    (* Durable decision before anyone learns about it: local log force
+       plus synchronous replication to the standby certifiers. *)
+    Sim.Process.sleep t.engine (service_time t t.cfg.Config.durability_ms);
+    replicate_to_standbys t v ws;
+    Sim.Resource.release t.cpu;
+    let size_bytes = Storage.Codec.writeset_bytes ws + 64 in
+    Hashtbl.iter
+      (fun replica deliver ->
+        if replica <> origin && Hashtbl.mem t.live replica then
+          Sim.Network.send t.network ~size_bytes (fun () -> deliver ~version:v ~ws))
+      t.subscribers;
+    let global_commit =
+      match t.mode with
+      | Consistency.Eager ->
+        let waiting_on = Hashtbl.create 8 in
+        Hashtbl.iter (fun replica () -> Hashtbl.replace waiting_on replica ()) t.live;
+        let done_ = Sim.Ivar.create t.engine in
+        if Hashtbl.length waiting_on = 0 then Sim.Ivar.fill done_ ()
+        else Hashtbl.replace t.eager_pending v { waiting_on; done_ };
+        Some done_
+      | Consistency.Coarse | Consistency.Fine | Consistency.Session
+      | Consistency.Bounded _ -> None
+    in
+    Commit { version = v; global_commit }
+  end
+
+let ack t ~replica ~version =
+  match Hashtbl.find_opt t.eager_pending version with
+  | None -> ()
+  | Some state ->
+    Hashtbl.remove state.waiting_on replica;
+    if Hashtbl.length state.waiting_on = 0 then begin
+      Hashtbl.remove t.eager_pending version;
+      Sim.Ivar.fill state.done_ ()
+    end
+
+let log_base t = t.log_base
+
+let writesets_from t from =
+  if from < t.log_base then None
+  else begin
+    let rec build v acc =
+      if v <= from then acc else build (v - 1) ((v, log_entry t v) :: acc)
+    in
+    Some (build t.version [])
+  end
+
+let prune t ~keep_after =
+  (* Keep versions > keep_after, on the primary and every standby. *)
+  if keep_after > t.log_base then begin
+    let keep_after = min keep_after t.version in
+    let fresh = Util.Vec.create () in
+    for v = keep_after + 1 to t.version do
+      Util.Vec.push fresh (log_entry t v)
+    done;
+    t.log <- fresh;
+    t.log_base <- keep_after;
+    Array.iter
+      (fun sb ->
+        if keep_after > sb.sb_log_base && sb.sb_version >= keep_after then begin
+          let fresh = Util.Vec.create () in
+          for v = keep_after + 1 to sb.sb_version do
+            Util.Vec.push fresh (Util.Vec.get sb.sb_log (v - sb.sb_log_base - 1))
+          done;
+          sb.sb_log <- fresh;
+          sb.sb_log_base <- keep_after
+        end)
+      t.standbys
+  end
+
+let crash t =
+  if Array.length t.standbys = 0 then
+    invalid_arg "Certifier.crash: no standby configured (the decision log would be lost)";
+  t.crashed <- true
+
+let is_crashed t = t.crashed
+
+let failover t =
+  if not t.crashed then invalid_arg "Certifier.failover: certifier is running";
+  (* Promote standby 0: its log is a synchronous copy, so no committed
+     decision is lost (§IV: durability of decisions). *)
+  let sb = t.standbys.(0) in
+  assert (sb.sb_version = t.version);  (* synchronous replication invariant *)
+  t.failovers <- t.failovers + 1;
+  t.crashed <- false;
+  Sim.Condition.broadcast t.revive
+
+let failovers t = t.failovers
+
+let mark_down t ~replica =
+  Hashtbl.remove t.live replica;
+  (* Pending eager transactions stop waiting for the dead replica. *)
+  let completed = ref [] in
+  Hashtbl.iter
+    (fun v state ->
+      Hashtbl.remove state.waiting_on replica;
+      if Hashtbl.length state.waiting_on = 0 then completed := (v, state) :: !completed)
+    t.eager_pending;
+  List.iter
+    (fun (v, state) ->
+      Hashtbl.remove t.eager_pending v;
+      Sim.Ivar.fill state.done_ ())
+    !completed
+
+let mark_up t ~replica =
+  if Hashtbl.mem t.subscribers replica then Hashtbl.replace t.live replica ()
+
+let decisions t = (t.commits, t.aborts)

@@ -1,0 +1,86 @@
+(** The certifier (§IV): the single component that decides commits.
+
+    It (a) certifies update transactions against GSI's
+    first-committer-wins rule, (b) assigns the total commit order by
+    handing out the database version counter [V_commit], (c) makes
+    decisions durable (modelled as a log-force service time), and (d)
+    forwards each committed writeset to the other replicas as a refresh
+    transaction. For the eager configuration it additionally counts
+    per-transaction commit acknowledgements and reports global commit.
+
+    Certification runs on a single-server CPU resource, so decisions are
+    totally ordered. The full writeset log is retained (indexed by
+    version), which doubles as the recovery log replicas replay after a
+    crash. *)
+
+type t
+
+type decision =
+  | Commit of { version : int; global_commit : unit Sim.Ivar.t option }
+      (** [global_commit] is present only under {!Consistency.Eager}: it
+          fills once every live replica has committed the transaction. *)
+  | Abort
+
+val create :
+  Sim.Engine.t -> Config.t -> rng:Util.Rng.t -> network:Sim.Network.t ->
+  mode:Consistency.mode -> t
+
+val subscribe : t -> replica:int -> (version:int -> ws:Storage.Writeset.t -> unit) -> unit
+(** Register a replica's refresh-delivery callback (invoked after a
+    sampled network delay). Subscribing marks the replica live. *)
+
+val version : t -> int
+(** Current [V_commit]. *)
+
+val certify :
+  t -> origin:int -> snapshot:int -> ws:Storage.Writeset.t -> decision
+(** Certify an update transaction. Blocks the calling process for the
+    certifier service time. Must be called from within a process. *)
+
+val ack : t -> replica:int -> version:int -> unit
+(** A replica committed (applied) the given version — eager accounting.
+    No-op for versions without pending eager state. *)
+
+val writesets_from : t -> int -> (int * Storage.Writeset.t) list option
+(** [(v, ws)] for all committed versions > the argument, ascending: the
+    recovery replay stream. [None] if the requested suffix reaches below
+    the pruned log horizon — the recovering replica then needs a state
+    transfer instead. *)
+
+val log_base : t -> int
+(** Highest pruned version; the log covers (log_base, version]. *)
+
+val prune : t -> keep_after:int -> unit
+(** Discard log entries [<= keep_after] (bounded-memory operation; the
+    cluster prunes behind the slowest replica). Transactions whose
+    snapshot falls below the horizon are conservatively aborted at
+    certification. *)
+
+val mark_down : t -> replica:int -> unit
+(** Remove a replica from the live set; pending eager transactions stop
+    waiting for it, and it receives no further refresh writesets. *)
+
+val mark_up : t -> replica:int -> unit
+
+val decisions : t -> int * int
+(** (commits, aborts) decided since creation. *)
+
+(** {2 Certifier replication (state-machine approach, §IV)}
+
+    With [certifier_standbys > 0] every commit decision is synchronously
+    copied to the standby logs before the originating replica learns it,
+    so a crash loses no decision and {!failover} promotes a standby
+    immediately. While crashed, new certification requests queue and
+    resume after failover; read-only transactions are unaffected. *)
+
+val crash : t -> unit
+(** Fail-stop the primary certifier. Raises [Invalid_argument] when no
+    standby is configured. *)
+
+val is_crashed : t -> bool
+
+val failover : t -> unit
+(** Promote a standby and resume queued certification requests. *)
+
+val failovers : t -> int
+(** Number of failovers performed. *)

@@ -1,0 +1,36 @@
+type workload = {
+  think_ms : Util.Rng.t -> float;
+  next_request : Util.Rng.t -> Transaction.request;
+}
+
+let spawn cluster ~sid ~rng workload =
+  let engine = Cluster.engine cluster in
+  let cfg = Cluster.config cluster in
+  Sim.Process.spawn engine (fun () ->
+      let rec loop () =
+        let think = workload.think_ms rng in
+        if think > 0.0 then Sim.Process.sleep engine think;
+        let request = workload.next_request rng in
+        let rec attempt tries =
+          match Cluster.submit cluster ~sid request with
+          | Transaction.Committed _ -> ()
+          | Transaction.Aborted { reason = Transaction.Statement_error _; _ } ->
+            (* A logic error in the workload; retrying cannot help. *)
+            Metrics.record_retry_exhausted (Cluster.metrics cluster)
+          | Transaction.Aborted _ ->
+            if tries < cfg.Config.max_retries then attempt (tries + 1)
+            else Metrics.record_retry_exhausted (Cluster.metrics cluster)
+        in
+        attempt 0;
+        loop ()
+      in
+      loop ())
+
+let spawn_many cluster ~n ~first_sid workload =
+  for i = 0 to n - 1 do
+    spawn cluster ~sid:(first_sid + i) ~rng:(Cluster.rng cluster) workload
+  done
+
+let no_think _rng = 0.0
+
+let exp_think ~mean_ms rng = Util.Rng.exponential rng ~mean:mean_ms

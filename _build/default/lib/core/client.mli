@@ -1,0 +1,24 @@
+(** Closed-loop client driver (the paper's RTE threads).
+
+    Each client owns a session, repeatedly: think, generate a
+    transaction from its workload function, submit it, and retry on
+    abort (up to [max_retries], with the same request — the benchmark
+    semantics of a re-submitted business action). *)
+
+type workload = {
+  think_ms : Util.Rng.t -> float;  (** sampled think time before each txn *)
+  next_request : Util.Rng.t -> Transaction.request;
+}
+
+val spawn : Cluster.t -> sid:int -> rng:Util.Rng.t -> workload -> unit
+(** Start one client process; it runs until the simulation stops. *)
+
+val spawn_many : Cluster.t -> n:int -> first_sid:int -> workload -> unit
+(** Start [n] clients with distinct sessions and independent RNG
+    streams split from the cluster RNG. *)
+
+val no_think : Util.Rng.t -> float
+(** Zero think time: back-to-back submission (micro-benchmark). *)
+
+val exp_think : mean_ms:float -> Util.Rng.t -> float
+(** Negative-exponential think time (TPC-W). *)

@@ -1,0 +1,298 @@
+let log_src =
+  Logs.Src.create "repro.cluster" ~doc:"Transaction flow through the replicated cluster"
+
+module Log = (val Logs.src_log log_src)
+
+type t = {
+  engine : Sim.Engine.t;
+  cfg : Config.t;
+  rng : Util.Rng.t;
+  network : Sim.Network.t;
+  certifier : Certifier.t;
+  lb : Load_balancer.t;
+  replicas : Replica.t array;
+  metrics : Metrics.t;
+  mutable next_tid : int;
+  mutable log : Check.Runlog.record list;  (* reversed *)
+}
+
+let request_bytes (req : Transaction.request) =
+  (* A rough wire estimate: statements travel as prepared-statement ids
+     plus parameters. *)
+  64 + (List.length req.Transaction.statements * 48)
+
+let create ?(config = Config.default) ~mode ~schemas ~load () =
+  let engine = Sim.Engine.create () in
+  let rng = Util.Rng.create config.Config.seed in
+  let network =
+    Sim.Network.create engine ~rng:(Util.Rng.split rng) ~base_ms:config.Config.net_base_ms
+      ~jitter_ms:config.Config.net_jitter_ms ~bandwidth_mbps:config.Config.net_bandwidth_mbps
+  in
+  let certifier =
+    Certifier.create engine config ~rng:(Util.Rng.split rng) ~network ~mode
+  in
+  let lb = Load_balancer.create ~rng:(Util.Rng.split rng) config ~mode in
+  let replicas =
+    Array.init config.Config.replicas (fun id ->
+        let db = Storage.Database.create () in
+        List.iter (fun schema -> ignore (Storage.Database.create_table db schema)) schemas;
+        load db;
+        Replica.create engine config ~rng:(Util.Rng.split rng) ~id db)
+  in
+  let t =
+    {
+      engine;
+      cfg = config;
+      rng;
+      network;
+      certifier;
+      lb;
+      replicas;
+      metrics = Metrics.create engine;
+      next_tid = 0;
+      log = [];
+    }
+  in
+  Array.iter
+    (fun replica ->
+      let id = Replica.id replica in
+      Certifier.subscribe certifier ~replica:id (fun ~version ~ws ->
+          Replica.receive_refresh replica ~version ~ws);
+      Replica.set_on_commit replica (fun ~version ->
+          Certifier.ack certifier ~replica:id ~version);
+      Replica.start replica)
+    replicas;
+  if config.Config.gc_interval_ms > 0.0 then
+    Sim.Process.spawn engine (fun () ->
+        let rec loop () =
+          Sim.Process.sleep engine config.Config.gc_interval_ms;
+          (* Vacuum each replica behind its own applied version: any live
+             snapshot there is at most gc_window versions old. *)
+          Array.iter
+            (fun r ->
+              let keep_after = max 0 (Replica.v_local r - config.Config.gc_window) in
+              ignore (Storage.Database.gc (Replica.database r) ~keep_after))
+            replicas;
+          (* Prune the certifier log behind the slowest live replica; a
+             replica that stays down longer than this recovers by state
+             transfer instead of log replay. *)
+          let min_live =
+            Array.fold_left
+              (fun acc r ->
+                if Replica.is_crashed r then acc else min acc (Replica.v_local r))
+              max_int replicas
+          in
+          if min_live < max_int then
+            Certifier.prune certifier
+              ~keep_after:(max 0 (min_live - config.Config.gc_window));
+          loop ()
+        in
+        loop ());
+  t
+
+let engine t = t.engine
+let config t = t.cfg
+let mode t = Load_balancer.mode t.lb
+let metrics t = t.metrics
+let certifier t = t.certifier
+let load_balancer t = t.lb
+let replica t i = t.replicas.(i)
+let rng t = Util.Rng.split t.rng
+
+let render_key key =
+  String.concat "," (List.map Storage.Value.to_string (Array.to_list key))
+
+let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~table_set ~ws =
+  if t.cfg.Config.record_log then begin
+    let entries = Storage.Writeset.entries ws in
+    let record =
+      {
+        Check.Runlog.tid;
+        session = sid;
+        begin_time;
+        ack_time = Sim.Engine.now t.engine;
+        snapshot_version = snapshot;
+        commit_version;
+        table_set;
+        tables_written = Storage.Writeset.tables ws;
+        write_keys =
+          List.map
+            (fun e -> (e.Storage.Writeset.ws_table, render_key e.Storage.Writeset.ws_key))
+            entries;
+      }
+    in
+    t.log <- record :: t.log
+  end
+
+(* Response path shared by every outcome: replica -> LB -> client, with
+   the LB's bookkeeping in between. *)
+let respond t ~replica_id ~ack_bytes ~on_lb =
+  Sim.Network.transfer t.network ~size_bytes:ack_bytes;
+  Sim.Process.sleep t.engine t.cfg.Config.lb_ms;
+  Load_balancer.note_complete t.lb ~replica:replica_id;
+  on_lb ();
+  Sim.Network.transfer t.network ~size_bytes:ack_bytes
+
+let submit t ~sid (req : Transaction.request) =
+  let begin_time = Sim.Engine.now t.engine in
+  let tid = t.next_tid in
+  t.next_tid <- t.next_tid + 1;
+  (* Client -> load balancer. *)
+  Sim.Network.transfer t.network ~size_bytes:(request_bytes req);
+  Sim.Process.sleep t.engine t.cfg.Config.lb_ms;
+  let replica_id = Load_balancer.choose_replica t.lb ~sid in
+  let replica = t.replicas.(replica_id) in
+  let v_start = Load_balancer.start_version t.lb ~sid ~table_set:req.Transaction.table_set in
+  Load_balancer.note_dispatch t.lb ~replica:replica_id;
+  (* Load balancer -> replica. *)
+  Sim.Network.transfer t.network ~size_bytes:(request_bytes req);
+  let stages = Array.make Metrics.stage_count 0.0 in
+  let now () = Sim.Engine.now t.engine in
+  Log.debug (fun m ->
+      m "[%.3f] T%d (session %d, %s) -> replica %d, start version %d" begin_time tid sid
+        req.Transaction.profile replica_id v_start);
+  let abort ?(finish = true) reason =
+    if finish then Replica.finish_txn replica ~tid;
+    respond t ~replica_id ~ack_bytes:32 ~on_lb:(fun () -> ());
+    Metrics.record_abort t.metrics;
+    Log.debug (fun m ->
+        m "[%.3f] T%d aborted: %a" (now ()) tid Transaction.pp_abort_reason reason);
+    Transaction.Aborted { reason; response_ms = now () -. begin_time }
+  in
+  (* Stage: version — the synchronization start delay. *)
+  let version_start = now () in
+  match Replica.await_version replica v_start with
+  | Error reason ->
+    stages.(Metrics.stage_index Metrics.Version) <- now () -. version_start;
+    abort ~finish:false reason
+  | Ok () -> (
+    stages.(Metrics.stage_index Metrics.Version) <- now () -. version_start;
+    let txn = Replica.begin_txn replica ~tid in
+    let snapshot = Storage.Txn.snapshot txn in
+    (* Stage: queries. *)
+    let queries_start = now () in
+    let rec run_statements = function
+      | [] -> Ok ()
+      | stmt :: rest ->
+        if Replica.abort_requested replica ~tid then Error Transaction.Early_certification
+        else if Replica.is_crashed replica then Error Transaction.Replica_failure
+        else begin
+          match Replica.exec_statement replica txn stmt with
+          | Storage.Query.Error msg -> Error (Transaction.Statement_error msg)
+          | Storage.Query.Rows _ | Storage.Query.Affected _ ->
+            if Storage.Query.is_update stmt && not (Replica.early_certify replica txn) then
+              Error Transaction.Early_certification
+            else run_statements rest
+        end
+    in
+    let statement_result = run_statements req.Transaction.statements in
+    stages.(Metrics.stage_index Metrics.Queries) <- now () -. queries_start;
+    match statement_result with
+    | Error reason -> abort reason
+    | Ok () -> (
+      let ws = Storage.Txn.writeset txn in
+      if Storage.Writeset.is_empty ws then begin
+        (* Read-only: commit locally, no certification. *)
+        let commit_start = now () in
+        Replica.commit_read_only replica txn;
+        stages.(Metrics.stage_index Metrics.Commit) <- now () -. commit_start;
+        Replica.finish_txn replica ~tid;
+        respond t ~replica_id ~ack_bytes:64 ~on_lb:(fun () -> ());
+        let response_ms = now () -. begin_time in
+        Metrics.record_commit t.metrics ~read_only:true ~stages ~response_ms;
+        record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version:None
+          ~table_set:req.Transaction.table_set ~ws;
+        Transaction.Committed { commit_version = None; snapshot; stages; response_ms }
+      end
+      else begin
+        (* Stage: certify — round trip to the certifier. *)
+        let certify_start = now () in
+        let ws_bytes = Storage.Codec.writeset_bytes ws + 64 in
+        Sim.Network.transfer t.network ~size_bytes:ws_bytes;
+        let decision = Certifier.certify t.certifier ~origin:replica_id ~snapshot ~ws in
+        Sim.Network.transfer t.network ~size_bytes:32;
+        stages.(Metrics.stage_index Metrics.Certify) <- now () -. certify_start;
+        match decision with
+        | Certifier.Abort -> abort Transaction.Certification_conflict
+        | Certifier.Commit { version; global_commit } -> (
+          (* Stages: sync (wait for predecessors) then commit. *)
+          let sync_start = now () in
+          let done_ = Replica.commit_local replica ~version ~ws in
+          match Sim.Ivar.read done_ with
+          | Error reason ->
+            stages.(Metrics.stage_index Metrics.Sync) <- now () -. sync_start;
+            abort ~finish:false reason
+          | Ok commit_work_start ->
+            stages.(Metrics.stage_index Metrics.Sync) <- commit_work_start -. sync_start;
+            stages.(Metrics.stage_index Metrics.Commit) <- now () -. commit_work_start;
+            Replica.finish_txn replica ~tid;
+            (* Stage: global — eager only. *)
+            (match global_commit with
+            | None -> ()
+            | Some ivar ->
+              let global_start = now () in
+              Sim.Ivar.read ivar;
+              stages.(Metrics.stage_index Metrics.Global) <- now () -. global_start);
+            respond t ~replica_id ~ack_bytes:64 ~on_lb:(fun () ->
+                Load_balancer.note_commit_ack t.lb ~sid ~version
+                  ~tables_written:(Storage.Writeset.tables ws));
+            let response_ms = now () -. begin_time in
+            Metrics.record_commit t.metrics ~read_only:false ~stages ~response_ms;
+            record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version:(Some version)
+              ~table_set:req.Transaction.table_set ~ws;
+            Log.debug (fun m ->
+                m "[%.3f] T%d committed at v%d (snapshot v%d, %.2fms)" (now ()) tid
+                  version snapshot response_ms);
+            Transaction.Committed
+              { commit_version = Some version; snapshot; stages; response_ms })
+      end))
+
+let run_for t ~warmup_ms ~measure_ms =
+  let start = Sim.Engine.now t.engine in
+  Sim.Engine.run t.engine ~until:(start +. warmup_ms);
+  Metrics.reset_window t.metrics;
+  t.log <- [];
+  Sim.Engine.run t.engine ~until:(start +. warmup_ms +. measure_ms)
+
+let records t = List.rev t.log
+
+let crash_replica t i =
+  Load_balancer.set_live t.lb ~replica:i false;
+  Certifier.mark_down t.certifier ~replica:i;
+  Replica.crash t.replicas.(i)
+
+let recover_replica t i =
+  let r = t.replicas.(i) in
+  (match Certifier.writesets_from t.certifier (Replica.v_local r) with
+  | Some missed -> Replica.recover r ~missed
+  | None ->
+    (* The outage outlived the certifier's pruned log: state-transfer a
+       checkpoint from the freshest live peer, then replay the residual
+       log suffix. *)
+    let donor =
+      Array.fold_left
+        (fun best candidate ->
+          let id = Replica.id candidate in
+          if id <> i && Load_balancer.is_live t.lb ~replica:id then
+            match best with
+            | Some b when Replica.v_local b >= Replica.v_local candidate -> best
+            | Some _ | None -> Some candidate
+          else best)
+        None t.replicas
+    in
+    (match donor with
+    | None -> failwith "Cluster.recover_replica: no live donor for state transfer"
+    | Some donor ->
+      Replica.state_transfer r ~snapshot:(Replica.checkpoint donor);
+      let missed =
+        Option.value
+          (Certifier.writesets_from t.certifier (Replica.v_local r))
+          ~default:[]
+      in
+      Replica.recover r ~missed));
+  Certifier.mark_up t.certifier ~replica:i;
+  Load_balancer.set_live t.lb ~replica:i true
+
+let crash_certifier t = Certifier.crash t.certifier
+
+let failover_certifier t = Certifier.failover t.certifier

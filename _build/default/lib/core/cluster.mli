@@ -1,0 +1,62 @@
+(** The replicated database system: load balancer + certifier + replicas
+    wired over a simulated network, with the full client transaction
+    flow of §IV.
+
+    {!submit} must be called from within a simulation process (see
+    {!Sim.Process.spawn} or the {!Client} driver); it blocks for the
+    virtual duration of the transaction and returns its outcome with the
+    six-stage latency breakdown. *)
+
+type t
+
+val create :
+  ?config:Config.t ->
+  mode:Consistency.mode ->
+  schemas:Storage.Schema.t list ->
+  load:(Storage.Database.t -> unit) ->
+  unit ->
+  t
+(** Build a cluster: every replica gets the schemas and is populated by
+    [load]. Spawns the per-replica sequencer processes and, if
+    configured, the MVCC vacuum process. *)
+
+val engine : t -> Sim.Engine.t
+val config : t -> Config.t
+val mode : t -> Consistency.mode
+val metrics : t -> Metrics.t
+val certifier : t -> Certifier.t
+val load_balancer : t -> Load_balancer.t
+val replica : t -> int -> Replica.t
+val rng : t -> Util.Rng.t
+(** A generator split from the cluster seed, for workload use. *)
+
+val submit : t -> sid:int -> Transaction.request -> Transaction.outcome
+(** Run one transaction end to end. Records metrics and, when
+    [record_log] is set, a {!Check.Runlog.record} for committed
+    transactions. *)
+
+(** {2 Run orchestration} *)
+
+val run_for : t -> warmup_ms:float -> measure_ms:float -> unit
+(** Advance virtual time by [warmup_ms], reset the metrics window (and
+    discard any recorded log), then advance by [measure_ms]. *)
+
+val records : t -> Check.Runlog.record list
+(** Committed-transaction records collected in the current window
+    (requires [record_log]). *)
+
+(** {2 Fault injection} *)
+
+val crash_replica : t -> int -> unit
+(** Fail-stop the replica and remove it from routing and certification. *)
+
+val recover_replica : t -> int -> unit
+(** Bring the replica back: it replays the certifier log it missed (or,
+    if the log was pruned past its outage, state-transfers a checkpoint
+    from the freshest live peer first) and rejoins routing. *)
+
+val crash_certifier : t -> unit
+(** Fail-stop the certifier primary (requires [certifier_standbys > 0]).
+    Update transactions queue until {!failover_certifier}. *)
+
+val failover_certifier : t -> unit

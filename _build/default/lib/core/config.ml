@@ -1,0 +1,99 @@
+type routing =
+  | Least_active
+  | Round_robin
+  | Random_replica
+  | Session_affinity
+
+type t = {
+  seed : int;
+  replicas : int;
+  cpus_per_replica : int;
+  net_base_ms : float;
+  net_jitter_ms : float;
+  net_bandwidth_mbps : float;
+  lb_ms : float;
+  stmt_base_ms : float;
+  row_scan_ms : float;
+  row_read_ms : float;
+  row_write_ms : float;
+  ro_commit_ms : float;
+  commit_ms : float;
+  ws_apply_base_ms : float;
+  ws_apply_row_ms : float;
+  certify_base_ms : float;
+  certify_row_ms : float;
+  durability_ms : float;
+  certifier_standbys : int;
+  hiccup_interval_ms : float;
+  hiccup_duration_ms : float;
+  hiccup_factor : float;
+  service_jitter : bool;
+  early_certification : bool;
+  routing : routing;
+  max_retries : int;
+  record_log : bool;
+  gc_interval_ms : float;
+  gc_window : int;
+}
+
+let default =
+  {
+    seed = 42;
+    replicas = 8;
+    cpus_per_replica = 2;
+    net_base_ms = 0.15;
+    net_jitter_ms = 0.1;
+    net_bandwidth_mbps = 1000.0;
+    lb_ms = 0.05;
+    stmt_base_ms = 0.3;
+    row_scan_ms = 0.002;
+    row_read_ms = 0.05;
+    row_write_ms = 0.15;
+    ro_commit_ms = 0.1;
+    commit_ms = 0.25;
+    ws_apply_base_ms = 0.08;
+    ws_apply_row_ms = 0.04;
+    certify_base_ms = 0.05;
+    certify_row_ms = 0.005;
+    durability_ms = 0.08;
+    certifier_standbys = 0;
+    hiccup_interval_ms = 1_500.0;
+    hiccup_duration_ms = 150.0;
+    hiccup_factor = 8.0;
+    service_jitter = true;
+    early_certification = true;
+    routing = Least_active;
+    max_retries = 10;
+    record_log = false;
+    gc_interval_ms = 10_000.0;
+    gc_window = 1_000;
+  }
+
+let tpcw =
+  {
+    default with
+    stmt_base_ms = 7.0;
+    row_scan_ms = 0.05;
+    row_read_ms = 0.4;
+    row_write_ms = 1.2;
+    ro_commit_ms = 1.0;
+    commit_ms = 3.0;
+    ws_apply_base_ms = 1.5;
+    ws_apply_row_ms = 1.8;
+    certify_base_ms = 0.2;
+    certify_row_ms = 0.02;
+    durability_ms = 0.3;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>replicas=%d cpus=%d seed=%d@,\
+     net: base=%.2fms jitter=%.2fms bw=%.0fMbps lb=%.2fms@,\
+     exec: stmt=%.2f scan=%.3f read=%.3f write=%.3f (ms)@,\
+     commit: ro=%.2f upd=%.2f apply=%.2f+%.2f/row (ms)@,\
+     certifier: %.2f+%.3f/row durability=%.2f (ms)@,\
+     jitter=%b retries=%d record_log=%b@]"
+    c.replicas c.cpus_per_replica c.seed c.net_base_ms c.net_jitter_ms c.net_bandwidth_mbps
+    c.lb_ms c.stmt_base_ms c.row_scan_ms c.row_read_ms c.row_write_ms c.ro_commit_ms
+    c.commit_ms c.ws_apply_base_ms c.ws_apply_row_ms c.certify_base_ms c.certify_row_ms
+    c.durability_ms c.service_jitter c.max_retries c.record_log

@@ -1,0 +1,82 @@
+(** Load-balancer routing policies (the paper uses least-active; the
+    others exist for the ablation benchmarks). *)
+type routing =
+  | Least_active
+  | Round_robin
+  | Random_replica
+  | Session_affinity
+      (** pin each session to a replica (hash of the session id);
+          falls back to least-active when the pinned replica is down *)
+
+(** Cluster and cost-model parameters.
+
+    All times are milliseconds of virtual time. Service times are scaled
+    by an exponential(1) factor when [service_jitter] is set, giving
+    M/M/k-style queueing variance — the source of the "slowest replica"
+    effect that penalizes the eager configuration. *)
+
+type t = {
+  seed : int;
+  replicas : int;
+  cpus_per_replica : int;
+  (* network *)
+  net_base_ms : float;
+  net_jitter_ms : float;
+  net_bandwidth_mbps : float;
+  (* load balancer *)
+  lb_ms : float;  (** per-message processing *)
+  (* statement execution on a replica *)
+  stmt_base_ms : float;  (** fixed per-statement overhead *)
+  row_scan_ms : float;  (** per row examined *)
+  row_read_ms : float;  (** per row returned *)
+  row_write_ms : float;  (** per row buffered for write *)
+  (* commit processing *)
+  ro_commit_ms : float;  (** read-only local commit *)
+  commit_ms : float;  (** update local commit *)
+  ws_apply_base_ms : float;  (** refresh transaction fixed cost *)
+  ws_apply_row_ms : float;  (** refresh cost per writeset row *)
+  (* certifier *)
+  certify_base_ms : float;
+  certify_row_ms : float;  (** per writeset row conflict-checked *)
+  durability_ms : float;  (** forcing the certifier log *)
+  certifier_standbys : int;
+      (** replicas of the certifier state machine (§IV fault-tolerance).
+          Each commit decision is synchronously replicated to every
+          standby before the originating replica learns it, adding one
+          network round trip; a standby can then take over after a
+          certifier crash with no lost decisions. 0 = single certifier. *)
+  (* transient replica slowdowns (checkpoints, cache misses, OS noise):
+     each replica independently enters a slow window in which its service
+     times are multiplied by [hiccup_factor]. The eager configuration is
+     exposed to the slowest replica on every commit round; lazy
+     configurations mostly absorb these windows. *)
+  hiccup_interval_ms : float;  (** mean time between windows; 0 disables *)
+  hiccup_duration_ms : float;  (** mean window length *)
+  hiccup_factor : float;  (** service-time multiplier while slow *)
+  (* behaviour *)
+  service_jitter : bool;
+  early_certification : bool;
+      (** check update statements against pending refresh writesets and
+          abort on conflict before reaching the certifier (§IV, hidden
+          deadlock avoidance). Off = conflicts surface at certification. *)
+  routing : routing;
+  max_retries : int;  (** client-side retries after an abort *)
+  record_log : bool;  (** keep per-transaction {!Check.Runlog.record}s *)
+  gc_interval_ms : float;  (** MVCC vacuum period; 0 disables *)
+  gc_window : int;  (** versions kept behind the slowest replica *)
+}
+
+val default : t
+(** 8 replicas, 2 CPUs each, LAN latencies, service times calibrated so
+    that the replica CPUs (not the certifier) are the bottleneck. *)
+
+val tpcw : t
+(** {!default} with statement/commit/apply costs scaled to 2008-era
+    complex-query executions (several ms per statement), so that the
+    paper's client populations saturate the replicas. The refresh-apply
+    cost is ~0.3–0.4x of full execution, which reproduces the paper's
+    7x / 5x / 3x scaling for the browsing / shopping / ordering mixes
+    (adding replicas adds refresh work proportional to the update
+    fraction). *)
+
+val pp : Format.formatter -> t -> unit

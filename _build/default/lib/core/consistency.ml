@@ -1,0 +1,37 @@
+type mode =
+  | Eager
+  | Coarse
+  | Fine
+  | Session
+  | Bounded of int
+
+let all = [ Eager; Coarse; Fine; Session ]
+
+let is_strong = function
+  | Eager | Coarse | Fine -> true
+  | Session -> false
+  | Bounded k -> k = 0
+
+let to_string = function
+  | Eager -> "eager"
+  | Coarse -> "coarse"
+  | Fine -> "fine"
+  | Session -> "session"
+  | Bounded k -> Printf.sprintf "bounded:%d" k
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "eager" | "esc" -> Ok Eager
+  | "coarse" | "lsc" -> Ok Coarse
+  | "fine" | "lfc" -> Ok Fine
+  | "session" | "sc" -> Ok Session
+  | other -> (
+    match String.index_opt other ':' with
+    | Some i when String.sub other 0 i = "bounded" -> (
+      let rest = String.sub other (i + 1) (String.length other - i - 1) in
+      match int_of_string_opt rest with
+      | Some k when k >= 0 -> Ok (Bounded k)
+      | Some _ | None -> Error (Printf.sprintf "bad staleness bound in %S" s))
+    | Some _ | None -> Error (Printf.sprintf "unknown consistency mode %S" s))
+
+let pp ppf mode = Format.pp_print_string ppf (to_string mode)

@@ -1,0 +1,24 @@
+(** The four consistency configurations of the paper (§III–IV). *)
+
+type mode =
+  | Eager  (** eager strong consistency: global commit delay *)
+  | Coarse  (** lazy coarse-grained strong consistency: wait on [V_system] *)
+  | Fine  (** lazy fine-grained strong consistency: wait on table-set versions *)
+  | Session  (** session consistency: wait on the client's own last version *)
+  | Bounded of int
+      (** relaxed currency (extension, cf. §VI): transactions may start
+          up to [k] versions behind [V_system]. [Bounded 0] coincides
+          with [Coarse]. *)
+
+val all : mode list
+(** The paper's four configurations (excludes the [Bounded] extension). *)
+
+val is_strong : mode -> bool
+(** Whether the mode guarantees strong consistency ([Eager], [Coarse],
+    [Fine], and [Bounded 0]). *)
+
+val to_string : mode -> string
+
+val of_string : string -> (mode, string) result
+
+val pp : Format.formatter -> mode -> unit

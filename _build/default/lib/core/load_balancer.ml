@@ -1,0 +1,105 @@
+type t = {
+  cfg : Config.t;
+  mode : Consistency.mode;
+  rng : Util.Rng.t;
+  active : int array;
+  live : bool array;
+  mutable next_rr : int;
+  mutable v_system : int;
+  table_versions : (string, int) Hashtbl.t;
+  session_versions : (int, int) Hashtbl.t;
+}
+
+let create ?rng cfg ~mode =
+  {
+    cfg;
+    mode;
+    rng = (match rng with Some r -> r | None -> Util.Rng.create cfg.Config.seed);
+    active = Array.make cfg.Config.replicas 0;
+    live = Array.make cfg.Config.replicas true;
+    next_rr = 0;
+    v_system = 0;
+    table_versions = Hashtbl.create 64;
+    session_versions = Hashtbl.create 256;
+  }
+
+let mode t = t.mode
+
+let least_active t =
+  let best = ref (-1) in
+  for i = 0 to Array.length t.active - 1 do
+    if t.live.(i) && (!best < 0 || t.active.(i) < t.active.(!best)) then best := i
+  done;
+  !best
+
+let round_robin t =
+  let n = Array.length t.active in
+  let rec probe tries =
+    if tries >= n then -1
+    else begin
+      let i = t.next_rr mod n in
+      t.next_rr <- t.next_rr + 1;
+      if t.live.(i) then i else probe (tries + 1)
+    end
+  in
+  probe 0
+
+let random_replica t =
+  let n = Array.length t.active in
+  let rec probe tries =
+    if tries >= 4 * n then least_active t  (* all-dead guard handled below *)
+    else begin
+      let i = Util.Rng.int t.rng n in
+      if t.live.(i) then i else probe (tries + 1)
+    end
+  in
+  probe 0
+
+let choose_replica t ~sid =
+  let chosen =
+    match t.cfg.Config.routing with
+    | Config.Least_active -> least_active t
+    | Config.Round_robin -> round_robin t
+    | Config.Random_replica -> random_replica t
+    | Config.Session_affinity ->
+      let n = Array.length t.active in
+      let pinned = ((sid * 2654435761) lxor (sid lsr 5)) land max_int mod n in
+      if t.live.(pinned) then pinned else least_active t
+  in
+  if chosen < 0 then failwith "Load_balancer.choose_replica: no live replica";
+  chosen
+
+let note_dispatch t ~replica = t.active.(replica) <- t.active.(replica) + 1
+
+let note_complete t ~replica =
+  t.active.(replica) <- t.active.(replica) - 1;
+  assert (t.active.(replica) >= 0)
+
+let active t ~replica = t.active.(replica)
+
+let set_live t ~replica flag = t.live.(replica) <- flag
+
+let is_live t ~replica = t.live.(replica)
+
+let table_version t name = Option.value (Hashtbl.find_opt t.table_versions name) ~default:0
+
+let session_version t ~sid = Option.value (Hashtbl.find_opt t.session_versions sid) ~default:0
+
+let start_version t ~sid ~table_set =
+  match t.mode with
+  | Consistency.Eager -> 0
+  | Consistency.Coarse -> t.v_system
+  | Consistency.Fine ->
+    List.fold_left (fun acc table -> max acc (table_version t table)) 0 table_set
+  | Consistency.Session -> session_version t ~sid
+  | Consistency.Bounded k -> max 0 (t.v_system - k)
+
+let note_commit_ack t ~sid ~version ~tables_written =
+  if version > t.v_system then t.v_system <- version;
+  List.iter
+    (fun table ->
+      if version > table_version t table then Hashtbl.replace t.table_versions table version)
+    tables_written;
+  if version > session_version t ~sid then Hashtbl.replace t.session_versions sid version
+
+let v_system t = t.v_system

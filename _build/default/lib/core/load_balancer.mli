@@ -1,0 +1,55 @@
+(** The load balancer (§IV): client-facing router and version oracle.
+
+    Routing picks the live replica with the fewest active transactions.
+    Version accounting implements each consistency configuration's
+    start-version rule:
+
+    - [Coarse]: tag with [V_system], the version of the latest update
+      transaction committed {e and acknowledged} through this balancer;
+    - [Fine]: tag with the max table version [V_t] over the
+      transaction's table-set (Table I of the paper);
+    - [Session]: tag with the session's last acknowledged version;
+    - [Eager]: tag 0 — replicas are already up to date when clients
+      learn about commits. *)
+
+type t
+
+val create : ?rng:Util.Rng.t -> Config.t -> mode:Consistency.mode -> t
+(** The RNG is used only by the [Random_replica] routing policy. *)
+
+val mode : t -> Consistency.mode
+
+(** {2 Routing} *)
+
+val choose_replica : t -> sid:int -> int
+(** Pick a live replica per the configured routing policy (the paper's
+    system uses least-active; the session id only matters for the
+    session-affinity policy). Raises [Failure] if none is live. *)
+
+val note_dispatch : t -> replica:int -> unit
+
+val note_complete : t -> replica:int -> unit
+
+val active : t -> replica:int -> int
+
+val set_live : t -> replica:int -> bool -> unit
+
+val is_live : t -> replica:int -> bool
+
+(** {2 Version accounting} *)
+
+val start_version : t -> sid:int -> table_set:string list -> int
+(** The version the executing replica must reach before the transaction
+    may start, per the balancer's consistency mode. *)
+
+val note_commit_ack :
+  t -> sid:int -> version:int -> tables_written:string list -> unit
+(** Called when relaying a successful update-commit response to the
+    client: updates [V_system], the written tables' [V_t], and the
+    session version. *)
+
+val v_system : t -> int
+
+val table_version : t -> string -> int
+
+val session_version : t -> sid:int -> int

@@ -1,0 +1,111 @@
+type stage = Version | Queries | Certify | Sync | Commit | Global
+
+let stage_index = function
+  | Version -> 0
+  | Queries -> 1
+  | Certify -> 2
+  | Sync -> 3
+  | Commit -> 4
+  | Global -> 5
+
+let stage_count = 6
+
+let stage_name = function
+  | Version -> "version"
+  | Queries -> "queries"
+  | Certify -> "certify"
+  | Sync -> "sync"
+  | Commit -> "commit"
+  | Global -> "global"
+
+let stages = [ Version; Queries; Certify; Sync; Commit; Global ]
+
+type t = {
+  engine : Sim.Engine.t;
+  mutable window_start : float;
+  mutable committed : int;
+  mutable updates : int;
+  mutable aborted : int;
+  mutable retry_exhausted : int;
+  response : Util.Stats.t;
+  stage_sums : float array;  (* over all committed txns *)
+  stage_sums_update : float array;  (* over update txns only *)
+}
+
+let create engine =
+  {
+    engine;
+    window_start = Sim.Engine.now engine;
+    committed = 0;
+    updates = 0;
+    aborted = 0;
+    retry_exhausted = 0;
+    response = Util.Stats.create ();
+    stage_sums = Array.make stage_count 0.0;
+    stage_sums_update = Array.make stage_count 0.0;
+  }
+
+let reset_window t =
+  t.window_start <- Sim.Engine.now t.engine;
+  t.committed <- 0;
+  t.updates <- 0;
+  t.aborted <- 0;
+  t.retry_exhausted <- 0;
+  Util.Stats.clear t.response;
+  Array.fill t.stage_sums 0 stage_count 0.0;
+  Array.fill t.stage_sums_update 0 stage_count 0.0
+
+let record_commit t ~read_only ~stages ~response_ms =
+  t.committed <- t.committed + 1;
+  Util.Stats.add t.response response_ms;
+  Array.iteri (fun i v -> t.stage_sums.(i) <- t.stage_sums.(i) +. v) stages;
+  if not read_only then begin
+    t.updates <- t.updates + 1;
+    Array.iteri (fun i v -> t.stage_sums_update.(i) <- t.stage_sums_update.(i) +. v) stages
+  end
+
+let record_abort t = t.aborted <- t.aborted + 1
+
+let record_retry_exhausted t = t.retry_exhausted <- t.retry_exhausted + 1
+
+let window_ms t = Sim.Engine.now t.engine -. t.window_start
+
+let committed t = t.committed
+
+let aborted t = t.aborted
+
+let retry_exhausted t = t.retry_exhausted
+
+let throughput_tps t =
+  let ms = window_ms t in
+  if ms <= 0.0 then 0.0 else float_of_int t.committed /. (ms /. 1000.0)
+
+let mean_response_ms t = Util.Stats.mean t.response
+
+let percentile_response_ms t p = Util.Stats.percentile t.response p
+
+let mean_stage_ms t stage =
+  if t.committed = 0 then 0.0
+  else t.stage_sums.(stage_index stage) /. float_of_int t.committed
+
+let mean_stage_update_ms t stage =
+  if t.updates = 0 then 0.0
+  else t.stage_sums_update.(stage_index stage) /. float_of_int t.updates
+
+let sync_delay_ms t = mean_stage_ms t Version +. mean_stage_update_ms t Global
+
+let abort_rate t =
+  let total = t.committed + t.aborted in
+  if total = 0 then 0.0 else float_of_int t.aborted /. float_of_int total
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "@[<v>window %.0fms: %d committed (%.1f TPS), %d aborted (%.1f%%), %d gave up@,\
+     response mean %.2fms p50 %.2fms p99 %.2fms@,"
+    (window_ms t) t.committed (throughput_tps t) t.aborted (100.0 *. abort_rate t)
+    t.retry_exhausted (mean_response_ms t) (percentile_response_ms t 50.0)
+    (percentile_response_ms t 99.0);
+  List.iter
+    (fun s -> Format.fprintf ppf "%8s %.3fms@," (stage_name s) (mean_stage_ms t s))
+    stages;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,61 @@
+(** Experiment metrics: throughput and the paper's six-stage latency
+    breakdown (§V.A).
+
+    Read-only transactions have three stages (version, queries, commit);
+    update transactions add certify, sync and — under the eager
+    configuration — global. Recording only happens after
+    {!reset_window}, so warm-up intervals are excluded. *)
+
+type stage = Version | Queries | Certify | Sync | Commit | Global
+
+val stage_index : stage -> int
+val stage_count : int
+val stage_name : stage -> string
+val stages : stage list
+
+type t
+
+val create : Sim.Engine.t -> t
+
+val reset_window : t -> unit
+(** Start (or restart) the measurement window; discards prior samples. *)
+
+val record_commit : t -> read_only:bool -> stages:float array -> response_ms:float -> unit
+
+val record_abort : t -> unit
+
+val record_retry_exhausted : t -> unit
+
+(** {2 Reading results} *)
+
+val window_ms : t -> float
+(** Elapsed virtual time since the window started. *)
+
+val committed : t -> int
+
+val aborted : t -> int
+
+val retry_exhausted : t -> int
+
+val throughput_tps : t -> float
+(** Committed transactions per (virtual) second in the window. *)
+
+val mean_response_ms : t -> float
+
+val percentile_response_ms : t -> float -> float
+
+val mean_stage_ms : t -> stage -> float
+(** Mean over {e all} committed transactions (stages a class does not
+    have count as 0, matching the paper's stacked-bar convention). *)
+
+val mean_stage_update_ms : t -> stage -> float
+(** Mean over update transactions only. *)
+
+val sync_delay_ms : t -> float
+(** The paper's "synchronization delay": mean Version stage for lazy
+    configurations plus mean Global stage (only Eager has one). *)
+
+val abort_rate : t -> float
+(** Aborts / (commits + aborts); 0 when idle. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,221 @@
+type local_commit = (float, Transaction.abort_reason) result
+
+type slot =
+  | Refresh of Storage.Writeset.t
+  | Local of { ws : Storage.Writeset.t; done_ : local_commit Sim.Ivar.t }
+
+type t = {
+  engine : Sim.Engine.t;
+  cfg : Config.t;
+  rng : Util.Rng.t;
+  id : int;
+  mutable db : Storage.Database.t;
+  cpu : Sim.Resource.t;
+  version_changed : Sim.Condition.t;  (* broadcast when V_local advances or on crash *)
+  slot_arrived : Sim.Condition.t;
+  slots : (int, slot) Hashtbl.t;  (* version -> pending ordered-commit work *)
+  active : (int, Storage.Txn.t * bool ref) Hashtbl.t;  (* tid -> txn, abort flag *)
+  mutable crashed : bool;
+  mutable slow_until : float;  (* hiccup window end; service times inflate until then *)
+  mutable on_commit : (version:int -> unit) option;
+  mutable applied_refresh : int;
+}
+
+let create engine cfg ~rng ~id db =
+  {
+    engine;
+    cfg;
+    rng;
+    id;
+    db;
+    cpu = Sim.Resource.create engine ~servers:cfg.Config.cpus_per_replica;
+    version_changed = Sim.Condition.create engine;
+    slot_arrived = Sim.Condition.create engine;
+    slots = Hashtbl.create 64;
+    active = Hashtbl.create 64;
+    crashed = false;
+    slow_until = neg_infinity;
+    on_commit = None;
+    applied_refresh = 0;
+  }
+
+let id t = t.id
+
+let database t = t.db
+
+let cpu t = t.cpu
+
+let v_local t = Storage.Database.version t.db
+
+let is_crashed t = t.crashed
+
+let service_time t base =
+  let base =
+    if t.cfg.Config.service_jitter then base *. Util.Rng.exponential t.rng ~mean:1.0
+    else base
+  in
+  if Sim.Engine.now t.engine < t.slow_until then base *. t.cfg.Config.hiccup_factor
+  else base
+
+(* Transient slowdown injector: independent per replica. *)
+let hiccups t () =
+  let rec loop () =
+    Sim.Process.sleep t.engine
+      (Util.Rng.exponential t.rng ~mean:t.cfg.Config.hiccup_interval_ms);
+    let duration = Util.Rng.exponential t.rng ~mean:t.cfg.Config.hiccup_duration_ms in
+    t.slow_until <- Sim.Engine.now t.engine +. duration;
+    loop ()
+  in
+  loop ()
+
+let notify_commit t ~version =
+  match t.on_commit with None -> () | Some f -> f ~version
+
+(* The commit sequencer: one process per replica that consumes slots in
+   strict version order, interleaving refresh transactions with local
+   commits exactly as the certifier ordered them. *)
+let sequencer t () =
+  let rec loop () =
+    let next () = v_local t + 1 in
+    Sim.Condition.await t.slot_arrived (fun () ->
+        (not t.crashed) && Hashtbl.mem t.slots (next ()));
+    let v = next () in
+    (match Hashtbl.find_opt t.slots v with
+    | None -> ()  (* crashed and cleaned up while waking; re-loop *)
+    | Some (Refresh ws) ->
+      Hashtbl.remove t.slots v;
+      let rows = Storage.Writeset.cardinal ws in
+      let cost =
+        t.cfg.Config.ws_apply_base_ms
+        +. (float_of_int rows *. t.cfg.Config.ws_apply_row_ms)
+      in
+      Sim.Resource.use t.cpu ~duration:(service_time t cost);
+      Storage.Database.apply t.db ws ~version:v;
+      t.applied_refresh <- t.applied_refresh + 1;
+      Sim.Condition.broadcast t.version_changed;
+      notify_commit t ~version:v
+    | Some (Local { ws; done_ }) ->
+      Hashtbl.remove t.slots v;
+      let commit_start = Sim.Engine.now t.engine in
+      Sim.Resource.use t.cpu ~duration:(service_time t t.cfg.Config.commit_ms);
+      Storage.Database.apply t.db ws ~version:v;
+      Sim.Condition.broadcast t.version_changed;
+      notify_commit t ~version:v;
+      Sim.Ivar.fill done_ (Ok commit_start));
+    loop ()
+  in
+  loop ()
+
+let start t =
+  Sim.Process.spawn t.engine (sequencer t);
+  if t.cfg.Config.hiccup_interval_ms > 0.0 then Sim.Process.spawn t.engine (hiccups t)
+
+let await_version t v =
+  Sim.Condition.await t.version_changed (fun () -> t.crashed || v_local t >= v);
+  if t.crashed then Error Transaction.Replica_failure else Ok ()
+
+let begin_txn t ~tid =
+  let txn = Storage.Txn.begin_ t.db in
+  Hashtbl.replace t.active tid (txn, ref false);
+  txn
+
+let abort_requested t ~tid =
+  match Hashtbl.find_opt t.active tid with
+  | Some (_, flag) -> !flag
+  | None -> false
+
+let pending_refresh_writesets t =
+  Hashtbl.fold
+    (fun _ slot acc -> match slot with Refresh ws -> ws :: acc | Local _ -> acc)
+    t.slots []
+
+let early_certify t txn =
+  (not t.cfg.Config.early_certification)
+  ||
+  let ws = Storage.Txn.writeset txn in
+  not
+    (List.exists
+       (fun pending -> Storage.Writeset.conflicts ws pending)
+       (pending_refresh_writesets t))
+
+let finish_txn t ~tid = Hashtbl.remove t.active tid
+
+let exec_statement t txn stmt =
+  Sim.Resource.acquire t.cpu;
+  let result, cost = Storage.Query.exec txn stmt in
+  let work =
+    t.cfg.Config.stmt_base_ms
+    +. (float_of_int cost.Storage.Txn.rows_scanned *. t.cfg.Config.row_scan_ms)
+    +. (float_of_int cost.Storage.Txn.rows_read *. t.cfg.Config.row_read_ms)
+    +. (float_of_int cost.Storage.Txn.rows_written *. t.cfg.Config.row_write_ms)
+  in
+  Sim.Process.sleep t.engine (service_time t work);
+  Sim.Resource.release t.cpu;
+  result
+
+let commit_local t ~version ~ws =
+  let done_ = Sim.Ivar.create t.engine in
+  if t.crashed then Sim.Ivar.fill done_ (Error Transaction.Replica_failure)
+  else begin
+    Hashtbl.replace t.slots version (Local { ws; done_ });
+    Sim.Condition.broadcast t.slot_arrived
+  end;
+  done_
+
+let commit_read_only t _txn =
+  Sim.Resource.use t.cpu ~duration:(service_time t t.cfg.Config.ro_commit_ms)
+
+let receive_refresh t ~version ~ws =
+  if not t.crashed then begin
+    (* Early certification: abort active local transactions whose partial
+       writesets conflict with the incoming refresh writeset. *)
+    if t.cfg.Config.early_certification then
+      Hashtbl.iter
+        (fun _ (txn, flag) ->
+          if (not !flag) && Storage.Writeset.conflicts (Storage.Txn.writeset txn) ws then
+            flag := true)
+        t.active;
+    Hashtbl.replace t.slots version (Refresh ws);
+    Sim.Condition.broadcast t.slot_arrived
+  end
+
+let set_on_commit t f = t.on_commit <- Some f
+
+let crash t =
+  t.crashed <- true;
+  (* Abort in-flight local transactions. *)
+  Hashtbl.iter (fun _ (_, flag) -> flag := true) t.active;
+  Hashtbl.reset t.active;
+  (* Fail local commits waiting for their sync turn; drop queued
+     refreshes — recovery will replay them from the certifier log. *)
+  let locals =
+    Hashtbl.fold
+      (fun _ slot acc ->
+        match slot with Local { done_; _ } -> done_ :: acc | Refresh _ -> acc)
+      t.slots []
+  in
+  Hashtbl.reset t.slots;
+  List.iter (fun done_ -> Sim.Ivar.fill done_ (Error Transaction.Replica_failure)) locals;
+  (* Wake waiters so they observe the crash. *)
+  Sim.Condition.broadcast t.version_changed;
+  Sim.Condition.broadcast t.slot_arrived
+
+let checkpoint t = Storage.Database.snapshot t.db
+
+let state_transfer t ~snapshot =
+  if not t.crashed then invalid_arg "Replica.state_transfer: replica is running";
+  t.db <- Storage.Database.of_snapshot snapshot
+
+let recover t ~missed =
+  List.iter
+    (fun (version, ws) ->
+      if version > v_local t then Hashtbl.replace t.slots version (Refresh ws))
+    missed;
+  t.crashed <- false;
+  Sim.Condition.broadcast t.slot_arrived
+
+let active_local t = Hashtbl.length t.active
+
+let pending_refresh t = List.length (pending_refresh_writesets t)
+
+let applied_refresh t = t.applied_refresh

@@ -1,0 +1,105 @@
+(** A database replica: proxy + standalone DBMS (§IV).
+
+    The replica owns a full copy of the database, a CPU resource shared
+    by query execution and refresh application, and a {e commit
+    sequencer} that applies local commits and refresh transactions in
+    the certifier's total order, advancing [V_local] one version at a
+    time.
+
+    The proxy responsibilities implemented here:
+    - queueing refresh writesets and applying them in version order;
+    - the synchronization start delay ({!await_version});
+    - early certification (hidden-deadlock avoidance): an update
+      statement conflicting with a pending refresh writeset aborts, and
+      an arriving refresh writeset aborts conflicting active local
+      transactions;
+    - crash / recovery in the crash-recovery failure model. *)
+
+type t
+
+type local_commit = (float, Transaction.abort_reason) result
+(** [Ok start] carries the virtual time at which the sequencer began the
+    commit work, letting the caller split its wait into the paper's
+    "sync" (waiting for predecessors) and "commit" (own commit) stages. *)
+
+val create : Sim.Engine.t -> Config.t -> rng:Util.Rng.t -> id:int -> Storage.Database.t -> t
+
+val start : t -> unit
+(** Spawn the commit-sequencer process. Call once, before the run. *)
+
+val id : t -> int
+
+val database : t -> Storage.Database.t
+
+val cpu : t -> Sim.Resource.t
+
+val v_local : t -> int
+
+val is_crashed : t -> bool
+
+(** {2 Transaction-side operations (called from a transaction process)} *)
+
+val await_version : t -> int -> (unit, Transaction.abort_reason) result
+(** Block until [V_local >= v] (the synchronization start delay).
+    Returns [Error Replica_failure] if the replica crashes meanwhile. *)
+
+val begin_txn : t -> tid:int -> Storage.Txn.t
+(** Start a local transaction on the current snapshot and register it
+    for early certification. *)
+
+val abort_requested : t -> tid:int -> bool
+(** Whether a refresh writeset conflicted with this transaction. *)
+
+val early_certify : t -> Storage.Txn.t -> bool
+(** Check the transaction's current writeset against pending (received
+    but unapplied) refresh writesets; [false] means conflict. *)
+
+val finish_txn : t -> tid:int -> unit
+(** Deregister from early certification (after commit or abort). *)
+
+val exec_statement : t -> Storage.Txn.t -> Storage.Query.t -> Storage.Query.result
+(** Execute one statement, charging CPU for its measured row work. *)
+
+val commit_local : t -> version:int -> ws:Storage.Writeset.t -> local_commit Sim.Ivar.t
+(** Enqueue this transaction's commit at its certified version; the
+    ivar fills when the sequencer has committed it locally (or the
+    replica crashed first). The wait is the paper's "sync" stage. *)
+
+val commit_read_only : t -> Storage.Txn.t -> unit
+(** Local read-only commit: cheap, no certification. *)
+
+(** {2 Certifier-side operations} *)
+
+val receive_refresh : t -> version:int -> ws:Storage.Writeset.t -> unit
+(** Deliver a refresh writeset (called via the network). Aborts
+    conflicting active local transactions (early certification) and
+    queues the writeset for the sequencer. Dropped while crashed. *)
+
+val set_on_commit : t -> (version:int -> unit) -> unit
+(** Hook invoked after every local apply/commit (used for eager acks). *)
+
+(** {2 Fault injection} *)
+
+val crash : t -> unit
+(** Fail-stop: aborts all in-flight local work and stops applying
+    refreshes. Durable state ([V_local] and the database) survives. *)
+
+val recover : t -> missed:(int * Storage.Writeset.t) list -> unit
+(** Rejoin with the writesets missed while down (from
+    {!Certifier.writesets_from}); the sequencer resumes and drains
+    them in order. *)
+
+val checkpoint : t -> string
+(** A binary checkpoint of the local database ({!Storage.Database.snapshot}),
+    used as the state-transfer payload for replicas whose outage outlived
+    the certifier's pruned log. *)
+
+val state_transfer : t -> snapshot:string -> unit
+(** Replace the local database with a peer's checkpoint. Only legal while
+    crashed; follow with {!recover} for the residual log suffix. *)
+
+(** {2 Introspection} *)
+
+val active_local : t -> int
+val pending_refresh : t -> int
+val applied_refresh : t -> int

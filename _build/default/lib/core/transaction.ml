@@ -1,0 +1,45 @@
+type request = {
+  profile : string;
+  table_set : string list;
+  statements : Storage.Query.t list;
+}
+
+type abort_reason =
+  | Certification_conflict
+  | Early_certification
+  | Replica_failure
+  | Statement_error of string
+
+type outcome =
+  | Committed of {
+      commit_version : int option;
+      snapshot : int;
+      stages : float array;
+      response_ms : float;
+    }
+  | Aborted of {
+      reason : abort_reason;
+      response_ms : float;
+    }
+
+let make ~profile ?table_set statements =
+  let table_set =
+    match table_set with Some ts -> ts | None -> Storage.Query.table_set statements
+  in
+  { profile; table_set; statements }
+
+let updates_possible r = List.exists Storage.Query.is_update r.statements
+
+let pp_abort_reason ppf = function
+  | Certification_conflict -> Format.pp_print_string ppf "certification conflict"
+  | Early_certification -> Format.pp_print_string ppf "early certification conflict"
+  | Replica_failure -> Format.pp_print_string ppf "replica failure"
+  | Statement_error msg -> Format.fprintf ppf "statement error: %s" msg
+
+let pp_outcome ppf = function
+  | Committed { commit_version; snapshot; response_ms; _ } ->
+    Format.fprintf ppf "committed%s (snapshot v%d, %.2fms)"
+      (match commit_version with Some v -> Printf.sprintf " at v%d" v | None -> " read-only")
+      snapshot response_ms
+  | Aborted { reason; response_ms } ->
+    Format.fprintf ppf "aborted: %a (%.2fms)" pp_abort_reason reason response_ms

@@ -1,0 +1,41 @@
+(** Client transaction requests.
+
+    A request is an instance of a {e prepared transaction}: a profile
+    identifier, the statically-known table-set (used by the fine-grained
+    configuration), and the parameter-bound statements. *)
+
+type request = {
+  profile : string;  (** prepared-transaction identifier *)
+  table_set : string list;  (** tables the transaction may access *)
+  statements : Storage.Query.t list;
+}
+
+type abort_reason =
+  | Certification_conflict  (** certifier found a write-write conflict *)
+  | Early_certification  (** conflict with a pending refresh writeset *)
+  | Replica_failure  (** the executing replica crashed mid-flight *)
+  | Statement_error of string  (** e.g. duplicate-key insert *)
+
+type outcome =
+  | Committed of {
+      commit_version : int option;  (** [None] for read-only transactions *)
+      snapshot : int;
+      stages : float array;  (** indexed by {!Metrics.stage} *)
+      response_ms : float;
+    }
+  | Aborted of {
+      reason : abort_reason;
+      response_ms : float;
+    }
+
+val make : profile:string -> ?table_set:string list -> Storage.Query.t list -> request
+(** Build a request; the table-set defaults to the tables referenced by
+    the statements (always a superset of the accessed data under our
+    statement language). *)
+
+val updates_possible : request -> bool
+(** Whether any statement may write. *)
+
+val pp_abort_reason : Format.formatter -> abort_reason -> unit
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Core List Printf Report Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Core List Printf Report Runner String Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Core List Plot Printf Report Runner String Tpcw_sweep Workload

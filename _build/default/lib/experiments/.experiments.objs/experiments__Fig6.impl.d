@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Core List Printf Report Runner String Tpcw_sweep Workload

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Core List Printf Report String

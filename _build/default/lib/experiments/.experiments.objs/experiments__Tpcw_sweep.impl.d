@@ -1,0 +1,1 @@
+lib/experiments/tpcw_sweep.ml: Core List Runner Workload

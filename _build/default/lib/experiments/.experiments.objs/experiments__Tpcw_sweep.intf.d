@@ -1,0 +1,1 @@
+lib/experiments/tpcw_sweep.mli: Core Runner Workload

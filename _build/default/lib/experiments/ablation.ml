@@ -1,0 +1,141 @@
+type row = { label : string; cells : (string * float) list }
+
+let params = { Workload.Microbench.default with rows = 2_000 }
+
+let base_config = Core.Config.default
+
+let run_with ~config ~workload ~clients ~measure_ms =
+  let cluster =
+    Core.Cluster.create ~config ~mode:Core.Consistency.Coarse
+      ~schemas:(Workload.Microbench.schemas params)
+      ~load:(Workload.Microbench.load params)
+      ()
+  in
+  Core.Client.spawn_many cluster ~n:clients ~first_sid:0 workload;
+  Core.Cluster.run_for cluster ~warmup_ms:1_500.0 ~measure_ms;
+  cluster
+
+let summary cluster =
+  let m = Core.Cluster.metrics cluster in
+  (m, Core.Metrics.throughput_tps m, Core.Metrics.mean_response_ms m)
+
+(* 1. Writeset shipping vs re-execution: the "re-execute" configuration
+   prices a refresh transaction like running the update statements from
+   scratch. *)
+let apply_vs_reexec ?(clients = 80) ?(update_types = 20) ?(measure_ms = 6_000.0) () =
+  let p = { params with Workload.Microbench.update_types } in
+  let variants =
+    [
+      ("writeset shipping (paper)", base_config);
+      ( "re-execute at replicas",
+        {
+          base_config with
+          Core.Config.ws_apply_base_ms =
+            base_config.Core.Config.stmt_base_ms +. base_config.Core.Config.commit_ms;
+          ws_apply_row_ms = base_config.Core.Config.row_write_ms;
+        } );
+    ]
+  in
+  List.map
+    (fun (label, config) ->
+      let cluster =
+        run_with ~config ~workload:(Workload.Microbench.workload p) ~clients ~measure_ms
+      in
+      let m, tps, resp = summary cluster in
+      {
+        label;
+        cells =
+          [
+            ("TPS", tps); ("resp_ms", resp);
+            ("version_ms", Core.Metrics.mean_stage_ms m Core.Metrics.Version);
+            ("sync_ms", Core.Metrics.mean_stage_ms m Core.Metrics.Sync);
+          ];
+      })
+    variants
+
+(* 2. Table-set granularity: span update transactions over more tables;
+   report the fine- vs coarse-grained start delays. *)
+let table_span ?(clients = 80) ?(spans = [ 1; 2; 4; 8; 16 ]) ?(measure_ms = 6_000.0) () =
+  let p = { params with Workload.Microbench.update_types = 10 } in
+  List.concat_map
+    (fun span ->
+      List.map
+        (fun mode ->
+          let cluster =
+            Core.Cluster.create ~config:base_config ~mode
+              ~schemas:(Workload.Microbench.schemas p)
+              ~load:(Workload.Microbench.load p)
+              ()
+          in
+          Core.Client.spawn_many cluster ~n:clients ~first_sid:0
+            (Workload.Microbench.span_workload p ~span);
+          Core.Cluster.run_for cluster ~warmup_ms:1_500.0 ~measure_ms;
+          let m, tps, resp = summary cluster in
+          {
+            label = Printf.sprintf "span=%d %s" span (Core.Consistency.to_string mode);
+            cells =
+              [
+                ("TPS", tps); ("resp_ms", resp);
+                ("version_ms", Core.Metrics.mean_stage_ms m Core.Metrics.Version);
+              ];
+          })
+        [ Core.Consistency.Fine; Core.Consistency.Coarse ])
+    spans
+
+(* 3. Early certification under a high-conflict workload. *)
+let early_certification ?(clients = 80) ?(measure_ms = 6_000.0) () =
+  let p = { params with Workload.Microbench.update_types = 40 } in
+  List.map
+    (fun (label, early) ->
+      let config = { base_config with Core.Config.early_certification = early } in
+      let cluster =
+        run_with ~config
+          ~workload:(Workload.Microbench.hot_workload p ~hot_rows:40)
+          ~clients ~measure_ms
+      in
+      let m, tps, resp = summary cluster in
+      {
+        label;
+        cells =
+          [
+            ("TPS", tps); ("resp_ms", resp);
+            ("abort_pct", 100.0 *. Core.Metrics.abort_rate m);
+            ("certify_ms", Core.Metrics.mean_stage_ms m Core.Metrics.Certify);
+          ];
+      })
+    [ ("early certification on", true); ("early certification off", false) ]
+
+(* 4. Routing policy. *)
+let routing ?(clients = 80) ?(measure_ms = 6_000.0) () =
+  let p = { params with Workload.Microbench.update_types = 10 } in
+  List.map
+    (fun (label, routing) ->
+      let config = { base_config with Core.Config.routing } in
+      let cluster =
+        run_with ~config ~workload:(Workload.Microbench.workload p) ~clients ~measure_ms
+      in
+      let m, tps, resp = summary cluster in
+      {
+        label;
+        cells =
+          [
+            ("TPS", tps); ("resp_ms", resp);
+            ("p99_ms", Core.Metrics.percentile_response_ms m 99.0);
+          ];
+      })
+    [
+      ("least-active (paper)", Core.Config.Least_active);
+      ("round-robin", Core.Config.Round_robin);
+      ("random", Core.Config.Random_replica);
+      ("session-affinity", Core.Config.Session_affinity);
+    ]
+
+let render ~title rows =
+  match rows with
+  | [] -> Report.section title ^ "\n(no data)\n"
+  | first :: _ ->
+    let header = "variant" :: List.map fst first.cells in
+    let body =
+      List.map (fun r -> r.label :: List.map (fun (_, v) -> Report.fmt_f v) r.cells) rows
+    in
+    Report.section title ^ "\n" ^ Report.table ~header body

@@ -1,0 +1,25 @@
+(** Ablation benchmarks for the design choices DESIGN.md calls out:
+
+    {ol
+    {- {!apply_vs_reexec}: writeset shipping (cheap refresh application)
+       vs re-executing updates at every replica. The cheap-apply design
+       is what lets the lazy configurations scale.}
+    {- {!table_span}: fine-grained synchronization as update
+       transactions touch more tables — the fine-grained start delay
+       converges to the coarse-grained one.}
+    {- {!early_certification}: hidden-deadlock avoidance on/off under a
+       high-conflict workload — certifier-abort rate and wasted work.}
+    {- {!routing}: least-active routing vs round-robin vs random.}} *)
+
+type row = { label : string; cells : (string * float) list }
+
+val apply_vs_reexec :
+  ?clients:int -> ?update_types:int -> ?measure_ms:float -> unit -> row list
+
+val table_span : ?clients:int -> ?spans:int list -> ?measure_ms:float -> unit -> row list
+
+val early_certification : ?clients:int -> ?measure_ms:float -> unit -> row list
+
+val routing : ?clients:int -> ?measure_ms:float -> unit -> row list
+
+val render : title:string -> row list -> string

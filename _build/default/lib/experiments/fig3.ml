@@ -1,0 +1,61 @@
+type point = {
+  update_types : int;
+  summaries : (Core.Consistency.mode * Runner.summary) list;
+}
+
+let run ?(config = Core.Config.default) ?(params = Workload.Microbench.default)
+    ?(clients = 80) ?(update_points = [ 0; 5; 10; 15; 20; 25; 30; 35; 40 ])
+    ?(warmup_ms = 2_000.0) ?(measure_ms = 8_000.0) () =
+  List.map
+    (fun update_types ->
+      let summaries =
+        List.map
+          (fun mode ->
+            let s =
+              Runner.run_micro ~config ~mode
+                ~params:{ params with Workload.Microbench.update_types }
+                ~clients ~warmup_ms ~measure_ms ()
+            in
+            (mode, s))
+          Core.Consistency.all
+      in
+      { update_types; summaries })
+    update_points
+
+let render points =
+  let header =
+    "upd types"
+    :: List.concat_map
+         (fun mode ->
+           let name = Core.Consistency.to_string mode in
+           [ name ^ " TPS"; name ^ " ms" ])
+         Core.Consistency.all
+  in
+  let rows =
+    List.map
+      (fun p ->
+        string_of_int p.update_types
+        :: List.concat_map
+             (fun mode ->
+               match List.assoc_opt mode p.summaries with
+               | Some s ->
+                 [ Report.fmt_f s.Runner.tps; Report.fmt_f s.Runner.response_ms ]
+               | None -> [ "-"; "-" ])
+             Core.Consistency.all)
+      points
+  in
+  let series =
+    List.map
+      (fun mode ->
+        ( Core.Consistency.to_string mode,
+          List.filter_map
+            (fun p ->
+              Option.map
+                (fun s -> (float_of_int p.update_types, s.Runner.tps))
+                (List.assoc_opt mode p.summaries))
+            points ))
+      Core.Consistency.all
+  in
+  Report.section "Figure 3: micro-benchmark throughput vs update ratio (8 replicas)"
+  ^ "\n" ^ Report.table ~header rows ^ "\n"
+  ^ Plot.chart ~series ~y_label:"TPS" ~x_label:"update transaction types (of 40)" ()

@@ -1,0 +1,22 @@
+(** Figure 3: micro-benchmark throughput vs. update-transaction ratio.
+
+    8 replicas, 80 closed-loop clients, 40 tables x 10,000 rows; the
+    number of update transaction types sweeps 0..40. One curve per
+    consistency configuration. *)
+
+type point = {
+  update_types : int;  (** of 40 transaction types *)
+  summaries : (Core.Consistency.mode * Runner.summary) list;
+}
+
+val run :
+  ?config:Core.Config.t ->
+  ?params:Workload.Microbench.params ->
+  ?clients:int ->
+  ?update_points:int list ->
+  ?warmup_ms:float ->
+  ?measure_ms:float ->
+  unit ->
+  point list
+
+val render : point list -> string

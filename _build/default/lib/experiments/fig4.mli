@@ -1,0 +1,32 @@
+(** Figure 4: micro-benchmark latency breakdown by transaction stage,
+    for the 25% and 100% update mixes (8 replicas, 80 clients).
+
+    Stages follow §V.A: version / queries / certify / sync / commit /
+    global. Reported per configuration as the mean over all committed
+    transactions (read-only transactions contribute zeros to the stages
+    they lack, matching the paper's stacked bars). *)
+
+type breakdown = {
+  mode : Core.Consistency.mode;
+  stage_ms : float array;  (** indexed by {!Core.Metrics.stage} *)
+  total_ms : float;
+}
+
+type result = {
+  update_pct : int;
+  breakdowns : breakdown list;
+}
+
+val run :
+  ?config:Core.Config.t ->
+  ?params:Workload.Microbench.params ->
+  ?clients:int ->
+  ?mixes:int list ->
+  ?warmup_ms:float ->
+  ?measure_ms:float ->
+  unit ->
+  result list
+(** [mixes] are update percentages (default [\[25; 100\]]); each maps to
+    [update_types = pct * tables / 100]. *)
+
+val render : result list -> string

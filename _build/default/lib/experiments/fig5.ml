@@ -1,0 +1,59 @@
+let replica_counts points =
+  List.sort_uniq compare (List.map (fun p -> p.Tpcw_sweep.replicas) points)
+
+let panel points ~mix ~metric ~label =
+  let header =
+    "replicas" :: List.map Core.Consistency.to_string Core.Consistency.all
+  in
+  let rows =
+    List.map
+      (fun n ->
+        string_of_int n
+        :: List.map
+             (fun mode ->
+               match
+                 List.find_opt
+                   (fun p ->
+                     p.Tpcw_sweep.mix = mix && p.Tpcw_sweep.mode = mode
+                     && p.Tpcw_sweep.replicas = n)
+                   points
+               with
+               | Some p -> Report.fmt_f (metric p.Tpcw_sweep.summary)
+               | None -> "-")
+             Core.Consistency.all)
+      (replica_counts points)
+  in
+  let series =
+    List.map
+      (fun mode ->
+        ( Core.Consistency.to_string mode,
+          List.filter_map
+            (fun p ->
+              if p.Tpcw_sweep.mix = mix && p.Tpcw_sweep.mode = mode then
+                Some (float_of_int p.Tpcw_sweep.replicas, metric p.Tpcw_sweep.summary)
+              else None)
+            points ))
+      Core.Consistency.all
+  in
+  Report.section
+    (Printf.sprintf "Figure 5: TPC-W %s — %s (scaled load)" (Workload.Tpcw.mix_name mix)
+       label)
+  ^ "\n" ^ Report.table ~header rows ^ "\n"
+  ^ Plot.chart ~series ~y_label:label ~x_label:"replicas" ()
+
+let render points =
+  let mixes =
+    List.filter
+      (fun mix -> List.exists (fun p -> p.Tpcw_sweep.mix = mix) points)
+      [ Workload.Tpcw.Browsing; Workload.Tpcw.Shopping; Workload.Tpcw.Ordering ]
+  in
+  String.concat "\n"
+    (List.concat_map
+       (fun mix ->
+         [
+           panel points ~mix ~metric:(fun s -> s.Runner.tps) ~label:"throughput (TPS)";
+           panel points ~mix
+             ~metric:(fun s -> s.Runner.response_ms)
+             ~label:"response time (ms)";
+         ])
+       mixes)

@@ -1,0 +1,5 @@
+(** Figure 5: TPC-W throughput and response time under scaled load, one
+    panel pair per mix (browsing / shopping / ordering), replicas 1–8. *)
+
+val render : Tpcw_sweep.point list -> string
+(** Render the six panels (a)–(f) from a {!Tpcw_sweep.scaled} result. *)

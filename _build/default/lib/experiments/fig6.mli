@@ -1,0 +1,5 @@
+(** Figure 6: TPC-W synchronization delay under scaled load (shopping and
+    ordering mixes): the synchronization start delay for the lazy
+    configurations and the global commit delay for the eager one. *)
+
+val render : Tpcw_sweep.point list -> string

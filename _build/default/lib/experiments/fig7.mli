@@ -1,0 +1,5 @@
+(** Figure 7: TPC-W response time under fixed load (shopping: 80 clients,
+    ordering: 50 clients), replicas 1–8. Lazy configurations' response
+    falls as replicas are added; the eager configuration's rises. *)
+
+val render : Tpcw_sweep.point list -> string

@@ -1,0 +1,65 @@
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let chart ?(width = 56) ?(height = 16) ?(y_label = "") ?(x_label = "") ~series () =
+  let series = List.filter (fun (_, pts) -> pts <> []) series in
+  let points = List.concat_map snd series in
+  if points = [] then "(no data)\n"
+  else begin
+    let xs = List.map fst points and ys = List.map snd points in
+    let x_min = List.fold_left Float.min infinity xs in
+    let x_max = List.fold_left Float.max neg_infinity xs in
+    let y_min = Float.min 0.0 (List.fold_left Float.min infinity ys) in
+    let y_max = List.fold_left Float.max neg_infinity ys in
+    let y_max = if y_max <= y_min then y_min +. 1.0 else y_max in
+    let x_span = if x_max <= x_min then 1.0 else x_max -. x_min in
+    let grid = Array.make_matrix height width ' ' in
+    let place (x, y) marker =
+      let cx =
+        int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1) +. 0.5)
+      in
+      let cy =
+        int_of_float ((y -. y_min) /. (y_max -. y_min) *. float_of_int (height - 1) +. 0.5)
+      in
+      let cx = max 0 (min (width - 1) cx) in
+      let cy = max 0 (min (height - 1) cy) in
+      (* Row 0 is the top of the chart. *)
+      let row = height - 1 - cy in
+      grid.(row).(cx) <- (if grid.(row).(cx) = ' ' then marker else '?')
+    in
+    List.iteri
+      (fun i (_, pts) -> List.iter (fun pt -> place pt markers.(i mod Array.length markers)) pts)
+      series;
+    let buf = Buffer.create 1024 in
+    let y_axis_width = 9 in
+    Array.iteri
+      (fun row line ->
+        let y_value =
+          y_max -. (float_of_int row /. float_of_int (height - 1) *. (y_max -. y_min))
+        in
+        let label =
+          if row = 0 || row = height - 1 || row = height / 2 then
+            Printf.sprintf "%8.4g" y_value
+          else String.make 8 ' '
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf " |";
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make y_axis_width ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%s %-8.4g%s%8.4g  %s\n" (String.make y_axis_width ' ') x_min
+         (String.make (max 1 (width - 18)) ' ')
+         x_max x_label);
+    if y_label <> "" then Buffer.add_string buf (Printf.sprintf "  y: %s\n" y_label);
+    let legend =
+      List.mapi
+        (fun i (name, _) -> Printf.sprintf "%c=%s" markers.(i mod Array.length markers) name)
+        series
+    in
+    Buffer.add_string buf ("  " ^ String.concat "  " legend ^ "\n");
+    Buffer.contents buf
+  end

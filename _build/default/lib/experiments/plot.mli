@@ -1,0 +1,15 @@
+(** Minimal ASCII scatter/line charts for experiment output.
+
+    Each series is plotted with its own marker character; axes are
+    scaled to the data (y starts at 0 unless values are negative). *)
+
+val chart :
+  ?width:int ->
+  ?height:int ->
+  ?y_label:string ->
+  ?x_label:string ->
+  series:(string * (float * float) list) list ->
+  unit ->
+  string
+(** Render to a multi-line string. Empty series are skipped; returns
+    a placeholder string if no data at all. *)

@@ -1,0 +1,34 @@
+let fmt_f x =
+  if Float.abs x >= 100.0 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 10.0 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.2f" x
+
+let table ~header rows =
+  let all = header :: rows in
+  let columns = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init columns width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let cell = Option.value (List.nth_opt row c) ~default:"" in
+           (* Right-align numbers, left-align the first column. *)
+           if c = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell)
+         widths)
+  in
+  let rule =
+    String.concat "--" (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" ((render_row header :: rule :: List.map render_row rows) @ [ "" ])
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.sprintf "\n%s\n=== %s ===\n%s" bar title bar

@@ -1,0 +1,10 @@
+(** ASCII table rendering for experiment output. *)
+
+val table : header:string list -> string list list -> string
+(** Render rows under a header with aligned columns. *)
+
+val fmt_f : float -> string
+(** Compact float: "123", "12.3", "1.23". *)
+
+val section : string -> string
+(** A titled separator line. *)

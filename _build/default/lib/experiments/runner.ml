@@ -1,0 +1,108 @@
+type summary = {
+  mode : Core.Consistency.mode;
+  replicas : int;
+  clients : int;
+  tps : float;
+  response_ms : float;
+  stage_ms : float array;
+  stage_update_ms : float array;
+  sync_delay_ms : float;
+  abort_rate : float;
+  committed : int;
+}
+
+let stage_of_metrics metrics ~summary_of:cluster =
+  let stage_ms =
+    Array.of_list
+      (List.map (fun s -> Core.Metrics.mean_stage_ms metrics s) Core.Metrics.stages)
+  in
+  let stage_update_ms =
+    Array.of_list
+      (List.map (fun s -> Core.Metrics.mean_stage_update_ms metrics s) Core.Metrics.stages)
+  in
+  {
+    mode = Core.Cluster.mode cluster;
+    replicas = (Core.Cluster.config cluster).Core.Config.replicas;
+    clients = 0;
+    tps = Core.Metrics.throughput_tps metrics;
+    response_ms = Core.Metrics.mean_response_ms metrics;
+    stage_ms;
+    stage_update_ms;
+    sync_delay_ms = Core.Metrics.sync_delay_ms metrics;
+    abort_rate = Core.Metrics.abort_rate metrics;
+    committed = Core.Metrics.committed metrics;
+  }
+
+let run_micro ?(config = Core.Config.default) ~mode ~params ~clients ~warmup_ms ~measure_ms
+    () =
+  let cluster =
+    Core.Cluster.create ~config ~mode
+      ~schemas:(Workload.Microbench.schemas params)
+      ~load:(Workload.Microbench.load params)
+      ()
+  in
+  Core.Client.spawn_many cluster ~n:clients ~first_sid:0
+    (Workload.Microbench.workload params);
+  Core.Cluster.run_for cluster ~warmup_ms ~measure_ms;
+  { (stage_of_metrics (Core.Cluster.metrics cluster) ~summary_of:cluster) with clients }
+
+type aggregate = {
+  runs : int;
+  mean : summary;
+  tps_stddev : float;
+  response_stddev_ms : float;
+  tps_rel_dev : float;
+}
+
+let replicate ~runs ~base_seed f =
+  assert (runs >= 1);
+  let summaries = List.init runs (fun i -> f ~seed:(base_seed + i)) in
+  let n = float_of_int runs in
+  let mean_of get = List.fold_left (fun acc s -> acc +. get s) 0.0 summaries /. n in
+  let stddev_of get =
+    if runs < 2 then 0.0
+    else begin
+      let m = mean_of get in
+      sqrt
+        (List.fold_left (fun acc s -> acc +. ((get s -. m) ** 2.0)) 0.0 summaries
+        /. float_of_int (runs - 1))
+    end
+  in
+  let first = List.hd summaries in
+  let mean_stage i = mean_of (fun s -> s.stage_ms.(i)) in
+  let mean_stage_u i = mean_of (fun s -> s.stage_update_ms.(i)) in
+  let mean =
+    {
+      first with
+      tps = mean_of (fun s -> s.tps);
+      response_ms = mean_of (fun s -> s.response_ms);
+      stage_ms = Array.init Core.Metrics.stage_count mean_stage;
+      stage_update_ms = Array.init Core.Metrics.stage_count mean_stage_u;
+      sync_delay_ms = mean_of (fun s -> s.sync_delay_ms);
+      abort_rate = mean_of (fun s -> s.abort_rate);
+      committed =
+        int_of_float (mean_of (fun s -> float_of_int s.committed));
+    }
+  in
+  let tps_stddev = stddev_of (fun s -> s.tps) in
+  {
+    runs;
+    mean;
+    tps_stddev;
+    response_stddev_ms = stddev_of (fun s -> s.response_ms);
+    tps_rel_dev = (if mean.tps > 0.0 then tps_stddev /. mean.tps else 0.0);
+  }
+
+let run_tpcw ?(config = Core.Config.tpcw) ~mode ~params ~mix ~clients ~warmup_ms
+    ~measure_ms () =
+  let cluster =
+    Core.Cluster.create ~config ~mode ~schemas:Workload.Tpcw.schemas
+      ~load:(Workload.Tpcw.load params)
+      ()
+  in
+  for sid = 0 to clients - 1 do
+    Core.Client.spawn cluster ~sid ~rng:(Core.Cluster.rng cluster)
+      (Workload.Tpcw.workload params mix ~sid)
+  done;
+  Core.Cluster.run_for cluster ~warmup_ms ~measure_ms;
+  { (stage_of_metrics (Core.Cluster.metrics cluster) ~summary_of:cluster) with clients }

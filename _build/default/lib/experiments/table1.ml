@@ -1,0 +1,82 @@
+type row = {
+  txn : string;
+  updated : string list;
+  v_system : int;
+  v_a : int;
+  v_b : int;
+  v_c : int;
+}
+
+(* The commit sequence of Table I. *)
+let commits =
+  [
+    ("T1", [ "A" ]);
+    ("T2", [ "B"; "C" ]);
+    ("T3", [ "B" ]);
+    ("T4", [ "C" ]);
+    ("T5", [ "B"; "C" ]);
+    ("T6", [ "A" ]);
+  ]
+
+let config = { Core.Config.default with replicas = 2 }
+
+let drive upto =
+  let lb = Core.Load_balancer.create config ~mode:Core.Consistency.Fine in
+  List.iteri
+    (fun i (_, tables) ->
+      if i < upto then
+        Core.Load_balancer.note_commit_ack lb ~sid:0 ~version:(i + 1)
+          ~tables_written:tables)
+    commits;
+  lb
+
+let rows () =
+  List.mapi
+    (fun i (txn, updated) ->
+      let lb = drive (i + 1) in
+      {
+        txn;
+        updated;
+        v_system = Core.Load_balancer.v_system lb;
+        v_a = Core.Load_balancer.table_version lb "A";
+        v_b = Core.Load_balancer.table_version lb "B";
+        v_c = Core.Load_balancer.table_version lb "C";
+      })
+    commits
+
+let fine_start_for_a () =
+  (* After T5: a new transaction reading/writing only A. *)
+  let lb = drive 5 in
+  Core.Load_balancer.start_version lb ~sid:1 ~table_set:[ "A" ]
+
+let coarse_start_after_t5 () =
+  let lb = Core.Load_balancer.create config ~mode:Core.Consistency.Coarse in
+  List.iteri
+    (fun i (_, tables) ->
+      if i < 5 then
+        Core.Load_balancer.note_commit_ack lb ~sid:0 ~version:(i + 1)
+          ~tables_written:tables)
+    commits;
+  Core.Load_balancer.start_version lb ~sid:1 ~table_set:[ "A" ]
+
+let render () =
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.txn;
+          String.concat "," r.updated;
+          string_of_int r.v_system;
+          string_of_int r.v_a;
+          string_of_int r.v_b;
+          string_of_int r.v_c;
+        ])
+      (rows ())
+  in
+  Report.section "Table I: database and table versions"
+  ^ "\n"
+  ^ Report.table ~header:[ "Txn"; "Updated tables"; "V_system"; "V_A"; "V_B"; "V_C" ] body
+  ^ Printf.sprintf
+      "\nNew transaction on table A after T5: fine-grained start version = %d, \
+       coarse-grained = %d\n"
+      (fine_start_for_a ()) (coarse_start_after_t5 ())

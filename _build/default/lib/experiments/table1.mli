@@ -1,0 +1,30 @@
+(** Table I of the paper: database and table version accounting under the
+    fine-grained configuration.
+
+    Six update transactions over tables A, B, C commit in order; the
+    table shows [V_system] and each [V_t] after every commit, plus the
+    start-version comparison for a new transaction on table A only
+    (fine-grained needs [V_local >= 1]; coarse-grained needs
+    [V_local >= 5]). *)
+
+type row = {
+  txn : string;
+  updated : string list;
+  v_system : int;
+  v_a : int;
+  v_b : int;
+  v_c : int;
+}
+
+val rows : unit -> row list
+(** The six rows of Table I, computed by driving a real
+    {!Core.Load_balancer}. *)
+
+val fine_start_for_a : unit -> int
+(** Required start version for a transaction with table-set [{A}] after
+    T5 commits (= 1 in the paper). *)
+
+val coarse_start_after_t5 : unit -> int
+(** Required start version under the coarse configuration (= 5). *)
+
+val render : unit -> string

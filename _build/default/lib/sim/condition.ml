@@ -1,0 +1,16 @@
+type t = { engine : Engine.t; mutable queue : (unit -> unit) list }
+
+let create engine = { engine; queue = [] }
+
+let rec await t pred =
+  if not (pred ()) then begin
+    Process.suspend (fun resume -> t.queue <- resume :: t.queue);
+    await t pred
+  end
+
+let broadcast t =
+  let waiting = List.rev t.queue in
+  t.queue <- [];
+  List.iter (fun resume -> Engine.schedule t.engine ~delay:0.0 resume) waiting
+
+let waiters t = List.length t.queue

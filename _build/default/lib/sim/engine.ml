@@ -1,0 +1,41 @@
+type t = {
+  mutable clock : float;
+  events : (unit -> unit) Util.Pqueue.t;
+}
+
+let create () = { clock = 0.0; events = Util.Pqueue.create () }
+
+let now t = t.clock
+
+let schedule t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  Util.Pqueue.push t.events (t.clock +. delay) f
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  Util.Pqueue.push t.events time f
+
+let pending t = Util.Pqueue.length t.events
+
+let step t =
+  match Util.Pqueue.pop t.events with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run ?until t =
+  match until with
+  | None ->
+    let rec loop () = if step t then loop () in
+    loop ()
+  | Some horizon ->
+    let rec loop () =
+      match Util.Pqueue.peek t.events with
+      | Some (time, _) when time <= horizon ->
+        ignore (step t);
+        loop ()
+      | Some _ | None -> t.clock <- horizon
+    in
+    loop ()

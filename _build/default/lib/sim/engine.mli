@@ -1,0 +1,30 @@
+(** Discrete-event simulation core: a virtual clock and an event queue.
+
+    Time is a [float] in {e milliseconds} of virtual time. Events
+    scheduled for the same instant fire in scheduling order, making runs
+    deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in ms. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. Negative delays
+    are clamped to 0. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** [schedule_at t ~time f] runs [f] at [time] (clamped to [now t]). *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events in time order until the queue is empty, or until
+    virtual time would exceed [until]. On return with [until], [now t]
+    equals [until]. *)
+
+val step : t -> bool
+(** Execute the single next event; [false] if the queue was empty. *)

@@ -1,0 +1,35 @@
+type 'a state =
+  | Empty of ('a -> unit) Queue.t
+  | Filled of 'a
+
+type 'a t = { engine : Engine.t; mutable state : 'a state }
+
+let create engine = { engine; state = Empty (Queue.create ()) }
+
+let fill t value =
+  match t.state with
+  | Filled _ -> invalid_arg "Ivar.fill: already filled"
+  | Empty waiters ->
+    t.state <- Filled value;
+    Queue.iter
+      (fun waiter -> Engine.schedule t.engine ~delay:0.0 (fun () -> waiter value))
+      waiters
+
+let read t =
+  match t.state with
+  | Filled value -> value
+  | Empty waiters ->
+    let slot = ref None in
+    Process.suspend (fun resume ->
+        Queue.add
+          (fun value ->
+            slot := Some value;
+            resume ())
+          waiters);
+    (match !slot with
+    | Some value -> value
+    | None -> assert false)
+
+let is_filled t = match t.state with Filled _ -> true | Empty _ -> false
+
+let peek t = match t.state with Filled v -> Some v | Empty _ -> None

@@ -1,0 +1,19 @@
+(** Single-assignment synchronization variable (future/promise).
+
+    Used for request/reply interactions: the requester blocks in {!read}
+    until the responder calls {!fill}. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Set the value and wake all readers. Raises [Invalid_argument] if
+    already filled. *)
+
+val read : 'a t -> 'a
+(** Return the value, blocking the calling process until {!fill}. *)
+
+val is_filled : 'a t -> bool
+
+val peek : 'a t -> 'a option

@@ -1,0 +1,34 @@
+type 'a t = {
+  engine : Engine.t;
+  messages : 'a Queue.t;
+  waiters : ('a -> unit) Queue.t;
+}
+
+let create engine = { engine; messages = Queue.create (); waiters = Queue.create () }
+
+let send t msg =
+  match Queue.take_opt t.waiters with
+  | Some waiter ->
+    (* Resume through the engine so the sender's event finishes first;
+       run-to-completion keeps component state transitions atomic. *)
+    Engine.schedule t.engine ~delay:0.0 (fun () -> waiter msg)
+  | None -> Queue.add msg t.messages
+
+let recv t =
+  match Queue.take_opt t.messages with
+  | Some msg -> msg
+  | None ->
+    let slot = ref None in
+    Process.suspend (fun resume ->
+        Queue.add
+          (fun msg ->
+            slot := Some msg;
+            resume ())
+          t.waiters);
+    (match !slot with
+    | Some msg -> msg
+    | None -> assert false)
+
+let try_recv t = Queue.take_opt t.messages
+
+let length t = Queue.length t.messages

@@ -1,0 +1,23 @@
+(** Unbounded FIFO message queue with blocking receive.
+
+    Senders never block. Multiple processes may block in {!recv}; they
+    are woken in FIFO order as messages arrive. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a message; wakes the longest-waiting receiver, if any. The
+    receiver resumes at the current virtual instant but after the
+    sender's event completes. *)
+
+val recv : 'a t -> 'a
+(** Dequeue a message, blocking the calling process until one is
+    available. Must be called from within a process. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val length : 'a t -> int
+(** Messages currently queued (excluding waiting receivers). *)

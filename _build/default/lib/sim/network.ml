@@ -1,0 +1,38 @@
+type t = {
+  engine : Engine.t;
+  rng : Util.Rng.t;
+  base_ms : float;
+  jitter_ms : float;
+  bandwidth_mbps : float;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+let create engine ~rng ~base_ms ~jitter_ms ~bandwidth_mbps =
+  { engine; rng; base_ms; jitter_ms; bandwidth_mbps; messages = 0; bytes = 0 }
+
+let latency t ~size_bytes =
+  let jitter = if t.jitter_ms > 0.0 then Util.Rng.float t.rng t.jitter_ms else 0.0 in
+  let transmission =
+    if t.bandwidth_mbps > 0.0 then
+      (* bits / (Mbit/s) = microseconds; convert to ms. *)
+      float_of_int (size_bytes * 8) /. (t.bandwidth_mbps *. 1000.0)
+    else 0.0
+  in
+  t.base_ms +. jitter +. transmission
+
+let record t size_bytes =
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + size_bytes
+
+let send t ~size_bytes callback =
+  record t size_bytes;
+  Engine.schedule t.engine ~delay:(latency t ~size_bytes) callback
+
+let transfer t ~size_bytes =
+  record t size_bytes;
+  Process.sleep t.engine (latency t ~size_bytes)
+
+let messages_sent t = t.messages
+
+let bytes_sent t = t.bytes

@@ -1,0 +1,23 @@
+(** Point-to-point network latency model.
+
+    Message delay = [base] + uniform jitter + size / bandwidth. The
+    cluster in the paper is a single Gigabit Ethernet switch, so one
+    shared latency model covers every pair of hosts. *)
+
+type t
+
+val create :
+  Engine.t -> rng:Util.Rng.t -> base_ms:float -> jitter_ms:float -> bandwidth_mbps:float -> t
+
+val latency : t -> size_bytes:int -> float
+(** Sample the one-way delay for a message of the given size. *)
+
+val send : t -> size_bytes:int -> (unit -> unit) -> unit
+(** Fire-and-forget delivery: run the callback after a sampled delay. *)
+
+val transfer : t -> size_bytes:int -> unit
+(** Block the calling process for one sampled message delay. *)
+
+val messages_sent : t -> int
+
+val bytes_sent : t -> int

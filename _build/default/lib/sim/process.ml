@@ -1,0 +1,40 @@
+(* Processes are one-shot delimited continuations: [suspend] performs an
+   effect carrying a registration callback; the handler captures the
+   continuation and hands the registrar a [resume] closure. All blocking
+   primitives (sleep, mailbox receive, resource acquire) reduce to this. *)
+
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let suspend register = perform (Suspend register)
+
+let spawn engine body =
+  let handler =
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          (* Surface the failing process's own backtrace: the engine's
+             re-raise would otherwise mask where the exception arose. *)
+          if Printexc.backtrace_status () then
+            Printf.eprintf "simulation process died: %s\n%s%!" (Printexc.to_string e)
+              (Printexc.get_backtrace ());
+          raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                register (fun () -> continue k ()))
+          | _ -> None);
+    }
+  in
+  Engine.schedule engine ~delay:0.0 (fun () -> match_with body () handler)
+
+let sleep engine duration =
+  suspend (fun resume -> Engine.schedule engine ~delay:duration resume)
+
+let yield engine = sleep engine 0.0

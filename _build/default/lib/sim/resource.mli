@@ -1,0 +1,34 @@
+(** FIFO [k]-server resource (models CPUs, disks, NICs).
+
+    Processes acquire a server, hold it for some virtual service time,
+    and release it; waiters queue in FIFO order. {!utilization} reports
+    busy-time so experiments can check for saturation. *)
+
+type t
+
+val create : Engine.t -> servers:int -> t
+(** Requires [servers > 0]. *)
+
+val acquire : t -> unit
+(** Block the calling process until a server is free, then occupy it. *)
+
+val release : t -> unit
+(** Free one server; wakes the longest-waiting acquirer. *)
+
+val use : t -> duration:float -> unit
+(** [use t ~duration] = acquire, hold for [duration] ms of virtual time,
+    release. Exception-safe is not a concern: simulation processes do not
+    raise during service. *)
+
+val busy : t -> int
+(** Servers currently held. *)
+
+val queue_length : t -> int
+(** Processes waiting to acquire. *)
+
+val utilization : t -> float
+(** Fraction of (servers x elapsed-time) spent busy since creation or
+    the last {!reset_utilization}; 0 if no time has elapsed. *)
+
+val reset_utilization : t -> unit
+(** Restart the utilization accounting window (e.g. after warm-up). *)

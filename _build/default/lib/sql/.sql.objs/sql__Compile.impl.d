@@ -1,0 +1,1 @@
+lib/sql/compile.ml: Array Ast Format Hashtbl List Option Storage String

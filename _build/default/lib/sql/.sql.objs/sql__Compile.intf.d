@@ -1,0 +1,1 @@
+lib/sql/compile.mli: Ast Stdlib Storage

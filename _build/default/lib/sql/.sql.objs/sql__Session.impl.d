@@ -1,0 +1,1 @@
+lib/sql/session.ml: Array Ast Compile List Option Parser Printf Storage String

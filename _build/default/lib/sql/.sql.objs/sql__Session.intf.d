@@ -1,0 +1,1 @@
+lib/sql/session.mli: Compile Storage

@@ -1,0 +1,89 @@
+type binop =
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Add | Sub | Mul
+  | Concat
+
+type expr =
+  | Lit of Storage.Value.t
+  | Column of string option * string
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Is_null of expr * bool
+  | Like of expr * string
+
+type aggregate = Count_star | Sum of string | Avg of string | Min of string | Max of string
+
+type projection =
+  | Star
+  | Columns of (string option * string) list
+  | Aggregate of aggregate
+
+type order_direction = Asc | Desc
+
+type select = {
+  projection : projection;
+  from_table : string;
+  join : (string * (string option * string) * (string option * string)) option;
+  where : expr option;
+  group_by : string option;
+  order_by : (string * order_direction) option;
+  limit : int option;
+}
+
+type column_def = {
+  col_name : string;
+  col_type : Storage.Value.ty;
+  nullable : bool;
+  primary : bool;
+}
+
+type stmt =
+  | Select of select
+  | Insert of { table : string; columns : string list option; values : expr list list }
+  | Update of { table : string; set : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Create_table of {
+      name : string;
+      columns : column_def list;
+      primary_key : string list;
+      indexes : string list;
+    }
+  | Begin
+  | Commit
+  | Rollback
+  | Show_tables
+
+let binop_name = function
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR" | Add -> "+" | Sub -> "-" | Mul -> "*" | Concat -> "||"
+
+let rec pp_expr ppf = function
+  | Lit v -> Storage.Value.pp ppf v
+  | Column (None, c) -> Format.pp_print_string ppf c
+  | Column (Some t, c) -> Format.fprintf ppf "%s.%s" t c
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Not e -> Format.fprintf ppf "(NOT %a)" pp_expr e
+  | Is_null (e, true) -> Format.fprintf ppf "(%a IS NULL)" pp_expr e
+  | Is_null (e, false) -> Format.fprintf ppf "(%a IS NOT NULL)" pp_expr e
+  | Like (e, p) -> Format.fprintf ppf "(%a LIKE %S)" pp_expr e p
+
+let pp_stmt ppf = function
+  | Select { from_table; _ } -> Format.fprintf ppf "SELECT ... FROM %s" from_table
+  | Insert { table; _ } -> Format.fprintf ppf "INSERT INTO %s" table
+  | Update { table; set; where } ->
+    Format.fprintf ppf "UPDATE %s SET %a%a" table
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (c, e) -> Format.fprintf ppf "%s = %a" c pp_expr e))
+      set
+      (fun ppf -> function
+        | None -> ()
+        | Some w -> Format.fprintf ppf " WHERE %a" pp_expr w)
+      where
+  | Delete { table; _ } -> Format.fprintf ppf "DELETE FROM %s" table
+  | Create_table { name; _ } -> Format.fprintf ppf "CREATE TABLE %s" name
+  | Begin -> Format.pp_print_string ppf "BEGIN"
+  | Commit -> Format.pp_print_string ppf "COMMIT"
+  | Rollback -> Format.pp_print_string ppf "ROLLBACK"
+  | Show_tables -> Format.pp_print_string ppf "SHOW TABLES"

@@ -1,0 +1,342 @@
+type result = {
+  columns : string list;
+  rows : Storage.Value.t array list;
+  affected : int;
+}
+
+let empty_result = { columns = []; rows = []; affected = 0 }
+
+exception Compile_error of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Compile_error msg)) fmt
+
+(* Name-resolution environment: each visible column with its table, name
+   and position in the (possibly joined) row. *)
+type env = { slots : (string * string * int) list }
+
+let env_of_schema (schema : Storage.Schema.t) =
+  {
+    slots =
+      Array.to_list
+        (Array.mapi
+           (fun i col -> (schema.Storage.Schema.table_name, col.Storage.Schema.col_name, i))
+           schema.Storage.Schema.columns);
+  }
+
+let env_of_join (left : Storage.Schema.t) (right : Storage.Schema.t) =
+  let offset = Array.length left.Storage.Schema.columns in
+  {
+    slots =
+      (env_of_schema left).slots
+      @ Array.to_list
+          (Array.mapi
+             (fun i col ->
+               (right.Storage.Schema.table_name, col.Storage.Schema.col_name, i + offset))
+             right.Storage.Schema.columns);
+  }
+
+let resolve env (qualifier, name) =
+  let matches =
+    List.filter
+      (fun (table, col, _) ->
+        String.equal col name
+        && match qualifier with Some q -> String.equal q table | None -> true)
+      env.slots
+  in
+  match matches with
+  | [ (_, _, idx) ] -> idx
+  | [] ->
+    fail "unknown column %s%s"
+      (match qualifier with Some q -> q ^ "." | None -> "")
+      name
+  | _ :: _ -> fail "ambiguous column %s (qualify it with a table name)" name
+
+let rec compile_expr env (e : Ast.expr) : Storage.Expr.t =
+  match e with
+  | Ast.Lit v -> Storage.Expr.Const v
+  | Ast.Column (q, c) -> Storage.Expr.Col (resolve env (q, c))
+  | Ast.Binop (op, a, b) -> begin
+    let ca = compile_expr env a and cb = compile_expr env b in
+    match op with
+    | Ast.Eq -> Storage.Expr.Cmp (Storage.Expr.Eq, ca, cb)
+    | Ast.Ne -> Storage.Expr.Cmp (Storage.Expr.Ne, ca, cb)
+    | Ast.Lt -> Storage.Expr.Cmp (Storage.Expr.Lt, ca, cb)
+    | Ast.Le -> Storage.Expr.Cmp (Storage.Expr.Le, ca, cb)
+    | Ast.Gt -> Storage.Expr.Cmp (Storage.Expr.Gt, ca, cb)
+    | Ast.Ge -> Storage.Expr.Cmp (Storage.Expr.Ge, ca, cb)
+    | Ast.And -> Storage.Expr.And (ca, cb)
+    | Ast.Or -> Storage.Expr.Or (ca, cb)
+    | Ast.Add -> Storage.Expr.Add (ca, cb)
+    | Ast.Sub -> Storage.Expr.Sub (ca, cb)
+    | Ast.Mul -> Storage.Expr.Mul (ca, cb)
+    | Ast.Concat -> Storage.Expr.Concat (ca, cb)
+  end
+  | Ast.Not e -> Storage.Expr.Not (compile_expr env e)
+  | Ast.Is_null (e, positive) ->
+    let inner = Storage.Expr.Is_null (compile_expr env e) in
+    if positive then inner else Storage.Expr.Not inner
+  | Ast.Like (e, pattern) -> Storage.Expr.Like (compile_expr env e, pattern)
+
+let schema_of_create ~name ~columns ~primary_key ~indexes =
+  try
+    if columns = [] then fail "CREATE TABLE %s: no columns" name;
+    let column_level_keys =
+      List.filter_map
+        (fun c -> if c.Ast.primary then Some c.Ast.col_name else None)
+        columns
+    in
+    let key =
+      match (column_level_keys, primary_key) with
+      | [], [] -> fail "CREATE TABLE %s: no PRIMARY KEY" name
+      | keys, [] -> keys
+      | [], keys -> keys
+      | _, _ -> fail "CREATE TABLE %s: PRIMARY KEY given twice" name
+    in
+    let nullable =
+      List.filter_map
+        (fun c ->
+          if c.Ast.nullable && not (List.mem c.Ast.col_name key) then Some c.Ast.col_name
+          else None)
+        columns
+    in
+    Ok
+      (Storage.Schema.make ~name
+         ~columns:(List.map (fun c -> (c.Ast.col_name, c.Ast.col_type)) columns)
+         ~nullable ~indexes ~key ())
+  with
+  | Compile_error msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+(* Fold a constant expression (INSERT values). *)
+let const_value env_less e =
+  match e with
+  | Ast.Column _ -> fail "column references are not allowed in VALUES"
+  | _ ->
+    let compiled = compile_expr { slots = [] } e in
+    ignore env_less;
+    (try Storage.Expr.eval [||] compiled
+     with Storage.Expr.Type_error msg -> fail "in VALUES: %s" msg)
+
+let table_schema txn name =
+  match Storage.Database.table_opt (Storage.Txn.database txn) name with
+  | Some table -> Storage.Table.schema table
+  | None -> fail "unknown table %s" name
+
+let column_names (schema : Storage.Schema.t) =
+  Array.to_list (Array.map (fun c -> c.Storage.Schema.col_name) schema.Storage.Schema.columns)
+
+let project env projection rows =
+  match projection with
+  | Ast.Star -> (List.map (fun (_, c, _) -> c) env.slots, rows)
+  | Ast.Columns cols ->
+    let indices = List.map (fun qc -> resolve env qc) cols in
+    let names = List.map snd cols in
+    (names, List.map (fun row -> Array.of_list (List.map (fun i -> row.(i)) indices)) rows)
+  | Ast.Aggregate _ -> fail "internal: aggregate handled separately"
+
+let order_rows env (col, dir) rows =
+  let idx = resolve env (None, col) in
+  let cmp a b =
+    let c = Storage.Value.compare a.(idx) b.(idx) in
+    match dir with Ast.Asc -> c | Ast.Desc -> -c
+  in
+  List.stable_sort cmp rows
+
+let truncate limit rows =
+  match limit with Some l -> List.filteri (fun i _ -> i < l) rows | None -> rows
+
+let agg_column_name = function
+  | Ast.Count_star -> "count(*)"
+  | Ast.Sum c -> "sum(" ^ c ^ ")"
+  | Ast.Avg c -> "avg(" ^ c ^ ")"
+  | Ast.Min c -> "min(" ^ c ^ ")"
+  | Ast.Max c -> "max(" ^ c ^ ")"
+
+let run_aggregate txn (sel : Ast.select) agg =
+  let schema = table_schema txn sel.Ast.from_table in
+  let env = env_of_schema schema in
+  if sel.Ast.join <> None then fail "aggregates over joins are not supported";
+  let where = Option.map (compile_expr env) sel.Ast.where in
+  let op =
+    match agg with
+    | Ast.Count_star -> Storage.Query.Count_all
+    | Ast.Sum c -> Storage.Query.Sum c
+    | Ast.Avg c -> Storage.Query.Avg c
+    | Ast.Min c -> Storage.Query.Min_of c
+    | Ast.Max c -> Storage.Query.Max_of c
+  in
+  match
+    Storage.Query.exec txn
+      (Storage.Query.Aggregate { table = sel.Ast.from_table; op; where })
+  with
+  | Storage.Query.Rows rows, _ -> { columns = [ agg_column_name agg ]; rows; affected = 0 }
+  | Storage.Query.Affected _, _ -> fail "internal: aggregate returned a count"
+  | Storage.Query.Error msg, _ -> fail "%s" msg
+
+let run_group_by txn (sel : Ast.select) group_col =
+  let schema = table_schema txn sel.Ast.from_table in
+  let env = env_of_schema schema in
+  if sel.Ast.join <> None then fail "GROUP BY over joins is not supported";
+  (match sel.Ast.projection with
+  | Ast.Columns [ (_, c) ] when String.equal c group_col -> ()
+  | Ast.Star -> ()
+  | Ast.Columns _ | Ast.Aggregate _ ->
+    fail "GROUP BY supports the shape: SELECT %s, COUNT(*) ..." group_col);
+  let where = Option.map (compile_expr env) sel.Ast.where in
+  let idx = resolve env (None, group_col) in
+  let rows = Storage.Txn.select txn ~table:sel.Ast.from_table ?where () in
+  let counts : (Storage.Value.t, int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun row ->
+      match Hashtbl.find_opt counts row.(idx) with
+      | Some r -> incr r
+      | None -> Hashtbl.add counts row.(idx) (ref 1))
+    rows;
+  let groups = Hashtbl.fold (fun v r acc -> (v, !r) :: acc) counts [] in
+  let ordered =
+    List.sort
+      (fun (va, ca) (vb, cb) ->
+        match compare cb ca with 0 -> Storage.Value.compare va vb | c -> c)
+      groups
+  in
+  let rows =
+    truncate sel.Ast.limit
+      (List.map (fun (v, c) -> [| v; Storage.Value.Int c |]) ordered)
+  in
+  { columns = [ group_col; "count(*)" ]; rows; affected = 0 }
+
+let run_join txn (sel : Ast.select) (join_table, lcol, rcol) =
+  let left_schema = table_schema txn sel.Ast.from_table in
+  let right_schema = table_schema txn join_table in
+  let env = env_of_join left_schema right_schema in
+  (* Normalize the ON condition so the left side references the FROM
+     table. *)
+  let belongs_to (schema : Storage.Schema.t) (q, c) =
+    (match q with
+    | Some q -> String.equal q schema.Storage.Schema.table_name
+    | None -> true)
+    && Array.exists
+         (fun col -> String.equal col.Storage.Schema.col_name c)
+         schema.Storage.Schema.columns
+  in
+  let left_col, right_col =
+    if belongs_to left_schema lcol && belongs_to right_schema rcol then (snd lcol, snd rcol)
+    else if belongs_to left_schema rcol && belongs_to right_schema lcol then
+      (snd rcol, snd lcol)
+    else fail "JOIN condition must relate the two joined tables"
+  in
+  match
+    Storage.Query.exec txn
+      (Storage.Query.Join
+         {
+           left = sel.Ast.from_table;
+           right = join_table;
+           left_col;
+           right_col;
+           left_where = None;
+           limit = None;
+         })
+  with
+  | Storage.Query.Error msg, _ -> fail "%s" msg
+  | Storage.Query.Affected _, _ -> fail "internal: join returned a count"
+  | Storage.Query.Rows rows, _ ->
+    let rows =
+      match sel.Ast.where with
+      | None -> rows
+      | Some w ->
+        let pred = compile_expr env w in
+        List.filter (fun row -> Storage.Expr.eval_bool row pred) rows
+    in
+    let rows = match sel.Ast.order_by with Some o -> order_rows env o rows | None -> rows in
+    let rows = truncate sel.Ast.limit rows in
+    let columns, rows = project env sel.Ast.projection rows in
+    { columns; rows; affected = 0 }
+
+let run_select txn (sel : Ast.select) =
+  match (sel.Ast.projection, sel.Ast.group_by, sel.Ast.join) with
+  | Ast.Aggregate agg, None, None -> run_aggregate txn sel agg
+  | _, Some g, _ -> run_group_by txn sel g
+  | _, None, Some join -> run_join txn sel join
+  | projection, None, None ->
+    let schema = table_schema txn sel.Ast.from_table in
+    let env = env_of_schema schema in
+    let where = Option.map (compile_expr env) sel.Ast.where in
+    (* A LIMIT can only be pushed into the scan when no reordering
+       happens afterwards. *)
+    let pushed_limit = if sel.Ast.order_by = None then sel.Ast.limit else None in
+    let rows =
+      Storage.Txn.select txn ~table:sel.Ast.from_table ?where ?limit:pushed_limit ()
+    in
+    let rows = match sel.Ast.order_by with Some o -> order_rows env o rows | None -> rows in
+    let rows = truncate sel.Ast.limit rows in
+    let columns, rows = project env projection rows in
+    { columns; rows; affected = 0 }
+
+let run_insert txn ~table ~columns ~values =
+  let schema = table_schema txn table in
+  let names = column_names schema in
+  let arity = List.length names in
+  let make_row tuple =
+    let tuple_values = List.map (const_value () ) tuple in
+    match columns with
+    | None ->
+      if List.length tuple_values <> arity then
+        fail "INSERT arity mismatch: table %s has %d columns" table arity;
+      Array.of_list tuple_values
+    | Some cols ->
+      if List.length cols <> List.length tuple_values then
+        fail "INSERT: %d columns but %d values" (List.length cols) (List.length tuple_values);
+      let row = Array.make arity Storage.Value.Null in
+      List.iter2
+        (fun col v ->
+          match Storage.Schema.column_index schema col with
+          | idx -> row.(idx) <- v
+          | exception Not_found -> fail "INSERT: unknown column %s.%s" table col)
+        cols tuple_values;
+      row
+  in
+  let rows = List.map make_row values in
+  List.iter
+    (fun row ->
+      match Storage.Txn.insert txn ~table row with
+      | Ok () -> ()
+      | Error msg -> fail "%s" msg)
+    rows;
+  { empty_result with affected = List.length rows }
+
+let run_update txn ~table ~set ~where =
+  let schema = table_schema txn table in
+  let env = env_of_schema schema in
+  let where = Option.map (compile_expr env) where in
+  let set =
+    List.map
+      (fun (col, e) ->
+        (match Storage.Schema.column_index schema col with
+        | _ -> ()
+        | exception Not_found -> fail "UPDATE: unknown column %s.%s" table col);
+        (col, compile_expr env e))
+      set
+  in
+  let affected = Storage.Txn.update txn ~table ?where ~set () in
+  { empty_result with affected }
+
+let run_delete txn ~table ~where =
+  let schema = table_schema txn table in
+  let env = env_of_schema schema in
+  let where = Option.map (compile_expr env) where in
+  let affected = Storage.Txn.delete txn ~table ?where () in
+  { empty_result with affected }
+
+let run_dml txn stmt =
+  try
+    match stmt with
+    | Ast.Select sel -> Ok (run_select txn sel)
+    | Ast.Insert { table; columns; values } -> Ok (run_insert txn ~table ~columns ~values)
+    | Ast.Update { table; set; where } -> Ok (run_update txn ~table ~set ~where)
+    | Ast.Delete { table; where } -> Ok (run_delete txn ~table ~where)
+    | Ast.Create_table _ | Ast.Begin | Ast.Commit | Ast.Rollback | Ast.Show_tables ->
+      Error "not a DML statement"
+  with
+  | Compile_error msg -> Error msg
+  | Storage.Expr.Type_error msg -> Error ("type error: " ^ msg)
+  | Invalid_argument msg -> Error msg

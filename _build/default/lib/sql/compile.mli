@@ -1,0 +1,27 @@
+(** Compile and execute SQL statements against a {!Storage.Txn.t}.
+
+    Name resolution, type construction for CREATE TABLE, and the mapping
+    of SELECT shapes onto the query engine (point/index/range selects,
+    joins, aggregates, grouping) live here; {!Session} adds transaction
+    control on top. *)
+
+type result = {
+  columns : string list;  (** header for the result rows *)
+  rows : Storage.Value.t array list;
+  affected : int;  (** rows written (0 for queries) *)
+}
+
+val empty_result : result
+
+val schema_of_create :
+  name:string ->
+  columns:Ast.column_def list ->
+  primary_key:string list ->
+  indexes:string list ->
+  (Storage.Schema.t, string) Stdlib.result
+(** Build a schema from a CREATE TABLE statement; errors on a missing
+    primary key or duplicate/unknown columns. *)
+
+val run_dml : Storage.Txn.t -> Ast.stmt -> (result, string) Stdlib.result
+(** Execute SELECT / INSERT / UPDATE / DELETE. Other statement kinds are
+    an error here (handled by {!Session}). *)

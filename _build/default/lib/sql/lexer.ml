@@ -1,0 +1,121 @@
+type token =
+  | Word of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Semi
+  | Op of string
+
+let pp_token ppf = function
+  | Word w -> Format.pp_print_string ppf w
+  | Int_lit i -> Format.pp_print_int ppf i
+  | Float_lit f -> Format.fprintf ppf "%g" f
+  | String_lit s -> Format.fprintf ppf "'%s'" s
+  | Lparen -> Format.pp_print_char ppf '('
+  | Rparen -> Format.pp_print_char ppf ')'
+  | Comma -> Format.pp_print_char ppf ','
+  | Dot -> Format.pp_print_char ppf '.'
+  | Star -> Format.pp_print_char ppf '*'
+  | Semi -> Format.pp_print_char ppf ';'
+  | Op op -> Format.pp_print_string ppf op
+
+let is_word_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_word_char c = is_word_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let error = ref None in
+  let fail pos msg = error := Some (Printf.sprintf "%s at position %d" msg pos) in
+  let i = ref 0 in
+  while !i < n && !error = None do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && input.[!i + 1] = '-' then begin
+      (* Comment to end of line. *)
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_word_start c then begin
+      let start = !i in
+      while !i < n && is_word_char input.[!i] do
+        incr i
+      done;
+      emit (Word (String.sub input start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      (* Fractional part: a dot followed by a digit (a bare dot is the
+         qualification operator). *)
+      if !i + 1 < n && input.[!i] = '.' && is_digit input.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done;
+        match float_of_string_opt (String.sub input start (!i - start)) with
+        | Some f -> emit (Float_lit f)
+        | None -> fail start "malformed float literal"
+      end
+      else begin
+        match int_of_string_opt (String.sub input start (!i - start)) with
+        | Some x -> emit (Int_lit x)
+        | None -> fail start "malformed integer literal"
+      end
+    end
+    else if c = '\'' then begin
+      (* String literal; '' escapes a quote. *)
+      let buf = Buffer.create 16 in
+      let start = !i in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n && !error = None do
+        if input.[!i] = '\'' then
+          if !i + 1 < n && input.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      if !closed then emit (String_lit (Buffer.contents buf))
+      else fail start "unterminated string literal"
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub input !i 2) else None
+      in
+      match two with
+      | Some (("<=" | ">=" | "<>" | "!=" | "||") as op) ->
+        emit (Op (if op = "!=" then "<>" else op));
+        i := !i + 2
+      | _ -> (
+        incr i;
+        match c with
+        | '(' -> emit Lparen
+        | ')' -> emit Rparen
+        | ',' -> emit Comma
+        | '.' -> emit Dot
+        | '*' -> emit Star
+        | ';' -> emit Semi
+        | '=' | '<' | '>' | '+' | '-' -> emit (Op (String.make 1 c))
+        | _ -> fail (!i - 1) (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  match !error with Some msg -> Error msg | None -> Ok (List.rev !tokens)

@@ -1,0 +1,24 @@
+(** SQL tokenizer.
+
+    Identifiers and keywords are lexed as {!Word} (the parser decides
+    which words are keywords, case-insensitively). String literals use
+    single quotes with [''] escaping; [--] comments run to end of line. *)
+
+type token =
+  | Word of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Semi
+  | Op of string  (** = <> != < <= > >= + - || *)
+
+val tokenize : string -> (token list, string) result
+(** Empty input yields an empty list. The error carries a character
+    position. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,479 @@
+exception Parse_error of string
+
+type state = { tokens : Lexer.token array; mutable pos : int }
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let peek st = if st.pos < Array.length st.tokens then Some st.tokens.(st.pos) else None
+
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  match peek st with
+  | Some tok ->
+    advance st;
+    tok
+  | None -> fail "unexpected end of statement"
+
+let describe = function
+  | Some tok -> Format.asprintf "%a" Lexer.pp_token tok
+  | None -> "end of statement"
+
+(* Keyword tests are case-insensitive on Word tokens. *)
+let is_kw st kw =
+  match peek st with
+  | Some (Lexer.Word w) -> String.uppercase_ascii w = kw
+  | Some _ | None -> false
+
+let eat_kw st kw = if is_kw st kw then (advance st; true) else false
+
+let expect_kw st kw =
+  if not (eat_kw st kw) then fail "expected %s, found %s" kw (describe (peek st))
+
+let expect st tok what =
+  match peek st with
+  | Some t when t = tok -> advance st
+  | other -> fail "expected %s, found %s" what (describe other)
+
+let ident st =
+  match peek st with
+  | Some (Lexer.Word w) ->
+    advance st;
+    w
+  | other -> fail "expected identifier, found %s" (describe other)
+
+let qualified st =
+  let first = ident st in
+  match peek st with
+  | Some Lexer.Dot ->
+    advance st;
+    (Some first, ident st)
+  | Some _ | None -> (None, first)
+
+(* --- Expressions --- *)
+
+let rec parse_or st =
+  let left = parse_and st in
+  if eat_kw st "OR" then Ast.Binop (Ast.Or, left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if eat_kw st "AND" then Ast.Binop (Ast.And, left, parse_and st) else left
+
+and parse_not st =
+  if eat_kw st "NOT" then Ast.Not (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let left = parse_add st in
+  match peek st with
+  | Some (Lexer.Op (("=" | "<>" | "<" | "<=" | ">" | ">=") as op)) ->
+    advance st;
+    let right = parse_add st in
+    let binop =
+      match op with
+      | "=" -> Ast.Eq
+      | "<>" -> Ast.Ne
+      | "<" -> Ast.Lt
+      | "<=" -> Ast.Le
+      | ">" -> Ast.Gt
+      | _ -> Ast.Ge
+    in
+    Ast.Binop (binop, left, right)
+  | Some (Lexer.Word w) when String.uppercase_ascii w = "LIKE" -> (
+    advance st;
+    match next st with
+    | Lexer.String_lit pattern -> Ast.Like (left, pattern)
+    | _ -> fail "LIKE expects a string literal pattern")
+  | Some (Lexer.Word w) when String.uppercase_ascii w = "IS" ->
+    advance st;
+    let negated = eat_kw st "NOT" in
+    expect_kw st "NULL";
+    Ast.Is_null (left, not negated)
+  | Some _ | None -> left
+
+and parse_add st =
+  let rec loop left =
+    match peek st with
+    | Some (Lexer.Op "+") ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, left, parse_mul st))
+    | Some (Lexer.Op "-") ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, left, parse_mul st))
+    | Some (Lexer.Op "||") ->
+      advance st;
+      loop (Ast.Binop (Ast.Concat, left, parse_mul st))
+    | Some _ | None -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    match peek st with
+    | Some Lexer.Star ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, left, parse_unary st))
+    | Some _ | None -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Some (Lexer.Op "-") ->
+    advance st;
+    (* Negate numerics directly when possible. *)
+    (match parse_unary st with
+    | Ast.Lit (Storage.Value.Int x) -> Ast.Lit (Storage.Value.Int (-x))
+    | Ast.Lit (Storage.Value.Float x) -> Ast.Lit (Storage.Value.Float (-.x))
+    | e -> Ast.Binop (Ast.Sub, Ast.Lit (Storage.Value.Int 0), e))
+  | Some _ | None -> parse_primary st
+
+and parse_primary st =
+  match next st with
+  | Lexer.Int_lit x -> Ast.Lit (Storage.Value.Int x)
+  | Lexer.Float_lit x -> Ast.Lit (Storage.Value.Float x)
+  | Lexer.String_lit s -> Ast.Lit (Storage.Value.Text s)
+  | Lexer.Lparen ->
+    let e = parse_or st in
+    expect st Lexer.Rparen ")";
+    e
+  | Lexer.Word w -> (
+    match String.uppercase_ascii w with
+    | "NULL" -> Ast.Lit Storage.Value.Null
+    | "TRUE" -> Ast.Lit (Storage.Value.Bool true)
+    | "FALSE" -> Ast.Lit (Storage.Value.Bool false)
+    | _ -> (
+      match peek st with
+      | Some Lexer.Dot ->
+        advance st;
+        Ast.Column (Some w, ident st)
+      | Some _ | None -> Ast.Column (None, w)))
+  | tok -> fail "unexpected token %s in expression" (Format.asprintf "%a" Lexer.pp_token tok)
+
+(* --- Projections --- *)
+
+type proj_item =
+  | P_star
+  | P_col of string option * string
+  | P_agg of Ast.aggregate
+
+let parse_agg st name =
+  expect st Lexer.Lparen "(";
+  let agg =
+    match String.uppercase_ascii name with
+    | "COUNT" ->
+      expect st Lexer.Star "*";
+      Ast.Count_star
+    | "SUM" -> Ast.Sum (ident st)
+    | "AVG" -> Ast.Avg (ident st)
+    | "MIN" -> Ast.Min (ident st)
+    | "MAX" -> Ast.Max (ident st)
+    | other -> fail "unknown aggregate function %s" other
+  in
+  expect st Lexer.Rparen ")";
+  agg
+
+let parse_proj_item st =
+  match peek st with
+  | Some Lexer.Star ->
+    advance st;
+    P_star
+  | Some (Lexer.Word w)
+    when List.mem (String.uppercase_ascii w) [ "COUNT"; "SUM"; "AVG"; "MIN"; "MAX" ] ->
+    advance st;
+    P_agg (parse_agg st w)
+  | Some _ | None ->
+    let q, c = qualified st in
+    P_col (q, c)
+
+let parse_projection st =
+  let rec items acc =
+    let item = parse_proj_item st in
+    if peek st = Some Lexer.Comma then begin
+      advance st;
+      items (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  match items [] with
+  | [ P_star ] -> Ast.Star
+  | [ P_agg a ] -> Ast.Aggregate a
+  | [ P_col (q, c); P_agg Ast.Count_star ] -> Ast.Columns [ (q, c) ]  (* GROUP BY shape *)
+  | parts ->
+    Ast.Columns
+      (List.map
+         (function
+           | P_col (q, c) -> (q, c)
+           | P_star -> fail "* cannot be mixed with other projections"
+           | P_agg _ -> fail "aggregates cannot be mixed with plain columns")
+         parts)
+
+(* --- Statements --- *)
+
+let parse_select st =
+  let projection = parse_projection st in
+  expect_kw st "FROM";
+  let from_table = ident st in
+  let join =
+    if eat_kw st "JOIN" then begin
+      let table = ident st in
+      expect_kw st "ON";
+      let left = qualified st in
+      (match next st with
+      | Lexer.Op "=" -> ()
+      | _ -> fail "JOIN condition must be an equality");
+      let right = qualified st in
+      Some (table, left, right)
+    end
+    else None
+  in
+  let where = if eat_kw st "WHERE" then Some (parse_or st) else None in
+  let group_by =
+    if eat_kw st "GROUP" then begin
+      expect_kw st "BY";
+      Some (ident st)
+    end
+    else None
+  in
+  let order_by =
+    if eat_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let col = ident st in
+      let dir =
+        if eat_kw st "DESC" then Ast.Desc
+        else begin
+          ignore (eat_kw st "ASC");
+          Ast.Asc
+        end
+      in
+      Some (col, dir)
+    end
+    else None
+  in
+  let limit =
+    if eat_kw st "LIMIT" then begin
+      match next st with
+      | Lexer.Int_lit n when n >= 0 -> Some n
+      | _ -> fail "LIMIT expects a non-negative integer"
+    end
+    else None
+  in
+  Ast.Select { projection; from_table; join; where; group_by; order_by; limit }
+
+let parse_insert st =
+  expect_kw st "INTO";
+  let table = ident st in
+  let columns =
+    if peek st = Some Lexer.Lparen then begin
+      advance st;
+      let rec cols acc =
+        let c = ident st in
+        if peek st = Some Lexer.Comma then begin
+          advance st;
+          cols (c :: acc)
+        end
+        else begin
+          expect st Lexer.Rparen ")";
+          List.rev (c :: acc)
+        end
+      in
+      Some (cols [])
+    end
+    else None
+  in
+  expect_kw st "VALUES";
+  let tuple () =
+    expect st Lexer.Lparen "(";
+    let rec vals acc =
+      let v = parse_or st in
+      if peek st = Some Lexer.Comma then begin
+        advance st;
+        vals (v :: acc)
+      end
+      else begin
+        expect st Lexer.Rparen ")";
+        List.rev (v :: acc)
+      end
+    in
+    vals []
+  in
+  let rec tuples acc =
+    let t = tuple () in
+    if peek st = Some Lexer.Comma then begin
+      advance st;
+      tuples (t :: acc)
+    end
+    else List.rev (t :: acc)
+  in
+  Ast.Insert { table; columns; values = tuples [] }
+
+let parse_update st =
+  let table = ident st in
+  expect_kw st "SET";
+  let rec assignments acc =
+    let col = ident st in
+    (match next st with
+    | Lexer.Op "=" -> ()
+    | _ -> fail "expected = in SET clause");
+    let e = parse_or st in
+    if peek st = Some Lexer.Comma then begin
+      advance st;
+      assignments ((col, e) :: acc)
+    end
+    else List.rev ((col, e) :: acc)
+  in
+  let set = assignments [] in
+  let where = if eat_kw st "WHERE" then Some (parse_or st) else None in
+  Ast.Update { table; set; where }
+
+let parse_delete st =
+  expect_kw st "FROM";
+  let table = ident st in
+  let where = if eat_kw st "WHERE" then Some (parse_or st) else None in
+  Ast.Delete { table; where }
+
+let parse_type st =
+  let base = String.uppercase_ascii (ident st) in
+  let ty =
+    match base with
+    | "INT" | "INTEGER" | "BIGINT" -> Storage.Value.Tint
+    | "FLOAT" | "REAL" | "DOUBLE" -> Storage.Value.Tfloat
+    | "TEXT" | "VARCHAR" | "CHAR" | "STRING" -> Storage.Value.Ttext
+    | "BOOL" | "BOOLEAN" -> Storage.Value.Tbool
+    | other -> fail "unknown column type %s" other
+  in
+  (* Optional length parameter, e.g. VARCHAR(100), is accepted and
+     ignored (lengths are not enforced). *)
+  if peek st = Some Lexer.Lparen then begin
+    advance st;
+    (match next st with Lexer.Int_lit _ -> () | _ -> fail "expected a length");
+    expect st Lexer.Rparen ")"
+  end;
+  ty
+
+let parse_create st =
+  expect_kw st "TABLE";
+  let name = ident st in
+  expect st Lexer.Lparen "(";
+  let columns = ref [] in
+  let primary_key = ref [] in
+  let indexes = ref [] in
+  let parse_entry () =
+    if is_kw st "PRIMARY" then begin
+      advance st;
+      expect_kw st "KEY";
+      expect st Lexer.Lparen "(";
+      let rec cols acc =
+        let c = ident st in
+        if peek st = Some Lexer.Comma then begin
+          advance st;
+          cols (c :: acc)
+        end
+        else begin
+          expect st Lexer.Rparen ")";
+          List.rev (c :: acc)
+        end
+      in
+      primary_key := cols []
+    end
+    else if is_kw st "INDEX" then begin
+      advance st;
+      expect st Lexer.Lparen "(";
+      indexes := !indexes @ [ ident st ];
+      expect st Lexer.Rparen ")"
+    end
+    else begin
+      let col_name = ident st in
+      let col_type = parse_type st in
+      let nullable = ref true in
+      let primary = ref false in
+      let rec flags () =
+        if is_kw st "NOT" then begin
+          advance st;
+          expect_kw st "NULL";
+          nullable := false;
+          flags ()
+        end
+        else if is_kw st "PRIMARY" then begin
+          advance st;
+          expect_kw st "KEY";
+          primary := true;
+          nullable := false;
+          flags ()
+        end
+      in
+      flags ();
+      columns :=
+        !columns @ [ { Ast.col_name; col_type; nullable = !nullable; primary = !primary } ]
+    end
+  in
+  let rec entries () =
+    parse_entry ();
+    if peek st = Some Lexer.Comma then begin
+      advance st;
+      entries ()
+    end
+    else expect st Lexer.Rparen ")"
+  in
+  entries ();
+  Ast.Create_table { name; columns = !columns; primary_key = !primary_key; indexes = !indexes }
+
+let parse_stmt st =
+  match next st with
+  | Lexer.Word w -> (
+    match String.uppercase_ascii w with
+    | "SELECT" -> parse_select st
+    | "INSERT" -> parse_insert st
+    | "UPDATE" -> parse_update st
+    | "DELETE" -> parse_delete st
+    | "CREATE" -> parse_create st
+    | "BEGIN" | "START" ->
+      ignore (eat_kw st "TRANSACTION");
+      Ast.Begin
+    | "COMMIT" -> Ast.Commit
+    | "ROLLBACK" | "ABORT" -> Ast.Rollback
+    | "SHOW" ->
+      expect_kw st "TABLES";
+      Ast.Show_tables
+    | other -> fail "unknown statement %s" other)
+  | tok -> fail "expected a statement, found %s" (Format.asprintf "%a" Lexer.pp_token tok)
+
+let parse input =
+  match Lexer.tokenize input with
+  | Error msg -> Error msg
+  | Ok tokens -> (
+    let st = { tokens = Array.of_list tokens; pos = 0 } in
+    try
+      let stmt = parse_stmt st in
+      (match peek st with
+      | Some Lexer.Semi -> advance st
+      | Some _ | None -> ());
+      match peek st with
+      | None -> Ok stmt
+      | Some tok -> Error (Printf.sprintf "trailing input: %s" (Format.asprintf "%a" Lexer.pp_token tok))
+    with Parse_error msg -> Error msg)
+
+let parse_script input =
+  match Lexer.tokenize input with
+  | Error msg -> Error msg
+  | Ok tokens -> (
+    let st = { tokens = Array.of_list tokens; pos = 0 } in
+    try
+      let rec loop acc =
+        match peek st with
+        | None -> Ok (List.rev acc)
+        | Some Lexer.Semi ->
+          advance st;
+          loop acc
+        | Some _ ->
+          let stmt = parse_stmt st in
+          (match peek st with
+          | Some Lexer.Semi -> advance st
+          | Some tok ->
+            fail "expected ; between statements, found %s"
+              (Format.asprintf "%a" Lexer.pp_token tok)
+          | None -> ());
+          loop (stmt :: acc)
+      in
+      loop []
+    with Parse_error msg -> Error msg)

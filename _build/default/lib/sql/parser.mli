@@ -1,0 +1,7 @@
+(** Recursive-descent SQL parser. *)
+
+val parse : string -> (Ast.stmt, string) result
+(** Parse exactly one statement (a trailing semicolon is allowed). *)
+
+val parse_script : string -> (Ast.stmt list, string) result
+(** Parse a semicolon-separated sequence of statements. *)

@@ -1,0 +1,125 @@
+type t = {
+  db : Storage.Database.t;
+  mutable txn : Storage.Txn.t option;
+}
+
+let create () = { db = Storage.Database.create (); txn = None }
+
+let of_database db = { db; txn = None }
+
+let database t = t.db
+
+let in_transaction t = t.txn <> None
+
+let run_stmt t stmt =
+  match stmt with
+  | Ast.Begin ->
+    if t.txn <> None then Error "already in a transaction"
+    else begin
+      t.txn <- Some (Storage.Txn.begin_ t.db);
+      Ok Compile.empty_result
+    end
+  | Ast.Commit -> (
+    match t.txn with
+    | None -> Error "no open transaction"
+    | Some txn -> (
+      t.txn <- None;
+      match Storage.Txn.commit_standalone txn with
+      | Ok _version -> Ok Compile.empty_result
+      | Error msg -> Error ("commit failed: " ^ msg)))
+  | Ast.Rollback ->
+    if t.txn = None then Error "no open transaction"
+    else begin
+      (* Buffered writes are simply dropped. *)
+      t.txn <- None;
+      Ok Compile.empty_result
+    end
+  | Ast.Show_tables ->
+    Ok
+      {
+        Compile.columns = [ "table"; "rows" ];
+        rows =
+          List.map
+            (fun name ->
+              let table = Storage.Database.table t.db name in
+              [|
+                Storage.Value.Text name;
+                Storage.Value.Int
+                  (Storage.Table.row_count table ~at:(Storage.Database.version t.db));
+              |])
+            (Storage.Database.table_names t.db);
+        affected = 0;
+      }
+  | Ast.Create_table { name; columns; primary_key; indexes } -> (
+    if t.txn <> None then Error "CREATE TABLE inside a transaction is not supported"
+    else
+      match Compile.schema_of_create ~name ~columns ~primary_key ~indexes with
+      | Error msg -> Error msg
+      | Ok schema -> (
+        match Storage.Database.create_table t.db schema with
+        | _ -> Ok Compile.empty_result
+        | exception Invalid_argument msg -> Error msg))
+  | Ast.Select _ | Ast.Insert _ | Ast.Update _ | Ast.Delete _ -> (
+    match t.txn with
+    | Some txn -> Compile.run_dml txn stmt
+    | None -> (
+      (* Auto-commit: run in a fresh transaction and commit it. *)
+      let txn = Storage.Txn.begin_ t.db in
+      match Compile.run_dml txn stmt with
+      | Error _ as e -> e
+      | Ok result -> (
+        match Storage.Txn.commit_standalone txn with
+        | Ok _ -> Ok result
+        | Error msg -> Error ("commit failed: " ^ msg))))
+
+let exec t input =
+  match Parser.parse input with
+  | Error msg -> Error msg
+  | Ok stmt -> run_stmt t stmt
+
+let exec_script t input =
+  match Parser.parse_script input with
+  | Error msg -> Error msg
+  | Ok stmts ->
+    let rec loop acc = function
+      | [] -> Ok (List.rev acc)
+      | stmt :: rest -> (
+        match run_stmt t stmt with
+        | Error msg -> Error msg
+        | Ok r -> loop (r :: acc) rest)
+    in
+    loop [] stmts
+
+let render (result : Compile.result) =
+  if result.Compile.columns = [] then
+    if result.Compile.affected > 0 then
+      Printf.sprintf "%d row(s) affected\n" result.Compile.affected
+    else "ok\n"
+  else begin
+    let cells = List.map (Array.to_list) result.Compile.rows in
+    let to_strings row = List.map Storage.Value.to_string row in
+    let all = result.Compile.columns :: List.map to_strings cells in
+    let columns = List.length result.Compile.columns in
+    let width c =
+      List.fold_left
+        (fun acc row ->
+          match List.nth_opt row c with Some s -> max acc (String.length s) | None -> acc)
+        0 all
+    in
+    let widths = List.init columns width in
+    let render_row row =
+      "| "
+      ^ String.concat " | "
+          (List.mapi
+             (fun c w -> Printf.sprintf "%-*s" w (Option.value (List.nth_opt row c) ~default:""))
+             widths)
+      ^ " |"
+    in
+    let rule =
+      "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+    in
+    String.concat "\n"
+      ((rule :: render_row result.Compile.columns :: rule
+       :: List.map (fun row -> render_row (to_strings row)) cells)
+      @ [ rule; Printf.sprintf "%d row(s)" (List.length cells); "" ])
+  end

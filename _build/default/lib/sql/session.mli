@@ -1,0 +1,30 @@
+(** A SQL session over a standalone database: statement execution with
+    transaction control.
+
+    Outside an explicit BEGIN ... COMMIT block, each DML statement runs
+    in its own auto-committed transaction. COMMIT validates under
+    first-committer-wins ({!Storage.Txn.commit_standalone}), so two
+    sessions over the same database exhibit snapshot-isolation
+    semantics. *)
+
+type t
+
+val create : unit -> t
+(** A session over a fresh empty database. *)
+
+val of_database : Storage.Database.t -> t
+(** Share an existing database (multiple sessions may share one). *)
+
+val database : t -> Storage.Database.t
+
+val in_transaction : t -> bool
+
+val exec : t -> string -> (Compile.result, string) result
+(** Parse and execute one statement. *)
+
+val exec_script : t -> string -> (Compile.result list, string) result
+(** Execute a semicolon-separated script, stopping at the first error. *)
+
+val render : Compile.result -> string
+(** Pretty-print a result: an aligned table for queries, a row count for
+    writes, "ok" otherwise. *)

@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Buffer Char Int64 List Printf Schema String Value Writeset

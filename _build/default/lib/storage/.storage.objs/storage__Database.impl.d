@@ -1,0 +1,1 @@
+lib/storage/database.ml: Array Buffer Codec Hashtbl List Printf Schema Table Value Writeset

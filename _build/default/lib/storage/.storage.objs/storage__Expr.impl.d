@@ -1,0 +1,1 @@
+lib/storage/expr.ml: Array Format List Printf Schema Stdlib String Value

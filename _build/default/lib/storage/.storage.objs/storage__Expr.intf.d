@@ -1,0 +1,1 @@
+lib/storage/expr.mli: Format Schema Value

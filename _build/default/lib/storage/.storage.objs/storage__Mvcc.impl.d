@@ -1,0 +1,1 @@
+lib/storage/mvcc.ml: Array Hashtbl List Map Printf Seq Value

@@ -1,0 +1,1 @@
+lib/storage/query.ml: Array Database Expr Float Format Hashtbl List Mvcc Printf Result Schema Table Txn Value

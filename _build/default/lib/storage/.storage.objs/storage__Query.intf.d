@@ -1,0 +1,1 @@
+lib/storage/query.mli: Expr Format Mvcc Txn Value

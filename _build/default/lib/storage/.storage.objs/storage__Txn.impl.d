@@ -1,0 +1,1 @@
+lib/storage/txn.ml: Array Database Expr Format Hashtbl List Mvcc Printf Schema String Table Value Writeset

@@ -1,0 +1,1 @@
+lib/storage/txn.mli: Database Expr Mvcc Value Writeset

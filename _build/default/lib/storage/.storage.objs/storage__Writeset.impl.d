@@ -1,0 +1,1 @@
+lib/storage/writeset.ml: Array Format Hashtbl List String Value

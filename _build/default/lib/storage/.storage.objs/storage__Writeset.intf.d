@@ -1,0 +1,1 @@
+lib/storage/writeset.mli: Format Value

@@ -1,0 +1,44 @@
+(** Binary encoding of storage values, rows, writesets and schemas.
+
+    Used for database checkpoints ({!Database.snapshot}), for exact
+    wire-size accounting of propagated writesets, and for replica state
+    transfer in recovery. The format is little-endian, self-describing
+    via tag bytes, and versioned by a leading magic string. *)
+
+type reader
+
+val reader : string -> reader
+(** A cursor over an encoded buffer, starting at offset 0. *)
+
+val reader_at_end : reader -> bool
+
+val expect_raw : reader -> string -> unit
+(** Consume exactly these raw bytes; raises {!Corrupt} on mismatch.
+    Used for magic headers. *)
+
+exception Corrupt of string
+(** Raised by every [decode_*] on malformed input. *)
+
+val encode_value : Buffer.t -> Value.t -> unit
+val decode_value : reader -> Value.t
+
+val encode_row : Buffer.t -> Value.t array -> unit
+val decode_row : reader -> Value.t array
+
+val encode_row_opt : Buffer.t -> Value.t array option -> unit
+val decode_row_opt : reader -> Value.t array option
+
+val encode_int : Buffer.t -> int -> unit
+val decode_int : reader -> int
+
+val encode_string : Buffer.t -> string -> unit
+val decode_string : reader -> string
+
+val encode_writeset : Buffer.t -> Writeset.t -> unit
+val decode_writeset : reader -> Writeset.t
+
+val writeset_bytes : Writeset.t -> int
+(** Exact encoded size of a writeset. *)
+
+val encode_schema : Buffer.t -> Schema.t -> unit
+val decode_schema : reader -> Schema.t

@@ -1,0 +1,60 @@
+(** A database instance: named tables plus the local commit version.
+
+    The version counter matches the paper's model: the database starts at
+    version 0 and the version increments by one each time an update
+    transaction (local or refresh) commits. {!apply} installs a certified
+    writeset at the next version; the replicated system calls it in the
+    certifier's total order. *)
+
+type t
+
+val create : unit -> t
+
+val create_table : t -> Schema.t -> Table.t
+(** Raises [Invalid_argument] if a table with that name exists. *)
+
+val table : t -> string -> Table.t
+(** Raises [Not_found] for unknown tables. *)
+
+val table_opt : t -> string -> Table.t option
+
+val table_names : t -> string list
+(** In creation order. *)
+
+val version : t -> int
+(** Current committed version ([V_local] in the paper). *)
+
+val apply : t -> Writeset.t -> version:int -> unit
+(** Install every entry of the writeset at [version] and advance the
+    database version. Raises [Invalid_argument] unless
+    [version = version t + 1] (commits apply in total order) or the
+    writeset touches unknown tables. *)
+
+val load : t -> string -> Value.t array list -> unit
+(** Bulk-load rows into a table as part of version 0 (initial database
+    population). Rows are validated against the schema; raises
+    [Invalid_argument] on validation failure or if the database has
+    already advanced past version 0. *)
+
+val gc : t -> keep_after:int -> int
+(** Garbage-collect old versions in all tables. *)
+
+val total_versions : t -> int
+
+(** {2 Checkpointing} *)
+
+val snapshot : t -> string
+(** Serialize the full database — schemas, every key's version chain and
+    the commit version — into a self-contained binary checkpoint
+    ({!Codec} format). *)
+
+val of_snapshot : string -> t
+(** Rebuild a database from {!snapshot} output. Raises {!Codec.Corrupt}
+    on malformed input. The result is value-equal to the original:
+    same schemas, same visible rows at every version retained. *)
+
+val fingerprint : t -> at:int -> int
+(** Order-independent hash of the visible contents of every table at
+    snapshot [at]. Two replicas that have applied the same prefix of the
+    commit order have equal fingerprints — the convergence check used in
+    tests. *)

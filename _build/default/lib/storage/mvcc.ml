@@ -1,0 +1,114 @@
+type key = Value.t array
+
+module Key_order = struct
+  type t = key
+
+  let compare a b =
+    let la = Array.length a and lb = Array.length b in
+    let rec go i =
+      if i >= la && i >= lb then 0
+      else if i >= la then -1
+      else if i >= lb then 1
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+end
+
+module Key_map = Map.Make (Key_order)
+
+type version = { version : int; row : Value.t array option }
+
+type t = {
+  chains : (key, version list ref) Hashtbl.t;
+  mutable ordered : unit Key_map.t;  (* key directory for ordered scans *)
+}
+
+let create () = { chains = Hashtbl.create 256; ordered = Key_map.empty }
+
+let install t key ~version row =
+  match Hashtbl.find_opt t.chains key with
+  | None ->
+    Hashtbl.add t.chains key (ref [ { version; row } ]);
+    t.ordered <- Key_map.add key () t.ordered
+  | Some chain -> begin
+    match !chain with
+    | { version = newest; _ } :: _ when newest >= version ->
+      invalid_arg
+        (Printf.sprintf "Mvcc.install: version %d not above newest %d" version newest)
+    | versions -> chain := { version; row } :: versions
+  end
+
+let read t key ~at =
+  match Hashtbl.find_opt t.chains key with
+  | None -> None
+  | Some chain ->
+    let rec visible = function
+      | [] -> None
+      | { version; row } :: rest -> if version <= at then row else visible rest
+    in
+    visible !chain
+
+let latest_version t key =
+  match Hashtbl.find_opt t.chains key with
+  | None -> None
+  | Some chain -> ( match !chain with [] -> None | { version; _ } :: _ -> Some version)
+
+let key_count t = Hashtbl.length t.chains
+
+let version_count t =
+  Hashtbl.fold (fun _ chain acc -> acc + List.length !chain) t.chains 0
+
+let iter_keys_ordered t f = Key_map.iter (fun key () -> f key) t.ordered
+
+exception Range_done
+
+let iter_keys_range t ?lo ?hi f =
+  let seq =
+    match lo with
+    | Some lo -> Key_map.to_seq_from lo t.ordered
+    | None -> Key_map.to_seq t.ordered
+  in
+  try
+    Seq.iter
+      (fun (key, ()) ->
+        (match hi with
+        | Some hi when Key_order.compare key hi > 0 -> raise Range_done
+        | Some _ | None -> ());
+        f key)
+      seq
+  with Range_done -> ()
+
+let fold_visible t ~at ~init ~f =
+  Key_map.fold
+    (fun key () acc ->
+      match read t key ~at with None -> acc | Some row -> f acc key row)
+    t.ordered init
+
+let fold_chains t ~init ~f =
+  Key_map.fold
+    (fun key () acc ->
+      match Hashtbl.find_opt t.chains key with
+      | None -> acc
+      | Some chain -> f acc key (List.map (fun { version; row } -> (version, row)) !chain))
+    t.ordered init
+
+let gc t ~keep_after =
+  let removed = ref 0 in
+  Hashtbl.iter
+    (fun _ chain ->
+      (* Keep every version newer than the horizon, plus the newest one at
+         or below it (still visible to snapshots above the horizon). *)
+      let rec trim kept = function
+        | [] -> List.rev kept
+        | ({ version; _ } as v) :: rest ->
+          if version > keep_after then trim (v :: kept) rest
+          else begin
+            removed := !removed + List.length rest;
+            List.rev (v :: kept)
+          end
+      in
+      chain := trim [] !chain)
+    t.chains;
+  !removed

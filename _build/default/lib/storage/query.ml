@@ -1,0 +1,261 @@
+type agg =
+  | Count_all
+  | Sum of string
+  | Avg of string
+  | Min_of of string
+  | Max_of of string
+
+type t =
+  | Select of { table : string; where : Expr.t option; limit : int option }
+  | Get of { table : string; key : Mvcc.key }
+  | Range of {
+      table : string;
+      lo : Mvcc.key option;
+      hi : Mvcc.key option;
+      where : Expr.t option;
+      limit : int option;
+    }
+  | Aggregate of { table : string; op : agg; where : Expr.t option }
+  | Group_count of {
+      table : string;
+      group_column : string;
+      lo : Mvcc.key option;
+      hi : Mvcc.key option;
+      limit : int;
+    }
+  | Join of {
+      left : string;
+      right : string;
+      left_col : string;
+      right_col : string;
+      left_where : Expr.t option;
+      limit : int option;
+    }
+  | Update of { table : string; where : Expr.t option; set : (string * Expr.t) list }
+  | Update_key of { table : string; key : Mvcc.key; set : (string * Expr.t) list }
+  | Insert of { table : string; row : Value.t array }
+  | Put of { table : string; row : Value.t array }
+  | Delete of { table : string; where : Expr.t option }
+  | Delete_key of { table : string; key : Mvcc.key }
+
+type result =
+  | Rows of Value.t array list
+  | Affected of int
+  | Error of string
+
+let table_of = function
+  | Select { table; _ }
+  | Get { table; _ }
+  | Range { table; _ }
+  | Aggregate { table; _ }
+  | Group_count { table; _ }
+  | Update { table; _ }
+  | Update_key { table; _ }
+  | Insert { table; _ }
+  | Put { table; _ }
+  | Delete { table; _ }
+  | Delete_key { table; _ } -> table
+  | Join { left; _ } -> left
+
+let tables_of = function
+  | Join { left; right; _ } -> [ left; right ]
+  | stmt -> [ table_of stmt ]
+
+let is_update = function
+  | Select _ | Get _ | Range _ | Aggregate _ | Group_count _ | Join _ -> false
+  | Update _ | Update_key _ | Insert _ | Put _ | Delete _ | Delete_key _ -> true
+
+let table_set statements =
+  let seen = Hashtbl.create 8 in
+  List.concat_map tables_of statements
+  |> List.filter_map (fun table ->
+         if Hashtbl.mem seen table then None
+         else begin
+           Hashtbl.add seen table ();
+           Some table
+         end)
+
+let column_of txn ~table name =
+  let schema = Table.schema (Database.table (Txn.database txn) table) in
+  match Schema.column_index schema name with
+  | idx -> idx
+  | exception Not_found ->
+    invalid_arg (Printf.sprintf "Query: unknown column %s.%s" table name)
+
+let numeric_fold rows column ~init ~f =
+  List.fold_left
+    (fun acc row ->
+      match row.(column) with
+      | Value.Null -> acc
+      | v -> Some (match acc with None -> Value.as_float v | Some a -> f a (Value.as_float v)))
+    init rows
+
+let run_aggregate txn ~table ~op ~where =
+  let rows = Txn.select txn ~table ?where () in
+  match op with
+  | Count_all -> Value.Int (List.length rows)
+  | Sum name ->
+    let column = column_of txn ~table name in
+    let total =
+      List.fold_left
+        (fun acc row ->
+          match row.(column) with Value.Null -> acc | v -> acc +. Value.as_float v)
+        0.0 rows
+    in
+    Value.Float total
+  | Avg name ->
+    let column = column_of txn ~table name in
+    let n = ref 0 and total = ref 0.0 in
+    List.iter
+      (fun row ->
+        match row.(column) with
+        | Value.Null -> ()
+        | v ->
+          incr n;
+          total := !total +. Value.as_float v)
+      rows;
+    if !n = 0 then Value.Null else Value.Float (!total /. float_of_int !n)
+  | Min_of name ->
+    let column = column_of txn ~table name in
+    (match numeric_fold rows column ~init:None ~f:Float.min with
+    | None -> Value.Null
+    | Some x -> Value.Float x)
+  | Max_of name ->
+    let column = column_of txn ~table name in
+    (match numeric_fold rows column ~init:None ~f:Float.max with
+    | None -> Value.Null
+    | Some x -> Value.Float x)
+
+let run_group_count txn ~table ~group_column ~lo ~hi ~limit =
+  let column = column_of txn ~table group_column in
+  let rows = Txn.range txn ~table ?lo ?hi () in
+  let counts : (Value.t, int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun row ->
+      let v = row.(column) in
+      match Hashtbl.find_opt counts v with
+      | Some r -> incr r
+      | None -> Hashtbl.add counts v (ref 1))
+    rows;
+  let groups = Hashtbl.fold (fun v r acc -> (v, !r) :: acc) counts [] in
+  let ordered =
+    List.sort
+      (fun (va, ca) (vb, cb) ->
+        match compare cb ca with 0 -> Value.compare va vb | c -> c)
+      groups
+  in
+  List.filteri (fun i _ -> i < limit) ordered
+  |> List.map (fun (v, c) -> [| v; Value.Int c |])
+
+let run_join txn ~left ~right ~left_col ~right_col ~left_where ~limit =
+  let lcol = column_of txn ~table:left left_col in
+  ignore (column_of txn ~table:right right_col);  (* validate the column exists *)
+  let right_schema = Table.schema (Database.table (Txn.database txn) right) in
+  let left_rows = Txn.select txn ~table:left ?where:left_where ?limit () in
+  let max_out = match limit with Some l -> l | None -> max_int in
+  let out = ref [] in
+  let count = ref 0 in
+  (try
+     List.iter
+       (fun lrow ->
+         let key_value = lrow.(lcol) in
+         let matches =
+           Txn.select txn ~table:right
+             ~where:Expr.(col right_schema right_col = Const key_value)
+             ()
+         in
+         List.iter
+           (fun rrow ->
+             if !count >= max_out then raise Exit;
+             out := Array.append lrow rrow :: !out;
+             incr count)
+           matches)
+       left_rows
+   with Exit -> ());
+  List.rev !out
+
+let exec txn stmt =
+  ignore (Txn.reset_cost txn);
+  let result =
+    match stmt with
+    | Select { table; where; limit } -> Rows (Txn.select txn ~table ?where ?limit ())
+    | Get { table; key } -> begin
+      match Txn.get txn ~table ~key with Some row -> Rows [ row ] | None -> Rows []
+    end
+    | Range { table; lo; hi; where; limit } ->
+      Rows (Txn.range txn ~table ?lo ?hi ?where ?limit ())
+    | Aggregate { table; op; where } -> Rows [ [| run_aggregate txn ~table ~op ~where |] ]
+    | Group_count { table; group_column; lo; hi; limit } ->
+      Rows (run_group_count txn ~table ~group_column ~lo ~hi ~limit)
+    | Join { left; right; left_col; right_col; left_where; limit } ->
+      Rows (run_join txn ~left ~right ~left_col ~right_col ~left_where ~limit)
+    | Update { table; where; set } -> Affected (Txn.update txn ~table ?where ~set ())
+    | Update_key { table; key; set } ->
+      Affected (if Txn.update_key txn ~table ~key ~set then 1 else 0)
+    | Insert { table; row } -> begin
+      match Txn.insert txn ~table row with Ok () -> Affected 1 | Result.Error msg -> Error msg
+    end
+    | Put { table; row } -> begin
+      match Txn.put txn ~table row with Ok () -> Affected 1 | Result.Error msg -> Error msg
+    end
+    | Delete { table; where } -> Affected (Txn.delete txn ~table ?where ())
+    | Delete_key { table; key } -> Affected (if Txn.delete_key txn ~table ~key then 1 else 0)
+  in
+  (result, Txn.reset_cost txn)
+
+let pp_key ppf key =
+  Array.iteri
+    (fun i v -> Format.fprintf ppf "%s%a" (if i > 0 then "," else "") Value.pp v)
+    key
+
+let pp_where ppf = function
+  | None -> ()
+  | Some e -> Format.fprintf ppf " WHERE %a" Expr.pp e
+
+let pp_agg ppf = function
+  | Count_all -> Format.pp_print_string ppf "COUNT(*)"
+  | Sum c -> Format.fprintf ppf "SUM(%s)" c
+  | Avg c -> Format.fprintf ppf "AVG(%s)" c
+  | Min_of c -> Format.fprintf ppf "MIN(%s)" c
+  | Max_of c -> Format.fprintf ppf "MAX(%s)" c
+
+let pp ppf = function
+  | Range { table; lo; hi; where; limit } ->
+    let pp_bound ppf = function
+      | Some key -> pp_key ppf key
+      | None -> Format.pp_print_string ppf "*"
+    in
+    Format.fprintf ppf "RANGE %s [%a .. %a]%a%s" table pp_bound lo pp_bound hi pp_where
+      where
+      (match limit with Some l -> Printf.sprintf " LIMIT %d" l | None -> "")
+  | Aggregate { table; op; where } ->
+    Format.fprintf ppf "SELECT %a FROM %s%a" pp_agg op table pp_where where
+  | Group_count { table; group_column; limit; _ } ->
+    Format.fprintf ppf "SELECT %s, COUNT(*) FROM %s GROUP BY %s ORDER BY 2 DESC LIMIT %d"
+      group_column table group_column limit
+  | Join { left; right; left_col; right_col; left_where; limit } ->
+    Format.fprintf ppf "SELECT * FROM %s JOIN %s ON %s.%s = %s.%s%a%s" left right left
+      left_col right right_col pp_where left_where
+      (match limit with Some l -> Printf.sprintf " LIMIT %d" l | None -> "")
+  | Select { table; where; limit } ->
+    Format.fprintf ppf "SELECT * FROM %s%a%s" table pp_where where
+      (match limit with Some l -> Printf.sprintf " LIMIT %d" l | None -> "")
+  | Get { table; key } -> Format.fprintf ppf "GET %s[%a]" table pp_key key
+  | Update { table; where; set } ->
+    Format.fprintf ppf "UPDATE %s SET %a%a" table
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (c, e) -> Format.fprintf ppf "%s = %a" c Expr.pp e))
+      set pp_where where
+  | Update_key { table; key; set } ->
+    Format.fprintf ppf "UPDATE %s[%a] SET %a" table pp_key key
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (c, e) -> Format.fprintf ppf "%s = %a" c Expr.pp e))
+      set
+  | Insert { table; row } ->
+    Format.fprintf ppf "INSERT INTO %s VALUES (%a)" table pp_key row
+  | Put { table; row } ->
+    Format.fprintf ppf "PUT INTO %s VALUES (%a)" table pp_key row
+  | Delete { table; where } -> Format.fprintf ppf "DELETE FROM %s%a" table pp_where where
+  | Delete_key { table; key } -> Format.fprintf ppf "DELETE %s[%a]" table pp_key key

@@ -1,0 +1,86 @@
+type op =
+  | Put of Value.t array
+  | Delete
+
+type entry = {
+  ws_table : string;
+  ws_key : Value.t array;
+  ws_op : op;
+}
+
+type t = {
+  items : entry list;  (* insertion order *)
+  index : (string * Value.t array, entry) Hashtbl.t;
+}
+
+let empty = { items = []; index = Hashtbl.create 1 }
+
+let of_entries entries =
+  let index = Hashtbl.create (List.length entries * 2) in
+  (* Later writes supersede earlier ones for the same record; keep first
+     occurrence position for ordering. *)
+  List.iter (fun e -> Hashtbl.replace index (e.ws_table, e.ws_key) e) entries;
+  let seen = Hashtbl.create 16 in
+  let items =
+    List.filter_map
+      (fun e ->
+        let k = (e.ws_table, e.ws_key) in
+        if Hashtbl.mem seen k then None
+        else begin
+          Hashtbl.add seen k ();
+          Some (Hashtbl.find index k)
+        end)
+      entries
+  in
+  { items; index }
+
+let is_empty t = t.items = []
+
+let entries t = t.items
+
+let cardinal t = List.length t.items
+
+let tables t =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun e ->
+      if Hashtbl.mem seen e.ws_table then None
+      else begin
+        Hashtbl.add seen e.ws_table ();
+        Some e.ws_table
+      end)
+    t.items
+
+let mem t ~table ~key = Hashtbl.mem t.index (table, key)
+
+let conflicts a b =
+  (* Probe the smaller set against the larger one's hash index. *)
+  let small, large = if cardinal a <= cardinal b then (a, b) else (b, a) in
+  List.exists (fun e -> Hashtbl.mem large.index (e.ws_table, e.ws_key)) small.items
+
+let size_bytes t =
+  List.fold_left
+    (fun acc e ->
+      let key_size = Array.fold_left (fun s v -> s + Value.size_bytes v) 0 e.ws_key in
+      let op_size =
+        match e.ws_op with
+        | Put row -> Array.fold_left (fun s v -> s + Value.size_bytes v) 0 row
+        | Delete -> 1
+      in
+      acc + key_size + op_size + String.length e.ws_table + 8)
+    0 t.items
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      let pp_key ppf key =
+        Array.iteri
+          (fun i v -> Format.fprintf ppf "%s%a" (if i > 0 then "," else "") Value.pp v)
+          key
+      in
+      match e.ws_op with
+      | Put _ -> Format.fprintf ppf "PUT %s[%a]@," e.ws_table pp_key e.ws_key
+      | Delete -> Format.fprintf ppf "DEL %s[%a]@," e.ws_table pp_key e.ws_key)
+    t.items;
+  Format.fprintf ppf "@]"

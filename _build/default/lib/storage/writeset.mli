@@ -1,0 +1,44 @@
+(** Transaction writesets.
+
+    A writeset is the set of records a transaction inserted, updated or
+    deleted, keyed by (table, primary key). It is the unit the certifier
+    checks for write-write conflicts and the payload of refresh
+    transactions propagated to remote replicas. *)
+
+type op =
+  | Put of Value.t array  (** insert or full-row update *)
+  | Delete
+
+type entry = {
+  ws_table : string;
+  ws_key : Value.t array;
+  ws_op : op;
+}
+
+type t
+
+val empty : t
+
+val of_entries : entry list -> t
+(** Later entries for the same (table, key) supersede earlier ones. *)
+
+val is_empty : t -> bool
+
+val entries : t -> entry list
+(** In insertion order (after per-key superseding). *)
+
+val cardinal : t -> int
+(** Number of distinct (table, key) pairs written. *)
+
+val tables : t -> string list
+(** Distinct tables written, in first-write order. *)
+
+val mem : t -> table:string -> key:Value.t array -> bool
+
+val conflicts : t -> t -> bool
+(** Whether the two writesets write a common (table, key). *)
+
+val size_bytes : t -> int
+(** Approximate propagation footprint. *)
+
+val pp : Format.formatter -> t -> unit

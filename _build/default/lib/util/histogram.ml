@@ -1,0 +1,47 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~buckets =
+  assert (hi > lo);
+  assert (buckets > 0);
+  { lo; hi; counts = Array.make buckets 0; total = 0 }
+
+let bucket_index t x =
+  let buckets = Array.length t.counts in
+  if x < t.lo then 0
+  else if x >= t.hi then buckets - 1
+  else begin
+    let width = (t.hi -. t.lo) /. float_of_int buckets in
+    let i = int_of_float ((x -. t.lo) /. width) in
+    Stdlib.min i (buckets - 1)
+  end
+
+let add t x =
+  let i = bucket_index t x in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let bucket_count t = Array.length t.counts
+
+let bucket_range t i =
+  let buckets = Array.length t.counts in
+  let width = (t.hi -. t.lo) /. float_of_int buckets in
+  (t.lo +. (float_of_int i *. width), t.lo +. (float_of_int (i + 1) *. width))
+
+let bucket_value t i = t.counts.(i)
+
+let pp ppf t =
+  let buckets = Array.length t.counts in
+  let max_count = Array.fold_left Stdlib.max 1 t.counts in
+  for i = 0 to buckets - 1 do
+    let lo, hi = bucket_range t i in
+    let width = t.counts.(i) * 40 / max_count in
+    Format.fprintf ppf "[%8.2f, %8.2f) %6d %s@." lo hi t.counts.(i)
+      (String.make width '#')
+  done

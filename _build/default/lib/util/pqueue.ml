@@ -1,0 +1,82 @@
+(* Binary min-heap over (priority, sequence, payload). The sequence number
+   makes the ordering total and FIFO among equal priorities, so simulation
+   runs are deterministic. *)
+
+type 'a entry = { prio : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let entry_lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow q =
+  let capacity = Array.length q.data in
+  let new_capacity = if capacity = 0 then 16 else capacity * 2 in
+  (* Dummy slot reused to fill the fresh tail of the array. *)
+  let dummy = q.data.(0) in
+  let data = Array.make new_capacity dummy in
+  Array.blit q.data 0 data 0 q.size;
+  q.data <- data
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt q.data.(i) q.data.(parent) then begin
+      let tmp = q.data.(i) in
+      q.data.(i) <- q.data.(parent);
+      q.data.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 in
+  if left < q.size then begin
+    let right = left + 1 in
+    let smallest =
+      if right < q.size && entry_lt q.data.(right) q.data.(left) then right
+      else left
+    in
+    if entry_lt q.data.(smallest) q.data.(i) then begin
+      let tmp = q.data.(i) in
+      q.data.(i) <- q.data.(smallest);
+      q.data.(smallest) <- tmp;
+      sift_down q smallest
+    end
+  end
+
+let push q prio payload =
+  let e = { prio; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = 0 && Array.length q.data = 0 then q.data <- Array.make 16 e
+  else if q.size = Array.length q.data then grow q;
+  q.data.(q.size) <- e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (top.prio, top.payload)
+  end
+
+let peek q = if q.size = 0 then None else Some (q.data.(0).prio, q.data.(0).payload)
+
+let clear q =
+  q.size <- 0;
+  q.data <- [||]

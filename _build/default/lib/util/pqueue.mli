@@ -1,0 +1,29 @@
+(** Mutable binary min-heap priority queue.
+
+    Elements are ordered by a float priority supplied at insertion time;
+    ties are broken by insertion order (FIFO among equal priorities),
+    which the simulator relies on for deterministic replay. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty queue. *)
+
+val length : 'a t -> int
+(** Number of queued elements. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q prio x] inserts [x] with priority [prio]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop q] removes and returns the minimum-priority element, or [None]
+    if the queue is empty. Among equal priorities the element inserted
+    first is returned first. *)
+
+val peek : 'a t -> (float * 'a) option
+(** [peek q] is the minimum-priority element without removing it. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)

@@ -1,0 +1,1 @@
+lib/workload/microbench.ml: Core List Printf Storage String Util

@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Check Core List Printf Storage Util

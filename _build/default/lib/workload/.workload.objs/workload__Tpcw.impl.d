@@ -1,0 +1,1 @@
+lib/workload/tpcw.ml: Array Core List Printf Storage Util

@@ -1,0 +1,1 @@
+lib/workload/tpcw.mli: Core Storage Util

@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array Core List Printf Storage String Util

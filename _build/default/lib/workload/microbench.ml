@@ -1,0 +1,99 @@
+type params = {
+  tables : int;
+  rows : int;
+  update_types : int;
+}
+
+let default = { tables = 40; rows = 10_000; update_types = 0 }
+
+let table_name i = Printf.sprintf "t%02d" i
+
+(* One shared pad value: immutable, so every row aliases the same string. *)
+let pad = String.make 100 'x'
+
+let schema i =
+  Storage.Schema.make ~name:(table_name i)
+    ~columns:
+      [ ("id", Storage.Value.Tint); ("val", Storage.Value.Tint); ("pad", Storage.Value.Ttext) ]
+    ~key:[ "id" ] ()
+
+let schemas p = List.init p.tables schema
+
+let load p db =
+  for t = 0 to p.tables - 1 do
+    let rows =
+      List.init p.rows (fun i ->
+          [| Storage.Value.Int i; Storage.Value.Int (i * 17 mod 97); Storage.Value.Text pad |])
+    in
+    Storage.Database.load db (table_name t) rows
+  done
+
+let request p rng =
+  assert (p.update_types >= 0 && p.update_types <= p.tables);
+  let tx_type = Util.Rng.int rng p.tables in
+  let table = table_name tx_type in
+  let row = Util.Rng.int rng p.rows in
+  let key = [| Storage.Value.Int row |] in
+  if tx_type < p.update_types then
+    Core.Transaction.make ~profile:(Printf.sprintf "upd_%s" table)
+      [
+        Storage.Query.Update_key
+          {
+            table;
+            key;
+            set = [ ("val", Storage.Expr.(Col 1 + i 1)) ];  (* val := val + 1 *)
+          };
+      ]
+  else
+    Core.Transaction.make ~profile:(Printf.sprintf "read_%s" table)
+      [ Storage.Query.Get { table; key } ]
+
+let workload p =
+  { Core.Client.think_ms = Core.Client.no_think; next_request = request p }
+
+let span_request p ~span rng =
+  assert (span >= 1 && span <= p.tables);
+  let tx_type = Util.Rng.int rng p.tables in
+  if tx_type < p.update_types then
+    let statements =
+      List.init span (fun k ->
+          let table = table_name ((tx_type + k) mod p.tables) in
+          Storage.Query.Update_key
+            {
+              table;
+              key = [| Storage.Value.Int (Util.Rng.int rng p.rows) |];
+              set = [ ("val", Storage.Expr.(Col 1 + i 1)) ];
+            })
+    in
+    Core.Transaction.make ~profile:(Printf.sprintf "upd_span%d_%02d" span tx_type)
+      statements
+  else
+    Core.Transaction.make
+      ~profile:(Printf.sprintf "read_%s" (table_name tx_type))
+      [
+        Storage.Query.Get
+          { table = table_name tx_type; key = [| Storage.Value.Int (Util.Rng.int rng p.rows) |] };
+      ]
+
+let span_workload p ~span =
+  { Core.Client.think_ms = Core.Client.no_think; next_request = span_request p ~span }
+
+let hot_request p ~hot_rows rng =
+  let tx_type = Util.Rng.int rng p.tables in
+  let table = table_name tx_type in
+  if tx_type < p.update_types then
+    Core.Transaction.make ~profile:(Printf.sprintf "hot_upd_%s" table)
+      [
+        Storage.Query.Update_key
+          {
+            table;
+            key = [| Storage.Value.Int (Util.Rng.int rng (min hot_rows p.rows)) |];
+            set = [ ("val", Storage.Expr.(Col 1 + i 1)) ];
+          };
+      ]
+  else
+    Core.Transaction.make ~profile:(Printf.sprintf "read_%s" table)
+      [ Storage.Query.Get { table; key = [| Storage.Value.Int (Util.Rng.int rng p.rows) |] } ]
+
+let hot_workload p ~hot_rows =
+  { Core.Client.think_ms = Core.Client.no_think; next_request = hot_request p ~hot_rows }

@@ -1,0 +1,391 @@
+type params = {
+  warehouses : int;
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+  initial_orders_per_district : int;
+}
+
+let default =
+  {
+    warehouses = 4;
+    districts_per_warehouse = 10;
+    customers_per_district = 300;
+    items = 1_000;
+    initial_orders_per_district = 100;
+  }
+
+type tx = New_order | Payment | Order_status | Delivery | Stock_level
+
+let tx_name = function
+  | New_order -> "new_order"
+  | Payment -> "payment"
+  | Order_status -> "order_status"
+  | Delivery -> "delivery"
+  | Stock_level -> "stock_level"
+
+let is_update_tx = function
+  | New_order | Payment | Delivery -> true
+  | Order_status | Stock_level -> false
+
+let weights =
+  [ (New_order, 45.0); (Payment, 43.0); (Order_status, 4.0); (Delivery, 4.0);
+    (Stock_level, 4.0) ]
+
+(* --- Schema --- *)
+
+let vi x = Storage.Value.Int x
+let vf x = Storage.Value.Float x
+let vt x = Storage.Value.Text x
+
+let warehouse_schema =
+  Storage.Schema.make ~name:"warehouse"
+    ~columns:
+      [ ("w_id", Storage.Value.Tint); ("w_name", Storage.Value.Ttext);
+        ("w_tax", Storage.Value.Tfloat); ("w_ytd", Storage.Value.Tfloat) ]
+    ~key:[ "w_id" ] ()
+
+let district_schema =
+  Storage.Schema.make ~name:"district"
+    ~columns:
+      [ ("d_w_id", Storage.Value.Tint); ("d_id", Storage.Value.Tint);
+        ("d_name", Storage.Value.Ttext); ("d_tax", Storage.Value.Tfloat);
+        ("d_ytd", Storage.Value.Tfloat); ("d_next_o_id", Storage.Value.Tint) ]
+    ~key:[ "d_w_id"; "d_id" ] ()
+
+let customer_schema =
+  Storage.Schema.make ~name:"tpcc_customer"
+    ~columns:
+      [ ("c_w_id", Storage.Value.Tint); ("c_d_id", Storage.Value.Tint);
+        ("c_id", Storage.Value.Tint); ("c_name", Storage.Value.Ttext);
+        ("c_balance", Storage.Value.Tfloat); ("c_ytd_payment", Storage.Value.Tfloat);
+        ("c_payment_cnt", Storage.Value.Tint); ("c_delivery_cnt", Storage.Value.Tint) ]
+    ~key:[ "c_w_id"; "c_d_id"; "c_id" ] ()
+
+let history_schema =
+  Storage.Schema.make ~name:"history"
+    ~columns:
+      [ ("h_id", Storage.Value.Tint); ("h_c_w_id", Storage.Value.Tint);
+        ("h_c_d_id", Storage.Value.Tint); ("h_c_id", Storage.Value.Tint);
+        ("h_amount", Storage.Value.Tfloat); ("h_date", Storage.Value.Tint) ]
+    ~key:[ "h_id" ] ()
+
+let new_order_schema =
+  Storage.Schema.make ~name:"new_order"
+    ~columns:
+      [ ("no_w_id", Storage.Value.Tint); ("no_d_id", Storage.Value.Tint);
+        ("no_o_id", Storage.Value.Tint) ]
+    ~key:[ "no_w_id"; "no_d_id"; "no_o_id" ] ()
+
+let orders_schema =
+  Storage.Schema.make ~name:"tpcc_orders"
+    ~columns:
+      [ ("o_w_id", Storage.Value.Tint); ("o_d_id", Storage.Value.Tint);
+        ("o_id", Storage.Value.Tint); ("o_c_id", Storage.Value.Tint);
+        ("o_entry_d", Storage.Value.Tint); ("o_carrier_id", Storage.Value.Tint);
+        ("o_ol_cnt", Storage.Value.Tint) ]
+    ~nullable:[ "o_carrier_id" ] ~indexes:[ "o_c_id" ] ~key:[ "o_w_id"; "o_d_id"; "o_id" ]
+    ()
+
+let order_line_schema =
+  Storage.Schema.make ~name:"tpcc_order_line"
+    ~columns:
+      [ ("ol_w_id", Storage.Value.Tint); ("ol_d_id", Storage.Value.Tint);
+        ("ol_o_id", Storage.Value.Tint); ("ol_number", Storage.Value.Tint);
+        ("ol_i_id", Storage.Value.Tint); ("ol_qty", Storage.Value.Tint);
+        ("ol_amount", Storage.Value.Tfloat); ("ol_delivery_d", Storage.Value.Tint) ]
+    ~nullable:[ "ol_delivery_d" ]
+    ~key:[ "ol_w_id"; "ol_d_id"; "ol_o_id"; "ol_number" ] ()
+
+let item_schema =
+  Storage.Schema.make ~name:"tpcc_item"
+    ~columns:
+      [ ("i_id", Storage.Value.Tint); ("i_name", Storage.Value.Ttext);
+        ("i_price", Storage.Value.Tfloat) ]
+    ~key:[ "i_id" ] ()
+
+let stock_schema =
+  Storage.Schema.make ~name:"stock"
+    ~columns:
+      [ ("s_w_id", Storage.Value.Tint); ("s_i_id", Storage.Value.Tint);
+        ("s_quantity", Storage.Value.Tint); ("s_ytd", Storage.Value.Tfloat);
+        ("s_order_cnt", Storage.Value.Tint) ]
+    ~key:[ "s_w_id"; "s_i_id" ] ()
+
+let schemas =
+  [ warehouse_schema; district_schema; customer_schema; history_schema; new_order_schema;
+    orders_schema; order_line_schema; item_schema; stock_schema ]
+
+(* --- Population --- *)
+
+let lines_per_order = 5
+
+let load p db =
+  Storage.Database.load db "warehouse"
+    (List.init p.warehouses (fun w ->
+         [| vi w; vt (Printf.sprintf "W%d" w); vf 0.07; vf 0.0 |]));
+  let per_district f =
+    List.concat_map
+      (fun w -> List.init p.districts_per_warehouse (fun d -> f w d))
+      (List.init p.warehouses (fun w -> w))
+  in
+  Storage.Database.load db "district"
+    (per_district (fun w d ->
+         [|
+           vi w; vi d; vt (Printf.sprintf "D%d-%d" w d); vf 0.08; vf 0.0;
+           vi p.initial_orders_per_district;
+         |]));
+  Storage.Database.load db "tpcc_customer"
+    (List.concat
+       (per_district (fun w d ->
+            [
+              List.init p.customers_per_district (fun c ->
+                  [|
+                    vi w; vi d; vi c; vt (Printf.sprintf "Customer%d" c); vf (-10.0);
+                    vf 10.0; vi 1; vi 0;
+                  |]);
+            ])
+       |> List.map List.concat));
+  Storage.Database.load db "tpcc_item"
+    (List.init p.items (fun i ->
+         [| vi i; vt (Printf.sprintf "Item%d" i); vf (1.0 +. float_of_int (i mod 100)) |]));
+  Storage.Database.load db "stock"
+    (List.concat_map
+       (fun w -> List.init p.items (fun i -> [| vi w; vi i; vi 91; vf 0.0; vi 0 |]))
+       (List.init p.warehouses (fun w -> w)));
+  (* Initial orders: the most recent 30% are undelivered (rows in
+     new_order, NULL carrier). *)
+  let undelivered_from = p.initial_orders_per_district * 7 / 10 in
+  Storage.Database.load db "tpcc_orders"
+    (per_district (fun w d ->
+         List.init p.initial_orders_per_district (fun o ->
+             let delivered = o < undelivered_from in
+             [|
+               vi w; vi d; vi o; vi (o mod p.customers_per_district); vi (20260000 + o);
+               (if delivered then vi (o mod 10) else Storage.Value.Null);
+               vi lines_per_order;
+             |]))
+     |> List.concat);
+  Storage.Database.load db "tpcc_order_line"
+    (per_district (fun w d ->
+         List.concat
+           (List.init p.initial_orders_per_district (fun o ->
+                let delivered = o < undelivered_from in
+                List.init lines_per_order (fun l ->
+                    [|
+                      vi w; vi d; vi o; vi l; vi (((o * 13) + l) mod p.items);
+                      vi (1 + (l mod 5)); vf 9.99;
+                      (if delivered then vi (20260000 + o) else Storage.Value.Null);
+                    |]))))
+     |> List.concat);
+  Storage.Database.load db "new_order"
+    (per_district (fun w d ->
+         List.filter_map
+           (fun o -> if o >= undelivered_from then Some [| vi w; vi d; vi o |] else None)
+           (List.init p.initial_orders_per_district (fun o -> o)))
+     |> List.concat);
+  Storage.Database.load db "history"
+    (per_district (fun w d ->
+         List.init p.customers_per_district (fun c ->
+             [| vi (((w * 1000) + d) * 1000 + c); vi w; vi d; vi c; vf 10.0; vi 20260000 |]))
+     |> List.concat)
+
+(* --- Transactions --- *)
+
+
+let fresh_id rng = 1 + Util.Rng.int rng 0x3FFFFFFF
+
+let statements_of p tx rng =
+  let w = Util.Rng.int rng p.warehouses in
+  let d = Util.Rng.int rng p.districts_per_warehouse in
+  let c = Util.Rng.int rng p.customers_per_district in
+  match tx with
+  | New_order ->
+    let o_id = fresh_id rng in
+    let ol_cnt = 5 + Util.Rng.int rng 11 in
+    let items = List.init ol_cnt (fun _ -> Util.Rng.int rng p.items) in
+    [
+      Storage.Query.Get { table = "warehouse"; key = [| vi w |] };
+      Storage.Query.Update_key
+        {
+          table = "district";
+          key = [| vi w; vi d |];
+          set = [ ("d_next_o_id", Storage.Expr.(col district_schema "d_next_o_id" + i 1)) ];
+        };
+      Storage.Query.Get { table = "tpcc_customer"; key = [| vi w; vi d; vi c |] };
+      Storage.Query.Insert
+        {
+          table = "tpcc_orders";
+          row =
+            [| vi w; vi d; vi o_id; vi c; vi 20260701; Storage.Value.Null; vi ol_cnt |];
+        };
+      Storage.Query.Insert { table = "new_order"; row = [| vi w; vi d; vi o_id |] };
+    ]
+    @ List.concat
+        (List.mapi
+           (fun l item ->
+             let qty = 1 + Util.Rng.int rng 10 in
+             [
+               Storage.Query.Get { table = "tpcc_item"; key = [| vi item |] };
+               Storage.Query.Update_key
+                 {
+                   table = "stock";
+                   key = [| vi w; vi item |];
+                   set =
+                     [
+                       ("s_quantity", Storage.Expr.(col stock_schema "s_quantity" - i qty));
+                       ("s_ytd", Storage.Expr.(col stock_schema "s_ytd" + f (float_of_int qty)));
+                       ("s_order_cnt", Storage.Expr.(col stock_schema "s_order_cnt" + i 1));
+                     ];
+                 };
+               Storage.Query.Insert
+                 {
+                   table = "tpcc_order_line";
+                   row =
+                     [|
+                       vi w; vi d; vi o_id; vi l; vi item; vi qty; vf 9.99;
+                       Storage.Value.Null;
+                     |];
+                 };
+             ])
+           items)
+  | Payment ->
+    let amount = 1.0 +. Util.Rng.float rng 5000.0 in
+    [
+      Storage.Query.Update_key
+        {
+          table = "warehouse";
+          key = [| vi w |];
+          set = [ ("w_ytd", Storage.Expr.(col warehouse_schema "w_ytd" + f amount)) ];
+        };
+      Storage.Query.Update_key
+        {
+          table = "district";
+          key = [| vi w; vi d |];
+          set = [ ("d_ytd", Storage.Expr.(col district_schema "d_ytd" + f amount)) ];
+        };
+      Storage.Query.Update_key
+        {
+          table = "tpcc_customer";
+          key = [| vi w; vi d; vi c |];
+          set =
+            [
+              ("c_balance", Storage.Expr.(col customer_schema "c_balance" - f amount));
+              ("c_ytd_payment", Storage.Expr.(col customer_schema "c_ytd_payment" + f amount));
+              ("c_payment_cnt", Storage.Expr.(col customer_schema "c_payment_cnt" + i 1));
+            ];
+        };
+      Storage.Query.Insert
+        {
+          table = "history";
+          row = [| vi (fresh_id rng); vi w; vi d; vi c; vf amount; vi 20260701 |];
+        };
+    ]
+  | Order_status ->
+    [
+      Storage.Query.Get { table = "tpcc_customer"; key = [| vi w; vi d; vi c |] };
+      Storage.Query.Select
+        {
+          table = "tpcc_orders";
+          where =
+            Some
+              Storage.Expr.(
+                col orders_schema "o_c_id" = i c
+                && col orders_schema "o_w_id" = i w
+                && col orders_schema "o_d_id" = i d);
+          limit = Some 1;
+        };
+      Storage.Query.Range
+        {
+          table = "tpcc_order_line";
+          lo = Some [| vi w; vi d; vi (Util.Rng.int rng p.initial_orders_per_district) |];
+          hi = None;
+          where = None;
+          limit = Some lines_per_order;
+        };
+    ]
+  | Delivery ->
+    let o = Util.Rng.int rng p.initial_orders_per_district in
+    [
+      Storage.Query.Delete_key { table = "new_order"; key = [| vi w; vi d; vi o |] };
+      Storage.Query.Update_key
+        {
+          table = "tpcc_orders";
+          key = [| vi w; vi d; vi o |];
+          set = [ ("o_carrier_id", Storage.Expr.i (Util.Rng.int rng 10)) ];
+        };
+    ]
+    @ List.init lines_per_order (fun l ->
+          Storage.Query.Update_key
+            {
+              table = "tpcc_order_line";
+              key = [| vi w; vi d; vi o; vi l |];
+              set = [ ("ol_delivery_d", Storage.Expr.i 20260701) ];
+            })
+    @ [
+        Storage.Query.Update_key
+          {
+            table = "tpcc_customer";
+            key = [| vi w; vi d; vi c |];
+            set =
+              [
+                ("c_balance", Storage.Expr.(col customer_schema "c_balance" + f 9.99));
+                ("c_delivery_cnt",
+                 Storage.Expr.(col customer_schema "c_delivery_cnt" + i 1));
+              ];
+          };
+      ]
+  | Stock_level ->
+    let recent = max 0 (p.initial_orders_per_district - 20) in
+    Storage.Query.Range
+      {
+        table = "tpcc_order_line";
+        lo = Some [| vi w; vi d; vi recent |];
+        hi = Some [| vi w; vi d; vi p.initial_orders_per_district; vi 99 |];
+        where = None;
+        limit = Some 100;
+      }
+    :: List.init 10 (fun _ ->
+           Storage.Query.Get
+             { table = "stock"; key = [| vi w; vi (Util.Rng.int rng p.items) |] })
+
+let request p tx rng =
+  Core.Transaction.make ~profile:(tx_name tx) (statements_of p tx rng)
+
+let sample_tx rng =
+  let total = List.fold_left (fun acc (_, x) -> acc +. x) 0.0 weights in
+  let roll = Util.Rng.float rng total in
+  let rec pick acc = function
+    | [] -> fst (List.hd weights)
+    | (tx, x) :: rest -> if roll < acc +. x then tx else pick (acc +. x) rest
+  in
+  pick 0.0 weights
+
+let workload p =
+  {
+    Core.Client.think_ms = Core.Client.no_think;
+    next_request = (fun rng -> request p (sample_tx rng) rng);
+  }
+
+(* Item-granularity profiles for the static SI analysis: one logical item
+   per (table, role) the transaction touches. *)
+let profiles =
+  [
+    Check.Si_analysis.profile ~name:"new_order"
+      ~reads:[ "warehouse.tax"; "customer.info"; "item.price" ]
+      ~writes:[ "district.next_o_id"; "stock.qty"; "orders.row"; "order_line.row";
+                "new_order.row" ]
+      ();
+    Check.Si_analysis.profile ~name:"payment"
+      ~writes:[ "warehouse.ytd"; "district.ytd"; "customer.balance"; "history.row" ]
+      ();
+    Check.Si_analysis.profile ~name:"order_status"
+      ~reads:[ "customer.info"; "orders.row"; "order_line.row" ]
+      ();
+    Check.Si_analysis.profile ~name:"delivery"
+      ~writes:[ "new_order.row"; "orders.row"; "order_line.row"; "customer.balance" ]
+      ();
+    Check.Si_analysis.profile ~name:"stock_level"
+      ~reads:[ "order_line.row"; "stock.qty" ]
+      ();
+  ]

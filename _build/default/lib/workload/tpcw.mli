@@ -1,0 +1,67 @@
+(** TPC-W workload model (§V.C).
+
+    The online-bookstore schema (10 tables), a deterministic scaled-down
+    population, the database transactions behind the 14 web
+    interactions, and the three workload mixes. Mix weights are composed
+    so the fraction of update transactions matches the paper exactly:
+    browsing 5%, shopping 20%, ordering 50%.
+
+    Scaling: the paper uses the standard 10,000-item / 200-EB database
+    (~850 MB). We keep 10,000 items and scale the customer/order tables
+    down (see {!default}) so an 8-replica cluster fits comfortably in
+    memory; all access patterns and table-sets are unchanged. *)
+
+type params = {
+  items : int;
+  customers : int;
+  authors : int;
+  countries : int;
+  initial_orders : int;
+  think_mean_ms : float;
+}
+
+val default : params
+
+type mix =
+  | Browsing  (** 5% update transactions *)
+  | Shopping  (** 20% update transactions *)
+  | Ordering  (** 50% update transactions *)
+
+val mix_name : mix -> string
+
+val update_fraction : mix -> float
+(** Nominal update-transaction fraction of each mix. *)
+
+(** The database transactions behind the web interactions. *)
+type tx =
+  | Home
+  | New_products
+  | Best_sellers
+  | Product_detail
+  | Search
+  | Shopping_cart  (** update *)
+  | Customer_registration  (** update *)
+  | Buy_request
+  | Buy_confirm  (** update *)
+  | Order_inquiry
+  | Admin_confirm  (** update *)
+
+val tx_name : tx -> string
+
+val is_update_tx : tx -> bool
+
+val weights : mix -> (tx * float) list
+(** Sampling weights; sum to 100. *)
+
+val schemas : Storage.Schema.t list
+
+val load : params -> Storage.Database.t -> unit
+
+val request : params -> sid:int -> tx -> Util.Rng.t -> Core.Transaction.request
+(** Build one parameter-bound instance of the given transaction. The
+    session id keys the client's shopping cart. *)
+
+val sample_tx : mix -> Util.Rng.t -> tx
+
+val workload : params -> mix -> sid:int -> Core.Client.workload
+(** Closed-loop with exponential think time [think_mean_ms]. *)

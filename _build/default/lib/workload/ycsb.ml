@@ -1,0 +1,116 @@
+type params = {
+  records : int;
+  theta : float;
+  field_count : int;
+  field_length : int;
+  scan_length : int;
+}
+
+let default =
+  { records = 10_000; theta = 0.99; field_count = 4; field_length = 64; scan_length = 50 }
+
+type mix = A | B | C | D | E | F
+
+let mix_name = function
+  | A -> "ycsb-a"
+  | B -> "ycsb-b"
+  | C -> "ycsb-c"
+  | D -> "ycsb-d"
+  | E -> "ycsb-e"
+  | F -> "ycsb-f"
+
+let update_fraction = function
+  | A -> 0.5
+  | B -> 0.05
+  | C -> 0.0
+  | D -> 0.05
+  | E -> 0.05
+  | F -> 0.5
+
+let table = "usertable"
+
+let field_name i = Printf.sprintf "field%d" i
+
+let schemas p =
+  [
+    Storage.Schema.make ~name:table
+      ~columns:
+        (("ycsb_key", Storage.Value.Tint)
+        :: List.init p.field_count (fun i -> (field_name i, Storage.Value.Ttext)))
+      ~key:[ "ycsb_key" ] ();
+  ]
+
+(* One shared payload per params: immutable strings alias freely. *)
+let payload p = String.make p.field_length 'v'
+
+let load p db =
+  let pad = payload p in
+  Storage.Database.load db table
+    (List.init p.records (fun i ->
+         Array.of_list
+           (Storage.Value.Int i
+           :: List.init p.field_count (fun _ -> Storage.Value.Text pad))))
+
+let zipf_key p rng = Util.Rng.zipf rng ~n:p.records ~theta:p.theta
+
+let fresh_key rng = 1_000_000 + Util.Rng.int rng 0x3FFFFFF
+
+let read_stmt key = Storage.Query.Get { table; key = [| Storage.Value.Int key |] }
+
+let update_stmt p rng key =
+  let field = field_name (Util.Rng.int rng p.field_count) in
+  Storage.Query.Update_key
+    {
+      table;
+      key = [| Storage.Value.Int key |];
+      set = [ (field, Storage.Expr.s (payload p)) ];
+    }
+
+let insert_stmt p rng =
+  let key = fresh_key rng in
+  let pad = payload p in
+  Storage.Query.Put
+    {
+      table;
+      row =
+        Array.of_list
+          (Storage.Value.Int key
+          :: List.init p.field_count (fun _ -> Storage.Value.Text pad));
+    }
+
+let scan_stmt p rng =
+  let start = zipf_key p rng in
+  let len = 1 + Util.Rng.int rng p.scan_length in
+  Storage.Query.Range
+    {
+      table;
+      lo = Some [| Storage.Value.Int start |];
+      hi = Some [| Storage.Value.Int (start + len) |];
+      where = None;
+      limit = Some len;
+    }
+
+let request p mix rng =
+  let roll = Util.Rng.float rng 1.0 in
+  let statements, profile =
+    match mix with
+    | A -> if roll < 0.5 then ([ read_stmt (zipf_key p rng) ], "read")
+           else ([ update_stmt p rng (zipf_key p rng) ], "update")
+    | B -> if roll < 0.95 then ([ read_stmt (zipf_key p rng) ], "read")
+           else ([ update_stmt p rng (zipf_key p rng) ], "update")
+    | C -> ([ read_stmt (zipf_key p rng) ], "read")
+    | D -> if roll < 0.95 then ([ read_stmt (zipf_key p rng) ], "read")
+           else ([ insert_stmt p rng ], "insert")
+    | E -> if roll < 0.95 then ([ scan_stmt p rng ], "scan")
+           else ([ insert_stmt p rng ], "insert")
+    | F ->
+      if roll < 0.5 then ([ read_stmt (zipf_key p rng) ], "read")
+      else begin
+        let key = zipf_key p rng in
+        ([ read_stmt key; update_stmt p rng key ], "rmw")
+      end
+  in
+  Core.Transaction.make ~profile:(mix_name mix ^ "-" ^ profile) statements
+
+let workload p mix =
+  { Core.Client.think_ms = Core.Client.no_think; next_request = request p mix }

@@ -1,0 +1,42 @@
+(** YCSB-style key-value workload over the replicated store (extension;
+    not part of the paper's evaluation, but a standard cloud-serving
+    benchmark that exercises skewed access and scan patterns).
+
+    One table, [records] rows of [field_count] text fields; keys are
+    drawn from a Zipf distribution with skew [theta]. The standard
+    workload mixes A–F are provided. *)
+
+type params = {
+  records : int;
+  theta : float;  (** Zipf skew; 0 = uniform, YCSB default 0.99 *)
+  field_count : int;
+  field_length : int;
+  scan_length : int;  (** max rows per scan *)
+}
+
+val default : params
+(** 10,000 records, theta 0.99, 4 x 64-byte fields, scans of <= 50. *)
+
+type mix =
+  | A  (** 50% read / 50% update — "update heavy" *)
+  | B  (** 95% read / 5% update — "read mostly" *)
+  | C  (** 100% read *)
+  | D  (** 95% read / 5% insert — "read latest" *)
+  | E  (** 95% scan / 5% insert — "short ranges" *)
+  | F  (** 50% read / 50% read-modify-write *)
+
+val mix_name : mix -> string
+
+val update_fraction : mix -> float
+(** Fraction of transactions that write under the mix. *)
+
+val table : string
+
+val schemas : params -> Storage.Schema.t list
+
+val load : params -> Storage.Database.t -> unit
+
+val request : params -> mix -> Util.Rng.t -> Core.Transaction.request
+
+val workload : params -> mix -> Core.Client.workload
+(** Closed loop, zero think time. *)

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Check Checker History List QCheck QCheck_alcotest Runlog Si_analysis

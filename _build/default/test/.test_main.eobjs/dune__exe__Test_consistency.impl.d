@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Check Core Format List Printf QCheck QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core List Printf Sim Storage Util Workload

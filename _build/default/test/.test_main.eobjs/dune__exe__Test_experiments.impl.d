@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Core Experiments List Printf String Workload

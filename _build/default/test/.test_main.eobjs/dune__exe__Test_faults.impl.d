@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Check Core Format List Printf Sim Storage Workload

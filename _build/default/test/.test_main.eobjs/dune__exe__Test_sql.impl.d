@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array List QCheck QCheck_alcotest Sql Storage String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Buffer Codec Database Expr Gen List Mvcc Option Printf QCheck QCheck_alcotest Query Schema Storage String Test Txn Value Writeset

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Check Core Float Hashtbl List Option Printf Storage Util Workload

@@ -1,0 +1,235 @@
+(* End-to-end consistency validation: run real workloads under each
+   configuration with transaction logging on, then feed the logs to the
+   Check.Runlog checkers. This is the executable form of the paper's
+   Theorems 1 and 2. *)
+
+let params = { Workload.Microbench.tables = 4; rows = 200; update_types = 2 }
+
+let config =
+  {
+    Core.Config.default with
+    replicas = 3;
+    seed = 20260705;
+    record_log = true;
+    gc_interval_ms = 0.0;
+  }
+
+let run_mode mode =
+  let cluster =
+    Core.Cluster.create ~config ~mode
+      ~schemas:(Workload.Microbench.schemas params)
+      ~load:(Workload.Microbench.load params)
+      ()
+  in
+  Core.Client.spawn_many cluster ~n:20 ~first_sid:0 (Workload.Microbench.workload params);
+  Core.Cluster.run_for cluster ~warmup_ms:200.0 ~measure_ms:3_000.0;
+  Core.Cluster.records cluster
+
+let check_empty name violations =
+  match violations with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "%s: %d violations, first: %s" name (List.length violations)
+      (Format.asprintf "%a" Check.Runlog.pp_violation v)
+
+let test_eager_strong () =
+  let log = run_mode Core.Consistency.Eager in
+  Alcotest.(check bool) "log non-trivial" true (List.length log > 100);
+  check_empty "strong" (Check.Runlog.strong_consistency log);
+  check_empty "session" (Check.Runlog.session_consistency log);
+  check_empty "fcw" (Check.Runlog.first_committer_wins log)
+
+let test_coarse_strong () =
+  let log = run_mode Core.Consistency.Coarse in
+  Alcotest.(check bool) "log non-trivial" true (List.length log > 100);
+  check_empty "strong" (Check.Runlog.strong_consistency log);
+  check_empty "session" (Check.Runlog.session_consistency log);
+  check_empty "monotone" (Check.Runlog.monotone_session_snapshots log);
+  check_empty "fcw" (Check.Runlog.first_committer_wins log)
+
+let test_fine_strong_on_tablesets () =
+  let log = run_mode Core.Consistency.Fine in
+  Alcotest.(check bool) "log non-trivial" true (List.length log > 100);
+  (* Theorem 2: strong consistency restricted to each transaction's
+     table-set (a superset of its data-set). *)
+  check_empty "fine strong" (Check.Runlog.fine_strong_consistency log);
+  check_empty "fcw" (Check.Runlog.first_committer_wins log)
+
+let test_session_guarantees () =
+  let log = run_mode Core.Consistency.Session in
+  Alcotest.(check bool) "log non-trivial" true (List.length log > 100);
+  check_empty "session" (Check.Runlog.session_consistency log);
+  check_empty "monotone" (Check.Runlog.monotone_session_snapshots log);
+  check_empty "fcw" (Check.Runlog.first_committer_wins log)
+
+let test_session_not_strong () =
+  (* Session consistency is weaker than strong consistency: under load,
+     cross-client staleness must actually occur (otherwise the
+     comparison in the paper would be vacuous). *)
+  let log = run_mode Core.Consistency.Session in
+  let violations = Check.Runlog.strong_consistency log in
+  Alcotest.(check bool)
+    (Printf.sprintf "session mode shows cross-client staleness (%d cases)"
+       (List.length violations))
+    true
+    (List.length violations > 0)
+
+let test_tpcw_coarse_strong () =
+  (* The same theorem on a schema with multi-table transactions. *)
+  let tp = { Workload.Tpcw.default with items = 500; customers = 300; authors = 50;
+             initial_orders = 200; think_mean_ms = 50.0 } in
+  let cluster =
+    Core.Cluster.create
+      ~config:{ config with Core.Config.seed = 99 }
+      ~mode:Core.Consistency.Coarse ~schemas:Workload.Tpcw.schemas
+      ~load:(Workload.Tpcw.load tp)
+      ()
+  in
+  for sid = 0 to 14 do
+    Core.Client.spawn cluster ~sid ~rng:(Core.Cluster.rng cluster)
+      (Workload.Tpcw.workload tp Workload.Tpcw.Ordering ~sid)
+  done;
+  Core.Cluster.run_for cluster ~warmup_ms:200.0 ~measure_ms:4_000.0;
+  let log = Core.Cluster.records cluster in
+  Alcotest.(check bool) "log non-trivial" true (List.length log > 50);
+  check_empty "tpcw strong" (Check.Runlog.strong_consistency log);
+  check_empty "tpcw fcw" (Check.Runlog.first_committer_wins log)
+
+let test_tpcw_fine_strong () =
+  let tp = { Workload.Tpcw.default with items = 500; customers = 300; authors = 50;
+             initial_orders = 200; think_mean_ms = 50.0 } in
+  let cluster =
+    Core.Cluster.create
+      ~config:{ config with Core.Config.seed = 98 }
+      ~mode:Core.Consistency.Fine ~schemas:Workload.Tpcw.schemas
+      ~load:(Workload.Tpcw.load tp)
+      ()
+  in
+  for sid = 0 to 14 do
+    Core.Client.spawn cluster ~sid ~rng:(Core.Cluster.rng cluster)
+      (Workload.Tpcw.workload tp Workload.Tpcw.Ordering ~sid)
+  done;
+  Core.Cluster.run_for cluster ~warmup_ms:200.0 ~measure_ms:4_000.0;
+  let log = Core.Cluster.records cluster in
+  Alcotest.(check bool) "log non-trivial" true (List.length log > 50);
+  check_empty "tpcw fine strong" (Check.Runlog.fine_strong_consistency log);
+  check_empty "tpcw fcw" (Check.Runlog.first_committer_wins log)
+
+let test_bounded_staleness_mode () =
+  (* The relaxed-currency extension: Bounded k bounds how far behind a
+     transaction may read; Bounded 0 is strong consistency. *)
+  let run k =
+    let cluster =
+      Core.Cluster.create ~config ~mode:(Core.Consistency.Bounded k)
+        ~schemas:(Workload.Microbench.schemas params)
+        ~load:(Workload.Microbench.load params)
+        ()
+    in
+    Core.Client.spawn_many cluster ~n:20 ~first_sid:0
+      (Workload.Microbench.workload params);
+    Core.Cluster.run_for cluster ~warmup_ms:200.0 ~measure_ms:2_000.0;
+    Core.Cluster.records cluster
+  in
+  let log0 = run 0 in
+  Alcotest.(check bool) "log non-trivial" true (List.length log0 > 100);
+  check_empty "bounded 0 = strong" (Check.Runlog.strong_consistency log0);
+  let log50 = run 50 in
+  check_empty "bounded 50 within its bound" (Check.Runlog.bounded_staleness ~k:50 log50);
+  check_empty "bounded runs keep GSI" (Check.Runlog.first_committer_wins log50)
+
+let test_bounded_parse_roundtrip () =
+  List.iter
+    (fun mode ->
+      match Core.Consistency.of_string (Core.Consistency.to_string mode) with
+      | Ok m -> Alcotest.(check bool) "roundtrip" true (m = mode)
+      | Error e -> Alcotest.fail e)
+    (Core.Consistency.Bounded 0 :: Core.Consistency.Bounded 17 :: Core.Consistency.all);
+  Alcotest.(check bool) "negative bound rejected" true
+    (match Core.Consistency.of_string "bounded:-3" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "strongness" true
+    (Core.Consistency.is_strong (Core.Consistency.Bounded 0)
+    && not (Core.Consistency.is_strong (Core.Consistency.Bounded 1)))
+
+(* Property: across seeds, the coarse configuration never violates strong
+   consistency (randomized protocol-level check). *)
+let prop_coarse_strong_across_seeds =
+  QCheck.Test.make ~name:"coarse strong consistency across seeds" ~count:8
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let cluster =
+        Core.Cluster.create
+          ~config:{ config with Core.Config.seed }
+          ~mode:Core.Consistency.Coarse
+          ~schemas:(Workload.Microbench.schemas params)
+          ~load:(Workload.Microbench.load params)
+          ()
+      in
+      Core.Client.spawn_many cluster ~n:10 ~first_sid:0
+        (Workload.Microbench.workload params);
+      Core.Cluster.run_for cluster ~warmup_ms:100.0 ~measure_ms:1_000.0;
+      let log = Core.Cluster.records cluster in
+      Check.Runlog.strong_consistency log = []
+      && Check.Runlog.first_committer_wins log = [])
+
+let prop_eager_strong_across_seeds =
+  QCheck.Test.make ~name:"eager strong consistency across seeds" ~count:8
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let cluster =
+        Core.Cluster.create
+          ~config:{ config with Core.Config.seed }
+          ~mode:Core.Consistency.Eager
+          ~schemas:(Workload.Microbench.schemas params)
+          ~load:(Workload.Microbench.load params)
+          ()
+      in
+      Core.Client.spawn_many cluster ~n:10 ~first_sid:0
+        (Workload.Microbench.workload params);
+      Core.Cluster.run_for cluster ~warmup_ms:100.0 ~measure_ms:1_000.0;
+      let log = Core.Cluster.records cluster in
+      Check.Runlog.strong_consistency log = []
+      && Check.Runlog.first_committer_wins log = [])
+
+let prop_fine_strong_across_seeds =
+  QCheck.Test.make ~name:"fine table-set consistency across seeds" ~count:8
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let cluster =
+        Core.Cluster.create
+          ~config:{ config with Core.Config.seed }
+          ~mode:Core.Consistency.Fine
+          ~schemas:(Workload.Microbench.schemas params)
+          ~load:(Workload.Microbench.load params)
+          ()
+      in
+      Core.Client.spawn_many cluster ~n:10 ~first_sid:0
+        (Workload.Microbench.workload params);
+      Core.Cluster.run_for cluster ~warmup_ms:100.0 ~measure_ms:1_000.0;
+      let log = Core.Cluster.records cluster in
+      Check.Runlog.fine_strong_consistency log = []
+      && Check.Runlog.first_committer_wins log = [])
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "consistency.theorems",
+      [
+        Alcotest.test_case "eager is strongly consistent" `Quick test_eager_strong;
+        Alcotest.test_case "coarse is strongly consistent (Thm 1)" `Quick test_coarse_strong;
+        Alcotest.test_case "fine is table-set strong (Thm 2)" `Quick
+          test_fine_strong_on_tablesets;
+        Alcotest.test_case "session keeps its own guarantee" `Quick test_session_guarantees;
+        Alcotest.test_case "session is weaker than strong" `Quick test_session_not_strong;
+        Alcotest.test_case "tpcw coarse strong" `Quick test_tpcw_coarse_strong;
+        Alcotest.test_case "tpcw fine strong" `Quick test_tpcw_fine_strong;
+        Alcotest.test_case "bounded staleness extension" `Quick test_bounded_staleness_mode;
+        Alcotest.test_case "mode parse roundtrip" `Quick test_bounded_parse_roundtrip;
+      ]
+      @ qsuite
+          [
+            prop_coarse_strong_across_seeds;
+            prop_eager_strong_across_seeds;
+            prop_fine_strong_across_seeds;
+          ] );
+  ]

@@ -1,0 +1,377 @@
+(* End-to-end tests of the replicated cluster. *)
+
+let micro_params = { Workload.Microbench.tables = 4; rows = 100; update_types = 2 }
+
+let make_cluster ?(config = Core.Config.default) mode =
+  Core.Cluster.create ~config ~mode
+    ~schemas:(Workload.Microbench.schemas micro_params)
+    ~load:(Workload.Microbench.load micro_params)
+    ()
+
+(* gc_interval_ms = 0 keeps the event queue drainable: tests use
+   [Engine.run] without a horizon. *)
+let small_config =
+  {
+    Core.Config.default with
+    replicas = 3;
+    record_log = true;
+    seed = 7;
+    gc_interval_ms = 0.0;
+    hiccup_interval_ms = 0.0;
+  }
+
+(* Run one transaction from inside a process and return its outcome. *)
+let run_one cluster request =
+  let result = ref None in
+  Sim.Process.spawn (Core.Cluster.engine cluster) (fun () ->
+      result := Some (Core.Cluster.submit cluster ~sid:0 request));
+  Sim.Engine.run (Core.Cluster.engine cluster);
+  match !result with Some r -> r | None -> Alcotest.fail "transaction did not finish"
+
+let read_req table key =
+  Core.Transaction.make ~profile:"read"
+    [ Storage.Query.Get { table; key = [| Storage.Value.Int key |] } ]
+
+let update_req table key =
+  Core.Transaction.make ~profile:"upd"
+    [
+      Storage.Query.Update_key
+        {
+          table;
+          key = [| Storage.Value.Int key |];
+          set = [ ("val", Storage.Expr.(Col 1 + i 1)) ];
+        };
+    ]
+
+let test_read_only_commit () =
+  let cluster = make_cluster ~config:small_config Core.Consistency.Coarse in
+  match run_one cluster (read_req "t00" 5) with
+  | Core.Transaction.Committed { commit_version; snapshot; _ } ->
+    Alcotest.(check (option int)) "read-only has no commit version" None commit_version;
+    Alcotest.(check int) "snapshot is initial" 0 snapshot
+  | Core.Transaction.Aborted _ -> Alcotest.fail "read-only transaction aborted"
+
+let test_update_commit_propagates () =
+  let cluster = make_cluster ~config:small_config Core.Consistency.Coarse in
+  (match run_one cluster (update_req "t00" 5) with
+  | Core.Transaction.Committed { commit_version; _ } ->
+    Alcotest.(check (option int)) "first update commits at v1" (Some 1) commit_version
+  | Core.Transaction.Aborted _ -> Alcotest.fail "update aborted");
+  (* After the run drains, every replica must have applied v1. *)
+  for i = 0 to small_config.Core.Config.replicas - 1 do
+    let replica = Core.Cluster.replica cluster i in
+    Alcotest.(check int)
+      (Printf.sprintf "replica %d applied v1" i)
+      1
+      (Core.Replica.v_local replica);
+    let row =
+      Storage.Table.read
+        (Storage.Database.table (Core.Replica.database replica) "t00")
+        ~key:[| Storage.Value.Int 5 |] ~at:1
+    in
+    match row with
+    | Some r -> Alcotest.(check int) "val incremented" ((5 * 17 mod 97) + 1)
+                  (Storage.Value.as_int r.(1))
+    | None -> Alcotest.fail "row missing"
+  done
+
+let test_strong_consistency_across_clients () =
+  (* Client 0 updates; after its ack, client 1 must see the new value
+     under the coarse configuration. *)
+  let cluster = make_cluster ~config:small_config Core.Consistency.Coarse in
+  let engine = Core.Cluster.engine cluster in
+  let seen = ref (-1) in
+  Sim.Process.spawn engine (fun () ->
+      match Core.Cluster.submit cluster ~sid:0 (update_req "t01" 7) with
+      | Core.Transaction.Committed _ ->
+        (* Hidden channel: after the ack, a different session reads. *)
+        Sim.Process.spawn engine (fun () ->
+            match Core.Cluster.submit cluster ~sid:1 (read_req "t01" 7) with
+            | Core.Transaction.Committed { snapshot; _ } -> seen := snapshot
+            | Core.Transaction.Aborted _ -> ())
+      | Core.Transaction.Aborted _ -> Alcotest.fail "update aborted");
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "second client read snapshot >= 1" true (!seen >= 1)
+
+let test_certification_conflict () =
+  (* Two concurrent updates of the same row on different replicas: the
+     certifier must abort one. *)
+  let config = { small_config with max_retries = 0 } in
+  let cluster = make_cluster ~config Core.Consistency.Session in
+  let engine = Core.Cluster.engine cluster in
+  let outcomes = ref [] in
+  for sid = 0 to 1 do
+    Sim.Process.spawn engine (fun () ->
+        let o = Core.Cluster.submit cluster ~sid (update_req "t00" 1) in
+        outcomes := o :: !outcomes)
+  done;
+  Sim.Engine.run engine;
+  let commits =
+    List.length
+      (List.filter
+         (function Core.Transaction.Committed _ -> true | _ -> false)
+         !outcomes)
+  in
+  (* Both may commit if one certifies before the other begins; with
+     simultaneous submission both read snapshot v0, so exactly one
+     commits. *)
+  Alcotest.(check int) "exactly one concurrent writer commits" 1 commits
+
+let test_eager_all_replicas_before_ack () =
+  let cluster = make_cluster ~config:small_config Core.Consistency.Eager in
+  let engine = Core.Cluster.engine cluster in
+  let lagging = ref (-1) in
+  Sim.Process.spawn engine (fun () ->
+      match Core.Cluster.submit cluster ~sid:0 (update_req "t02" 3) with
+      | Core.Transaction.Committed _ ->
+        (* At ack time every replica must already be at v1. *)
+        let min_v = ref max_int in
+        for i = 0 to small_config.Core.Config.replicas - 1 do
+          min_v := min !min_v (Core.Replica.v_local (Core.Cluster.replica cluster i))
+        done;
+        lagging := !min_v
+      | Core.Transaction.Aborted _ -> Alcotest.fail "update aborted");
+  Sim.Engine.run engine;
+  Alcotest.(check int) "all replicas applied v1 before client ack" 1 !lagging
+
+let test_metrics_stages_recorded () =
+  let cluster = make_cluster ~config:small_config Core.Consistency.Coarse in
+  match run_one cluster (update_req "t00" 9) with
+  | Core.Transaction.Committed { stages; _ } ->
+    let certify = stages.(Core.Metrics.stage_index Core.Metrics.Certify) in
+    let commit = stages.(Core.Metrics.stage_index Core.Metrics.Commit) in
+    let global = stages.(Core.Metrics.stage_index Core.Metrics.Global) in
+    Alcotest.(check bool) "certify stage positive" true (certify > 0.0);
+    Alcotest.(check bool) "commit stage positive" true (commit > 0.0);
+    Alcotest.(check (float 0.0)) "no global stage outside eager" 0.0 global
+  | Core.Transaction.Aborted _ -> Alcotest.fail "update aborted"
+
+let test_session_version_tracking () =
+  let cluster = make_cluster ~config:small_config Core.Consistency.Session in
+  let engine = Core.Cluster.engine cluster in
+  Sim.Process.spawn engine (fun () ->
+      ignore (Core.Cluster.submit cluster ~sid:42 (update_req "t00" 2)));
+  Sim.Engine.run engine;
+  let lb = Core.Cluster.load_balancer cluster in
+  Alcotest.(check int) "session version recorded" 1
+    (Core.Load_balancer.session_version lb ~sid:42)
+
+let test_load_balancer_least_active () =
+  let lb = Core.Load_balancer.create small_config ~mode:Core.Consistency.Coarse in
+  Core.Load_balancer.note_dispatch lb ~replica:0;
+  Core.Load_balancer.note_dispatch lb ~replica:0;
+  Core.Load_balancer.note_dispatch lb ~replica:1;
+  Alcotest.(check int) "route to least-active replica" 2
+    (Core.Load_balancer.choose_replica lb ~sid:0);
+  Core.Load_balancer.note_dispatch lb ~replica:2;
+  Core.Load_balancer.note_dispatch lb ~replica:2;
+  Alcotest.(check int) "then to the next least-active" 1
+    (Core.Load_balancer.choose_replica lb ~sid:0)
+
+let test_load_balancer_policies () =
+  let config routing = { small_config with Core.Config.routing } in
+  (* Round-robin cycles through live replicas. *)
+  let rr =
+    Core.Load_balancer.create (config Core.Config.Round_robin)
+      ~mode:Core.Consistency.Coarse
+  in
+  let picks = List.init 6 (fun _ -> Core.Load_balancer.choose_replica rr ~sid:0) in
+  Alcotest.(check (list int)) "round robin cycles" [ 0; 1; 2; 0; 1; 2 ] picks;
+  (* Round-robin skips dead replicas. *)
+  Core.Load_balancer.set_live rr ~replica:1 false;
+  let picks = List.init 4 (fun _ -> Core.Load_balancer.choose_replica rr ~sid:0) in
+  Alcotest.(check bool) "dead replica skipped" true (not (List.mem 1 picks));
+  (* Session affinity is sticky per session and spreads sessions. *)
+  let sa =
+    Core.Load_balancer.create (config Core.Config.Session_affinity)
+      ~mode:Core.Consistency.Coarse
+  in
+  for sid = 0 to 20 do
+    let first = Core.Load_balancer.choose_replica sa ~sid in
+    let second = Core.Load_balancer.choose_replica sa ~sid in
+    Alcotest.(check int) "sticky" first second
+  done;
+  let distinct =
+    List.sort_uniq compare
+      (List.init 21 (fun sid -> Core.Load_balancer.choose_replica sa ~sid))
+  in
+  Alcotest.(check bool) "sessions spread over replicas" true (List.length distinct >= 2);
+  (* Affinity falls back when the pinned replica dies. *)
+  let pinned = Core.Load_balancer.choose_replica sa ~sid:7 in
+  Core.Load_balancer.set_live sa ~replica:pinned false;
+  Alcotest.(check bool) "fallback avoids dead pin" true
+    (Core.Load_balancer.choose_replica sa ~sid:7 <> pinned)
+
+let test_fine_table_versions () =
+  let lb = Core.Load_balancer.create small_config ~mode:Core.Consistency.Fine in
+  Core.Load_balancer.note_commit_ack lb ~sid:0 ~version:1 ~tables_written:[ "a" ];
+  Core.Load_balancer.note_commit_ack lb ~sid:0 ~version:2 ~tables_written:[ "b"; "c" ];
+  Core.Load_balancer.note_commit_ack lb ~sid:0 ~version:3 ~tables_written:[ "b" ];
+  Alcotest.(check int) "start version for {a}" 1
+    (Core.Load_balancer.start_version lb ~sid:9 ~table_set:[ "a" ]);
+  Alcotest.(check int) "start version for {a,c}" 2
+    (Core.Load_balancer.start_version lb ~sid:9 ~table_set:[ "a"; "c" ]);
+  Alcotest.(check int) "start version for untouched table" 0
+    (Core.Load_balancer.start_version lb ~sid:9 ~table_set:[ "z" ])
+
+let test_simulation_determinism () =
+  (* The entire stack — RNG, event ordering, protocol — must be
+     deterministic: two runs with the same seed are bit-identical. *)
+  let run () =
+    let params = { Workload.Microbench.tables = 4; rows = 200; update_types = 2 } in
+    let cluster =
+      Core.Cluster.create
+        ~config:{ small_config with Core.Config.hiccup_interval_ms = 700.0 }
+        ~mode:Core.Consistency.Fine
+        ~schemas:(Workload.Microbench.schemas params)
+        ~load:(Workload.Microbench.load params)
+        ()
+    in
+    Core.Client.spawn_many cluster ~n:12 ~first_sid:0
+      (Workload.Microbench.workload params);
+    Core.Cluster.run_for cluster ~warmup_ms:200.0 ~measure_ms:1_500.0;
+    let m = Core.Cluster.metrics cluster in
+    let v = Core.Certifier.version (Core.Cluster.certifier cluster) in
+    let fp =
+      Storage.Database.fingerprint
+        (Core.Replica.database (Core.Cluster.replica cluster 0))
+        ~at:(Core.Replica.v_local (Core.Cluster.replica cluster 0))
+    in
+    (Core.Metrics.committed m, Core.Metrics.mean_response_ms m, v, fp)
+  in
+  let c1, r1, v1, f1 = run () in
+  let c2, r2, v2, f2 = run () in
+  Alcotest.(check int) "same committed count" c1 c2;
+  Alcotest.(check (float 0.0)) "same mean response" r1 r2;
+  Alcotest.(check int) "same certified version" v1 v2;
+  Alcotest.(check int) "same database contents" f1 f2
+
+(* --- Certifier unit tests (driven directly, inside a process) --- *)
+
+let ws_on table key =
+  Storage.Writeset.of_entries
+    [
+      {
+        Storage.Writeset.ws_table = table;
+        ws_key = [| Storage.Value.Int key |];
+        ws_op = Storage.Writeset.Put [| Storage.Value.Int key |];
+      };
+    ]
+
+let with_certifier ?(config = small_config) ?(mode = Core.Consistency.Coarse) f =
+  let engine = Sim.Engine.create () in
+  let rng = Util.Rng.create 1 in
+  let network =
+    Sim.Network.create engine ~rng:(Util.Rng.split rng) ~base_ms:0.1 ~jitter_ms:0.0
+      ~bandwidth_mbps:1000.0
+  in
+  let certifier = Core.Certifier.create engine config ~rng ~network ~mode in
+  Sim.Process.spawn engine (fun () -> f certifier);
+  Sim.Engine.run engine
+
+let test_certifier_conflict_window () =
+  with_certifier (fun c ->
+      (* T1 commits key 1 at v1. *)
+      (match Core.Certifier.certify c ~origin:0 ~snapshot:0 ~ws:(ws_on "t" 1) with
+      | Core.Certifier.Commit { version; _ } -> Alcotest.(check int) "v1" 1 version
+      | Core.Certifier.Abort -> Alcotest.fail "first writer aborted");
+      (* A conflicting writeset with a pre-commit snapshot aborts... *)
+      (match Core.Certifier.certify c ~origin:1 ~snapshot:0 ~ws:(ws_on "t" 1) with
+      | Core.Certifier.Abort -> ()
+      | Core.Certifier.Commit _ -> Alcotest.fail "conflicting writer committed");
+      (* ...but commits once its snapshot includes v1. *)
+      (match Core.Certifier.certify c ~origin:1 ~snapshot:1 ~ws:(ws_on "t" 1) with
+      | Core.Certifier.Commit { version; _ } -> Alcotest.(check int) "v2" 2 version
+      | Core.Certifier.Abort -> Alcotest.fail "sequential writer aborted");
+      (* Non-conflicting concurrent writesets both commit. *)
+      match Core.Certifier.certify c ~origin:2 ~snapshot:0 ~ws:(ws_on "t" 99) with
+      | Core.Certifier.Commit _ -> ()
+      | Core.Certifier.Abort -> Alcotest.fail "disjoint writer aborted")
+
+let test_certifier_prune_and_replay () =
+  with_certifier (fun c ->
+      for i = 1 to 10 do
+        match Core.Certifier.certify c ~origin:0 ~snapshot:(i - 1) ~ws:(ws_on "t" i) with
+        | Core.Certifier.Commit _ -> ()
+        | Core.Certifier.Abort -> Alcotest.fail "unexpected abort"
+      done;
+      (match Core.Certifier.writesets_from c 4 with
+      | Some l -> Alcotest.(check int) "replay suffix length" 6 (List.length l)
+      | None -> Alcotest.fail "log unexpectedly pruned");
+      Core.Certifier.prune c ~keep_after:5;
+      Alcotest.(check int) "log base" 5 (Core.Certifier.log_base c);
+      (match Core.Certifier.writesets_from c 5 with
+      | Some l ->
+        Alcotest.(check (list int)) "versions 6..10" [ 6; 7; 8; 9; 10 ] (List.map fst l)
+      | None -> Alcotest.fail "suffix above the horizon must replay");
+      (match Core.Certifier.writesets_from c 3 with
+      | None -> ()
+      | Some _ -> Alcotest.fail "pruned suffix must not replay");
+      (* A snapshot below the horizon is conservatively aborted. *)
+      match Core.Certifier.certify c ~origin:0 ~snapshot:2 ~ws:(ws_on "t" 77) with
+      | Core.Certifier.Abort -> ()
+      | Core.Certifier.Commit _ -> Alcotest.fail "stale snapshot certified")
+
+let test_certifier_decisions_counter () =
+  with_certifier (fun c ->
+      ignore (Core.Certifier.certify c ~origin:0 ~snapshot:0 ~ws:(ws_on "t" 1));
+      ignore (Core.Certifier.certify c ~origin:0 ~snapshot:0 ~ws:(ws_on "t" 1));
+      let commits, aborts = Core.Certifier.decisions c in
+      Alcotest.(check (pair int int)) "one commit, one abort" (1, 1) (commits, aborts))
+
+(* --- Metrics --- *)
+
+let test_metrics_accounting () =
+  let engine = Sim.Engine.create () in
+  let m = Core.Metrics.create engine in
+  Sim.Engine.schedule engine ~delay:1_000.0 (fun () ->
+      let stages = Array.make Core.Metrics.stage_count 0.0 in
+      stages.(Core.Metrics.stage_index Core.Metrics.Queries) <- 2.0;
+      Core.Metrics.record_commit m ~read_only:true ~stages ~response_ms:10.0;
+      stages.(Core.Metrics.stage_index Core.Metrics.Global) <- 8.0;
+      Core.Metrics.record_commit m ~read_only:false ~stages ~response_ms:30.0;
+      Core.Metrics.record_abort m);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "committed" 2 (Core.Metrics.committed m);
+  Alcotest.(check (float 1e-6)) "throughput over 1s window" 2.0
+    (Core.Metrics.throughput_tps m);
+  Alcotest.(check (float 1e-6)) "mean response" 20.0 (Core.Metrics.mean_response_ms m);
+  Alcotest.(check (float 1e-6)) "mean queries stage" 2.0
+    (Core.Metrics.mean_stage_ms m Core.Metrics.Queries);
+  (* Global averages over update transactions only. *)
+  Alcotest.(check (float 1e-6)) "global stage per update txn" 8.0
+    (Core.Metrics.mean_stage_update_ms m Core.Metrics.Global);
+  Alcotest.(check (float 1e-6)) "abort rate" (1.0 /. 3.0) (Core.Metrics.abort_rate m);
+  Core.Metrics.reset_window m;
+  Alcotest.(check int) "window reset" 0 (Core.Metrics.committed m)
+
+let suites =
+  [
+    ( "core.cluster",
+      [
+        Alcotest.test_case "read-only commit" `Quick test_read_only_commit;
+        Alcotest.test_case "update commit propagates" `Quick test_update_commit_propagates;
+        Alcotest.test_case "strong consistency across clients" `Quick
+          test_strong_consistency_across_clients;
+        Alcotest.test_case "certification conflict" `Quick test_certification_conflict;
+        Alcotest.test_case "eager waits for all replicas" `Quick
+          test_eager_all_replicas_before_ack;
+        Alcotest.test_case "metrics stages" `Quick test_metrics_stages_recorded;
+        Alcotest.test_case "session version tracking" `Quick test_session_version_tracking;
+        Alcotest.test_case "simulation determinism" `Quick test_simulation_determinism;
+      ] );
+    ( "core.certifier",
+      [
+        Alcotest.test_case "conflict window" `Quick test_certifier_conflict_window;
+        Alcotest.test_case "prune and replay" `Quick test_certifier_prune_and_replay;
+        Alcotest.test_case "decision counters" `Quick test_certifier_decisions_counter;
+      ] );
+    ( "core.metrics",
+      [ Alcotest.test_case "accounting" `Quick test_metrics_accounting ] );
+    ( "core.load_balancer",
+      [
+        Alcotest.test_case "least-active routing" `Quick test_load_balancer_least_active;
+        Alcotest.test_case "routing policies" `Quick test_load_balancer_policies;
+        Alcotest.test_case "fine-grained table versions" `Quick test_fine_table_versions;
+      ] );
+  ]

@@ -1,0 +1,143 @@
+(* Tests for the experiments library: Table I exactness, report and plot
+   rendering, and a smoke run of the shared experiment driver. *)
+
+let test_table1_exact () =
+  (* The paper's Table I, row by row. *)
+  let rows = Experiments.Table1.rows () in
+  let expect =
+    [
+      ("T1", 1, 1, 0, 0);
+      ("T2", 2, 1, 2, 2);
+      ("T3", 3, 1, 3, 2);
+      ("T4", 4, 1, 3, 4);
+      ("T5", 5, 1, 5, 5);
+      ("T6", 6, 6, 5, 5);
+    ]
+  in
+  List.iter2
+    (fun row (txn, vs, va, vb, vc) ->
+      Alcotest.(check string) "txn" txn row.Experiments.Table1.txn;
+      Alcotest.(check int) (txn ^ " V_system") vs row.Experiments.Table1.v_system;
+      Alcotest.(check int) (txn ^ " V_A") va row.Experiments.Table1.v_a;
+      Alcotest.(check int) (txn ^ " V_B") vb row.Experiments.Table1.v_b;
+      Alcotest.(check int) (txn ^ " V_C") vc row.Experiments.Table1.v_c)
+    rows expect
+
+let test_table1_start_versions () =
+  Alcotest.(check int) "fine-grained start for {A} after T5" 1
+    (Experiments.Table1.fine_start_for_a ());
+  Alcotest.(check int) "coarse-grained start after T5" 5
+    (Experiments.Table1.coarse_start_after_t5 ())
+
+let test_report_table () =
+  let s =
+    Experiments.Report.table ~header:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "yyy"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "has header + rule + rows" true (List.length lines >= 4);
+  (* All non-empty lines are equally wide. *)
+  let widths =
+    List.filter_map
+      (fun l -> if String.length l = 0 then None else Some (String.length l))
+      lines
+  in
+  Alcotest.(check bool) "aligned columns" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_report_fmt () =
+  Alcotest.(check string) "large" "123" (Experiments.Report.fmt_f 123.4);
+  Alcotest.(check string) "medium" "12.3" (Experiments.Report.fmt_f 12.34);
+  Alcotest.(check string) "small" "1.23" (Experiments.Report.fmt_f 1.234)
+
+let test_plot_renders () =
+  let s =
+    Experiments.Plot.chart ~width:20 ~height:6
+      ~series:[ ("up", [ (0.0, 0.0); (1.0, 1.0); (2.0, 2.0) ]) ]
+      ()
+  in
+  Alcotest.(check bool) "chart non-empty" true (String.length s > 100);
+  Alcotest.(check bool) "marker present" true (String.contains s '*');
+  Alcotest.(check bool) "legend present" true
+    (String.length s >= 4
+    &&
+    let lines = String.split_on_char '\n' s in
+    List.exists (fun l -> l = "  *=up") lines)
+
+let test_plot_empty () =
+  Alcotest.(check string) "no data placeholder" "(no data)\n"
+    (Experiments.Plot.chart ~series:[ ("e", []) ] ())
+
+let test_runner_smoke () =
+  (* A miniature end-to-end experiment through the shared driver. *)
+  let params = { Workload.Microbench.tables = 4; rows = 200; update_types = 1 } in
+  let config =
+    { Core.Config.default with replicas = 2; seed = 1; gc_interval_ms = 0.0 }
+  in
+  let s =
+    Experiments.Runner.run_micro ~config ~mode:Core.Consistency.Coarse ~params ~clients:8
+      ~warmup_ms:200.0 ~measure_ms:1_000.0 ()
+  in
+  Alcotest.(check bool) "throughput positive" true (s.Experiments.Runner.tps > 100.0);
+  Alcotest.(check bool) "response positive" true (s.Experiments.Runner.response_ms > 0.0);
+  Alcotest.(check int) "clients recorded" 8 s.Experiments.Runner.clients;
+  Alcotest.(check int) "replicas recorded" 2 s.Experiments.Runner.replicas
+
+let test_ablation_rows_shape () =
+  let rows =
+    [
+      { Experiments.Ablation.label = "x"; cells = [ ("TPS", 1.0); ("ms", 2.0) ] };
+      { Experiments.Ablation.label = "y"; cells = [ ("TPS", 3.0); ("ms", 4.0) ] };
+    ]
+  in
+  let s = Experiments.Ablation.render ~title:"t" rows in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec probe i = i + nl <= sl && (String.sub s i nl = needle || probe (i + 1)) in
+    probe 0
+  in
+  Alcotest.(check bool) "contains labels" true
+    (List.for_all contains [ "x"; "y"; "TPS" ])
+
+let test_replicate_aggregates () =
+  (* Aggregate across seeds; the paper's methodology (10 runs, <5%
+     deviation). Use 3 short runs for test time. *)
+  let params = { Workload.Microbench.tables = 4; rows = 500; update_types = 1 } in
+  let agg =
+    Experiments.Runner.replicate ~runs:3 ~base_seed:100 (fun ~seed ->
+        let config =
+          {
+            Core.Config.default with
+            replicas = 2;
+            seed;
+            gc_interval_ms = 0.0;
+            (* Transient slowdowns dominate variance in short windows;
+               the methodology check uses a quiet cluster. *)
+            hiccup_interval_ms = 0.0;
+          }
+        in
+        Experiments.Runner.run_micro ~config ~mode:Core.Consistency.Coarse ~params
+          ~clients:8 ~warmup_ms:300.0 ~measure_ms:2_000.0 ())
+  in
+  Alcotest.(check int) "runs" 3 agg.Experiments.Runner.runs;
+  Alcotest.(check bool) "mean tps positive" true (agg.Experiments.Runner.mean.tps > 100.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "deviation below 5%% (got %.2f%%)"
+       (100.0 *. agg.Experiments.Runner.tps_rel_dev))
+    true
+    (agg.Experiments.Runner.tps_rel_dev < 0.05)
+
+let suites =
+  [
+    ( "experiments",
+      [
+        Alcotest.test_case "Table I rows exact" `Quick test_table1_exact;
+        Alcotest.test_case "Table I start versions" `Quick test_table1_start_versions;
+        Alcotest.test_case "report table" `Quick test_report_table;
+        Alcotest.test_case "report fmt" `Quick test_report_fmt;
+        Alcotest.test_case "plot renders" `Quick test_plot_renders;
+        Alcotest.test_case "plot empty" `Quick test_plot_empty;
+        Alcotest.test_case "runner smoke" `Quick test_runner_smoke;
+        Alcotest.test_case "replicate aggregates" `Quick test_replicate_aggregates;
+        Alcotest.test_case "ablation render" `Quick test_ablation_rows_shape;
+      ] );
+  ]

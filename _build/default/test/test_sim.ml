@@ -1,0 +1,267 @@
+(* Tests for the discrete-event simulation kernel. *)
+
+let test_engine_time_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule e ~delay:5.0 (fun () -> log := "b" :: !log);
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Sim.Engine.schedule e ~delay:9.0 (fun () -> log := "c" :: !log);
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "events in time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 9.0 (Sim.Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    Sim.Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "same-instant events run FIFO" [ 0; 1; 2; 3; 4 ]
+    (List.rev !log)
+
+let test_engine_until () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> incr fired);
+  Sim.Engine.schedule e ~delay:100.0 (fun () -> incr fired);
+  Sim.Engine.run e ~until:10.0;
+  Alcotest.(check int) "only events before the horizon" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock parked at horizon" 10.0 (Sim.Engine.now e);
+  Alcotest.(check int) "future event still queued" 1 (Sim.Engine.pending e)
+
+let test_engine_negative_delay_clamped () =
+  let e = Sim.Engine.create () in
+  let at = ref (-1.0) in
+  Sim.Engine.schedule e ~delay:5.0 (fun () ->
+      Sim.Engine.schedule e ~delay:(-3.0) (fun () -> at := Sim.Engine.now e));
+  Sim.Engine.run e;
+  Alcotest.(check (float 1e-9)) "negative delay fires now" 5.0 !at
+
+let test_process_sleep () =
+  let e = Sim.Engine.create () in
+  let wake = ref 0.0 in
+  Sim.Process.spawn e (fun () ->
+      Sim.Process.sleep e 3.0;
+      Sim.Process.sleep e 4.0;
+      wake := Sim.Engine.now e);
+  Sim.Engine.run e;
+  Alcotest.(check (float 1e-9)) "sleeps accumulate" 7.0 !wake
+
+let test_mailbox_blocking_recv () =
+  let e = Sim.Engine.create () in
+  let mb = Sim.Mailbox.create e in
+  let got = ref 0 in
+  let at = ref 0.0 in
+  Sim.Process.spawn e (fun () ->
+      got := Sim.Mailbox.recv mb;
+      at := Sim.Engine.now e);
+  Sim.Process.spawn e (fun () ->
+      Sim.Process.sleep e 10.0;
+      Sim.Mailbox.send mb 42);
+  Sim.Engine.run e;
+  Alcotest.(check int) "received value" 42 !got;
+  Alcotest.(check (float 1e-9)) "received when sent" 10.0 !at
+
+let test_mailbox_fifo_messages () =
+  let e = Sim.Engine.create () in
+  let mb = Sim.Mailbox.create e in
+  List.iter (Sim.Mailbox.send mb) [ 1; 2; 3 ];
+  let got = ref [] in
+  Sim.Process.spawn e (fun () ->
+      for _ = 1 to 3 do
+        got := Sim.Mailbox.recv mb :: !got
+      done);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "messages in order" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_multiple_waiters () =
+  let e = Sim.Engine.create () in
+  let mb = Sim.Mailbox.create e in
+  let got = ref [] in
+  for i = 0 to 2 do
+    Sim.Process.spawn e (fun () ->
+        let v = Sim.Mailbox.recv mb in
+        got := (i, v) :: !got)
+  done;
+  Sim.Process.spawn e (fun () ->
+      Sim.Process.sleep e 1.0;
+      List.iter (Sim.Mailbox.send mb) [ 10; 20; 30 ]);
+  Sim.Engine.run e;
+  Alcotest.(check (list (pair int int)))
+    "waiters served FIFO" [ (0, 10); (1, 20); (2, 30) ] (List.rev !got)
+
+let test_ivar () =
+  let e = Sim.Engine.create () in
+  let iv = Sim.Ivar.create e in
+  let a = ref 0 and b = ref 0 in
+  Sim.Process.spawn e (fun () -> a := Sim.Ivar.read iv);
+  Sim.Process.spawn e (fun () -> b := Sim.Ivar.read iv);
+  Sim.Process.spawn e (fun () ->
+      Sim.Process.sleep e 2.0;
+      Sim.Ivar.fill iv 7);
+  Sim.Engine.run e;
+  Alcotest.(check (pair int int)) "both readers woke" (7, 7) (!a, !b);
+  Alcotest.(check bool) "filled" true (Sim.Ivar.is_filled iv);
+  Alcotest.check_raises "double fill rejected" (Invalid_argument "Ivar.fill: already filled")
+    (fun () -> Sim.Ivar.fill iv 8)
+
+let test_ivar_read_after_fill () =
+  let e = Sim.Engine.create () in
+  let iv = Sim.Ivar.create e in
+  Sim.Ivar.fill iv "x";
+  let got = ref "" in
+  Sim.Process.spawn e (fun () -> got := Sim.Ivar.read iv);
+  Sim.Engine.run e;
+  Alcotest.(check string) "immediate read" "x" !got
+
+let test_resource_mutual_exclusion () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create e ~servers:1 in
+  let finish = ref [] in
+  for i = 0 to 2 do
+    Sim.Process.spawn e (fun () ->
+        Sim.Resource.use r ~duration:10.0;
+        finish := (i, Sim.Engine.now e) :: !finish)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "serial service, FIFO order"
+    [ (0, 10.0); (1, 20.0); (2, 30.0) ]
+    (List.rev !finish)
+
+let test_resource_parallel_servers () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create e ~servers:2 in
+  let finish = ref [] in
+  for i = 0 to 3 do
+    Sim.Process.spawn e (fun () ->
+        Sim.Resource.use r ~duration:10.0;
+        finish := (i, Sim.Engine.now e) :: !finish)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "two at a time"
+    [ (0, 10.0); (1, 10.0); (2, 20.0); (3, 20.0) ]
+    (List.rev !finish)
+
+let test_resource_no_handoff_steal () =
+  (* A release with a queued waiter must hand the server to the waiter
+     even if another process acquires at the same instant. *)
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create e ~servers:1 in
+  let order = ref [] in
+  Sim.Process.spawn e (fun () ->
+      Sim.Resource.use r ~duration:5.0;
+      order := "holder-done" :: !order);
+  Sim.Process.spawn e (fun () ->
+      Sim.Process.sleep e 1.0;
+      Sim.Resource.acquire r;
+      order := "waiter" :: !order;
+      Sim.Resource.release r);
+  Sim.Process.spawn e (fun () ->
+      Sim.Process.sleep e 5.0;
+      (* arrives exactly when the first holder releases *)
+      Sim.Resource.acquire r;
+      order := "latecomer" :: !order;
+      Sim.Resource.release r);
+  Sim.Engine.run e;
+  Alcotest.(check (list string))
+    "FIFO handoff" [ "holder-done"; "waiter"; "latecomer" ] (List.rev !order);
+  Alcotest.(check int) "all released" 0 (Sim.Resource.busy r)
+
+let test_resource_utilization () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create e ~servers:1 in
+  Sim.Process.spawn e (fun () ->
+      Sim.Resource.use r ~duration:5.0;
+      Sim.Process.sleep e 5.0);
+  Sim.Engine.run e;
+  Alcotest.(check (float 0.001)) "50% busy" 0.5 (Sim.Resource.utilization r)
+
+let test_condition_await () =
+  let e = Sim.Engine.create () in
+  let c = Sim.Condition.create e in
+  let v = ref 0 in
+  let woke_at = ref 0.0 in
+  Sim.Process.spawn e (fun () ->
+      Sim.Condition.await c (fun () -> !v >= 3);
+      woke_at := Sim.Engine.now e);
+  Sim.Process.spawn e (fun () ->
+      for _ = 1 to 3 do
+        Sim.Process.sleep e 1.0;
+        incr v;
+        Sim.Condition.broadcast c
+      done);
+  Sim.Engine.run e;
+  Alcotest.(check (float 1e-9)) "woke only when predicate held" 3.0 !woke_at
+
+let test_condition_immediate () =
+  let e = Sim.Engine.create () in
+  let c = Sim.Condition.create e in
+  let ran = ref false in
+  Sim.Process.spawn e (fun () ->
+      Sim.Condition.await c (fun () -> true);
+      ran := true);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "no broadcast needed when predicate holds" true !ran
+
+let test_network_latency_positive () =
+  let e = Sim.Engine.create () in
+  let rng = Util.Rng.create 3 in
+  let net = Sim.Network.create e ~rng ~base_ms:0.5 ~jitter_ms:0.2 ~bandwidth_mbps:100.0 in
+  let arrived = ref 0.0 in
+  Sim.Network.send net ~size_bytes:1000 (fun () -> arrived := Sim.Engine.now e);
+  Sim.Engine.run e;
+  (* base 0.5 + jitter <=0.2 + 8000 bits / 100 Mbps = 0.08ms *)
+  Alcotest.(check bool)
+    (Printf.sprintf "latency in [0.58, 0.78] (got %f)" !arrived)
+    true
+    (!arrived >= 0.58 && !arrived <= 0.78);
+  Alcotest.(check int) "accounted" 1 (Sim.Network.messages_sent net)
+
+let test_process_exception_propagates () =
+  let e = Sim.Engine.create () in
+  Sim.Process.spawn e (fun () -> failwith "boom");
+  Alcotest.check_raises "process exception escapes run" (Failure "boom") (fun () ->
+      Sim.Engine.run e)
+
+let suites =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "time ordering" `Quick test_engine_time_ordering;
+        Alcotest.test_case "same-time FIFO" `Quick test_engine_same_time_fifo;
+        Alcotest.test_case "run until" `Quick test_engine_until;
+        Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
+      ] );
+    ( "sim.process",
+      [
+        Alcotest.test_case "sleep" `Quick test_process_sleep;
+        Alcotest.test_case "exception propagates" `Quick test_process_exception_propagates;
+      ] );
+    ( "sim.mailbox",
+      [
+        Alcotest.test_case "blocking recv" `Quick test_mailbox_blocking_recv;
+        Alcotest.test_case "fifo messages" `Quick test_mailbox_fifo_messages;
+        Alcotest.test_case "multiple waiters" `Quick test_mailbox_multiple_waiters;
+      ] );
+    ( "sim.ivar",
+      [
+        Alcotest.test_case "fill wakes readers" `Quick test_ivar;
+        Alcotest.test_case "read after fill" `Quick test_ivar_read_after_fill;
+      ] );
+    ( "sim.resource",
+      [
+        Alcotest.test_case "mutual exclusion" `Quick test_resource_mutual_exclusion;
+        Alcotest.test_case "parallel servers" `Quick test_resource_parallel_servers;
+        Alcotest.test_case "no handoff steal" `Quick test_resource_no_handoff_steal;
+        Alcotest.test_case "utilization" `Quick test_resource_utilization;
+      ] );
+    ( "sim.condition",
+      [
+        Alcotest.test_case "await predicate" `Quick test_condition_await;
+        Alcotest.test_case "immediate when true" `Quick test_condition_immediate;
+      ] );
+    ("sim.network", [ Alcotest.test_case "latency model" `Quick test_network_latency_positive ]);
+  ]

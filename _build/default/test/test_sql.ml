@@ -1,0 +1,334 @@
+(* Tests for the SQL front-end: lexer, parser, compilation, execution and
+   transaction semantics. *)
+
+let vi x = Storage.Value.Int x
+let vt s = Storage.Value.Text s
+
+(* --- Lexer --- *)
+
+let test_lexer_basics () =
+  match Sql.Lexer.tokenize "SELECT a, b FROM t WHERE x >= 10.5 AND y = 'it''s';" with
+  | Error msg -> Alcotest.fail msg
+  | Ok tokens ->
+    Alcotest.(check int) "token count" 15 (List.length tokens);
+    Alcotest.(check bool) "float literal" true (List.mem (Sql.Lexer.Float_lit 10.5) tokens);
+    Alcotest.(check bool) "escaped quote" true
+      (List.mem (Sql.Lexer.String_lit "it's") tokens);
+    Alcotest.(check bool) "two-char op" true (List.mem (Sql.Lexer.Op ">=") tokens)
+
+let test_lexer_comments_and_errors () =
+  (match Sql.Lexer.tokenize "SELECT -- a comment\n1" with
+  | Ok [ Sql.Lexer.Word _; Sql.Lexer.Int_lit 1 ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "comment not skipped");
+  (match Sql.Lexer.tokenize "'unterminated" with
+  | Error msg -> Alcotest.(check bool) "error mentions string" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "unterminated string accepted");
+  match Sql.Lexer.tokenize "a ? b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad character accepted"
+
+let test_lexer_dot_vs_float () =
+  (match Sql.Lexer.tokenize "t.col" with
+  | Ok [ Sql.Lexer.Word "t"; Sql.Lexer.Dot; Sql.Lexer.Word "col" ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "qualified name mis-lexed");
+  match Sql.Lexer.tokenize "1.5" with
+  | Ok [ Sql.Lexer.Float_lit 1.5 ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "float mis-lexed"
+
+(* --- Parser --- *)
+
+let parse_ok s =
+  match Sql.Parser.parse s with Ok stmt -> stmt | Error msg -> Alcotest.fail (s ^ ": " ^ msg)
+
+let test_parser_select_shapes () =
+  (match parse_ok "SELECT * FROM t" with
+  | Sql.Ast.Select { projection = Sql.Ast.Star; from_table = "t"; _ } -> ()
+  | _ -> Alcotest.fail "star select");
+  (match parse_ok "SELECT a, t.b FROM t WHERE a = 1 ORDER BY a DESC LIMIT 5" with
+  | Sql.Ast.Select
+      {
+        projection = Sql.Ast.Columns [ (None, "a"); (Some "t", "b") ];
+        where = Some _;
+        order_by = Some ("a", Sql.Ast.Desc);
+        limit = Some 5;
+        _;
+      } -> ()
+  | _ -> Alcotest.fail "column select with clauses");
+  (match parse_ok "SELECT COUNT(*) FROM t" with
+  | Sql.Ast.Select { projection = Sql.Ast.Aggregate Sql.Ast.Count_star; _ } -> ()
+  | _ -> Alcotest.fail "count");
+  (match parse_ok "SELECT kind, COUNT(*) FROM t GROUP BY kind LIMIT 3" with
+  | Sql.Ast.Select
+      { projection = Sql.Ast.Columns [ (None, "kind") ]; group_by = Some "kind"; _ } -> ()
+  | _ -> Alcotest.fail "group by");
+  match parse_ok "SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z > 0" with
+  | Sql.Ast.Select { join = Some ("b", (Some "a", "x"), (Some "b", "y")); _ } -> ()
+  | _ -> Alcotest.fail "join"
+
+let test_parser_precedence () =
+  (* a = 1 OR b = 2 AND c = 3  parses as  a = 1 OR (b = 2 AND c = 3). *)
+  match parse_ok "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3" with
+  | Sql.Ast.Select { where = Some (Sql.Ast.Binop (Sql.Ast.Or, _, Sql.Ast.Binop (Sql.Ast.And, _, _))); _ }
+    -> ()
+  | _ -> Alcotest.fail "OR/AND precedence wrong"
+
+let test_parser_errors () =
+  List.iter
+    (fun sql ->
+      match Sql.Parser.parse sql with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid SQL: %s" sql)
+    [
+      "SELECT";
+      "SELECT * FROM";
+      "SELECT * WHERE x = 1";
+      "INSERT t VALUES (1)";
+      "UPDATE t SET";
+      "CREATE TABLE t";
+      "SELECT * FROM t WHERE";
+      "SELECT * FROM t LIMIT x";
+      "FROB THE KNOB";
+      "SELECT * FROM t; garbage";
+    ]
+
+let test_parser_script () =
+  match Sql.Parser.parse_script "BEGIN; SELECT * FROM t; COMMIT;" with
+  | Ok [ Sql.Ast.Begin; Sql.Ast.Select _; Sql.Ast.Commit ] -> ()
+  | Ok _ -> Alcotest.fail "wrong script shape"
+  | Error msg -> Alcotest.fail msg
+
+(* --- End-to-end execution --- *)
+
+let fresh_session () =
+  let session = Sql.Session.create () in
+  (match
+     Sql.Session.exec_script session
+       "CREATE TABLE pets (id INT PRIMARY KEY, name TEXT, kind TEXT, age INT, INDEX (kind));\n\
+        INSERT INTO pets VALUES (1, 'rex', 'dog', 3), (2, 'tom', 'cat', 5),\n\
+        (3, 'ada', 'dog', 7), (4, 'flo', 'fish', 1);"
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  session
+
+let exec_ok session sql =
+  match Sql.Session.exec session sql with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail (sql ^ ": " ^ msg)
+
+let ints_of result col =
+  let idx =
+    match List.find_index (String.equal col) result.Sql.Compile.columns with
+    | Some i -> i
+    | None -> Alcotest.fail ("missing column " ^ col)
+  in
+  List.map (fun row -> Storage.Value.as_int row.(idx)) result.Sql.Compile.rows
+
+let test_exec_select_where_order () =
+  let s = fresh_session () in
+  let r = exec_ok s "SELECT id, age FROM pets WHERE kind = 'dog' ORDER BY age DESC" in
+  Alcotest.(check (list int)) "dogs by age desc" [ 3; 1 ] (ints_of r "id");
+  let r = exec_ok s "SELECT id FROM pets WHERE age > 2 AND kind <> 'cat'" in
+  Alcotest.(check (list int)) "compound predicate" [ 1; 3 ] (List.sort compare (ints_of r "id"))
+
+let test_exec_like_and_limit () =
+  let s = fresh_session () in
+  let r = exec_ok s "SELECT id FROM pets WHERE name LIKE '%o%' ORDER BY id LIMIT 2" in
+  Alcotest.(check (list int)) "like + limit" [ 2; 4 ] (ints_of r "id")
+
+let test_exec_aggregates () =
+  let s = fresh_session () in
+  let count r = match r.Sql.Compile.rows with
+    | [ [| v |] ] -> v
+    | _ -> Alcotest.fail "expected one aggregate row"
+  in
+  Alcotest.(check bool) "count" true
+    (Storage.Value.equal (count (exec_ok s "SELECT COUNT(*) FROM pets")) (vi 4));
+  Alcotest.(check bool) "sum" true
+    (Storage.Value.equal
+       (count (exec_ok s "SELECT SUM(age) FROM pets"))
+       (Storage.Value.Float 16.0));
+  Alcotest.(check bool) "max with where" true
+    (Storage.Value.equal
+       (count (exec_ok s "SELECT MAX(age) FROM pets WHERE kind = 'dog'"))
+       (Storage.Value.Float 7.0))
+
+let test_exec_group_by () =
+  let s = fresh_session () in
+  let r = exec_ok s "SELECT kind, COUNT(*) FROM pets GROUP BY kind" in
+  Alcotest.(check (list string)) "columns" [ "kind"; "count(*)" ] r.Sql.Compile.columns;
+  (match r.Sql.Compile.rows with
+  | [| k; c |] :: _ ->
+    Alcotest.(check bool) "top group is dog x2" true
+      (Storage.Value.equal k (vt "dog") && Storage.Value.equal c (vi 2))
+  | _ -> Alcotest.fail "no group rows");
+  Alcotest.(check int) "three kinds" 3 (List.length r.Sql.Compile.rows)
+
+let test_exec_join () =
+  let s = fresh_session () in
+  (match
+     Sql.Session.exec_script s
+       "CREATE TABLE owners (oid INT PRIMARY KEY, pet_id INT, oname TEXT);\n\
+        INSERT INTO owners VALUES (10, 1, 'kim'), (11, 3, 'lee'), (12, 9, 'sam');"
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  let r =
+    exec_ok s
+      "SELECT oname, name FROM owners JOIN pets ON owners.pet_id = pets.id ORDER BY oid"
+  in
+  Alcotest.(check int) "two joined rows" 2 (List.length r.Sql.Compile.rows);
+  (match r.Sql.Compile.rows with
+  | [ [| o1; n1 |]; [| o2; n2 |] ] ->
+    Alcotest.(check bool) "kim-rex" true
+      (Storage.Value.equal o1 (vt "kim") && Storage.Value.equal n1 (vt "rex"));
+    Alcotest.(check bool) "lee-ada" true
+      (Storage.Value.equal o2 (vt "lee") && Storage.Value.equal n2 (vt "ada"))
+  | _ -> Alcotest.fail "unexpected join rows");
+  (* WHERE over the joined row, with qualified columns. *)
+  let r =
+    exec_ok s
+      "SELECT oname FROM owners JOIN pets ON owners.pet_id = pets.id WHERE pets.age > 5"
+  in
+  Alcotest.(check int) "filtered join" 1 (List.length r.Sql.Compile.rows)
+
+let test_exec_update_delete () =
+  let s = fresh_session () in
+  let r = exec_ok s "UPDATE pets SET age = age + 1 WHERE kind = 'dog'" in
+  Alcotest.(check int) "two dogs updated" 2 r.Sql.Compile.affected;
+  let r = exec_ok s "SELECT age FROM pets WHERE id = 1" in
+  Alcotest.(check (list int)) "age bumped" [ 4 ] (ints_of r "age");
+  let r = exec_ok s "DELETE FROM pets WHERE kind = 'fish'" in
+  Alcotest.(check int) "one fish deleted" 1 r.Sql.Compile.affected;
+  let r = exec_ok s "SELECT COUNT(*) FROM pets" in
+  match r.Sql.Compile.rows with
+  | [ [| v |] ] -> Alcotest.(check bool) "three left" true (Storage.Value.equal v (vi 3))
+  | _ -> Alcotest.fail "bad count"
+
+let test_exec_insert_with_columns () =
+  let s = fresh_session () in
+  ignore (exec_ok s "INSERT INTO pets (id, name) VALUES (9, 'gil')");
+  let r = exec_ok s "SELECT kind FROM pets WHERE id = 9" in
+  (match r.Sql.Compile.rows with
+  | [ [| Storage.Value.Null |] ] -> ()
+  | _ -> Alcotest.fail "missing columns should be NULL");
+  match Sql.Session.exec s "INSERT INTO pets VALUES (9, 'dup', 'dog', 1)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate key accepted"
+
+let test_exec_transactions () =
+  let s = fresh_session () in
+  ignore (exec_ok s "BEGIN");
+  Alcotest.(check bool) "in txn" true (Sql.Session.in_transaction s);
+  ignore (exec_ok s "UPDATE pets SET age = 100 WHERE id = 1");
+  ignore (exec_ok s "ROLLBACK");
+  let r = exec_ok s "SELECT age FROM pets WHERE id = 1" in
+  Alcotest.(check (list int)) "rollback discards" [ 3 ] (ints_of r "age");
+  ignore (exec_ok s "BEGIN");
+  ignore (exec_ok s "UPDATE pets SET age = 100 WHERE id = 1");
+  ignore (exec_ok s "COMMIT");
+  let r = exec_ok s "SELECT age FROM pets WHERE id = 1" in
+  Alcotest.(check (list int)) "commit applies" [ 100 ] (ints_of r "age")
+
+let test_exec_snapshot_isolation_between_sessions () =
+  let a = fresh_session () in
+  let b = Sql.Session.of_database (Sql.Session.database a) in
+  ignore (exec_ok a "BEGIN");
+  ignore (exec_ok b "BEGIN");
+  ignore (exec_ok a "UPDATE pets SET age = 50 WHERE id = 2");
+  (* B reads its snapshot, not A's uncommitted write. *)
+  let r = exec_ok b "SELECT age FROM pets WHERE id = 2" in
+  Alcotest.(check (list int)) "snapshot read" [ 5 ] (ints_of r "age");
+  ignore (exec_ok b "UPDATE pets SET age = 60 WHERE id = 2");
+  ignore (exec_ok a "COMMIT");
+  (* First committer wins: B's commit must fail. *)
+  match Sql.Session.exec b "COMMIT" with
+  | Error msg ->
+    Alcotest.(check bool) "conflict reported" true
+      (String.length msg > 0 && Sql.Session.in_transaction b = false)
+  | Ok _ -> Alcotest.fail "write-write conflict committed"
+
+let test_exec_errors () =
+  let s = fresh_session () in
+  List.iter
+    (fun sql ->
+      match Sql.Session.exec s sql with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted: %s" sql)
+    [
+      "SELECT * FROM nope";
+      "SELECT nope FROM pets";
+      "SELECT pets.nope FROM pets";
+      "INSERT INTO pets VALUES (1, 2)";
+      "UPDATE pets SET nope = 1";
+      "SELECT name + 1 FROM pets";
+      "COMMIT";
+      "CREATE TABLE pets (id INT PRIMARY KEY)";
+      "CREATE TABLE nokey (a INT)";
+    ]
+
+let test_exec_show_tables_and_render () =
+  let s = fresh_session () in
+  let r = exec_ok s "SHOW TABLES" in
+  Alcotest.(check int) "one table" 1 (List.length r.Sql.Compile.rows);
+  let rendered = Sql.Session.render r in
+  Alcotest.(check bool) "render mentions table" true
+    (String.length rendered > 0
+    &&
+    let lines = String.split_on_char '\n' rendered in
+    List.exists (fun l -> String.length l > 0 && l.[0] = '|') lines)
+
+(* Property: LIKE matching agrees with a reference implementation on
+   wildcard-free patterns (equality) and prefix patterns. *)
+let prop_like_prefix =
+  QCheck.Test.make ~name:"LIKE 'p%' means prefix" ~count:300
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 8)) (string_of_size (QCheck.Gen.int_range 0 8)))
+    (fun (p, s) ->
+      QCheck.assume (not (String.contains p '%') && not (String.contains p '_'));
+      QCheck.assume (not (String.contains s '%') && not (String.contains s '_'));
+      let is_prefix =
+        String.length p <= String.length s && String.sub s 0 (String.length p) = p
+      in
+      Storage.Expr.like_match ~pattern:(p ^ "%") s = is_prefix)
+
+let prop_like_exact =
+  QCheck.Test.make ~name:"wildcard-free LIKE is equality" ~count:300
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 8)) (string_of_size (QCheck.Gen.int_range 0 8)))
+    (fun (p, s) ->
+      QCheck.assume (not (String.contains p '%') && not (String.contains p '_'));
+      Storage.Expr.like_match ~pattern:p s = String.equal p s)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "sql.lexer",
+      [
+        Alcotest.test_case "basics" `Quick test_lexer_basics;
+        Alcotest.test_case "comments and errors" `Quick test_lexer_comments_and_errors;
+        Alcotest.test_case "dot vs float" `Quick test_lexer_dot_vs_float;
+      ] );
+    ( "sql.parser",
+      [
+        Alcotest.test_case "select shapes" `Quick test_parser_select_shapes;
+        Alcotest.test_case "precedence" `Quick test_parser_precedence;
+        Alcotest.test_case "rejects invalid" `Quick test_parser_errors;
+        Alcotest.test_case "scripts" `Quick test_parser_script;
+      ] );
+    ( "sql.exec",
+      [
+        Alcotest.test_case "select/where/order" `Quick test_exec_select_where_order;
+        Alcotest.test_case "like and limit" `Quick test_exec_like_and_limit;
+        Alcotest.test_case "aggregates" `Quick test_exec_aggregates;
+        Alcotest.test_case "group by" `Quick test_exec_group_by;
+        Alcotest.test_case "join" `Quick test_exec_join;
+        Alcotest.test_case "update/delete" `Quick test_exec_update_delete;
+        Alcotest.test_case "insert with columns" `Quick test_exec_insert_with_columns;
+        Alcotest.test_case "transactions" `Quick test_exec_transactions;
+        Alcotest.test_case "snapshot isolation across sessions" `Quick
+          test_exec_snapshot_isolation_between_sessions;
+        Alcotest.test_case "errors" `Quick test_exec_errors;
+        Alcotest.test_case "show tables / render" `Quick test_exec_show_tables_and_render;
+      ]
+      @ qsuite [ prop_like_prefix; prop_like_exact ] );
+  ]

@@ -1,0 +1,213 @@
+(* Unit and property tests for the util library. *)
+
+let test_pqueue_ordering () =
+  let q = Util.Pqueue.create () in
+  List.iter (fun (p, v) -> Util.Pqueue.push q p v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  let pop () = match Util.Pqueue.pop q with Some (_, v) -> v | None -> "!" in
+  let popped = List.init 3 (fun _ -> pop ()) in
+  Alcotest.(check (list string)) "min-heap order" [ "a"; "b"; "c" ] popped;
+  Alcotest.(check bool) "empty after drain" true (Util.Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Util.Pqueue.create () in
+  Util.Pqueue.push q 1.0 "x";
+  Util.Pqueue.push q 0.0 "first";
+  Util.Pqueue.push q 1.0 "y";
+  Util.Pqueue.push q 1.0 "z";
+  let order =
+    List.init 4 (fun _ -> match Util.Pqueue.pop q with Some (_, v) -> v | None -> "!")
+  in
+  Alcotest.(check (list string)) "FIFO among equal priorities" [ "first"; "x"; "y"; "z" ]
+    order
+
+let test_pqueue_peek () =
+  let q = Util.Pqueue.create () in
+  Alcotest.(check bool) "peek empty" true (Util.Pqueue.peek q = None);
+  Util.Pqueue.push q 5.0 42;
+  Alcotest.(check bool) "peek non-destructive" true
+    (Util.Pqueue.peek q = Some (5.0, 42) && Util.Pqueue.length q = 1)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 1000.0) small_int))
+    (fun items ->
+      let q = Util.Pqueue.create () in
+      List.iter (fun (p, v) -> Util.Pqueue.push q p v) items;
+      let rec drain acc =
+        match Util.Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let priorities = drain [] in
+      List.sort compare priorities = priorities
+      && List.length priorities = List.length items)
+
+let test_rng_determinism () =
+  let a = Util.Rng.create 123 and b = Util.Rng.create 123 in
+  let seq r = List.init 50 (fun _ -> Util.Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b)
+
+let test_rng_split_independent () =
+  let a = Util.Rng.create 1 in
+  let b = Util.Rng.split a in
+  let sa = List.init 20 (fun _ -> Util.Rng.int a 1000) in
+  let sb = List.init 20 (fun _ -> Util.Rng.int b 1000) in
+  Alcotest.(check bool) "split streams differ" true (sa <> sb)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"rng int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Util.Rng.create seed in
+      let x = Util.Rng.int rng n in
+      x >= 0 && x < n)
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"rng float stays in range" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1e6))
+    (fun (seed, hi) ->
+      let rng = Util.Rng.create seed in
+      let x = Util.Rng.float rng hi in
+      x >= 0.0 && x < hi)
+
+let test_rng_exponential_mean () =
+  let rng = Util.Rng.create 7 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Util.Rng.exponential rng ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "exponential mean ~5 (got %.3f)" mean)
+    true
+    (mean > 4.8 && mean < 5.2)
+
+let test_rng_zipf_skew () =
+  let rng = Util.Rng.create 11 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let x = Util.Rng.zipf rng ~n:100 ~theta:0.99 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Alcotest.(check bool) "zipf favours low ranks" true (counts.(0) > counts.(50) * 5)
+
+let test_rng_zipf_uniform_when_theta_zero () =
+  let rng = Util.Rng.create 13 in
+  let ok = ref true in
+  for _ = 1 to 1000 do
+    let x = Util.Rng.zipf rng ~n:10 ~theta:0.0 in
+    if x < 0 || x >= 10 then ok := false
+  done;
+  Alcotest.(check bool) "zipf theta=0 in range" true !ok
+
+let test_rng_shuffle_permutes () =
+  let rng = Util.Rng.create 99 in
+  let arr = Array.init 20 (fun i -> i) in
+  Util.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_stats_basic () =
+  let s = Util.Stats.create () in
+  List.iter (Util.Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Util.Stats.mean s);
+  Alcotest.(check (float 1e-9)) "total" 10.0 (Util.Stats.total s);
+  Alcotest.(check int) "count" 4 (Util.Stats.count s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Util.Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Util.Stats.max_value s);
+  Alcotest.(check (float 0.01)) "stddev" 1.29 (Util.Stats.stddev s)
+
+let test_stats_percentile () =
+  let s = Util.Stats.create () in
+  for i = 1 to 100 do
+    Util.Stats.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Util.Stats.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Util.Stats.percentile s 99.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Util.Stats.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "p0 clamps to min" 1.0 (Util.Stats.percentile s 0.0)
+
+let test_stats_empty () =
+  let s = Util.Stats.create () in
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Util.Stats.mean s);
+  Alcotest.(check (float 0.0)) "percentile of empty" 0.0 (Util.Stats.percentile s 50.0)
+
+let test_stats_merge () =
+  let a = Util.Stats.create () and b = Util.Stats.create () in
+  Util.Stats.add a 1.0;
+  Util.Stats.add b 3.0;
+  let m = Util.Stats.merge a b in
+  Alcotest.(check (float 1e-9)) "merged mean" 2.0 (Util.Stats.mean m);
+  Alcotest.(check int) "merged count" 2 (Util.Stats.count m)
+
+let prop_stats_mean_welford_agree =
+  QCheck.Test.make ~name:"stats and online accumulator agree on mean" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let s = Util.Stats.create () and o = Util.Stats.Online.create () in
+      List.iter
+        (fun x ->
+          Util.Stats.add s x;
+          Util.Stats.Online.add o x)
+        xs;
+      Float.abs (Util.Stats.mean s -. Util.Stats.Online.mean o) < 1e-6)
+
+let test_histogram () =
+  let h = Util.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  List.iter (Util.Histogram.add h) [ 0.5; 1.5; 1.7; 9.9; 50.0; -3.0 ];
+  Alcotest.(check int) "total count" 6 (Util.Histogram.count h);
+  Alcotest.(check int) "bucket 0 (incl. below-range)" 2 (Util.Histogram.bucket_value h 0);
+  Alcotest.(check int) "bucket 1" 2 (Util.Histogram.bucket_value h 1);
+  Alcotest.(check int) "last bucket (incl. above-range)" 2 (Util.Histogram.bucket_value h 9)
+
+let test_vec () =
+  let v = Util.Vec.create () in
+  for i = 0 to 99 do
+    Util.Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Util.Vec.length v);
+  Alcotest.(check int) "get" 42 (Util.Vec.get v 42);
+  Util.Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Util.Vec.get v 42);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Vec: index 100 out of bounds (size 100)") (fun () ->
+      ignore (Util.Vec.get v 100));
+  Alcotest.(check int) "to_list length" 100 (List.length (Util.Vec.to_list v))
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suites =
+  [
+    ( "util.pqueue",
+      [
+        Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+        Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+        Alcotest.test_case "peek" `Quick test_pqueue_peek;
+      ]
+      @ qsuite [ prop_pqueue_sorted ] );
+    ( "util.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+        Alcotest.test_case "zipf uniform" `Quick test_rng_zipf_uniform_when_theta_zero;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+      ]
+      @ qsuite [ prop_rng_int_range; prop_rng_float_range ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "basic moments" `Quick test_stats_basic;
+        Alcotest.test_case "percentiles" `Quick test_stats_percentile;
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+        Alcotest.test_case "merge" `Quick test_stats_merge;
+      ]
+      @ qsuite [ prop_stats_mean_welford_agree ] );
+    ( "util.misc",
+      [
+        Alcotest.test_case "histogram buckets" `Quick test_histogram;
+        Alcotest.test_case "vec" `Quick test_vec;
+      ] );
+  ]
