@@ -208,6 +208,7 @@ let component_tests () =
             table_set = [ "t" ];
             tables_written = (if i mod 2 = 0 then [ "t" ] else []);
             write_keys = (if i mod 2 = 0 then [ ("t", string_of_int i) ] else []);
+            trace = None;
           })
     in
     Test.make ~name:"strong-consistency check (200 txns)"

@@ -266,6 +266,73 @@ let check_cmd =
        ~doc:"Validate the consistency guarantees of each configuration on live runs")
     Term.(const check $ seed_arg)
 
+(* --- trace / telemetry: an instrumented demo run (default command) --- *)
+
+let trace_file_arg =
+  let doc =
+    "Run an instrumented TPC-W demo and write its trace as Chrome trace-event JSON to \
+     $(docv) (load it in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let telemetry_arg =
+  let doc =
+    "Sample resource utilization during the demo run and print the counter/gauge \
+     registry and sampler summaries."
+  in
+  Arg.(value & flag & info [ "telemetry" ] ~doc)
+
+let trace_run trace_file telemetry quick seed =
+  if trace_file = None && not telemetry then `Help (`Pager, None)
+  else begin
+    let warmup_ms, measure_ms = if quick then (500.0, 2_000.0) else (1_000.0, 5_000.0) in
+    (* Shorter think time than the benchmark default so the demo trace is
+       dense enough to be interesting. *)
+    let params = { Workload.Tpcw.default with Workload.Tpcw.think_mean_ms = 300.0 } in
+    let mix = Workload.Tpcw.Shopping in
+    let config = { (with_seed seed Core.Config.tpcw) with Core.Config.replicas = 4 } in
+    let cluster =
+      Core.Cluster.create ~config
+        ~tracing:(trace_file <> None)
+        ~mode:Core.Consistency.Fine ~schemas:Workload.Tpcw.schemas
+        ~load:(Workload.Tpcw.load params) ()
+    in
+    for sid = 0 to 39 do
+      Core.Client.spawn cluster ~sid ~rng:(Core.Cluster.rng cluster)
+        (Workload.Tpcw.workload params mix ~sid)
+    done;
+    let sampler =
+      if telemetry then Some (Core.Cluster.start_telemetry cluster) else None
+    in
+    Core.Cluster.run_for cluster ~warmup_ms ~measure_ms;
+    Option.iter Obs.Sampler.stop sampler;
+    let m = Core.Cluster.metrics cluster in
+    Printf.printf
+      "TPC-W %s mix, fine mode, 4 replicas, 40 clients, %.1fs measured: %.0f TPS, %.2f \
+       ms mean response\n"
+      (Workload.Tpcw.mix_name mix) (measure_ms /. 1000.0)
+      (Core.Metrics.throughput_tps m) (Core.Metrics.mean_response_ms m);
+    (match sampler with
+    | Some s ->
+      Core.Cluster.update_gauges cluster;
+      Format.printf "@.Registry:@.%a@." Obs.Registry.pp (Core.Cluster.registry cluster);
+      Format.printf "@.Sampler (every %.0f ms):@.%a@." (Obs.Sampler.interval_ms s)
+        Obs.Sampler.pp s
+    | None -> ());
+    match (trace_file, Core.Cluster.trace cluster) with
+    | Some file, Some trace -> (
+      try
+        Obs.Export.write_chrome_trace ?sampler trace ~file;
+        Printf.printf "Wrote %d spans (%d dropped) to %s\n" (Obs.Trace.length trace)
+          (Obs.Trace.dropped trace) file;
+        `Ok ()
+      with Sys_error e -> `Error (false, Printf.sprintf "cannot write trace: %s" e))
+    | _ -> `Ok ()
+  end
+
+let trace_term =
+  Term.ret Term.(const trace_run $ trace_file_arg $ telemetry_arg $ quick_arg $ seed_arg)
+
 (* --- all --- *)
 
 let all quick seed =
@@ -285,7 +352,7 @@ let () =
   let doc = "Reproduction of 'Strongly consistent replication for a bargain' (ICDE 2010)" in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
   let group =
-    Cmd.group info
+    Cmd.group ~default:trace_term info
       [
         table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig7_cmd; ablation_cmd; ycsb_cmd;
         tpcc_cmd; check_cmd; all_cmd;

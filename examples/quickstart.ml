@@ -18,7 +18,8 @@ let () =
     { Core.Config.default with replicas = 3; gc_interval_ms = 0.0; hiccup_interval_ms = 0.0 }
   in
   let cluster =
-    Core.Cluster.create ~config ~mode:Core.Consistency.Coarse ~schemas:[ inventory ]
+    Core.Cluster.create ~config ~tracing:true ~mode:Core.Consistency.Coarse
+      ~schemas:[ inventory ]
       ~load:(fun db ->
         Storage.Database.load db "inventory"
           [
@@ -76,4 +77,16 @@ let () =
         (Storage.Value.as_int row.(2))
         (Storage.Database.version db)
     | None -> Printf.printf "replica %d: row missing!\n" i
-  done
+  done;
+  (* 7. The cluster was created with [~tracing:true], so every stage of
+        both transactions (and the refresh applies on the other replicas)
+        left a span. Dump them, then export Chrome trace-event JSON —
+        load quickstart_trace.json in chrome://tracing or
+        ui.perfetto.dev to see the timeline. *)
+  match Core.Cluster.trace cluster with
+  | None -> ()
+  | Some trace ->
+    Format.printf "@.trace (%d spans):@.%a@." (Obs.Trace.length trace)
+      Obs.Export.pp_text trace;
+    Obs.Export.write_chrome_trace trace ~file:"quickstart_trace.json";
+    print_endline "wrote quickstart_trace.json"

@@ -8,6 +8,7 @@ type record = {
   table_set : string list;
   tables_written : string list;
   write_keys : (string * string) list;
+  trace : int option;
 }
 
 type violation = {
@@ -16,8 +17,15 @@ type violation = {
   reason : string;
 }
 
+(* Violations cite trace ids when the run was traced, so a checker hit
+   can be looked up directly among the exported spans. *)
+let pp_tid ppf r =
+  match r.trace with
+  | None -> Format.fprintf ppf "T%d" r.tid
+  | Some trace -> Format.fprintf ppf "T%d(trace %d)" r.tid trace
+
 let pp_violation ppf v =
-  Format.fprintf ppf "T%d -> T%d: %s" v.first.tid v.second.tid v.reason
+  Format.fprintf ppf "%a -> %a: %s" pp_tid v.first pp_tid v.second v.reason
 
 (* All pairs (ti, tj) such that ti's ack precedes tj's begin. Sorting by
    begin time lets us stop the inner scan early for long logs. *)

@@ -27,6 +27,9 @@ type record = {
   table_set : string list;  (** declared tables the txn may access *)
   tables_written : string list;  (** tables in the writeset *)
   write_keys : (string * string) list;  (** (table, rendered key) written *)
+  trace : int option;
+      (** trace id of the transaction when the run was traced, so checker
+          violations can be cross-referenced with exported trace spans *)
 }
 
 type violation = {

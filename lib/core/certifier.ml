@@ -18,11 +18,13 @@ type t = {
   rng : Util.Rng.t;
   network : Sim.Network.t;
   mode : Consistency.mode;
+  obs : Obs.Trace.t option;
   cpu : Sim.Resource.t;
   mutable version : int;
   mutable log : Storage.Writeset.t Util.Vec.t;  (* index i holds version log_base+i+1 *)
   mutable log_base : int;  (* all versions <= log_base have been pruned *)
-  subscribers : (int, version:int -> ws:Storage.Writeset.t -> unit) Hashtbl.t;
+  subscribers : (int, trace:int option -> version:int -> ws:Storage.Writeset.t -> unit)
+    Hashtbl.t;
   live : (int, unit) Hashtbl.t;
   eager_pending : (int, eager_state) Hashtbl.t;  (* keyed by version *)
   standbys : standby array;
@@ -37,13 +39,14 @@ type decision =
   | Commit of { version : int; global_commit : unit Sim.Ivar.t option }
   | Abort
 
-let create engine cfg ~rng ~network ~mode =
+let create ?obs engine cfg ~rng ~network ~mode =
   {
     engine;
     cfg;
     rng;
     network;
     mode;
+    obs;
     cpu = Sim.Resource.create engine ~servers:1;
     version = 0;
     log = Util.Vec.create ();
@@ -66,6 +69,10 @@ let subscribe t ~replica deliver =
   Hashtbl.replace t.live replica ()
 
 let version t = t.version
+
+let cpu t = t.cpu
+
+let log_size t = t.version - t.log_base
 
 let service_time t base =
   if t.cfg.Config.service_jitter then base *. Util.Rng.exponential t.rng ~mean:1.0
@@ -102,11 +109,33 @@ let replicate_to_standbys t v ws =
       t.standbys
   end
 
-let certify t ~origin ~snapshot ~ws =
+let certify ?trace t ~origin ~snapshot ~ws =
+  let rows = Storage.Writeset.cardinal ws in
+  (* The service span covers outage queueing, CPU queueing and the
+     certification work itself; [queue_ms] separates the wait. *)
+  let span =
+    match trace with
+    | Some (trace_id, parent) ->
+      Obs.Trace.start_opt t.obs ~trace_id ~parent ~component:Obs.Span.Certifier
+        ~name:"certify"
+        ~args:
+          [
+            ("origin", string_of_int origin);
+            ("snapshot", string_of_int snapshot);
+            ("rows", string_of_int rows);
+          ]
+        ()
+    | None -> None
+  in
+  let arrival = Sim.Engine.now t.engine in
   (* During a certifier outage, requests queue until failover completes. *)
   Sim.Condition.await t.revive (fun () -> not t.crashed);
   Sim.Resource.acquire t.cpu;
-  let rows = Storage.Writeset.cardinal ws in
+  let queue_ms = Sim.Engine.now t.engine -. arrival in
+  let finish_span decision_args =
+    Obs.Trace.finish_opt t.obs span
+      ~args:(decision_args @ [ ("queue_ms", Printf.sprintf "%.3f" queue_ms) ])
+  in
   let cost =
     t.cfg.Config.certify_base_ms +. (float_of_int rows *. t.cfg.Config.certify_row_ms)
   in
@@ -118,6 +147,7 @@ let certify t ~origin ~snapshot ~ws =
        pathologically old transactions. *)
     t.aborts <- t.aborts + 1;
     Sim.Resource.release t.cpu;
+    finish_span [ ("decision", "abort") ];
     Abort
   end
   else begin
@@ -130,11 +160,16 @@ let certify t ~origin ~snapshot ~ws =
     Sim.Process.sleep t.engine (service_time t t.cfg.Config.durability_ms);
     replicate_to_standbys t v ws;
     Sim.Resource.release t.cpu;
+    finish_span [ ("decision", "commit"); ("version", string_of_int v) ];
     let size_bytes = Storage.Codec.writeset_bytes ws + 64 in
+    (* The refresh carries the committing transaction's trace id so the
+       remote applies land in the same trace. *)
+    let trace_id = Option.map fst trace in
     Hashtbl.iter
       (fun replica deliver ->
         if replica <> origin && Hashtbl.mem t.live replica then
-          Sim.Network.send t.network ~size_bytes (fun () -> deliver ~version:v ~ws))
+          Sim.Network.send t.network ~size_bytes (fun () ->
+              deliver ~trace:trace_id ~version:v ~ws))
       t.subscribers;
     let global_commit =
       match t.mode with

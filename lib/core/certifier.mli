@@ -22,20 +22,36 @@ type decision =
   | Abort
 
 val create :
-  Sim.Engine.t -> Config.t -> rng:Util.Rng.t -> network:Sim.Network.t ->
-  mode:Consistency.mode -> t
+  ?obs:Obs.Trace.t -> Sim.Engine.t -> Config.t -> rng:Util.Rng.t ->
+  network:Sim.Network.t -> mode:Consistency.mode -> t
+(** With [obs], every certification request emits a service span
+    (component {!Obs.Span.Certifier}) carrying origin, snapshot, queue
+    wait and the decision. *)
 
-val subscribe : t -> replica:int -> (version:int -> ws:Storage.Writeset.t -> unit) -> unit
+val subscribe :
+  t -> replica:int ->
+  (trace:int option -> version:int -> ws:Storage.Writeset.t -> unit) -> unit
 (** Register a replica's refresh-delivery callback (invoked after a
-    sampled network delay). Subscribing marks the replica live. *)
+    sampled network delay). Subscribing marks the replica live. [trace]
+    is the committing transaction's trace id when the run is traced. *)
 
 val version : t -> int
 (** Current [V_commit]. *)
 
+val cpu : t -> Sim.Resource.t
+(** The single-server certification CPU (for telemetry probes: its queue
+    length is the certifier backlog). *)
+
+val log_size : t -> int
+(** Retained log entries ([version - log_base]). *)
+
 val certify :
+  ?trace:int * Obs.Span.t option ->
   t -> origin:int -> snapshot:int -> ws:Storage.Writeset.t -> decision
 (** Certify an update transaction. Blocks the calling process for the
-    certifier service time. Must be called from within a process. *)
+    certifier service time. Must be called from within a process.
+    [trace] is the caller's (trace id, parent span) for the service
+    span; ignored when the certifier has no {!Obs.Trace.t}. *)
 
 val ack : t -> replica:int -> version:int -> unit
 (** A replica committed (applied) the given version — eager accounting.

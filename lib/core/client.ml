@@ -11,15 +11,19 @@ let spawn cluster ~sid ~rng workload =
         let think = workload.think_ms rng in
         if think > 0.0 then Sim.Process.sleep engine think;
         let request = workload.next_request rng in
+        let give_up () =
+          Metrics.record_retry_exhausted (Cluster.metrics cluster);
+          Obs.Registry.incr
+            (Obs.Registry.counter (Cluster.registry cluster) "txn.retry_exhausted")
+        in
         let rec attempt tries =
           match Cluster.submit cluster ~sid request with
           | Transaction.Committed _ -> ()
           | Transaction.Aborted { reason = Transaction.Statement_error _; _ } ->
             (* A logic error in the workload; retrying cannot help. *)
-            Metrics.record_retry_exhausted (Cluster.metrics cluster)
+            give_up ()
           | Transaction.Aborted _ ->
-            if tries < cfg.Config.max_retries then attempt (tries + 1)
-            else Metrics.record_retry_exhausted (Cluster.metrics cluster)
+            if tries < cfg.Config.max_retries then attempt (tries + 1) else give_up ()
         in
         attempt 0;
         loop ()

@@ -12,6 +12,11 @@ type t = {
   lb : Load_balancer.t;
   replicas : Replica.t array;
   metrics : Metrics.t;
+  obs : Obs.Trace.t option;
+  registry : Obs.Registry.t;
+  c_commit : Obs.Registry.counter;
+  c_commit_ro : Obs.Registry.counter;
+  c_abort : Obs.Registry.counter;
   mutable next_tid : int;
   mutable log : Check.Runlog.record list;  (* reversed *)
 }
@@ -21,15 +26,18 @@ let request_bytes (req : Transaction.request) =
      plus parameters. *)
   64 + (List.length req.Transaction.statements * 48)
 
-let create ?(config = Config.default) ~mode ~schemas ~load () =
+let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_536)
+    ~mode ~schemas ~load () =
   let engine = Sim.Engine.create () in
+  (* The cluster owns the engine, so it also owns the trace context. *)
+  let obs = if tracing then Some (Obs.Trace.create ~capacity:trace_capacity engine) else None in
   let rng = Util.Rng.create config.Config.seed in
   let network =
     Sim.Network.create engine ~rng:(Util.Rng.split rng) ~base_ms:config.Config.net_base_ms
       ~jitter_ms:config.Config.net_jitter_ms ~bandwidth_mbps:config.Config.net_bandwidth_mbps
   in
   let certifier =
-    Certifier.create engine config ~rng:(Util.Rng.split rng) ~network ~mode
+    Certifier.create ?obs engine config ~rng:(Util.Rng.split rng) ~network ~mode
   in
   let lb = Load_balancer.create ~rng:(Util.Rng.split rng) config ~mode in
   let replicas =
@@ -37,8 +45,9 @@ let create ?(config = Config.default) ~mode ~schemas ~load () =
         let db = Storage.Database.create () in
         List.iter (fun schema -> ignore (Storage.Database.create_table db schema)) schemas;
         load db;
-        Replica.create engine config ~rng:(Util.Rng.split rng) ~id db)
+        Replica.create ?obs engine config ~rng:(Util.Rng.split rng) ~id db)
   in
+  let registry = Obs.Registry.create () in
   let t =
     {
       engine;
@@ -49,6 +58,11 @@ let create ?(config = Config.default) ~mode ~schemas ~load () =
       lb;
       replicas;
       metrics = Metrics.create engine;
+      obs;
+      registry;
+      c_commit = Obs.Registry.counter registry "txn.commit";
+      c_commit_ro = Obs.Registry.counter registry "txn.commit_read_only";
+      c_abort = Obs.Registry.counter registry "txn.abort";
       next_tid = 0;
       log = [];
     }
@@ -56,8 +70,8 @@ let create ?(config = Config.default) ~mode ~schemas ~load () =
   Array.iter
     (fun replica ->
       let id = Replica.id replica in
-      Certifier.subscribe certifier ~replica:id (fun ~version ~ws ->
-          Replica.receive_refresh replica ~version ~ws);
+      Certifier.subscribe certifier ~replica:id (fun ~trace ~version ~ws ->
+          Replica.receive_refresh ?trace replica ~version ~ws);
       Replica.set_on_commit replica (fun ~version ->
           Certifier.ack certifier ~replica:id ~version);
       Replica.start replica)
@@ -98,11 +112,64 @@ let certifier t = t.certifier
 let load_balancer t = t.lb
 let replica t i = t.replicas.(i)
 let rng t = Util.Rng.split t.rng
+let trace t = t.obs
+let registry t = t.registry
+
+(* --- telemetry ----------------------------------------------------- *)
+
+let update_gauges t =
+  let refresh_total = ref 0 in
+  Array.iteri
+    (fun i r ->
+      let pending = Replica.pending_refresh r in
+      refresh_total := !refresh_total + pending;
+      let name key = Printf.sprintf "replica%d.%s" i key in
+      Obs.Registry.set (Obs.Registry.gauge t.registry (name "refresh_queue"))
+        (float_of_int pending);
+      Obs.Registry.set (Obs.Registry.gauge t.registry (name "active_txns"))
+        (float_of_int (Replica.active_local r));
+      Obs.Registry.set (Obs.Registry.gauge t.registry (name "v_local"))
+        (float_of_int (Replica.v_local r)))
+    t.replicas;
+  Obs.Registry.set (Obs.Registry.gauge t.registry "refresh_queue.total")
+    (float_of_int !refresh_total);
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.log_size")
+    (float_of_int (Certifier.log_size t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.queue")
+    (float_of_int (Sim.Resource.queue_length (Certifier.cpu t.certifier)))
+
+let attach_probes t sampler =
+  Array.iteri
+    (fun i r ->
+      let name key = Printf.sprintf "replica%d.%s" i key in
+      Obs.Sampler.add_resource sampler ~name:(name "cpu") (Replica.cpu r);
+      Obs.Sampler.add sampler ~name:(name "refresh_queue") (fun () ->
+          float_of_int (Replica.pending_refresh r));
+      Obs.Sampler.add sampler ~name:(name "active_txns") (fun () ->
+          float_of_int (Replica.active_local r));
+      Obs.Sampler.add sampler ~name:(name "lb_active") (fun () ->
+          float_of_int (Load_balancer.active t.lb ~replica:i)))
+    t.replicas;
+  Obs.Sampler.add_resource sampler ~name:"certifier.cpu" (Certifier.cpu t.certifier);
+  Obs.Sampler.add sampler ~name:"certifier.log_size" (fun () ->
+      float_of_int (Certifier.log_size t.certifier));
+  (* Keep the registry's gauges fresh on the same cadence. *)
+  Obs.Sampler.add sampler ~name:"v_system" (fun () ->
+      update_gauges t;
+      float_of_int (Load_balancer.v_system t.lb))
+
+let start_telemetry ?interval_ms t =
+  let sampler = Obs.Sampler.create ?interval_ms t.engine in
+  attach_probes t sampler;
+  Obs.Sampler.start sampler;
+  sampler
 
 let render_key key =
   String.concat "," (List.map Storage.Value.to_string (Array.to_list key))
 
-let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~table_set ~ws =
+let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~table_set ~ws ~trace =
   if t.cfg.Config.record_log then begin
     let entries = Storage.Writeset.entries ws in
     let record =
@@ -119,6 +186,7 @@ let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~table_set ~
           List.map
             (fun e -> (e.Storage.Writeset.ws_table, render_key e.Storage.Writeset.ws_key))
             entries;
+        trace;
       }
     in
     t.log <- record :: t.log
@@ -137,6 +205,9 @@ let submit t ~sid (req : Transaction.request) =
   let begin_time = Sim.Engine.now t.engine in
   let tid = t.next_tid in
   t.next_tid <- t.next_tid + 1;
+  (* The stage clock: feeds both the aggregate breakdown and, when the
+     cluster was created with [~tracing:true], the transaction's spans. *)
+  let mtxn = Metrics.txn_begin ?obs:t.obs ~sid ~name:req.Transaction.profile t.metrics in
   (* Client -> load balancer. *)
   Sim.Network.transfer t.network ~size_bytes:(request_bytes req);
   Sim.Process.sleep t.engine t.cfg.Config.lb_ms;
@@ -144,9 +215,15 @@ let submit t ~sid (req : Transaction.request) =
   let replica = t.replicas.(replica_id) in
   let v_start = Load_balancer.start_version t.lb ~sid ~table_set:req.Transaction.table_set in
   Load_balancer.note_dispatch t.lb ~replica:replica_id;
+  (match Metrics.txn_trace_id mtxn with
+  | None -> ()
+  | Some trace_id ->
+    Obs.Trace.instant_opt t.obs ~trace_id ~component:Obs.Span.Load_balancer ~name:"route"
+      ~args:[ ("replica", string_of_int replica_id); ("v_start", string_of_int v_start) ]
+      ());
+  Metrics.txn_locate mtxn ~replica:replica_id;
   (* Load balancer -> replica. *)
   Sim.Network.transfer t.network ~size_bytes:(request_bytes req);
-  let stages = Array.make Metrics.stage_count 0.0 in
   let now () = Sim.Engine.now t.engine in
   Log.debug (fun m ->
       m "[%.3f] T%d (session %d, %s) -> replica %d, start version %d" begin_time tid sid
@@ -154,23 +231,23 @@ let submit t ~sid (req : Transaction.request) =
   let abort ?(finish = true) reason =
     if finish then Replica.finish_txn replica ~tid;
     respond t ~replica_id ~ack_bytes:32 ~on_lb:(fun () -> ());
-    Metrics.record_abort t.metrics;
+    Metrics.txn_abort mtxn
+      ~reason:(Format.asprintf "%a" Transaction.pp_abort_reason reason);
+    Obs.Registry.incr t.c_abort;
     Log.debug (fun m ->
         m "[%.3f] T%d aborted: %a" (now ()) tid Transaction.pp_abort_reason reason);
     Transaction.Aborted { reason; response_ms = now () -. begin_time }
   in
   (* Stage: version — the synchronization start delay. *)
-  let version_start = now () in
+  Metrics.stage_enter mtxn Metrics.Version;
   match Replica.await_version replica v_start with
-  | Error reason ->
-    stages.(Metrics.stage_index Metrics.Version) <- now () -. version_start;
-    abort ~finish:false reason
+  | Error reason -> abort ~finish:false reason
   | Ok () -> (
-    stages.(Metrics.stage_index Metrics.Version) <- now () -. version_start;
+    Metrics.stage_exit mtxn Metrics.Version;
     let txn = Replica.begin_txn replica ~tid in
     let snapshot = Storage.Txn.snapshot txn in
     (* Stage: queries. *)
-    let queries_start = now () in
+    Metrics.stage_enter mtxn Metrics.Queries;
     let rec run_statements = function
       | [] -> Ok ()
       | stmt :: rest ->
@@ -186,60 +263,74 @@ let submit t ~sid (req : Transaction.request) =
         end
     in
     let statement_result = run_statements req.Transaction.statements in
-    stages.(Metrics.stage_index Metrics.Queries) <- now () -. queries_start;
     match statement_result with
     | Error reason -> abort reason
     | Ok () -> (
+      Metrics.stage_exit mtxn Metrics.Queries;
       let ws = Storage.Txn.writeset txn in
       if Storage.Writeset.is_empty ws then begin
         (* Read-only: commit locally, no certification. *)
-        let commit_start = now () in
+        Metrics.stage_enter mtxn Metrics.Commit;
         Replica.commit_read_only replica txn;
-        stages.(Metrics.stage_index Metrics.Commit) <- now () -. commit_start;
+        Metrics.stage_exit mtxn Metrics.Commit;
         Replica.finish_txn replica ~tid;
         respond t ~replica_id ~ack_bytes:64 ~on_lb:(fun () -> ());
         let response_ms = now () -. begin_time in
-        Metrics.record_commit t.metrics ~read_only:true ~stages ~response_ms;
+        let stages = Metrics.txn_stages mtxn in
+        Metrics.txn_commit mtxn ~read_only:true;
+        Obs.Registry.incr t.c_commit_ro;
         record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version:None
-          ~table_set:req.Transaction.table_set ~ws;
+          ~table_set:req.Transaction.table_set ~ws ~trace:(Metrics.txn_trace_id mtxn);
         Transaction.Committed { commit_version = None; snapshot; stages; response_ms }
       end
       else begin
         (* Stage: certify — round trip to the certifier. *)
-        let certify_start = now () in
+        Metrics.stage_enter mtxn Metrics.Certify;
         let ws_bytes = Storage.Codec.writeset_bytes ws + 64 in
         Sim.Network.transfer t.network ~size_bytes:ws_bytes;
-        let decision = Certifier.certify t.certifier ~origin:replica_id ~snapshot ~ws in
+        let trace =
+          Option.map
+            (fun id -> (id, Metrics.txn_root_span mtxn))
+            (Metrics.txn_trace_id mtxn)
+        in
+        let decision =
+          Certifier.certify ?trace t.certifier ~origin:replica_id ~snapshot ~ws
+        in
         Sim.Network.transfer t.network ~size_bytes:32;
-        stages.(Metrics.stage_index Metrics.Certify) <- now () -. certify_start;
+        Metrics.stage_exit mtxn Metrics.Certify;
         match decision with
         | Certifier.Abort -> abort Transaction.Certification_conflict
         | Certifier.Commit { version; global_commit } -> (
-          (* Stages: sync (wait for predecessors) then commit. *)
-          let sync_start = now () in
+          (* Stages: sync (wait for predecessors) then commit; the
+             sequencer reports when the commit work began, splitting the
+             wait retroactively. *)
+          Metrics.stage_enter mtxn Metrics.Sync;
           let done_ = Replica.commit_local replica ~version ~ws in
           match Sim.Ivar.read done_ with
-          | Error reason ->
-            stages.(Metrics.stage_index Metrics.Sync) <- now () -. sync_start;
-            abort ~finish:false reason
+          | Error reason -> abort ~finish:false reason
           | Ok commit_work_start ->
-            stages.(Metrics.stage_index Metrics.Sync) <- commit_work_start -. sync_start;
-            stages.(Metrics.stage_index Metrics.Commit) <- now () -. commit_work_start;
+            Metrics.stage_exit ~at:commit_work_start mtxn Metrics.Sync;
+            Metrics.stage_enter ~at:commit_work_start mtxn Metrics.Commit;
+            Metrics.stage_exit mtxn Metrics.Commit;
             Replica.finish_txn replica ~tid;
             (* Stage: global — eager only. *)
             (match global_commit with
             | None -> ()
             | Some ivar ->
-              let global_start = now () in
+              Metrics.stage_enter mtxn Metrics.Global;
               Sim.Ivar.read ivar;
-              stages.(Metrics.stage_index Metrics.Global) <- now () -. global_start);
+              Metrics.stage_exit mtxn Metrics.Global);
             respond t ~replica_id ~ack_bytes:64 ~on_lb:(fun () ->
                 Load_balancer.note_commit_ack t.lb ~sid ~version
                   ~tables_written:(Storage.Writeset.tables ws));
             let response_ms = now () -. begin_time in
-            Metrics.record_commit t.metrics ~read_only:false ~stages ~response_ms;
+            let stages = Metrics.txn_stages mtxn in
+            Metrics.txn_commit mtxn ~read_only:false
+              ~args:[ ("version", string_of_int version) ];
+            Obs.Registry.incr t.c_commit;
             record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version:(Some version)
-              ~table_set:req.Transaction.table_set ~ws;
+              ~table_set:req.Transaction.table_set ~ws
+              ~trace:(Metrics.txn_trace_id mtxn);
             Log.debug (fun m ->
                 m "[%.3f] T%d committed at v%d (snapshot v%d, %.2fms)" (now ()) tid
                   version snapshot response_ms);
@@ -251,6 +342,7 @@ let run_for t ~warmup_ms ~measure_ms =
   let start = Sim.Engine.now t.engine in
   Sim.Engine.run t.engine ~until:(start +. warmup_ms);
   Metrics.reset_window t.metrics;
+  Obs.Registry.reset t.registry;
   t.log <- [];
   Sim.Engine.run t.engine ~until:(start +. warmup_ms +. measure_ms)
 

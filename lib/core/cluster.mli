@@ -11,6 +11,8 @@ type t
 
 val create :
   ?config:Config.t ->
+  ?tracing:bool ->
+  ?trace_capacity:int ->
   mode:Consistency.mode ->
   schemas:Storage.Schema.t list ->
   load:(Storage.Database.t -> unit) ->
@@ -18,7 +20,12 @@ val create :
   t
 (** Build a cluster: every replica gets the schemas and is populated by
     [load]. Spawns the per-replica sequencer processes and, if
-    configured, the MVCC vacuum process. *)
+    configured, the MVCC vacuum process.
+
+    With [~tracing:true] (default [false]) the cluster owns an
+    {!Obs.Trace.t} and every component emits spans into it; virtual
+    timings are unaffected (see {!Obs.Trace}). [trace_capacity] bounds
+    the span ring buffer (default 65536). *)
 
 val engine : t -> Sim.Engine.t
 val config : t -> Config.t
@@ -29,6 +36,29 @@ val load_balancer : t -> Load_balancer.t
 val replica : t -> int -> Replica.t
 val rng : t -> Util.Rng.t
 (** A generator split from the cluster seed, for workload use. *)
+
+(** {2 Observability} *)
+
+val trace : t -> Obs.Trace.t option
+(** The cluster's trace context; [Some] iff created with [~tracing:true]. *)
+
+val registry : t -> Obs.Registry.t
+(** Named counters (commits, read-only commits, aborts, exhausted
+    retries) and gauges; always live — counters cost one increment. *)
+
+val update_gauges : t -> unit
+(** Refresh the registry's gauges (refresh-queue depths, active
+    transactions, certifier log size and queue) from current state. *)
+
+val attach_probes : t -> Obs.Sampler.t -> unit
+(** Register the standard probe set on a sampler: per-replica CPU
+    (busy/queue/utilization), refresh queue, active transactions and LB
+    in-flight count; certifier CPU and log size; [v_system]. The
+    [v_system] probe also calls {!update_gauges} each tick. *)
+
+val start_telemetry : ?interval_ms:float -> t -> Obs.Sampler.t
+(** Convenience: create a sampler on the cluster engine, attach the
+    standard probes and start it. *)
 
 val submit : t -> sid:int -> Transaction.request -> Transaction.outcome
 (** Run one transaction end to end. Records metrics and, when

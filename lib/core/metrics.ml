@@ -55,6 +55,88 @@ let reset_window t =
   Array.fill t.stage_sums 0 stage_count 0.0;
   Array.fill t.stage_sums_update 0 stage_count 0.0
 
+(* --- The per-transaction stage clock -------------------------------
+
+   One recorder drives both consumers of stage timing: the aggregate
+   stage sums above and, when tracing is enabled, per-stage trace spans.
+   [Cluster.submit] marks stage transitions once; there is no parallel
+   bookkeeping channel. *)
+
+type txn = {
+  m : t;
+  obs : Obs.Trace.t option;
+  trace_id : int option;
+  root : Obs.Span.t option;
+  begin_time : float;
+  values : float array;
+  mutable component : Obs.Span.component;
+  mutable open_stage : (stage * float * Obs.Span.t option) option;
+}
+
+let txn_begin ?obs ?(sid = 0) ~name t =
+  let trace_id = Option.map Obs.Trace.next_trace_id obs in
+  let root =
+    match (obs, trace_id) with
+    | Some tr, Some id ->
+      Some
+        (Obs.Trace.start tr ~trace_id:id ~component:(Obs.Span.Client sid) ~name
+           ~args:[ ("session", string_of_int sid) ]
+           ())
+    | _ -> None
+  in
+  {
+    m = t;
+    obs;
+    trace_id;
+    root;
+    begin_time = Sim.Engine.now t.engine;
+    values = Array.make stage_count 0.0;
+    component = Obs.Span.Client sid;
+    open_stage = None;
+  }
+
+let txn_trace_id txn = txn.trace_id
+
+let txn_root_span txn = txn.root
+
+let txn_stages txn = txn.values
+
+let txn_locate txn ~replica = txn.component <- Obs.Span.Replica replica
+
+let now_of txn = Sim.Engine.now txn.m.engine
+
+let txn_response_ms txn = now_of txn -. txn.begin_time
+
+let stage_enter ?at txn stage =
+  assert (txn.open_stage = None);
+  let start = match at with Some time -> time | None -> now_of txn in
+  let span =
+    match (txn.obs, txn.trace_id) with
+    | Some tr, Some trace_id ->
+      Some
+        (Obs.Trace.start tr ~trace_id ?parent:txn.root ~at:start
+           ~component:txn.component ~name:(stage_name stage) ())
+    | _ -> None
+  in
+  txn.open_stage <- Some (stage, start, span)
+
+let stage_exit ?at txn stage =
+  match txn.open_stage with
+  | None -> invalid_arg "Metrics.stage_exit: no open stage"
+  | Some (open_stage, start, span) ->
+    if open_stage <> stage then invalid_arg "Metrics.stage_exit: stage mismatch";
+    let stop = match at with Some time -> time | None -> now_of txn in
+    txn.values.(stage_index stage) <- txn.values.(stage_index stage) +. (stop -. start);
+    (match (txn.obs, span) with
+    | Some tr, Some span -> Obs.Trace.finish tr ~at:stop span
+    | _ -> ());
+    txn.open_stage <- None
+
+let close_open_stage txn =
+  match txn.open_stage with
+  | Some (stage, _, _) -> stage_exit txn stage
+  | None -> ()
+
 let record_commit t ~read_only ~stages ~response_ms =
   t.committed <- t.committed + 1;
   Util.Stats.add t.response response_ms;
@@ -65,6 +147,23 @@ let record_commit t ~read_only ~stages ~response_ms =
   end
 
 let record_abort t = t.aborted <- t.aborted + 1
+
+let txn_commit ?(args = []) txn ~read_only =
+  close_open_stage txn;
+  record_commit txn.m ~read_only ~stages:txn.values ~response_ms:(txn_response_ms txn);
+  match (txn.obs, txn.root) with
+  | Some tr, Some root ->
+    Obs.Trace.finish tr root
+      ~args:(("outcome", if read_only then "committed_ro" else "committed") :: args)
+  | _ -> ()
+
+let txn_abort txn ~reason =
+  close_open_stage txn;
+  record_abort txn.m;
+  match (txn.obs, txn.root) with
+  | Some tr, Some root ->
+    Obs.Trace.finish tr root ~args:[ ("outcome", "aborted"); ("reason", reason) ]
+  | _ -> ()
 
 let record_retry_exhausted t = t.retry_exhausted <- t.retry_exhausted + 1
 

@@ -26,6 +26,51 @@ val record_abort : t -> unit
 
 val record_retry_exhausted : t -> unit
 
+(** {2 The per-transaction stage clock}
+
+    One recorder per in-flight transaction drives both stage accounting
+    and (when a {!Obs.Trace.t} is attached) per-stage trace spans — the
+    aggregate breakdown and the trace are views of the same events.
+    Stages are entered and exited strictly one at a time. *)
+
+type txn
+
+val txn_begin : ?obs:Obs.Trace.t -> ?sid:int -> name:string -> t -> txn
+(** Start the clock (and, when tracing, the transaction's root span on
+    the [Client sid] track). [name] labels the root span (the workload
+    profile). *)
+
+val txn_locate : txn -> replica:int -> unit
+(** Route subsequent stage spans to the executing replica's track. Call
+    after the load balancer picks the replica, before the first stage. *)
+
+val stage_enter : ?at:float -> txn -> stage -> unit
+(** Open a stage at the current virtual time, or retroactively at [at]. *)
+
+val stage_exit : ?at:float -> txn -> stage -> unit
+(** Close the open stage, accumulating its duration (and finishing its
+    span). Raises [Invalid_argument] if [stage] is not the open one. *)
+
+val txn_trace_id : txn -> int option
+(** The allocated trace id; [None] when tracing is disabled. *)
+
+val txn_root_span : txn -> Obs.Span.t option
+(** The root span, to parent spans emitted by other components. *)
+
+val txn_stages : txn -> float array
+(** The per-stage durations accumulated so far (indexed by
+    {!stage_index}); the array the outcome carries. *)
+
+val txn_response_ms : txn -> float
+(** Virtual time elapsed since {!txn_begin}. *)
+
+val txn_commit : ?args:(string * string) list -> txn -> read_only:bool -> unit
+(** Close any open stage, record the commit (stages + response time) and
+    finish the root span with an [outcome] arg. *)
+
+val txn_abort : txn -> reason:string -> unit
+(** Close any open stage, record the abort and finish the root span. *)
+
 (** {2 Reading results} *)
 
 val window_ms : t -> float

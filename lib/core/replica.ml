@@ -1,13 +1,14 @@
 type local_commit = (float, Transaction.abort_reason) result
 
 type slot =
-  | Refresh of Storage.Writeset.t
+  | Refresh of { ws : Storage.Writeset.t; trace : int option }
   | Local of { ws : Storage.Writeset.t; done_ : local_commit Sim.Ivar.t }
 
 type t = {
   engine : Sim.Engine.t;
   cfg : Config.t;
   rng : Util.Rng.t;
+  obs : Obs.Trace.t option;
   id : int;
   mutable db : Storage.Database.t;
   cpu : Sim.Resource.t;
@@ -21,11 +22,12 @@ type t = {
   mutable applied_refresh : int;
 }
 
-let create engine cfg ~rng ~id db =
+let create ?obs engine cfg ~rng ~id db =
   {
     engine;
     cfg;
     rng;
+    obs;
     id;
     db;
     cpu = Sim.Resource.create engine ~servers:cfg.Config.cpus_per_replica;
@@ -82,9 +84,24 @@ let sequencer t () =
     let v = next () in
     (match Hashtbl.find_opt t.slots v with
     | None -> ()  (* crashed and cleaned up while waking; re-loop *)
-    | Some (Refresh ws) ->
+    | Some (Refresh { ws; trace }) ->
       Hashtbl.remove t.slots v;
       let rows = Storage.Writeset.cardinal ws in
+      (* The refresh-apply span joins the committing transaction's trace
+         when the certifier forwarded its id; recovery replays (which
+         have no originating trace) fall back to the commit version. *)
+      let span =
+        Obs.Trace.start_opt t.obs
+          ~trace_id:(Option.value trace ~default:v)
+          ~component:(Obs.Span.Replica t.id) ~name:"refresh.apply"
+          ~args:
+            [
+              ("version", string_of_int v);
+              ("rows", string_of_int rows);
+              ("backlog", string_of_int (Hashtbl.length t.slots));
+            ]
+          ()
+      in
       let cost =
         t.cfg.Config.ws_apply_base_ms
         +. (float_of_int rows *. t.cfg.Config.ws_apply_row_ms)
@@ -92,6 +109,7 @@ let sequencer t () =
       Sim.Resource.use t.cpu ~duration:(service_time t cost);
       Storage.Database.apply t.db ws ~version:v;
       t.applied_refresh <- t.applied_refresh + 1;
+      Obs.Trace.finish_opt t.obs span;
       Sim.Condition.broadcast t.version_changed;
       notify_commit t ~version:v
     | Some (Local { ws; done_ }) ->
@@ -126,7 +144,7 @@ let abort_requested t ~tid =
 
 let pending_refresh_writesets t =
   Hashtbl.fold
-    (fun _ slot acc -> match slot with Refresh ws -> ws :: acc | Local _ -> acc)
+    (fun _ slot acc -> match slot with Refresh { ws; _ } -> ws :: acc | Local _ -> acc)
     t.slots []
 
 let early_certify t txn =
@@ -165,7 +183,7 @@ let commit_local t ~version ~ws =
 let commit_read_only t _txn =
   Sim.Resource.use t.cpu ~duration:(service_time t t.cfg.Config.ro_commit_ms)
 
-let receive_refresh t ~version ~ws =
+let receive_refresh ?trace t ~version ~ws =
   if not t.crashed then begin
     (* Early certification: abort active local transactions whose partial
        writesets conflict with the incoming refresh writeset. *)
@@ -175,7 +193,7 @@ let receive_refresh t ~version ~ws =
           if (not !flag) && Storage.Writeset.conflicts (Storage.Txn.writeset txn) ws then
             flag := true)
         t.active;
-    Hashtbl.replace t.slots version (Refresh ws);
+    Hashtbl.replace t.slots version (Refresh { ws; trace });
     Sim.Condition.broadcast t.slot_arrived
   end
 
@@ -209,7 +227,8 @@ let state_transfer t ~snapshot =
 let recover t ~missed =
   List.iter
     (fun (version, ws) ->
-      if version > v_local t then Hashtbl.replace t.slots version (Refresh ws))
+      if version > v_local t then
+        Hashtbl.replace t.slots version (Refresh { ws; trace = None }))
     missed;
   t.crashed <- false;
   Sim.Condition.broadcast t.slot_arrived

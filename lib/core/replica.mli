@@ -22,7 +22,12 @@ type local_commit = (float, Transaction.abort_reason) result
     commit work, letting the caller split its wait into the paper's
     "sync" (waiting for predecessors) and "commit" (own commit) stages. *)
 
-val create : Sim.Engine.t -> Config.t -> rng:Util.Rng.t -> id:int -> Storage.Database.t -> t
+val create :
+  ?obs:Obs.Trace.t -> Sim.Engine.t -> Config.t -> rng:Util.Rng.t -> id:int ->
+  Storage.Database.t -> t
+(** With [obs], the sequencer emits a [refresh.apply] span (component
+    [Replica id]) for every remote writeset it applies, joining the
+    committing transaction's trace when the refresh carried its id. *)
 
 val start : t -> unit
 (** Spawn the commit-sequencer process. Call once, before the run. *)
@@ -70,10 +75,12 @@ val commit_read_only : t -> Storage.Txn.t -> unit
 
 (** {2 Certifier-side operations} *)
 
-val receive_refresh : t -> version:int -> ws:Storage.Writeset.t -> unit
+val receive_refresh : ?trace:int -> t -> version:int -> ws:Storage.Writeset.t -> unit
 (** Deliver a refresh writeset (called via the network). Aborts
     conflicting active local transactions (early certification) and
-    queues the writeset for the sequencer. Dropped while crashed. *)
+    queues the writeset for the sequencer. Dropped while crashed.
+    [trace] is the committing transaction's trace id, threaded into the
+    apply span. *)
 
 val set_on_commit : t -> (version:int -> unit) -> unit
 (** Hook invoked after every local apply/commit (used for eager acks). *)

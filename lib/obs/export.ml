@@ -1,0 +1,111 @@
+(* Chrome trace-event export: load the file in chrome://tracing or
+   https://ui.perfetto.dev. Spans become complete ("X") events, sampler
+   series become counter ("C") events, and metadata events name one
+   process per component with one thread per replica. *)
+
+let telemetry_pid = 5
+
+let us ms = ms *. 1000.0
+
+let span_event (s : Span.t) =
+  let args =
+    ("trace", Json.Num (float_of_int s.Span.trace_id))
+    :: (match s.Span.parent with
+       | None -> []
+       | Some p -> [ ("parent_span", Json.Num (float_of_int p)) ])
+    @ List.map (fun (k, v) -> (k, Json.Str v)) s.Span.args
+  in
+  Json.Obj
+    [
+      ("name", Json.Str s.Span.name);
+      ("cat", Json.Str (Span.component_name s.Span.component));
+      ("ph", Json.Str "X");
+      ("ts", Json.Num (us s.Span.start_ms));
+      ("dur", Json.Num (us (Span.duration_ms s)));
+      ("pid", Json.Num (float_of_int (Span.pid s.Span.component)));
+      ("tid", Json.Num (float_of_int (Span.tid s.Span.component)));
+      ("args", Json.Obj args);
+    ]
+
+let metadata_events spans =
+  let processes = Hashtbl.create 8 and threads = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Span.t) ->
+      let c = s.Span.component in
+      Hashtbl.replace processes (Span.pid c) (Span.component_name c);
+      Hashtbl.replace threads (Span.pid c, Span.tid c) (Span.thread_name c))
+    spans;
+  let meta name pid ?tid label =
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("ph", Json.Str "M");
+         ("pid", Json.Num (float_of_int pid));
+       ]
+      @ (match tid with None -> [] | Some t -> [ ("tid", Json.Num (float_of_int t)) ])
+      @ [ ("args", Json.Obj [ ("name", Json.Str label) ]) ])
+  in
+  let procs =
+    Hashtbl.fold (fun pid label acc -> (pid, label) :: acc) processes []
+    |> List.sort compare
+    |> List.map (fun (pid, label) -> meta "process_name" pid label)
+  in
+  let thrs =
+    Hashtbl.fold (fun key label acc -> (key, label) :: acc) threads []
+    |> List.sort compare
+    |> List.map (fun ((pid, tid), label) -> meta "thread_name" pid ~tid label)
+  in
+  procs @ thrs
+
+let counter_events (sampler : Sampler.t) =
+  List.concat_map
+    (fun (s : Sampler.series) ->
+      Array.to_list s.Sampler.points
+      |> List.map (fun (time_ms, value) ->
+             Json.Obj
+               [
+                 ("name", Json.Str s.Sampler.name);
+                 ("ph", Json.Str "C");
+                 ("ts", Json.Num (us time_ms));
+                 ("pid", Json.Num (float_of_int telemetry_pid));
+                 ("args", Json.Obj [ ("value", Json.Num value) ]);
+               ]))
+    (Sampler.series sampler)
+
+let chrome_json ?sampler trace =
+  let spans = Trace.spans trace in
+  let counters =
+    match sampler with
+    | None -> []
+    | Some s ->
+      let telemetry_name =
+        Json.Obj
+          [
+            ("name", Json.Str "process_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Num (float_of_int telemetry_pid));
+            ("args", Json.Obj [ ("name", Json.Str "telemetry") ]);
+          ]
+      in
+      telemetry_name :: counter_events s
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (metadata_events spans @ List.map span_event spans @ counters));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let chrome_trace ?sampler trace = Json.to_string (chrome_json ?sampler trace)
+
+let write_chrome_trace ?sampler trace ~file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace ?sampler trace))
+
+let pp_text ppf trace =
+  let spans = Trace.spans trace in
+  Format.fprintf ppf "@[<v>%d spans (%d dropped)@," (List.length spans)
+    (Trace.dropped trace);
+  List.iter (fun s -> Format.fprintf ppf "%a@," Span.pp s) spans;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,17 @@
+(** Trace sinks: Chrome trace-event JSON and a compact text dump.
+
+    The JSON loads in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}: components render as processes (load balancer, replicas,
+    certifier, clients), replicas as threads, spans as nested slices,
+    and sampler series as counter tracks. *)
+
+val chrome_json : ?sampler:Sampler.t -> Trace.t -> Json.t
+(** The trace as a [{"traceEvents": [...]}] document; pass [sampler] to
+    include its time series as counter events. *)
+
+val chrome_trace : ?sampler:Sampler.t -> Trace.t -> string
+
+val write_chrome_trace : ?sampler:Sampler.t -> Trace.t -> file:string -> unit
+
+val pp_text : Format.formatter -> Trace.t -> unit
+(** One line per finished span, oldest first. *)

@@ -1,0 +1,25 @@
+(** A minimal JSON value type: enough to emit Chrome trace-event files
+    that are valid by construction, and to parse them back in tests. No
+    external dependency, no streaming. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Strict whole-input parse; [Error] carries a short diagnostic. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] otherwise. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

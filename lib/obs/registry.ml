@@ -1,0 +1,64 @@
+type metric = Counter of int ref | Gauge of float ref
+
+type t = { metrics : (string, metric) Hashtbl.t }
+
+type counter = int ref
+
+type gauge = float ref
+
+let create () = { metrics = Hashtbl.create 32 }
+
+let counter t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Counter c) -> c
+  | Some (Gauge _) -> invalid_arg (Printf.sprintf "Registry.counter: %S is a gauge" name)
+  | None ->
+    let c = ref 0 in
+    Hashtbl.replace t.metrics name (Counter c);
+    c
+
+let incr ?(by = 1) c = c := !c + by
+
+let counter_value c = !c
+
+let gauge t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Gauge g) -> g
+  | Some (Counter _) ->
+    invalid_arg (Printf.sprintf "Registry.gauge: %S is a counter" name)
+  | None ->
+    let g = ref 0.0 in
+    Hashtbl.replace t.metrics name (Gauge g);
+    g
+
+let set g v = g := v
+
+let gauge_value g = !g
+
+let find t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Counter c) -> Some (float_of_int !c)
+  | Some (Gauge g) -> Some !g
+  | None -> None
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v = match m with Counter c -> float_of_int !c | Gauge g -> !g in
+      (name, v) :: acc)
+    t.metrics []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m -> match m with Counter c -> c := 0 | Gauge g -> g := 0.0)
+    t.metrics
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, v) ->
+      if Float.is_integer v then Format.fprintf ppf "%-32s %12.0f@," name v
+      else Format.fprintf ppf "%-32s %12.3f@," name v)
+    (snapshot t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Named counters and gauges with snapshot support.
+
+    Counters are monotonically increasing integers (commits, aborts,
+    retries); gauges are instantaneous floats (queue depths, log size).
+    Handles are find-or-create by name, so instrumentation sites can look
+    them up once and bump a bare [ref] on the hot path. The registry is
+    pure bookkeeping: it never touches the simulation clock. *)
+
+type t
+
+type counter
+
+type gauge
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find or create. Raises [Invalid_argument] if the name is a gauge. *)
+
+val incr : ?by:int -> counter -> unit
+
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+(** Find or create. Raises [Invalid_argument] if the name is a counter. *)
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val find : t -> string -> float option
+(** Current value by name, counters widened to float. *)
+
+val snapshot : t -> (string * float) list
+(** All metrics, sorted by name. *)
+
+val reset : t -> unit
+(** Zero every metric (e.g. at the end of warm-up). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type probe = { name : string; read : unit -> float; samples : (float * float) Util.Vec.t }
+
+type t = {
+  engine : Sim.Engine.t;
+  interval_ms : float;
+  probes : probe Util.Vec.t;
+  mutable running : bool;
+}
+
+type series = { name : string; points : (float * float) array }
+
+let create ?(interval_ms = 100.0) engine =
+  if interval_ms <= 0.0 then invalid_arg "Sampler.create: interval must be positive";
+  { engine; interval_ms; probes = Util.Vec.create (); running = false }
+
+let add t ~name read = Util.Vec.push t.probes { name; read; samples = Util.Vec.create () }
+
+let add_resource t ~name r =
+  add t ~name:(name ^ ".busy") (fun () -> float_of_int (Sim.Resource.busy r));
+  add t ~name:(name ^ ".queue") (fun () -> float_of_int (Sim.Resource.queue_length r));
+  add t ~name:(name ^ ".util") (fun () -> Sim.Resource.utilization r)
+
+let sample_all t =
+  let now = Sim.Engine.now t.engine in
+  for i = 0 to Util.Vec.length t.probes - 1 do
+    let p = Util.Vec.get t.probes i in
+    Util.Vec.push p.samples (now, p.read ())
+  done
+
+let start t =
+  if t.running then invalid_arg "Sampler.start: already running";
+  t.running <- true;
+  Sim.Process.spawn t.engine (fun () ->
+      let rec loop () =
+        if t.running then begin
+          sample_all t;
+          Sim.Process.sleep t.engine t.interval_ms;
+          loop ()
+        end
+      in
+      loop ())
+
+let stop t = t.running <- false
+
+let running t = t.running
+
+let interval_ms t = t.interval_ms
+
+let series t =
+  List.map
+    (fun (p : probe) ->
+      { name = p.name; points = Array.of_list (Util.Vec.to_list p.samples) })
+    (Util.Vec.to_list t.probes)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      let n = Array.length s.points in
+      if n = 0 then Format.fprintf ppf "%-28s (no samples)@," s.name
+      else begin
+        let sum = Array.fold_left (fun acc (_, v) -> acc +. v) 0.0 s.points in
+        let peak = Array.fold_left (fun acc (_, v) -> Float.max acc v) neg_infinity s.points in
+        Format.fprintf ppf "%-28s %5d samples  mean %8.3f  peak %8.3f@," s.name n
+          (sum /. float_of_int n) peak
+      end)
+    (series t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** Periodic resource sampling: a simulation process that reads a set of
+    probes every [interval_ms] of virtual time and accumulates
+    per-probe time series — the evidence for diagnosing stalls
+    (certifier queueing vs refresh backlog vs CPU saturation).
+
+    Unlike {!Trace}, a {e running} sampler does schedule simulation
+    events (one wake-up per interval). The probes themselves only read
+    state, so transaction timings are unaffected, but only start a
+    sampler when telemetry is wanted. *)
+
+type t
+
+type series = { name : string; points : (float * float) array }
+(** [(virtual-time-ms, value)] pairs in sample order. *)
+
+val create : ?interval_ms:float -> Sim.Engine.t -> t
+(** Default interval: 100 ms of virtual time. *)
+
+val add : t -> name:string -> (unit -> float) -> unit
+(** Register a probe; it is read on every tick once {!start}ed. *)
+
+val add_resource : t -> name:string -> Sim.Resource.t -> unit
+(** Registers [name.busy], [name.queue] and [name.util] probes for a
+    simulated resource. *)
+
+val start : t -> unit
+(** Spawn the sampling process. The process exits after {!stop}, letting
+    horizonless [Engine.run] drain. *)
+
+val stop : t -> unit
+
+val running : t -> bool
+
+val interval_ms : t -> float
+
+val sample_all : t -> unit
+(** Take one sample of every probe now (also used by the tick loop). *)
+
+val series : t -> series list
+(** One series per probe, in registration order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact mean/peak summary per series. *)

@@ -1,0 +1,55 @@
+type component =
+  | Client of int
+  | Load_balancer
+  | Replica of int
+  | Certifier
+
+type t = {
+  id : int;
+  trace_id : int;
+  parent : int option;
+  name : string;
+  component : component;
+  start_ms : float;
+  mutable end_ms : float;
+  mutable args : (string * string) list;
+}
+
+(* Chrome trace-event coordinates: one "process" per middleware
+   component, one "thread" per replica (or per session for clients). *)
+let pid = function
+  | Client _ -> 1
+  | Load_balancer -> 2
+  | Replica _ -> 3
+  | Certifier -> 4
+
+let tid = function
+  | Client sid -> sid
+  | Load_balancer -> 0
+  | Replica id -> id
+  | Certifier -> 0
+
+let component_name = function
+  | Client _ -> "client"
+  | Load_balancer -> "load_balancer"
+  | Replica _ -> "replica"
+  | Certifier -> "certifier"
+
+let thread_name = function
+  | Client sid -> Printf.sprintf "session %d" sid
+  | Load_balancer -> "lb"
+  | Replica id -> Printf.sprintf "replica %d" id
+  | Certifier -> "primary"
+
+let duration_ms s = s.end_ms -. s.start_ms
+
+let add_args s args = s.args <- s.args @ args
+
+let pp ppf s =
+  Format.fprintf ppf "[%10.3f %10.3f] %-13s/%-9s %s (trace %d%s)%s" s.start_ms s.end_ms
+    (component_name s.component) (thread_name s.component) s.name s.trace_id
+    (match s.parent with None -> "" | Some p -> Printf.sprintf ", parent %d" p)
+    (match s.args with
+    | [] -> ""
+    | args ->
+      " " ^ String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) args))

@@ -1,0 +1,40 @@
+(** Trace spans: one timed interval of work on a middleware component.
+
+    A span belongs to a {e trace} (all the work done on behalf of one
+    transaction shares a trace id) and to a {e component} — the Chrome
+    trace-event mapping renders one "process" per component and one
+    "thread" per replica (or per client session), so a loaded cluster
+    reads as a swim-lane diagram in [chrome://tracing] / Perfetto. *)
+
+type component =
+  | Client of int  (** session id *)
+  | Load_balancer
+  | Replica of int  (** replica id *)
+  | Certifier
+
+type t = {
+  id : int;  (** unique within a {!Trace.t} *)
+  trace_id : int;  (** transaction this span belongs to *)
+  parent : int option;  (** enclosing span id *)
+  name : string;
+  component : component;
+  start_ms : float;  (** virtual time *)
+  mutable end_ms : float;  (** [nan] until finished *)
+  mutable args : (string * string) list;
+}
+
+val pid : component -> int
+(** Chrome trace "process" id of the component. *)
+
+val tid : component -> int
+(** Chrome trace "thread" id within the component's process. *)
+
+val component_name : component -> string
+
+val thread_name : component -> string
+
+val duration_ms : t -> float
+
+val add_args : t -> (string * string) list -> unit
+
+val pp : Format.formatter -> t -> unit

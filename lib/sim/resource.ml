@@ -54,6 +54,8 @@ let use t ~duration =
 
 let busy t = t.held
 
+let servers t = t.servers
+
 let queue_length t = Queue.length t.waiters
 
 let utilization t =

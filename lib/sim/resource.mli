@@ -23,6 +23,10 @@ val use : t -> duration:float -> unit
 val busy : t -> int
 (** Servers currently held. *)
 
+val servers : t -> int
+(** Total servers (the [create] argument), for telemetry probes that
+    report occupancy as a fraction. *)
+
 val queue_length : t -> int
 (** Processes waiting to acquire. *)
 

@@ -37,11 +37,14 @@ let bucket_range t i =
 let bucket_value t i = t.counts.(i)
 
 let pp ppf t =
-  let buckets = Array.length t.counts in
-  let max_count = Array.fold_left Stdlib.max 1 t.counts in
-  for i = 0 to buckets - 1 do
-    let lo, hi = bucket_range t i in
-    let width = t.counts.(i) * 40 / max_count in
-    Format.fprintf ppf "[%8.2f, %8.2f) %6d %s@." lo hi t.counts.(i)
-      (String.make width '#')
-  done
+  if t.total = 0 then Format.fprintf ppf "(no samples)@."
+  else begin
+    let buckets = Array.length t.counts in
+    let max_count = Array.fold_left Stdlib.max 1 t.counts in
+    for i = 0 to buckets - 1 do
+      let lo, hi = bucket_range t i in
+      let width = t.counts.(i) * 40 / max_count in
+      Format.fprintf ppf "[%8.2f, %8.2f) %6d %s@." lo hi t.counts.(i)
+        (String.make width '#')
+    done
+  end

@@ -129,6 +129,7 @@ let record ?(session = 0) ?(table_set = [ "t" ]) ?(written = []) ?(keys = []) ti
     table_set;
     tables_written = written;
     write_keys = keys;
+    trace = None;
   }
 
 let test_runlog_strong_ok () =

@@ -214,33 +214,46 @@ let test_fine_table_versions () =
   Alcotest.(check int) "start version for untouched table" 0
     (Core.Load_balancer.start_version lb ~sid:9 ~table_set:[ "z" ])
 
+(* A fixed medium-sized run returning everything observable about the
+   outcome; used by the determinism tests below. *)
+let determinism_run ~tracing () =
+  let params = { Workload.Microbench.tables = 4; rows = 200; update_types = 2 } in
+  let cluster =
+    Core.Cluster.create
+      ~config:{ small_config with Core.Config.hiccup_interval_ms = 700.0 }
+      ~tracing ~mode:Core.Consistency.Fine
+      ~schemas:(Workload.Microbench.schemas params)
+      ~load:(Workload.Microbench.load params)
+      ()
+  in
+  Core.Client.spawn_many cluster ~n:12 ~first_sid:0
+    (Workload.Microbench.workload params);
+  Core.Cluster.run_for cluster ~warmup_ms:200.0 ~measure_ms:1_500.0;
+  let m = Core.Cluster.metrics cluster in
+  let v = Core.Certifier.version (Core.Cluster.certifier cluster) in
+  let fp =
+    Storage.Database.fingerprint
+      (Core.Replica.database (Core.Cluster.replica cluster 0))
+      ~at:(Core.Replica.v_local (Core.Cluster.replica cluster 0))
+  in
+  (Core.Metrics.committed m, Core.Metrics.mean_response_ms m, v, fp)
+
 let test_simulation_determinism () =
   (* The entire stack — RNG, event ordering, protocol — must be
      deterministic: two runs with the same seed are bit-identical. *)
-  let run () =
-    let params = { Workload.Microbench.tables = 4; rows = 200; update_types = 2 } in
-    let cluster =
-      Core.Cluster.create
-        ~config:{ small_config with Core.Config.hiccup_interval_ms = 700.0 }
-        ~mode:Core.Consistency.Fine
-        ~schemas:(Workload.Microbench.schemas params)
-        ~load:(Workload.Microbench.load params)
-        ()
-    in
-    Core.Client.spawn_many cluster ~n:12 ~first_sid:0
-      (Workload.Microbench.workload params);
-    Core.Cluster.run_for cluster ~warmup_ms:200.0 ~measure_ms:1_500.0;
-    let m = Core.Cluster.metrics cluster in
-    let v = Core.Certifier.version (Core.Cluster.certifier cluster) in
-    let fp =
-      Storage.Database.fingerprint
-        (Core.Replica.database (Core.Cluster.replica cluster 0))
-        ~at:(Core.Replica.v_local (Core.Cluster.replica cluster 0))
-    in
-    (Core.Metrics.committed m, Core.Metrics.mean_response_ms m, v, fp)
-  in
-  let c1, r1, v1, f1 = run () in
-  let c2, r2, v2, f2 = run () in
+  let c1, r1, v1, f1 = determinism_run ~tracing:false () in
+  let c2, r2, v2, f2 = determinism_run ~tracing:false () in
+  Alcotest.(check int) "same committed count" c1 c2;
+  Alcotest.(check (float 0.0)) "same mean response" r1 r2;
+  Alcotest.(check int) "same certified version" v1 v2;
+  Alcotest.(check int) "same database contents" f1 f2
+
+let test_tracing_zero_overhead () =
+  (* Tracing only observes: an instrumented run must be bit-identical in
+     virtual time and outcome to the plain run, down to the response-time
+     mean. *)
+  let c1, r1, v1, f1 = determinism_run ~tracing:false () in
+  let c2, r2, v2, f2 = determinism_run ~tracing:true () in
   Alcotest.(check int) "same committed count" c1 c2;
   Alcotest.(check (float 0.0)) "same mean response" r1 r2;
   Alcotest.(check int) "same certified version" v1 v2;
@@ -359,6 +372,7 @@ let suites =
         Alcotest.test_case "metrics stages" `Quick test_metrics_stages_recorded;
         Alcotest.test_case "session version tracking" `Quick test_session_version_tracking;
         Alcotest.test_case "simulation determinism" `Quick test_simulation_determinism;
+        Alcotest.test_case "tracing is zero-overhead" `Quick test_tracing_zero_overhead;
       ] );
     ( "core.certifier",
       [

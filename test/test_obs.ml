@@ -1,0 +1,265 @@
+(* Tests for the observability subsystem: span buffer, registry,
+   sampler, JSON codec, and the Chrome trace-event exporter fed by a
+   real traced cluster run. *)
+
+let mk_trace () =
+  let engine = Sim.Engine.create () in
+  (engine, Obs.Trace.create engine)
+
+(* --- Trace ring buffer --- *)
+
+let test_trace_spans_in_finish_order () =
+  let engine, tr = mk_trace () in
+  Sim.Process.spawn engine (fun () ->
+      let id = Obs.Trace.next_trace_id tr in
+      let root =
+        Obs.Trace.start tr ~trace_id:id ~component:(Obs.Span.Client 0) ~name:"root" ()
+      in
+      Sim.Process.sleep engine 2.0;
+      let child =
+        Obs.Trace.start tr ~trace_id:id ~parent:root ~component:(Obs.Span.Replica 1)
+          ~name:"child" ()
+      in
+      Sim.Process.sleep engine 3.0;
+      Obs.Trace.finish tr child;
+      Obs.Trace.finish tr root);
+  Sim.Engine.run engine;
+  match Obs.Trace.spans tr with
+  | [ child; root ] ->
+    Alcotest.(check string) "inner span finishes first" "child" child.Obs.Span.name;
+    Alcotest.(check (option int)) "parent link" (Some root.Obs.Span.id)
+      child.Obs.Span.parent;
+    Alcotest.(check (float 1e-9)) "child start" 2.0 child.Obs.Span.start_ms;
+    Alcotest.(check (float 1e-9)) "child duration" 3.0 (Obs.Span.duration_ms child);
+    Alcotest.(check (float 1e-9)) "root spans the whole txn" 5.0
+      (Obs.Span.duration_ms root)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_trace_ring_overwrites_oldest () =
+  let engine = Sim.Engine.create () in
+  let tr = Obs.Trace.create ~capacity:4 engine in
+  for i = 0 to 9 do
+    let s =
+      Obs.Trace.start tr ~trace_id:i ~component:Obs.Span.Certifier
+        ~name:(string_of_int i) ()
+    in
+    Obs.Trace.finish tr s
+  done;
+  Alcotest.(check int) "capacity bounds retention" 4 (Obs.Trace.length tr);
+  Alcotest.(check int) "overwrites counted" 6 (Obs.Trace.dropped tr);
+  Alcotest.(check (list string)) "oldest evicted first" [ "6"; "7"; "8"; "9" ]
+    (List.map (fun s -> s.Obs.Span.name) (Obs.Trace.spans tr));
+  Obs.Trace.clear tr;
+  Alcotest.(check int) "clear empties" 0 (Obs.Trace.length tr)
+
+let test_trace_disabled_is_free () =
+  (* The option-threaded entry points must accept [None] everywhere. *)
+  let span =
+    Obs.Trace.start_opt None ~trace_id:0 ~component:Obs.Span.Load_balancer ~name:"x" ()
+  in
+  Alcotest.(check bool) "no span materializes" true (span = None);
+  Obs.Trace.finish_opt None span;
+  Obs.Trace.instant_opt None ~trace_id:0 ~component:Obs.Span.Load_balancer ~name:"x" ()
+
+(* --- Registry --- *)
+
+let test_registry_counters_and_gauges () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "commits" in
+  Obs.Registry.incr c;
+  Obs.Registry.incr ~by:4 c;
+  Alcotest.(check int) "counter accumulates" 5 (Obs.Registry.counter_value c);
+  Alcotest.(check bool) "find-or-create returns the same cell" true
+    (Obs.Registry.counter r "commits" == c);
+  let g = Obs.Registry.gauge r "queue" in
+  Obs.Registry.set g 3.5;
+  Alcotest.(check (float 0.0)) "gauge holds last value" 3.5 (Obs.Registry.gauge_value g);
+  Alcotest.(check (list (pair string (float 0.0))))
+    "snapshot sorted by name"
+    [ ("commits", 5.0); ("queue", 3.5) ]
+    (Obs.Registry.snapshot r);
+  Alcotest.(check (option (float 0.0))) "find widens counters" (Some 5.0)
+    (Obs.Registry.find r "commits");
+  Obs.Registry.reset r;
+  Alcotest.(check int) "reset zeroes counters" 0 (Obs.Registry.counter_value c);
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Registry.gauge: \"commits\" is a counter") (fun () ->
+      ignore (Obs.Registry.gauge r "commits"))
+
+(* --- Sampler --- *)
+
+let test_sampler_periodic_series () =
+  let engine = Sim.Engine.create () in
+  let s = Obs.Sampler.create ~interval_ms:10.0 engine in
+  Obs.Sampler.add s ~name:"clock" (fun () -> Sim.Engine.now engine);
+  Obs.Sampler.start s;
+  Sim.Engine.schedule engine ~delay:35.0 (fun () -> Obs.Sampler.stop s);
+  Sim.Engine.run engine;
+  (* Samples on start and then every 10 ms; the stop at t=35 lets the
+     t=40 wake-up exit the loop so a horizonless run can drain. *)
+  match Obs.Sampler.series s with
+  | [ { Obs.Sampler.name; points } ] ->
+    Alcotest.(check string) "series name" "clock" name;
+    Alcotest.(check (list (float 1e-9)))
+      "one sample per interval" [ 0.0; 10.0; 20.0; 30.0 ]
+      (Array.to_list (Array.map fst points));
+    Alcotest.(check (list (float 1e-9)))
+      "probe read at sample time" [ 0.0; 10.0; 20.0; 30.0 ]
+      (Array.to_list (Array.map snd points))
+  | l -> Alcotest.failf "expected 1 series, got %d" (List.length l)
+
+let test_sampler_resource_probes () =
+  let engine = Sim.Engine.create () in
+  let s = Obs.Sampler.create engine in
+  let r = Sim.Resource.create engine ~servers:2 in
+  Obs.Sampler.add_resource s ~name:"cpu" r;
+  Alcotest.(check (list string)) "busy/queue/util probes" [ "cpu.busy"; "cpu.queue"; "cpu.util" ]
+    (List.map (fun (ser : Obs.Sampler.series) -> ser.Obs.Sampler.name)
+       (Obs.Sampler.series s))
+
+(* --- JSON codec --- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.Str "a \"quoted\"\nline\twith \\ and unicode \x1b");
+        ("n", Obs.Json.Num 1.5);
+        ("i", Obs.Json.Num 3.0);
+        ("neg", Obs.Json.Num (-0.25));
+        ("b", Obs.Json.Bool true);
+        ("null", Obs.Json.Null);
+        ("arr", Obs.Json.Arr [ Obs.Json.Num 1.0; Obs.Json.Str "x"; Obs.Json.Obj [] ]);
+      ]
+  in
+  match Obs.Json.parse (Obs.Json.to_string doc) with
+  | Ok parsed -> Alcotest.(check bool) "print/parse round-trips" true (parsed = doc)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun input ->
+      match Obs.Json.parse input with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" input)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2" ]
+
+(* --- End-to-end: traced cluster run exported as Chrome trace JSON --- *)
+
+let tpcw_traced_trace () =
+  let config =
+    {
+      Core.Config.tpcw with
+      Core.Config.replicas = 3;
+      seed = 42;
+      gc_interval_ms = 0.0;
+      hiccup_interval_ms = 0.0;
+    }
+  in
+  let params =
+    { Workload.Tpcw.default with Workload.Tpcw.think_mean_ms = 100.0 }
+  in
+  let cluster =
+    Core.Cluster.create ~config ~tracing:true ~mode:Core.Consistency.Fine
+      ~schemas:Workload.Tpcw.schemas ~load:(Workload.Tpcw.load params) ()
+  in
+  for sid = 0 to 11 do
+    Core.Client.spawn cluster ~sid ~rng:(Core.Cluster.rng cluster)
+      (Workload.Tpcw.workload params Workload.Tpcw.Ordering ~sid)
+  done;
+  Core.Cluster.run_for cluster ~warmup_ms:200.0 ~measure_ms:2_000.0;
+  match Core.Cluster.trace cluster with
+  | Some trace -> trace
+  | None -> Alcotest.fail "tracing-enabled cluster has no trace"
+
+let test_chrome_export_parses_back () =
+  let trace = tpcw_traced_trace () in
+  let doc =
+    match Obs.Json.parse (Obs.Export.chrome_trace trace) with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "exported trace is not valid JSON: %s" e
+  in
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+    | Some events -> events
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let field name ev = Obs.Json.member name ev in
+  let str name ev = Option.bind (field name ev) Obs.Json.to_str in
+  let num name ev = Option.bind (field name ev) Obs.Json.to_float in
+  let complete = List.filter (fun ev -> str "ph" ev = Some "X") events in
+  Alcotest.(check bool) "has spans" true (complete <> []);
+  (* The §V.A acceptance bar: spans from all three middleware
+     components — load balancer, replicas, certifier. *)
+  let pids =
+    List.sort_uniq compare (List.filter_map (fun ev -> num "pid" ev) complete)
+  in
+  List.iter
+    (fun component ->
+      let pid = float_of_int (Obs.Span.pid component) in
+      Alcotest.(check bool)
+        (Printf.sprintf "spans from %s" (Obs.Span.component_name component))
+        true (List.mem pid pids))
+    [ Obs.Span.Load_balancer; Obs.Span.Replica 0; Obs.Span.Certifier ];
+  (* Every complete event is well-formed: ts/dur present, dur >= 0. *)
+  List.iter
+    (fun ev ->
+      match (num "ts" ev, num "dur" ev, str "name" ev) with
+      | Some _, Some dur, Some _ ->
+        if dur < 0.0 then Alcotest.fail "negative span duration"
+      | _ -> Alcotest.fail "span event missing ts/dur/name")
+    complete;
+  (* Metadata names every process that emitted spans. *)
+  let named_pids =
+    List.filter_map
+      (fun ev -> if str "ph" ev = Some "M" then num "pid" ev else None)
+      events
+  in
+  List.iter
+    (fun pid ->
+      Alcotest.(check bool) "span pid has metadata" true (List.mem pid named_pids))
+    pids
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_text_dump_mentions_components () =
+  let trace = tpcw_traced_trace () in
+  let text = Format.asprintf "%a" Obs.Export.pp_text trace in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "text dump mentions %s" needle)
+        true
+        (contains_substring text needle))
+    [ "certify"; "refresh.apply"; "route" ]
+
+let suites =
+  [
+    ( "obs.trace",
+      [
+        Alcotest.test_case "spans in finish order" `Quick test_trace_spans_in_finish_order;
+        Alcotest.test_case "ring overwrites oldest" `Quick test_trace_ring_overwrites_oldest;
+        Alcotest.test_case "disabled path" `Quick test_trace_disabled_is_free;
+      ] );
+    ( "obs.registry",
+      [ Alcotest.test_case "counters and gauges" `Quick test_registry_counters_and_gauges ]
+    );
+    ( "obs.sampler",
+      [
+        Alcotest.test_case "periodic series" `Quick test_sampler_periodic_series;
+        Alcotest.test_case "resource probes" `Quick test_sampler_resource_probes;
+      ] );
+    ( "obs.json",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+      ] );
+    ( "obs.export",
+      [
+        Alcotest.test_case "chrome trace parses back" `Quick test_chrome_export_parses_back;
+        Alcotest.test_case "text dump" `Quick test_text_dump_mentions_components;
+      ] );
+  ]

@@ -179,6 +179,55 @@ let test_resource_utilization () =
   Sim.Engine.run e;
   Alcotest.(check (float 0.001)) "50% busy" 0.5 (Sim.Resource.utilization r)
 
+let test_resource_queue_length () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create e ~servers:1 in
+  let observed = ref (-1) in
+  for _ = 0 to 2 do
+    Sim.Process.spawn e (fun () -> Sim.Resource.use r ~duration:10.0)
+  done;
+  Sim.Engine.schedule e ~delay:5.0 (fun () -> observed := Sim.Resource.queue_length r);
+  Sim.Engine.run e;
+  (* At t=5 one holder is in service and two wait behind it. *)
+  Alcotest.(check int) "two waiting mid-service" 2 !observed;
+  Alcotest.(check int) "drained" 0 (Sim.Resource.queue_length r);
+  Alcotest.(check int) "servers accessor" 1 (Sim.Resource.servers r)
+
+let test_resource_reset_utilization_window () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create e ~servers:1 in
+  Sim.Process.spawn e (fun () ->
+      (* Busy for the whole first window... *)
+      Sim.Resource.use r ~duration:10.0;
+      Sim.Resource.reset_utilization r;
+      (* ...then idle for half of the second. *)
+      Sim.Process.sleep e 5.0;
+      Sim.Resource.use r ~duration:5.0);
+  Sim.Engine.run e;
+  (* Only the post-reset window counts: 5 busy out of 10. *)
+  Alcotest.(check (float 0.001)) "window restarted at reset" 0.5
+    (Sim.Resource.utilization r)
+
+let test_resource_multi_server_fifo_wakeup () =
+  (* With k=2 servers and 4 waiters behind 2 holders, releases must wake
+     waiters in arrival order, not in release or reverse order. *)
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create e ~servers:2 in
+  let order = ref [] in
+  for i = 0 to 5 do
+    Sim.Process.spawn e (fun () ->
+        (* Stagger arrivals so the queue order is unambiguous. *)
+        Sim.Process.sleep e (float_of_int i *. 0.1);
+        Sim.Resource.acquire r;
+        order := i :: !order;
+        Sim.Process.sleep e 10.0;
+        Sim.Resource.release r)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "service entry follows arrival order" [ 0; 1; 2; 3; 4; 5 ]
+    (List.rev !order);
+  Alcotest.(check int) "all released" 0 (Sim.Resource.busy r)
+
 let test_condition_await () =
   let e = Sim.Engine.create () in
   let c = Sim.Condition.create e in
@@ -257,6 +306,11 @@ let suites =
         Alcotest.test_case "parallel servers" `Quick test_resource_parallel_servers;
         Alcotest.test_case "no handoff steal" `Quick test_resource_no_handoff_steal;
         Alcotest.test_case "utilization" `Quick test_resource_utilization;
+        Alcotest.test_case "queue length" `Quick test_resource_queue_length;
+        Alcotest.test_case "reset utilization window" `Quick
+          test_resource_reset_utilization_window;
+        Alcotest.test_case "multi-server FIFO wakeup" `Quick
+          test_resource_multi_server_fifo_wakeup;
       ] );
     ( "sim.condition",
       [

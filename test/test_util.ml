@@ -134,6 +134,25 @@ let test_stats_empty () =
   Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Util.Stats.mean s);
   Alcotest.(check (float 0.0)) "percentile of empty" 0.0 (Util.Stats.percentile s 50.0)
 
+let test_stats_single_sample () =
+  let s = Util.Stats.create () in
+  Util.Stats.add s 7.5;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%g of a single sample" p)
+        7.5 (Util.Stats.percentile s p))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  Alcotest.(check (float 0.0)) "stddev of one sample" 0.0 (Util.Stats.stddev s)
+
+let test_stats_percentile_clamps () =
+  let s = Util.Stats.create () in
+  List.iter (Util.Stats.add s) [ 1.0; 2.0; 3.0 ];
+  Alcotest.(check (float 1e-9)) "p below 0 clamps to min" 1.0
+    (Util.Stats.percentile s (-10.0));
+  Alcotest.(check (float 1e-9)) "p above 100 clamps to max" 3.0
+    (Util.Stats.percentile s 250.0)
+
 let test_stats_merge () =
   let a = Util.Stats.create () and b = Util.Stats.create () in
   Util.Stats.add a 1.0;
@@ -161,6 +180,42 @@ let test_histogram () =
   Alcotest.(check int) "bucket 0 (incl. below-range)" 2 (Util.Histogram.bucket_value h 0);
   Alcotest.(check int) "bucket 1" 2 (Util.Histogram.bucket_value h 1);
   Alcotest.(check int) "last bucket (incl. above-range)" 2 (Util.Histogram.bucket_value h 9)
+
+let test_histogram_pp_empty () =
+  let h = Util.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:4 in
+  Alcotest.(check string) "empty histogram renders a placeholder" "(no samples)\n"
+    (Format.asprintf "%a" Util.Histogram.pp h)
+
+let test_histogram_pp_single_sample () =
+  let h = Util.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:2 in
+  Util.Histogram.add h 1.0;
+  let rendered = Format.asprintf "%a" Util.Histogram.pp h in
+  Alcotest.(check int) "one line per bucket" 2
+    (List.length (String.split_on_char '\n' (String.trim rendered)));
+  (* The lone sample's bucket gets the full-width bar. *)
+  Alcotest.(check bool) "full bar for the occupied bucket" true
+    (String.length (String.concat "" (String.split_on_char '#' rendered))
+    = String.length rendered - 40)
+
+let test_metrics_percentile_edge_cases () =
+  let engine = Sim.Engine.create () in
+  let m = Core.Metrics.create engine in
+  Alcotest.(check (float 0.0)) "empty window p50" 0.0
+    (Core.Metrics.percentile_response_ms m 50.0);
+  let stages = Array.make Core.Metrics.stage_count 0.0 in
+  Core.Metrics.record_commit m ~read_only:true ~stages ~response_ms:12.0;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single commit p%g" p)
+        12.0
+        (Core.Metrics.percentile_response_ms m p))
+    [ 0.0; 50.0; 100.0 ];
+  Core.Metrics.record_commit m ~read_only:true ~stages ~response_ms:4.0;
+  Alcotest.(check (float 1e-9)) "p0 is the min" 4.0
+    (Core.Metrics.percentile_response_ms m 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is the max" 12.0
+    (Core.Metrics.percentile_response_ms m 100.0)
 
 let test_vec () =
   let v = Util.Vec.create () in
@@ -202,12 +257,18 @@ let suites =
         Alcotest.test_case "basic moments" `Quick test_stats_basic;
         Alcotest.test_case "percentiles" `Quick test_stats_percentile;
         Alcotest.test_case "empty" `Quick test_stats_empty;
+        Alcotest.test_case "single sample" `Quick test_stats_single_sample;
+        Alcotest.test_case "percentile clamps" `Quick test_stats_percentile_clamps;
         Alcotest.test_case "merge" `Quick test_stats_merge;
       ]
       @ qsuite [ prop_stats_mean_welford_agree ] );
     ( "util.misc",
       [
         Alcotest.test_case "histogram buckets" `Quick test_histogram;
+        Alcotest.test_case "histogram pp empty" `Quick test_histogram_pp_empty;
+        Alcotest.test_case "histogram pp single" `Quick test_histogram_pp_single_sample;
+        Alcotest.test_case "metrics percentile edges" `Quick
+          test_metrics_percentile_edge_cases;
         Alcotest.test_case "vec" `Quick test_vec;
       ] );
   ]
