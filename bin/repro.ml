@@ -104,6 +104,78 @@ let fig7_cmd =
     (Cmd.info "fig7" ~doc:"Reproduce Figure 7 (TPC-W fixed load response time)")
     Term.(const fig7 $ quick_arg $ seed_arg)
 
+(* --- batch: group certification / parallel apply sweep --- *)
+
+let cert_batch_arg =
+  let doc = "Certification batch cap used by the batched arm of the sweep." in
+  Arg.(value & opt int 8 & info [ "cert-batch" ] ~docv:"N" ~doc)
+
+let apply_parallelism_arg =
+  let doc =
+    "Refresh-apply lanes per replica used by the batched arm of the sweep \
+     (default: cpus per replica)."
+  in
+  Arg.(value & opt (some int) None & info [ "apply-parallelism" ] ~docv:"N" ~doc)
+
+let clients_arg =
+  let doc = "Closed-loop clients driving the sweep." in
+  Arg.(value & opt int 160 & info [ "clients" ] ~docv:"N" ~doc)
+
+let costs_arg =
+  let doc =
+    "Cost model for the sweep: $(b,micro) (the fig-3 micro-benchmark costs, \
+     execution-bound), $(b,tpcw) (the TPC-W costs), or $(b,reexec) (micro costs \
+     with refresh application priced like statement re-execution, as in the \
+     `apply' ablation — the regime where writeset application is the throughput \
+     ceiling)."
+  in
+  Arg.(value & opt (enum [ ("micro", `Micro); ("tpcw", `Tpcw); ("reexec", `Reexec) ]) `Micro
+       & info [ "costs" ] ~docv:"MODEL" ~doc)
+
+let batch quick seed cert_batch apply_parallelism clients costs =
+  let warmup_ms, measure_ms = micro_windows quick in
+  let update_points = if quick then [ 0; 10; 20 ] else [ 0; 5; 10; 15; 20 ] in
+  let params =
+    if quick then { Workload.Microbench.default with rows = 2_000 }
+    else Workload.Microbench.default
+  in
+  let config =
+    match costs with
+    | `Micro -> Core.Config.default
+    | `Tpcw -> Core.Config.tpcw
+    | `Reexec ->
+      let c = Core.Config.default in
+      {
+        c with
+        Core.Config.ws_apply_base_ms = c.Core.Config.stmt_base_ms +. c.Core.Config.commit_ms;
+        ws_apply_row_ms = c.Core.Config.row_write_ms;
+      }
+  in
+  let batched config =
+    let b = Core.Config.batched config in
+    {
+      b with
+      Core.Config.cert_batch;
+      apply_parallelism =
+        Option.value apply_parallelism ~default:b.Core.Config.apply_parallelism;
+    }
+  in
+  let points =
+    Experiments.Batch_sweep.run ~config:(with_seed seed config) ~batched ~params
+      ~clients ~update_points ~warmup_ms ~measure_ms ()
+  in
+  print_string (Experiments.Batch_sweep.render points)
+
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Measure group certification + conflict-aware parallel refresh apply \
+          against the unbatched pipeline")
+    Term.(
+      const batch $ quick_arg $ seed_arg $ cert_batch_arg $ apply_parallelism_arg
+      $ clients_arg $ costs_arg)
+
 (* --- ablations --- *)
 
 let ablation which quick =
@@ -282,7 +354,7 @@ let telemetry_arg =
   in
   Arg.(value & flag & info [ "telemetry" ] ~doc)
 
-let trace_run trace_file telemetry quick seed =
+let trace_run trace_file telemetry quick seed cert_batch apply_parallelism =
   if trace_file = None && not telemetry then `Help (`Pager, None)
   else begin
     let warmup_ms, measure_ms = if quick then (500.0, 2_000.0) else (1_000.0, 5_000.0) in
@@ -290,7 +362,14 @@ let trace_run trace_file telemetry quick seed =
        dense enough to be interesting. *)
     let params = { Workload.Tpcw.default with Workload.Tpcw.think_mean_ms = 300.0 } in
     let mix = Workload.Tpcw.Shopping in
-    let config = { (with_seed seed Core.Config.tpcw) with Core.Config.replicas = 4 } in
+    let config =
+      {
+        (with_seed seed Core.Config.tpcw) with
+        Core.Config.replicas = 4;
+        cert_batch;
+        apply_parallelism;
+      }
+    in
     let cluster =
       Core.Cluster.create ~config
         ~tracing:(trace_file <> None)
@@ -330,8 +409,19 @@ let trace_run trace_file telemetry quick seed =
     | _ -> `Ok ()
   end
 
+let trace_cert_batch_arg =
+  let doc = "Certification batch cap for the demo run (1 = unbatched)." in
+  Arg.(value & opt int 1 & info [ "cert-batch" ] ~docv:"N" ~doc)
+
+let trace_apply_parallelism_arg =
+  let doc = "Refresh-apply lanes per replica for the demo run (1 = serial)." in
+  Arg.(value & opt int 1 & info [ "apply-parallelism" ] ~docv:"N" ~doc)
+
 let trace_term =
-  Term.ret Term.(const trace_run $ trace_file_arg $ telemetry_arg $ quick_arg $ seed_arg)
+  Term.ret
+    Term.(
+      const trace_run $ trace_file_arg $ telemetry_arg $ quick_arg $ seed_arg
+      $ trace_cert_batch_arg $ trace_apply_parallelism_arg)
 
 (* --- all --- *)
 
@@ -354,8 +444,8 @@ let () =
   let group =
     Cmd.group ~default:trace_term info
       [
-        table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig7_cmd; ablation_cmd; ycsb_cmd;
-        tpcc_cmd; check_cmd; all_cmd;
+        table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig7_cmd; batch_cmd; ablation_cmd;
+        ycsb_cmd; tpcc_cmd; check_cmd; all_cmd;
       ]
   in
   exit (Cmd.eval group)

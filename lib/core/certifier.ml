@@ -12,6 +12,24 @@ type standby = {
   mutable sb_log_base : int;
 }
 
+type decision =
+  | Commit of { version : int; global_commit : unit Sim.Ivar.t option }
+  | Abort
+
+(* One queued certification request. Requests enter [pending] in the same
+   order their processes queue on the CPU (there is no suspension point
+   between the two), so the queue head always belongs to the next waiter
+   to acquire — the invariant group certification relies on. *)
+type request = {
+  req_origin : int;
+  req_snapshot : int;
+  req_ws : Storage.Writeset.t;
+  req_trace : (int * Obs.Span.t option) option;
+  req_span : Obs.Span.t option;
+  req_arrival : float;
+  req_decided : decision Sim.Ivar.t;
+}
+
 type t = {
   engine : Sim.Engine.t;
   cfg : Config.t;
@@ -19,12 +37,13 @@ type t = {
   network : Sim.Network.t;
   mode : Consistency.mode;
   obs : Obs.Trace.t option;
+  metrics : Metrics.t option;
   cpu : Sim.Resource.t;
+  pending : request Queue.t;  (* undecided requests, CPU-queue order *)
   mutable version : int;
   mutable log : Storage.Writeset.t Util.Vec.t;  (* index i holds version log_base+i+1 *)
   mutable log_base : int;  (* all versions <= log_base have been pruned *)
-  subscribers : (int, trace:int option -> version:int -> ws:Storage.Writeset.t -> unit)
-    Hashtbl.t;
+  subscribers : (int, (int option * int * Storage.Writeset.t) list -> unit) Hashtbl.t;
   live : (int, unit) Hashtbl.t;
   eager_pending : (int, eager_state) Hashtbl.t;  (* keyed by version *)
   standbys : standby array;
@@ -35,11 +54,7 @@ type t = {
   mutable aborts : int;
 }
 
-type decision =
-  | Commit of { version : int; global_commit : unit Sim.Ivar.t option }
-  | Abort
-
-let create ?obs engine cfg ~rng ~network ~mode =
+let create ?obs ?metrics engine cfg ~rng ~network ~mode =
   {
     engine;
     cfg;
@@ -47,7 +62,9 @@ let create ?obs engine cfg ~rng ~network ~mode =
     network;
     mode;
     obs;
+    metrics;
     cpu = Sim.Resource.create engine ~servers:1;
+    pending = Queue.create ();
     version = 0;
     log = Util.Vec.create ();
     log_base = 0;
@@ -81,7 +98,11 @@ let service_time t base =
 let log_entry t v = Util.Vec.get t.log (v - t.log_base - 1)
 
 let conflicts_since t ~snapshot ws =
-  (* Scan committed writesets in (snapshot, version]. *)
+  (* Scan committed writesets in (snapshot, version]. Because batch
+     members push their writesets to the log as they are certified,
+     this check also catches intra-batch write-write conflicts: the
+     later arrival sees the earlier member's freshly committed writeset
+     and aborts, exactly as if the two had certified back to back. *)
   let rec scan v =
     if v <= snapshot then false
     else if Storage.Writeset.conflicts ws (log_entry t v) then true
@@ -89,12 +110,17 @@ let conflicts_since t ~snapshot ws =
   in
   scan t.version
 
-(* Synchronously replicate a freshly decided commit to every standby:
-   one round trip to the slowest standby, while the state copy itself is
-   deterministic replay of the same decision. *)
-let replicate_to_standbys t v ws =
+(* Synchronously replicate freshly decided commits to every standby: one
+   round trip carrying the whole batch, while the state copy itself is
+   deterministic replay of the same decisions. *)
+let replicate_to_standbys t committed =
   if Array.length t.standbys > 0 then begin
-    let size_bytes = Storage.Codec.writeset_bytes ws + 32 in
+    let size_bytes =
+      List.fold_left
+        (fun acc (r, _) -> acc + Storage.Codec.writeset_bytes r.req_ws)
+        0 committed
+      + 32
+    in
     let slowest =
       Array.fold_left
         (fun acc _ -> Float.max acc (2.0 *. Sim.Network.latency t.network ~size_bytes))
@@ -103,11 +129,122 @@ let replicate_to_standbys t v ws =
     Sim.Process.sleep t.engine slowest;
     Array.iter
       (fun sb ->
-        assert (sb.sb_version = v - 1);
-        Util.Vec.push sb.sb_log ws;
-        sb.sb_version <- v)
+        List.iter
+          (fun (r, v) ->
+            assert (sb.sb_version = v - 1);
+            Util.Vec.push sb.sb_log r.req_ws;
+            sb.sb_version <- v)
+          committed)
       t.standbys
   end
+
+(* Certify one drained batch while holding the CPU. Members are processed
+   in arrival order; the writeset log grows incrementally so later
+   members are checked against earlier ones. The first member pays the
+   fixed certification cost, subsequent members only their per-row scan
+   (the single pass over the log is shared). Durability — the log force
+   and the standby round trip — is paid once for the whole batch, after
+   which one refresh message per replica carries every commit the
+   replica did not originate. *)
+let process_batch t batch =
+  let batch_start = Sim.Engine.now t.engine in
+  (match t.metrics with
+  | Some m -> Metrics.note_cert_batch m ~size:(List.length batch)
+  | None -> ());
+  let results =
+    List.mapi
+      (fun i r ->
+        let rows = Storage.Writeset.cardinal r.req_ws in
+        let cost =
+          (if i = 0 then t.cfg.Config.certify_base_ms else 0.0)
+          +. (float_of_int rows *. t.cfg.Config.certify_row_ms)
+        in
+        Sim.Process.sleep t.engine (service_time t cost);
+        if r.req_snapshot < t.log_base || conflicts_since t ~snapshot:r.req_snapshot r.req_ws
+        then begin
+          (* A snapshot older than the pruned log horizon cannot be
+             checked and is conservatively aborted — in practice the
+             horizon trails the slowest replica by [gc_window] versions,
+             so this only hits pathologically old transactions. *)
+          t.aborts <- t.aborts + 1;
+          (r, None)
+        end
+        else begin
+          t.version <- t.version + 1;
+          Util.Vec.push t.log r.req_ws;
+          t.commits <- t.commits + 1;
+          (r, Some t.version)
+        end)
+      batch
+  in
+  let committed = List.filter_map (fun (r, v) -> Option.map (fun v -> (r, v)) v) results in
+  (* Durable decisions before anyone learns about them: one log force
+     plus one synchronous standby round trip per batch. *)
+  if committed <> [] then begin
+    Sim.Process.sleep t.engine (service_time t t.cfg.Config.durability_ms);
+    replicate_to_standbys t committed
+  end;
+  Sim.Resource.release t.cpu;
+  List.iter
+    (fun (r, v) ->
+      let queue_ms = batch_start -. r.req_arrival in
+      let decision_args =
+        match v with
+        | None -> [ ("decision", "abort") ]
+        | Some v -> [ ("decision", "commit"); ("version", string_of_int v) ]
+      in
+      Obs.Trace.finish_opt t.obs r.req_span
+        ~args:(decision_args @ [ ("queue_ms", Printf.sprintf "%.3f" queue_ms) ]))
+    results;
+  (* One refresh batch message per replica; each commit is withheld from
+     its own origin (the origin installed the writeset locally at commit
+     time). The refresh carries each committing transaction's trace id
+     so the remote applies land in the same trace. *)
+  if committed <> [] then
+    Hashtbl.iter
+      (fun replica deliver ->
+        if Hashtbl.mem t.live replica then begin
+          let items =
+            List.filter_map
+              (fun (r, v) ->
+                if r.req_origin <> replica then
+                  Some (Option.map fst r.req_trace, v, r.req_ws)
+                else None)
+              committed
+          in
+          if items <> [] then begin
+            let size_bytes =
+              List.fold_left
+                (fun acc (_, _, ws) -> acc + Storage.Codec.writeset_bytes ws)
+                0 items
+              + 64
+            in
+            Sim.Network.send t.network ~size_bytes (fun () -> deliver items)
+          end
+        end)
+      t.subscribers;
+  List.iter
+    (fun (r, v) ->
+      let decision =
+        match v with
+        | None -> Abort
+        | Some v ->
+          let global_commit =
+            match t.mode with
+            | Consistency.Eager ->
+              let waiting_on = Hashtbl.create 8 in
+              Hashtbl.iter (fun replica () -> Hashtbl.replace waiting_on replica ()) t.live;
+              let done_ = Sim.Ivar.create t.engine in
+              if Hashtbl.length waiting_on = 0 then Sim.Ivar.fill done_ ()
+              else Hashtbl.replace t.eager_pending v { waiting_on; done_ };
+              Some done_
+            | Consistency.Coarse | Consistency.Fine | Consistency.Session
+            | Consistency.Bounded _ -> None
+          in
+          Commit { version = v; global_commit }
+      in
+      Sim.Ivar.fill r.req_decided decision)
+    results
 
 let certify ?trace t ~origin ~snapshot ~ws =
   let rows = Storage.Writeset.cardinal ws in
@@ -130,61 +267,40 @@ let certify ?trace t ~origin ~snapshot ~ws =
   let arrival = Sim.Engine.now t.engine in
   (* During a certifier outage, requests queue until failover completes. *)
   Sim.Condition.await t.revive (fun () -> not t.crashed);
+  let request =
+    {
+      req_origin = origin;
+      req_snapshot = snapshot;
+      req_ws = ws;
+      req_trace = trace;
+      req_span = span;
+      req_arrival = arrival;
+      req_decided = Sim.Ivar.create t.engine;
+    }
+  in
+  Queue.add request t.pending;
   Sim.Resource.acquire t.cpu;
-  let queue_ms = Sim.Engine.now t.engine -. arrival in
-  let finish_span decision_args =
-    Obs.Trace.finish_opt t.obs span
-      ~args:(decision_args @ [ ("queue_ms", Printf.sprintf "%.3f" queue_ms) ])
-  in
-  let cost =
-    t.cfg.Config.certify_base_ms +. (float_of_int rows *. t.cfg.Config.certify_row_ms)
-  in
-  Sim.Process.sleep t.engine (service_time t cost);
-  if snapshot < t.log_base || conflicts_since t ~snapshot ws then begin
-    (* A snapshot older than the pruned log horizon cannot be checked and
-       is conservatively aborted — in practice the horizon trails the
-       slowest replica by [gc_window] versions, so this only hits
-       pathologically old transactions. *)
-    t.aborts <- t.aborts + 1;
-    Sim.Resource.release t.cpu;
-    finish_span [ ("decision", "abort") ];
-    Abort
-  end
+  (* Group commit: the first undecided waiter to win the CPU is the
+     leader; it drains up to [cert_batch] queued requests (its own is at
+     the queue head) and decides them in one pass. Members wake from the
+     CPU queue to find their decision already made and just hand the CPU
+     on. With [cert_batch = 1] the leader drains exactly itself and the
+     event sequence is identical to unbatched certification. *)
+  if Sim.Ivar.is_filled request.req_decided then Sim.Resource.release t.cpu
   else begin
-    t.version <- t.version + 1;
-    let v = t.version in
-    Util.Vec.push t.log ws;
-    t.commits <- t.commits + 1;
-    (* Durable decision before anyone learns about it: local log force
-       plus synchronous replication to the standby certifiers. *)
-    Sim.Process.sleep t.engine (service_time t t.cfg.Config.durability_ms);
-    replicate_to_standbys t v ws;
-    Sim.Resource.release t.cpu;
-    finish_span [ ("decision", "commit"); ("version", string_of_int v) ];
-    let size_bytes = Storage.Codec.writeset_bytes ws + 64 in
-    (* The refresh carries the committing transaction's trace id so the
-       remote applies land in the same trace. *)
-    let trace_id = Option.map fst trace in
-    Hashtbl.iter
-      (fun replica deliver ->
-        if replica <> origin && Hashtbl.mem t.live replica then
-          Sim.Network.send t.network ~size_bytes (fun () ->
-              deliver ~trace:trace_id ~version:v ~ws))
-      t.subscribers;
-    let global_commit =
-      match t.mode with
-      | Consistency.Eager ->
-        let waiting_on = Hashtbl.create 8 in
-        Hashtbl.iter (fun replica () -> Hashtbl.replace waiting_on replica ()) t.live;
-        let done_ = Sim.Ivar.create t.engine in
-        if Hashtbl.length waiting_on = 0 then Sim.Ivar.fill done_ ()
-        else Hashtbl.replace t.eager_pending v { waiting_on; done_ };
-        Some done_
-      | Consistency.Coarse | Consistency.Fine | Consistency.Session
-      | Consistency.Bounded _ -> None
+    let cap = max 1 t.cfg.Config.cert_batch in
+    (* The leader's own request is at the queue head: [pending] order is
+       CPU-queue order, and every request ahead of this one was drained
+       (and decided) by an earlier leader. *)
+    let head = Queue.pop t.pending in
+    assert (head == request);
+    let rec drain acc n =
+      if n >= cap || Queue.is_empty t.pending then List.rev acc
+      else drain (Queue.pop t.pending :: acc) (n + 1)
     in
-    Commit { version = v; global_commit }
-  end
+    process_batch t (drain [ head ] 1)
+  end;
+  Sim.Ivar.read request.req_decided
 
 let ack t ~replica ~version =
   match Hashtbl.find_opt t.eager_pending version with

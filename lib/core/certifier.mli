@@ -11,7 +11,19 @@
     Certification runs on a single-server CPU resource, so decisions are
     totally ordered. The full writeset log is retained (indexed by
     version), which doubles as the recovery log replicas replay after a
-    crash. *)
+    crash.
+
+    {b Group certification} (docs/PROTOCOL.md, "Batched certification
+    and refresh"): when requests queue faster than they are decided, the
+    first waiter to win the CPU becomes the {e leader} and drains up to
+    [Config.cert_batch] queued requests, certifying them in one pass in
+    arrival order. Intra-batch write-write conflicts abort the later
+    arrival; the batch is assigned a contiguous version range, forced to
+    the log once, replicated to the standbys in one round trip, and
+    propagated as one refresh batch message per replica. With
+    [cert_batch = 1] every batch is a singleton and the event sequence —
+    sleeps, random draws, message sizes — is identical to unbatched
+    certification. *)
 
 type t
 
@@ -22,18 +34,22 @@ type decision =
   | Abort
 
 val create :
-  ?obs:Obs.Trace.t -> Sim.Engine.t -> Config.t -> rng:Util.Rng.t ->
-  network:Sim.Network.t -> mode:Consistency.mode -> t
+  ?obs:Obs.Trace.t -> ?metrics:Metrics.t -> Sim.Engine.t -> Config.t ->
+  rng:Util.Rng.t -> network:Sim.Network.t -> mode:Consistency.mode -> t
 (** With [obs], every certification request emits a service span
     (component {!Obs.Span.Certifier}) carrying origin, snapshot, queue
-    wait and the decision. *)
+    wait and the decision. With [metrics], each batch is recorded via
+    {!Metrics.note_cert_batch}. *)
 
 val subscribe :
   t -> replica:int ->
-  (trace:int option -> version:int -> ws:Storage.Writeset.t -> unit) -> unit
+  ((int option * int * Storage.Writeset.t) list -> unit) -> unit
 (** Register a replica's refresh-delivery callback (invoked after a
-    sampled network delay). Subscribing marks the replica live. [trace]
-    is the committing transaction's trace id when the run is traced. *)
+    sampled network delay). Subscribing marks the replica live. The
+    callback receives one batch of [(trace, version, writeset)] refresh
+    transactions in ascending version order — a singleton list when
+    [cert_batch = 1]. [trace] is the committing transaction's trace id
+    when the run is traced. *)
 
 val version : t -> int
 (** Current [V_commit]. *)

@@ -32,12 +32,13 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
   (* The cluster owns the engine, so it also owns the trace context. *)
   let obs = if tracing then Some (Obs.Trace.create ~capacity:trace_capacity engine) else None in
   let rng = Util.Rng.create config.Config.seed in
+  let metrics = Metrics.create engine in
   let network =
     Sim.Network.create engine ~rng:(Util.Rng.split rng) ~base_ms:config.Config.net_base_ms
       ~jitter_ms:config.Config.net_jitter_ms ~bandwidth_mbps:config.Config.net_bandwidth_mbps
   in
   let certifier =
-    Certifier.create ?obs engine config ~rng:(Util.Rng.split rng) ~network ~mode
+    Certifier.create ?obs ~metrics engine config ~rng:(Util.Rng.split rng) ~network ~mode
   in
   let lb = Load_balancer.create ~rng:(Util.Rng.split rng) config ~mode in
   let replicas =
@@ -45,7 +46,7 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
         let db = Storage.Database.create () in
         List.iter (fun schema -> ignore (Storage.Database.create_table db schema)) schemas;
         load db;
-        Replica.create ?obs engine config ~rng:(Util.Rng.split rng) ~id db)
+        Replica.create ?obs ~metrics engine config ~rng:(Util.Rng.split rng) ~id db)
   in
   let registry = Obs.Registry.create () in
   let t =
@@ -57,7 +58,7 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
       certifier;
       lb;
       replicas;
-      metrics = Metrics.create engine;
+      metrics;
       obs;
       registry;
       c_commit = Obs.Registry.counter registry "txn.commit";
@@ -70,8 +71,8 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
   Array.iter
     (fun replica ->
       let id = Replica.id replica in
-      Certifier.subscribe certifier ~replica:id (fun ~trace ~version ~ws ->
-          Replica.receive_refresh ?trace replica ~version ~ws);
+      Certifier.subscribe certifier ~replica:id (fun batch ->
+          Replica.receive_refresh_batch replica batch);
       Replica.set_on_commit replica (fun ~version ->
           Certifier.ack certifier ~replica:id ~version);
       Replica.start replica)

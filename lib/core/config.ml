@@ -23,7 +23,9 @@ type t = {
   certify_base_ms : float;
   certify_row_ms : float;
   durability_ms : float;
+  cert_batch : int;
   certifier_standbys : int;
+  apply_parallelism : int;
   hiccup_interval_ms : float;
   hiccup_duration_ms : float;
   hiccup_factor : float;
@@ -56,7 +58,9 @@ let default =
     certify_base_ms = 0.05;
     certify_row_ms = 0.005;
     durability_ms = 0.08;
+    cert_batch = 1;
     certifier_standbys = 0;
+    apply_parallelism = 1;
     hiccup_interval_ms = 1_500.0;
     hiccup_duration_ms = 150.0;
     hiccup_factor = 8.0;
@@ -85,6 +89,8 @@ let tpcw =
     durability_ms = 0.3;
   }
 
+let batched c = { c with cert_batch = 8; apply_parallelism = c.cpus_per_replica }
+
 let pp ppf c =
   Format.fprintf ppf
     "@[<v>replicas=%d cpus=%d seed=%d@,\
@@ -92,8 +98,10 @@ let pp ppf c =
      exec: stmt=%.2f scan=%.3f read=%.3f write=%.3f (ms)@,\
      commit: ro=%.2f upd=%.2f apply=%.2f+%.2f/row (ms)@,\
      certifier: %.2f+%.3f/row durability=%.2f (ms)@,\
+     batching: cert_batch=%d apply_parallelism=%d@,\
      jitter=%b retries=%d record_log=%b@]"
     c.replicas c.cpus_per_replica c.seed c.net_base_ms c.net_jitter_ms c.net_bandwidth_mbps
     c.lb_ms c.stmt_base_ms c.row_scan_ms c.row_read_ms c.row_write_ms c.ro_commit_ms
     c.commit_ms c.ws_apply_base_ms c.ws_apply_row_ms c.certify_base_ms c.certify_row_ms
-    c.durability_ms c.service_jitter c.max_retries c.record_log
+    c.durability_ms c.cert_batch c.apply_parallelism c.service_jitter c.max_retries
+    c.record_log

@@ -39,12 +39,35 @@ type t = {
   certify_base_ms : float;
   certify_row_ms : float;  (** per writeset row conflict-checked *)
   durability_ms : float;  (** forcing the certifier log *)
+  cert_batch : int;
+      (** group certification: the maximum number of queued certification
+          requests decided in one batch. The certifier drains its backlog
+          (up to this cap) each time its CPU frees up, certifies the
+          batch in one pass over the writeset log — intra-batch
+          write-write conflicts abort the later arrival — assigns a
+          contiguous version range, forces the log {e once} per batch,
+          replicates to the standbys in one round trip and propagates one
+          refresh batch message per replica. 1 (the default) reproduces
+          unbatched certification exactly: every event, sleep and random
+          draw is the same as before batching existed. *)
   certifier_standbys : int;
       (** replicas of the certifier state machine (§IV fault-tolerance).
           Each commit decision is synchronously replicated to every
           standby before the originating replica learns it, adding one
           network round trip; a standby can then take over after a
           certifier crash with no lost decisions. 0 = single certifier. *)
+  apply_parallelism : int;
+      (** conflict-aware parallel refresh application: the maximum number
+          of concurrent apply lanes a replica's commit sequencer forks
+          for a run of consecutive queued refresh writesets. The run is
+          partitioned by conflict key ({!Storage.Writeset.keys}):
+          writesets sharing a key stay in one lane and apply in version
+          order; disjoint lanes apply concurrently on the replica CPUs.
+          [V_local] is published only when the whole run is installed, so
+          snapshot semantics and the version arithmetic of Table I are
+          unchanged. 1 (the default) keeps the strictly serial
+          one-version-at-a-time sequencer, bit-identical to the
+          pre-batching behaviour. *)
   (* transient replica slowdowns (checkpoints, cache misses, OS noise):
      each replica independently enters a slow window in which its service
      times are multiplied by [hiccup_factor]. The eager configuration is
@@ -78,5 +101,11 @@ val tpcw : t
     7x / 5x / 3x scaling for the browsing / shopping / ordering mixes
     (adding replicas adds refresh work proportional to the update
     fraction). *)
+
+val batched : t -> t
+(** The batched-pipeline variant of a configuration: [cert_batch = 8]
+    and [apply_parallelism = cpus_per_replica]. Used by the batched
+    experiment sweeps ([repro batch]); see docs/TUNING.md for the
+    measured effect of each knob. *)
 
 val pp : Format.formatter -> t -> unit

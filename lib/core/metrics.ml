@@ -30,6 +30,12 @@ type t = {
   response : Util.Stats.t;
   stage_sums : float array;  (* over all committed txns *)
   stage_sums_update : float array;  (* over update txns only *)
+  (* pipeline batching: certifier group sizes and replica apply groups *)
+  mutable cert_batches : int;
+  mutable cert_batched_txns : int;
+  mutable apply_groups : int;
+  mutable apply_group_txns : int;
+  mutable apply_group_lanes : int;
 }
 
 let create engine =
@@ -43,6 +49,11 @@ let create engine =
     response = Util.Stats.create ();
     stage_sums = Array.make stage_count 0.0;
     stage_sums_update = Array.make stage_count 0.0;
+    cert_batches = 0;
+    cert_batched_txns = 0;
+    apply_groups = 0;
+    apply_group_txns = 0;
+    apply_group_lanes = 0;
   }
 
 let reset_window t =
@@ -53,7 +64,37 @@ let reset_window t =
   t.retry_exhausted <- 0;
   Util.Stats.clear t.response;
   Array.fill t.stage_sums 0 stage_count 0.0;
-  Array.fill t.stage_sums_update 0 stage_count 0.0
+  Array.fill t.stage_sums_update 0 stage_count 0.0;
+  t.cert_batches <- 0;
+  t.cert_batched_txns <- 0;
+  t.apply_groups <- 0;
+  t.apply_group_txns <- 0;
+  t.apply_group_lanes <- 0
+
+let note_cert_batch t ~size =
+  t.cert_batches <- t.cert_batches + 1;
+  t.cert_batched_txns <- t.cert_batched_txns + size
+
+let note_apply_group t ~size ~lanes =
+  t.apply_groups <- t.apply_groups + 1;
+  t.apply_group_txns <- t.apply_group_txns + size;
+  t.apply_group_lanes <- t.apply_group_lanes + lanes
+
+let cert_batches t = t.cert_batches
+
+let mean_cert_batch t =
+  if t.cert_batches = 0 then 0.0
+  else float_of_int t.cert_batched_txns /. float_of_int t.cert_batches
+
+let apply_groups t = t.apply_groups
+
+let mean_apply_group t =
+  if t.apply_groups = 0 then 0.0
+  else float_of_int t.apply_group_txns /. float_of_int t.apply_groups
+
+let mean_apply_lanes t =
+  if t.apply_groups = 0 then 0.0
+  else float_of_int t.apply_group_lanes /. float_of_int t.apply_groups
 
 (* --- The per-transaction stage clock -------------------------------
 

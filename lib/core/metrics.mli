@@ -26,6 +26,32 @@ val record_abort : t -> unit
 
 val record_retry_exhausted : t -> unit
 
+(** {2 Pipeline batching}
+
+    Group-certification and parallel-apply accounting. A {e cert batch}
+    is one drain of the certifier's request queue (size ≥ 1); an
+    {e apply group} is one run of consecutive refresh writesets a
+    replica's sequencer installed together, partitioned into conflict
+    lanes. With [cert_batch = 1] and [apply_parallelism = 1] every batch
+    and group has size 1. *)
+
+val note_cert_batch : t -> size:int -> unit
+
+val note_apply_group : t -> size:int -> lanes:int -> unit
+
+val cert_batches : t -> int
+
+val mean_cert_batch : t -> float
+(** Mean certification requests decided per batch; 0 when idle. *)
+
+val apply_groups : t -> int
+
+val mean_apply_group : t -> float
+(** Mean writesets installed per apply group; 0 when idle. *)
+
+val mean_apply_lanes : t -> float
+(** Mean concurrent conflict lanes per apply group; 0 when idle. *)
+
 (** {2 The per-transaction stage clock}
 
     One recorder per in-flight transaction drives both stage accounting

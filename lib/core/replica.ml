@@ -9,6 +9,7 @@ type t = {
   cfg : Config.t;
   rng : Util.Rng.t;
   obs : Obs.Trace.t option;
+  metrics : Metrics.t option;
   id : int;
   mutable db : Storage.Database.t;
   cpu : Sim.Resource.t;
@@ -17,17 +18,23 @@ type t = {
   slots : (int, slot) Hashtbl.t;  (* version -> pending ordered-commit work *)
   active : (int, Storage.Txn.t * bool ref) Hashtbl.t;  (* tid -> txn, abort flag *)
   mutable crashed : bool;
+  mutable epoch : int;  (* bumped on crash: cancels in-flight apply lanes *)
+  mutable applying : Storage.Writeset.t list;
+      (* writesets of the parallel apply group in flight (removed from
+         [slots] but not yet published) — still visible to early
+         certification; always [] under the serial sequencer *)
   mutable slow_until : float;  (* hiccup window end; service times inflate until then *)
   mutable on_commit : (version:int -> unit) option;
   mutable applied_refresh : int;
 }
 
-let create ?obs engine cfg ~rng ~id db =
+let create ?obs ?metrics engine cfg ~rng ~id db =
   {
     engine;
     cfg;
     rng;
     obs;
+    metrics;
     id;
     db;
     cpu = Sim.Resource.create engine ~servers:cfg.Config.cpus_per_replica;
@@ -36,6 +43,8 @@ let create ?obs engine cfg ~rng ~id db =
     slots = Hashtbl.create 64;
     active = Hashtbl.create 64;
     crashed = false;
+    epoch = 0;
+    applying = [];
     slow_until = neg_infinity;
     on_commit = None;
     applied_refresh = 0;
@@ -73,10 +82,152 @@ let hiccups t () =
 let notify_commit t ~version =
   match t.on_commit with None -> () | Some f -> f ~version
 
+(* --- Conflict-aware parallel refresh application ---------------------
+
+   A run of consecutive queued refresh writesets is partitioned into
+   {e lanes} — connected components of the graph whose edges join
+   writesets sharing a conflict key ({!Storage.Writeset.keys}). Lanes
+   are disjoint by construction, so they install concurrently on the
+   replica CPUs; within a lane, version order is preserved (the per-key
+   MVCC chains require ascending installs). [V_local] is published only
+   when the whole run is installed, so no snapshot can observe a gap. *)
+
+(* [partition_lanes items] groups [(version, trace, ws)] items (ascending
+   versions) into conflict lanes, each ascending, in first-appearance
+   order. Union-find over item indices, keyed by conflict key. *)
+let partition_lanes items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(max ri rj) <- min ri rj
+  in
+  let key_owner = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (_, _, ws) ->
+      List.iter
+        (fun key ->
+          match Hashtbl.find_opt key_owner key with
+          | Some j -> union i j
+          | None -> Hashtbl.add key_owner key i)
+        (Storage.Writeset.keys ws))
+    arr;
+  let lanes = Hashtbl.create 8 in
+  let roots = ref [] in
+  Array.iteri
+    (fun i item ->
+      let r = find i in
+      match Hashtbl.find_opt lanes r with
+      | Some acc -> acc := item :: !acc
+      | None ->
+        Hashtbl.add lanes r (ref [ item ]);
+        roots := r :: !roots)
+    arr;
+  List.rev_map (fun r -> List.rev !(Hashtbl.find lanes r)) !roots
+
+(* Cap the lane count at [p] by folding surplus lanes together
+   round-robin. Folded lanes have disjoint conflict keys, so only the
+   per-key (within-lane) order matters; re-sorting the merged lane by
+   version keeps it and is deterministic. *)
+let bucketize p lanes =
+  if List.length lanes <= p then lanes
+  else begin
+    let buckets = Array.make p [] in
+    List.iteri (fun i lane -> buckets.(i mod p) <- lane :: buckets.(i mod p)) lanes;
+    Array.to_list buckets
+    |> List.map (fun reversed ->
+           List.concat (List.rev reversed)
+           |> List.sort (fun (v1, _, _) (v2, _, _) -> compare v1 v2))
+  end
+
+(* One lane: install each writeset unpublished, in version order. The
+   captured [epoch] cancels the lane if the replica crashes mid-group —
+   recovery replays the group from the certifier log (installs are
+   redo-idempotent, so partially installed writesets are safe). *)
+let apply_lane t ~epoch ~lane_id lane () =
+  List.iter
+    (fun (v, trace, ws) ->
+      if t.epoch = epoch && not t.crashed then begin
+        let rows = Storage.Writeset.cardinal ws in
+        let span =
+          Obs.Trace.start_opt t.obs
+            ~trace_id:(Option.value trace ~default:v)
+            ~component:(Obs.Span.Replica t.id) ~name:"refresh.apply"
+            ~args:
+              [
+                ("version", string_of_int v);
+                ("rows", string_of_int rows);
+                ("lane", string_of_int lane_id);
+              ]
+            ()
+        in
+        let cost =
+          t.cfg.Config.ws_apply_base_ms
+          +. (float_of_int rows *. t.cfg.Config.ws_apply_row_ms)
+        in
+        Sim.Resource.use t.cpu ~duration:(service_time t cost);
+        if t.epoch = epoch then begin
+          Storage.Database.apply_unpublished t.db ws ~version:v;
+          t.applied_refresh <- t.applied_refresh + 1
+        end;
+        Obs.Trace.finish_opt t.obs span
+      end)
+    lane
+
+(* Apply a run of consecutive refresh writesets starting at [first] as
+   one group: fork the conflict lanes, join, publish once. *)
+let apply_refresh_group t ~first run =
+  let p = t.cfg.Config.apply_parallelism in
+  let last = first + List.length run - 1 in
+  t.applying <- List.map (fun (_, _, ws) -> ws) run;
+  let lanes = bucketize p (partition_lanes run) in
+  (match t.metrics with
+  | Some m -> Metrics.note_apply_group m ~size:(List.length run) ~lanes:(List.length lanes)
+  | None -> ());
+  let group_span =
+    Obs.Trace.start_opt t.obs
+      ~trace_id:(match run with (_, Some trace, _) :: _ -> trace | _ -> first)
+      ~component:(Obs.Span.Replica t.id) ~name:"refresh.apply_batch"
+      ~args:
+        [
+          ("versions", Printf.sprintf "%d..%d" first last);
+          ("count", string_of_int (List.length run));
+          ("lanes", string_of_int (List.length lanes));
+          ("backlog", string_of_int (Hashtbl.length t.slots));
+        ]
+      ()
+  in
+  let epoch = t.epoch in
+  Sim.Fork.join t.engine
+    (List.mapi (fun lane_id lane -> apply_lane t ~epoch ~lane_id lane) lanes);
+  Obs.Trace.finish_opt t.obs group_span;
+  t.applying <- [];
+  if t.epoch = epoch && not t.crashed then begin
+    Storage.Database.publish t.db ~version:last;
+    (* Recovery may have re-queued versions just published. *)
+    for v = first to last do
+      Hashtbl.remove t.slots v
+    done;
+    Sim.Condition.broadcast t.version_changed;
+    for v = first to last do
+      notify_commit t ~version:v
+    done
+  end
+
 (* The commit sequencer: one process per replica that consumes slots in
    strict version order, interleaving refresh transactions with local
-   commits exactly as the certifier ordered them. *)
+   commits exactly as the certifier ordered them. With
+   [apply_parallelism > 1] a run of consecutive refresh slots is drained
+   and applied as one parallel group; [apply_parallelism = 1] keeps the
+   serial one-version-at-a-time path, bit-identical to the pre-batching
+   sequencer. *)
 let sequencer t () =
+  let parallelism = t.cfg.Config.apply_parallelism in
+  (* Bound the group so readers waiting on [V_local] are not starved by
+     an arbitrarily long backlog drained into one publish. *)
+  let max_run = 4 * max 1 parallelism in
   let rec loop () =
     let next () = v_local t + 1 in
     Sim.Condition.await t.slot_arrived (fun () ->
@@ -84,6 +235,18 @@ let sequencer t () =
     let v = next () in
     (match Hashtbl.find_opt t.slots v with
     | None -> ()  (* crashed and cleaned up while waking; re-loop *)
+    | Some (Refresh _) when parallelism > 1 ->
+      let rec collect v acc n =
+        if n >= max_run then List.rev acc
+        else
+          match Hashtbl.find_opt t.slots v with
+          | Some (Refresh { ws; trace }) ->
+            Hashtbl.remove t.slots v;
+            collect (v + 1) ((v, trace, ws) :: acc) (n + 1)
+          | Some (Local _) | None -> List.rev acc
+      in
+      let run = collect v [] 0 in
+      apply_refresh_group t ~first:v run
     | Some (Refresh { ws; trace }) ->
       Hashtbl.remove t.slots v;
       let rows = Storage.Writeset.cardinal ws in
@@ -145,7 +308,7 @@ let abort_requested t ~tid =
 let pending_refresh_writesets t =
   Hashtbl.fold
     (fun _ slot acc -> match slot with Refresh { ws; _ } -> ws :: acc | Local _ -> acc)
-    t.slots []
+    t.slots t.applying
 
 let early_certify t txn =
   (not t.cfg.Config.early_certification)
@@ -183,24 +346,31 @@ let commit_local t ~version ~ws =
 let commit_read_only t _txn =
   Sim.Resource.use t.cpu ~duration:(service_time t t.cfg.Config.ro_commit_ms)
 
-let receive_refresh ?trace t ~version ~ws =
+let receive_refresh_batch t items =
   if not t.crashed then begin
-    (* Early certification: abort active local transactions whose partial
-       writesets conflict with the incoming refresh writeset. *)
-    if t.cfg.Config.early_certification then
-      Hashtbl.iter
-        (fun _ (txn, flag) ->
-          if (not !flag) && Storage.Writeset.conflicts (Storage.Txn.writeset txn) ws then
-            flag := true)
-        t.active;
-    Hashtbl.replace t.slots version (Refresh { ws; trace });
+    List.iter
+      (fun (trace, version, ws) ->
+        (* Early certification: abort active local transactions whose
+           partial writesets conflict with an incoming refresh writeset. *)
+        if t.cfg.Config.early_certification then
+          Hashtbl.iter
+            (fun _ (txn, flag) ->
+              if (not !flag) && Storage.Writeset.conflicts (Storage.Txn.writeset txn) ws
+              then flag := true)
+            t.active;
+        Hashtbl.replace t.slots version (Refresh { ws; trace }))
+      items;
     Sim.Condition.broadcast t.slot_arrived
   end
+
+let receive_refresh ?trace t ~version ~ws = receive_refresh_batch t [ (trace, version, ws) ]
 
 let set_on_commit t f = t.on_commit <- Some f
 
 let crash t =
   t.crashed <- true;
+  t.epoch <- t.epoch + 1;  (* cancel in-flight parallel apply lanes *)
+  t.applying <- [];
   (* Abort in-flight local transactions. *)
   Hashtbl.iter (fun _ (_, flag) -> flag := true) t.active;
   Hashtbl.reset t.active;

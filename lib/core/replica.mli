@@ -23,11 +23,14 @@ type local_commit = (float, Transaction.abort_reason) result
     "sync" (waiting for predecessors) and "commit" (own commit) stages. *)
 
 val create :
-  ?obs:Obs.Trace.t -> Sim.Engine.t -> Config.t -> rng:Util.Rng.t -> id:int ->
-  Storage.Database.t -> t
+  ?obs:Obs.Trace.t -> ?metrics:Metrics.t -> Sim.Engine.t -> Config.t ->
+  rng:Util.Rng.t -> id:int -> Storage.Database.t -> t
 (** With [obs], the sequencer emits a [refresh.apply] span (component
     [Replica id]) for every remote writeset it applies, joining the
-    committing transaction's trace when the refresh carried its id. *)
+    committing transaction's trace when the refresh carried its id; a
+    parallel apply group additionally emits a [refresh.apply_batch] span
+    covering the fork/join. With [metrics], each group is recorded via
+    {!Metrics.note_apply_group}. *)
 
 val start : t -> unit
 (** Spawn the commit-sequencer process. Call once, before the run. *)
@@ -75,10 +78,17 @@ val commit_read_only : t -> Storage.Txn.t -> unit
 
 (** {2 Certifier-side operations} *)
 
+val receive_refresh_batch : t -> (int option * int * Storage.Writeset.t) list -> unit
+(** Deliver one certifier batch of [(trace, version, writeset)] refresh
+    transactions (called via the network; the {!Certifier.subscribe}
+    callback). For each writeset: aborts conflicting active local
+    transactions (early certification) and queues it for the sequencer.
+    The whole batch is dropped while crashed. How the queued writesets
+    are then applied — one at a time or as conflict-partitioned parallel
+    groups — is governed by [Config.apply_parallelism]. *)
+
 val receive_refresh : ?trace:int -> t -> version:int -> ws:Storage.Writeset.t -> unit
-(** Deliver a refresh writeset (called via the network). Aborts
-    conflicting active local transactions (early certification) and
-    queues the writeset for the sequencer. Dropped while crashed.
+(** [receive_refresh_batch] of the singleton [(trace, version, ws)].
     [trace] is the committing transaction's trace id, threaded into the
     apply span. *)
 

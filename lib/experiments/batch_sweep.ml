@@ -1,0 +1,87 @@
+type cell = { baseline : Runner.summary; batched : Runner.summary }
+
+type point = {
+  update_types : int;
+  cells : (Core.Consistency.mode * cell) list;
+}
+
+let speedup_pct cell =
+  if cell.baseline.Runner.tps <= 0.0 then 0.0
+  else ((cell.batched.Runner.tps /. cell.baseline.Runner.tps) -. 1.0) *. 100.0
+
+let default_modes =
+  [
+    Core.Consistency.Coarse;
+    Core.Consistency.Fine;
+    Core.Consistency.Session;
+    Core.Consistency.Eager;
+  ]
+
+let run ?(config = Core.Config.default) ?(batched = Core.Config.batched)
+    ?(params = Workload.Microbench.default) ?(clients = 80) ?(modes = default_modes)
+    ?(update_points = [ 0; 5; 10; 15; 20 ]) ?(warmup_ms = 2_000.0)
+    ?(measure_ms = 8_000.0) () =
+  List.map
+    (fun update_types ->
+      let cells =
+        List.map
+          (fun mode ->
+            let go config =
+              Runner.run_micro ~config ~mode
+                ~params:{ params with Workload.Microbench.update_types }
+                ~clients ~warmup_ms ~measure_ms ()
+            in
+            (mode, { baseline = go config; batched = go (batched config) }))
+          modes
+      in
+      { update_types; cells })
+    update_points
+
+let modes_of points =
+  match points with [] -> [] | p :: _ -> List.map fst p.cells
+
+let render points =
+  let modes = modes_of points in
+  let header =
+    "upd types"
+    :: List.concat_map
+         (fun mode ->
+           let name = Core.Consistency.to_string mode in
+           [ name ^ " TPS"; "+batch TPS"; "gain %" ])
+         modes
+  in
+  let rows =
+    List.map
+      (fun p ->
+        string_of_int p.update_types
+        :: List.concat_map
+             (fun mode ->
+               match List.assoc_opt mode p.cells with
+               | Some cell ->
+                 [
+                   Report.fmt_f cell.baseline.Runner.tps;
+                   Report.fmt_f cell.batched.Runner.tps;
+                   Printf.sprintf "%+.1f" (speedup_pct cell);
+                 ]
+               | None -> [ "-"; "-"; "-" ])
+             modes)
+      points
+  in
+  let series =
+    List.map
+      (fun mode ->
+        ( Core.Consistency.to_string mode,
+          List.filter_map
+            (fun p ->
+              Option.map
+                (fun cell -> (float_of_int p.update_types, speedup_pct cell))
+                (List.assoc_opt mode p.cells))
+            points ))
+      modes
+  in
+  Report.section
+    "Batching sweep: group certification + parallel refresh apply vs the unbatched \
+     pipeline (8 replicas)"
+  ^ "\n" ^ Report.table ~header rows ^ "\n"
+  ^ Plot.chart ~series ~y_label:"throughput gain %"
+      ~x_label:"update transaction types (of 40)" ()

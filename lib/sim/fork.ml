@@ -1,0 +1,15 @@
+let join engine bodies =
+  match bodies with
+  | [] -> ()
+  | [ body ] -> body ()  (* no join needed; run on the caller's stack *)
+  | bodies ->
+    let remaining = ref (List.length bodies) in
+    let done_ = Ivar.create engine in
+    List.iter
+      (fun body ->
+        Process.spawn engine (fun () ->
+            body ();
+            decr remaining;
+            if !remaining = 0 then Ivar.fill done_ ()))
+      bodies;
+    Ivar.read done_

@@ -1,0 +1,19 @@
+(** Structured fork/join for simulation processes.
+
+    The caller forks one child process per body and blocks until every
+    child has finished — the concurrency pattern behind parallel refresh
+    application at the replicas. Children are ordinary {!Process}es: they
+    may sleep, acquire {!Resource}s and block on primitives
+    independently; the join completes at the virtual time the {e slowest}
+    child finishes. *)
+
+val join : Engine.t -> (unit -> unit) list -> unit
+(** [join engine bodies] runs every body to completion before returning.
+
+    All children start at the current virtual instant, in list order. A
+    single body runs directly on the caller's stack (no process is
+    spawned), so [join engine [ body ]] is equivalent to [body ()] — the
+    degenerate case costs nothing. An empty list returns immediately.
+    Must be called from within a process when [bodies] has two or more
+    elements. An exception escaping a child aborts the whole simulation
+    (as with {!Process.spawn}); the joining caller then never resumes. *)

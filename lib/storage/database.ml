@@ -26,11 +26,12 @@ let table_names t = List.rev t.order
 
 let version t = t.version
 
-let apply t ws ~version =
-  if version <> t.version + 1 then
-    invalid_arg
-      (Printf.sprintf "Database.apply: version %d out of order (local is %d)" version
-         t.version);
+(* Redo semantics: re-applying a writeset whose entries (or a prefix of
+   them) are already installed at [version] is a no-op for those entries.
+   Crash recovery replays the certifier log from the last published
+   version, which may re-deliver a writeset that was partially installed
+   by an interrupted parallel batch apply. *)
+let install_entries t ws ~version =
   List.iter
     (fun entry ->
       let table =
@@ -38,9 +39,38 @@ let apply t ws ~version =
         | Some table -> table
         | None -> invalid_arg ("Database.apply: unknown table " ^ entry.Writeset.ws_table)
       in
-      let row = match entry.Writeset.ws_op with Writeset.Put row -> Some row | Delete -> None in
-      Table.install table ~key:entry.Writeset.ws_key ~version row)
-    (Writeset.entries ws);
+      let installed =
+        match Table.latest_version table ~key:entry.Writeset.ws_key with
+        | Some newest -> newest >= version
+        | None -> false
+      in
+      if not installed then begin
+        let row =
+          match entry.Writeset.ws_op with Writeset.Put row -> Some row | Delete -> None
+        in
+        Table.install table ~key:entry.Writeset.ws_key ~version row
+      end)
+    (Writeset.entries ws)
+
+let apply t ws ~version =
+  if version <> t.version + 1 then
+    invalid_arg
+      (Printf.sprintf "Database.apply: version %d out of order (local is %d)" version
+         t.version);
+  install_entries t ws ~version;
+  t.version <- version
+
+let apply_unpublished t ws ~version =
+  if version <= t.version then
+    invalid_arg
+      (Printf.sprintf "Database.apply_unpublished: version %d already published (local is %d)"
+         version t.version);
+  install_entries t ws ~version
+
+let publish t ~version =
+  if version < t.version then
+    invalid_arg
+      (Printf.sprintf "Database.publish: version %d below published %d" version t.version);
   t.version <- version
 
 let load t name rows =

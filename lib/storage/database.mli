@@ -28,7 +28,29 @@ val apply : t -> Writeset.t -> version:int -> unit
 (** Install every entry of the writeset at [version] and advance the
     database version. Raises [Invalid_argument] unless
     [version = version t + 1] (commits apply in total order) or the
-    writeset touches unknown tables. *)
+    writeset touches unknown tables. Installation has redo semantics:
+    entries already present at [version] (from a partially applied batch
+    interrupted by a crash) are skipped, so certifier-log replay is
+    idempotent. *)
+
+val apply_unpublished : t -> Writeset.t -> version:int -> unit
+(** Install a writeset's row versions {e without} advancing the database
+    version: the rows become visible only to snapshots [>= version],
+    which no reader can hold until {!publish} moves the version counter
+    past it. This is the write half of conflict-aware parallel refresh
+    application — non-conflicting writesets of a batch install
+    concurrently and out of version order, and the batch becomes visible
+    atomically when the whole prefix is durable. Requires
+    [version > version t]; same redo semantics as {!apply}. Writesets
+    sharing a conflict key ({!Writeset.keys}) must still be installed in
+    ascending version order relative to each other (the per-key MVCC
+    chains grow newest-first). *)
+
+val publish : t -> version:int -> unit
+(** Advance the database version to [version], making every row installed
+    by {!apply_unpublished} at versions [<= version] visible to new
+    snapshots. The caller guarantees the whole prefix is installed.
+    Raises [Invalid_argument] if [version < version t]. *)
 
 val load : t -> string -> Value.t array list -> unit
 (** Bulk-load rows into a table as part of version 0 (initial database

@@ -53,6 +53,8 @@ let tables t =
 
 let mem t ~table ~key = Hashtbl.mem t.index (table, key)
 
+let keys t = List.map (fun e -> (e.ws_table, e.ws_key)) t.items
+
 let conflicts a b =
   (* Probe the smaller set against the larger one's hash index. *)
   let small, large = if cardinal a <= cardinal b then (a, b) else (b, a) in

@@ -35,6 +35,12 @@ val tables : t -> string list
 
 val mem : t -> table:string -> key:Value.t array -> bool
 
+val keys : t -> (string * Value.t array) list
+(** The conflict keys: every (table, primary key) the writeset touches,
+    in insertion order. Two writesets {!conflicts} iff their key lists
+    intersect — the relation the replicas use to partition a refresh
+    batch into independently applicable lanes. *)
+
 val conflicts : t -> t -> bool
 (** Whether the two writesets write a common (table, key). *)
 

@@ -215,12 +215,13 @@ let test_fine_table_versions () =
     (Core.Load_balancer.start_version lb ~sid:9 ~table_set:[ "z" ])
 
 (* A fixed medium-sized run returning everything observable about the
-   outcome; used by the determinism tests below. *)
-let determinism_run ~tracing () =
+   outcome; used by the determinism tests below. [tweak] adjusts the
+   config (e.g. to turn batching knobs). *)
+let determinism_run ?(tweak = fun c -> c) ~tracing () =
   let params = { Workload.Microbench.tables = 4; rows = 200; update_types = 2 } in
   let cluster =
     Core.Cluster.create
-      ~config:{ small_config with Core.Config.hiccup_interval_ms = 700.0 }
+      ~config:(tweak { small_config with Core.Config.hiccup_interval_ms = 700.0 })
       ~tracing ~mode:Core.Consistency.Fine
       ~schemas:(Workload.Microbench.schemas params)
       ~load:(Workload.Microbench.load params)
@@ -247,6 +248,37 @@ let test_simulation_determinism () =
   Alcotest.(check (float 0.0)) "same mean response" r1 r2;
   Alcotest.(check int) "same certified version" v1 v2;
   Alcotest.(check int) "same database contents" f1 f2
+
+(* Golden values captured from the pre-batching sequencer and certifier
+   (commit 88e25aa, before group certification existed). The default
+   knobs [cert_batch = 1] / [apply_parallelism = 1] must reproduce that
+   run bit-identically: same commit count, same response-time mean to
+   the last float bit, same version count, same database contents. Any
+   event reordering, extra random draw or changed message size in the
+   batching code shows up here. *)
+let golden_committed = 7300
+let golden_mean_response = 2.3483281337028905
+let golden_version = 4197
+let golden_fingerprint = 24587192258890
+
+let check_golden (c, r, v, f) =
+  Alcotest.(check int) "golden committed count" golden_committed c;
+  Alcotest.(check (float 0.0)) "golden mean response" golden_mean_response r;
+  Alcotest.(check int) "golden certified version" golden_version v;
+  Alcotest.(check int) "golden database contents" golden_fingerprint f
+
+let test_unbatched_matches_golden () =
+  Alcotest.(check int) "default cert_batch" 1 Core.Config.default.Core.Config.cert_batch;
+  Alcotest.(check int) "default apply_parallelism" 1
+    Core.Config.default.Core.Config.apply_parallelism;
+  check_golden (determinism_run ~tracing:false ())
+
+let test_explicit_batch_one_matches_golden () =
+  (* Spelling the knobs out (rather than relying on the defaults) pins
+     the equivalence claim of docs/PROTOCOL.md: batch size 1 IS the
+     unbatched protocol. *)
+  let tweak c = { c with Core.Config.cert_batch = 1; apply_parallelism = 1 } in
+  check_golden (determinism_run ~tweak ~tracing:false ())
 
 let test_tracing_zero_overhead () =
   (* Tracing only observes: an instrumented run must be bit-identical in
@@ -372,6 +404,10 @@ let suites =
         Alcotest.test_case "metrics stages" `Quick test_metrics_stages_recorded;
         Alcotest.test_case "session version tracking" `Quick test_session_version_tracking;
         Alcotest.test_case "simulation determinism" `Quick test_simulation_determinism;
+        Alcotest.test_case "unbatched run matches golden baseline" `Quick
+          test_unbatched_matches_golden;
+        Alcotest.test_case "explicit batch=1 matches golden baseline" `Quick
+          test_explicit_batch_one_matches_golden;
         Alcotest.test_case "tracing is zero-overhead" `Quick test_tracing_zero_overhead;
       ] );
     ( "core.certifier",

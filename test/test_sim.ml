@@ -269,6 +269,46 @@ let test_network_latency_positive () =
     (!arrived >= 0.58 && !arrived <= 0.78);
   Alcotest.(check int) "accounted" 1 (Sim.Network.messages_sent net)
 
+let test_fork_join_waits_for_all () =
+  let e = Sim.Engine.create () in
+  let finished = ref [] in
+  let joined_at = ref nan in
+  Sim.Process.spawn e (fun () ->
+      Sim.Fork.join e
+        [
+          (fun () -> Sim.Process.sleep e 5.0; finished := 5 :: !finished);
+          (fun () -> Sim.Process.sleep e 1.0; finished := 1 :: !finished);
+          (fun () -> Sim.Process.sleep e 3.0; finished := 3 :: !finished);
+        ];
+      joined_at := Sim.Engine.now e);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "children complete in time order" [ 1; 3; 5 ]
+    (List.rev !finished);
+  Alcotest.(check (float 1e-9)) "join completes at slowest child" 5.0 !joined_at
+
+let test_fork_join_empty_and_singleton () =
+  let e = Sim.Engine.create () in
+  let ran = ref false in
+  let finished_at = ref nan in
+  Sim.Process.spawn e (fun () ->
+      Sim.Fork.join e [];
+      Sim.Fork.join e [ (fun () -> Sim.Process.sleep e 2.0; ran := true) ];
+      finished_at := Sim.Engine.now e);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "singleton body ran" true !ran;
+  Alcotest.(check (float 1e-9)) "empty is free, singleton inline" 2.0 !finished_at
+
+let test_fork_join_resource_contention () =
+  (* Four 1ms jobs through a 2-server resource: the join sees 2ms. *)
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create e ~servers:2 in
+  let done_at = ref nan in
+  Sim.Process.spawn e (fun () ->
+      Sim.Fork.join e (List.init 4 (fun _ () -> Sim.Resource.use r ~duration:1.0));
+      done_at := Sim.Engine.now e);
+  Sim.Engine.run e;
+  Alcotest.(check (float 1e-9)) "two at a time" 2.0 !done_at
+
 let test_process_exception_propagates () =
   let e = Sim.Engine.create () in
   Sim.Process.spawn e (fun () -> failwith "boom");
@@ -316,6 +356,12 @@ let suites =
       [
         Alcotest.test_case "await predicate" `Quick test_condition_await;
         Alcotest.test_case "immediate when true" `Quick test_condition_immediate;
+      ] );
+    ( "sim.fork",
+      [
+        Alcotest.test_case "join waits for all" `Quick test_fork_join_waits_for_all;
+        Alcotest.test_case "empty and singleton" `Quick test_fork_join_empty_and_singleton;
+        Alcotest.test_case "resource contention" `Quick test_fork_join_resource_contention;
       ] );
     ("sim.network", [ Alcotest.test_case "latency model" `Quick test_network_latency_positive ]);
   ]

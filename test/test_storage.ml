@@ -205,6 +205,21 @@ let test_writeset_supersede () =
     Alcotest.(check int) "last write wins" 99 (Value.as_int row.(0))
   | _ -> Alcotest.fail "entry missing"
 
+let test_writeset_keys () =
+  let ws =
+    Writeset.of_entries
+      [
+        entry "t" 1 (Writeset.Put [| vi 1 |]);
+        entry "u" 1 Writeset.Delete;
+        entry "t" 2 (Writeset.Put [| vi 2 |]);
+      ]
+  in
+  let keys = Writeset.keys ws in
+  Alcotest.(check int) "one conflict key per entry" 3 (List.length keys);
+  List.iter
+    (fun k -> Alcotest.(check bool) "expected key present" true (List.mem k keys))
+    [ ("t", [| vi 1 |]); ("u", [| vi 1 |]); ("t", [| vi 2 |]) ]
+
 let test_writeset_tables () =
   let ws =
     Writeset.of_entries
@@ -520,6 +535,52 @@ let test_database_apply_out_of_order_rejected () =
        false
      with Invalid_argument _ -> true)
 
+let balance_of db key =
+  let txn = Txn.begin_ db in
+  match Txn.get txn ~table:"accounts" ~key:[| vi key |] with
+  | Some row -> Value.as_int row.(2)
+  | None -> Alcotest.fail "row vanished"
+
+let test_database_unpublished_invisible_until_publish () =
+  let db = fresh_db () in
+  let ws =
+    Writeset.of_entries [ entry "accounts" 1 (Writeset.Put [| vi 1; vt "alice"; vi 999 |]) ]
+  in
+  Database.apply_unpublished db ws ~version:1;
+  Alcotest.(check int) "version not advanced" 0 (Database.version db);
+  Alcotest.(check int) "old snapshot sees old row" 100 (balance_of db 1);
+  Database.publish db ~version:1;
+  Alcotest.(check int) "version published" 1 (Database.version db);
+  Alcotest.(check int) "new snapshot sees new row" 999 (balance_of db 1);
+  Alcotest.(check bool) "already-published version rejected" true
+    (try
+       Database.apply_unpublished db ws ~version:1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_database_replay_is_redo_idempotent () =
+  (* A parallel batch apply can be interrupted after installing only some
+     of its writesets; recovery then replays the same versions from the
+     certifier log. Re-installing must skip rows already at the target
+     version instead of tripping the MVCC stale-install check. *)
+  let db = fresh_db () in
+  let partial =
+    Writeset.of_entries [ entry "accounts" 1 (Writeset.Put [| vi 1; vt "alice"; vi 999 |]) ]
+  in
+  Database.apply_unpublished db partial ~version:1;
+  (* Crash before publish: the replayed writeset carries both rows. *)
+  let full =
+    Writeset.of_entries
+      [
+        entry "accounts" 1 (Writeset.Put [| vi 1; vt "alice"; vi 999 |]);
+        entry "accounts" 2 (Writeset.Put [| vi 2; vt "bob"; vi 777 |]);
+      ]
+  in
+  Database.apply db full ~version:1;
+  Alcotest.(check int) "version advanced by replay" 1 (Database.version db);
+  Alcotest.(check int) "partially installed row intact" 999 (balance_of db 1);
+  Alcotest.(check int) "missing row installed by replay" 777 (balance_of db 2)
+
 let test_database_gc () =
   let db = fresh_db () in
   for _ = 1 to 5 do
@@ -776,6 +837,7 @@ let suites =
         Alcotest.test_case "conflicts" `Quick test_writeset_conflicts;
         Alcotest.test_case "supersede" `Quick test_writeset_supersede;
         Alcotest.test_case "tables" `Quick test_writeset_tables;
+        Alcotest.test_case "conflict keys" `Quick test_writeset_keys;
       ] );
     ( "storage.txn",
       [
@@ -806,6 +868,10 @@ let suites =
       [
         Alcotest.test_case "out-of-order apply rejected" `Quick
           test_database_apply_out_of_order_rejected;
+        Alcotest.test_case "unpublished invisible until publish" `Quick
+          test_database_unpublished_invisible_until_publish;
+        Alcotest.test_case "replay is redo-idempotent" `Quick
+          test_database_replay_is_redo_idempotent;
         Alcotest.test_case "gc accounting" `Quick test_database_gc;
       ] );
     ( "storage.codec",
