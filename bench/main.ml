@@ -9,12 +9,17 @@
    execution, history checking) so component-level regressions are
    visible independently of the system experiments.
 
-   Set REPRO_QUICK=1 for a fast pass with smaller sweeps. *)
+   Set REPRO_QUICK=1 for a fast pass with smaller sweeps, and
+   REPRO_BENCH_ONLY=1 to skip Part 1 and run only the Bechamel
+   micro-benchmarks (the CI smoke configuration). *)
 
-let quick =
-  match Sys.getenv_opt "REPRO_QUICK" with
+let env_flag name =
+  match Sys.getenv_opt name with
   | Some ("1" | "true" | "yes") -> true
   | Some _ | None -> false
+
+let quick = env_flag "REPRO_QUICK"
+let bench_only = env_flag "REPRO_BENCH_ONLY"
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -226,6 +231,38 @@ let component_tests () =
   Test.make_grouped ~name:"components"
     [ mvcc_point_read; txn_update; index_select; ws_conflict; checker; sim_events ]
 
+(* Certification conflict check, Linear log scan vs Keyed index probe,
+   with the requesting snapshot 1 / 100 / 10k versions behind a
+   10k-entry log. Fixtures come from the certindex experiment so the
+   bench and the `repro certindex` sweep measure the same thing. *)
+let certification_tests () =
+  let open Bechamel in
+  let versions = 10_000 and ws_rows = 4 in
+  let linear =
+    Experiments.Cert_index.build ~index:Core.Config.Linear ~versions ~ws_rows ()
+  in
+  let keyed =
+    Experiments.Cert_index.build ~index:Core.Config.Keyed ~versions ~ws_rows ()
+  in
+  let ws = Experiments.Cert_index.probe ~versions ~ws_rows in
+  let check certifier ~staleness =
+    let snapshot = versions - staleness in
+    Staged.stage (fun () ->
+        ignore (Core.Certifier.check_conflict certifier ~snapshot ~ws))
+  in
+  Test.make_grouped ~name:"certification"
+    (List.concat_map
+       (fun staleness ->
+         [
+           Test.make
+             ~name:(Printf.sprintf "linear, %d behind" staleness)
+             (check linear ~staleness);
+           Test.make
+             ~name:(Printf.sprintf "keyed, %d behind" staleness)
+             (check keyed ~staleness);
+         ])
+       [ 1; 100; 10_000 ])
+
 let run_bechamel () =
   let open Bechamel in
   let benchmark test =
@@ -237,25 +274,36 @@ let run_bechamel () =
     let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
     Analyze.all ols Toolkit.Instance.monotonic_clock results
   in
-  let results = analyze (benchmark (component_tests ())) in
-  say "%s" (Experiments.Report.section "Component micro-benchmarks (Bechamel)");
-  Hashtbl.iter
-    (fun name result ->
-      match Bechamel.Analyze.OLS.estimates result with
-      | Some [ est ] -> say "%-48s %12.0f ns/run" name est
-      | Some _ | None -> say "%-48s (no estimate)" name)
-    results
+  let report title test =
+    let results = analyze (benchmark test) in
+    say "%s" (Experiments.Report.section title);
+    let rows = ref [] in
+    Hashtbl.iter
+      (fun name result ->
+        match Bechamel.Analyze.OLS.estimates result with
+        | Some [ est ] -> rows := (name, Printf.sprintf "%12.0f ns/run" est) :: !rows
+        | Some _ | None -> rows := (name, "(no estimate)") :: !rows)
+      results;
+    List.iter
+      (fun (name, cell) -> say "%-48s %s" name cell)
+      (List.sort compare !rows)
+  in
+  report "Component micro-benchmarks (Bechamel)" (component_tests ());
+  report "Certification index micro-benchmarks (Bechamel)" (certification_tests ())
 
 let () =
   say "Reproduction benchmarks — 'Strongly consistent replication for a bargain'";
-  say "mode: %s (set REPRO_QUICK=1 for a fast pass)\n"
-    (if quick then "quick" else "full");
-  timed "table1" run_table1;
-  timed "fig3" run_fig3;
-  timed "fig4" run_fig4;
-  timed "fig5+fig6" run_fig56;
-  timed "fig7" run_fig7;
-  timed "ablations" run_ablations;
-  timed "extensions" run_extensions;
+  say "mode: %s%s (set REPRO_QUICK=1 for a fast pass)\n"
+    (if quick then "quick" else "full")
+    (if bench_only then ", micro-benches only" else "");
+  if not bench_only then begin
+    timed "table1" run_table1;
+    timed "fig3" run_fig3;
+    timed "fig4" run_fig4;
+    timed "fig5+fig6" run_fig56;
+    timed "fig7" run_fig7;
+    timed "ablations" run_ablations;
+    timed "extensions" run_extensions
+  end;
   timed "bechamel" run_bechamel;
   say "\nDone. See EXPERIMENTS.md for the paper-vs-measured comparison."

@@ -43,6 +43,14 @@ type t = {
   mutable version : int;
   mutable log : Storage.Writeset.t Util.Vec.t;  (* index i holds version log_base+i+1 *)
   mutable log_base : int;  (* all versions <= log_base have been pruned *)
+  (* The certification index: (table, key) -> last committed version
+     writing that record. Maintained only under [Config.Keyed]; covers
+     exactly the retained log, i.e. every entry's version is in
+     (log_base, version]. *)
+  index : (string * Storage.Value.t array, int) Hashtbl.t;
+  (* Highest version each subscribed replica reported applied — the
+     piggybacked V_local watermarks driving log truncation ({!gc}). *)
+  watermarks : (int, int) Hashtbl.t;
   subscribers : (int, (int option * int * Storage.Writeset.t) list -> unit) Hashtbl.t;
   live : (int, unit) Hashtbl.t;
   eager_pending : (int, eager_state) Hashtbl.t;  (* keyed by version *)
@@ -68,6 +76,8 @@ let create ?obs ?metrics engine cfg ~rng ~network ~mode =
     version = 0;
     log = Util.Vec.create ();
     log_base = 0;
+    index = Hashtbl.create 4096;
+    watermarks = Hashtbl.create 16;
     subscribers = Hashtbl.create 16;
     live = Hashtbl.create 16;
     eager_pending = Hashtbl.create 64;
@@ -83,7 +93,8 @@ let create ?obs ?metrics engine cfg ~rng ~network ~mode =
 
 let subscribe t ~replica deliver =
   Hashtbl.replace t.subscribers replica deliver;
-  Hashtbl.replace t.live replica ()
+  Hashtbl.replace t.live replica ();
+  if not (Hashtbl.mem t.watermarks replica) then Hashtbl.replace t.watermarks replica 0
 
 let version t = t.version
 
@@ -97,18 +108,93 @@ let service_time t base =
 
 let log_entry t v = Util.Vec.get t.log (v - t.log_base - 1)
 
+(* The first-committer-wins check over (snapshot, version]. Both
+   implementations return the same decision (pinned by golden and
+   differential tests); [Keyed] is O(|writeset|) regardless of how far
+   the snapshot lags, [Linear] is O(versions-behind × |writeset|).
+   Because commits update log and index incrementally as a batch is
+   certified, the check also catches intra-batch write-write conflicts:
+   the later arrival sees the earlier member's freshly committed
+   writeset and aborts, exactly as if the two had certified back to
+   back. *)
 let conflicts_since t ~snapshot ws =
-  (* Scan committed writesets in (snapshot, version]. Because batch
-     members push their writesets to the log as they are certified,
-     this check also catches intra-batch write-write conflicts: the
-     later arrival sees the earlier member's freshly committed writeset
-     and aborts, exactly as if the two had certified back to back. *)
-  let rec scan v =
-    if v <= snapshot then false
-    else if Storage.Writeset.conflicts ws (log_entry t v) then true
-    else scan (v - 1)
-  in
-  scan t.version
+  match t.cfg.Config.cert_index with
+  | Config.Keyed ->
+    (* Index invariant: for every (table, key) written by a retained log
+       entry, [index] holds the *highest* committing version; a conflict
+       exists iff some key of [ws] was last written after [snapshot].
+       Entries at or below [snapshot] cannot conflict, and versions ≤
+       log_base are pruned from the index only after the abort guard in
+       [process_batch] has rejected snapshots below log_base. *)
+    List.exists
+      (fun e ->
+        match
+          Hashtbl.find_opt t.index (e.Storage.Writeset.ws_table, e.Storage.Writeset.ws_key)
+        with
+        | Some v -> v > snapshot
+        | None -> false)
+      (Storage.Writeset.entries ws)
+  | Config.Linear ->
+    let rec scan v =
+      if v <= snapshot then false
+      else if Storage.Writeset.conflicts ws (log_entry t v) then true
+      else scan (v - 1)
+    in
+    scan t.version
+
+let check_conflict t ~snapshot ~ws = conflicts_since t ~snapshot ws
+
+(* Record a freshly committed writeset in the certification index. *)
+let index_commit t ws version =
+  if t.cfg.Config.cert_index = Config.Keyed then
+    List.iter
+      (fun e ->
+        Hashtbl.replace t.index (e.Storage.Writeset.ws_table, e.Storage.Writeset.ws_key)
+          version)
+      (Storage.Writeset.entries ws)
+
+(* Rebuild the index from a log segment (standby promotion): ascending
+   replay leaves the highest writer per key, restoring the invariant. *)
+let rebuild_index t ~base ~upto entry =
+  Hashtbl.reset t.index;
+  if t.cfg.Config.cert_index = Config.Keyed then
+    for v = base + 1 to upto do
+      List.iter
+        (fun e ->
+          Hashtbl.replace t.index (e.Storage.Writeset.ws_table, e.Storage.Writeset.ws_key) v)
+        (Storage.Writeset.entries (entry v))
+    done
+
+let index_size t = Hashtbl.length t.index
+
+(* --- Applied-version watermarks ------------------------------------
+
+   Replicas piggyback their applied V_local on certification requests
+   and on the per-version commit acks ({!ack}); the certifier keeps the
+   highest value seen per replica. The minimum over *live* replicas is
+   the principled truncation horizon: every live replica has applied
+   everything at or below it, so only a slack for in-flight snapshots
+   need be retained ({!gc}). The minimum over *all* subscribed replicas
+   (crashed ones freeze their watermark, and V_local is durable across
+   replica crashes) is a permanent lower bound on every replica's
+   applied version — the load balancer uses it to drop session-version
+   entries that can no longer cause a wait. *)
+
+let observe_applied t ~replica ~version =
+  match Hashtbl.find_opt t.watermarks replica with
+  | Some w when w >= version -> ()
+  | Some _ | None -> Hashtbl.replace t.watermarks replica version
+
+let watermark t ~replica = Option.value (Hashtbl.find_opt t.watermarks replica) ~default:0
+
+let min_live_watermark t =
+  if Hashtbl.length t.live = 0 then None
+  else
+    Some (Hashtbl.fold (fun replica () acc -> min acc (watermark t ~replica)) t.live max_int)
+
+let min_watermark t =
+  if Hashtbl.length t.watermarks = 0 then 0
+  else Hashtbl.fold (fun _ w acc -> min acc w) t.watermarks max_int
 
 (* Synchronously replicate freshly decided commits to every standby: one
    round trip carrying the whole batch, while the state copy itself is
@@ -172,6 +258,7 @@ let process_batch t batch =
         else begin
           t.version <- t.version + 1;
           Util.Vec.push t.log r.req_ws;
+          index_commit t r.req_ws t.version;
           t.commits <- t.commits + 1;
           (r, Some t.version)
         end)
@@ -246,8 +333,13 @@ let process_batch t batch =
       Sim.Ivar.fill r.req_decided decision)
     results
 
-let certify ?trace t ~origin ~snapshot ~ws =
+let certify ?trace ?applied t ~origin ~snapshot ~ws =
   let rows = Storage.Writeset.cardinal ws in
+  (* Watermark piggyback: the origin's applied V_local rides on the
+     certification request (no extra message, no virtual time). *)
+  (match applied with
+  | Some version -> observe_applied t ~replica:origin ~version
+  | None -> ());
   (* The service span covers outage queueing, CPU queueing and the
      certification work itself; [queue_ms] separates the wait. *)
   let span =
@@ -260,6 +352,7 @@ let certify ?trace t ~origin ~snapshot ~ws =
             ("origin", string_of_int origin);
             ("snapshot", string_of_int snapshot);
             ("rows", string_of_int rows);
+            ("cert.index", Config.cert_index_name t.cfg.Config.cert_index);
           ]
         ()
     | None -> None
@@ -303,6 +396,7 @@ let certify ?trace t ~origin ~snapshot ~ws =
   Sim.Ivar.read request.req_decided
 
 let ack t ~replica ~version =
+  observe_applied t ~replica ~version;
   match Hashtbl.find_opt t.eager_pending version with
   | None -> ()
   | Some state ->
@@ -333,6 +427,13 @@ let prune t ~keep_after =
     done;
     t.log <- fresh;
     t.log_base <- keep_after;
+    (* Index entries at or below the new horizon can never certify a
+       conflict again: any request with snapshot < log_base is
+       conservatively aborted before the check, and for snapshot ≥
+       log_base ≥ v the comparison v > snapshot is false. *)
+    Hashtbl.filter_map_inplace
+      (fun _ v -> if v <= keep_after then None else Some v)
+      t.index;
     Array.iter
       (fun sb ->
         if keep_after > sb.sb_log_base && sb.sb_version >= keep_after then begin
@@ -346,6 +447,15 @@ let prune t ~keep_after =
       t.standbys
   end
 
+let gc t =
+  (* Watermark-driven truncation: every live replica has applied
+     everything ≤ the minimum watermark, so only [watermark_slack]
+     versions below it are retained for in-flight stale snapshots.
+     No live replicas (or none heard from) ⇒ no truncation. *)
+  match min_live_watermark t with
+  | None -> ()
+  | Some m -> prune t ~keep_after:(max 0 (m - t.cfg.Config.watermark_slack))
+
 let crash t =
   if Array.length t.standbys = 0 then
     invalid_arg "Certifier.crash: no standby configured (the decision log would be lost)";
@@ -356,9 +466,14 @@ let is_crashed t = t.crashed
 let failover t =
   if not t.crashed then invalid_arg "Certifier.failover: certifier is running";
   (* Promote standby 0: its log is a synchronous copy, so no committed
-     decision is lost (§IV: durability of decisions). *)
+     decision is lost (§IV: durability of decisions). The certification
+     index is volatile soft state derived from the log — the promoted
+     standby rebuilds it from its replicated log copy, so recovery needs
+     nothing beyond the state-machine replication already in place. *)
   let sb = t.standbys.(0) in
   assert (sb.sb_version = t.version);  (* synchronous replication invariant *)
+  rebuild_index t ~base:sb.sb_log_base ~upto:sb.sb_version (fun v ->
+      Util.Vec.get sb.sb_log (v - sb.sb_log_base - 1));
   t.failovers <- t.failovers + 1;
   t.crashed <- false;
   Sim.Condition.broadcast t.revive

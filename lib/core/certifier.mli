@@ -9,9 +9,26 @@
     per-transaction commit acknowledgements and reports global commit.
 
     Certification runs on a single-server CPU resource, so decisions are
-    totally ordered. The full writeset log is retained (indexed by
-    version), which doubles as the recovery log replicas replay after a
-    crash.
+    totally ordered. The writeset log is retained (indexed by version),
+    which doubles as the recovery log replicas replay after a crash.
+
+    {b Certification index} (docs/PROTOCOL.md, "Certification index and
+    watermark GC"): under [Config.Keyed] (the default) the certifier
+    maintains a hash index [(table, key) → last committed version] and
+    decides the first-committer-wins check by probing the request's
+    writeset keys — O(|writeset|) however stale the snapshot — instead
+    of scanning the log over (snapshot, V]. [Config.Linear] keeps the
+    scan as a differential-testing oracle; the two are decision- and
+    event-identical, so the knob only moves host CPU. The index is soft
+    state: pruned with the log, rebuilt from the promoted standby's log
+    copy on {!failover}.
+
+    {b Applied watermarks}: replicas piggyback their applied [V_local]
+    on certification requests ([?applied]) and per-version acks
+    ({!ack}); {!gc} truncates log and index below
+    [min(live watermarks) - Config.watermark_slack], replacing blind
+    fixed-window pruning with a rule that tracks what replicas still
+    need.
 
     {b Group certification} (docs/PROTOCOL.md, "Batched certification
     and refresh"): when requests queue faster than they are decided, the
@@ -63,15 +80,47 @@ val log_size : t -> int
 
 val certify :
   ?trace:int * Obs.Span.t option ->
+  ?applied:int ->
   t -> origin:int -> snapshot:int -> ws:Storage.Writeset.t -> decision
 (** Certify an update transaction. Blocks the calling process for the
     certifier service time. Must be called from within a process.
     [trace] is the caller's (trace id, parent span) for the service
-    span; ignored when the certifier has no {!Obs.Trace.t}. *)
+    span; ignored when the certifier has no {!Obs.Trace.t}. [applied]
+    piggybacks the origin replica's applied [V_local] (watermark
+    accounting; costs no virtual time). *)
 
 val ack : t -> replica:int -> version:int -> unit
-(** A replica committed (applied) the given version — eager accounting.
-    No-op for versions without pending eager state. *)
+(** A replica committed (applied) the given version: advances the
+    replica's applied watermark, and under the eager configuration
+    counts towards global commit. *)
+
+val check_conflict : t -> snapshot:int -> ws:Storage.Writeset.t -> bool
+(** The raw first-committer-wins decision over [(snapshot, version]],
+    per the configured [Config.cert_index]. Consumes no virtual time and
+    takes no CPU — exposed for the Bechamel micro-benches and the
+    Linear/Keyed differential tests; {!certify} is the protocol entry
+    point. Requires [snapshot >= log_base]. *)
+
+val index_size : t -> int
+(** Distinct (table, key) entries in the certification index (0 under
+    [Config.Linear]). *)
+
+(** {2 Applied watermarks and log truncation} *)
+
+val watermark : t -> replica:int -> int
+(** Highest version the replica has reported applied (0 before any
+    report). *)
+
+val min_watermark : t -> int
+(** Minimum watermark over {e all} subscribed replicas, crashed ones
+    included (their watermark freezes; [V_local] is durable, so this
+    never overstates what a replica has applied). A permanent lower
+    bound on every replica's applied version — what
+    {!Load_balancer.prune_sessions} keys off. *)
+
+val gc : t -> unit
+(** Truncate log and index below [min(live watermarks) -
+    Config.watermark_slack]. No-op when no replica is live. *)
 
 val writesets_from : t -> int -> (int * Storage.Writeset.t) list option
 (** [(v, ws)] for all committed versions > the argument, ascending: the

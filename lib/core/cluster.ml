@@ -88,18 +88,17 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
               let keep_after = max 0 (Replica.v_local r - config.Config.gc_window) in
               ignore (Storage.Database.gc (Replica.database r) ~keep_after))
             replicas;
-          (* Prune the certifier log behind the slowest live replica; a
-             replica that stays down longer than this recovers by state
+          (* Truncate certifier log + index behind the slowest live
+             replica's applied watermark (piggybacked on cert/ack
+             traffic — no omniscient peek at replica state); a replica
+             that stays down longer than the slack recovers by state
              transfer instead of log replay. *)
-          let min_live =
-            Array.fold_left
-              (fun acc r ->
-                if Replica.is_crashed r then acc else min acc (Replica.v_local r))
-              max_int replicas
-          in
-          if min_live < max_int then
-            Certifier.prune certifier
-              ~keep_after:(max 0 (min_live - config.Config.gc_window));
+          Certifier.gc certifier;
+          (* The all-replica minimum watermark (crashed included) is a
+             permanent floor on applied versions: session-version
+             entries at or below it impose no wait and can go. *)
+          Load_balancer.prune_sessions lb
+            ~applied_min:(Certifier.min_watermark certifier);
           loop ()
         in
         loop ());
@@ -130,7 +129,9 @@ let update_gauges t =
       Obs.Registry.set (Obs.Registry.gauge t.registry (name "active_txns"))
         (float_of_int (Replica.active_local r));
       Obs.Registry.set (Obs.Registry.gauge t.registry (name "v_local"))
-        (float_of_int (Replica.v_local r)))
+        (float_of_int (Replica.v_local r));
+      Obs.Registry.set (Obs.Registry.gauge t.registry (name "watermark"))
+        (float_of_int (Certifier.watermark t.certifier ~replica:i)))
     t.replicas;
   Obs.Registry.set (Obs.Registry.gauge t.registry "refresh_queue.total")
     (float_of_int !refresh_total);
@@ -139,7 +140,13 @@ let update_gauges t =
     (float_of_int (Certifier.log_size t.certifier));
   Obs.Registry.set
     (Obs.Registry.gauge t.registry "certifier.queue")
-    (float_of_int (Sim.Resource.queue_length (Certifier.cpu t.certifier)))
+    (float_of_int (Sim.Resource.queue_length (Certifier.cpu t.certifier)));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.watermark.min")
+    (float_of_int (Certifier.min_watermark t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.index_size")
+    (float_of_int (Certifier.index_size t.certifier))
 
 let attach_probes t sampler =
   Array.iteri
@@ -156,6 +163,10 @@ let attach_probes t sampler =
   Obs.Sampler.add_resource sampler ~name:"certifier.cpu" (Certifier.cpu t.certifier);
   Obs.Sampler.add sampler ~name:"certifier.log_size" (fun () ->
       float_of_int (Certifier.log_size t.certifier));
+  Obs.Sampler.add sampler ~name:"certifier.watermark.min" (fun () ->
+      float_of_int (Certifier.min_watermark t.certifier));
+  Obs.Sampler.add sampler ~name:"certifier.index_size" (fun () ->
+      float_of_int (Certifier.index_size t.certifier));
   (* Keep the registry's gauges fresh on the same cadence. *)
   Obs.Sampler.add sampler ~name:"v_system" (fun () ->
       update_gauges t;
@@ -295,7 +306,8 @@ let submit t ~sid (req : Transaction.request) =
             (Metrics.txn_trace_id mtxn)
         in
         let decision =
-          Certifier.certify ?trace t.certifier ~origin:replica_id ~snapshot ~ws
+          Certifier.certify ?trace ~applied:(Replica.v_local replica) t.certifier
+            ~origin:replica_id ~snapshot ~ws
         in
         Sim.Network.transfer t.network ~size_bytes:32;
         Metrics.stage_exit mtxn Metrics.Certify;

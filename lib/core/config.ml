@@ -4,6 +4,12 @@ type routing =
   | Random_replica
   | Session_affinity
 
+type cert_index =
+  | Linear
+  | Keyed
+
+let cert_index_name = function Linear -> "linear" | Keyed -> "keyed"
+
 type t = {
   seed : int;
   replicas : int;
@@ -24,6 +30,7 @@ type t = {
   certify_row_ms : float;
   durability_ms : float;
   cert_batch : int;
+  cert_index : cert_index;
   certifier_standbys : int;
   apply_parallelism : int;
   hiccup_interval_ms : float;
@@ -36,6 +43,7 @@ type t = {
   record_log : bool;
   gc_interval_ms : float;
   gc_window : int;
+  watermark_slack : int;
 }
 
 let default =
@@ -59,6 +67,7 @@ let default =
     certify_row_ms = 0.005;
     durability_ms = 0.08;
     cert_batch = 1;
+    cert_index = Keyed;
     certifier_standbys = 0;
     apply_parallelism = 1;
     hiccup_interval_ms = 1_500.0;
@@ -71,6 +80,7 @@ let default =
     record_log = false;
     gc_interval_ms = 10_000.0;
     gc_window = 1_000;
+    watermark_slack = 1_000;
   }
 
 let tpcw =
@@ -97,11 +107,11 @@ let pp ppf c =
      net: base=%.2fms jitter=%.2fms bw=%.0fMbps lb=%.2fms@,\
      exec: stmt=%.2f scan=%.3f read=%.3f write=%.3f (ms)@,\
      commit: ro=%.2f upd=%.2f apply=%.2f+%.2f/row (ms)@,\
-     certifier: %.2f+%.3f/row durability=%.2f (ms)@,\
+     certifier: %.2f+%.3f/row durability=%.2f index=%s (ms)@,\
      batching: cert_batch=%d apply_parallelism=%d@,\
-     jitter=%b retries=%d record_log=%b@]"
+     jitter=%b retries=%d record_log=%b watermark_slack=%d@]"
     c.replicas c.cpus_per_replica c.seed c.net_base_ms c.net_jitter_ms c.net_bandwidth_mbps
     c.lb_ms c.stmt_base_ms c.row_scan_ms c.row_read_ms c.row_write_ms c.ro_commit_ms
     c.commit_ms c.ws_apply_base_ms c.ws_apply_row_ms c.certify_base_ms c.certify_row_ms
-    c.durability_ms c.cert_batch c.apply_parallelism c.service_jitter c.max_retries
-    c.record_log
+    c.durability_ms (cert_index_name c.cert_index) c.cert_batch c.apply_parallelism
+    c.service_jitter c.max_retries c.record_log c.watermark_slack

@@ -8,6 +8,22 @@ type routing =
       (** pin each session to a replica (hash of the session id);
           falls back to least-active when the pinned replica is down *)
 
+(** How the certifier evaluates the first-committer-wins check (see
+    docs/PROTOCOL.md, "Certification index and watermark GC"). Both
+    implementations produce exactly the same commit/abort decisions and
+    version assignments — the choice only moves host (wall-clock) work,
+    never virtual time. *)
+type cert_index =
+  | Linear
+      (** scan the writeset log over (snapshot, V]: O(versions-behind ×
+          |writeset|) per request. The paper's formulation; retained as
+          the differential-testing oracle for [Keyed]. *)
+  | Keyed
+      (** probe a hash index [(table, key) → last committed version]:
+          O(|writeset|) per request regardless of snapshot age. *)
+
+val cert_index_name : cert_index -> string
+
 (** Cluster and cost-model parameters.
 
     All times are milliseconds of virtual time. Service times are scaled
@@ -50,6 +66,10 @@ type t = {
           refresh batch message per replica. 1 (the default) reproduces
           unbatched certification exactly: every event, sleep and random
           draw is the same as before batching existed. *)
+  cert_index : cert_index;
+      (** conflict-check implementation; {!Keyed} (the default) and
+          {!Linear} are decision-identical (pinned by golden and
+          property tests), so this knob only trades host CPU. *)
   certifier_standbys : int;
       (** replicas of the certifier state machine (§IV fault-tolerance).
           Each commit decision is synchronously replicated to every
@@ -86,7 +106,15 @@ type t = {
   max_retries : int;  (** client-side retries after an abort *)
   record_log : bool;  (** keep per-transaction {!Check.Runlog.record}s *)
   gc_interval_ms : float;  (** MVCC vacuum period; 0 disables *)
-  gc_window : int;  (** versions kept behind the slowest replica *)
+  gc_window : int;
+      (** versions each replica's MVCC vacuum keeps behind its own
+          applied version (bounds snapshot age for live readers) *)
+  watermark_slack : int;
+      (** versions the certifier retains below the minimum live-replica
+          applied watermark when truncating its log and key index
+          ({!Certifier.gc}); the slack keeps certification of
+          slightly-stale snapshots checkable and bounds how soon a
+          briefly-lagging replica is forced into state transfer *)
 }
 
 val default : t

@@ -103,3 +103,15 @@ let note_commit_ack t ~sid ~version ~tables_written =
   if version > session_version t ~sid then Hashtbl.replace t.session_versions sid version
 
 let v_system t = t.v_system
+
+let session_count t = Hashtbl.length t.session_versions
+
+let prune_sessions t ~applied_min =
+  (* An entry <= the cluster-wide minimum applied version buys nothing:
+     every replica already satisfies the wait it would impose, and
+     [session_version]'s default of 0 gives the same answer once the
+     entry is gone. Dropping it re-bounds the table to the set of
+     sessions that committed above the watermark. *)
+  Hashtbl.filter_map_inplace
+    (fun _sid version -> if version <= applied_min then None else Some version)
+    t.session_versions

@@ -53,3 +53,17 @@ val v_system : t -> int
 val table_version : t -> string -> int
 
 val session_version : t -> sid:int -> int
+
+val prune_sessions : t -> applied_min:int -> unit
+(** Drop session-version entries [<= applied_min], the cluster-wide
+    minimum applied watermark ({!Certifier.min_watermark}). Safe because
+    every replica has already applied those versions — the wait such an
+    entry would impose is trivially satisfied, and a pruned session
+    falls back to {!session_version}'s default of 0, which imposes the
+    same (no) wait. Bounds [session_versions] growth under session-id
+    churn: the table tracks only sessions that committed above the
+    watermark, instead of every session ever seen. *)
+
+val session_count : t -> int
+(** Number of tracked session-version entries (test/telemetry hook for
+    the {!prune_sessions} bound). *)

@@ -23,6 +23,11 @@ type t = {
       (* writesets of the parallel apply group in flight (removed from
          [slots] but not yet published) — still visible to early
          certification; always [] under the serial sequencer *)
+  pending_keys : (string * Storage.Value.t array, int) Hashtbl.t;
+      (* conflict-key refcounts over the pending refresh writesets
+         ([slots]' Refresh entries plus [applying]) — the certifier's
+         index shape reused so early certification probes its statement
+         keys instead of scanning every pending writeset *)
   mutable slow_until : float;  (* hiccup window end; service times inflate until then *)
   mutable on_commit : (version:int -> unit) option;
   mutable applied_refresh : int;
@@ -45,6 +50,7 @@ let create ?obs ?metrics engine cfg ~rng ~id db =
     crashed = false;
     epoch = 0;
     applying = [];
+    pending_keys = Hashtbl.create 256;
     slow_until = neg_infinity;
     on_commit = None;
     applied_refresh = 0;
@@ -81,6 +87,27 @@ let hiccups t () =
 
 let notify_commit t ~version =
   match t.on_commit with None -> () | Some f -> f ~version
+
+(* Pending-key refcounts. Invariant: [pending_keys] is the multiset of
+   conflict keys over exactly the writesets [pending_refresh_writesets]
+   returns — added when a refresh writeset is queued, kept while a
+   parallel group holds it in [applying], removed when it leaves the
+   pending set (applied serially, published, or dropped by a crash). *)
+let add_pending_keys t ws =
+  List.iter
+    (fun key ->
+      Hashtbl.replace t.pending_keys key
+        (1 + Option.value (Hashtbl.find_opt t.pending_keys key) ~default:0))
+    (Storage.Writeset.keys ws)
+
+let remove_pending_keys t ws =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.pending_keys key with
+      | Some 1 -> Hashtbl.remove t.pending_keys key
+      | Some n when n > 1 -> Hashtbl.replace t.pending_keys key (n - 1)
+      | Some _ | None -> assert false (* refcount out of sync with the pending set *))
+    (Storage.Writeset.keys ws)
 
 (* --- Conflict-aware parallel refresh application ---------------------
 
@@ -205,9 +232,15 @@ let apply_refresh_group t ~first run =
   Obs.Trace.finish_opt t.obs group_span;
   t.applying <- [];
   if t.epoch = epoch && not t.crashed then begin
+    (* The group's writesets leave the pending set at publication; a
+       crash mid-group resets [pending_keys] wholesale instead. *)
+    List.iter (fun (_, _, ws) -> remove_pending_keys t ws) run;
     Storage.Database.publish t.db ~version:last;
     (* Recovery may have re-queued versions just published. *)
     for v = first to last do
+      (match Hashtbl.find_opt t.slots v with
+      | Some (Refresh { ws; _ }) -> remove_pending_keys t ws
+      | Some (Local _) | None -> ());
       Hashtbl.remove t.slots v
     done;
     Sim.Condition.broadcast t.version_changed;
@@ -249,6 +282,7 @@ let sequencer t () =
       apply_refresh_group t ~first:v run
     | Some (Refresh { ws; trace }) ->
       Hashtbl.remove t.slots v;
+      remove_pending_keys t ws;
       let rows = Storage.Writeset.cardinal ws in
       (* The refresh-apply span joins the committing transaction's trace
          when the certifier forwarded its id; recovery replays (which
@@ -313,11 +347,11 @@ let pending_refresh_writesets t =
 let early_certify t txn =
   (not t.cfg.Config.early_certification)
   ||
+  (* Probe the transaction's keys against the pending-key index —
+     O(|writeset|) however deep the refresh backlog, where the previous
+     [List.exists Writeset.conflicts] scanned every pending writeset. *)
   let ws = Storage.Txn.writeset txn in
-  not
-    (List.exists
-       (fun pending -> Storage.Writeset.conflicts ws pending)
-       (pending_refresh_writesets t))
+  not (List.exists (fun key -> Hashtbl.mem t.pending_keys key) (Storage.Writeset.keys ws))
 
 let finish_txn t ~tid = Hashtbl.remove t.active tid
 
@@ -358,6 +392,7 @@ let receive_refresh_batch t items =
               if (not !flag) && Storage.Writeset.conflicts (Storage.Txn.writeset txn) ws
               then flag := true)
             t.active;
+        if not (Hashtbl.mem t.slots version) then add_pending_keys t ws;
         Hashtbl.replace t.slots version (Refresh { ws; trace }))
       items;
     Sim.Condition.broadcast t.slot_arrived
@@ -371,6 +406,9 @@ let crash t =
   t.crashed <- true;
   t.epoch <- t.epoch + 1;  (* cancel in-flight parallel apply lanes *)
   t.applying <- [];
+  (* Queued refreshes are dropped below and [applying] is cleared: the
+     pending set empties, so the key index resets with it. *)
+  Hashtbl.reset t.pending_keys;
   (* Abort in-flight local transactions. *)
   Hashtbl.iter (fun _ (_, flag) -> flag := true) t.active;
   Hashtbl.reset t.active;
@@ -397,8 +435,10 @@ let state_transfer t ~snapshot =
 let recover t ~missed =
   List.iter
     (fun (version, ws) ->
-      if version > v_local t then
-        Hashtbl.replace t.slots version (Refresh { ws; trace = None }))
+      if version > v_local t then begin
+        if not (Hashtbl.mem t.slots version) then add_pending_keys t ws;
+        Hashtbl.replace t.slots version (Refresh { ws; trace = None })
+      end)
     missed;
   t.crashed <- false;
   Sim.Condition.broadcast t.slot_arrived

@@ -1,0 +1,44 @@
+(** Certification-index sweep: host wall-clock cost of the
+    first-committer-wins conflict check, [Core.Config.Linear] log scan
+    vs [Core.Config.Keyed] index probe, as the requesting snapshot falls
+    {e staleness} versions behind the certifier.
+
+    The two index choices are event-identical in simulation (the cost
+    model charges per writeset row either way), so this experiment
+    measures real CPU per {!Core.Certifier.check_conflict} call — the
+    quantity the keyed index exists to flatten from O(staleness ×
+    |writeset|) to O(|writeset|).
+
+    See docs/PROTOCOL.md ("Certification index and watermark GC") and
+    EXPERIMENTS.md for recorded results. *)
+
+val build :
+  ?config:Core.Config.t ->
+  index:Core.Config.cert_index ->
+  versions:int ->
+  ws_rows:int ->
+  unit ->
+  Core.Certifier.t
+(** A certifier whose log holds [versions] committed disjoint writesets
+    of [ws_rows] rows each, driven through {!Core.Certifier.certify} in
+    a private simulation. Shared with the Bechamel micro-benches in
+    [bench/main.ml]. *)
+
+val probe : versions:int -> ws_rows:int -> Storage.Writeset.t
+(** A writeset disjoint from everything {!build} committed: the
+    no-early-exit worst case for both index choices. *)
+
+type point = { staleness : int; linear_ns : float; keyed_ns : float }
+
+val speedup : point -> float
+(** [linear_ns /. keyed_ns]. *)
+
+val default_stalenesses : int list
+
+val run :
+  ?versions:int -> ?ws_rows:int -> ?stalenesses:int list -> unit -> point list
+(** Build both fixtures, cross-check that they agree on conflicting and
+    clean probes at every staleness (differential guard), then time the
+    clean probe. *)
+
+val render : point list -> string

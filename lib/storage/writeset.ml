@@ -11,9 +11,10 @@ type entry = {
 type t = {
   items : entry list;  (* insertion order *)
   index : (string * Value.t array, entry) Hashtbl.t;
+  card : int;  (* |items|, precomputed: [cardinal] sits on the certifier hot path *)
 }
 
-let empty = { items = []; index = Hashtbl.create 1 }
+let empty = { items = []; index = Hashtbl.create 1; card = 0 }
 
 let of_entries entries =
   let index = Hashtbl.create (List.length entries * 2) in
@@ -32,13 +33,13 @@ let of_entries entries =
         end)
       entries
   in
-  { items; index }
+  { items; index; card = Hashtbl.length seen }
 
 let is_empty t = t.items = []
 
 let entries t = t.items
 
-let cardinal t = List.length t.items
+let cardinal t = t.card
 
 let tables t =
   let seen = Hashtbl.create 8 in

@@ -28,7 +28,9 @@ val entries : t -> entry list
 (** In insertion order (after per-key superseding). *)
 
 val cardinal : t -> int
-(** Number of distinct (table, key) pairs written. *)
+(** Number of distinct (table, key) pairs written. O(1): stored at
+    construction — {!conflicts} consults both sides' cardinality on
+    every certification check. *)
 
 val tables : t -> string list
 (** Distinct tables written, in first-write order. *)

@@ -280,6 +280,16 @@ let test_explicit_batch_one_matches_golden () =
   let tweak c = { c with Core.Config.cert_batch = 1; apply_parallelism = 1 } in
   check_golden (determinism_run ~tweak ~tracing:false ())
 
+let test_linear_index_matches_golden () =
+  (* The certification index is host-side soft state: the cost model
+     charges certify_row_ms per writeset row whichever structure decides
+     the check, so [Linear] and [Keyed] must produce bit-identical
+     runs — same commits, same response-time mean, same database. *)
+  Alcotest.(check string) "default index is keyed" "keyed"
+    (Core.Config.cert_index_name Core.Config.default.Core.Config.cert_index);
+  let tweak c = { c with Core.Config.cert_index = Core.Config.Linear } in
+  check_golden (determinism_run ~tweak ~tracing:false ())
+
 let test_tracing_zero_overhead () =
   (* Tracing only observes: an instrumented run must be bit-identical in
      virtual time and outcome to the plain run, down to the response-time
@@ -408,6 +418,8 @@ let suites =
           test_unbatched_matches_golden;
         Alcotest.test_case "explicit batch=1 matches golden baseline" `Quick
           test_explicit_batch_one_matches_golden;
+        Alcotest.test_case "linear cert index matches golden baseline" `Quick
+          test_linear_index_matches_golden;
         Alcotest.test_case "tracing is zero-overhead" `Quick test_tracing_zero_overhead;
       ] );
     ( "core.certifier",
