@@ -365,6 +365,99 @@ let check_cmd =
        ~doc:"Validate the consistency guarantees of each configuration on live runs")
     Term.(const check $ seed_arg)
 
+(* --- chaos: seeded fault-schedule soak --- *)
+
+let chaos seeds seed_count duration plan_str modes_str verify_digest =
+  match Experiments.Chaos.plan_of_string plan_str with
+  | Error e -> `Error (false, e)
+  | Ok plan -> (
+    let modes =
+      match modes_str with
+      | None -> Ok Core.Consistency.all
+      | Some s ->
+        let parts = String.split_on_char ',' s in
+        List.fold_left
+          (fun acc m ->
+            match (acc, Core.Consistency.of_string (String.trim m)) with
+            | Error e, _ -> Error e
+            | Ok ms, Ok m -> Ok (ms @ [ m ])
+            | Ok _, Error e -> Error e)
+          (Ok []) parts
+    in
+    match modes with
+    | Error e -> `Error (false, e)
+    | Ok modes ->
+      let seeds =
+        match seeds with
+        | [] -> List.init seed_count (fun i -> 1 + i)
+        | seeds -> seeds
+      in
+      let duration_ms = duration *. 1000.0 in
+      Printf.printf "Chaos soak: plan=%s, %d seed(s) x %d mode(s), %.1fs virtual each\n\n"
+        (Experiments.Chaos.plan_name plan)
+        (List.length seeds) (List.length modes) duration;
+      let results =
+        Experiments.Chaos.soak_matrix ~modes ~plans:[ plan ] ~seeds ~duration_ms ()
+      in
+      List.iter (fun r -> Format.printf "%a@." Experiments.Chaos.pp_result r) results;
+      let failed = List.filter (fun r -> not (Experiments.Chaos.ok r)) results in
+      let digest_ok =
+        if verify_digest then begin
+          (* Re-run the first combination and demand a byte-identical
+             runlog: the whole stack, faults included, is deterministic. *)
+          let mode = List.hd modes and seed = List.hd seeds in
+          let _, same =
+            Experiments.Chaos.reproducible ~mode ~plan ~seed ~duration_ms ()
+          in
+          Printf.printf "\ndigest reproducibility (%s, seed %d): %s\n"
+            (Core.Consistency.to_string mode)
+            seed
+            (if same then "identical" else "DIVERGED");
+          same
+        end
+        else true
+      in
+      Printf.printf "\n%d/%d runs ok\n" (List.length results - List.length failed)
+        (List.length results);
+      if failed = [] && digest_ok then `Ok ()
+      else `Error (false, "chaos soak found violations"))
+
+let chaos_seeds_arg =
+  let doc = "Explicit seed list (repeatable); overrides $(b,--seeds)." in
+  Arg.(value & opt_all int [] & info [ "seed-list" ] ~docv:"SEED" ~doc)
+
+let chaos_seed_count_arg =
+  let doc = "Number of consecutive seeds (starting at 1) to soak." in
+  Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc)
+
+let chaos_duration_arg =
+  let doc = "Virtual seconds per run (faults all heal by 75%% of it)." in
+  Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let chaos_plan_arg =
+  let doc = "Fault plan: clean, lossy, partitions, gray or mixed." in
+  Arg.(value & opt string "mixed" & info [ "plan" ] ~docv:"PLAN" ~doc)
+
+let chaos_modes_arg =
+  let doc = "Comma-separated consistency modes (default: all four)." in
+  Arg.(value & opt (some string) None & info [ "modes" ] ~docv:"MODES" ~doc)
+
+let chaos_no_digest_arg =
+  let doc = "Skip the double-run digest reproducibility check." in
+  Arg.(value & flag & info [ "no-digest-check" ] ~doc)
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Soak the hardened protocol under a seeded fault schedule and check \
+          consistency, liveness and reproducibility")
+    Term.(
+      ret
+        (const (fun seeds n d p m nd -> chaos seeds n d p m (not nd))
+        $ chaos_seeds_arg $ chaos_seed_count_arg $ chaos_duration_arg $ chaos_plan_arg
+        $ chaos_modes_arg $ chaos_no_digest_arg))
+
 (* --- trace / telemetry: an instrumented demo run (default command) --- *)
 
 let trace_file_arg =
@@ -472,7 +565,7 @@ let () =
     Cmd.group ~default:trace_term info
       [
         table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig7_cmd; batch_cmd; certindex_cmd;
-        ablation_cmd; ycsb_cmd; tpcc_cmd; check_cmd; all_cmd;
+        ablation_cmd; ycsb_cmd; tpcc_cmd; check_cmd; chaos_cmd; all_cmd;
       ]
   in
   exit (Cmd.eval group)

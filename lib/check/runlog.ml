@@ -157,3 +157,23 @@ let monotone_session_snapshots records =
       walk ordered)
     by_session;
   List.rev !violations
+
+let digest records =
+  (* Canonical rendering of everything semantically meaningful in a
+     record. [trace] is excluded: trace ids depend on whether tracing
+     was enabled, not on what the cluster did. Floats are printed with
+     full precision ([%h]) so two runs only digest equal when their
+     virtual-time streams are bit-identical. *)
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d|%d|%h|%h|%d|%s|%s|%s|%s\n" r.tid r.session
+           r.begin_time r.ack_time r.snapshot_version
+           (match r.commit_version with None -> "ro" | Some v -> string_of_int v)
+           (String.concat "," r.table_set)
+           (String.concat "," r.tables_written)
+           (String.concat ","
+              (List.map (fun (t, k) -> t ^ ":" ^ k) r.write_keys))))
+    records;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -59,3 +59,11 @@ val monotone_session_snapshots : record list -> violation list
 (** Within a session, a later transaction never reads an older snapshot
     than an earlier one's observed commit — the "never goes back in
     time" session guarantee. *)
+
+val digest : record list -> string
+(** Hex digest of the canonical rendering of the log — tid, session,
+    begin/ack times (full float precision), snapshot and commit
+    versions, table sets and written keys; [trace] ids are excluded so
+    the digest is invariant to whether tracing was on. Two runs with the
+    same seed and fault plan must produce equal digests (the chaos
+    harness's bit-reproducibility check). *)

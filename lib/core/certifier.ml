@@ -51,6 +51,16 @@ type t = {
   (* Highest version each subscribed replica reported applied — the
      piggybacked V_local watermarks driving log truncation ({!gc}). *)
   watermarks : (int, int) Hashtbl.t;
+  (* Virtual time we last heard anything from each replica (request,
+     ack, heartbeat, subscription) — drives eviction of corpses. *)
+  last_heard : (int, float) Hashtbl.t;
+  (* Replicas whose watermark entry was evicted; they must state-transfer
+     on rejoin (the log may have been truncated past their position). *)
+  evicted : (int, unit) Hashtbl.t;
+  (* Last watermark the repair loop saw per replica: a lagging replica is
+     only re-sent the un-acked suffix when it made no progress since the
+     previous tick (progress means delivery is working). *)
+  repair_seen : (int, int) Hashtbl.t;
   subscribers : (int, (int option * int * Storage.Writeset.t) list -> unit) Hashtbl.t;
   live : (int, unit) Hashtbl.t;
   eager_pending : (int, eager_state) Hashtbl.t;  (* keyed by version *)
@@ -60,6 +70,9 @@ type t = {
   mutable failovers : int;
   mutable commits : int;
   mutable aborts : int;
+  mutable retransmits : int;
+  mutable evictions : int;
+  mutable faults : Sim.Faults.t option;  (* gray-failure slowdown windows *)
 }
 
 let create ?obs ?metrics engine cfg ~rng ~network ~mode =
@@ -78,6 +91,9 @@ let create ?obs ?metrics engine cfg ~rng ~network ~mode =
     log_base = 0;
     index = Hashtbl.create 4096;
     watermarks = Hashtbl.create 16;
+    last_heard = Hashtbl.create 16;
+    evicted = Hashtbl.create 4;
+    repair_seen = Hashtbl.create 16;
     subscribers = Hashtbl.create 16;
     live = Hashtbl.create 16;
     eager_pending = Hashtbl.create 64;
@@ -89,11 +105,18 @@ let create ?obs ?metrics engine cfg ~rng ~network ~mode =
     failovers = 0;
     commits = 0;
     aborts = 0;
+    retransmits = 0;
+    evictions = 0;
+    faults = None;
   }
+
+let note_heard t replica =
+  Hashtbl.replace t.last_heard replica (Sim.Engine.now t.engine)
 
 let subscribe t ~replica deliver =
   Hashtbl.replace t.subscribers replica deliver;
   Hashtbl.replace t.live replica ();
+  note_heard t replica;
   if not (Hashtbl.mem t.watermarks replica) then Hashtbl.replace t.watermarks replica 0
 
 let version t = t.version
@@ -102,9 +125,16 @@ let cpu t = t.cpu
 
 let log_size t = t.version - t.log_base
 
+let set_faults t faults = t.faults <- Some faults
+
 let service_time t base =
-  if t.cfg.Config.service_jitter then base *. Util.Rng.exponential t.rng ~mean:1.0
-  else base
+  let base =
+    if t.cfg.Config.service_jitter then base *. Util.Rng.exponential t.rng ~mean:1.0
+    else base
+  in
+  match t.faults with
+  | None -> base
+  | Some f -> base *. Sim.Faults.slowdown f ~node:Config.node_certifier
 
 let log_entry t v = Util.Vec.get t.log (v - t.log_base - 1)
 
@@ -180,10 +210,38 @@ let index_size t = Hashtbl.length t.index
    applied version — the load balancer uses it to drop session-version
    entries that can no longer cause a wait. *)
 
+(* Watermarks are cumulative acknowledgements: a replica reporting
+   applied version [v] has applied every version <= v, so any eager
+   transaction still waiting on that replica for a version <= v is
+   acknowledged too. Over the exactly-once network the sweep never finds
+   anything (per-version acks arrive in order, before any watermark can
+   overtake them); under message loss it is what lets a later heartbeat
+   stand in for a lost ack instead of wedging the eager commit. *)
+let sweep_eager t ~replica ~upto =
+  if Hashtbl.length t.eager_pending > 0 then begin
+    let completed = ref [] in
+    Hashtbl.iter
+      (fun v state ->
+        if v <= upto && Hashtbl.mem state.waiting_on replica then begin
+          Hashtbl.remove state.waiting_on replica;
+          if Hashtbl.length state.waiting_on = 0 then completed := (v, state) :: !completed
+        end)
+      t.eager_pending;
+    List.iter
+      (fun (v, state) ->
+        Hashtbl.remove t.eager_pending v;
+        Sim.Ivar.fill state.done_ ())
+      (List.sort compare !completed)
+  end
+
 let observe_applied t ~replica ~version =
-  match Hashtbl.find_opt t.watermarks replica with
+  note_heard t replica;
+  (match Hashtbl.find_opt t.watermarks replica with
   | Some w when w >= version -> ()
-  | Some _ | None -> Hashtbl.replace t.watermarks replica version
+  | Some _ | None -> Hashtbl.replace t.watermarks replica version);
+  sweep_eager t ~replica ~upto:version
+
+let heartbeat t ~replica ~applied = observe_applied t ~replica ~version:applied
 
 let watermark t ~replica = Option.value (Hashtbl.find_opt t.watermarks replica) ~default:0
 
@@ -306,7 +364,8 @@ let process_batch t batch =
                 0 items
               + 64
             in
-            Sim.Network.send t.network ~size_bytes (fun () -> deliver items)
+            Sim.Network.send t.network ~src:Config.node_certifier ~dst:replica
+              ~size_bytes (fun () -> deliver items)
           end
         end)
       t.subscribers;
@@ -447,11 +506,45 @@ let prune t ~keep_after =
       t.standbys
   end
 
+(* Evict replicas that are down AND silent beyond [evict_after_ms] from
+   the watermark table: a corpse's frozen watermark would otherwise pin
+   [min_watermark] (session pruning) forever, and — were it still in the
+   live set — the GC floor too. An evicted replica's position in the
+   refresh stream is forgotten, so it must state-transfer on rejoin
+   ({!needs_state_transfer}). Only non-live replicas are candidates: a
+   live replica is heard from (heartbeats, acks, requests) and never
+   goes silent for that long. *)
+let evict_dead t =
+  let horizon = t.cfg.Config.evict_after_ms in
+  if horizon > 0.0 then begin
+    let now = Sim.Engine.now t.engine in
+    let victims =
+      Hashtbl.fold
+        (fun replica _w acc ->
+          let heard = Option.value (Hashtbl.find_opt t.last_heard replica) ~default:0.0 in
+          if (not (Hashtbl.mem t.live replica)) && now -. heard > horizon then
+            replica :: acc
+          else acc)
+        t.watermarks []
+    in
+    List.iter
+      (fun replica ->
+        Hashtbl.remove t.watermarks replica;
+        Hashtbl.replace t.evicted replica ();
+        t.evictions <- t.evictions + 1)
+      victims
+  end
+
+let needs_state_transfer t ~replica = Hashtbl.mem t.evicted replica
+
+let evictions t = t.evictions
+
 let gc t =
   (* Watermark-driven truncation: every live replica has applied
      everything ≤ the minimum watermark, so only [watermark_slack]
      versions below it are retained for in-flight stale snapshots.
      No live replicas (or none heard from) ⇒ no truncation. *)
+  evict_dead t;
   match min_live_watermark t with
   | None -> ()
   | Some m -> prune t ~keep_after:(max 0 (m - t.cfg.Config.watermark_slack))
@@ -495,7 +588,72 @@ let mark_down t ~replica =
       Sim.Ivar.fill state.done_ ())
     !completed
 
-let mark_up t ~replica =
-  if Hashtbl.mem t.subscribers replica then Hashtbl.replace t.live replica ()
+let mark_up ?applied t ~replica =
+  if Hashtbl.mem t.subscribers replica then begin
+    Hashtbl.replace t.live replica ();
+    note_heard t replica;
+    if Hashtbl.mem t.evicted replica then begin
+      (* Rejoin after eviction: the replica re-enters the watermark table
+         at its (state-transferred) applied version. *)
+      Hashtbl.remove t.evicted replica;
+      Hashtbl.replace t.watermarks replica 0
+    end;
+    match applied with
+    | Some version -> observe_applied t ~replica ~version
+    | None -> ()
+  end
+
+let is_marked_live t ~replica = Hashtbl.mem t.live replica
+
+(* --- Refresh repair (reliable mode) ---------------------------------
+
+   Refresh messages are fire-and-forget; under a lossy network a replica
+   can lose a batch and wedge (its sequencer waits forever for the
+   missing version). The repair tick detects stalled subscribers — live,
+   behind the log head, and no watermark progress since the previous
+   tick — and re-sends their un-acked log suffix. Receivers dedup by
+   version, so over-delivery is harmless ({!Replica.receive_refresh_batch}). *)
+
+let repair_resend_cap = 64
+let repair_catchup_cap = 256
+
+let repair_tick t =
+  if not t.crashed then
+    Hashtbl.iter
+      (fun replica deliver ->
+        if Hashtbl.mem t.live replica then begin
+          let w = watermark t ~replica in
+          let stalled = Hashtbl.find_opt t.repair_seen replica = Some w in
+          Hashtbl.replace t.repair_seen replica w;
+          (* A replica more than one batch behind can never be healed by
+             the live refresh stream (broadcasts only cover new versions),
+             so stream its suffix on every tick instead of waiting for the
+             watermark to stall, and in bigger batches. *)
+          let deep = t.version - w > repair_resend_cap in
+          if (stalled || deep) && w < t.version && w >= t.log_base then
+            match writesets_from t w with
+            | None -> ()
+            | Some items ->
+              let rec take n = function
+                | x :: rest when n > 0 -> x :: take (n - 1) rest
+                | _ -> []
+              in
+              let items =
+                take (if deep then repair_catchup_cap else repair_resend_cap) items
+                |> List.map (fun (v, ws) -> (None, v, ws))
+              in
+              let size_bytes =
+                List.fold_left
+                  (fun acc (_, _, ws) -> acc + Storage.Codec.writeset_bytes ws)
+                  0 items
+                + 64
+              in
+              t.retransmits <- t.retransmits + 1;
+              Sim.Network.send t.network ~src:Config.node_certifier ~dst:replica
+                ~size_bytes (fun () -> deliver items)
+        end)
+      t.subscribers
+
+let retransmits t = t.retransmits
 
 let decisions t = (t.commits, t.aborts)

@@ -92,7 +92,14 @@ val certify :
 val ack : t -> replica:int -> version:int -> unit
 (** A replica committed (applied) the given version: advances the
     replica's applied watermark, and under the eager configuration
-    counts towards global commit. *)
+    counts towards global commit. Watermarks are cumulative: reporting
+    version [v] also acknowledges every pending eager wait [<= v] held
+    by that replica, so a later report can stand in for a lost ack. *)
+
+val heartbeat : t -> replica:int -> applied:int -> unit
+(** Liveness + watermark report carried by the replica heartbeat
+    (reliable mode): refreshes the replica's last-heard time and feeds
+    the same cumulative watermark accounting as {!ack}. *)
 
 val check_conflict : t -> snapshot:int -> ws:Storage.Writeset.t -> bool
 (** The raw first-committer-wins decision over [(snapshot, version]],
@@ -119,8 +126,20 @@ val min_watermark : t -> int
     {!Load_balancer.prune_sessions} keys off. *)
 
 val gc : t -> unit
-(** Truncate log and index below [min(live watermarks) -
-    Config.watermark_slack]. No-op when no replica is live. *)
+(** Evict watermark entries of replicas that are down and silent beyond
+    [Config.evict_after_ms] (so a corpse cannot pin {!min_watermark} or
+    — once marked down — the GC floor forever; see
+    {!needs_state_transfer}), then truncate log and index below
+    [min(live watermarks) - Config.watermark_slack]. No-op when no
+    replica is live. *)
+
+val needs_state_transfer : t -> replica:int -> bool
+(** Whether the replica was evicted while down: its position in the
+    refresh stream is forgotten and it must rejoin via state transfer
+    (its log suffix may be gone). Cleared by {!mark_up}. *)
+
+val evictions : t -> int
+(** Watermark evictions performed (monotonic). *)
 
 val writesets_from : t -> int -> (int * Storage.Writeset.t) list option
 (** [(v, ws)] for all committed versions > the argument, ascending: the
@@ -141,7 +160,23 @@ val mark_down : t -> replica:int -> unit
 (** Remove a replica from the live set; pending eager transactions stop
     waiting for it, and it receives no further refresh writesets. *)
 
-val mark_up : t -> replica:int -> unit
+val mark_up : ?applied:int -> t -> replica:int -> unit
+(** Return a replica to the live set. [applied] reports its recovered
+    [V_local] (after catch-up or state transfer), re-seeding its
+    watermark — an evicted replica re-enters the table here. *)
+
+val is_marked_live : t -> replica:int -> bool
+
+val repair_tick : t -> unit
+(** One pass of the refresh-repair loop (reliable mode): for every live
+    subscriber whose applied watermark lags the log head {e and} made no
+    progress since the previous tick, re-send (up to a cap) its un-acked
+    log suffix as a refresh batch. Receivers dedup by version, so
+    over-delivery is harmless; delivery still traverses the (lossy)
+    network. *)
+
+val retransmits : t -> int
+(** Repair re-sends performed (monotonic). *)
 
 val decisions : t -> int * int
 (** (commits, aborts) decided since creation. *)
@@ -165,3 +200,8 @@ val failover : t -> unit
 
 val failovers : t -> int
 (** Number of failovers performed. *)
+
+val set_faults : t -> Sim.Faults.t -> unit
+(** Attach the cluster's fault plan: the certifier consults
+    {!Sim.Faults.slowdown} (keyed by [Config.node_certifier]) on every
+    service time, modelling gray failure of the certifier host. *)

@@ -16,16 +16,47 @@ let spawn cluster ~sid ~rng workload =
           Obs.Registry.incr
             (Obs.Registry.counter (Cluster.registry cluster) "txn.retry_exhausted")
         in
-        let rec attempt tries =
+        (* Capped jittered exponential backoff before retry number
+           [tries] (1-based). With the base at 0 (the default) there is
+           no sleep and no RNG draw — the retry loop is event-identical
+           to the original immediate-retry behaviour. *)
+        let backoff tries =
+          let base = cfg.Config.retry_backoff_ms in
+          if base > 0.0 then begin
+            let cap = Float.max base cfg.Config.retry_backoff_max_ms in
+            let d = Float.min cap (base *. (2.0 ** float_of_int (tries - 1))) in
+            (* ±50% jitter decorrelates colliding retries. *)
+            let jittered = d *. (0.5 +. Util.Rng.float rng 1.0) in
+            Sim.Process.sleep engine jittered
+          end
+        in
+        (* Abort-reason-aware give-up: certification losses consume the
+           retry budget (the workload is conflicting with itself —
+           backing off and eventually giving up sheds contention);
+           failure-class aborts (replica crash, timeout) are the
+           cluster's fault and retry — with backoff — until the cluster
+           heals, so committed work is never abandoned to a transient
+           outage. Statement errors are permanent and never retried. *)
+        (* [tries] is the conflict budget; [total] counts every retry and
+           drives the backoff exponent (so repeated transient failures
+           still back off exponentially). *)
+        let rec attempt ~tries ~total =
           match Cluster.submit cluster ~sid request with
           | Transaction.Committed _ -> ()
           | Transaction.Aborted { reason = Transaction.Statement_error _; _ } ->
             (* A logic error in the workload; retrying cannot help. *)
             give_up ()
+          | Transaction.Aborted { reason; _ } when Transaction.abort_is_transient reason ->
+            backoff (total + 1);
+            attempt ~tries ~total:(total + 1)
           | Transaction.Aborted _ ->
-            if tries < cfg.Config.max_retries then attempt (tries + 1) else give_up ()
+            if tries < cfg.Config.max_retries then begin
+              backoff (total + 1);
+              attempt ~tries:(tries + 1) ~total:(total + 1)
+            end
+            else give_up ()
         in
-        attempt 0;
+        attempt ~tries:0 ~total:0;
         loop ()
       in
       loop ())

@@ -8,6 +8,7 @@ type t = {
   cfg : Config.t;
   rng : Util.Rng.t;
   network : Sim.Network.t;
+  faults : Sim.Faults.t option;
   certifier : Certifier.t;
   lb : Load_balancer.t;
   replicas : Replica.t array;
@@ -19,6 +20,12 @@ type t = {
   c_abort : Obs.Registry.counter;
   mutable next_tid : int;
   mutable log : Check.Runlog.record list;  (* reversed *)
+  (* monotonic-counter cursors for mirroring deltas into Metrics *)
+  mutable seen_net_retransmits : int;
+  mutable seen_cert_retransmits : int;
+  mutable seen_suspects : int;
+  mutable seen_failovers : int;
+  mutable reprovisions : int;
 }
 
 let request_bytes (req : Transaction.request) =
@@ -26,17 +33,88 @@ let request_bytes (req : Transaction.request) =
      plus parameters. *)
   64 + (List.length req.Transaction.statements * 48)
 
+let crash_replica t i =
+  Load_balancer.set_live t.lb ~replica:i false;
+  Certifier.mark_down t.certifier ~replica:i;
+  Replica.crash t.replicas.(i)
+
+let recover_replica t i =
+  let r = t.replicas.(i) in
+  (* A replica evicted from the certifier's watermark table lost its
+     position in the refresh stream: rejoin is forced through state
+     transfer even if the log happens to retain its suffix. *)
+  let replay =
+    if Certifier.needs_state_transfer t.certifier ~replica:i then None
+    else Certifier.writesets_from t.certifier (Replica.v_local r)
+  in
+  (match replay with
+  | Some missed -> Replica.recover r ~missed
+  | None ->
+    (* The outage outlived the certifier's pruned log: state-transfer a
+       checkpoint from the freshest live peer, then replay the residual
+       log suffix. *)
+    let donor =
+      Array.fold_left
+        (fun best candidate ->
+          let id = Replica.id candidate in
+          if id <> i && Load_balancer.is_live t.lb ~replica:id then
+            match best with
+            | Some b when Replica.v_local b >= Replica.v_local candidate -> best
+            | Some _ | None -> Some candidate
+          else best)
+        None t.replicas
+    in
+    (match donor with
+    | None -> failwith "Cluster.recover_replica: no live donor for state transfer"
+    | Some donor ->
+      Replica.state_transfer r ~snapshot:(Replica.checkpoint donor);
+      let missed =
+        Option.value
+          (Certifier.writesets_from t.certifier (Replica.v_local r))
+          ~default:[]
+      in
+      Replica.recover r ~missed));
+  Certifier.mark_up ~applied:(Replica.v_local r) t.certifier ~replica:i;
+  (* Manual recovery counts as contact: without it the detector's next
+     sweep would still see [Dead] and mark the replica down again. *)
+  Load_balancer.note_contact t.lb ~replica:i ~now:(Sim.Engine.now t.engine);
+  if t.cfg.Config.reliable then
+    (* [Replica.recover] only enqueues the missed suffix; the sequencer
+       applies it over virtual time. Routing to the replica before it
+       catches up would serve stale snapshots (fatal in eager mode, where
+       clients don't wait on a start version), so publish it to the LB
+       only once it reaches the certifier's version as of now. New
+       commits already wait on it — [mark_up] above re-added it to the
+       ack set — so the target is a fixed post. *)
+    let target = Certifier.version t.certifier in
+    Sim.Process.spawn t.engine (fun () ->
+        (match Replica.await_version r target with Ok () | Error _ -> ());
+        if not (Replica.is_crashed r) then begin
+          Load_balancer.set_live t.lb ~replica:i true;
+          Load_balancer.note_contact t.lb ~replica:i ~now:(Sim.Engine.now t.engine)
+        end)
+  else Load_balancer.set_live t.lb ~replica:i true
+
+let crash_certifier t = Certifier.crash t.certifier
+
+let failover_certifier t = Certifier.failover t.certifier
+
 let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_536)
-    ~mode ~schemas ~load () =
+    ?faults ~mode ~schemas ~load () =
   let engine = Sim.Engine.create () in
   (* The cluster owns the engine, so it also owns the trace context. *)
   let obs = if tracing then Some (Obs.Trace.create ~capacity:trace_capacity engine) else None in
   let rng = Util.Rng.create config.Config.seed in
   let metrics = Metrics.create engine in
   let network =
-    Sim.Network.create engine ~rng:(Util.Rng.split rng) ~base_ms:config.Config.net_base_ms
-      ~jitter_ms:config.Config.net_jitter_ms ~bandwidth_mbps:config.Config.net_bandwidth_mbps
+    Sim.Network.create engine ~rto_ms:config.Config.rto_ms ~rng:(Util.Rng.split rng)
+      ~base_ms:config.Config.net_base_ms ~jitter_ms:config.Config.net_jitter_ms
+      ~bandwidth_mbps:config.Config.net_bandwidth_mbps
   in
+  (* The fault plan owns its own RNG (seeded independently of the cluster
+     RNG chain), so attaching an all-clean plan perturbs nothing. *)
+  let faults = Option.map (fun build -> (build engine : Sim.Faults.t)) faults in
+  (match faults with Some f -> Sim.Network.set_faults network f | None -> ());
   let certifier =
     Certifier.create ?obs ~metrics engine config ~rng:(Util.Rng.split rng) ~network ~mode
   in
@@ -49,12 +127,28 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
         Replica.create ?obs ~metrics engine config ~rng:(Util.Rng.split rng) ~id db)
   in
   let registry = Obs.Registry.create () in
+  (match faults with
+  | None -> ()
+  | Some f ->
+    Certifier.set_faults certifier f;
+    Array.iter (fun r -> Replica.set_faults r f) replicas;
+    (* Every injected fault becomes a metric and a registry counter. *)
+    Sim.Faults.on_event f (fun ev ->
+        let kind, name =
+          match ev with
+          | Sim.Faults.Dropped _ -> (`Drop, "fault.drop")
+          | Sim.Faults.Duplicated _ -> (`Duplicate, "fault.duplicate")
+          | Sim.Faults.Delayed _ -> (`Delay, "fault.delay")
+        in
+        Metrics.note_fault metrics kind;
+        Obs.Registry.incr (Obs.Registry.counter registry name)));
   let t =
     {
       engine;
       cfg = config;
       rng;
       network;
+      faults;
       certifier;
       lb;
       replicas;
@@ -66,6 +160,11 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
       c_abort = Obs.Registry.counter registry "txn.abort";
       next_tid = 0;
       log = [];
+      seen_net_retransmits = 0;
+      seen_cert_retransmits = 0;
+      seen_suspects = 0;
+      seen_failovers = 0;
+      reprovisions = 0;
     }
   in
   Array.iter
@@ -74,7 +173,12 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
       Certifier.subscribe certifier ~replica:id (fun batch ->
           Replica.receive_refresh_batch replica batch);
       Replica.set_on_commit replica (fun ~version ->
-          Certifier.ack certifier ~replica:id ~version);
+          if config.Config.reliable then
+            (* The commit ack rides the (lossy) network; a lost ack is
+               eventually covered by a heartbeat's cumulative watermark. *)
+            Sim.Network.send network ~src:id ~dst:Config.node_certifier ~size_bytes:24
+              (fun () -> Certifier.ack certifier ~replica:id ~version)
+          else Certifier.ack certifier ~replica:id ~version);
       Replica.start replica)
     replicas;
   if config.Config.gc_interval_ms > 0.0 then
@@ -102,6 +206,108 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
           loop ()
         in
         loop ());
+  if config.Config.reliable then begin
+    (* Replica heartbeats: liveness + cumulative applied watermark, to
+       both the failure detector (LB) and the certifier, over the lossy
+       network — a lost heartbeat is just silence until the next one. *)
+    if config.Config.heartbeat_ms > 0.0 then
+      Array.iter
+        (fun r ->
+          let id = Replica.id r in
+          Sim.Process.spawn engine (fun () ->
+              let rec loop () =
+                Sim.Process.sleep engine config.Config.heartbeat_ms;
+                if not (Replica.is_crashed r) then begin
+                  let v = Replica.v_local r in
+                  Sim.Network.send network ~src:id ~dst:Config.node_lb ~size_bytes:16
+                    (fun () ->
+                      Load_balancer.note_contact lb ~replica:id
+                        ~now:(Sim.Engine.now engine));
+                  Sim.Network.send network ~src:id ~dst:Config.node_certifier
+                    ~size_bytes:16 (fun () ->
+                      Certifier.heartbeat certifier ~replica:id ~applied:v)
+                end;
+                loop ()
+              in
+              loop ()))
+        replicas;
+    (* Failure-detector sweep + certifier live-set reconciliation. *)
+    Sim.Process.spawn engine (fun () ->
+        let interval = Float.max 1.0 (config.Config.suspect_after_ms /. 4.0) in
+        let rec loop () =
+          Sim.Process.sleep engine interval;
+          let now = Sim.Engine.now engine in
+          Load_balancer.sweep lb ~now;
+          (* Mirror detector transitions into metrics/registry. *)
+          let suspects = Load_balancer.suspect_events lb in
+          for _ = t.seen_suspects + 1 to suspects do
+            Metrics.note_suspect metrics;
+            Obs.Registry.incr (Obs.Registry.counter registry "detector.suspect")
+          done;
+          t.seen_suspects <- suspects;
+          let failovers = Load_balancer.failover_events lb in
+          for _ = t.seen_failovers + 1 to failovers do
+            Metrics.note_failover metrics;
+            Obs.Registry.incr (Obs.Registry.counter registry "detector.dead")
+          done;
+          t.seen_failovers <- failovers;
+          (* Mirror retransmission work (stop-and-wait re-sends plus the
+             certifier's refresh repair) as deltas. *)
+          let net_retx = Sim.Network.retransmits network in
+          Metrics.note_retransmits metrics (net_retx - t.seen_net_retransmits);
+          t.seen_net_retransmits <- net_retx;
+          let cert_retx = Certifier.retransmits certifier in
+          Metrics.note_retransmits metrics (cert_retx - t.seen_cert_retransmits);
+          t.seen_cert_retransmits <- cert_retx;
+          Array.iter
+            (fun r ->
+              let id = Replica.id r in
+              match Load_balancer.health lb ~replica:id with
+              | Load_balancer.Dead ->
+                if Certifier.is_marked_live certifier ~replica:id then
+                  (* Stop gating eager commit and log GC on a corpse; a
+                     wrongly-declared death heals on next contact. *)
+                  Certifier.mark_down certifier ~replica:id
+              | Load_balancer.Suspect -> ()
+              | Load_balancer.Alive ->
+                if
+                  (not (Replica.is_crashed r))
+                  && Load_balancer.is_live lb ~replica:id
+                  && not (Certifier.is_marked_live certifier ~replica:id)
+                then
+                  if
+                    Certifier.needs_state_transfer certifier ~replica:id
+                    || Certifier.log_base certifier > Replica.v_local r
+                  then begin
+                    (* Back in contact but beyond log repair (evicted, or
+                       the log was truncated past its position):
+                       reprovision via checkpoint state transfer. *)
+                    t.reprovisions <- t.reprovisions + 1;
+                    Metrics.note_failover metrics;
+                    Obs.Registry.incr
+                      (Obs.Registry.counter registry "detector.reprovision");
+                    crash_replica t id;
+                    recover_replica t id
+                  end
+                  else
+                    (* Plain rejoin: repair resends the missing suffix. *)
+                    Certifier.mark_up ~applied:(Replica.v_local r) certifier
+                      ~replica:id)
+            replicas;
+          loop ()
+        in
+        loop ());
+    (* Certifier refresh repair: re-send un-acked suffixes to stalled
+       replicas (delivery is idempotent at the receiver). *)
+    if config.Config.retransmit_ms > 0.0 then
+      Sim.Process.spawn engine (fun () ->
+          let rec loop () =
+            Sim.Process.sleep engine config.Config.retransmit_ms;
+            Certifier.repair_tick certifier;
+            loop ()
+          in
+          loop ())
+  end;
   t
 
 let engine t = t.engine
@@ -114,6 +320,9 @@ let replica t i = t.replicas.(i)
 let rng t = Util.Rng.split t.rng
 let trace t = t.obs
 let registry t = t.registry
+let network t = t.network
+let faults t = t.faults
+let reprovisions t = t.reprovisions
 
 (* --- telemetry ----------------------------------------------------- *)
 
@@ -146,7 +355,34 @@ let update_gauges t =
     (float_of_int (Certifier.min_watermark t.certifier));
   Obs.Registry.set
     (Obs.Registry.gauge t.registry "certifier.index_size")
-    (float_of_int (Certifier.index_size t.certifier))
+    (float_of_int (Certifier.index_size t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "net.retransmits")
+    (float_of_int (Sim.Network.retransmits t.network));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.retransmits")
+    (float_of_int (Certifier.retransmits t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.evictions")
+    (float_of_int (Certifier.evictions t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "lb.suspects")
+    (float_of_int (Load_balancer.suspect_events t.lb));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "lb.failovers")
+    (float_of_int (Load_balancer.failover_events t.lb));
+  match t.faults with
+  | None -> ()
+  | Some f ->
+    Obs.Registry.set
+      (Obs.Registry.gauge t.registry "faults.drops")
+      (float_of_int (Sim.Faults.drops f));
+    Obs.Registry.set
+      (Obs.Registry.gauge t.registry "faults.duplicates")
+      (float_of_int (Sim.Faults.duplicates f));
+    Obs.Registry.set
+      (Obs.Registry.gauge t.registry "faults.delays")
+      (float_of_int (Sim.Faults.delays f))
 
 let attach_probes t sampler =
   Array.iteri
@@ -167,6 +403,13 @@ let attach_probes t sampler =
       float_of_int (Certifier.min_watermark t.certifier));
   Obs.Sampler.add sampler ~name:"certifier.index_size" (fun () ->
       float_of_int (Certifier.index_size t.certifier));
+  Obs.Sampler.add sampler ~name:"net.retransmits" (fun () ->
+      float_of_int (Sim.Network.retransmits t.network));
+  (match t.faults with
+  | None -> ()
+  | Some f ->
+    Obs.Sampler.add sampler ~name:"faults.drops" (fun () ->
+        float_of_int (Sim.Faults.drops f)));
   (* Keep the registry's gauges fresh on the same cadence. *)
   Obs.Sampler.add sampler ~name:"v_system" (fun () ->
       update_gauges t;
@@ -207,11 +450,19 @@ let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~table_set ~
 (* Response path shared by every outcome: replica -> LB -> client, with
    the LB's bookkeeping in between. *)
 let respond t ~replica_id ~ack_bytes ~on_lb =
-  Sim.Network.transfer t.network ~size_bytes:ack_bytes;
+  (* Response legs are persistent transfers: once the replica holds a
+     decision the client-visible outcome must eventually arrive, or a
+     committed write would be reported lost. *)
+  Sim.Network.transfer t.network ~src:replica_id ~dst:Config.node_lb
+    ~size_bytes:ack_bytes;
   Sim.Process.sleep t.engine t.cfg.Config.lb_ms;
+  if t.cfg.Config.reliable then
+    Load_balancer.note_contact t.lb ~replica:replica_id
+      ~now:(Sim.Engine.now t.engine);
   Load_balancer.note_complete t.lb ~replica:replica_id;
   on_lb ();
-  Sim.Network.transfer t.network ~size_bytes:ack_bytes
+  Sim.Network.transfer t.network ~src:Config.node_lb ~dst:Config.node_client
+    ~size_bytes:ack_bytes
 
 let submit t ~sid (req : Transaction.request) =
   let begin_time = Sim.Engine.now t.engine in
@@ -220,8 +471,37 @@ let submit t ~sid (req : Transaction.request) =
   (* The stage clock: feeds both the aggregate breakdown and, when the
      cluster was created with [~tracing:true], the transaction's spans. *)
   let mtxn = Metrics.txn_begin ?obs:t.obs ~sid ~name:req.Transaction.profile t.metrics in
+  let now () = Sim.Engine.now t.engine in
+  (* Request legs carry no server-side side effect yet, so they may give
+     up after a bounded number of retransmissions and surface a Timeout
+     abort (the client retries with backoff). Without [reliable] the leg
+     is the classic single exactly-once transfer. *)
+  let leg_req ~src ~dst ~size_bytes =
+    if t.cfg.Config.reliable then
+      Sim.Network.transfer_bounded t.network ~src ~dst ~size_bytes
+        ~max_tries:t.cfg.Config.max_retransmits
+    else begin
+      Sim.Network.transfer t.network ~src ~dst ~size_bytes;
+      Ok ()
+    end
+  in
+  let abort_unrouted reason =
+    Metrics.txn_abort mtxn
+      ~slug:(Transaction.abort_slug reason)
+      ~reason:(Format.asprintf "%a" Transaction.pp_abort_reason reason);
+    Obs.Registry.incr t.c_abort;
+    Log.debug (fun m ->
+        m "[%.3f] T%d aborted before dispatch: %a" (now ()) tid
+          Transaction.pp_abort_reason reason);
+    Transaction.Aborted { reason; response_ms = now () -. begin_time }
+  in
   (* Client -> load balancer. *)
-  Sim.Network.transfer t.network ~size_bytes:(request_bytes req);
+  match
+    leg_req ~src:Config.node_client ~dst:Config.node_lb
+      ~size_bytes:(request_bytes req)
+  with
+  | Error `Timeout -> abort_unrouted Transaction.Timeout
+  | Ok () ->
   Sim.Process.sleep t.engine t.cfg.Config.lb_ms;
   let replica_id = Load_balancer.choose_replica t.lb ~sid in
   let replica = t.replicas.(replica_id) in
@@ -235,8 +515,17 @@ let submit t ~sid (req : Transaction.request) =
       ());
   Metrics.txn_locate mtxn ~replica:replica_id;
   (* Load balancer -> replica. *)
-  Sim.Network.transfer t.network ~size_bytes:(request_bytes req);
-  let now () = Sim.Engine.now t.engine in
+  match
+    leg_req ~src:Config.node_lb ~dst:replica_id ~size_bytes:(request_bytes req)
+  with
+  | Error `Timeout ->
+    (* The replica never saw the request; undo the dispatch count and
+       answer the client directly from the LB. *)
+    Load_balancer.note_complete t.lb ~replica:replica_id;
+    Sim.Network.transfer t.network ~src:Config.node_lb ~dst:Config.node_client
+      ~size_bytes:32;
+    abort_unrouted Transaction.Timeout
+  | Ok () ->
   Log.debug (fun m ->
       m "[%.3f] T%d (session %d, %s) -> replica %d, start version %d" begin_time tid sid
         req.Transaction.profile replica_id v_start);
@@ -244,6 +533,7 @@ let submit t ~sid (req : Transaction.request) =
     if finish then Replica.finish_txn replica ~tid;
     respond t ~replica_id ~ack_bytes:32 ~on_lb:(fun () -> ());
     Metrics.txn_abort mtxn
+      ~slug:(Transaction.abort_slug reason)
       ~reason:(Format.asprintf "%a" Transaction.pp_abort_reason reason);
     Obs.Registry.incr t.c_abort;
     Log.debug (fun m ->
@@ -252,7 +542,12 @@ let submit t ~sid (req : Transaction.request) =
   in
   (* Stage: version — the synchronization start delay. *)
   Metrics.stage_enter mtxn Metrics.Version;
-  match Replica.await_version replica v_start with
+  let deadline =
+    if t.cfg.Config.start_wait_timeout_ms > 0.0 then
+      Some (now () +. t.cfg.Config.start_wait_timeout_ms)
+    else None
+  in
+  match Replica.await_version ?deadline replica v_start with
   | Error reason -> abort ~finish:false reason
   | Ok () -> (
     Metrics.stage_exit mtxn Metrics.Version;
@@ -286,7 +581,8 @@ let submit t ~sid (req : Transaction.request) =
         Replica.commit_read_only replica txn;
         Metrics.stage_exit mtxn Metrics.Commit;
         Replica.finish_txn replica ~tid;
-        respond t ~replica_id ~ack_bytes:64 ~on_lb:(fun () -> ());
+        respond t ~replica_id ~ack_bytes:64 ~on_lb:(fun () ->
+            Load_balancer.note_snapshot_ack t.lb ~sid ~snapshot);
         let response_ms = now () -. begin_time in
         let stages = Metrics.txn_stages mtxn in
         Metrics.txn_commit mtxn ~read_only:true;
@@ -299,7 +595,11 @@ let submit t ~sid (req : Transaction.request) =
         (* Stage: certify — round trip to the certifier. *)
         Metrics.stage_enter mtxn Metrics.Certify;
         let ws_bytes = Storage.Codec.writeset_bytes ws + 64 in
-        Sim.Network.transfer t.network ~size_bytes:ws_bytes;
+        match
+          leg_req ~src:replica_id ~dst:Config.node_certifier ~size_bytes:ws_bytes
+        with
+        | Error `Timeout -> abort Transaction.Timeout
+        | Ok () ->
         let trace =
           Option.map
             (fun id -> (id, Metrics.txn_root_span mtxn))
@@ -309,7 +609,10 @@ let submit t ~sid (req : Transaction.request) =
           Certifier.certify ?trace ~applied:(Replica.v_local replica) t.certifier
             ~origin:replica_id ~snapshot ~ws
         in
-        Sim.Network.transfer t.network ~size_bytes:32;
+        (* The decision leg is persistent: once certified, the outcome
+           is durable at the certifier and must reach the replica. *)
+        Sim.Network.transfer t.network ~src:Config.node_certifier ~dst:replica_id
+          ~size_bytes:32;
         Metrics.stage_exit mtxn Metrics.Certify;
         match decision with
         | Certifier.Abort -> abort Transaction.Certification_conflict
@@ -361,43 +664,3 @@ let run_for t ~warmup_ms ~measure_ms =
 
 let records t = List.rev t.log
 
-let crash_replica t i =
-  Load_balancer.set_live t.lb ~replica:i false;
-  Certifier.mark_down t.certifier ~replica:i;
-  Replica.crash t.replicas.(i)
-
-let recover_replica t i =
-  let r = t.replicas.(i) in
-  (match Certifier.writesets_from t.certifier (Replica.v_local r) with
-  | Some missed -> Replica.recover r ~missed
-  | None ->
-    (* The outage outlived the certifier's pruned log: state-transfer a
-       checkpoint from the freshest live peer, then replay the residual
-       log suffix. *)
-    let donor =
-      Array.fold_left
-        (fun best candidate ->
-          let id = Replica.id candidate in
-          if id <> i && Load_balancer.is_live t.lb ~replica:id then
-            match best with
-            | Some b when Replica.v_local b >= Replica.v_local candidate -> best
-            | Some _ | None -> Some candidate
-          else best)
-        None t.replicas
-    in
-    (match donor with
-    | None -> failwith "Cluster.recover_replica: no live donor for state transfer"
-    | Some donor ->
-      Replica.state_transfer r ~snapshot:(Replica.checkpoint donor);
-      let missed =
-        Option.value
-          (Certifier.writesets_from t.certifier (Replica.v_local r))
-          ~default:[]
-      in
-      Replica.recover r ~missed));
-  Certifier.mark_up t.certifier ~replica:i;
-  Load_balancer.set_live t.lb ~replica:i true
-
-let crash_certifier t = Certifier.crash t.certifier
-
-let failover_certifier t = Certifier.failover t.certifier

@@ -13,6 +13,7 @@ val create :
   ?config:Config.t ->
   ?tracing:bool ->
   ?trace_capacity:int ->
+  ?faults:(Sim.Engine.t -> Sim.Faults.t) ->
   mode:Consistency.mode ->
   schemas:Storage.Schema.t list ->
   load:(Storage.Database.t -> unit) ->
@@ -25,7 +26,16 @@ val create :
     With [~tracing:true] (default [false]) the cluster owns an
     {!Obs.Trace.t} and every component emits spans into it; virtual
     timings are unaffected (see {!Obs.Trace}). [trace_capacity] bounds
-    the span ring buffer (default 65536). *)
+    the span ring buffer (default 65536).
+
+    [faults] builds a {!Sim.Faults} plan against the cluster's engine;
+    the plan is attached to the network and to every component's
+    service-time model (gray slowdowns), and every injected fault event
+    is mirrored into {!metrics} and the {!registry}. The plan owns its
+    own RNG, so attaching an all-{!Sim.Faults.clean} plan leaves the
+    run's event stream bit-identical to no plan at all. Pair with
+    [Config.reliable] (see {!Config.hardened}) so the protocol actually
+    retransmits and detects failures under the plan. *)
 
 val engine : t -> Sim.Engine.t
 val config : t -> Config.t
@@ -36,6 +46,15 @@ val load_balancer : t -> Load_balancer.t
 val replica : t -> int -> Replica.t
 val rng : t -> Util.Rng.t
 (** A generator split from the cluster seed, for workload use. *)
+
+val network : t -> Sim.Network.t
+
+val faults : t -> Sim.Faults.t option
+(** The materialized fault plan, if the cluster was built with one. *)
+
+val reprovisions : t -> int
+(** Replicas re-seeded by checkpoint state transfer after the failure
+    detector saw them return from beyond log repair. *)
 
 (** {2 Observability} *)
 

@@ -44,7 +44,25 @@ type t = {
   gc_interval_ms : float;
   gc_window : int;
   watermark_slack : int;
+  retry_backoff_ms : float;
+  retry_backoff_max_ms : float;
+  reliable : bool;
+  rto_ms : float;
+  max_retransmits : int;
+  retransmit_ms : float;
+  heartbeat_ms : float;
+  suspect_after_ms : float;
+  dead_after_ms : float;
+  evict_after_ms : float;
+  start_wait_timeout_ms : float;
 }
+
+(* Fault-plan node ids: replicas use their index (>= 0); the other roles
+   get fixed negative ids so Sim.Faults link rules and partitions can
+   target them. *)
+let node_client = -4
+let node_lb = -3
+let node_certifier = -2
 
 let default =
   {
@@ -81,6 +99,25 @@ let default =
     gc_interval_ms = 10_000.0;
     gc_window = 1_000;
     watermark_slack = 1_000;
+    retry_backoff_ms = 0.0;
+    retry_backoff_max_ms = 50.0;
+    reliable = false;
+    rto_ms = 2.0;
+    max_retransmits = 8;
+    retransmit_ms = 30.0;
+    heartbeat_ms = 25.0;
+    suspect_after_ms = 80.0;
+    dead_after_ms = 400.0;
+    evict_after_ms = 5_000.0;
+    start_wait_timeout_ms = 0.0;
+  }
+
+let hardened c =
+  {
+    c with
+    reliable = true;
+    start_wait_timeout_ms = 300.0;
+    retry_backoff_ms = 0.5;
   }
 
 let tpcw =
@@ -109,9 +146,14 @@ let pp ppf c =
      commit: ro=%.2f upd=%.2f apply=%.2f+%.2f/row (ms)@,\
      certifier: %.2f+%.3f/row durability=%.2f index=%s (ms)@,\
      batching: cert_batch=%d apply_parallelism=%d@,\
-     jitter=%b retries=%d record_log=%b watermark_slack=%d@]"
+     jitter=%b retries=%d record_log=%b watermark_slack=%d@,\
+     reliable=%b rto=%.1fms max_retransmits=%d retransmit=%.0fms \
+     heartbeat=%.0fms suspect=%.0fms dead=%.0fms evict=%.0fms \
+     start_wait=%.0fms backoff=%.1f..%.0fms@]"
     c.replicas c.cpus_per_replica c.seed c.net_base_ms c.net_jitter_ms c.net_bandwidth_mbps
     c.lb_ms c.stmt_base_ms c.row_scan_ms c.row_read_ms c.row_write_ms c.ro_commit_ms
     c.commit_ms c.ws_apply_base_ms c.ws_apply_row_ms c.certify_base_ms c.certify_row_ms
     c.durability_ms (cert_index_name c.cert_index) c.cert_batch c.apply_parallelism
-    c.service_jitter c.max_retries c.record_log c.watermark_slack
+    c.service_jitter c.max_retries c.record_log c.watermark_slack c.reliable c.rto_ms
+    c.max_retransmits c.retransmit_ms c.heartbeat_ms c.suspect_after_ms c.dead_after_ms
+    c.evict_after_ms c.start_wait_timeout_ms c.retry_backoff_ms c.retry_backoff_max_ms

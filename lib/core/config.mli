@@ -115,7 +115,66 @@ type t = {
           ({!Certifier.gc}); the slack keeps certification of
           slightly-stale snapshots checkable and bounds how soon a
           briefly-lagging replica is forced into state transfer *)
+  (* fault tolerance under a lossy network (docs/FAULTS.md). Every knob
+     below defaults so that behaviour without a fault plan is
+     event-identical to the exactly-once protocol. *)
+  retry_backoff_ms : float;
+      (** client retry backoff base: after the [n]-th abort the client
+          sleeps [base * 2^n] ms (capped at [retry_backoff_max_ms]) with
+          ±50% jitter before retrying. 0 (the default) retries
+          immediately and draws no random numbers, preserving golden
+          behaviour. *)
+  retry_backoff_max_ms : float;  (** backoff cap *)
+  reliable : bool;
+      (** master switch for the hardened message layer: sequence-numbered
+          idempotent refresh delivery with certifier repair
+          (retransmission of the un-acked suffix), applied-watermark acks
+          and heartbeats carried over the (lossy) network, the
+          load-balancer failure detector, and bounded retransmission with
+          timeout aborts on the request legs of a transaction. Off (the
+          default), none of that machinery sends a single message. *)
+  rto_ms : float;
+      (** retransmission timeout of the stop-and-wait message exchanges *)
+  max_retransmits : int;
+      (** attempts before a request leg gives up with a {!Transaction.Timeout}
+          abort (response legs retransmit until healed — they carry
+          decisions that must not be lost) *)
+  retransmit_ms : float;
+      (** certifier repair interval: how often it rescans per-replica
+          applied watermarks and re-sends the un-acked refresh suffix to
+          replicas that made no progress; 0 disables *)
+  heartbeat_ms : float;
+      (** replica heartbeat period (to LB and certifier, piggybacking the
+          applied version); 0 disables *)
+  suspect_after_ms : float;
+      (** LB failure detector: silence before a replica is marked suspect
+          (deprioritized for routing; un-suspected on any contact) *)
+  dead_after_ms : float;
+      (** silence before the detector declares a replica dead: the LB
+          stops routing to it and the certifier removes it from the live
+          set (its watermark no longer gates eager commit or log GC) *)
+  evict_after_ms : float;
+      (** silence before the certifier evicts a dead replica's watermark
+          entirely so log/index GC cannot stall behind a corpse; an
+          evicted replica must state-transfer on rejoin; 0 disables *)
+  start_wait_timeout_ms : float;
+      (** bound on waiting for a replica to catch up to a transaction's
+          start version; on expiry the transaction aborts with
+          {!Transaction.Timeout} and the client retries elsewhere.
+          0 (the default) waits forever. *)
 }
+
+(** {2 Fault-plan node ids}
+
+    Node ids used to tag cluster traffic for {!Sim.Faults} link rules
+    and partitions: replicas are their index ([0 .. replicas-1]); the
+    singleton roles get fixed negative ids. *)
+
+val node_client : int
+
+val node_lb : int
+
+val node_certifier : int
 
 val default : t
 (** 8 replicas, 2 CPUs each, LAN latencies, service times calibrated so
@@ -135,5 +194,11 @@ val batched : t -> t
     and [apply_parallelism = cpus_per_replica]. Used by the batched
     experiment sweeps ([repro batch]); see docs/TUNING.md for the
     measured effect of each knob. *)
+
+val hardened : t -> t
+(** The fault-tolerant variant of a configuration: [reliable = true],
+    [start_wait_timeout_ms = 300], [retry_backoff_ms = 0.5]. This is the
+    configuration the chaos harness ([repro chaos]) runs under; see
+    docs/FAULTS.md. *)
 
 val pp : Format.formatter -> t -> unit

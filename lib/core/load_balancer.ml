@@ -1,9 +1,19 @@
+type status = Alive | Suspect | Dead
+
 type t = {
   cfg : Config.t;
   mode : Consistency.mode;
   rng : Util.Rng.t;
   active : int array;
   live : bool array;
+  (* heartbeat failure detector (docs/FAULTS.md): [health] overlays the
+     manual [live] switch and only ever changes via [note_contact] /
+     [sweep], so it stays all-[Alive] — and invisible — unless the
+     cluster runs the detector. *)
+  health : status array;
+  last_contact : float array;
+  mutable suspect_events : int;
+  mutable failover_events : int;
   mutable next_rr : int;
   mutable v_system : int;
   table_versions : (string, int) Hashtbl.t;
@@ -17,6 +27,10 @@ let create ?rng cfg ~mode =
     rng = (match rng with Some r -> r | None -> Util.Rng.create cfg.Config.seed);
     active = Array.make cfg.Config.replicas 0;
     live = Array.make cfg.Config.replicas true;
+    health = Array.make cfg.Config.replicas Alive;
+    last_contact = Array.make cfg.Config.replicas 0.0;
+    suspect_events = 0;
+    failover_events = 0;
     next_rr = 0;
     v_system = 0;
     table_versions = Hashtbl.create 64;
@@ -25,49 +39,96 @@ let create ?rng cfg ~mode =
 
 let mode t = t.mode
 
-let least_active t =
+let least_active t ok =
   let best = ref (-1) in
   for i = 0 to Array.length t.active - 1 do
-    if t.live.(i) && (!best < 0 || t.active.(i) < t.active.(!best)) then best := i
+    if ok i && (!best < 0 || t.active.(i) < t.active.(!best)) then best := i
   done;
   !best
 
-let round_robin t =
+let round_robin t ok =
   let n = Array.length t.active in
   let rec probe tries =
     if tries >= n then -1
     else begin
       let i = t.next_rr mod n in
       t.next_rr <- t.next_rr + 1;
-      if t.live.(i) then i else probe (tries + 1)
+      if ok i then i else probe (tries + 1)
     end
   in
   probe 0
 
-let random_replica t =
+let random_replica t ok =
   let n = Array.length t.active in
   let rec probe tries =
-    if tries >= 4 * n then least_active t  (* all-dead guard handled below *)
+    if tries >= 4 * n then least_active t ok  (* all-dead guard handled below *)
     else begin
       let i = Util.Rng.int t.rng n in
-      if t.live.(i) then i else probe (tries + 1)
+      if ok i then i else probe (tries + 1)
     end
   in
   probe 0
 
+let pick t ~sid ok =
+  match t.cfg.Config.routing with
+  | Config.Least_active -> least_active t ok
+  | Config.Round_robin -> round_robin t ok
+  | Config.Random_replica -> random_replica t ok
+  | Config.Session_affinity ->
+    let n = Array.length t.active in
+    let pinned = ((sid * 2654435761) lxor (sid lsr 5)) land max_int mod n in
+    if ok pinned then pinned else least_active t ok
+
 let choose_replica t ~sid =
+  (* Route around detector state in tiers: prefer replicas the detector
+     trusts, fall back to suspects, and only then to detector-dead (the
+     detector can be wrong — e.g. a partition local to the LB — but the
+     manual [live] switch cannot). In a run without the detector every
+     replica is [Alive] and the first tier reproduces the original
+     routing exactly. *)
+  let healthy i = t.live.(i) && t.health.(i) = Alive in
+  let not_dead i = t.live.(i) && t.health.(i) <> Dead in
+  let any_live i = t.live.(i) in
   let chosen =
-    match t.cfg.Config.routing with
-    | Config.Least_active -> least_active t
-    | Config.Round_robin -> round_robin t
-    | Config.Random_replica -> random_replica t
-    | Config.Session_affinity ->
-      let n = Array.length t.active in
-      let pinned = ((sid * 2654435761) lxor (sid lsr 5)) land max_int mod n in
-      if t.live.(pinned) then pinned else least_active t
+    let c = pick t ~sid healthy in
+    if c >= 0 then c
+    else
+      let c = pick t ~sid not_dead in
+      if c >= 0 then c else pick t ~sid any_live
   in
   if chosen < 0 then failwith "Load_balancer.choose_replica: no live replica";
   chosen
+
+(* --- Failure detector ----------------------------------------------- *)
+
+let note_contact t ~replica ~now =
+  if now > t.last_contact.(replica) then t.last_contact.(replica) <- now;
+  t.health.(replica) <- Alive
+
+let sweep t ~now =
+  let suspect_after = t.cfg.Config.suspect_after_ms in
+  let dead_after = t.cfg.Config.dead_after_ms in
+  for i = 0 to Array.length t.health - 1 do
+    let silence = now -. t.last_contact.(i) in
+    if dead_after > 0.0 && silence >= dead_after then begin
+      if t.health.(i) <> Dead then begin
+        t.failover_events <- t.failover_events + 1;
+        t.health.(i) <- Dead
+      end
+    end
+    else if suspect_after > 0.0 && silence >= suspect_after then begin
+      if t.health.(i) = Alive then begin
+        t.suspect_events <- t.suspect_events + 1;
+        t.health.(i) <- Suspect
+      end
+    end
+  done
+
+let health t ~replica = t.health.(replica)
+
+let suspect_events t = t.suspect_events
+
+let failover_events t = t.failover_events
 
 let note_dispatch t ~replica = t.active.(replica) <- t.active.(replica) + 1
 
@@ -101,6 +162,12 @@ let note_commit_ack t ~sid ~version ~tables_written =
       if version > table_version t table then Hashtbl.replace t.table_versions table version)
     tables_written;
   if version > session_version t ~sid then Hashtbl.replace t.session_versions sid version
+
+let note_snapshot_ack t ~sid ~snapshot =
+  (* Monotone-reads floor: only session mode consults the session table
+     for start versions, so only session mode pays for the entry. *)
+  if t.mode = Consistency.Session && snapshot > session_version t ~sid then
+    Hashtbl.replace t.session_versions sid snapshot
 
 let v_system t = t.v_system
 

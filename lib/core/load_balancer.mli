@@ -14,6 +14,13 @@
 
 type t
 
+(** Failure-detector verdict for a replica (see docs/FAULTS.md). The
+    detector is passive state: it only changes when the cluster feeds it
+    contacts ({!note_contact}) and runs {!sweep}; otherwise every
+    replica stays [Alive] and routing is exactly the classic
+    live-replica policy. *)
+type status = Alive | Suspect | Dead
+
 val create : ?rng:Util.Rng.t -> Config.t -> mode:Consistency.mode -> t
 (** The RNG is used only by the [Random_replica] routing policy. *)
 
@@ -24,7 +31,9 @@ val mode : t -> Consistency.mode
 val choose_replica : t -> sid:int -> int
 (** Pick a live replica per the configured routing policy (the paper's
     system uses least-active; the session id only matters for the
-    session-affinity policy). Raises [Failure] if none is live. *)
+    session-affinity policy), preferring detector-[Alive] replicas, then
+    suspects, then detector-dead-but-manually-live ones. Raises
+    [Failure] if none is live. *)
 
 val note_dispatch : t -> replica:int -> unit
 
@@ -35,6 +44,26 @@ val active : t -> replica:int -> int
 val set_live : t -> replica:int -> bool -> unit
 
 val is_live : t -> replica:int -> bool
+
+(** {2 Failure detector} *)
+
+val note_contact : t -> replica:int -> now:float -> unit
+(** Any message from the replica (heartbeat or transaction response):
+    refreshes its last-contact time and clears Suspect/Dead back to
+    [Alive] — contact always un-suspects. *)
+
+val sweep : t -> now:float -> unit
+(** Re-evaluate every replica against [Config.suspect_after_ms] /
+    [dead_after_ms] of silence, transitioning Alive → Suspect → Dead
+    (never back — only {!note_contact} resurrects). *)
+
+val health : t -> replica:int -> status
+
+val suspect_events : t -> int
+(** Alive → Suspect transitions observed (monotonic). *)
+
+val failover_events : t -> int
+(** Transitions into [Dead] observed (monotonic). *)
 
 (** {2 Version accounting} *)
 
@@ -47,6 +76,13 @@ val note_commit_ack :
 (** Called when relaying a successful update-commit response to the
     client: updates [V_system], the written tables' [V_t], and the
     session version. *)
+
+val note_snapshot_ack : t -> sid:int -> snapshot:int -> unit
+(** Called when relaying a read-only commit in session mode: raises the
+    session's version floor to the snapshot the client just observed, so
+    its next transaction never reads an older one (monotone reads even
+    when routed to a laggard replica). A no-op in the other modes — they
+    either guarantee it structurally or don't promise it. *)
 
 val v_system : t -> int
 

@@ -36,6 +36,15 @@ type t = {
   mutable apply_groups : int;
   mutable apply_group_txns : int;
   mutable apply_group_lanes : int;
+  (* per-reason abort breakdown (keys are Transaction.abort_slug values) *)
+  aborts_by_reason : (string, int) Hashtbl.t;
+  (* fault-injection and hardened-layer counters *)
+  mutable fault_drops : int;
+  mutable fault_duplicates : int;
+  mutable fault_delays : int;
+  mutable retransmits : int;
+  mutable suspects : int;
+  mutable failovers : int;
 }
 
 let create engine =
@@ -54,6 +63,13 @@ let create engine =
     apply_groups = 0;
     apply_group_txns = 0;
     apply_group_lanes = 0;
+    aborts_by_reason = Hashtbl.create 8;
+    fault_drops = 0;
+    fault_duplicates = 0;
+    fault_delays = 0;
+    retransmits = 0;
+    suspects = 0;
+    failovers = 0;
   }
 
 let reset_window t =
@@ -69,7 +85,14 @@ let reset_window t =
   t.cert_batched_txns <- 0;
   t.apply_groups <- 0;
   t.apply_group_txns <- 0;
-  t.apply_group_lanes <- 0
+  t.apply_group_lanes <- 0;
+  Hashtbl.reset t.aborts_by_reason;
+  t.fault_drops <- 0;
+  t.fault_duplicates <- 0;
+  t.fault_delays <- 0;
+  t.retransmits <- 0;
+  t.suspects <- 0;
+  t.failovers <- 0
 
 let note_cert_batch t ~size =
   t.cert_batches <- t.cert_batches + 1;
@@ -187,7 +210,37 @@ let record_commit t ~read_only ~stages ~response_ms =
     Array.iteri (fun i v -> t.stage_sums_update.(i) <- t.stage_sums_update.(i) +. v) stages
   end
 
-let record_abort t = t.aborted <- t.aborted + 1
+let record_abort ?slug t =
+  t.aborted <- t.aborted + 1;
+  match slug with
+  | None -> ()
+  | Some slug ->
+    let n = Option.value ~default:0 (Hashtbl.find_opt t.aborts_by_reason slug) in
+    Hashtbl.replace t.aborts_by_reason slug (n + 1)
+
+let aborts_by_reason t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.aborts_by_reason []
+  |> List.sort (fun (ka, a) (kb, b) ->
+         match compare (b : int) a with 0 -> compare ka kb | c -> c)
+
+let note_fault t kind =
+  match kind with
+  | `Drop -> t.fault_drops <- t.fault_drops + 1
+  | `Duplicate -> t.fault_duplicates <- t.fault_duplicates + 1
+  | `Delay -> t.fault_delays <- t.fault_delays + 1
+
+let note_retransmits t n = t.retransmits <- t.retransmits + n
+
+let note_suspect t = t.suspects <- t.suspects + 1
+
+let note_failover t = t.failovers <- t.failovers + 1
+
+let fault_drops t = t.fault_drops
+let fault_duplicates t = t.fault_duplicates
+let fault_delays t = t.fault_delays
+let retransmits t = t.retransmits
+let suspects t = t.suspects
+let failovers t = t.failovers
 
 let txn_commit ?(args = []) txn ~read_only =
   close_open_stage txn;
@@ -198,9 +251,9 @@ let txn_commit ?(args = []) txn ~read_only =
       ~args:(("outcome", if read_only then "committed_ro" else "committed") :: args)
   | _ -> ()
 
-let txn_abort txn ~reason =
+let txn_abort ?slug txn ~reason =
   close_open_stage txn;
-  record_abort txn.m;
+  record_abort ?slug txn.m;
   match (txn.obs, txn.root) with
   | Some tr, Some root ->
     Obs.Trace.finish tr root ~args:[ ("outcome", "aborted"); ("reason", reason) ]
@@ -248,4 +301,19 @@ let pp_summary ppf t =
   List.iter
     (fun s -> Format.fprintf ppf "%8s %.3fms@," (stage_name s) (mean_stage_ms t s))
     stages;
+  (match aborts_by_reason t with
+  | [] -> ()
+  | reasons ->
+    Format.fprintf ppf "aborts:";
+    List.iter (fun (slug, n) -> Format.fprintf ppf " %s=%d" slug n) reasons;
+    Format.fprintf ppf "@,");
+  if
+    t.fault_drops + t.fault_duplicates + t.fault_delays + t.retransmits + t.suspects
+    + t.failovers
+    > 0
+  then
+    Format.fprintf ppf
+      "faults: drops=%d dups=%d delays=%d retransmits=%d suspects=%d failovers=%d@,"
+      t.fault_drops t.fault_duplicates t.fault_delays t.retransmits t.suspects
+      t.failovers;
   Format.fprintf ppf "@]"

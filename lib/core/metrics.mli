@@ -22,7 +22,9 @@ val reset_window : t -> unit
 
 val record_commit : t -> read_only:bool -> stages:float array -> response_ms:float -> unit
 
-val record_abort : t -> unit
+val record_abort : ?slug:string -> t -> unit
+(** [slug] (a {!Transaction.abort_slug}) feeds the per-reason abort
+    breakdown. *)
 
 val record_retry_exhausted : t -> unit
 
@@ -94,8 +96,39 @@ val txn_commit : ?args:(string * string) list -> txn -> read_only:bool -> unit
 (** Close any open stage, record the commit (stages + response time) and
     finish the root span with an [outcome] arg. *)
 
-val txn_abort : txn -> reason:string -> unit
-(** Close any open stage, record the abort and finish the root span. *)
+val txn_abort : ?slug:string -> txn -> reason:string -> unit
+(** Close any open stage, record the abort and finish the root span.
+    [reason] is the human-readable form (span arg); [slug] the stable
+    identifier for the per-reason breakdown. *)
+
+(** {2 Fault accounting}
+
+    Counters fed by the cluster's fault-plan observer and hardened
+    message layer (docs/FAULTS.md); all zero in fault-free runs. *)
+
+val note_fault : t -> [ `Drop | `Duplicate | `Delay ] -> unit
+
+val note_retransmits : t -> int -> unit
+(** Add newly observed retransmissions (the cluster polls monotonic
+    network/certifier counters and reports deltas). *)
+
+val note_suspect : t -> unit
+(** The LB failure detector marked a replica suspect. *)
+
+val note_failover : t -> unit
+(** A replica was declared dead (routing failover), or reprovisioned. *)
+
+val fault_drops : t -> int
+
+val fault_duplicates : t -> int
+
+val fault_delays : t -> int
+
+val retransmits : t -> int
+
+val suspects : t -> int
+
+val failovers : t -> int
 
 (** {2 Reading results} *)
 
@@ -128,5 +161,9 @@ val sync_delay_ms : t -> float
 
 val abort_rate : t -> float
 (** Aborts / (commits + aborts); 0 when idle. *)
+
+val aborts_by_reason : t -> (string * int) list
+(** Abort counts keyed by {!Transaction.abort_slug}, most frequent
+    first; only aborts recorded with a slug appear. *)
 
 val pp_summary : Format.formatter -> t -> unit

@@ -29,6 +29,7 @@ type t = {
          index shape reused so early certification probes its statement
          keys instead of scanning every pending writeset *)
   mutable slow_until : float;  (* hiccup window end; service times inflate until then *)
+  mutable faults : Sim.Faults.t option;  (* gray-failure slowdown windows *)
   mutable on_commit : (version:int -> unit) option;
   mutable applied_refresh : int;
 }
@@ -52,6 +53,7 @@ let create ?obs ?metrics engine cfg ~rng ~id db =
     applying = [];
     pending_keys = Hashtbl.create 256;
     slow_until = neg_infinity;
+    faults = None;
     on_commit = None;
     applied_refresh = 0;
   }
@@ -66,13 +68,20 @@ let v_local t = Storage.Database.version t.db
 
 let is_crashed t = t.crashed
 
+let set_faults t faults = t.faults <- Some faults
+
 let service_time t base =
   let base =
     if t.cfg.Config.service_jitter then base *. Util.Rng.exponential t.rng ~mean:1.0
     else base
   in
-  if Sim.Engine.now t.engine < t.slow_until then base *. t.cfg.Config.hiccup_factor
-  else base
+  let base =
+    if Sim.Engine.now t.engine < t.slow_until then base *. t.cfg.Config.hiccup_factor
+    else base
+  in
+  match t.faults with
+  | None -> base
+  | Some f -> base *. Sim.Faults.slowdown f ~node:t.id
 
 (* Transient slowdown injector: independent per replica. *)
 let hiccups t () =
@@ -325,9 +334,23 @@ let start t =
   Sim.Process.spawn t.engine (sequencer t);
   if t.cfg.Config.hiccup_interval_ms > 0.0 then Sim.Process.spawn t.engine (hiccups t)
 
-let await_version t v =
-  Sim.Condition.await t.version_changed (fun () -> t.crashed || v_local t >= v);
-  if t.crashed then Error Transaction.Replica_failure else Ok ()
+let await_version ?deadline t v =
+  let expired () =
+    match deadline with Some d -> Sim.Engine.now t.engine >= d | None -> false
+  in
+  (* A waiter with a deadline needs a wakeup at the deadline even if no
+     version ever arrives; the scheduled broadcast is spurious for other
+     waiters (they re-check their predicate and re-suspend). *)
+  (match deadline with
+  | Some d when (not t.crashed) && v_local t < v ->
+    Sim.Engine.schedule t.engine ~delay:(Float.max 0.0 (d -. Sim.Engine.now t.engine))
+      (fun () -> Sim.Condition.broadcast t.version_changed)
+  | _ -> ());
+  Sim.Condition.await t.version_changed (fun () ->
+      t.crashed || v_local t >= v || expired ());
+  if t.crashed then Error Transaction.Replica_failure
+  else if v_local t >= v then Ok ()
+  else Error Transaction.Timeout
 
 let begin_txn t ~tid =
   let txn = Storage.Txn.begin_ t.db in
@@ -371,7 +394,20 @@ let exec_statement t txn stmt =
 let commit_local t ~version ~ws =
   let done_ = Sim.Ivar.create t.engine in
   if t.crashed then Sim.Ivar.fill done_ (Error Transaction.Replica_failure)
+  else if version <= v_local t then
+    (* The certifier's refresh-repair resend already carried (and the
+       sequencer applied) this version while our decision response was in
+       flight: the writeset is installed, the commit is done. Never
+       happens over the exactly-once network — repair is what races us. *)
+    Sim.Ivar.fill done_ (Ok (Sim.Engine.now t.engine))
   else begin
+    (match Hashtbl.find_opt t.slots version with
+    | Some (Refresh { ws = rws; _ }) ->
+      (* Same race, one step earlier: a repair resend queued our own
+         commit as a refresh. Reclaim the slot for the local commit (the
+         writesets are identical; the Local path fills [done_]). *)
+      remove_pending_keys t rws
+    | Some (Local _) | None -> ());
     Hashtbl.replace t.slots version (Local { ws; done_ });
     Sim.Condition.broadcast t.slot_arrived
   end;
@@ -384,16 +420,24 @@ let receive_refresh_batch t items =
   if not t.crashed then begin
     List.iter
       (fun (trace, version, ws) ->
-        (* Early certification: abort active local transactions whose
-           partial writesets conflict with an incoming refresh writeset. *)
-        if t.cfg.Config.early_certification then
-          Hashtbl.iter
-            (fun _ (txn, flag) ->
-              if (not !flag) && Storage.Writeset.conflicts (Storage.Txn.writeset txn) ws
-              then flag := true)
-            t.active;
-        if not (Hashtbl.mem t.slots version) then add_pending_keys t ws;
-        Hashtbl.replace t.slots version (Refresh { ws; trace }))
+        (* Dedup by version: the network may duplicate batches and the
+           certifier's repair loop re-sends un-acked suffixes, so any
+           version already applied (<= V_local) or already queued —
+           including our own pending Local commit, which a repair resend
+           must never clobber — is dropped here. Refresh delivery is
+           thereby idempotent; versions are the sequence numbers. *)
+        if version > v_local t && not (Hashtbl.mem t.slots version) then begin
+          (* Early certification: abort active local transactions whose
+             partial writesets conflict with an incoming refresh writeset. *)
+          if t.cfg.Config.early_certification then
+            Hashtbl.iter
+              (fun _ (txn, flag) ->
+                if (not !flag) && Storage.Writeset.conflicts (Storage.Txn.writeset txn) ws
+                then flag := true)
+              t.active;
+          add_pending_keys t ws;
+          Hashtbl.replace t.slots version (Refresh { ws; trace })
+        end)
       items;
     Sim.Condition.broadcast t.slot_arrived
   end

@@ -47,9 +47,13 @@ val is_crashed : t -> bool
 
 (** {2 Transaction-side operations (called from a transaction process)} *)
 
-val await_version : t -> int -> (unit, Transaction.abort_reason) result
+val await_version : ?deadline:float -> t -> int -> (unit, Transaction.abort_reason) result
 (** Block until [V_local >= v] (the synchronization start delay).
-    Returns [Error Replica_failure] if the replica crashes meanwhile. *)
+    Returns [Error Replica_failure] if the replica crashes meanwhile,
+    and [Error Timeout] if [deadline] (absolute virtual time) passes
+    first — the lossy-network guard against waiting on a version the
+    replica may never receive. No deadline = wait forever (the
+    exactly-once behaviour). *)
 
 val begin_txn : t -> tid:int -> Storage.Txn.t
 (** Start a local transaction on the current snapshot and register it
@@ -71,7 +75,11 @@ val exec_statement : t -> Storage.Txn.t -> Storage.Query.t -> Storage.Query.resu
 val commit_local : t -> version:int -> ws:Storage.Writeset.t -> local_commit Sim.Ivar.t
 (** Enqueue this transaction's commit at its certified version; the
     ivar fills when the sequencer has committed it locally (or the
-    replica crashed first). The wait is the paper's "sync" stage. *)
+    replica crashed first). The wait is the paper's "sync" stage.
+    Idempotent against the certifier's repair loop: if a repair resend
+    already delivered (or applied) this version as a refresh, the slot
+    is reclaimed (or the commit completes immediately) — the writesets
+    are identical. *)
 
 val commit_read_only : t -> Storage.Txn.t -> unit
 (** Local read-only commit: cheap, no certification. *)
@@ -83,9 +91,13 @@ val receive_refresh_batch : t -> (int option * int * Storage.Writeset.t) list ->
     transactions (called via the network; the {!Certifier.subscribe}
     callback). For each writeset: aborts conflicting active local
     transactions (early certification) and queues it for the sequencer.
-    The whole batch is dropped while crashed. How the queued writesets
-    are then applied — one at a time or as conflict-partitioned parallel
-    groups — is governed by [Config.apply_parallelism]. *)
+    Delivery is idempotent — versions are the sequence numbers, and any
+    version already applied or already queued (including a pending local
+    commit) is silently dropped, making duplicated batches and the
+    certifier's repair resends safe. The whole batch is dropped while
+    crashed. How the queued writesets are then applied — one at a time
+    or as conflict-partitioned parallel groups — is governed by
+    [Config.apply_parallelism]. *)
 
 val receive_refresh : ?trace:int -> t -> version:int -> ws:Storage.Writeset.t -> unit
 (** [receive_refresh_batch] of the singleton [(trace, version, ws)].
@@ -96,6 +108,12 @@ val set_on_commit : t -> (version:int -> unit) -> unit
 (** Hook invoked after every local apply/commit (used for eager acks). *)
 
 (** {2 Fault injection} *)
+
+val set_faults : t -> Sim.Faults.t -> unit
+(** Attach the cluster's fault plan: the replica consults
+    {!Sim.Faults.slowdown} (keyed by its id) on every service time,
+    modelling gray failure. Without slowdown windows this multiplies by
+    1.0 — behaviour is unchanged. *)
 
 val crash : t -> unit
 (** Fail-stop: aborts all in-flight local work and stops applying

@@ -8,6 +8,7 @@ type abort_reason =
   | Certification_conflict
   | Early_certification
   | Replica_failure
+  | Timeout
   | Statement_error of string
 
 type outcome =
@@ -34,7 +35,22 @@ let pp_abort_reason ppf = function
   | Certification_conflict -> Format.pp_print_string ppf "certification conflict"
   | Early_certification -> Format.pp_print_string ppf "early certification conflict"
   | Replica_failure -> Format.pp_print_string ppf "replica failure"
+  | Timeout -> Format.pp_print_string ppf "timeout"
   | Statement_error msg -> Format.fprintf ppf "statement error: %s" msg
+
+let abort_slug = function
+  | Certification_conflict -> "certification"
+  | Early_certification -> "early_certification"
+  | Replica_failure -> "replica_failure"
+  | Timeout -> "timeout"
+  | Statement_error _ -> "statement_error"
+
+(* Conflict-class aborts (certification) are the transaction's own fault
+   and consume the client's retry budget; failure-class aborts are the
+   cluster's fault and are retried until the cluster heals. *)
+let abort_is_transient = function
+  | Replica_failure | Timeout -> true
+  | Certification_conflict | Early_certification | Statement_error _ -> false
 
 let pp_outcome ppf = function
   | Committed { commit_version; snapshot; response_ms; _ } ->

@@ -14,6 +14,9 @@ type abort_reason =
   | Certification_conflict  (** certifier found a write-write conflict *)
   | Early_certification  (** conflict with a pending refresh writeset *)
   | Replica_failure  (** the executing replica crashed mid-flight *)
+  | Timeout  (** a hardened message exchange exhausted its retransmission
+          budget, or the replica never caught up to the start version
+          within [Config.start_wait_timeout_ms] (lossy-network mode) *)
   | Statement_error of string  (** e.g. duplicate-key insert *)
 
 type outcome =
@@ -37,5 +40,14 @@ val updates_possible : request -> bool
 (** Whether any statement may write. *)
 
 val pp_abort_reason : Format.formatter -> abort_reason -> unit
+
+val abort_slug : abort_reason -> string
+(** Short stable identifier for metrics breakdowns ("timeout",
+    "certification", ...); collapses [Statement_error] payloads. *)
+
+val abort_is_transient : abort_reason -> bool
+(** Failure-class aborts ([Replica_failure], [Timeout]) are retried
+    without consuming the client's [max_retries] budget — the conflict
+    budget is reserved for certification losses. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

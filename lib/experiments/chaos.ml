@@ -1,0 +1,260 @@
+let log_src = Logs.Src.create "repro.chaos" ~doc:"Seeded fault-schedule soak harness"
+
+module Log = (val Logs.src_log log_src)
+
+type plan = Clean | Lossy | Partitions | Gray | Mixed
+
+let all_plans = [ Clean; Lossy; Partitions; Gray; Mixed ]
+
+let plan_name = function
+  | Clean -> "clean"
+  | Lossy -> "lossy"
+  | Partitions -> "partitions"
+  | Gray -> "gray"
+  | Mixed -> "mixed"
+
+let plan_of_string = function
+  | "clean" -> Ok Clean
+  | "lossy" -> Ok Lossy
+  | "partitions" -> Ok Partitions
+  | "gray" -> Ok Gray
+  | "mixed" -> Ok Mixed
+  | s -> Error (Printf.sprintf "unknown fault plan %S (clean|lossy|partitions|gray|mixed)" s)
+
+(* Every schedule below is derived only from [seed] and [duration_ms]:
+   same inputs, same plan, bit for bit. All windows close by
+   [0.75 * duration], leaving a clean tail for the cluster to converge
+   in (the wedge check relies on it). *)
+let build_plan plan ~seed ~duration_ms ~replicas engine =
+  let f = Sim.Faults.create ~seed engine in
+  let frac a = a *. duration_ms in
+  (match plan with
+  | Clean -> ()
+  | Lossy ->
+    Sim.Faults.set_default f
+      (Sim.Faults.spec ~drop:0.03 ~duplicate:0.02 ~delay:0.03 ~delay_ms:15.0 ())
+  | Partitions ->
+    Sim.Faults.set_default f (Sim.Faults.spec ~drop:0.005 ());
+    (* Two replicas take turns being cut off from everyone. *)
+    Sim.Faults.partition f ~a:[ 0 ] ~b:[] ~from_ms:(frac 0.15) ~until_ms:(frac 0.3) ();
+    Sim.Faults.partition f
+      ~a:[ 1 mod replicas ]
+      ~b:[] ~from_ms:(frac 0.45) ~until_ms:(frac 0.6) ();
+    (* A partial (asymmetric) cut: replica 0 can send to the certifier
+       but hears nothing back. *)
+    Sim.Faults.partition f ~symmetric:false
+      ~a:[ Core.Config.node_certifier ]
+      ~b:[ 0 ] ~from_ms:(frac 0.65) ~until_ms:(frac 0.72) ()
+  | Gray ->
+    (* Gray failure: nothing is lost, but one replica and then the
+       certifier run several times slower than their cost model says. *)
+    Sim.Faults.slow f ~node:0 ~factor:5.0 ~from_ms:(frac 0.1) ~until_ms:(frac 0.35);
+    Sim.Faults.slow f ~node:Core.Config.node_certifier ~factor:3.0
+      ~from_ms:(frac 0.5) ~until_ms:(frac 0.65)
+  | Mixed ->
+    Sim.Faults.set_default f
+      (Sim.Faults.spec ~drop:0.02 ~duplicate:0.01 ~delay:0.02 ~delay_ms:10.0 ());
+    (* The certifier->replica refresh link is extra lossy: stresses
+       repair retransmission and receiver-side dedup. *)
+    Sim.Faults.set_link f ~src:Core.Config.node_certifier ~dst:Sim.Faults.any
+      (Sim.Faults.spec ~drop:0.08 ~duplicate:0.04 ~delay:0.02 ~delay_ms:10.0 ());
+    Sim.Faults.partition f ~a:[ 0 ] ~b:[] ~from_ms:(frac 0.2) ~until_ms:(frac 0.35) ();
+    Sim.Faults.slow f
+      ~node:(1 mod replicas)
+      ~factor:4.0 ~from_ms:(frac 0.4) ~until_ms:(frac 0.55);
+    Sim.Faults.script_drop f ~src:Sim.Faults.any ~dst:Core.Config.node_certifier
+      ~count:25);
+  f
+
+type result = {
+  mode : Core.Consistency.mode;
+  plan : plan;
+  seed : int;
+  committed : int;
+  aborted : int;
+  aborts_by_reason : (string * int) list;
+  violations : (string * int) list;
+  duplicate_commit_versions : int;
+  wedged : bool;
+  digest : string;
+  drops : int;
+  duplicates : int;
+  delays : int;
+  retransmits : int;
+  suspects : int;
+  failovers : int;
+  reprovisions : int;
+  evictions : int;
+}
+
+let ok r =
+  (not r.wedged)
+  && r.duplicate_commit_versions = 0
+  && List.for_all (fun (_, n) -> n = 0) r.violations
+
+(* The per-mode checker battery: first-committer-wins (no lost or
+   double-committed writes under GSI) always, plus the guarantee the
+   mode advertises. *)
+let checkers mode =
+  let fcw = ("first_committer_wins", Check.Runlog.first_committer_wins) in
+  match (mode : Core.Consistency.mode) with
+  | Core.Consistency.Eager | Core.Consistency.Coarse ->
+    [ fcw; ("strong_consistency", Check.Runlog.strong_consistency) ]
+  | Core.Consistency.Fine ->
+    [ fcw; ("fine_strong_consistency", Check.Runlog.fine_strong_consistency) ]
+  | Core.Consistency.Session ->
+    [
+      fcw;
+      ("session_consistency", Check.Runlog.session_consistency);
+      ("monotone_session_snapshots", Check.Runlog.monotone_session_snapshots);
+    ]
+  | Core.Consistency.Bounded k ->
+    [ fcw; ("bounded_staleness", Check.Runlog.bounded_staleness ~k) ]
+
+let count_duplicate_versions records =
+  let seen = Hashtbl.create 256 in
+  List.fold_left
+    (fun acc r ->
+      match r.Check.Runlog.commit_version with
+      | None -> acc
+      | Some v ->
+        if Hashtbl.mem seen v then acc + 1
+        else begin
+          Hashtbl.add seen v ();
+          acc
+        end)
+    0 records
+
+let default_params = { Workload.Microbench.tables = 4; rows = 200; update_types = 2 }
+
+let default_config ~seed =
+  Core.Config.hardened
+    {
+      Core.Config.default with
+      Core.Config.seed;
+      replicas = 3;
+      record_log = true;
+      hiccup_interval_ms = 0.0;
+    }
+
+let soak ?config ?(params = default_params) ?(clients = 12) ~mode ~plan ~seed
+    ~duration_ms () =
+  let config =
+    match config with
+    | Some c -> { c with Core.Config.seed; record_log = true }
+    | None -> default_config ~seed
+  in
+  let replicas = config.Core.Config.replicas in
+  let cluster =
+    Core.Cluster.create ~config
+      ~faults:(build_plan plan ~seed ~duration_ms ~replicas)
+      ~mode
+      ~schemas:(Workload.Microbench.schemas params)
+      ~load:(Workload.Microbench.load params)
+      ()
+  in
+  let engine = Core.Cluster.engine cluster in
+  (* The mixed schedule also exercises fail-stop: crash a replica during
+     the faulty window and bring it back before the drain tail. *)
+  if plan = Mixed && replicas > 1 then
+    Sim.Process.spawn engine (fun () ->
+        let victim = 2 mod replicas in
+        Sim.Process.sleep engine (0.45 *. duration_ms);
+        Core.Cluster.crash_replica cluster victim;
+        (* Long enough (at the default 2s duration) for the detector to
+           declare it dead before it returns. *)
+        Sim.Process.sleep engine (0.25 *. duration_ms);
+        Core.Cluster.recover_replica cluster victim);
+  Core.Client.spawn_many cluster ~n:clients ~first_sid:0
+    (Workload.Microbench.workload params);
+  Core.Cluster.run_for cluster ~warmup_ms:0.0 ~measure_ms:duration_ms;
+  (* Drain: every fault window has healed; a live cluster must keep
+     committing and every replica must catch up to where the certifier
+     stood at the start of the drain. Either failing means it wedged. *)
+  let metrics = Core.Cluster.metrics cluster in
+  let committed_before = Core.Metrics.committed metrics in
+  let cert_version_before = Core.Certifier.version (Core.Cluster.certifier cluster) in
+  Sim.Engine.run engine ~until:(Sim.Engine.now engine +. (0.5 *. duration_ms));
+  let progressed = Core.Metrics.committed metrics > committed_before in
+  let caught_up =
+    let up = ref true in
+    for i = 0 to replicas - 1 do
+      let r = Core.Cluster.replica cluster i in
+      if (not (Core.Replica.is_crashed r)) && Core.Replica.v_local r < cert_version_before
+      then up := false
+    done;
+    !up
+  in
+  let records = Core.Cluster.records cluster in
+  let violations =
+    List.map
+      (fun (name, check) ->
+        let vs = check records in
+        List.iteri
+          (fun i v ->
+            if i < 3 then
+              Format.eprintf "[chaos %s/%s/%d] %s: %a@."
+                (Core.Consistency.to_string mode)
+                (plan_name plan) seed name Check.Runlog.pp_violation v)
+          vs;
+        (name, List.length vs))
+      (checkers mode)
+  in
+  {
+    mode;
+    plan;
+    seed;
+    committed = Core.Metrics.committed metrics;
+    aborted = Core.Metrics.aborted metrics;
+    aborts_by_reason = Core.Metrics.aborts_by_reason metrics;
+    violations;
+    duplicate_commit_versions = count_duplicate_versions records;
+    wedged = not (progressed && caught_up);
+    digest = Check.Runlog.digest records;
+    drops = Core.Metrics.fault_drops metrics;
+    duplicates = Core.Metrics.fault_duplicates metrics;
+    delays = Core.Metrics.fault_delays metrics;
+    retransmits = Core.Metrics.retransmits metrics;
+    suspects = Core.Metrics.suspects metrics;
+    failovers = Core.Metrics.failovers metrics;
+    reprovisions = Core.Cluster.reprovisions cluster;
+    evictions = Core.Certifier.evictions (Core.Cluster.certifier cluster);
+  }
+
+let reproducible ?config ?params ?clients ~mode ~plan ~seed ~duration_ms () =
+  let once () = soak ?config ?params ?clients ~mode ~plan ~seed ~duration_ms () in
+  let a = once () and b = once () in
+  (a, String.equal a.digest b.digest)
+
+let pp_result ppf r =
+  let viol = List.fold_left (fun acc (_, n) -> acc + n) 0 r.violations in
+  Format.fprintf ppf
+    "%-7s %-10s seed=%-4d %s  committed=%-5d aborted=%-4d violations=%d%s%s  \
+     faults: drop=%d dup=%d delay=%d retx=%d suspects=%d failovers=%d reprov=%d \
+     evict=%d  digest=%s"
+    (Core.Consistency.to_string r.mode)
+    (plan_name r.plan) r.seed
+    (if ok r then "ok    " else "FAILED")
+    r.committed r.aborted viol
+    (if r.duplicate_commit_versions > 0 then
+       Printf.sprintf " dup_versions=%d" r.duplicate_commit_versions
+     else "")
+    (if r.wedged then " WEDGED" else "")
+    r.drops r.duplicates r.delays r.retransmits r.suspects r.failovers r.reprovisions
+    r.evictions
+    (String.sub r.digest 0 12)
+
+let soak_matrix ?config ?params ?clients ?(modes = Core.Consistency.all)
+    ?(plans = [ Mixed ]) ~seeds ~duration_ms () =
+  List.concat_map
+    (fun plan ->
+      List.concat_map
+        (fun mode ->
+          List.map
+            (fun seed ->
+              let r = soak ?config ?params ?clients ~mode ~plan ~seed ~duration_ms () in
+              Log.info (fun m -> m "%a" pp_result r);
+              r)
+            seeds)
+        modes)
+    plans

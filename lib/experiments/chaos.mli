@@ -1,0 +1,94 @@
+(** Seeded fault-schedule soak harness (docs/FAULTS.md).
+
+    Runs the hardened protocol ({!Core.Config.hardened}) under a named
+    deterministic fault plan, feeds the committed-transaction runlog to
+    the {!Check.Runlog} battery for the mode's consistency guarantee,
+    and verifies the cluster did not wedge: after every fault window
+    heals, commits must keep flowing and every live replica must catch
+    up to the certifier. Everything — the fault schedule, the workload,
+    the wedge drain — derives from [seed] and [duration_ms], so a run
+    is reproducible bit for bit ({!reproducible}). *)
+
+type plan =
+  | Clean  (** fault plan attached but all-clean: must match no plan at all *)
+  | Lossy  (** i.i.d. drop/duplicate/delay on every link *)
+  | Partitions  (** scheduled full and partial (asymmetric) partitions *)
+  | Gray  (** no message loss; replica and certifier slowdown windows *)
+  | Mixed
+      (** loss + an extra-lossy refresh link + partition + slowdown + a
+          scripted drop burst + one replica crash/recover cycle *)
+
+val all_plans : plan list
+
+val plan_name : plan -> string
+
+val plan_of_string : string -> (plan, string) result
+
+type result = {
+  mode : Core.Consistency.mode;
+  plan : plan;
+  seed : int;
+  committed : int;
+  aborted : int;
+  aborts_by_reason : (string * int) list;
+  violations : (string * int) list;  (** checker name, violation count *)
+  duplicate_commit_versions : int;
+      (** committed records sharing a commit version (must be 0) *)
+  wedged : bool;
+      (** true if the post-heal drain saw no commits, or a live replica
+          failed to reach the certifier's pre-drain version *)
+  digest : string;  (** {!Check.Runlog.digest} of the measured window *)
+  drops : int;
+  duplicates : int;
+  delays : int;
+  retransmits : int;
+  suspects : int;
+  failovers : int;
+  reprovisions : int;
+  evictions : int;
+}
+
+val ok : result -> bool
+(** No checker violations, no duplicate commit versions, not wedged. *)
+
+val soak :
+  ?config:Core.Config.t ->
+  ?params:Workload.Microbench.params ->
+  ?clients:int ->
+  mode:Core.Consistency.mode ->
+  plan:plan ->
+  seed:int ->
+  duration_ms:float ->
+  unit ->
+  result
+(** One soak run. [config] defaults to a hardened 3-replica cluster
+    with [record_log] on; [seed] overrides the config's seed so it
+    drives both the cluster and the fault plan. *)
+
+val reproducible :
+  ?config:Core.Config.t ->
+  ?params:Workload.Microbench.params ->
+  ?clients:int ->
+  mode:Core.Consistency.mode ->
+  plan:plan ->
+  seed:int ->
+  duration_ms:float ->
+  unit ->
+  result * bool
+(** Run the same soak twice; the boolean is whether the two runlog
+    digests were identical (the bit-reproducibility claim). *)
+
+val soak_matrix :
+  ?config:Core.Config.t ->
+  ?params:Workload.Microbench.params ->
+  ?clients:int ->
+  ?modes:Core.Consistency.mode list ->
+  ?plans:plan list ->
+  seeds:int list ->
+  duration_ms:float ->
+  unit ->
+  result list
+(** The full grid: every plan x mode x seed (defaults: the paper's four
+    modes under the [Mixed] plan). *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -4,12 +4,29 @@ type t = {
   base_ms : float;
   jitter_ms : float;
   bandwidth_mbps : float;
+  rto_ms : float;
+  mutable faults : Faults.t option;
   mutable messages : int;
   mutable bytes : int;
+  mutable retransmits : int;
 }
 
-let create engine ~rng ~base_ms ~jitter_ms ~bandwidth_mbps =
-  { engine; rng; base_ms; jitter_ms; bandwidth_mbps; messages = 0; bytes = 0 }
+let create ?(rto_ms = 5.0) engine ~rng ~base_ms ~jitter_ms ~bandwidth_mbps =
+  {
+    engine;
+    rng;
+    base_ms;
+    jitter_ms;
+    bandwidth_mbps;
+    rto_ms;
+    faults = None;
+    messages = 0;
+    bytes = 0;
+    retransmits = 0;
+  }
+
+let set_faults t faults = t.faults <- Some faults
+let faults t = t.faults
 
 let latency t ~size_bytes =
   let jitter = if t.jitter_ms > 0.0 then Util.Rng.float t.rng t.jitter_ms else 0.0 in
@@ -25,14 +42,75 @@ let record t size_bytes =
   t.messages <- t.messages + 1;
   t.bytes <- t.bytes + size_bytes
 
-let send t ~size_bytes callback =
-  record t size_bytes;
-  Engine.schedule t.engine ~delay:(latency t ~size_bytes) callback
+let unspecified = min_int
 
-let transfer t ~size_bytes =
-  record t size_bytes;
-  Process.sleep t.engine (latency t ~size_bytes)
+let judge t ~src ~dst =
+  match t.faults with None -> Faults.Deliver | Some f -> Faults.judge f ~src ~dst
+
+let send ?(src = unspecified) ?(dst = unspecified) t ~size_bytes callback =
+  match judge t ~src ~dst with
+  | Faults.Deliver ->
+      record t size_bytes;
+      Engine.schedule t.engine ~delay:(latency t ~size_bytes) callback
+  | Faults.Drop _ ->
+      (* The message went out on the wire (count it) but never arrives. *)
+      record t size_bytes
+  | Faults.Duplicate ->
+      record t size_bytes;
+      record t size_bytes;
+      Engine.schedule t.engine ~delay:(latency t ~size_bytes) callback;
+      Engine.schedule t.engine ~delay:(latency t ~size_bytes) callback
+  | Faults.Delay extra_ms ->
+      record t size_bytes;
+      Engine.schedule t.engine ~delay:(latency t ~size_bytes +. extra_ms) callback
+
+(* One round trip of a stop-and-wait exchange: returns [true] when the
+   message got through, [false] when it was lost and the caller waited out
+   the retransmission timer. *)
+let attempt ?rto_ms t ~src ~dst ~size_bytes =
+  let rto_ms = match rto_ms with Some r -> r | None -> t.rto_ms in
+  match judge t ~src ~dst with
+  | Faults.Deliver ->
+      record t size_bytes;
+      Process.sleep t.engine (latency t ~size_bytes);
+      true
+  | Faults.Drop _ ->
+      record t size_bytes;
+      Process.sleep t.engine rto_ms;
+      false
+  | Faults.Duplicate ->
+      (* Extra copy on the wire; the receiver dedups, so the caller just
+         pays for the first arrival. *)
+      record t size_bytes;
+      record t size_bytes;
+      Process.sleep t.engine (latency t ~size_bytes);
+      true
+  | Faults.Delay extra_ms ->
+      record t size_bytes;
+      Process.sleep t.engine (latency t ~size_bytes +. extra_ms);
+      true
+
+let transfer ?(src = unspecified) ?(dst = unspecified) ?rto_ms t ~size_bytes =
+  let rec loop () =
+    if not (attempt ?rto_ms t ~src ~dst ~size_bytes) then (
+      t.retransmits <- t.retransmits + 1;
+      loop ())
+  in
+  loop ()
+
+let transfer_bounded ?(src = unspecified) ?(dst = unspecified) ?rto_ms t ~size_bytes
+    ~max_tries =
+  let rec loop tries =
+    if attempt ?rto_ms t ~src ~dst ~size_bytes then Ok ()
+    else if tries + 1 >= max_tries then Error `Timeout
+    else (
+      t.retransmits <- t.retransmits + 1;
+      loop (tries + 1))
+  in
+  if max_tries <= 0 then Error `Timeout else loop 0
 
 let messages_sent t = t.messages
 
 let bytes_sent t = t.bytes
+
+let retransmits t = t.retransmits

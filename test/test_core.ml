@@ -217,12 +217,12 @@ let test_fine_table_versions () =
 (* A fixed medium-sized run returning everything observable about the
    outcome; used by the determinism tests below. [tweak] adjusts the
    config (e.g. to turn batching knobs). *)
-let determinism_run ?(tweak = fun c -> c) ~tracing () =
+let determinism_run ?(tweak = fun c -> c) ?faults ~tracing () =
   let params = { Workload.Microbench.tables = 4; rows = 200; update_types = 2 } in
   let cluster =
     Core.Cluster.create
       ~config:(tweak { small_config with Core.Config.hiccup_interval_ms = 700.0 })
-      ~tracing ~mode:Core.Consistency.Fine
+      ?faults ~tracing ~mode:Core.Consistency.Fine
       ~schemas:(Workload.Microbench.schemas params)
       ~load:(Workload.Microbench.load params)
       ()
@@ -279,6 +279,13 @@ let test_explicit_batch_one_matches_golden () =
      unbatched protocol. *)
   let tweak c = { c with Core.Config.cert_batch = 1; apply_parallelism = 1 } in
   check_golden (determinism_run ~tweak ~tracing:false ())
+
+let test_clean_fault_plan_matches_golden () =
+  (* An attached but all-clean fault plan must be a pure no-op: it draws
+     nothing from its RNG and injects nothing, so the run is
+     event-identical to having no plan at all. *)
+  check_golden
+    (determinism_run ~faults:(fun e -> Sim.Faults.create ~seed:999 e) ~tracing:false ())
 
 let test_linear_index_matches_golden () =
   (* The certification index is host-side soft state: the cost model
@@ -418,6 +425,8 @@ let suites =
           test_unbatched_matches_golden;
         Alcotest.test_case "explicit batch=1 matches golden baseline" `Quick
           test_explicit_batch_one_matches_golden;
+        Alcotest.test_case "clean fault plan matches golden baseline" `Quick
+          test_clean_fault_plan_matches_golden;
         Alcotest.test_case "linear cert index matches golden baseline" `Quick
           test_linear_index_matches_golden;
         Alcotest.test_case "tracing is zero-overhead" `Quick test_tracing_zero_overhead;

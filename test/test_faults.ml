@@ -246,6 +246,278 @@ let test_replicas_converge_to_same_state () =
          ~at:!min_v)
   done
 
+(* --- hardened protocol under injected network faults ------------- *)
+
+let hardened_config = Core.Config.hardened config
+
+let test_detector_transitions () =
+  (* Pure failure-detector state machine: Alive -> Suspect -> Dead on
+     silence, back to Alive on any contact. *)
+  let lb = Core.Load_balancer.create hardened_config ~mode:Core.Consistency.Coarse in
+  let check_health msg expected =
+    let show = function
+      | Core.Load_balancer.Alive -> "alive"
+      | Core.Load_balancer.Suspect -> "suspect"
+      | Core.Load_balancer.Dead -> "dead"
+    in
+    Alcotest.(check string) msg (show expected) (show (Core.Load_balancer.health lb ~replica:0))
+  in
+  (* Keep the other replicas chatty so every event below is replica 0's. *)
+  let keep_others_alive now =
+    for r = 1 to config.Core.Config.replicas - 1 do
+      Core.Load_balancer.note_contact lb ~replica:r ~now
+    done
+  in
+  check_health "starts alive" Core.Load_balancer.Alive;
+  Core.Load_balancer.note_contact lb ~replica:0 ~now:100.0;
+  keep_others_alive 150.0;
+  Core.Load_balancer.sweep lb ~now:150.0;
+  check_health "recent contact keeps it alive" Core.Load_balancer.Alive;
+  (* suspect_after_ms = 80, dead_after_ms = 400 *)
+  keep_others_alive 200.0;
+  Core.Load_balancer.sweep lb ~now:200.0;
+  check_health "80ms of silence suspects" Core.Load_balancer.Suspect;
+  Alcotest.(check int) "suspect event counted" 1 (Core.Load_balancer.suspect_events lb);
+  keep_others_alive 250.0;
+  Core.Load_balancer.sweep lb ~now:250.0;
+  Alcotest.(check int) "no double count while already suspect" 1
+    (Core.Load_balancer.suspect_events lb);
+  Core.Load_balancer.note_contact lb ~replica:0 ~now:260.0;
+  check_health "contact un-suspects" Core.Load_balancer.Alive;
+  keep_others_alive 700.0;
+  Core.Load_balancer.sweep lb ~now:700.0;
+  check_health "400ms of silence kills" Core.Load_balancer.Dead;
+  Alcotest.(check int) "failover event counted" 1 (Core.Load_balancer.failover_events lb);
+  Core.Load_balancer.note_contact lb ~replica:0 ~now:710.0;
+  check_health "contact resurrects even from dead" Core.Load_balancer.Alive
+
+let test_detector_routes_around_suspects () =
+  let lb = Core.Load_balancer.create hardened_config ~mode:Core.Consistency.Coarse in
+  (* Silence replica 0 into Suspect (90ms quiet: past suspect_after_ms
+     but well short of dead_after_ms); keep the others chatty. *)
+  Core.Load_balancer.note_contact lb ~replica:0 ~now:410.0;
+  Core.Load_balancer.note_contact lb ~replica:1 ~now:500.0;
+  Core.Load_balancer.note_contact lb ~replica:2 ~now:500.0;
+  Core.Load_balancer.sweep lb ~now:500.0;
+  Alcotest.(check bool) "replica 0 suspect" true
+    (Core.Load_balancer.health lb ~replica:0 = Core.Load_balancer.Suspect);
+  for sid = 0 to 19 do
+    let r = Core.Load_balancer.choose_replica lb ~sid in
+    Alcotest.(check bool) "suspect not routed while alives exist" true (r <> 0);
+    Core.Load_balancer.note_dispatch lb ~replica:r
+  done;
+  (* With every replica suspect, routing falls back to the suspects
+     rather than failing. *)
+  Core.Load_balancer.sweep lb ~now:2_000.0;
+  let r = Core.Load_balancer.choose_replica lb ~sid:0 in
+  Alcotest.(check bool) "suspect routable as fallback" true (r >= 0 && r < 3)
+
+let run_hardened ?(config = hardened_config) ?(measure_ms = 2_000.0) ~plan mode =
+  let cluster =
+    Core.Cluster.create ~config
+      ~faults:(fun e -> plan e)
+      ~mode
+      ~schemas:(Workload.Microbench.schemas params)
+      ~load:(Workload.Microbench.load params)
+      ()
+  in
+  Core.Client.spawn_many cluster ~n:10 ~first_sid:0 (Workload.Microbench.workload params);
+  Core.Cluster.run_for cluster ~warmup_ms:0.0 ~measure_ms;
+  cluster
+
+let test_lossy_refresh_repair_and_dedup () =
+  (* An extremely lossy, duplicating certifier->replica link: refresh
+     batches are dropped and delivered twice; repair must fill the gaps,
+     dedup must ignore the copies, and all replicas must converge to
+     identical contents. *)
+  let plan e =
+    let f = Sim.Faults.create ~seed:4 e in
+    Sim.Faults.set_link f ~src:Core.Config.node_certifier ~dst:Sim.Faults.any
+      (Sim.Faults.spec ~drop:0.3 ~duplicate:0.2 ());
+    f
+  in
+  let cluster = run_hardened ~plan Core.Consistency.Session in
+  let metrics = Core.Cluster.metrics cluster in
+  Alcotest.(check bool) "faults actually fired" true
+    (Core.Metrics.fault_drops metrics > 50 && Core.Metrics.fault_duplicates metrics > 20);
+  Alcotest.(check bool) "repair retransmitted" true (Core.Metrics.retransmits metrics > 0);
+  Alcotest.(check bool) "throughput survived" true
+    (Core.Metrics.committed metrics > 100);
+  (* Drain with the link still lossy: repair alone must converge the
+     replicas, then contents must be identical at the common version. *)
+  let engine = Core.Cluster.engine cluster in
+  let certified = Core.Certifier.version (Core.Cluster.certifier cluster) in
+  Sim.Engine.run engine ~until:(Sim.Engine.now engine +. 1_000.0);
+  let min_v = ref max_int in
+  for i = 0 to 2 do
+    let v = Core.Replica.v_local (Core.Cluster.replica cluster i) in
+    Alcotest.(check bool)
+      (Printf.sprintf "replica %d passed pre-drain certified version (v%d of v%d)" i v
+         certified)
+      true (v >= certified);
+    min_v := min !min_v v
+  done;
+  let reference =
+    Storage.Database.fingerprint
+      (Core.Replica.database (Core.Cluster.replica cluster 0))
+      ~at:!min_v
+  in
+  for i = 1 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "replica %d converged" i)
+      reference
+      (Storage.Database.fingerprint
+         (Core.Replica.database (Core.Cluster.replica cluster i))
+         ~at:!min_v)
+  done
+
+let test_partition_suspects_then_recovers () =
+  (* Cut replica 2 off mid-run: the detector must suspect (and at this
+     length, kill) it, traffic must keep flowing, and after the heal the
+     replica must rejoin and catch up without manual intervention. *)
+  let plan e =
+    let f = Sim.Faults.create ~seed:9 e in
+    Sim.Faults.partition f ~a:[ 2 ] ~b:[] ~from_ms:500.0 ~until_ms:1_300.0 ();
+    f
+  in
+  let cluster = run_hardened ~plan ~measure_ms:2_500.0 Core.Consistency.Coarse in
+  let metrics = Core.Cluster.metrics cluster in
+  Alcotest.(check bool) "partitioned replica was suspected" true
+    (Core.Metrics.suspects metrics >= 1);
+  Alcotest.(check bool) "declared dead (800ms > dead_after)" true
+    (Core.Metrics.failovers metrics >= 1);
+  Alcotest.(check bool) "cluster kept committing" true
+    (Core.Metrics.committed metrics > 200);
+  Alcotest.(check int) "no client gave up" 0 (Core.Metrics.retry_exhausted metrics);
+  (* After the heal + drain the replica is back in the certifier's live
+     set and caught up. *)
+  let certified = Core.Certifier.version (Core.Cluster.certifier cluster) in
+  let v2 = Core.Replica.v_local (Core.Cluster.replica cluster 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rejoined and caught up (v%d of v%d)" v2 certified)
+    true
+    (certified - v2 < 50);
+  Alcotest.(check bool) "marked live at the certifier again" true
+    (Core.Certifier.is_marked_live (Core.Cluster.certifier cluster) ~replica:2)
+
+let test_eviction_unblocks_gc_and_forces_state_transfer () =
+  (* A replica that stays dead past evict_after_ms loses its watermark
+     entry: the certifier's log GC advances past it, and its eventual
+     rejoin is forced through checkpoint state transfer. *)
+  let config =
+    {
+      hardened_config with
+      Core.Config.gc_interval_ms = 100.0;
+      gc_window = 50;
+      watermark_slack = 50;
+      evict_after_ms = 600.0;
+    }
+  in
+  let cluster =
+    Core.Cluster.create ~config ~mode:Core.Consistency.Coarse
+      ~schemas:(Workload.Microbench.schemas params)
+      ~load:(Workload.Microbench.load params)
+      ()
+  in
+  let engine = Core.Cluster.engine cluster in
+  Core.Client.spawn_many cluster ~n:10 ~first_sid:0 (Workload.Microbench.workload params);
+  Sim.Process.spawn engine (fun () ->
+      Sim.Process.sleep engine 300.0;
+      Core.Cluster.crash_replica cluster 2;
+      Sim.Process.sleep engine 1_200.0;
+      (* Well past evict_after: the corpse must be out of the watermark
+         table and the log pruned beyond its applied version. *)
+      let certifier = Core.Cluster.certifier cluster in
+      Alcotest.(check bool) "evicted" true (Core.Certifier.evictions certifier >= 1);
+      Alcotest.(check bool) "flagged for state transfer" true
+        (Core.Certifier.needs_state_transfer certifier ~replica:2);
+      Alcotest.(check bool) "log GC advanced past the corpse" true
+        (Core.Certifier.log_base certifier
+        > Core.Replica.v_local (Core.Cluster.replica cluster 2));
+      Core.Cluster.recover_replica cluster 2);
+  Core.Cluster.run_for cluster ~warmup_ms:100.0 ~measure_ms:3_000.0;
+  let r2 = Core.Cluster.replica cluster 2 in
+  Alcotest.(check bool) "rejoined" true (not (Core.Replica.is_crashed r2));
+  let certified = Core.Certifier.version (Core.Cluster.certifier cluster) in
+  Alcotest.(check bool)
+    (Printf.sprintf "caught up after forced state transfer (v%d of v%d)"
+       (Core.Replica.v_local r2) certified)
+    true
+    (certified - Core.Replica.v_local r2 < 50)
+
+let test_backoff_defaults_off_and_works_when_on () =
+  Alcotest.(check (float 0.0)) "default backoff base is 0" 0.0
+    Core.Config.default.Core.Config.retry_backoff_ms;
+  Alcotest.(check bool) "default is not reliable" false
+    Core.Config.default.Core.Config.reliable;
+  (* With backoff on and a conflict-heavy workload, clients still make
+     progress and the run completes (the backoff sleeps draw from the
+     client's own RNG stream only). *)
+  let config = { config with Core.Config.retry_backoff_ms = 1.0; retry_backoff_max_ms = 16.0 } in
+  let cluster =
+    Core.Cluster.create ~config ~mode:Core.Consistency.Coarse
+      ~schemas:(Workload.Microbench.schemas params)
+      ~load:(Workload.Microbench.load params)
+      ()
+  in
+  Core.Client.spawn_many cluster ~n:10 ~first_sid:0 (Workload.Microbench.workload params);
+  Core.Cluster.run_for cluster ~warmup_ms:100.0 ~measure_ms:1_000.0;
+  Alcotest.(check bool) "committed with backoff enabled" true
+    (Core.Metrics.committed (Core.Cluster.metrics cluster) > 100)
+
+let test_abort_reason_breakdown () =
+  (* Unit-level: the per-reason abort table sorts by count and the fault
+     counters render in the summary. *)
+  let e = Sim.Engine.create () in
+  let m = Core.Metrics.create e in
+  Core.Metrics.reset_window m;
+  for _ = 1 to 3 do Core.Metrics.record_abort ~slug:"certification" m done;
+  Core.Metrics.record_abort ~slug:"timeout" m;
+  Core.Metrics.record_abort m;
+  Alcotest.(check (list (pair string int)))
+    "sorted by count desc"
+    [ ("certification", 3); ("timeout", 1) ]
+    (Core.Metrics.aborts_by_reason m);
+  Alcotest.(check int) "unslugged still counted in total" 5 (Core.Metrics.aborted m);
+  Core.Metrics.note_fault m `Drop;
+  Core.Metrics.note_fault m `Duplicate;
+  Core.Metrics.note_retransmits m 7;
+  Core.Metrics.note_suspect m;
+  let rendered = Format.asprintf "%a" Core.Metrics.pp_summary m in
+  let contains sub =
+    let n = String.length rendered and k = String.length sub in
+    let rec at i = i + k <= n && (String.sub rendered i k = sub || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "summary lists abort reasons" true (contains "certification=3");
+  Alcotest.(check bool) "summary lists fault counters" true (contains "retransmits=7")
+
+let test_chaos_soak_smoke () =
+  (* One cell of the chaos matrix end to end through the harness: the
+     mixed plan must pass every checker and reproduce bit-identically. *)
+  let r, same =
+    Experiments.Chaos.reproducible ~mode:Core.Consistency.Fine
+      ~plan:Experiments.Chaos.Mixed ~seed:3 ~duration_ms:1_200.0 ()
+  in
+  Alcotest.(check bool)
+    (Format.asprintf "chaos run ok: %a" Experiments.Chaos.pp_result r)
+    true (Experiments.Chaos.ok r);
+  Alcotest.(check bool) "faults were injected" true (r.Experiments.Chaos.drops > 0);
+  Alcotest.(check bool) "same seed, same runlog digest" true same
+
+let test_chaos_clean_plan_soak () =
+  (* The clean plan through the same harness: no faults fire, nothing
+     retransmits, and every checker passes. *)
+  let r =
+    Experiments.Chaos.soak ~mode:Core.Consistency.Eager ~plan:Experiments.Chaos.Clean
+      ~seed:1 ~duration_ms:1_000.0 ()
+  in
+  Alcotest.(check bool)
+    (Format.asprintf "clean soak ok: %a" Experiments.Chaos.pp_result r)
+    true (Experiments.Chaos.ok r);
+  Alcotest.(check int) "no drops" 0 r.Experiments.Chaos.drops;
+  Alcotest.(check int) "no duplicates" 0 r.Experiments.Chaos.duplicates
+
 let suites =
   [
     ( "faults",
@@ -266,5 +538,22 @@ let suites =
         Alcotest.test_case "certifier crash requires standby" `Quick
           test_certifier_crash_requires_standby;
         Alcotest.test_case "replicas converge" `Quick test_replicas_converge_to_same_state;
+      ] );
+    ( "faults.hardened",
+      [
+        Alcotest.test_case "detector transitions" `Quick test_detector_transitions;
+        Alcotest.test_case "detector routes around suspects" `Quick
+          test_detector_routes_around_suspects;
+        Alcotest.test_case "lossy refresh repair + dedup" `Quick
+          test_lossy_refresh_repair_and_dedup;
+        Alcotest.test_case "partition suspect + rejoin" `Quick
+          test_partition_suspects_then_recovers;
+        Alcotest.test_case "eviction unblocks GC" `Quick
+          test_eviction_unblocks_gc_and_forces_state_transfer;
+        Alcotest.test_case "client backoff" `Quick test_backoff_defaults_off_and_works_when_on;
+        Alcotest.test_case "abort breakdown + fault counters" `Quick
+          test_abort_reason_breakdown;
+        Alcotest.test_case "chaos soak smoke" `Quick test_chaos_soak_smoke;
+        Alcotest.test_case "chaos clean plan" `Quick test_chaos_clean_plan_soak;
       ] );
   ]

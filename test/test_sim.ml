@@ -269,6 +269,184 @@ let test_network_latency_positive () =
     (!arrived >= 0.58 && !arrived <= 0.78);
   Alcotest.(check int) "accounted" 1 (Sim.Network.messages_sent net)
 
+let test_network_latency_formula () =
+  (* With jitter 0 the sampled delay is exactly base + size/bandwidth. *)
+  let e = Sim.Engine.create () in
+  let rng = Util.Rng.create 3 in
+  let net = Sim.Network.create e ~rng ~base_ms:0.5 ~jitter_ms:0.0 ~bandwidth_mbps:100.0 in
+  let arrived = ref nan in
+  Sim.Network.send net ~size_bytes:10_000 (fun () -> arrived := Sim.Engine.now e);
+  Sim.Engine.run e;
+  (* 80,000 bits / 100 Mbps = 0.8 ms *)
+  Alcotest.(check (float 1e-12)) "base + serialization" 1.3 !arrived
+
+let test_network_determinism () =
+  (* Same seed, same traffic: identical delivery times and accounting. *)
+  let run () =
+    let e = Sim.Engine.create () in
+    let rng = Util.Rng.create 99 in
+    let net = Sim.Network.create e ~rng ~base_ms:0.4 ~jitter_ms:0.3 ~bandwidth_mbps:50.0 in
+    let times = ref [] in
+    for i = 1 to 20 do
+      Sim.Network.send net ~size_bytes:(i * 100) (fun () ->
+          times := Sim.Engine.now e :: !times)
+    done;
+    Sim.Engine.run e;
+    (List.rev !times, Sim.Network.messages_sent net, Sim.Network.bytes_sent net)
+  in
+  let t1, m1, b1 = run () and t2, m2, b2 = run () in
+  Alcotest.(check (list (float 0.0))) "same delivery times" t1 t2;
+  Alcotest.(check int) "same messages" m1 m2;
+  Alcotest.(check int) "same bytes" b1 b2;
+  Alcotest.(check int) "all sent" 20 m1;
+  Alcotest.(check int) "bytes are the sum" (100 * 210) b1
+
+let make_faulty_net ?(seed = 7) ?(base_ms = 0.1) () =
+  let e = Sim.Engine.create () in
+  let rng = Util.Rng.create 5 in
+  let net =
+    Sim.Network.create ~rto_ms:1.0 e ~rng ~base_ms ~jitter_ms:0.0
+      ~bandwidth_mbps:1000.0
+  in
+  let f = Sim.Faults.create ~seed e in
+  Sim.Network.set_faults net f;
+  (e, net, f)
+
+let test_network_drop_path () =
+  let e, net, f = make_faulty_net () in
+  Sim.Faults.script_drop f ~src:1 ~dst:2 ~count:1;
+  let delivered = ref 0 in
+  Sim.Network.send net ~src:1 ~dst:2 ~size_bytes:100 (fun () -> incr delivered);
+  Sim.Network.send net ~src:1 ~dst:2 ~size_bytes:100 (fun () -> incr delivered);
+  Sim.Engine.run e;
+  Alcotest.(check int) "first dropped, second delivered" 1 !delivered;
+  Alcotest.(check int) "dropped message still counts as offered load" 2
+    (Sim.Network.messages_sent net);
+  Alcotest.(check int) "drop counted" 1 (Sim.Faults.drops f)
+
+let test_network_duplicate_path () =
+  let e, net, f = make_faulty_net () in
+  Sim.Faults.set_link f ~src:1 ~dst:2 (Sim.Faults.spec ~duplicate:1.0 ());
+  let delivered = ref 0 in
+  Sim.Network.send net ~src:1 ~dst:2 ~size_bytes:100 (fun () -> incr delivered);
+  Sim.Engine.run e;
+  Alcotest.(check int) "delivered twice" 2 !delivered;
+  Alcotest.(check int) "both copies counted" 2 (Sim.Network.messages_sent net);
+  Alcotest.(check int) "duplicate counted" 1 (Sim.Faults.duplicates f)
+
+let test_network_partition_window () =
+  let e, net, f = make_faulty_net () in
+  Sim.Faults.partition f ~a:[ 1 ] ~b:[] ~from_ms:0.0 ~until_ms:5.0 ();
+  let delivered = ref [] in
+  Sim.Process.spawn e (fun () ->
+      Alcotest.(check bool) "cut both ways while open" true
+        (Sim.Faults.partitioned f ~src:2 ~dst:1);
+      Sim.Network.send net ~src:1 ~dst:2 ~size_bytes:10 (fun () ->
+          delivered := `During :: !delivered);
+      Sim.Process.sleep e 6.0;
+      Alcotest.(check bool) "healed" false (Sim.Faults.partitioned f ~src:1 ~dst:2);
+      Sim.Network.send net ~src:1 ~dst:2 ~size_bytes:10 (fun () ->
+          delivered := `After :: !delivered));
+  Sim.Engine.run e;
+  Alcotest.(check bool) "only the post-heal message arrived" true
+    (!delivered = [ `After ]);
+  Alcotest.(check int) "partition drop counted" 1 (Sim.Faults.drops f)
+
+let test_network_asymmetric_partition () =
+  let e, net, f = make_faulty_net () in
+  Sim.Faults.partition f ~symmetric:false ~a:[ 1 ] ~b:[ 2 ] ~from_ms:0.0
+    ~until_ms:infinity ();
+  let forward = ref false and backward = ref false in
+  Sim.Network.send net ~src:1 ~dst:2 ~size_bytes:10 (fun () -> forward := true);
+  Sim.Network.send net ~src:2 ~dst:1 ~size_bytes:10 (fun () -> backward := true);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "1 -> 2 cut" false !forward;
+  Alcotest.(check bool) "2 -> 1 still flows" true !backward
+
+let test_network_transfer_persists () =
+  let e, net, f = make_faulty_net () in
+  Sim.Faults.partition f ~a:[ 1 ] ~b:[] ~from_ms:0.0 ~until_ms:10.0 ();
+  let done_at = ref nan in
+  Sim.Process.spawn e (fun () ->
+      Sim.Network.transfer net ~src:1 ~dst:2 ~size_bytes:10;
+      done_at := Sim.Engine.now e);
+  Sim.Engine.run e;
+  Alcotest.(check bool)
+    (Printf.sprintf "completed only after heal (%.2f)" !done_at)
+    true
+    (!done_at >= 10.0 && !done_at < 13.0);
+  Alcotest.(check bool) "retransmissions recorded" true
+    (Sim.Network.retransmits net >= 5)
+
+let test_network_transfer_bounded_gives_up () =
+  let e, net, f = make_faulty_net () in
+  Sim.Faults.partition f ~a:[ 1 ] ~b:[] ~from_ms:0.0 ~until_ms:infinity ();
+  let result = ref (Ok ()) in
+  Sim.Process.spawn e (fun () ->
+      result := Sim.Network.transfer_bounded net ~src:1 ~dst:2 ~size_bytes:10
+          ~max_tries:3);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "gave up" true (!result = Error `Timeout);
+  Alcotest.(check int) "three attempts offered" 3 (Sim.Network.messages_sent net)
+
+let test_faults_determinism () =
+  (* Same plan seed, same judged link sequence: identical verdicts. *)
+  let run () =
+    let e = Sim.Engine.create () in
+    let f = Sim.Faults.create ~seed:11 e in
+    Sim.Faults.set_default f
+      (Sim.Faults.spec ~drop:0.2 ~duplicate:0.1 ~delay:0.2 ~delay_ms:3.0 ());
+    List.init 200 (fun i ->
+        match Sim.Faults.judge f ~src:(i mod 3) ~dst:((i + 1) mod 3) with
+        | Sim.Faults.Deliver -> 0
+        | Sim.Faults.Drop _ -> 1
+        | Sim.Faults.Duplicate -> 2
+        | Sim.Faults.Delay _ -> 3)
+  in
+  Alcotest.(check (list int)) "same verdict stream" (run ()) (run ())
+
+let test_faults_clean_plan_draws_nothing () =
+  (* A clean plan consumes no randomness and never perturbs delivery:
+     the same network RNG stream with and without the plan attached
+     yields identical delivery times. *)
+  let run attach =
+    let e = Sim.Engine.create () in
+    let rng = Util.Rng.create 42 in
+    let net = Sim.Network.create e ~rng ~base_ms:0.2 ~jitter_ms:0.4 ~bandwidth_mbps:80.0 in
+    if attach then Sim.Network.set_faults net (Sim.Faults.create ~seed:123 e);
+    let times = ref [] in
+    for i = 1 to 50 do
+      Sim.Network.send net ~src:(i mod 4) ~dst:((i + 1) mod 4) ~size_bytes:(i * 37)
+        (fun () -> times := Sim.Engine.now e :: !times)
+    done;
+    Sim.Engine.run e;
+    List.rev !times
+  in
+  Alcotest.(check (list (float 0.0))) "bit-identical delivery" (run false) (run true)
+
+let test_faults_slowdown_windows () =
+  let e = Sim.Engine.create () in
+  let f = Sim.Faults.create e in
+  Sim.Faults.slow f ~node:3 ~factor:4.0 ~from_ms:10.0 ~until_ms:20.0;
+  Sim.Faults.slow f ~node:3 ~factor:2.0 ~from_ms:15.0 ~until_ms:25.0;
+  let at t k =
+    Sim.Process.spawn e (fun () ->
+        Sim.Process.sleep e t;
+        k (Sim.Faults.slowdown f ~node:3))
+  in
+  let s5 = ref 0.0 and s12 = ref 0.0 and s17 = ref 0.0 and s22 = ref 0.0 in
+  at 5.0 (fun x -> s5 := x);
+  at 12.0 (fun x -> s12 := x);
+  at 17.0 (fun x -> s17 := x);
+  at 22.0 (fun x -> s22 := x);
+  Sim.Engine.run e;
+  Alcotest.(check (float 0.0)) "outside windows" 1.0 !s5;
+  Alcotest.(check (float 0.0)) "first window" 4.0 !s12;
+  Alcotest.(check (float 0.0)) "overlap compounds" 8.0 !s17;
+  Alcotest.(check (float 0.0)) "second window" 2.0 !s22;
+  Alcotest.(check (float 0.0)) "other nodes unaffected" 1.0
+    (Sim.Faults.slowdown f ~node:0)
+
 let test_fork_join_waits_for_all () =
   let e = Sim.Engine.create () in
   let finished = ref [] in
@@ -363,5 +541,24 @@ let suites =
         Alcotest.test_case "empty and singleton" `Quick test_fork_join_empty_and_singleton;
         Alcotest.test_case "resource contention" `Quick test_fork_join_resource_contention;
       ] );
-    ("sim.network", [ Alcotest.test_case "latency model" `Quick test_network_latency_positive ]);
+    ( "sim.network",
+      [
+        Alcotest.test_case "latency model" `Quick test_network_latency_positive;
+        Alcotest.test_case "latency formula" `Quick test_network_latency_formula;
+        Alcotest.test_case "determinism + accounting" `Quick test_network_determinism;
+        Alcotest.test_case "drop path" `Quick test_network_drop_path;
+        Alcotest.test_case "duplicate path" `Quick test_network_duplicate_path;
+        Alcotest.test_case "partition window" `Quick test_network_partition_window;
+        Alcotest.test_case "asymmetric partition" `Quick test_network_asymmetric_partition;
+        Alcotest.test_case "transfer persists" `Quick test_network_transfer_persists;
+        Alcotest.test_case "transfer_bounded gives up" `Quick
+          test_network_transfer_bounded_gives_up;
+      ] );
+    ( "sim.faults",
+      [
+        Alcotest.test_case "verdict determinism" `Quick test_faults_determinism;
+        Alcotest.test_case "clean plan draws nothing" `Quick
+          test_faults_clean_plan_draws_nothing;
+        Alcotest.test_case "slowdown windows" `Quick test_faults_slowdown_windows;
+      ] );
   ]
