@@ -386,12 +386,16 @@ let chaos seeds seed_count duration plan_str modes_str verify_digest =
     in
     match modes with
     | Error e -> `Error (false, e)
+    | Ok modes when modes = [] -> `Error (false, "no consistency modes selected")
     | Ok modes ->
       let seeds =
         match seeds with
-        | [] -> List.init seed_count (fun i -> 1 + i)
+        | [] -> List.init (max 0 seed_count) (fun i -> 1 + i)
         | seeds -> seeds
       in
+      if seeds = [] then
+        `Error (false, "empty seed matrix: pass --seeds N with N > 0, or --seed-list")
+      else
       let duration_ms = duration *. 1000.0 in
       Printf.printf "Chaos soak: plan=%s, %d seed(s) x %d mode(s), %.1fs virtual each\n\n"
         (Experiments.Chaos.plan_name plan)

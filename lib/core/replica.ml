@@ -245,11 +245,18 @@ let apply_refresh_group t ~first run =
        crash mid-group resets [pending_keys] wholesale instead. *)
     List.iter (fun (_, _, ws) -> remove_pending_keys t ws) run;
     Storage.Database.publish t.db ~version:last;
-    (* Recovery may have re-queued versions just published. *)
+    (* Settle slots re-queued at published versions while the group was
+       in flight: recovery or a duplicated delivery leaves a stale
+       Refresh (drop it and its pending keys), and a repair resend racing
+       commit_local leaves a Local slot — its version just published, so
+       the commit succeeded; fill its ivar or the submitter wedges (the
+       sequencer never revisits a published version). *)
     for v = first to last do
       (match Hashtbl.find_opt t.slots v with
       | Some (Refresh { ws; _ }) -> remove_pending_keys t ws
-      | Some (Local _) | None -> ());
+      | Some (Local { done_; _ }) ->
+        Sim.Ivar.fill done_ (Ok (Sim.Engine.now t.engine))
+      | None -> ());
       Hashtbl.remove t.slots v
     done;
     Sim.Condition.broadcast t.version_changed;
@@ -315,6 +322,20 @@ let sequencer t () =
       Sim.Resource.use t.cpu ~duration:(service_time t cost);
       Storage.Database.apply t.db ws ~version:v;
       t.applied_refresh <- t.applied_refresh + 1;
+      (* Settle a slot re-queued at [v] while the apply held the CPU: a
+         duplicated delivery leaves a stale Refresh (drop it and its
+         pending keys), and a repair resend racing commit_local leaves a
+         Local slot — [v] is now applied, so the commit succeeded; fill
+         its ivar or the submitter wedges (this sequencer never revisits
+         a published version). *)
+      (match Hashtbl.find_opt t.slots v with
+      | Some (Refresh { ws = rws; _ }) ->
+        remove_pending_keys t rws;
+        Hashtbl.remove t.slots v
+      | Some (Local { done_; _ }) ->
+        Hashtbl.remove t.slots v;
+        Sim.Ivar.fill done_ (Ok (Sim.Engine.now t.engine))
+      | None -> ());
       Obs.Trace.finish_opt t.obs span;
       Sim.Condition.broadcast t.version_changed;
       notify_commit t ~version:v
@@ -323,6 +344,14 @@ let sequencer t () =
       let commit_start = Sim.Engine.now t.engine in
       Sim.Resource.use t.cpu ~duration:(service_time t t.cfg.Config.commit_ms);
       Storage.Database.apply t.db ws ~version:v;
+      (* A repair resend can re-queue [v] as a Refresh while the commit
+         held the CPU; it is now applied, so drop the stale slot and its
+         pending keys. *)
+      (match Hashtbl.find_opt t.slots v with
+      | Some (Refresh { ws = rws; _ }) ->
+        remove_pending_keys t rws;
+        Hashtbl.remove t.slots v
+      | Some (Local _) | None -> ());
       Sim.Condition.broadcast t.version_changed;
       notify_commit t ~version:v;
       Sim.Ivar.fill done_ (Ok commit_start));

@@ -26,7 +26,11 @@ let plan_of_string = function
    [0.75 * duration], leaving a clean tail for the cluster to converge
    in (the wedge check relies on it). *)
 let build_plan plan ~seed ~duration_ms ~replicas engine =
-  let f = Sim.Faults.create ~seed engine in
+  (* Derive the plan's seed rather than reusing the run seed verbatim:
+     the cluster's root RNG is [Util.Rng.create seed], and seeding the
+     fault stream identically would correlate fault draws with the
+     streams split from the root. *)
+  let f = Sim.Faults.create ~seed:(seed lxor 0x2b99_17c5_1e7a_3f6d) engine in
   let frac a = a *. duration_ms in
   (match plan with
   | Clean -> ()

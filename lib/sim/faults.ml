@@ -78,8 +78,13 @@ let slowdown t ~node =
 
 let on_event t f = t.observer <- Some f
 
+(* [Network.unspecified] (min_int) and the [any] wildcard are sentinels,
+   not nodes: they belong to no group, so a message with an untagged
+   endpoint is never cut by a partition — even by a [b = []] ("everyone
+   else") group. *)
 let in_group node group ~others =
-  match group with [] -> not (List.mem node others) | g -> List.mem node g
+  node > any
+  && (match group with [] -> not (List.mem node others) | g -> List.mem node g)
 
 let cut_active c now ~src ~dst =
   now >= c.from_ms && now < c.until_ms

@@ -34,6 +34,11 @@ val create :
 val set_faults : t -> Faults.t -> unit
 (** Attach a fault plan; all subsequent traffic is subject to it. *)
 
+val unspecified : int
+(** The endpoint id an omitted [?src]/[?dst] defaults to: a sentinel
+    that belongs to no fault-plan group, so untagged messages are never
+    subject to link rules or partitions. *)
+
 val faults : t -> Faults.t option
 
 val latency : t -> size_bytes:int -> float

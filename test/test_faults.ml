@@ -492,6 +492,87 @@ let test_abort_reason_breakdown () =
   Alcotest.(check bool) "summary lists abort reasons" true (contains "certification=3");
   Alcotest.(check bool) "summary lists fault counters" true (contains "retransmits=7")
 
+(* --- commit_local vs in-flight refresh apply ------------------------
+
+   The certifier's repair resend can deliver version [v] as a refresh
+   while the same transaction's decision leg is still in flight. If the
+   decision lands in the window where the sequencer has already dequeued
+   the refresh slot for [v] but not yet advanced V_local (mid-apply),
+   commit_local inserts a Local slot at a version the sequencer will
+   never revisit; it must be settled at publication or the submitter
+   blocks on its ivar forever. *)
+
+let make_replica_db () =
+  let db = Storage.Database.create () in
+  List.iter
+    (fun s -> ignore (Storage.Database.create_table db s))
+    (Workload.Microbench.schemas params);
+  Workload.Microbench.load params db;
+  db
+
+let race_ws key =
+  Storage.Writeset.of_entries
+    [
+      {
+        Storage.Writeset.ws_table = "t00";
+        ws_key = [| Storage.Value.Int key |];
+        ws_op =
+          Storage.Writeset.Put
+            [| Storage.Value.Int key; Storage.Value.Int 0; Storage.Value.Text "" |];
+      };
+    ]
+
+let check_settled ~what = function
+  | None -> Alcotest.failf "%s: commit_local never ran" what
+  | Some ivar -> (
+    match Sim.Ivar.peek ivar with
+    | Some (Ok _) -> ()
+    | Some (Error _) -> Alcotest.failf "%s: raced commit reported an abort" what
+    | None -> Alcotest.failf "%s: raced commit wedged (ivar never filled)" what)
+
+let test_commit_local_races_serial_apply () =
+  let engine = Sim.Engine.create () in
+  let cfg = { config with Core.Config.service_jitter = false } in
+  let replica =
+    Core.Replica.create engine cfg ~rng:(Util.Rng.create 3) ~id:0 (make_replica_db ())
+  in
+  Core.Replica.start replica;
+  let ws = race_ws 1 in
+  let ivar = ref None in
+  Sim.Process.spawn engine (fun () ->
+      (* The repair resend delivers v1; the sequencer dequeues it at t=0
+         and spends ws_apply_base_ms + ws_apply_row_ms (0.12ms) applying. *)
+      Core.Replica.receive_refresh replica ~version:1 ~ws;
+      (* The decision leg lands strictly inside that window. *)
+      Sim.Process.sleep engine 0.05;
+      ivar := Some (Core.Replica.commit_local replica ~version:1 ~ws));
+  Sim.Engine.run engine;
+  Alcotest.(check int) "v1 applied" 1 (Core.Replica.v_local replica);
+  check_settled ~what:"serial" !ivar
+
+let test_commit_local_races_group_apply () =
+  let engine = Sim.Engine.create () in
+  let cfg =
+    { config with Core.Config.service_jitter = false; apply_parallelism = 2 }
+  in
+  let replica =
+    Core.Replica.create engine cfg ~rng:(Util.Rng.create 3) ~id:0 (make_replica_db ())
+  in
+  Core.Replica.start replica;
+  let ws1 = race_ws 1 and ws2 = race_ws 2 in
+  let ivar = ref None in
+  Sim.Process.spawn engine (fun () ->
+      (* Two disjoint writesets drain as one parallel apply group. *)
+      Core.Replica.receive_refresh replica ~version:1 ~ws:ws1;
+      Core.Replica.receive_refresh replica ~version:2 ~ws:ws2;
+      (* The decision leg for v2 lands while the group is in flight
+         (slots dequeued, nothing published yet). *)
+      Sim.Process.sleep engine 0.05;
+      ivar := Some (Core.Replica.commit_local replica ~version:2 ~ws:ws2));
+  Sim.Engine.run engine;
+  Alcotest.(check int) "group published through v2" 2 (Core.Replica.v_local replica);
+  check_settled ~what:"group" !ivar
+
 let test_chaos_soak_smoke () =
   (* One cell of the chaos matrix end to end through the harness: the
      mixed plan must pass every checker and reproduce bit-identically. *)
@@ -553,6 +634,10 @@ let suites =
         Alcotest.test_case "client backoff" `Quick test_backoff_defaults_off_and_works_when_on;
         Alcotest.test_case "abort breakdown + fault counters" `Quick
           test_abort_reason_breakdown;
+        Alcotest.test_case "commit races serial refresh apply" `Quick
+          test_commit_local_races_serial_apply;
+        Alcotest.test_case "commit races group refresh apply" `Quick
+          test_commit_local_races_group_apply;
         Alcotest.test_case "chaos soak smoke" `Quick test_chaos_soak_smoke;
         Alcotest.test_case "chaos clean plan" `Quick test_chaos_clean_plan_soak;
       ] );

@@ -352,6 +352,23 @@ let test_network_partition_window () =
     (!delivered = [ `After ]);
   Alcotest.(check int) "partition drop counted" 1 (Sim.Faults.drops f)
 
+let test_network_partition_ignores_untagged () =
+  (* Untagged endpoints ({!Sim.Network.unspecified}) belong to no group:
+     a partition — even one with a [b = []] "everyone else" side — must
+     never cut a message whose src or dst is untagged. *)
+  let e, net, f = make_faulty_net () in
+  Sim.Faults.partition f ~a:[ 1 ] ~b:[] ~from_ms:0.0 ~until_ms:infinity ();
+  Alcotest.(check bool) "tagged -> untagged not cut" false
+    (Sim.Faults.partitioned f ~src:1 ~dst:Sim.Network.unspecified);
+  Alcotest.(check bool) "untagged -> tagged not cut" false
+    (Sim.Faults.partitioned f ~src:Sim.Network.unspecified ~dst:1);
+  let delivered = ref 0 in
+  Sim.Network.send net ~size_bytes:10 (fun () -> incr delivered);
+  Sim.Network.send net ~src:1 ~size_bytes:10 (fun () -> incr delivered);
+  Sim.Network.send net ~dst:1 ~size_bytes:10 (fun () -> incr delivered);
+  Sim.Engine.run e;
+  Alcotest.(check int) "untagged and half-tagged messages flow" 3 !delivered
+
 let test_network_asymmetric_partition () =
   let e, net, f = make_faulty_net () in
   Sim.Faults.partition f ~symmetric:false ~a:[ 1 ] ~b:[ 2 ] ~from_ms:0.0
@@ -550,6 +567,8 @@ let suites =
         Alcotest.test_case "duplicate path" `Quick test_network_duplicate_path;
         Alcotest.test_case "partition window" `Quick test_network_partition_window;
         Alcotest.test_case "asymmetric partition" `Quick test_network_asymmetric_partition;
+        Alcotest.test_case "partition ignores untagged" `Quick
+          test_network_partition_ignores_untagged;
         Alcotest.test_case "transfer persists" `Quick test_network_transfer_persists;
         Alcotest.test_case "transfer_bounded gives up" `Quick
           test_network_transfer_bounded_gives_up;
