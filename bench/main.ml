@@ -210,6 +210,7 @@ let component_tests () =
             ack_time = float_of_int i +. 0.5;
             snapshot_version = i;
             commit_version = (if i mod 2 = 0 then Some (i + 1) else None);
+            epoch = 0;
             table_set = [ "t" ];
             tables_written = (if i mod 2 = 0 then [ "t" ] else []);
             write_keys = (if i mod 2 = 0 then [ ("t", string_of_int i) ] else []);

@@ -439,7 +439,7 @@ let chaos_duration_arg =
   Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
 
 let chaos_plan_arg =
-  let doc = "Fault plan: clean, lossy, partitions, gray or mixed." in
+  let doc = "Fault plan: clean, lossy, partitions, gray, mixed or cert-failover." in
   Arg.(value & opt string "mixed" & info [ "plan" ] ~docv:"PLAN" ~doc)
 
 let chaos_modes_arg =

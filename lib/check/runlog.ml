@@ -5,6 +5,7 @@ type record = {
   ack_time : float;
   snapshot_version : int;
   commit_version : int option;
+  epoch : int;  (* certifier epoch that released the decision *)
   table_set : string list;
   tables_written : string list;
   write_keys : (string * string) list;
@@ -158,6 +159,54 @@ let monotone_session_snapshots records =
     by_session;
   List.rev !violations
 
+(* Epoch fencing: commit versions must be partitioned by epoch — for any
+   two epochs e < e', every version committed under e lies strictly below
+   every version committed under e'. A violation means a deposed
+   primary's decision leaked past the fence (split brain): it released a
+   version at or above the promotion point of an epoch that superseded
+   it. *)
+let epoch_fencing records =
+  let updates =
+    List.filter_map
+      (fun r -> match r.commit_version with Some v -> Some (r, v) | None -> None)
+      records
+  in
+  (* Representative extremes per epoch: highest committed version of the
+     older epoch vs lowest of the newer. *)
+  let by_epoch = Hashtbl.create 8 in
+  List.iter
+    (fun (r, v) ->
+      match Hashtbl.find_opt by_epoch r.epoch with
+      | None -> Hashtbl.add by_epoch r.epoch ((r, v), (r, v))
+      | Some ((_, lo_v) as lo, ((_, hi_v) as hi)) ->
+        let lo = if v < lo_v then (r, v) else lo in
+        let hi = if v > hi_v then (r, v) else hi in
+        Hashtbl.replace by_epoch r.epoch (lo, hi))
+    updates;
+  let epochs = Hashtbl.fold (fun e _ acc -> e :: acc) by_epoch [] |> List.sort compare in
+  let rec walk acc = function
+    | e :: (e' :: _ as rest) ->
+      let _, (hi_r, hi_v) = Hashtbl.find by_epoch e in
+      let (lo_r, lo_v), _ = Hashtbl.find by_epoch e' in
+      let acc =
+        if hi_v >= lo_v then
+          {
+            first = hi_r;
+            second = lo_r;
+            reason =
+              Printf.sprintf
+                "epoch fence breached: T%d committed v%d under epoch %d, but T%d \
+                 committed v%d under later epoch %d"
+                hi_r.tid hi_v e lo_r.tid lo_v e';
+          }
+          :: acc
+        else acc
+      in
+      walk acc rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  walk [] epochs
+
 let digest records =
   (* Canonical rendering of everything semantically meaningful in a
      record. [trace] is excluded: trace ids depend on whether tracing
@@ -168,9 +217,10 @@ let digest records =
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%d|%d|%h|%h|%d|%s|%s|%s|%s\n" r.tid r.session
+        (Printf.sprintf "%d|%d|%h|%h|%d|%s|e%d|%s|%s|%s\n" r.tid r.session
            r.begin_time r.ack_time r.snapshot_version
            (match r.commit_version with None -> "ro" | Some v -> string_of_int v)
+           r.epoch
            (String.concat "," r.table_set)
            (String.concat "," r.tables_written)
            (String.concat ","

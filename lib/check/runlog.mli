@@ -24,6 +24,9 @@ type record = {
   ack_time : float;  (** when the client learned the commit outcome *)
   snapshot_version : int;  (** database version the txn read from *)
   commit_version : int option;  (** [None] for read-only transactions *)
+  epoch : int;
+      (** certifier epoch that released the decision (0 when no certifier
+          failover ever happened) *)
   table_set : string list;  (** declared tables the txn may access *)
   tables_written : string list;  (** tables in the writeset *)
   write_keys : (string * string) list;  (** (table, rendered key) written *)
@@ -59,6 +62,14 @@ val monotone_session_snapshots : record list -> violation list
 (** Within a session, a later transaction never reads an older snapshot
     than an earlier one's observed commit — the "never goes back in
     time" session guarantee. *)
+
+val epoch_fencing : record list -> violation list
+(** Commit versions are partitioned by certifier epoch: for any two
+    epochs e < e', every version committed under e is strictly below
+    every version committed under e'. A violation is split brain — a
+    deposed primary released a decision past the promotion point of the
+    epoch that superseded it. Trivially empty when every record carries
+    epoch 0. *)
 
 val digest : record list -> string
 (** Hex digest of the canonical rendering of the log — tid, session,

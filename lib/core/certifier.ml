@@ -3,17 +3,35 @@ type eager_state = {
   done_ : unit Sim.Ivar.t;
 }
 
-(* A standby certifier: a synchronously maintained copy of the decision
-   log (the certifier is deterministic, so the log IS the state — the
-   state-machine replication approach of §IV). *)
-type standby = {
-  mutable sb_version : int;
-  mutable sb_log : Storage.Writeset.t Util.Vec.t;
-  mutable sb_log_base : int;
+(* One member of the certifier group: the primary plus
+   [Config.certifier_standbys] standbys, each holding its own copy of
+   the decision log (the certifier is deterministic, so the log IS the
+   state — the state-machine replication approach of §IV). Member 0 is
+   the initial primary; any member can hold the primary role after a
+   failover. *)
+type cnode = {
+  cn_index : int;
+  cn_net : int;  (* network endpoint id ([Config.node_cert_standby]) *)
+  mutable cn_version : int;
+  mutable cn_log : Storage.Writeset.t Util.Vec.t;  (* index i = version cn_log_base+i+1 *)
+  mutable cn_log_base : int;
+  mutable cn_epoch : int;  (* highest epoch this member has adopted *)
+  mutable cn_crashed : bool;
+  (* Highest contiguous log position this member has acknowledged to a
+     primary (appends are contiguity-checked, so acked version v implies
+     the member holds every version <= v). *)
+  mutable cn_acked : int;
+  (* Learner/voter switch: a member that just revived or was deposed is
+     not caught up; it neither gates the ack quorum nor is eligible for
+     promotion until replication brings it back to the log head. *)
+  mutable cn_caught_up : bool;
+  (* Standby-side failure detection: when this member last heard the
+     primary answer a heartbeat. *)
+  mutable cn_last_heard : float;
 }
 
 type decision =
-  | Commit of { version : int; global_commit : unit Sim.Ivar.t option }
+  | Commit of { version : int; epoch : int; global_commit : unit Sim.Ivar.t option }
   | Abort
 
 (* One queued certification request. Requests enter [pending] in the same
@@ -40,13 +58,17 @@ type t = {
   metrics : Metrics.t option;
   cpu : Sim.Resource.t;
   pending : request Queue.t;  (* undecided requests, CPU-queue order *)
-  mutable version : int;
-  mutable log : Storage.Writeset.t Util.Vec.t;  (* index i holds version log_base+i+1 *)
-  mutable log_base : int;  (* all versions <= log_base have been pruned *)
+  nodes : cnode array;  (* member 0 first; length certifier_standbys + 1 *)
+  mutable primary : int;  (* index of the member currently holding the role *)
+  mutable epoch : int;  (* the ruling epoch = current primary's epoch *)
+  mutable epoch_base : int;  (* log head of the current primary at its promotion *)
+  (* (epoch, base) for every promotion, newest first: a rejoining member
+     reconciles by truncating to the base of the first epoch after its
+     own (everything beyond it belongs to a dead history). *)
+  mutable epoch_starts : (int * int) list;
   (* The certification index: (table, key) -> last committed version
      writing that record. Maintained only under [Config.Keyed]; covers
-     exactly the retained log, i.e. every entry's version is in
-     (log_base, version]. *)
+     exactly the retained log of the current primary. *)
   index : (string * Storage.Value.t array, int) Hashtbl.t;
   (* Highest version each subscribed replica reported applied — the
      piggybacked V_local watermarks driving log truncation ({!gc}). *)
@@ -61,13 +83,16 @@ type t = {
      only re-sent the un-acked suffix when it made no progress since the
      previous tick (progress means delivery is working). *)
   repair_seen : (int, int) Hashtbl.t;
-  subscribers : (int, (int option * int * Storage.Writeset.t) list -> unit) Hashtbl.t;
+  subscribers :
+    (int, epoch:int -> (int option * int * Storage.Writeset.t) list -> unit) Hashtbl.t;
   live : (int, unit) Hashtbl.t;
   eager_pending : (int, eager_state) Hashtbl.t;  (* keyed by version *)
-  standbys : standby array;
-  mutable crashed : bool;
-  revive : Sim.Condition.t;
+  revive : Sim.Condition.t;  (* outage gate: primary crashed -> promoted *)
+  repl_wake : Sim.Condition.t;  (* kicks the per-standby replication pushers *)
+  repl_done : Sim.Condition.t;  (* standby acks arrived / promotion happened *)
   mutable failovers : int;
+  mutable promotions : int;  (* automatic (detection-driven) promotions *)
+  mutable fenced : int;  (* stale-epoch messages/decisions rejected *)
   mutable commits : int;
   mutable aborts : int;
   mutable retransmits : int;
@@ -75,40 +100,62 @@ type t = {
   mutable faults : Sim.Faults.t option;  (* gray-failure slowdown windows *)
 }
 
-let create ?obs ?metrics engine cfg ~rng ~network ~mode =
-  {
-    engine;
-    cfg;
-    rng;
-    network;
-    mode;
-    obs;
-    metrics;
-    cpu = Sim.Resource.create engine ~servers:1;
-    pending = Queue.create ();
-    version = 0;
-    log = Util.Vec.create ();
-    log_base = 0;
-    index = Hashtbl.create 4096;
-    watermarks = Hashtbl.create 16;
-    last_heard = Hashtbl.create 16;
-    evicted = Hashtbl.create 4;
-    repair_seen = Hashtbl.create 16;
-    subscribers = Hashtbl.create 16;
-    live = Hashtbl.create 16;
-    eager_pending = Hashtbl.create 64;
-    standbys =
-      Array.init cfg.Config.certifier_standbys (fun _ ->
-          { sb_version = 0; sb_log = Util.Vec.create (); sb_log_base = 0 });
-    crashed = false;
-    revive = Sim.Condition.create engine;
-    failovers = 0;
-    commits = 0;
-    aborts = 0;
-    retransmits = 0;
-    evictions = 0;
-    faults = None;
-  }
+let node t k = t.nodes.(k)
+
+let primary_node t = t.nodes.(t.primary)
+
+let version t = (primary_node t).cn_version
+
+let log_base t = (primary_node t).cn_log_base
+
+let cpu t = t.cpu
+
+let log_size t = version t - log_base t
+
+let group_size t = Array.length t.nodes
+
+let primary_index t = t.primary
+
+let primary_net t = (primary_node t).cn_net
+
+let current_epoch t = t.epoch
+
+let epoch_base t = t.epoch_base
+
+let node_version t k = (node t k).cn_version
+
+let node_epoch t k = (node t k).cn_epoch
+
+let node_crashed t k = (node t k).cn_crashed
+
+let node_acked t k = (node t k).cn_acked
+
+let set_faults t faults = t.faults <- Some faults
+
+let fenced t = t.fenced
+
+let promotions t = t.promotions
+
+(* Replication lag of the slowest non-crashed standby behind the
+   primary's log head (0 with no standbys). *)
+let standby_lag t =
+  let p = primary_node t in
+  Array.fold_left
+    (fun acc n ->
+      if n.cn_index <> t.primary && not n.cn_crashed then
+        max acc (p.cn_version - n.cn_acked)
+      else acc)
+    0 t.nodes
+
+(* Retained log of one member, ascending (version, writeset) — the chaos
+   harness scans these for decision divergence across the group. *)
+let node_log t k =
+  let n = node t k in
+  let rec build v acc =
+    if v <= n.cn_log_base then acc
+    else build (v - 1) ((v, Util.Vec.get n.cn_log (v - n.cn_log_base - 1)) :: acc)
+  in
+  build n.cn_version []
 
 let note_heard t replica =
   Hashtbl.replace t.last_heard replica (Sim.Engine.now t.engine)
@@ -119,14 +166,6 @@ let subscribe t ~replica deliver =
   note_heard t replica;
   if not (Hashtbl.mem t.watermarks replica) then Hashtbl.replace t.watermarks replica 0
 
-let version t = t.version
-
-let cpu t = t.cpu
-
-let log_size t = t.version - t.log_base
-
-let set_faults t faults = t.faults <- Some faults
-
 let service_time t base =
   let base =
     if t.cfg.Config.service_jitter then base *. Util.Rng.exponential t.rng ~mean:1.0
@@ -134,9 +173,9 @@ let service_time t base =
   in
   match t.faults with
   | None -> base
-  | Some f -> base *. Sim.Faults.slowdown f ~node:Config.node_certifier
+  | Some f -> base *. Sim.Faults.slowdown f ~node:(primary_net t)
 
-let log_entry t v = Util.Vec.get t.log (v - t.log_base - 1)
+let log_entry_of n v = Util.Vec.get n.cn_log (v - n.cn_log_base - 1)
 
 (* The first-committer-wins check over (snapshot, version]. Both
    implementations return the same decision (pinned by golden and
@@ -165,12 +204,13 @@ let conflicts_since t ~snapshot ws =
         | None -> false)
       (Storage.Writeset.entries ws)
   | Config.Linear ->
+    let p = primary_node t in
     let rec scan v =
       if v <= snapshot then false
-      else if Storage.Writeset.conflicts ws (log_entry t v) then true
+      else if Storage.Writeset.conflicts ws (log_entry_of p v) then true
       else scan (v - 1)
     in
-    scan t.version
+    scan p.cn_version
 
 let check_conflict t ~snapshot ~ws = conflicts_since t ~snapshot ws
 
@@ -254,32 +294,348 @@ let min_watermark t =
   if Hashtbl.length t.watermarks = 0 then 0
   else Hashtbl.fold (fun _ w acc -> min acc w) t.watermarks max_int
 
-(* Synchronously replicate freshly decided commits to every standby: one
-   round trip carrying the whole batch, while the state copy itself is
-   deterministic replay of the same decisions. *)
-let replicate_to_standbys t committed =
-  if Array.length t.standbys > 0 then begin
+(* --- Group replication, epochs and failover -------------------------
+
+   Every commit decision travels to each standby as an addressed,
+   fault-injectable network message and is only released to the
+   originating replica once [Config.standby_ack_quorum] standbys have
+   acknowledged their copy. Promotion bumps the epoch; every
+   certifier-originated message (replication pushes, refresh batches,
+   repair streams, decisions) carries the epoch of the primary that
+   produced it and is fenced — dropped and counted — when it arrives
+   from a dead epoch. A deposed primary reconciles by truncating its log
+   to the promotion point of the epoch that superseded it and rejoins
+   the group as a standby. *)
+
+let note_fenced t =
+  t.fenced <- t.fenced + 1;
+  match t.metrics with Some m -> Metrics.note_fenced m | None -> ()
+
+(* The log position a member on [from_epoch] must truncate to before
+   adopting a later epoch: the base of the first promotion after its
+   epoch (everything it logged beyond that point belongs to a history
+   that lost). *)
+let reconcile_base t ~from_epoch =
+  List.fold_left
+    (fun acc (e, base) -> if e > from_epoch then min acc base else acc)
+    max_int t.epoch_starts
+
+let truncate_node n ~upto =
+  if n.cn_version > upto then begin
+    let keep = max upto n.cn_log_base in
+    let fresh = Util.Vec.create () in
+    for v = n.cn_log_base + 1 to keep do
+      Util.Vec.push fresh (log_entry_of n v)
+    done;
+    n.cn_log <- fresh;
+    n.cn_version <- keep;
+    n.cn_acked <- min n.cn_acked keep
+  end
+
+(* Adopt a newer epoch: log reconciliation (truncate the dead-history
+   tail), then mark the member a learner until replication catches it
+   back up to the ruling log head. *)
+let adopt_epoch t n ~epoch =
+  if epoch > n.cn_epoch then begin
+    truncate_node n ~upto:(reconcile_base t ~from_epoch:n.cn_epoch);
+    n.cn_epoch <- epoch;
+    (* Caught up means at the ruling log HEAD, not merely at the epoch
+       base: the base only bounds what the previous epoch released, so a
+       member reconciled down to it may still trail the release point by
+       an arbitrary margin. Granting it voter and candidate rights there
+       would let it win a later election with a stale log and re-assign
+       versions the ruling primary already released. *)
+    n.cn_caught_up <- epoch = t.epoch && n.cn_version >= (primary_node t).cn_version
+  end
+
+(* Voter set for the ack quorum and for promotion: non-crashed members
+   of the ruling epoch that are caught up to the log head. *)
+let eligible_standby t n =
+  n.cn_index <> t.primary && (not n.cn_crashed) && n.cn_epoch = t.epoch && n.cn_caught_up
+
+let quorum_met t ~target =
+  let eligible = ref 0 and acked = ref 0 in
+  Array.iter
+    (fun n ->
+      if eligible_standby t n then begin
+        incr eligible;
+        if n.cn_acked >= target then incr acked
+      end)
+    t.nodes;
+  let need =
+    if t.cfg.Config.standby_ack_quorum <= 0 then !eligible
+    else min !eligible t.cfg.Config.standby_ack_quorum
+  in
+  !acked >= need
+
+(* Promote member [k]: bump the epoch, adopt its log as the ruling
+   history, rebuild the certification index from it, and wake every
+   queued certification request. The promotion point ([epoch_base])
+   fences the deposed primary: decisions it assigned beyond it are
+   rejected everywhere and truncated at reconciliation. *)
+let promote ?(auto = false) t k =
+  let np = t.nodes.(k) in
+  assert (not np.cn_crashed);
+  let now = Sim.Engine.now t.engine in
+  let outage_ms = now -. np.cn_last_heard in
+  let epoch = 1 + Array.fold_left (fun acc n -> max acc n.cn_epoch) t.epoch t.nodes in
+  np.cn_epoch <- epoch;
+  np.cn_acked <- np.cn_version;
+  np.cn_caught_up <- true;
+  t.epoch <- epoch;
+  t.epoch_base <- np.cn_version;
+  t.epoch_starts <- (epoch, np.cn_version) :: t.epoch_starts;
+  t.primary <- k;
+  (* Every other member must reconcile against the new history before it
+     votes again; pushes and heartbeat pongs carry the epoch to them. *)
+  Array.iter (fun n -> if n.cn_index <> k then n.cn_caught_up <- false) t.nodes;
+  (* Grace period for the other detectors: a fresh promotion is contact. *)
+  Array.iter (fun n -> n.cn_last_heard <- now) t.nodes;
+  rebuild_index t ~base:np.cn_log_base ~upto:np.cn_version (fun v -> log_entry_of np v);
+  Hashtbl.reset t.repair_seen;
+  t.failovers <- t.failovers + 1;
+  if auto then begin
+    t.promotions <- t.promotions + 1;
+    match t.metrics with
+    | Some m -> Metrics.note_promotion m ~outage_ms
+    | None -> ()
+  end;
+  Sim.Condition.broadcast t.revive;
+  Sim.Condition.broadcast t.repl_done;
+  Sim.Condition.broadcast t.repl_wake
+
+(* The per-member replication pusher: whenever the ruling primary's log
+   is ahead of this member's acknowledged position, capture the missing
+   suffix, ship it as an addressed stop-and-wait transfer (retransmitted
+   by the network layer under loss, blocked by partitions), append it —
+   contiguity-checked and epoch-fenced — at the member, and return an
+   acknowledgement carrying the member's log head. A member whose gap
+   reaches below the primary's pruned log horizon is reprovisioned with
+   a full snapshot of the retained log instead. *)
+let pusher t k =
+  let sb = t.nodes.(k) in
+  let rec loop () =
+    Sim.Condition.await t.repl_wake (fun () ->
+        t.primary <> k
+        && (not sb.cn_crashed)
+        && (not (primary_node t).cn_crashed)
+        && ((primary_node t).cn_version > sb.cn_acked || sb.cn_epoch < t.epoch));
+    let p = primary_node t in
+    let push_epoch = p.cn_epoch in
+    let target = p.cn_version in
+    (* Capture the payload at send time: the log may be pruned, extended
+       or even superseded while the message is in flight. *)
+    let snapshot_base, payload =
+      if sb.cn_acked < p.cn_log_base then begin
+        (* Below the pruned horizon: full state transfer of the retained
+           log (base marker + entries). *)
+        let rec build v acc =
+          if v <= p.cn_log_base then acc else build (v - 1) ((v, log_entry_of p v) :: acc)
+        in
+        (Some p.cn_log_base, build target [])
+      end
+      else
+        let rec build v acc =
+          if v <= sb.cn_acked then acc else build (v - 1) ((v, log_entry_of p v) :: acc)
+        in
+        (None, build target [])
+    in
     let size_bytes =
       List.fold_left
-        (fun acc (r, _) -> acc + Storage.Codec.writeset_bytes r.req_ws)
-        0 committed
+        (fun acc (_, ws) -> acc + Storage.Codec.writeset_bytes ws)
+        0 payload
       + 32
     in
-    let slowest =
-      Array.fold_left
-        (fun acc _ -> Float.max acc (2.0 *. Sim.Network.latency t.network ~size_bytes))
-        0.0 t.standbys
-    in
-    Sim.Process.sleep t.engine slowest;
-    Array.iter
-      (fun sb ->
+    (* Data leg: persistent stop-and-wait — each lost attempt costs one
+       retransmission timeout; a partition blocks the pusher until it
+       heals (durability cannot be faked past a cut). *)
+    Sim.Network.transfer t.network ~src:p.cn_net ~dst:sb.cn_net ~size_bytes;
+    if not sb.cn_crashed then begin
+      if push_epoch < sb.cn_epoch then
+        (* A deposed primary's late replication push: fenced. *)
+        note_fenced t
+      else begin
+        adopt_epoch t sb ~epoch:push_epoch;
+        (* Replication traffic from the ruling primary is proof of life:
+           restart the suspicion window so a member that just finished
+           reconciling cannot fire on silence accumulated while it was
+           still an ineligible learner. *)
+        if push_epoch = t.epoch then sb.cn_last_heard <- Sim.Engine.now t.engine;
+        (match snapshot_base with
+        | Some base when base > sb.cn_version ->
+          (* Snapshot install: replace the member's log wholesale. *)
+          sb.cn_log <- Util.Vec.create ();
+          sb.cn_log_base <- base;
+          sb.cn_version <- base;
+          sb.cn_acked <- min sb.cn_acked base
+        | Some _ | None -> ());
         List.iter
-          (fun (r, v) ->
-            assert (sb.sb_version = v - 1);
-            Util.Vec.push sb.sb_log r.req_ws;
-            sb.sb_version <- v)
-          committed)
-      t.standbys
+          (fun (v, ws) ->
+            if v = sb.cn_version + 1 then begin
+              Util.Vec.push sb.cn_log ws;
+              sb.cn_version <- v
+            end)
+          payload
+      end;
+      (* Ack leg: carries the member's log head and epoch back to the
+         sender — also how a deposed primary first learns it lost. *)
+      let acked = sb.cn_version and acked_epoch = sb.cn_epoch in
+      Sim.Network.transfer t.network ~src:sb.cn_net ~dst:p.cn_net ~size_bytes:24;
+      if not p.cn_crashed then begin
+        if acked_epoch > p.cn_epoch then adopt_epoch t p ~epoch:acked_epoch;
+        (* Apply the ack only if the member is still in the epoch that
+           produced it: a reconciliation while the ack was in flight
+           truncated the very entries it covers, and replaying the stale
+           position would claim durability for log the member no longer
+           holds. Within one epoch the assignment is absolute and
+           self-correcting (the head can legitimately move backwards). *)
+        if acked_epoch = sb.cn_epoch then begin
+          sb.cn_acked <- acked;
+          if sb.cn_epoch = t.epoch && sb.cn_acked >= (primary_node t).cn_version then
+            sb.cn_caught_up <- true
+        end;
+        Sim.Condition.broadcast t.repl_done
+      end
+    end;
+    loop ()
+  in
+  loop ()
+
+(* The standby-side failure detector: ping the primary every
+   [cert_heartbeat_ms]; the pong carries the primary's epoch. After
+   [cert_suspect_after_ms] of silence plus a per-rank backoff (best
+   replicated log first, index breaking ties), the standby promotes
+   itself under a bumped epoch. Only caught-up members of the ruling
+   epoch are candidates: a member that has not reconciled could
+   resurrect a dead history. *)
+let promotion_rank t k =
+  let sk = t.nodes.(k) in
+  let r = ref 0 in
+  Array.iter
+    (fun n ->
+      if
+        n.cn_index <> k && eligible_standby t n
+        && (n.cn_version > sk.cn_version
+           || (n.cn_version = sk.cn_version && n.cn_index < k))
+      then incr r)
+    t.nodes;
+  !r
+
+let monitor t k =
+  let sb = t.nodes.(k) in
+  let rec loop () =
+    Sim.Process.sleep t.engine t.cfg.Config.cert_heartbeat_ms;
+    if t.primary = k || sb.cn_crashed then
+      (* A primary does not monitor itself; a crashed member is blind.
+         Keep the clock fresh so a later role change starts a new
+         suspicion window instead of inheriting ancient silence. *)
+      sb.cn_last_heard <- Sim.Engine.now t.engine
+    else begin
+      let pi = t.primary in
+      let p = t.nodes.(pi) in
+      Sim.Network.send t.network ~src:sb.cn_net ~dst:p.cn_net ~size_bytes:16 (fun () ->
+          if not p.cn_crashed then begin
+            let pong_epoch = p.cn_epoch in
+            Sim.Network.send t.network ~src:p.cn_net ~dst:sb.cn_net ~size_bytes:16
+              (fun () ->
+                if not sb.cn_crashed then begin
+                  sb.cn_last_heard <- Sim.Engine.now t.engine;
+                  if pong_epoch > sb.cn_epoch then adopt_epoch t sb ~epoch:pong_epoch
+                end)
+          end);
+      let now = Sim.Engine.now t.engine in
+      let silence = now -. sb.cn_last_heard in
+      let deadline =
+        t.cfg.Config.cert_suspect_after_ms
+        +. (float_of_int (promotion_rank t k) *. t.cfg.Config.promotion_backoff_ms)
+      in
+      if
+        silence > deadline && t.primary = pi
+        && (not sb.cn_crashed)
+        && sb.cn_epoch = t.epoch && sb.cn_caught_up
+      then promote ~auto:true t k
+    end;
+    loop ()
+  in
+  loop ()
+
+let create ?obs ?metrics engine cfg ~rng ~network ~mode =
+  let t =
+    {
+      engine;
+      cfg;
+      rng;
+      network;
+      mode;
+      obs;
+      metrics;
+      cpu = Sim.Resource.create engine ~servers:1;
+      pending = Queue.create ();
+      nodes =
+        Array.init
+          (cfg.Config.certifier_standbys + 1)
+          (fun k ->
+            {
+              cn_index = k;
+              cn_net = Config.node_cert_standby k;
+              cn_version = 0;
+              cn_log = Util.Vec.create ();
+              cn_log_base = 0;
+              cn_epoch = 0;
+              cn_crashed = false;
+              cn_acked = 0;
+              cn_caught_up = true;
+              cn_last_heard = Sim.Engine.now engine;
+            });
+      primary = 0;
+      epoch = 0;
+      epoch_base = 0;
+      epoch_starts = [];
+      index = Hashtbl.create 4096;
+      watermarks = Hashtbl.create 16;
+      last_heard = Hashtbl.create 16;
+      evicted = Hashtbl.create 4;
+      repair_seen = Hashtbl.create 16;
+      subscribers = Hashtbl.create 16;
+      live = Hashtbl.create 16;
+      eager_pending = Hashtbl.create 64;
+      revive = Sim.Condition.create engine;
+      repl_wake = Sim.Condition.create engine;
+      repl_done = Sim.Condition.create engine;
+      failovers = 0;
+      promotions = 0;
+      fenced = 0;
+      commits = 0;
+      aborts = 0;
+      retransmits = 0;
+      evictions = 0;
+      faults = None;
+    }
+  in
+  (* With no standbys nothing below spawns: zero extra processes, zero
+     extra events, zero extra random draws — runs with
+     [certifier_standbys = 0] are event-identical to the single-node
+     certifier (pinned by the golden tests). *)
+  if Array.length t.nodes > 1 then begin
+    for k = 0 to Array.length t.nodes - 1 do
+      Sim.Process.spawn engine (fun () -> pusher t k)
+    done;
+    if cfg.Config.reliable && cfg.Config.cert_heartbeat_ms > 0.0 then
+      for k = 0 to Array.length t.nodes - 1 do
+        Sim.Process.spawn engine (fun () -> monitor t k)
+      done
+  end;
+  t
+
+(* Quorum-gated durability: a batch's decisions are released only once
+   the required number of caught-up standbys hold them. The wait also
+   wakes on promotion, so a deposed primary's batch is not stuck behind
+   acks that will never come — its decisions are then fenced or
+   reconciled below. *)
+let await_standby_quorum t ~me ~target =
+  if Array.length t.nodes > 1 then begin
+    Sim.Condition.broadcast t.repl_wake;
+    Sim.Condition.await t.repl_done (fun () -> t.primary <> me || quorum_met t ~target)
   end
 
 (* Certify one drained batch while holding the CPU. Members are processed
@@ -287,7 +643,7 @@ let replicate_to_standbys t committed =
    members are checked against earlier ones. The first member pays the
    fixed certification cost, subsequent members only their per-row scan
    (the single pass over the log is shared). Durability — the log force
-   and the standby round trip — is paid once for the whole batch, after
+   and the standby ack quorum — is paid once for the whole batch, after
    which one refresh message per replica carries every commit the
    replica did not originate. *)
 let process_batch t batch =
@@ -295,6 +651,8 @@ let process_batch t batch =
   (match t.metrics with
   | Some m -> Metrics.note_cert_batch m ~size:(List.length batch)
   | None -> ());
+  let me = t.primary in
+  let p = t.nodes.(me) in
   let results =
     List.mapi
       (fun i r ->
@@ -304,7 +662,7 @@ let process_batch t batch =
           +. (float_of_int rows *. t.cfg.Config.certify_row_ms)
         in
         Sim.Process.sleep t.engine (service_time t cost);
-        if r.req_snapshot < t.log_base || conflicts_since t ~snapshot:r.req_snapshot r.req_ws
+        if r.req_snapshot < p.cn_log_base || conflicts_since t ~snapshot:r.req_snapshot r.req_ws
         then begin
           (* A snapshot older than the pruned log horizon cannot be
              checked and is conservatively aborted — in practice the
@@ -314,20 +672,23 @@ let process_batch t batch =
           (r, None)
         end
         else begin
-          t.version <- t.version + 1;
-          Util.Vec.push t.log r.req_ws;
-          index_commit t r.req_ws t.version;
+          p.cn_version <- p.cn_version + 1;
+          Util.Vec.push p.cn_log r.req_ws;
+          (* The index belongs to the ruling primary: a member deposed
+             mid-batch keeps assigning versions on its own (doomed) log
+             but must not pollute the rebuilt index. *)
+          if t.primary = me then index_commit t r.req_ws p.cn_version;
           t.commits <- t.commits + 1;
-          (r, Some t.version)
+          (r, Some p.cn_version)
         end)
       batch
   in
   let committed = List.filter_map (fun (r, v) -> Option.map (fun v -> (r, v)) v) results in
   (* Durable decisions before anyone learns about them: one log force
-     plus one synchronous standby round trip per batch. *)
+     plus the standby ack quorum per batch. *)
   if committed <> [] then begin
     Sim.Process.sleep t.engine (service_time t t.cfg.Config.durability_ms);
-    replicate_to_standbys t committed
+    await_standby_quorum t ~me ~target:p.cn_version
   end;
   Sim.Resource.release t.cpu;
   List.iter
@@ -341,11 +702,21 @@ let process_batch t batch =
       Obs.Trace.finish_opt t.obs r.req_span
         ~args:(decision_args @ [ ("queue_ms", Printf.sprintf "%.3f" queue_ms) ]))
     results;
+  (* Epoch fence on release: if a promotion happened while the batch was
+     waiting on its quorum, only the members that made it into the new
+     primary's history (version <= promotion point) are released as
+     commits; the rest died with the old epoch and are aborted (and
+     truncated from the deposed log at reconciliation). *)
+  let deposed = t.primary <> me in
+  let survives v = (not deposed) || v <= t.epoch_base in
   (* One refresh batch message per replica; each commit is withheld from
      its own origin (the origin installed the writeset locally at commit
      time). The refresh carries each committing transaction's trace id
-     so the remote applies land in the same trace. *)
-  if committed <> [] then
+     and the ruling epoch, so the remote applies land in the same trace
+     and stale-epoch stragglers can be fenced at the replica. *)
+  let refreshable = List.filter (fun (_, v) -> survives v) committed in
+  if refreshable <> [] then begin
+    let refresh_epoch = t.epoch and refresh_src = primary_net t in
     Hashtbl.iter
       (fun replica deliver ->
         if Hashtbl.mem t.live replica then begin
@@ -355,7 +726,7 @@ let process_batch t batch =
                 if r.req_origin <> replica then
                   Some (Option.map fst r.req_trace, v, r.req_ws)
                 else None)
-              committed
+              refreshable
           in
           if items <> [] then begin
             let size_bytes =
@@ -364,16 +735,25 @@ let process_batch t batch =
                 0 items
               + 64
             in
-            Sim.Network.send t.network ~src:Config.node_certifier ~dst:replica
-              ~size_bytes (fun () -> deliver items)
+            Sim.Network.send t.network ~src:refresh_src ~dst:replica ~size_bytes
+              (fun () -> deliver ~epoch:refresh_epoch items)
           end
         end)
-      t.subscribers;
+      t.subscribers
+  end;
   List.iter
     (fun (r, v) ->
       let decision =
         match v with
         | None -> Abort
+        | Some v when not (survives v) ->
+          (* Fenced: the decision was assigned by a deposed primary and
+             never reached the quorum — it is not in the surviving
+             history, so the client must retry against the new one. *)
+          note_fenced t;
+          t.commits <- t.commits - 1;
+          t.aborts <- t.aborts + 1;
+          Abort
         | Some v ->
           let global_commit =
             match t.mode with
@@ -387,7 +767,7 @@ let process_batch t batch =
             | Consistency.Coarse | Consistency.Fine | Consistency.Session
             | Consistency.Bounded _ -> None
           in
-          Commit { version = v; global_commit }
+          Commit { version = v; epoch = t.epoch; global_commit }
       in
       Sim.Ivar.fill r.req_decided decision)
     results
@@ -417,8 +797,10 @@ let certify ?trace ?applied t ~origin ~snapshot ~ws =
     | None -> None
   in
   let arrival = Sim.Engine.now t.engine in
-  (* During a certifier outage, requests queue until failover completes. *)
-  Sim.Condition.await t.revive (fun () -> not t.crashed);
+  (* During a certifier outage, requests queue until failover completes.
+     The revive broadcast wakes the waiters in arrival order, so the
+     queue drains into [pending] exactly as it formed. *)
+  Sim.Condition.await t.revive (fun () -> not (primary_node t).cn_crashed);
   let request =
     {
       req_origin = origin;
@@ -465,45 +847,48 @@ let ack t ~replica ~version =
       Sim.Ivar.fill state.done_ ()
     end
 
-let log_base t = t.log_base
-
 let writesets_from t from =
-  if from < t.log_base then None
+  let p = primary_node t in
+  if from < p.cn_log_base then None
   else begin
     let rec build v acc =
-      if v <= from then acc else build (v - 1) ((v, log_entry t v) :: acc)
+      if v <= from then acc else build (v - 1) ((v, log_entry_of p v) :: acc)
     in
-    Some (build t.version [])
+    Some (build p.cn_version [])
   end
 
 let prune t ~keep_after =
-  (* Keep versions > keep_after, on the primary and every standby. *)
-  if keep_after > t.log_base then begin
-    let keep_after = min keep_after t.version in
-    let fresh = Util.Vec.create () in
-    for v = keep_after + 1 to t.version do
-      Util.Vec.push fresh (log_entry t v)
-    done;
-    t.log <- fresh;
-    t.log_base <- keep_after;
+  (* Keep versions > keep_after, on every member. The horizon is clamped
+     to the slowest non-crashed member's log head so a lagging standby
+     can always be caught up from the retained log; a crashed member
+     does not pin the horizon (it is reprovisioned by snapshot transfer
+     on revival). *)
+  let p = primary_node t in
+  let keep_after =
+    Array.fold_left
+      (fun acc n -> if n.cn_crashed then acc else min acc n.cn_version)
+      (min keep_after p.cn_version)
+      t.nodes
+  in
+  if keep_after > p.cn_log_base then begin
+    Array.iter
+      (fun n ->
+        if keep_after > n.cn_log_base && n.cn_version >= keep_after then begin
+          let fresh = Util.Vec.create () in
+          for v = keep_after + 1 to n.cn_version do
+            Util.Vec.push fresh (log_entry_of n v)
+          done;
+          n.cn_log <- fresh;
+          n.cn_log_base <- keep_after
+        end)
+      t.nodes;
     (* Index entries at or below the new horizon can never certify a
        conflict again: any request with snapshot < log_base is
        conservatively aborted before the check, and for snapshot ≥
        log_base ≥ v the comparison v > snapshot is false. *)
     Hashtbl.filter_map_inplace
       (fun _ v -> if v <= keep_after then None else Some v)
-      t.index;
-    Array.iter
-      (fun sb ->
-        if keep_after > sb.sb_log_base && sb.sb_version >= keep_after then begin
-          let fresh = Util.Vec.create () in
-          for v = keep_after + 1 to sb.sb_version do
-            Util.Vec.push fresh (Util.Vec.get sb.sb_log (v - sb.sb_log_base - 1))
-          done;
-          sb.sb_log <- fresh;
-          sb.sb_log_base <- keep_after
-        end)
-      t.standbys
+      t.index
   end
 
 (* Evict replicas that are down AND silent beyond [evict_after_ms] from
@@ -550,26 +935,56 @@ let gc t =
   | Some m -> prune t ~keep_after:(max 0 (m - t.cfg.Config.watermark_slack))
 
 let crash t =
-  if Array.length t.standbys = 0 then
+  if Array.length t.nodes = 1 then
     invalid_arg "Certifier.crash: no standby configured (the decision log would be lost)";
-  t.crashed <- true
+  (primary_node t).cn_crashed <- true
 
-let is_crashed t = t.crashed
+let is_crashed t = (primary_node t).cn_crashed
+
+let revive_node t k =
+  let n = t.nodes.(k) in
+  if n.cn_crashed then begin
+    n.cn_crashed <- false;
+    n.cn_last_heard <- Sim.Engine.now t.engine;
+    if t.primary = k then
+      (* The primary came back without a failover: resume the queue. *)
+      Sim.Condition.broadcast t.revive
+    else begin
+      (* Rejoin as a standby: replication reconciles and catches it up. *)
+      n.cn_caught_up <- false;
+      Sim.Condition.broadcast t.repl_wake
+    end
+  end
 
 let failover t =
-  if not t.crashed then invalid_arg "Certifier.failover: certifier is running";
-  (* Promote standby 0: its log is a synchronous copy, so no committed
-     decision is lost (§IV: durability of decisions). The certification
-     index is volatile soft state derived from the log — the promoted
-     standby rebuilds it from its replicated log copy, so recovery needs
-     nothing beyond the state-machine replication already in place. *)
-  let sb = t.standbys.(0) in
-  assert (sb.sb_version = t.version);  (* synchronous replication invariant *)
-  rebuild_index t ~base:sb.sb_log_base ~upto:sb.sb_version (fun v ->
-      Util.Vec.get sb.sb_log (v - sb.sb_log_base - 1));
-  t.failovers <- t.failovers + 1;
-  t.crashed <- false;
-  Sim.Condition.broadcast t.revive
+  if not (is_crashed t) then invalid_arg "Certifier.failover: certifier is running";
+  (* Promote the best standby: ruling-epoch members first (no released
+     decision is lost — the ack quorum put every released decision on
+     their logs), then highest replicated log, member index breaking
+     ties. With no ruling-epoch member left, fall back to a stale-epoch
+     member — reconciled against the current history first; decisions
+     released while it was out of contact may be lost, which is the
+     operator's explicit call (the automatic path never does this). The
+     certification index is volatile soft state derived from the log —
+     the promoted member rebuilds it from its replicated log copy, so
+     recovery needs nothing beyond the state-machine replication already
+     in place. *)
+  let better n b =
+    n.cn_epoch > b.cn_epoch
+    || (n.cn_epoch = b.cn_epoch
+       && (n.cn_version > b.cn_version
+          || (n.cn_version = b.cn_version && n.cn_index < b.cn_index)))
+  in
+  let best = ref (-1) in
+  Array.iter
+    (fun n ->
+      if n.cn_index <> t.primary && not n.cn_crashed then
+        if !best < 0 || better n t.nodes.(!best) then best := n.cn_index)
+    t.nodes;
+  if !best < 0 then invalid_arg "Certifier.failover: no eligible standby";
+  let n = t.nodes.(!best) in
+  if n.cn_epoch < t.epoch then adopt_epoch t n ~epoch:t.epoch;
+  promote t !best
 
 let failovers t = t.failovers
 
@@ -594,9 +1009,11 @@ let mark_up ?applied t ~replica =
     note_heard t replica;
     if Hashtbl.mem t.evicted replica then begin
       (* Rejoin after eviction: the replica re-enters the watermark table
-         at its (state-transferred) applied version. *)
+         at its state-transferred applied version. Re-entering at 0 —
+         the old behaviour — pinned the GC floor at the log base until
+         the replica's next heartbeat happened to arrive. *)
       Hashtbl.remove t.evicted replica;
-      Hashtbl.replace t.watermarks replica 0
+      Hashtbl.replace t.watermarks replica (Option.value applied ~default:0)
     end;
     match applied with
     | Some version -> observe_applied t ~replica ~version
@@ -612,13 +1029,17 @@ let is_marked_live t ~replica = Hashtbl.mem t.live replica
    missing version). The repair tick detects stalled subscribers — live,
    behind the log head, and no watermark progress since the previous
    tick — and re-sends their un-acked log suffix. Receivers dedup by
-   version, so over-delivery is harmless ({!Replica.receive_refresh_batch}). *)
+   version, so over-delivery is harmless ({!Replica.receive_refresh_batch}).
+   Repair streams carry the ruling epoch and originate from the current
+   primary's endpoint, so a deposed primary's stragglers are fenced. *)
 
 let repair_resend_cap = 64
 let repair_catchup_cap = 256
 
 let repair_tick t =
-  if not t.crashed then
+  if not (is_crashed t) then begin
+    let p = primary_node t in
+    let repair_epoch = t.epoch in
     Hashtbl.iter
       (fun replica deliver ->
         if Hashtbl.mem t.live replica then begin
@@ -629,8 +1050,8 @@ let repair_tick t =
              the live refresh stream (broadcasts only cover new versions),
              so stream its suffix on every tick instead of waiting for the
              watermark to stall, and in bigger batches. *)
-          let deep = t.version - w > repair_resend_cap in
-          if (stalled || deep) && w < t.version && w >= t.log_base then
+          let deep = p.cn_version - w > repair_resend_cap in
+          if (stalled || deep) && w < p.cn_version && w >= p.cn_log_base then
             match writesets_from t w with
             | None -> ()
             | Some items ->
@@ -649,10 +1070,11 @@ let repair_tick t =
                 + 64
               in
               t.retransmits <- t.retransmits + 1;
-              Sim.Network.send t.network ~src:Config.node_certifier ~dst:replica
-                ~size_bytes (fun () -> deliver items)
+              Sim.Network.send t.network ~src:p.cn_net ~dst:replica ~size_bytes
+                (fun () -> deliver ~epoch:repair_epoch items)
         end)
       t.subscribers
+  end
 
 let retransmits t = t.retransmits
 

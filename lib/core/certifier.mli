@@ -3,10 +3,11 @@
     It (a) certifies update transactions against GSI's
     first-committer-wins rule, (b) assigns the total commit order by
     handing out the database version counter [V_commit], (c) makes
-    decisions durable (modelled as a log-force service time), and (d)
-    forwards each committed writeset to the other replicas as a refresh
-    transaction. For the eager configuration it additionally counts
-    per-transaction commit acknowledgements and reports global commit.
+    decisions durable (modelled as a log-force service time plus a
+    standby acknowledgement quorum), and (d) forwards each committed
+    writeset to the other replicas as a refresh transaction. For the
+    eager configuration it additionally counts per-transaction commit
+    acknowledgements and reports global commit.
 
     Certification runs on a single-server CPU resource, so decisions are
     totally ordered. The writeset log is retained (indexed by version),
@@ -36,18 +37,35 @@
     [Config.cert_batch] queued requests, certifying them in one pass in
     arrival order. Intra-batch write-write conflicts abort the later
     arrival; the batch is assigned a contiguous version range, forced to
-    the log once, replicated to the standbys in one round trip, and
+    the log once, replicated to the standbys before release, and
     propagated as one refresh batch message per replica. With
     [cert_batch = 1] every batch is a singleton and the event sequence —
     sleeps, random draws, message sizes — is identical to unbatched
-    certification. *)
+    certification.
+
+    {b Certifier high availability} (docs/PROTOCOL.md, "Certifier HA"):
+    with [certifier_standbys > 0] the certifier is a {e group} of
+    members, each with its own network endpoint
+    ([Config.node_cert_standby]) and log copy. Commit decisions travel
+    to the standbys as addressed, fault-injectable stop-and-wait
+    transfers and are released only after [Config.standby_ack_quorum]
+    caught-up standbys acknowledged them. In reliable mode standbys run
+    a heartbeat failure detector against the primary and self-promote —
+    best replicated log first — after [Config.cert_suspect_after_ms] of
+    silence. Promotion bumps the {e epoch}; every certifier-originated
+    message carries it and stale-epoch traffic is fenced, so a deposed
+    but alive primary cannot commit behind the group's back and rejoins
+    as a standby via log reconciliation (truncate to the promotion
+    point, re-replicate forward). *)
 
 type t
 
 type decision =
-  | Commit of { version : int; global_commit : unit Sim.Ivar.t option }
-      (** [global_commit] is present only under {!Consistency.Eager}: it
-          fills once every live replica has committed the transaction. *)
+  | Commit of { version : int; epoch : int; global_commit : unit Sim.Ivar.t option }
+      (** [epoch] is the certifier epoch that released the decision (0
+          until a failover ever happens). [global_commit] is present
+          only under {!Consistency.Eager}: it fills once every live
+          replica has committed the transaction. *)
   | Abort
 
 val create :
@@ -56,27 +74,31 @@ val create :
 (** With [obs], every certification request emits a service span
     (component {!Obs.Span.Certifier}) carrying origin, snapshot, queue
     wait and the decision. With [metrics], each batch is recorded via
-    {!Metrics.note_cert_batch}. *)
+    {!Metrics.note_cert_batch}. With [certifier_standbys > 0] this also
+    spawns the per-standby replication pushers, and — in reliable mode
+    with [cert_heartbeat_ms > 0] — the standby failure detectors; with
+    no standbys neither exists and runs are event-identical to the
+    single-node certifier. *)
 
 val subscribe :
   t -> replica:int ->
-  ((int option * int * Storage.Writeset.t) list -> unit) -> unit
+  (epoch:int -> (int option * int * Storage.Writeset.t) list -> unit) -> unit
 (** Register a replica's refresh-delivery callback (invoked after a
     sampled network delay). Subscribing marks the replica live. The
-    callback receives one batch of [(trace, version, writeset)] refresh
-    transactions in ascending version order — a singleton list when
-    [cert_batch = 1]. [trace] is the committing transaction's trace id
-    when the run is traced. *)
+    callback receives the releasing certifier's epoch and one batch of
+    [(trace, version, writeset)] refresh transactions in ascending
+    version order — a singleton list when [cert_batch = 1]. [trace] is
+    the committing transaction's trace id when the run is traced. *)
 
 val version : t -> int
-(** Current [V_commit]. *)
+(** Current [V_commit] (of the current primary). *)
 
 val cpu : t -> Sim.Resource.t
 (** The single-server certification CPU (for telemetry probes: its queue
     length is the certifier backlog). *)
 
 val log_size : t -> int
-(** Retained log entries ([version - log_base]). *)
+(** Retained log entries ([version - log_base]) on the current primary. *)
 
 val certify :
   ?trace:int * Obs.Span.t option ->
@@ -151,10 +173,12 @@ val log_base : t -> int
 (** Highest pruned version; the log covers (log_base, version]. *)
 
 val prune : t -> keep_after:int -> unit
-(** Discard log entries [<= keep_after] (bounded-memory operation; the
-    cluster prunes behind the slowest replica). Transactions whose
-    snapshot falls below the horizon are conservatively aborted at
-    certification. *)
+(** Discard log entries [<= keep_after], on every group member (bounded
+    memory; the cluster prunes behind the slowest replica). The horizon
+    is additionally clamped to the slowest non-crashed member's log head
+    so a lagging standby can always catch up from the retained log.
+    Transactions whose snapshot falls below the horizon are
+    conservatively aborted at certification. *)
 
 val mark_down : t -> replica:int -> unit
 (** Remove a replica from the live set; pending eager transactions stop
@@ -163,7 +187,8 @@ val mark_down : t -> replica:int -> unit
 val mark_up : ?applied:int -> t -> replica:int -> unit
 (** Return a replica to the live set. [applied] reports its recovered
     [V_local] (after catch-up or state transfer), re-seeding its
-    watermark — an evicted replica re-enters the table here. *)
+    watermark — an evicted replica re-enters the table at that version
+    (not 0), so the GC floor resumes immediately. *)
 
 val is_marked_live : t -> replica:int -> bool
 
@@ -173,7 +198,8 @@ val repair_tick : t -> unit
     progress since the previous tick, re-send (up to a cap) its un-acked
     log suffix as a refresh batch. Receivers dedup by version, so
     over-delivery is harmless; delivery still traverses the (lossy)
-    network. *)
+    network. Repair streams originate from the current primary's
+    endpoint and carry the ruling epoch. *)
 
 val retransmits : t -> int
 (** Repair re-sends performed (monotonic). *)
@@ -181,27 +207,84 @@ val retransmits : t -> int
 val decisions : t -> int * int
 (** (commits, aborts) decided since creation. *)
 
-(** {2 Certifier replication (state-machine approach, §IV)}
+(** {2 Certifier replication and failover (state-machine approach, §IV)}
 
-    With [certifier_standbys > 0] every commit decision is synchronously
-    copied to the standby logs before the originating replica learns it,
-    so a crash loses no decision and {!failover} promotes a standby
-    immediately. While crashed, new certification requests queue and
-    resume after failover; read-only transactions are unaffected. *)
+    With [certifier_standbys > 0] every commit decision is replicated
+    over the network to the standby logs before the originating replica
+    learns it, so a crash loses no released decision and promotion
+    recovers immediately. While no primary is available, new
+    certification requests queue in arrival order and resume after
+    promotion; read-only transactions are unaffected. *)
 
 val crash : t -> unit
-(** Fail-stop the primary certifier. Raises [Invalid_argument] when no
+(** Fail-stop the current primary. Raises [Invalid_argument] when no
     standby is configured. *)
 
 val is_crashed : t -> bool
+(** Whether the member currently holding the primary role is crashed
+    (i.e. the group has no acting primary). *)
 
 val failover : t -> unit
-(** Promote a standby and resume queued certification requests. *)
+(** Manually promote the best eligible standby — highest replicated log
+    first, member index breaking ties — and resume queued certification
+    requests. Raises [Invalid_argument] if the primary is running or no
+    eligible standby exists. The automatic path (reliable mode) runs the
+    same promotion from the standby failure detectors. *)
 
 val failovers : t -> int
-(** Number of failovers performed. *)
+(** Number of promotions performed (manual + automatic). *)
+
+val promotions : t -> int
+(** Automatic (detection-driven) promotions only. *)
+
+val fenced : t -> int
+(** Stale-epoch messages and decisions rejected by an epoch fence. *)
+
+(** {2 Group introspection (telemetry, chaos checkers)} *)
+
+val group_size : t -> int
+(** Members in the certifier group ([certifier_standbys + 1]). *)
+
+val primary_index : t -> int
+(** Member index currently holding the primary role. *)
+
+val primary_net : t -> int
+(** Network endpoint id of the current primary — the [src] of decisions
+    and refresh batches, the [dst] of certification requests. *)
+
+val current_epoch : t -> int
+
+val epoch_base : t -> int
+(** Log head of the current primary at its promotion: decisions beyond
+    it from earlier epochs are fenced; decisions at or below it
+    survived into the ruling history. *)
+
+val node_version : t -> int -> int
+(** Log head of member [k]. *)
+
+val node_epoch : t -> int -> int
+
+val node_crashed : t -> int -> bool
+
+val node_acked : t -> int -> int
+(** Highest log position member [k] has acknowledged to a primary. *)
+
+val node_log : t -> int -> (int * Storage.Writeset.t) list
+(** Member [k]'s retained log, ascending [(version, writeset)] — the
+    chaos harness compares these across members for decision
+    divergence. *)
+
+val standby_lag : t -> int
+(** Versions the slowest non-crashed standby's acknowledged position
+    trails the primary's log head; 0 with no standbys. *)
+
+val revive_node : t -> int -> unit
+(** Bring a crashed member back. A revived primary (no promotion
+    happened meanwhile) resumes the queue; a revived ex-primary or
+    standby rejoins as a learner and is reconciled and caught up by
+    replication before it votes or becomes promotable again. *)
 
 val set_faults : t -> Sim.Faults.t -> unit
 (** Attach the cluster's fault plan: the certifier consults
-    {!Sim.Faults.slowdown} (keyed by [Config.node_certifier]) on every
-    service time, modelling gray failure of the certifier host. *)
+    {!Sim.Faults.slowdown} (keyed by the current primary's endpoint) on
+    every service time, modelling gray failure of the certifier host. *)

@@ -99,6 +99,8 @@ let crash_certifier t = Certifier.crash t.certifier
 
 let failover_certifier t = Certifier.failover t.certifier
 
+let revive_certifier_node t k = Certifier.revive_node t.certifier k
+
 let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_536)
     ?faults ~mode ~schemas ~load () =
   let engine = Sim.Engine.create () in
@@ -170,14 +172,16 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
   Array.iter
     (fun replica ->
       let id = Replica.id replica in
-      Certifier.subscribe certifier ~replica:id (fun batch ->
-          Replica.receive_refresh_batch replica batch);
+      Certifier.subscribe certifier ~replica:id (fun ~epoch batch ->
+          Replica.receive_refresh_batch ~epoch replica batch);
       Replica.set_on_commit replica (fun ~version ->
           if config.Config.reliable then
-            (* The commit ack rides the (lossy) network; a lost ack is
-               eventually covered by a heartbeat's cumulative watermark. *)
-            Sim.Network.send network ~src:id ~dst:Config.node_certifier ~size_bytes:24
-              (fun () -> Certifier.ack certifier ~replica:id ~version)
+            (* The commit ack rides the (lossy) network to whichever
+               group member currently holds the primary role; a lost ack
+               is eventually covered by a heartbeat's cumulative
+               watermark. *)
+            Sim.Network.send network ~src:id ~dst:(Certifier.primary_net certifier)
+              ~size_bytes:24 (fun () -> Certifier.ack certifier ~replica:id ~version)
           else Certifier.ack certifier ~replica:id ~version);
       Replica.start replica)
     replicas;
@@ -223,8 +227,8 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
                     (fun () ->
                       Load_balancer.note_contact lb ~replica:id
                         ~now:(Sim.Engine.now engine));
-                  Sim.Network.send network ~src:id ~dst:Config.node_certifier
-                    ~size_bytes:16 (fun () ->
+                  Sim.Network.send network ~src:id
+                    ~dst:(Certifier.primary_net certifier) ~size_bytes:16 (fun () ->
                       Certifier.heartbeat certifier ~replica:id ~applied:v)
                 end;
                 loop ()
@@ -366,6 +370,21 @@ let update_gauges t =
     (Obs.Registry.gauge t.registry "certifier.evictions")
     (float_of_int (Certifier.evictions t.certifier));
   Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.epoch")
+    (float_of_int (Certifier.current_epoch t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.fenced")
+    (float_of_int (Certifier.fenced t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.promotions")
+    (float_of_int (Certifier.promotions t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.standby_lag")
+    (float_of_int (Certifier.standby_lag t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "lb.cert_fenced")
+    (float_of_int (Load_balancer.cert_fenced t.lb));
+  Obs.Registry.set
     (Obs.Registry.gauge t.registry "lb.suspects")
     (float_of_int (Load_balancer.suspect_events t.lb));
   Obs.Registry.set
@@ -403,6 +422,10 @@ let attach_probes t sampler =
       float_of_int (Certifier.min_watermark t.certifier));
   Obs.Sampler.add sampler ~name:"certifier.index_size" (fun () ->
       float_of_int (Certifier.index_size t.certifier));
+  Obs.Sampler.add sampler ~name:"certifier.epoch" (fun () ->
+      float_of_int (Certifier.current_epoch t.certifier));
+  Obs.Sampler.add sampler ~name:"certifier.standby_lag" (fun () ->
+      float_of_int (Certifier.standby_lag t.certifier));
   Obs.Sampler.add sampler ~name:"net.retransmits" (fun () ->
       float_of_int (Sim.Network.retransmits t.network));
   (match t.faults with
@@ -424,7 +447,8 @@ let start_telemetry ?interval_ms t =
 let render_key key =
   String.concat "," (List.map Storage.Value.to_string (Array.to_list key))
 
-let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~table_set ~ws ~trace =
+let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~epoch ~table_set ~ws
+    ~trace =
   if t.cfg.Config.record_log then begin
     let entries = Storage.Writeset.entries ws in
     let record =
@@ -435,6 +459,7 @@ let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~table_set ~
         ack_time = Sim.Engine.now t.engine;
         snapshot_version = snapshot;
         commit_version;
+        epoch;
         table_set;
         tables_written = Storage.Writeset.tables ws;
         write_keys =
@@ -588,15 +613,19 @@ let submit t ~sid (req : Transaction.request) =
         Metrics.txn_commit mtxn ~read_only:true;
         Obs.Registry.incr t.c_commit_ro;
         record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version:None
+          ~epoch:(Certifier.current_epoch t.certifier)
           ~table_set:req.Transaction.table_set ~ws ~trace:(Metrics.txn_trace_id mtxn);
         Transaction.Committed { commit_version = None; snapshot; stages; response_ms }
       end
       else begin
-        (* Stage: certify — round trip to the certifier. *)
+        (* Stage: certify — round trip to whichever group member holds
+           the primary role when the request leaves. *)
         Metrics.stage_enter mtxn Metrics.Certify;
         let ws_bytes = Storage.Codec.writeset_bytes ws + 64 in
         match
-          leg_req ~src:replica_id ~dst:Config.node_certifier ~size_bytes:ws_bytes
+          leg_req ~src:replica_id
+            ~dst:(Certifier.primary_net t.certifier)
+            ~size_bytes:ws_bytes
         with
         | Error `Timeout -> abort Transaction.Timeout
         | Ok () ->
@@ -610,13 +639,27 @@ let submit t ~sid (req : Transaction.request) =
             ~origin:replica_id ~snapshot ~ws
         in
         (* The decision leg is persistent: once certified, the outcome
-           is durable at the certifier and must reach the replica. *)
-        Sim.Network.transfer t.network ~src:Config.node_certifier ~dst:replica_id
-          ~size_bytes:32;
+           is durable at the certifier group and must reach the replica.
+           It originates at the member that currently holds the role —
+           after a failover the new primary answers for surviving
+           decisions of older epochs. *)
+        Sim.Network.transfer t.network
+          ~src:(Certifier.primary_net t.certifier)
+          ~dst:replica_id ~size_bytes:32;
         Metrics.stage_exit mtxn Metrics.Certify;
         match decision with
         | Certifier.Abort -> abort Transaction.Certification_conflict
-        | Certifier.Commit { version; global_commit } -> (
+        | Certifier.Commit { version; epoch; global_commit = _ }
+          when
+            epoch < Certifier.current_epoch t.certifier
+            && version > Certifier.epoch_base t.certifier ->
+          (* Defensive replica-side fence: a commit stamped by a deposed
+             primary for a version past the promotion point is not part
+             of the surviving history. The certifier normally converts
+             these to aborts itself, so this arm is belt-and-braces. *)
+          Metrics.note_fenced t.metrics;
+          abort Transaction.Certification_conflict
+        | Certifier.Commit { version; epoch; global_commit } -> (
           (* Stages: sync (wait for predecessors) then commit; the
              sequencer reports when the commit work began, splitting the
              wait retroactively. *)
@@ -637,7 +680,7 @@ let submit t ~sid (req : Transaction.request) =
               Sim.Ivar.read ivar;
               Metrics.stage_exit mtxn Metrics.Global);
             respond t ~replica_id ~ack_bytes:64 ~on_lb:(fun () ->
-                Load_balancer.note_commit_ack t.lb ~sid ~version
+                Load_balancer.note_commit_ack ~epoch t.lb ~sid ~version
                   ~tables_written:(Storage.Writeset.tables ws));
             let response_ms = now () -. begin_time in
             let stages = Metrics.txn_stages mtxn in
@@ -645,7 +688,7 @@ let submit t ~sid (req : Transaction.request) =
               ~args:[ ("version", string_of_int version) ];
             Obs.Registry.incr t.c_commit;
             record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version:(Some version)
-              ~table_set:req.Transaction.table_set ~ws
+              ~epoch ~table_set:req.Transaction.table_set ~ws
               ~trace:(Metrics.txn_trace_id mtxn);
             Log.debug (fun m ->
                 m "[%.3f] T%d committed at v%d (snapshot v%d, %.2fms)" (now ()) tid

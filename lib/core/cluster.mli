@@ -106,6 +106,14 @@ val recover_replica : t -> int -> unit
 
 val crash_certifier : t -> unit
 (** Fail-stop the certifier primary (requires [certifier_standbys > 0]).
-    Update transactions queue until {!failover_certifier}. *)
+    Update transactions queue until a standby is promoted — manually via
+    {!failover_certifier}, or automatically by the standby failure
+    detectors in reliable mode. *)
 
 val failover_certifier : t -> unit
+(** Manually promote the best eligible standby ({!Certifier.failover}). *)
+
+val revive_certifier_node : t -> int -> unit
+(** Bring a crashed certifier group member back
+    ({!Certifier.revive_node}): a deposed ex-primary rejoins as a
+    standby and is reconciled against the ruling epoch. *)

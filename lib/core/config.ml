@@ -32,6 +32,10 @@ type t = {
   cert_batch : int;
   cert_index : cert_index;
   certifier_standbys : int;
+  standby_ack_quorum : int;
+  cert_heartbeat_ms : float;
+  cert_suspect_after_ms : float;
+  promotion_backoff_ms : float;
   apply_parallelism : int;
   hiccup_interval_ms : float;
   hiccup_duration_ms : float;
@@ -64,6 +68,12 @@ let node_client = -4
 let node_lb = -3
 let node_certifier = -2
 
+(* Certifier group members: member 0 (the initial primary) keeps the
+   classic [node_certifier] id; standby [k >= 1] gets a fixed id below
+   the other roles so fault plans can partition an individual standby —
+   or a promoted primary — without touching the rest of the cluster. *)
+let node_cert_standby k = if k = 0 then node_certifier else -8 - k
+
 let default =
   {
     seed = 42;
@@ -87,6 +97,10 @@ let default =
     cert_batch = 1;
     cert_index = Keyed;
     certifier_standbys = 0;
+    standby_ack_quorum = 0;
+    cert_heartbeat_ms = 10.0;
+    cert_suspect_after_ms = 40.0;
+    promotion_backoff_ms = 10.0;
     apply_parallelism = 1;
     hiccup_interval_ms = 1_500.0;
     hiccup_duration_ms = 150.0;
@@ -149,7 +163,9 @@ let pp ppf c =
      jitter=%b retries=%d record_log=%b watermark_slack=%d@,\
      reliable=%b rto=%.1fms max_retransmits=%d retransmit=%.0fms \
      heartbeat=%.0fms suspect=%.0fms dead=%.0fms evict=%.0fms \
-     start_wait=%.0fms backoff=%.1f..%.0fms@]"
+     start_wait=%.0fms backoff=%.1f..%.0fms@,\
+     certifier HA: standbys=%d ack_quorum=%s heartbeat=%.0fms suspect=%.0fms \
+     promotion_backoff=%.0fms@]"
     c.replicas c.cpus_per_replica c.seed c.net_base_ms c.net_jitter_ms c.net_bandwidth_mbps
     c.lb_ms c.stmt_base_ms c.row_scan_ms c.row_read_ms c.row_write_ms c.ro_commit_ms
     c.commit_ms c.ws_apply_base_ms c.ws_apply_row_ms c.certify_base_ms c.certify_row_ms
@@ -157,3 +173,6 @@ let pp ppf c =
     c.service_jitter c.max_retries c.record_log c.watermark_slack c.reliable c.rto_ms
     c.max_retransmits c.retransmit_ms c.heartbeat_ms c.suspect_after_ms c.dead_after_ms
     c.evict_after_ms c.start_wait_timeout_ms c.retry_backoff_ms c.retry_backoff_max_ms
+    c.certifier_standbys
+    (if c.standby_ack_quorum <= 0 then "all" else string_of_int c.standby_ack_quorum)
+    c.cert_heartbeat_ms c.cert_suspect_after_ms c.promotion_backoff_ms

@@ -76,6 +76,29 @@ type t = {
           standby before the originating replica learns it, adding one
           network round trip; a standby can then take over after a
           certifier crash with no lost decisions. 0 = single certifier. *)
+  standby_ack_quorum : int;
+      (** standby acknowledgements a commit batch waits for before its
+          decisions are released (docs/PROTOCOL.md, "Certifier HA").
+          [<= 0] (the default) means {e all} standbys — the only setting
+          under which the promotion rule (highest acked log wins) is
+          guaranteed to preserve every released decision; smaller quorums
+          trade that guarantee for latency (see ROADMAP open items).
+          Clamped to the number of live standbys. *)
+  cert_heartbeat_ms : float;
+      (** certifier-group heartbeat period: each standby pings the
+          primary and the pong carries the primary's epoch and log head.
+          Active only under [reliable] with [certifier_standbys > 0];
+          0 disables automatic failover (manual {!Certifier.failover}
+          still works). *)
+  cert_suspect_after_ms : float;
+      (** silence from the primary before a standby suspects it and arms
+          promotion *)
+  promotion_backoff_ms : float;
+      (** per-rank promotion stagger: the standby with the [n]-th best
+          (highest) replicated log waits [n * promotion_backoff_ms]
+          beyond the suspicion timeout before self-promoting, so the
+          best-replicated eligible standby wins without an election
+          protocol *)
   apply_parallelism : int;
       (** conflict-aware parallel refresh application: the maximum number
           of concurrent apply lanes a replica's commit sequencer forks
@@ -175,6 +198,11 @@ val node_client : int
 val node_lb : int
 
 val node_certifier : int
+
+val node_cert_standby : int -> int
+(** Network id of certifier-group member [k]: member 0 (the initial
+    primary) is {!node_certifier}; standby [k >= 1] gets its own fixed
+    negative id so fault plans can cut it off individually. *)
 
 val default : t
 (** 8 replicas, 2 CPUs each, LAN latencies, service times calibrated so

@@ -16,6 +16,8 @@ type t = {
   mutable failover_events : int;
   mutable next_rr : int;
   mutable v_system : int;
+  mutable cert_epoch : int;  (* highest certifier epoch seen on an ack *)
+  mutable cert_fenced : int;  (* acks observed carrying a stale epoch *)
   table_versions : (string, int) Hashtbl.t;
   session_versions : (int, int) Hashtbl.t;
 }
@@ -33,6 +35,8 @@ let create ?rng cfg ~mode =
     failover_events = 0;
     next_rr = 0;
     v_system = 0;
+    cert_epoch = 0;
+    cert_fenced = 0;
     table_versions = Hashtbl.create 64;
     session_versions = Hashtbl.create 256;
   }
@@ -155,7 +159,15 @@ let start_version t ~sid ~table_set =
   | Consistency.Session -> session_version t ~sid
   | Consistency.Bounded k -> max 0 (t.v_system - k)
 
-let note_commit_ack t ~sid ~version ~tables_written =
+let note_commit_ack ?(epoch = 0) t ~sid ~version ~tables_written =
+  (* Epoch bookkeeping only: a commit released under an older epoch is
+     still a valid decision of the surviving history (the certifier
+     fences non-surviving decisions itself), so its version MUST still
+     advance [V_system] — ignoring it would hand out staler start
+     versions and weaken the consistency guarantee, not strengthen it.
+     The counters surface how much cross-epoch traffic the LB relays. *)
+  if epoch > t.cert_epoch then t.cert_epoch <- epoch
+  else if epoch < t.cert_epoch then t.cert_fenced <- t.cert_fenced + 1;
   if version > t.v_system then t.v_system <- version;
   List.iter
     (fun table ->
@@ -170,6 +182,10 @@ let note_snapshot_ack t ~sid ~snapshot =
     Hashtbl.replace t.session_versions sid snapshot
 
 let v_system t = t.v_system
+
+let cert_epoch t = t.cert_epoch
+
+let cert_fenced t = t.cert_fenced
 
 let session_count t = Hashtbl.length t.session_versions
 

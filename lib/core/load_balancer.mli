@@ -72,10 +72,21 @@ val start_version : t -> sid:int -> table_set:string list -> int
     may start, per the balancer's consistency mode. *)
 
 val note_commit_ack :
-  t -> sid:int -> version:int -> tables_written:string list -> unit
+  ?epoch:int -> t -> sid:int -> version:int -> tables_written:string list -> unit
 (** Called when relaying a successful update-commit response to the
     client: updates [V_system], the written tables' [V_t], and the
-    session version. *)
+    session version. [epoch] (default 0) is the certifier epoch that
+    released the decision: a higher epoch is adopted, a stale one is
+    counted ({!cert_fenced}) — but the version is applied either way,
+    because a released decision belongs to the surviving history
+    whatever epoch stamped it; refusing it would only weaken start
+    versions. *)
+
+val cert_epoch : t -> int
+(** Highest certifier epoch seen on any commit ack. *)
+
+val cert_fenced : t -> int
+(** Commit acks relayed that carried a stale certifier epoch. *)
 
 val note_snapshot_ack : t -> sid:int -> snapshot:int -> unit
 (** Called when relaying a read-only commit in session mode: raises the

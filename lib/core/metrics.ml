@@ -45,6 +45,10 @@ type t = {
   mutable retransmits : int;
   mutable suspects : int;
   mutable failovers : int;
+  (* certifier high availability *)
+  mutable promotions : int;
+  mutable fenced : int;
+  outage_windows : Util.Stats.t;  (* commit-outage span per promotion, ms *)
 }
 
 let create engine =
@@ -70,6 +74,9 @@ let create engine =
     retransmits = 0;
     suspects = 0;
     failovers = 0;
+    promotions = 0;
+    fenced = 0;
+    outage_windows = Util.Stats.create ();
   }
 
 let reset_window t =
@@ -92,7 +99,10 @@ let reset_window t =
   t.fault_delays <- 0;
   t.retransmits <- 0;
   t.suspects <- 0;
-  t.failovers <- 0
+  t.failovers <- 0;
+  t.promotions <- 0;
+  t.fenced <- 0;
+  Util.Stats.clear t.outage_windows
 
 let note_cert_batch t ~size =
   t.cert_batches <- t.cert_batches + 1;
@@ -235,6 +245,17 @@ let note_suspect t = t.suspects <- t.suspects + 1
 
 let note_failover t = t.failovers <- t.failovers + 1
 
+let note_promotion t ~outage_ms =
+  t.promotions <- t.promotions + 1;
+  Util.Stats.add t.outage_windows outage_ms
+
+let note_fenced t = t.fenced <- t.fenced + 1
+
+let promotions t = t.promotions
+let fenced t = t.fenced
+let outage_windows t = t.outage_windows
+let outage_max_ms t = Util.Stats.max_value t.outage_windows
+
 let fault_drops t = t.fault_drops
 let fault_duplicates t = t.fault_duplicates
 let fault_delays t = t.fault_delays
@@ -316,4 +337,10 @@ let pp_summary ppf t =
       "faults: drops=%d dups=%d delays=%d retransmits=%d suspects=%d failovers=%d@,"
       t.fault_drops t.fault_duplicates t.fault_delays t.retransmits t.suspects
       t.failovers;
+  if t.promotions + t.fenced > 0 then
+    Format.fprintf ppf
+      "certifier HA: promotions=%d fenced=%d outage mean=%.1fms max=%.1fms@,"
+      t.promotions t.fenced
+      (Util.Stats.mean t.outage_windows)
+      (Util.Stats.max_value t.outage_windows);
   Format.fprintf ppf "@]"

@@ -118,6 +118,25 @@ val note_suspect : t -> unit
 val note_failover : t -> unit
 (** A replica was declared dead (routing failover), or reprovisioned. *)
 
+val note_promotion : t -> outage_ms:float -> unit
+(** A certifier standby promoted itself (or was promoted); [outage_ms]
+    is the span since the deposed primary was last known good — the
+    commit-outage window the failover closed. *)
+
+val note_fenced : t -> unit
+(** A stale-epoch certifier message (refresh batch, repair stream,
+    replication push or decision) was rejected by an epoch fence. *)
+
+val promotions : t -> int
+
+val fenced : t -> int
+
+val outage_windows : t -> Util.Stats.t
+(** Per-promotion commit-outage spans (ms). *)
+
+val outage_max_ms : t -> float
+(** Largest outage window closed by a promotion; 0 when none. *)
+
 val fault_drops : t -> int
 
 val fault_duplicates : t -> int

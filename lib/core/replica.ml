@@ -19,6 +19,8 @@ type t = {
   active : (int, Storage.Txn.t * bool ref) Hashtbl.t;  (* tid -> txn, abort flag *)
   mutable crashed : bool;
   mutable epoch : int;  (* bumped on crash: cancels in-flight apply lanes *)
+  mutable cert_epoch : int;  (* highest certifier epoch seen on a refresh *)
+  mutable fenced_refreshes : int;  (* stale-epoch refresh batches dropped *)
   mutable applying : Storage.Writeset.t list;
       (* writesets of the parallel apply group in flight (removed from
          [slots] but not yet published) — still visible to early
@@ -50,6 +52,8 @@ let create ?obs ?metrics engine cfg ~rng ~id db =
     active = Hashtbl.create 64;
     crashed = false;
     epoch = 0;
+    cert_epoch = 0;
+    fenced_refreshes = 0;
     applying = [];
     pending_keys = Hashtbl.create 256;
     slow_until = neg_infinity;
@@ -445,8 +449,8 @@ let commit_local t ~version ~ws =
 let commit_read_only t _txn =
   Sim.Resource.use t.cpu ~duration:(service_time t t.cfg.Config.ro_commit_ms)
 
-let receive_refresh_batch t items =
-  if not t.crashed then begin
+let enqueue_refresh_batch t items =
+  begin
     List.iter
       (fun (trace, version, ws) ->
         (* Dedup by version: the network may duplicate batches and the
@@ -471,7 +475,27 @@ let receive_refresh_batch t items =
     Sim.Condition.broadcast t.slot_arrived
   end
 
-let receive_refresh ?trace t ~version ~ws = receive_refresh_batch t [ (trace, version, ws) ]
+let receive_refresh_batch ?(epoch = 0) t items =
+  if not t.crashed then begin
+    (* Certifier epoch fence: a batch from an epoch older than one we
+       have already seen was released by a deposed primary — its
+       versions may collide with the surviving history, so the whole
+       batch is dropped and counted. A higher epoch is adopted. With no
+       certifier failover every batch carries epoch 0 and the fence is
+       inert. *)
+    if epoch < t.cert_epoch then t.fenced_refreshes <- t.fenced_refreshes + 1
+    else begin
+      if epoch > t.cert_epoch then t.cert_epoch <- epoch;
+      enqueue_refresh_batch t items
+    end
+  end
+
+let cert_epoch t = t.cert_epoch
+
+let fenced_refreshes t = t.fenced_refreshes
+
+let receive_refresh ?trace ?epoch t ~version ~ws =
+  receive_refresh_batch ?epoch t [ (trace, version, ws) ]
 
 let set_on_commit t f = t.on_commit <- Some f
 

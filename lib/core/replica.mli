@@ -86,12 +86,18 @@ val commit_read_only : t -> Storage.Txn.t -> unit
 
 (** {2 Certifier-side operations} *)
 
-val receive_refresh_batch : t -> (int option * int * Storage.Writeset.t) list -> unit
+val receive_refresh_batch :
+  ?epoch:int -> t -> (int option * int * Storage.Writeset.t) list -> unit
 (** Deliver one certifier batch of [(trace, version, writeset)] refresh
     transactions (called via the network; the {!Certifier.subscribe}
-    callback). For each writeset: aborts conflicting active local
-    transactions (early certification) and queues it for the sequencer.
-    Delivery is idempotent — versions are the sequence numbers, and any
+    callback). [epoch] (default 0) is the releasing certifier's epoch:
+    batches from an epoch older than the highest seen are fenced —
+    dropped whole and counted in {!fenced_refreshes} — so a deposed
+    primary's stragglers cannot land versions from a dead history; a
+    higher epoch is adopted. For each surviving writeset: aborts
+    conflicting active local transactions (early certification) and
+    queues it for the sequencer. Delivery is idempotent — versions are
+    the sequence numbers, and any
     version already applied or already queued (including a pending local
     commit) is silently dropped, making duplicated batches and the
     certifier's repair resends safe. The whole batch is dropped while
@@ -99,10 +105,17 @@ val receive_refresh_batch : t -> (int option * int * Storage.Writeset.t) list ->
     or as conflict-partitioned parallel groups — is governed by
     [Config.apply_parallelism]. *)
 
-val receive_refresh : ?trace:int -> t -> version:int -> ws:Storage.Writeset.t -> unit
+val receive_refresh :
+  ?trace:int -> ?epoch:int -> t -> version:int -> ws:Storage.Writeset.t -> unit
 (** [receive_refresh_batch] of the singleton [(trace, version, ws)].
     [trace] is the committing transaction's trace id, threaded into the
     apply span. *)
+
+val cert_epoch : t -> int
+(** Highest certifier epoch seen on any refresh batch. *)
+
+val fenced_refreshes : t -> int
+(** Stale-epoch refresh batches dropped by the epoch fence. *)
 
 val set_on_commit : t -> (version:int -> unit) -> unit
 (** Hook invoked after every local apply/commit (used for eager acks). *)

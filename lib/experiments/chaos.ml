@@ -2,9 +2,9 @@ let log_src = Logs.Src.create "repro.chaos" ~doc:"Seeded fault-schedule soak har
 
 module Log = (val Logs.src_log log_src)
 
-type plan = Clean | Lossy | Partitions | Gray | Mixed
+type plan = Clean | Lossy | Partitions | Gray | Mixed | CertFailover
 
-let all_plans = [ Clean; Lossy; Partitions; Gray; Mixed ]
+let all_plans = [ Clean; Lossy; Partitions; Gray; Mixed; CertFailover ]
 
 let plan_name = function
   | Clean -> "clean"
@@ -12,6 +12,7 @@ let plan_name = function
   | Partitions -> "partitions"
   | Gray -> "gray"
   | Mixed -> "mixed"
+  | CertFailover -> "cert-failover"
 
 let plan_of_string = function
   | "clean" -> Ok Clean
@@ -19,7 +20,11 @@ let plan_of_string = function
   | "partitions" -> Ok Partitions
   | "gray" -> Ok Gray
   | "mixed" -> Ok Mixed
-  | s -> Error (Printf.sprintf "unknown fault plan %S (clean|lossy|partitions|gray|mixed)" s)
+  | "cert-failover" -> Ok CertFailover
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown fault plan %S (clean|lossy|partitions|gray|mixed|cert-failover)" s)
 
 (* Every schedule below is derived only from [seed] and [duration_ms]:
    same inputs, same plan, bit for bit. All windows close by
@@ -67,7 +72,24 @@ let build_plan plan ~seed ~duration_ms ~replicas engine =
       ~node:(1 mod replicas)
       ~factor:4.0 ~from_ms:(frac 0.4) ~until_ms:(frac 0.55);
     Sim.Faults.script_drop f ~src:Sim.Faults.any ~dst:Core.Config.node_certifier
-      ~count:25);
+      ~count:25
+  | CertFailover ->
+    (* Certifier-group havoc: mild ambient loss, the initial primary cut
+       off around its crash/revival window (so it returns into a
+       partition and must reconcile after the heal), and the first
+       promoted standby partitioned later while it holds the role — a
+       deposed-but-alive primary whose in-flight decisions and pushes
+       must all be epoch-fenced. The soak schedule crashes the initial
+       primary at 0.18d and revives it at 0.42d; promotions themselves
+       are automatic (standby failure detectors). *)
+    Sim.Faults.set_default f
+      (Sim.Faults.spec ~drop:0.02 ~duplicate:0.01 ~delay:0.02 ~delay_ms:10.0 ());
+    Sim.Faults.partition f
+      ~a:[ Core.Config.node_cert_standby 0 ]
+      ~b:[] ~from_ms:(frac 0.18) ~until_ms:(frac 0.55) ();
+    Sim.Faults.partition f
+      ~a:[ Core.Config.node_cert_standby 1 ]
+      ~b:[] ~from_ms:(frac 0.5) ~until_ms:(frac 0.7) ());
   f
 
 type result = {
@@ -89,31 +111,68 @@ type result = {
   failovers : int;
   reprovisions : int;
   evictions : int;
+  promotions : int;  (** automatic certifier promotions *)
+  fenced : int;  (** stale-epoch certifier messages/decisions rejected *)
+  epoch : int;  (** final certifier epoch *)
+  divergent_log_entries : int;
+      (** versions whose writeset differs between two certifier group
+          members' retained logs (must be 0: same version, same decision
+          on every surviving copy) *)
+  outage_max_ms : float;  (** widest commit-outage window a promotion closed *)
 }
 
 let ok r =
   (not r.wedged)
   && r.duplicate_commit_versions = 0
+  && r.divergent_log_entries = 0
   && List.for_all (fun (_, n) -> n = 0) r.violations
+  (* The cert-failover plan exists to exercise automatic promotion: a
+     run where no standby ever took over proves nothing. *)
+  && (r.plan <> CertFailover || r.promotions >= 1)
 
 (* The per-mode checker battery: first-committer-wins (no lost or
-   double-committed writes under GSI) always, plus the guarantee the
-   mode advertises. *)
+   double-committed writes under GSI) and epoch fencing (commit versions
+   partitioned by certifier epoch — trivially clean without failovers)
+   always, plus the guarantee the mode advertises. *)
 let checkers mode =
-  let fcw = ("first_committer_wins", Check.Runlog.first_committer_wins) in
+  let always =
+    [
+      ("first_committer_wins", Check.Runlog.first_committer_wins);
+      ("epoch_fencing", Check.Runlog.epoch_fencing);
+    ]
+  in
   match (mode : Core.Consistency.mode) with
   | Core.Consistency.Eager | Core.Consistency.Coarse ->
-    [ fcw; ("strong_consistency", Check.Runlog.strong_consistency) ]
+    always @ [ ("strong_consistency", Check.Runlog.strong_consistency) ]
   | Core.Consistency.Fine ->
-    [ fcw; ("fine_strong_consistency", Check.Runlog.fine_strong_consistency) ]
+    always @ [ ("fine_strong_consistency", Check.Runlog.fine_strong_consistency) ]
   | Core.Consistency.Session ->
-    [
-      fcw;
-      ("session_consistency", Check.Runlog.session_consistency);
-      ("monotone_session_snapshots", Check.Runlog.monotone_session_snapshots);
-    ]
+    always
+    @ [
+        ("session_consistency", Check.Runlog.session_consistency);
+        ("monotone_session_snapshots", Check.Runlog.monotone_session_snapshots);
+      ]
   | Core.Consistency.Bounded k ->
-    [ fcw; ("bounded_staleness", Check.Runlog.bounded_staleness ~k) ]
+    always @ [ ("bounded_staleness", Check.Runlog.bounded_staleness ~k) ]
+
+(* Decision divergence across the certifier group: every version present
+   in more than one member's retained log must carry the same writeset
+   on each copy — structurally equal entries. Any mismatch means two
+   histories assigned the same version to different transactions and
+   both survived, i.e. reconciliation failed. *)
+let divergent_log_entries certifier =
+  let canonical = Hashtbl.create 1024 in
+  let divergent = ref 0 in
+  for k = 0 to Core.Certifier.group_size certifier - 1 do
+    List.iter
+      (fun (v, ws) ->
+        let entries = Storage.Writeset.entries ws in
+        match Hashtbl.find_opt canonical v with
+        | None -> Hashtbl.add canonical v entries
+        | Some seen -> if seen <> entries then incr divergent)
+      (Core.Certifier.node_log certifier k)
+  done;
+  !divergent
 
 let count_duplicate_versions records =
   let seen = Hashtbl.create 256 in
@@ -148,6 +207,13 @@ let soak ?config ?(params = default_params) ?(clients = 12) ~mode ~plan ~seed
     | Some c -> { c with Core.Config.seed; record_log = true }
     | None -> default_config ~seed
   in
+  (* The cert-failover plan needs a certifier group that survives losing
+     its primary while another member is partitioned: two standbys. *)
+  let config =
+    if plan = CertFailover && config.Core.Config.certifier_standbys < 2 then
+      { config with Core.Config.certifier_standbys = 2 }
+    else config
+  in
   let replicas = config.Core.Config.replicas in
   let cluster =
     Core.Cluster.create ~config
@@ -169,6 +235,17 @@ let soak ?config ?(params = default_params) ?(clients = 12) ~mode ~plan ~seed
            declare it dead before it returns. *)
         Sim.Process.sleep engine (0.25 *. duration_ms);
         Core.Cluster.recover_replica cluster victim);
+  (* The cert-failover schedule: fail-stop the initial primary mid-load
+     (it is also partitioned by the plan, so the kill is indistinguishable
+     from a network cut until it returns) and revive it while the cut
+     still holds — it rejoins as a standby only after the heal, via epoch
+     adoption and log reconciliation. Promotion itself is automatic. *)
+  if plan = CertFailover then
+    Sim.Process.spawn engine (fun () ->
+        Sim.Process.sleep engine (0.18 *. duration_ms);
+        Core.Cluster.crash_certifier cluster;
+        Sim.Process.sleep engine (0.24 *. duration_ms);
+        Core.Cluster.revive_certifier_node cluster 0);
   Core.Client.spawn_many cluster ~n:clients ~first_sid:0
     (Workload.Microbench.workload params);
   Core.Cluster.run_for cluster ~warmup_ms:0.0 ~measure_ms:duration_ms;
@@ -223,6 +300,17 @@ let soak ?config ?(params = default_params) ?(clients = 12) ~mode ~plan ~seed
     failovers = Core.Metrics.failovers metrics;
     reprovisions = Core.Cluster.reprovisions cluster;
     evictions = Core.Certifier.evictions (Core.Cluster.certifier cluster);
+    promotions = Core.Certifier.promotions (Core.Cluster.certifier cluster);
+    fenced =
+      Core.Certifier.fenced (Core.Cluster.certifier cluster)
+      + Array.fold_left
+          (fun acc i -> acc + Core.Replica.fenced_refreshes (Core.Cluster.replica cluster i))
+          0
+          (Array.init replicas Fun.id)
+      + Core.Load_balancer.cert_fenced (Core.Cluster.load_balancer cluster);
+    epoch = Core.Certifier.current_epoch (Core.Cluster.certifier cluster);
+    divergent_log_entries = divergent_log_entries (Core.Cluster.certifier cluster);
+    outage_max_ms = Core.Metrics.outage_max_ms metrics;
   }
 
 let reproducible ?config ?params ?clients ~mode ~plan ~seed ~duration_ms () =
@@ -233,9 +321,9 @@ let reproducible ?config ?params ?clients ~mode ~plan ~seed ~duration_ms () =
 let pp_result ppf r =
   let viol = List.fold_left (fun acc (_, n) -> acc + n) 0 r.violations in
   Format.fprintf ppf
-    "%-7s %-10s seed=%-4d %s  committed=%-5d aborted=%-4d violations=%d%s%s  \
+    "%-7s %-13s seed=%-4d %s  committed=%-5d aborted=%-4d violations=%d%s%s%s  \
      faults: drop=%d dup=%d delay=%d retx=%d suspects=%d failovers=%d reprov=%d \
-     evict=%d  digest=%s"
+     evict=%d%s  digest=%s"
     (Core.Consistency.to_string r.mode)
     (plan_name r.plan) r.seed
     (if ok r then "ok    " else "FAILED")
@@ -243,9 +331,16 @@ let pp_result ppf r =
     (if r.duplicate_commit_versions > 0 then
        Printf.sprintf " dup_versions=%d" r.duplicate_commit_versions
      else "")
+    (if r.divergent_log_entries > 0 then
+       Printf.sprintf " DIVERGENT=%d" r.divergent_log_entries
+     else "")
     (if r.wedged then " WEDGED" else "")
     r.drops r.duplicates r.delays r.retransmits r.suspects r.failovers r.reprovisions
     r.evictions
+    (if r.epoch > 0 then
+       Printf.sprintf " epoch=%d promotions=%d fenced=%d outage_max=%.0fms" r.epoch
+         r.promotions r.fenced r.outage_max_ms
+     else "")
     (String.sub r.digest 0 12)
 
 let soak_matrix ?config ?params ?clients ?(modes = Core.Consistency.all)

@@ -17,6 +17,15 @@ type plan =
   | Mixed
       (** loss + an extra-lossy refresh link + partition + slowdown + a
           scripted drop burst + one replica crash/recover cycle *)
+  | CertFailover
+      (** certifier-group havoc: the initial primary is crashed AND
+          partitioned mid-load (returning into the cut, so it rejoins
+          only after the heal via epoch adoption), then the promoted
+          standby is partitioned while holding the role — a deposed but
+          alive primary whose stragglers must all be epoch-fenced.
+          Promotions are automatic; the soak requires at least one, zero
+          consistency violations and zero decision divergence across the
+          group's log copies. Forces [certifier_standbys >= 2]. *)
 
 val all_plans : plan list
 
@@ -46,10 +55,22 @@ type result = {
   failovers : int;
   reprovisions : int;
   evictions : int;
+  promotions : int;  (** automatic certifier promotions *)
+  fenced : int;
+      (** stale-epoch certifier messages/decisions rejected, summed over
+          certifier, replicas and load balancer *)
+  epoch : int;  (** final certifier epoch (0 when no failover happened) *)
+  divergent_log_entries : int;
+      (** versions whose writeset differs between two certifier group
+          members' retained logs (must be 0) *)
+  outage_max_ms : float;
+      (** widest commit-outage window an automatic promotion closed *)
 }
 
 val ok : result -> bool
-(** No checker violations, no duplicate commit versions, not wedged. *)
+(** No checker violations, no duplicate commit versions, no divergent
+    certifier log entries, not wedged — and, under {!CertFailover}, at
+    least one automatic promotion. *)
 
 val soak :
   ?config:Core.Config.t ->

@@ -9,6 +9,9 @@ type t = {
   mutable messages : int;
   mutable bytes : int;
   mutable retransmits : int;
+  (* per-(src, dst) wire-copy counters; untagged endpoints appear as
+     [unspecified] *)
+  links : (int * int, int ref * int ref) Hashtbl.t;
 }
 
 let create ?(rto_ms = 5.0) engine ~rng ~base_ms ~jitter_ms ~bandwidth_mbps =
@@ -23,6 +26,7 @@ let create ?(rto_ms = 5.0) engine ~rng ~base_ms ~jitter_ms ~bandwidth_mbps =
     messages = 0;
     bytes = 0;
     retransmits = 0;
+    links = Hashtbl.create 64;
   }
 
 let set_faults t faults = t.faults <- Some faults
@@ -38,11 +42,27 @@ let latency t ~size_bytes =
   in
   t.base_ms +. jitter +. transmission
 
-let record t size_bytes =
-  t.messages <- t.messages + 1;
-  t.bytes <- t.bytes + size_bytes
-
 let unspecified = min_int
+
+let record ?(src = unspecified) ?(dst = unspecified) t size_bytes =
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + size_bytes;
+  let msgs, bytes =
+    match Hashtbl.find_opt t.links (src, dst) with
+    | Some cell -> cell
+    | None ->
+      let cell = (ref 0, ref 0) in
+      Hashtbl.add t.links (src, dst) cell;
+      cell
+  in
+  incr msgs;
+  bytes := !bytes + size_bytes
+
+let link_messages t ~src ~dst =
+  match Hashtbl.find_opt t.links (src, dst) with Some (m, _) -> !m | None -> 0
+
+let link_bytes t ~src ~dst =
+  match Hashtbl.find_opt t.links (src, dst) with Some (_, b) -> !b | None -> 0
 
 let judge t ~src ~dst =
   match t.faults with None -> Faults.Deliver | Some f -> Faults.judge f ~src ~dst
@@ -50,18 +70,18 @@ let judge t ~src ~dst =
 let send ?(src = unspecified) ?(dst = unspecified) t ~size_bytes callback =
   match judge t ~src ~dst with
   | Faults.Deliver ->
-      record t size_bytes;
+      record ~src ~dst t size_bytes;
       Engine.schedule t.engine ~delay:(latency t ~size_bytes) callback
   | Faults.Drop _ ->
       (* The message went out on the wire (count it) but never arrives. *)
-      record t size_bytes
+      record ~src ~dst t size_bytes
   | Faults.Duplicate ->
-      record t size_bytes;
-      record t size_bytes;
+      record ~src ~dst t size_bytes;
+      record ~src ~dst t size_bytes;
       Engine.schedule t.engine ~delay:(latency t ~size_bytes) callback;
       Engine.schedule t.engine ~delay:(latency t ~size_bytes) callback
   | Faults.Delay extra_ms ->
-      record t size_bytes;
+      record ~src ~dst t size_bytes;
       Engine.schedule t.engine ~delay:(latency t ~size_bytes +. extra_ms) callback
 
 (* One round trip of a stop-and-wait exchange: returns [true] when the
@@ -71,22 +91,22 @@ let attempt ?rto_ms t ~src ~dst ~size_bytes =
   let rto_ms = match rto_ms with Some r -> r | None -> t.rto_ms in
   match judge t ~src ~dst with
   | Faults.Deliver ->
-      record t size_bytes;
+      record ~src ~dst t size_bytes;
       Process.sleep t.engine (latency t ~size_bytes);
       true
   | Faults.Drop _ ->
-      record t size_bytes;
+      record ~src ~dst t size_bytes;
       Process.sleep t.engine rto_ms;
       false
   | Faults.Duplicate ->
       (* Extra copy on the wire; the receiver dedups, so the caller just
          pays for the first arrival. *)
-      record t size_bytes;
-      record t size_bytes;
+      record ~src ~dst t size_bytes;
+      record ~src ~dst t size_bytes;
       Process.sleep t.engine (latency t ~size_bytes);
       true
   | Faults.Delay extra_ms ->
-      record t size_bytes;
+      record ~src ~dst t size_bytes;
       Process.sleep t.engine (latency t ~size_bytes +. extra_ms);
       true
 

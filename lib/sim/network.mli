@@ -72,4 +72,12 @@ val messages_sent : t -> int
 
 val bytes_sent : t -> int
 
+val link_messages : t -> src:int -> dst:int -> int
+(** Wire copies recorded on the exact (src, dst) link — same offered-load
+    semantics as {!messages_sent} (drops and duplicates count). Untagged
+    endpoints are keyed as {!unspecified}. *)
+
+val link_bytes : t -> src:int -> dst:int -> int
+(** Bytes recorded on the exact (src, dst) link. *)
+
 val retransmits : t -> int

@@ -82,7 +82,7 @@ let test_intra_batch_conflict_aborts_later_arrival () =
 let test_refresh_batch_one_message_per_replica () =
   let delivered = ref [] in  (* (replica, versions in one message), reversed *)
   with_certifier (fun engine c ->
-      let stub replica items =
+      let stub replica ~epoch:_ items =
         delivered := (replica, List.map (fun (_, v, _) -> v) items) :: !delivered
       in
       Core.Certifier.subscribe c ~replica:0 (stub 0);

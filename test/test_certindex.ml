@@ -150,8 +150,12 @@ let run_ops ~index ops =
             Core.Certifier.prune c
               ~keep_after:(max 0 (Core.Certifier.version c - window))
           | Failover ->
+            let deposed = Core.Certifier.primary_index c in
             Core.Certifier.crash c;
-            Core.Certifier.failover c)
+            Core.Certifier.failover c;
+            (* The deposed member rejoins as a standby, so later
+               failovers always have a promotion candidate. *)
+            Core.Certifier.revive_node c deposed)
         ops;
       out :=
         Printf.sprintf "base=%d v=%d" (Core.Certifier.log_base c)
@@ -186,8 +190,8 @@ let prop_linear_equals_keyed =
 let test_watermark_tracking_and_gc () =
   let config = { keyed_config with Core.Config.watermark_slack = 2 } in
   with_certifier ~config (fun c ->
-      Core.Certifier.subscribe c ~replica:0 (fun _ -> ());
-      Core.Certifier.subscribe c ~replica:1 (fun _ -> ());
+      Core.Certifier.subscribe c ~replica:0 (fun ~epoch:_ _ -> ());
+      Core.Certifier.subscribe c ~replica:1 (fun ~epoch:_ _ -> ());
       for i = 1 to 10 do
         match
           Core.Certifier.certify c ~applied:(i - 1) ~origin:0 ~snapshot:(i - 1)

@@ -117,8 +117,8 @@ let test_commits_before_begin () =
 
 (* --- Runlog checkers --- *)
 
-let record ?(session = 0) ?(table_set = [ "t" ]) ?(written = []) ?(keys = []) tid ~begin_
-    ~ack ~snapshot ~commit =
+let record ?(session = 0) ?(table_set = [ "t" ]) ?(written = []) ?(keys = []) ?(epoch = 0)
+    tid ~begin_ ~ack ~snapshot ~commit =
   {
     Runlog.tid;
     session;
@@ -126,6 +126,7 @@ let record ?(session = 0) ?(table_set = [ "t" ]) ?(written = []) ?(keys = []) ti
     ack_time = ack;
     snapshot_version = snapshot;
     commit_version = commit;
+    epoch;
     table_set;
     tables_written = written;
     write_keys = keys;
