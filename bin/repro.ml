@@ -367,7 +367,7 @@ let check_cmd =
 
 (* --- chaos: seeded fault-schedule soak --- *)
 
-let chaos seeds seed_count duration plan_str modes_str verify_digest =
+let chaos seeds seed_count duration plan_str modes_str verify_digest health_file =
   match Experiments.Chaos.plan_of_string plan_str with
   | Error e -> `Error (false, e)
   | Ok plan -> (
@@ -404,6 +404,11 @@ let chaos seeds seed_count duration plan_str modes_str verify_digest =
         Experiments.Chaos.soak_matrix ~modes ~plans:[ plan ] ~seeds ~duration_ms ()
       in
       List.iter (fun r -> Format.printf "%a@." Experiments.Chaos.pp_result r) results;
+      (match health_file with
+      | None -> ()
+      | Some file ->
+        Experiments.Chaos.write_health results ~file;
+        Printf.printf "\nwrote health timeline to %s\n" file);
       let failed = List.filter (fun r -> not (Experiments.Chaos.ok r)) results in
       let digest_ok =
         if verify_digest then begin
@@ -450,6 +455,14 @@ let chaos_no_digest_arg =
   let doc = "Skip the double-run digest reproducibility check." in
   Arg.(value & flag & info [ "no-digest-check" ] ~doc)
 
+let chaos_health_arg =
+  let doc =
+    "Write the per-run health timeline (faults injected, detector and HA events, \
+     violation counts, wedge-drain time, digest) as JSON to $(docv); CI uploads it \
+     as an artifact when a soak fails."
+  in
+  Arg.(value & opt (some string) None & info [ "health-json" ] ~docv:"FILE" ~doc)
+
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
@@ -458,9 +471,136 @@ let chaos_cmd =
           consistency, liveness and reproducibility")
     Term.(
       ret
-        (const (fun seeds n d p m nd -> chaos seeds n d p m (not nd))
+        (const (fun seeds n d p m nd hf -> chaos seeds n d p m (not nd) hf)
         $ chaos_seeds_arg $ chaos_seed_count_arg $ chaos_duration_arg $ chaos_plan_arg
-        $ chaos_modes_arg $ chaos_no_digest_arg))
+        $ chaos_modes_arg $ chaos_no_digest_arg $ chaos_health_arg))
+
+(* --- bench: the committed baseline and its regression gate --- *)
+
+let bench quick seed out check_file threshold =
+  let quick = quick || Sys.getenv_opt "REPRO_BENCH_QUICK" = Some "1" in
+  match check_file with
+  | None ->
+    let r = Experiments.Bench.run ~quick ~seed () in
+    print_string (Experiments.Bench.render r);
+    (match out with
+    | None -> `Ok ()
+    | Some file -> (
+      try
+        Experiments.Bench.save r ~file;
+        Printf.printf "wrote %s\n" file;
+        `Ok ()
+      with Sys_error e -> `Error (false, Printf.sprintf "cannot write %s: %s" file e)))
+  | Some file -> (
+    match Experiments.Bench.load ~file with
+    | Error e -> `Error (false, Printf.sprintf "cannot load baseline %s: %s" file e)
+    | Ok baseline ->
+      (* The gate re-runs the sweep at the baseline's own scale and seed,
+         so `repro bench --check FILE` needs no other flags to agree with
+         however the baseline was generated. *)
+      let r =
+        Experiments.Bench.run ~quick:baseline.Experiments.Bench.quick
+          ~seed:baseline.Experiments.Bench.seed ()
+      in
+      print_string (Experiments.Bench.render r);
+      (match Experiments.Bench.compare_runs ~baseline ~current:r ~threshold with
+      | [] ->
+        Printf.printf "regression gate: ok against %s (threshold %.0f%%)\n" file
+          (100.0 *. threshold);
+        `Ok ()
+      | problems ->
+        List.iter (fun p -> Printf.eprintf "REGRESSION: %s\n" p) problems;
+        `Error
+          ( false,
+            Printf.sprintf "%d headline regression(s) against %s"
+              (List.length problems) file )))
+
+let bench_out_arg =
+  let doc = "Also write the sweep as JSON to $(docv) (the committed baseline format)." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let bench_check_arg =
+  let doc =
+    "Regression gate: re-run the sweep at the baseline's scale and seed and fail \
+     if any headline metric (TPS, p99 response, certifier decisions/sec) regressed \
+     beyond the threshold."
+  in
+  Arg.(value & opt (some string) None & info [ "check" ] ~docv:"FILE" ~doc)
+
+let bench_threshold_arg =
+  let doc = "Relative regression threshold for $(b,--check) (fraction)." in
+  Arg.(value & opt float 0.15 & info [ "threshold" ] ~docv:"FRACTION" ~doc)
+
+let bench_cmd =
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the pinned-seed bench sweep (four consistency configurations), \
+          optionally writing or checking the committed JSON baseline"
+       ~man:
+         [
+           `S Manpage.s_environment;
+           `P
+             "REPRO_BENCH_QUICK=1 shrinks the measurement windows like $(b,--quick) \
+              (ignored under $(b,--check), which always follows the baseline's \
+              scale).";
+         ])
+    Term.(
+      ret
+        (const bench $ quick_arg $ seed_arg $ bench_out_arg $ bench_check_arg
+        $ bench_threshold_arg))
+
+(* --- report: the run-health observatory on a demo run --- *)
+
+let report quick seed window json_file =
+  let warmup_ms, measure_ms = if quick then (500.0, 2_000.0) else (1_000.0, 5_000.0) in
+  let params = { Workload.Tpcw.default with Workload.Tpcw.think_mean_ms = 300.0 } in
+  let mix = Workload.Tpcw.Shopping in
+  let config = { (with_seed seed Core.Config.tpcw) with Core.Config.replicas = 4 } in
+  let cluster =
+    Core.Cluster.create ~config ~mode:Core.Consistency.Fine
+      ~schemas:Workload.Tpcw.schemas
+      ~load:(Workload.Tpcw.load params) ()
+  in
+  for sid = 0 to 39 do
+    Core.Client.spawn cluster ~sid ~rng:(Core.Cluster.rng cluster)
+      (Workload.Tpcw.workload params mix ~sid)
+  done;
+  let ts = Core.Cluster.start_observatory ?window_ms:window cluster in
+  Core.Cluster.run_for cluster ~warmup_ms ~measure_ms;
+  Core.Cluster.stop_observatory cluster ts;
+  print_string
+    (Experiments.Report.health
+       ~title:
+         (Printf.sprintf "run health: TPC-W %s mix, fine mode, seed %d, %.0fms windows"
+          (Workload.Tpcw.mix_name mix) seed (Obs.Timeseries.window_ms ts))
+       ts);
+  Format.printf "@.%a@." Core.Metrics.pp_summary (Core.Cluster.metrics cluster);
+  match json_file with
+  | None -> `Ok ()
+  | Some file -> (
+    try
+      Obs.Export.write_timeseries ts ~file;
+      Printf.printf "wrote time series to %s\n" file;
+      `Ok ()
+    with Sys_error e -> `Error (false, Printf.sprintf "cannot write %s: %s" file e))
+
+let report_window_arg =
+  let doc = "Observatory window span in virtual ms (default: Config.obs_window_ms)." in
+  Arg.(value & opt (some float) None & info [ "window" ] ~docv:"MS" ~doc)
+
+let report_json_arg =
+  let doc = "Also dump the windowed time series as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run an instrumented TPC-W demo with the run-health observatory on and \
+          print the windowed health report (throughput, latency percentiles, \
+          staleness, certifier and detector activity)")
+    Term.(ret (const report $ quick_arg $ seed_arg $ report_window_arg $ report_json_arg))
 
 (* --- trace / telemetry: an instrumented demo run (default command) --- *)
 
@@ -569,7 +709,8 @@ let () =
     Cmd.group ~default:trace_term info
       [
         table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig7_cmd; batch_cmd; certindex_cmd;
-        ablation_cmd; ycsb_cmd; tpcc_cmd; check_cmd; chaos_cmd; all_cmd;
+        ablation_cmd; ycsb_cmd; tpcc_cmd; check_cmd; chaos_cmd; bench_cmd; report_cmd;
+        all_cmd;
       ]
   in
   exit (Cmd.eval group)

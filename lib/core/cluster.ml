@@ -330,6 +330,15 @@ let reprovisions t = t.reprovisions
 
 (* --- telemetry ----------------------------------------------------- *)
 
+(* Staleness of replica [r] as the version oracle sees it: how many
+   committed versions [v_system] is ahead of the replica's applied
+   [v_local]. The observatory's headline consistency gauge. *)
+let replica_lag t r =
+  Stdlib.max 0 (Load_balancer.v_system t.lb - Replica.v_local r)
+
+let max_lag t =
+  Array.fold_left (fun acc r -> Stdlib.max acc (replica_lag t r)) 0 t.replicas
+
 let update_gauges t =
   let refresh_total = ref 0 in
   Array.iteri
@@ -343,11 +352,27 @@ let update_gauges t =
         (float_of_int (Replica.active_local r));
       Obs.Registry.set (Obs.Registry.gauge t.registry (name "v_local"))
         (float_of_int (Replica.v_local r));
+      Obs.Registry.set (Obs.Registry.gauge t.registry (name "lag"))
+        (float_of_int (replica_lag t r));
       Obs.Registry.set (Obs.Registry.gauge t.registry (name "watermark"))
         (float_of_int (Certifier.watermark t.certifier ~replica:i)))
     t.replicas;
   Obs.Registry.set (Obs.Registry.gauge t.registry "refresh_queue.total")
     (float_of_int !refresh_total);
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "replicas.lag.max")
+    (float_of_int (max_lag t));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.log_base")
+    (float_of_int (Certifier.log_base t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "lb.session_floors")
+    (float_of_int (Load_balancer.session_count t.lb));
+  Metrics.set_health t.metrics
+    ~lag_max:(float_of_int (max_lag t))
+    ~cert_log:(Certifier.log_size t.certifier)
+    ~watermark_horizon:(Certifier.log_base t.certifier)
+    ~epoch:(Certifier.current_epoch t.certifier);
   Obs.Registry.set
     (Obs.Registry.gauge t.registry "certifier.log_size")
     (float_of_int (Certifier.log_size t.certifier));
@@ -412,12 +437,20 @@ let attach_probes t sampler =
           float_of_int (Replica.pending_refresh r));
       Obs.Sampler.add sampler ~name:(name "active_txns") (fun () ->
           float_of_int (Replica.active_local r));
+      Obs.Sampler.add sampler ~name:(name "lag") (fun () ->
+          float_of_int (replica_lag t r));
       Obs.Sampler.add sampler ~name:(name "lb_active") (fun () ->
           float_of_int (Load_balancer.active t.lb ~replica:i)))
     t.replicas;
+  Obs.Sampler.add sampler ~name:"replicas.lag.max" (fun () ->
+      float_of_int (max_lag t));
   Obs.Sampler.add_resource sampler ~name:"certifier.cpu" (Certifier.cpu t.certifier);
   Obs.Sampler.add sampler ~name:"certifier.log_size" (fun () ->
       float_of_int (Certifier.log_size t.certifier));
+  Obs.Sampler.add sampler ~name:"certifier.log_base" (fun () ->
+      float_of_int (Certifier.log_base t.certifier));
+  Obs.Sampler.add sampler ~name:"lb.session_floors" (fun () ->
+      float_of_int (Load_balancer.session_count t.lb));
   Obs.Sampler.add sampler ~name:"certifier.watermark.min" (fun () ->
       float_of_int (Certifier.min_watermark t.certifier));
   Obs.Sampler.add sampler ~name:"certifier.index_size" (fun () ->
@@ -443,6 +476,115 @@ let start_telemetry ?interval_ms t =
   attach_probes t sampler;
   Obs.Sampler.start sampler;
   sampler
+
+(* --- the run-health observatory ------------------------------------
+
+   Windowed time series over the whole cluster: transaction outcomes
+   stream in through the Metrics outcome observer; rate counters over
+   monotonic sources (certifier decisions, retransmissions, faults,
+   detector and HA events) are mirrored as deltas at each window close;
+   consistency gauges (staleness, GC horizon, session floors, epoch)
+   are read at the same instant. Everything here only reads simulation
+   state — no RNG draw, no protocol event — so an observed run is
+   bit-identical to a blind one. *)
+
+let start_observatory ?window_ms t =
+  let window_ms = Option.value window_ms ~default:t.cfg.Config.obs_window_ms in
+  let ts =
+    Obs.Timeseries.create ~window_ms
+      ~buckets_per_decade:t.cfg.Config.obs_hist_buckets_per_decade t.engine
+  in
+  (* Outcome stream -> windowed counters + latency distributions. *)
+  let c_commit = Obs.Timeseries.counter ts "txn.commit" in
+  let c_commit_ro = Obs.Timeseries.counter ts "txn.commit_ro" in
+  let c_abort = Obs.Timeseries.counter ts "txn.abort" in
+  let d_response = Obs.Timeseries.dist ts "response" in
+  let d_stages =
+    List.map
+      (fun s -> (Metrics.stage_index s, Obs.Timeseries.dist ts ("stage." ^ Metrics.stage_name s)))
+      Metrics.stages
+  in
+  Metrics.set_observer t.metrics
+    (Some
+       (fun (o : Metrics.outcome) ->
+         if o.Metrics.out_committed then begin
+           Obs.Timeseries.bump (if o.Metrics.out_read_only then c_commit_ro else c_commit);
+           Obs.Timeseries.observe d_response o.Metrics.out_response_ms;
+           List.iter
+             (fun (i, d) ->
+               let v = o.Metrics.out_stages.(i) in
+               if v > 0.0 then Obs.Timeseries.observe d v)
+             d_stages
+         end
+         else Obs.Timeseries.bump c_abort));
+  (* Monotonic sources -> per-window deltas, mirrored at window close. *)
+  let delta name read =
+    let c = Obs.Timeseries.counter ts name in
+    let seen = ref (read ()) in
+    fun () ->
+      let v = read () in
+      Obs.Timeseries.bump c ~by:(v - !seen);
+      seen := v
+  in
+  let mirrors =
+    [
+      delta "certifier.decisions" (fun () ->
+          let commits, aborts = Certifier.decisions t.certifier in
+          commits + aborts);
+      delta "net.retransmits" (fun () ->
+          Sim.Network.retransmits t.network + Certifier.retransmits t.certifier);
+      delta "detector.suspect" (fun () -> Load_balancer.suspect_events t.lb);
+      delta "detector.dead" (fun () -> Load_balancer.failover_events t.lb);
+      delta "certifier.promotions" (fun () -> Certifier.promotions t.certifier);
+      delta "certifier.fenced" (fun () -> Certifier.fenced t.certifier);
+    ]
+    @
+    match t.faults with
+    | None -> []
+    | Some f ->
+      [
+        delta "fault.drops" (fun () -> Sim.Faults.drops f);
+        delta "fault.duplicates" (fun () -> Sim.Faults.duplicates f);
+        delta "fault.delays" (fun () -> Sim.Faults.delays f);
+      ]
+  in
+  Obs.Timeseries.add_pre_close ts (fun () -> List.iter (fun m -> m ()) mirrors);
+  (* Consistency gauges, sampled at window close (also refreshes the
+     registry gauges and the Metrics health snapshot). *)
+  Obs.Timeseries.add_probe ts ~name:"v_system" (fun () ->
+      update_gauges t;
+      float_of_int (Load_balancer.v_system t.lb));
+  Array.iteri
+    (fun i r ->
+      Obs.Timeseries.add_probe ts
+        ~name:(Printf.sprintf "replica%d.lag" i)
+        (fun () -> float_of_int (replica_lag t r)))
+    t.replicas;
+  Obs.Timeseries.add_probe ts ~name:"replicas.lag.max" (fun () ->
+      float_of_int (max_lag t));
+  Obs.Timeseries.add_probe ts ~name:"certifier.log_size" (fun () ->
+      float_of_int (Certifier.log_size t.certifier));
+  Obs.Timeseries.add_probe ts ~name:"certifier.log_base" (fun () ->
+      float_of_int (Certifier.log_base t.certifier));
+  Obs.Timeseries.add_probe ts ~name:"certifier.watermark.min" (fun () ->
+      float_of_int (Certifier.min_watermark t.certifier));
+  Obs.Timeseries.add_probe ts ~name:"certifier.epoch" (fun () ->
+      float_of_int (Certifier.current_epoch t.certifier));
+  Obs.Timeseries.add_probe ts ~name:"certifier.standby_lag" (fun () ->
+      float_of_int (Certifier.standby_lag t.certifier));
+  Obs.Timeseries.add_probe ts ~name:"lb.session_floors" (fun () ->
+      float_of_int (Load_balancer.session_count t.lb));
+  Obs.Timeseries.add_probe ts ~name:"refresh_queue.total" (fun () ->
+      Array.fold_left
+        (fun acc r -> acc +. float_of_int (Replica.pending_refresh r))
+        0.0 t.replicas);
+  Obs.Timeseries.start ts;
+  ts
+
+let stop_observatory t ts =
+  Obs.Timeseries.stop ts;
+  Obs.Timeseries.flush ts;
+  Metrics.set_observer t.metrics None
 
 let render_key key =
   String.concat "," (List.map Storage.Value.to_string (Array.to_list key))

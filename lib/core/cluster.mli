@@ -67,7 +67,9 @@ val registry : t -> Obs.Registry.t
 
 val update_gauges : t -> unit
 (** Refresh the registry's gauges (refresh-queue depths, active
-    transactions, certifier log size and queue) from current state. *)
+    transactions, per-replica staleness, certifier log size / base /
+    queue, session floors) from current state, and record the
+    {!Metrics.health} snapshot. *)
 
 val attach_probes : t -> Obs.Sampler.t -> unit
 (** Register the standard probe set on a sampler: per-replica CPU
@@ -78,6 +80,25 @@ val attach_probes : t -> Obs.Sampler.t -> unit
 val start_telemetry : ?interval_ms:float -> t -> Obs.Sampler.t
 (** Convenience: create a sampler on the cluster engine, attach the
     standard probes and start it. *)
+
+val start_observatory : ?window_ms:float -> t -> Obs.Timeseries.t
+(** Start the run-health observatory: a windowed {!Obs.Timeseries}
+    (window span from [window_ms], default [Config.obs_window_ms]) fed
+    by three channels — the {!Metrics} outcome observer (commit /
+    read-only commit / abort counts plus response-time and per-stage
+    latency histograms), per-window deltas of monotonic sources
+    (certifier decisions, retransmissions, fault injections, detector
+    and HA events), and consistency gauges read at each window close
+    (per-replica staleness [v_system - v_local] and its max, certifier
+    log length and GC horizon, watermark minimum, session-floor count,
+    epoch, standby lag, refresh backlog). The gauge pass also refreshes
+    {!registry} gauges and the {!Metrics.health} snapshot. The
+    observatory only reads state: an observed run executes the same
+    events as a blind one (pinned by the determinism tests). *)
+
+val stop_observatory : t -> Obs.Timeseries.t -> unit
+(** Stop the observatory's window process, flush the final partial
+    window and uninstall the outcome observer. *)
 
 val submit : t -> sid:int -> Transaction.request -> Transaction.outcome
 (** Run one transaction end to end. Records metrics and, when

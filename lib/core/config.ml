@@ -59,6 +59,8 @@ type t = {
   dead_after_ms : float;
   evict_after_ms : float;
   start_wait_timeout_ms : float;
+  obs_window_ms : float;
+  obs_hist_buckets_per_decade : int;
 }
 
 (* Fault-plan node ids: replicas use their index (>= 0); the other roles
@@ -124,6 +126,8 @@ let default =
     dead_after_ms = 400.0;
     evict_after_ms = 5_000.0;
     start_wait_timeout_ms = 0.0;
+    obs_window_ms = 250.0;
+    obs_hist_buckets_per_decade = 40;
   }
 
 let hardened c =
@@ -165,7 +169,8 @@ let pp ppf c =
      heartbeat=%.0fms suspect=%.0fms dead=%.0fms evict=%.0fms \
      start_wait=%.0fms backoff=%.1f..%.0fms@,\
      certifier HA: standbys=%d ack_quorum=%s heartbeat=%.0fms suspect=%.0fms \
-     promotion_backoff=%.0fms@]"
+     promotion_backoff=%.0fms@,\
+     observatory: window=%.0fms hist_buckets/decade=%d@]"
     c.replicas c.cpus_per_replica c.seed c.net_base_ms c.net_jitter_ms c.net_bandwidth_mbps
     c.lb_ms c.stmt_base_ms c.row_scan_ms c.row_read_ms c.row_write_ms c.ro_commit_ms
     c.commit_ms c.ws_apply_base_ms c.ws_apply_row_ms c.certify_base_ms c.certify_row_ms
@@ -176,3 +181,4 @@ let pp ppf c =
     c.certifier_standbys
     (if c.standby_ack_quorum <= 0 then "all" else string_of_int c.standby_ack_quorum)
     c.cert_heartbeat_ms c.cert_suspect_after_ms c.promotion_backoff_ms
+    c.obs_window_ms c.obs_hist_buckets_per_decade

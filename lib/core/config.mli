@@ -185,6 +185,17 @@ type t = {
           start version; on expiry the transaction aborts with
           {!Transaction.Timeout} and the client retries elsewhere.
           0 (the default) waits forever. *)
+  (* run-health observatory (docs/OBSERVABILITY.md). Both knobs are
+     read only when the observatory is started; a run without one does
+     not allocate a single observatory object. *)
+  obs_window_ms : float;
+      (** time-series window span in virtual ms ({!Obs.Timeseries});
+          every windowed rate, latency summary and health gauge is
+          aggregated per window of this size *)
+  obs_hist_buckets_per_decade : int;
+      (** resolution of the observatory's log-bucketed latency
+          histograms ({!Util.Histogram.Log}): relative quantile error is
+          bounded by [10^(1/(2n)) - 1] (~2.9% at the default 40) *)
 }
 
 (** {2 Fault-plan node ids}

@@ -49,6 +49,24 @@ type t = {
   mutable promotions : int;
   mutable fenced : int;
   outage_windows : Util.Stats.t;  (* commit-outage span per promotion, ms *)
+  (* per-outcome observer (the run-health observatory); None = zero cost *)
+  mutable observer : (outcome -> unit) option;
+  (* consistency health gauges, refreshed by the cluster's gauge pass *)
+  mutable health : health option;
+}
+
+and outcome = {
+  out_committed : bool;
+  out_read_only : bool;
+  out_response_ms : float;
+  out_stages : float array;
+}
+
+and health = {
+  lag_max : float;
+  cert_log : int;
+  watermark_horizon : int;
+  epoch : int;
 }
 
 let create engine =
@@ -77,7 +95,16 @@ let create engine =
     promotions = 0;
     fenced = 0;
     outage_windows = Util.Stats.create ();
+    observer = None;
+    health = None;
   }
+
+let set_observer t obs = t.observer <- obs
+
+let set_health t ~lag_max ~cert_log ~watermark_horizon ~epoch =
+  t.health <- Some { lag_max; cert_log; watermark_horizon; epoch }
+
+let health t = t.health
 
 let reset_window t =
   t.window_start <- Sim.Engine.now t.engine;
@@ -263,9 +290,22 @@ let retransmits t = t.retransmits
 let suspects t = t.suspects
 let failovers t = t.failovers
 
+let notify txn ~committed ~read_only =
+  match txn.m.observer with
+  | None -> ()
+  | Some f ->
+    f
+      {
+        out_committed = committed;
+        out_read_only = read_only;
+        out_response_ms = txn_response_ms txn;
+        out_stages = txn.values;
+      }
+
 let txn_commit ?(args = []) txn ~read_only =
   close_open_stage txn;
   record_commit txn.m ~read_only ~stages:txn.values ~response_ms:(txn_response_ms txn);
+  notify txn ~committed:true ~read_only;
   match (txn.obs, txn.root) with
   | Some tr, Some root ->
     Obs.Trace.finish tr root
@@ -275,6 +315,7 @@ let txn_commit ?(args = []) txn ~read_only =
 let txn_abort ?slug txn ~reason =
   close_open_stage txn;
   record_abort ?slug txn.m;
+  notify txn ~committed:false ~read_only:false;
   match (txn.obs, txn.root) with
   | Some tr, Some root ->
     Obs.Trace.finish tr root ~args:[ ("outcome", "aborted"); ("reason", reason) ]
@@ -343,4 +384,10 @@ let pp_summary ppf t =
       t.promotions t.fenced
       (Util.Stats.mean t.outage_windows)
       (Util.Stats.max_value t.outage_windows);
+  (match t.health with
+  | None -> ()
+  | Some h ->
+    Format.fprintf ppf
+      "health: lag.max=%.0f cert.log=%d watermark.horizon=%d epoch=%d@," h.lag_max
+      h.cert_log h.watermark_horizon h.epoch);
   Format.fprintf ppf "@]"

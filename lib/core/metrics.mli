@@ -15,7 +15,35 @@ val stages : stage list
 
 type t
 
+(** One finished transaction, as handed to the outcome observer: both
+    commits and aborts flow through, with the stage-clock durations
+    attached ([out_read_only] is [false] for aborts). *)
+type outcome = {
+  out_committed : bool;
+  out_read_only : bool;
+  out_response_ms : float;
+  out_stages : float array;
+}
+
+(** A point-in-time consistency health snapshot, refreshed by the
+    cluster's gauge pass and echoed by {!pp_summary}. *)
+type health = {
+  lag_max : float;  (** max over replicas of [v_system - v_local] *)
+  cert_log : int;  (** certifier log length (entries kept) *)
+  watermark_horizon : int;  (** watermark-GC horizon (log base version) *)
+  epoch : int;  (** current certifier epoch *)
+}
+
 val create : Sim.Engine.t -> t
+
+val set_observer : t -> (outcome -> unit) option -> unit
+(** Install (or clear) the per-outcome observer. [None] — the default —
+    costs nothing on the transaction path; the observatory installs a
+    function that feeds its windowed counters and histograms. *)
+
+val set_health : t -> lag_max:float -> cert_log:int -> watermark_horizon:int -> epoch:int -> unit
+
+val health : t -> health option
 
 val reset_window : t -> unit
 (** Start (or restart) the measurement window; discards prior samples. *)

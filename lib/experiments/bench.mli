@@ -1,0 +1,72 @@
+(** The committed bench baseline and its regression gate.
+
+    [repro bench] runs a pinned-seed sweep — the paper's four
+    consistency configurations over one microbenchmark client/update
+    mix — and emits a JSON document (checked into the repo as
+    [BENCH_<pr>.json]) with the headline metrics per configuration:
+    committed TPS, p50/p99 response, certifier decisions per second.
+    The simulation being deterministic, the ["bench"] object of two
+    runs with the same seed is byte-identical; wall-clock throughput
+    (simulated events per wall second) lives in a separate ["wall"]
+    object that is excluded from comparisons.
+
+    [repro bench --check FILE] re-runs the sweep and diffs it against
+    the committed baseline, failing on any headline regression beyond
+    the threshold (default 15%) — the CI gate. *)
+
+type point = {
+  mode : Core.Consistency.mode;
+  committed : int;
+  aborted : int;
+  tps : float;
+  p50_ms : float;
+  p99_ms : float;
+  cert_decisions_per_sec : float;
+}
+
+type run = {
+  schema_version : int;
+  seed : int;
+  replicas : int;
+  clients : int;
+  warmup_ms : float;
+  measure_ms : float;
+  quick : bool;
+  points : point list;
+  (* wall-clock (non-deterministic; excluded from comparison) *)
+  sim_events : int;
+  wall_s : float;
+  sim_events_per_sec : float;
+}
+
+val schema_version : int
+
+val run : ?quick:bool -> ?seed:int -> unit -> run
+(** Execute the sweep: four consistency modes, 4 replicas, 40 clients
+    on a pinned microbenchmark mix (20 tables x 2,000 rows, 25% update
+    transaction types), warmup 500 ms / measure 3000 ms of virtual time
+    ([~quick:true]: 200 / 1000). The mix is part of the baseline's
+    identity: changing it requires a {!schema_version} bump and a
+    regenerated baseline. *)
+
+val to_json : run -> Obs.Json.t
+(** [{"schema_version", "bench": {...deterministic...}, "wall": {...}}];
+    field order is fixed, so same-seed runs serialize byte-identically
+    except under ["wall"]. *)
+
+val of_json : Obs.Json.t -> (run, string) result
+(** Inverse of {!to_json}; missing ["wall"] fields parse as 0. *)
+
+val load : file:string -> (run, string) result
+
+val save : run -> file:string -> unit
+
+val compare_runs : baseline:run -> current:run -> threshold:float -> string list
+(** Headline regressions of [current] against [baseline], one message
+    per finding: TPS or certifier decision rate lower, or p99 higher,
+    by more than [threshold] (a fraction, e.g. [0.15]); also flags
+    sweep-shape mismatches (schema version, parameters, missing
+    modes). Empty means the gate passes. *)
+
+val render : run -> string
+(** ASCII table of the sweep, one row per configuration. *)

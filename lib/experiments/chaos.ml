@@ -102,6 +102,9 @@ type result = {
   violations : (string * int) list;
   duplicate_commit_versions : int;
   wedged : bool;
+  wedge_drain_ms : float;
+      (** virtual time the post-heal drain took until the cluster both
+          progressed and caught up (the full drain span when wedged) *)
   digest : string;
   drops : int;
   duplicates : int;
@@ -255,9 +258,8 @@ let soak ?config ?(params = default_params) ?(clients = 12) ~mode ~plan ~seed
   let metrics = Core.Cluster.metrics cluster in
   let committed_before = Core.Metrics.committed metrics in
   let cert_version_before = Core.Certifier.version (Core.Cluster.certifier cluster) in
-  Sim.Engine.run engine ~until:(Sim.Engine.now engine +. (0.5 *. duration_ms));
-  let progressed = Core.Metrics.committed metrics > committed_before in
-  let caught_up =
+  let progressed () = Core.Metrics.committed metrics > committed_before in
+  let caught_up () =
     let up = ref true in
     for i = 0 to replicas - 1 do
       let r = Core.Cluster.replica cluster i in
@@ -266,6 +268,22 @@ let soak ?config ?(params = default_params) ?(clients = 12) ~mode ~plan ~seed
     done;
     !up
   in
+  (* Step the drain in slices so the health timeline can report how long
+     the cluster took to become healthy again. Running to intermediate
+     horizons executes exactly the same events in the same order as one
+     run to the full horizon, so digests are unaffected. *)
+  let drain_start = Sim.Engine.now engine in
+  let drain_span = 0.5 *. duration_ms in
+  let slices = 20 in
+  let healthy_at = ref None in
+  for slice = 1 to slices do
+    Sim.Engine.run engine
+      ~until:(drain_start +. (float_of_int slice /. float_of_int slices *. drain_span));
+    if !healthy_at = None && progressed () && caught_up () then
+      healthy_at := Some (Sim.Engine.now engine -. drain_start)
+  done;
+  let progressed = progressed () and caught_up = caught_up () in
+  let wedge_drain_ms = Option.value !healthy_at ~default:drain_span in
   let records = Core.Cluster.records cluster in
   let violations =
     List.map
@@ -291,6 +309,7 @@ let soak ?config ?(params = default_params) ?(clients = 12) ~mode ~plan ~seed
     violations;
     duplicate_commit_versions = count_duplicate_versions records;
     wedged = not (progressed && caught_up);
+    wedge_drain_ms;
     digest = Check.Runlog.digest records;
     drops = Core.Metrics.fault_drops metrics;
     duplicates = Core.Metrics.fault_duplicates metrics;
@@ -322,8 +341,8 @@ let pp_result ppf r =
   let viol = List.fold_left (fun acc (_, n) -> acc + n) 0 r.violations in
   Format.fprintf ppf
     "%-7s %-13s seed=%-4d %s  committed=%-5d aborted=%-4d violations=%d%s%s%s  \
-     faults: drop=%d dup=%d delay=%d retx=%d suspects=%d failovers=%d reprov=%d \
-     evict=%d%s  digest=%s"
+     drain=%.0fms  faults: drop=%d dup=%d delay=%d retx=%d suspects=%d failovers=%d \
+     reprov=%d evict=%d%s  digest=%s"
     (Core.Consistency.to_string r.mode)
     (plan_name r.plan) r.seed
     (if ok r then "ok    " else "FAILED")
@@ -335,6 +354,7 @@ let pp_result ppf r =
        Printf.sprintf " DIVERGENT=%d" r.divergent_log_entries
      else "")
     (if r.wedged then " WEDGED" else "")
+    r.wedge_drain_ms
     r.drops r.duplicates r.delays r.retransmits r.suspects r.failovers r.reprovisions
     r.evictions
     (if r.epoch > 0 then
@@ -342,6 +362,62 @@ let pp_result ppf r =
          r.promotions r.fenced r.outage_max_ms
      else "")
     (String.sub r.digest 0 12)
+
+(* Per-run health timeline artifact: what the soak injected and what the
+   cluster did about it, one object per run — uploaded by CI when a soak
+   fails so the failure is diagnosable without a local rerun. *)
+let result_json r =
+  let num n = Obs.Json.Num (float_of_int n) in
+  let counts pairs =
+    Obs.Json.Obj (List.map (fun (name, n) -> (name, num n)) pairs)
+  in
+  Obs.Json.Obj
+    [
+      ("mode", Obs.Json.Str (Core.Consistency.to_string r.mode));
+      ("plan", Obs.Json.Str (plan_name r.plan));
+      ("seed", num r.seed);
+      ("ok", Obs.Json.Bool (ok r));
+      ("committed", num r.committed);
+      ("aborted", num r.aborted);
+      ("aborts_by_reason", counts r.aborts_by_reason);
+      ("violations", counts r.violations);
+      ("duplicate_commit_versions", num r.duplicate_commit_versions);
+      ("divergent_log_entries", num r.divergent_log_entries);
+      ("wedged", Obs.Json.Bool r.wedged);
+      ("wedge_drain_ms", Obs.Json.Num r.wedge_drain_ms);
+      ( "faults",
+        counts
+          [
+            ("drops", r.drops);
+            ("duplicates", r.duplicates);
+            ("delays", r.delays);
+          ] );
+      ("retransmits", num r.retransmits);
+      ("suspects", num r.suspects);
+      ("failovers", num r.failovers);
+      ("reprovisions", num r.reprovisions);
+      ("evictions", num r.evictions);
+      ("promotions", num r.promotions);
+      ("fenced", num r.fenced);
+      ("epoch", num r.epoch);
+      ("outage_max_ms", Obs.Json.Num r.outage_max_ms);
+      ("digest", Obs.Json.Str r.digest);
+    ]
+
+let health_json results =
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Num 1.0);
+      ("runs", Obs.Json.Arr (List.map result_json results));
+    ]
+
+let write_health results ~file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Obs.Json.to_string (health_json results));
+      output_char oc '\n')
 
 let soak_matrix ?config ?params ?clients ?(modes = Core.Consistency.all)
     ?(plans = [ Mixed ]) ~seeds ~duration_ms () =

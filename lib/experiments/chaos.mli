@@ -46,6 +46,11 @@ type result = {
   wedged : bool;
       (** true if the post-heal drain saw no commits, or a live replica
           failed to reach the certifier's pre-drain version *)
+  wedge_drain_ms : float;
+      (** virtual time from the start of the post-heal drain until the
+          cluster both committed again and every live replica caught up
+          (sampled at 1/20th-drain granularity; the full drain span when
+          wedged) *)
   digest : string;  (** {!Check.Runlog.digest} of the measured window *)
   drops : int;
   duplicates : int;
@@ -113,3 +118,12 @@ val soak_matrix :
     modes under the [Mixed] plan). *)
 
 val pp_result : Format.formatter -> result -> unit
+
+val health_json : result list -> Obs.Json.t
+(** The per-mode health timeline artifact: one object per run (plan,
+    seed, verdict, commit/abort counts, violation counts by checker,
+    faults injected, retransmissions, detector and HA events,
+    wedge-drain time, digest) under a versioned envelope. CI uploads
+    this when a soak fails. *)
+
+val write_health : result list -> file:string -> unit

@@ -32,3 +32,114 @@ let table ~header rows =
 let section title =
   let bar = String.make (String.length title + 8) '=' in
   Printf.sprintf "\n%s\n=== %s ===\n%s" bar title bar
+
+(* ASCII sparkline: one level character per value, scaled to the series
+   max (a flat series renders at the lowest level). *)
+let spark_levels = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let top = List.fold_left Float.max 0.0 values in
+    let levels = Array.length spark_levels in
+    let glyph v =
+      if top <= 0.0 || v <= 0.0 then spark_levels.(0)
+      else
+        let i = int_of_float (v /. top *. float_of_int (levels - 1)) in
+        spark_levels.(Stdlib.max 1 (Stdlib.min (levels - 1) i))
+    in
+    String.init (List.length values) (fun i -> glyph (List.nth values i))
+
+(* --- the run-health report -----------------------------------------
+
+   Rendered from a closed Obs.Timeseries: one row per window with the
+   headline throughput / latency / consistency columns, sparklines for
+   the load-bearing series, and the whole-run latency distribution from
+   the merged histograms. *)
+
+let health ?(title = "run health") (ts : Obs.Timeseries.t) =
+  let windows = Obs.Timeseries.windows ts in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (section title);
+  Buffer.add_char buf '\n';
+  if windows = [] then begin
+    Buffer.add_string buf "(no windows recorded)\n";
+    Buffer.contents buf
+  end
+  else begin
+    let count w name =
+      Option.value (List.assoc_opt name w.Obs.Timeseries.counters) ~default:0
+    in
+    let gauge w name =
+      Option.value (Obs.Timeseries.gauge_value w name) ~default:0.0
+    in
+    let dist_p w name pick =
+      match Obs.Timeseries.summary_of w name with
+      | None -> 0.0
+      | Some s -> pick s
+    in
+    let rows =
+      List.map
+        (fun w ->
+          let commits = count w "txn.commit" + count w "txn.commit_ro" in
+          [
+            Printf.sprintf "%.0f-%.0f" w.Obs.Timeseries.start_ms
+              w.Obs.Timeseries.end_ms;
+            string_of_int commits;
+            fmt_f (Obs.Timeseries.rate_per_sec w "txn.commit"
+                  +. Obs.Timeseries.rate_per_sec w "txn.commit_ro");
+            string_of_int (count w "txn.abort");
+            fmt_f (dist_p w "response" (fun s -> s.Obs.Timeseries.p50));
+            fmt_f (dist_p w "response" (fun s -> s.Obs.Timeseries.p95));
+            fmt_f (dist_p w "response" (fun s -> s.Obs.Timeseries.p99));
+            fmt_f (Obs.Timeseries.rate_per_sec w "certifier.decisions");
+            string_of_int (count w "net.retransmits");
+            fmt_f (gauge w "replicas.lag.max");
+            fmt_f (gauge w "certifier.log_size");
+            fmt_f (gauge w "certifier.log_base");
+            fmt_f (gauge w "lb.session_floors");
+            fmt_f (gauge w "certifier.epoch");
+          ])
+        windows
+    in
+    Buffer.add_string buf
+      (table
+         ~header:
+           [
+             "window(ms)"; "commits"; "tps"; "aborts"; "p50"; "p95"; "p99";
+             "cert/s"; "retx"; "lag.max"; "log"; "log.base"; "floors"; "epoch";
+           ]
+         rows);
+    let spark name read =
+      let values = List.map read windows in
+      if List.exists (fun v -> v > 0.0) values then
+        Buffer.add_string buf
+          (Printf.sprintf "%-12s |%s| peak %s\n" name (sparkline values)
+             (fmt_f (List.fold_left Float.max 0.0 values)))
+    in
+    Buffer.add_char buf '\n';
+    spark "tps" (fun w ->
+        Obs.Timeseries.rate_per_sec w "txn.commit"
+        +. Obs.Timeseries.rate_per_sec w "txn.commit_ro");
+    spark "p99" (fun w -> dist_p w "response" (fun s -> s.Obs.Timeseries.p99));
+    spark "lag.max" (fun w -> gauge w "replicas.lag.max");
+    spark "aborts" (fun w -> float_of_int (count w "txn.abort"));
+    spark "retransmits" (fun w -> float_of_int (count w "net.retransmits"));
+    spark "faults" (fun w ->
+        float_of_int
+          (count w "fault.drops" + count w "fault.duplicates"
+         + count w "fault.delays"));
+    (match Obs.Timeseries.merged ts "response" with
+    | Some h when not (Util.Histogram.Log.is_empty h) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\nwhole-run response: n=%d p50=%s p95=%s p99=%s max=%s (ms)\n"
+           (Util.Histogram.Log.count h)
+           (fmt_f (Util.Histogram.Log.percentile h 50.0))
+           (fmt_f (Util.Histogram.Log.percentile h 95.0))
+           (fmt_f (Util.Histogram.Log.percentile h 99.0))
+           (fmt_f (Util.Histogram.Log.max_value h)))
+    | Some _ | None -> ());
+    Buffer.contents buf
+  end

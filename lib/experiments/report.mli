@@ -8,3 +8,14 @@ val fmt_f : float -> string
 
 val section : string -> string
 (** A titled separator line. *)
+
+val sparkline : float list -> string
+(** One ASCII level character per value, scaled to the series maximum;
+    [""] for an empty series. *)
+
+val health : ?title:string -> Obs.Timeseries.t -> string
+(** Render a run-health report from a (stopped and flushed) observatory
+    time series: one table row per window (throughput, aborts, response
+    percentiles, certifier decision rate, retransmissions, staleness and
+    certifier-log gauges), sparklines for the headline series, and the
+    whole-run response distribution from the merged histograms. *)

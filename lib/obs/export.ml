@@ -72,22 +72,56 @@ let counter_events (sampler : Sampler.t) =
                ]))
     (Sampler.series sampler)
 
-let chrome_json ?sampler trace =
-  let spans = Trace.spans trace in
-  let counters =
-    match sampler with
-    | None -> []
-    | Some s ->
-      let telemetry_name =
+(* Each closed window becomes one "C" event per channel, stamped at the
+   window's end: counters as windowed rates (per second of virtual
+   time), gauges as read, distributions as their p99. *)
+let timeseries_counter_events (ts : Timeseries.t) =
+  List.concat_map
+    (fun (w : Timeseries.window) ->
+      let event name value =
         Json.Obj
           [
-            ("name", Json.Str "process_name");
-            ("ph", Json.Str "M");
+            ("name", Json.Str name);
+            ("ph", Json.Str "C");
+            ("ts", Json.Num (us w.Timeseries.end_ms));
             ("pid", Json.Num (float_of_int telemetry_pid));
-            ("args", Json.Obj [ ("name", Json.Str "telemetry") ]);
+            ("args", Json.Obj [ ("value", Json.Num value) ]);
           ]
       in
-      telemetry_name :: counter_events s
+      List.map
+        (fun (name, _) ->
+          event (name ^ "/s") (Timeseries.rate_per_sec w name))
+        w.Timeseries.counters
+      @ List.map (fun (name, v) -> event name v) w.Timeseries.gauges
+      @ List.map
+          (fun (name, (s : Timeseries.summary)) ->
+            event (name ^ ".p99") s.Timeseries.p99)
+          w.Timeseries.dists)
+    (Timeseries.windows ts)
+
+let telemetry_process_name =
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Num (float_of_int telemetry_pid));
+      ("args", Json.Obj [ ("name", Json.Str "telemetry") ]);
+    ]
+
+let chrome_json ?sampler ?timeseries trace =
+  let spans = Trace.spans trace in
+  let sampler_events =
+    match sampler with None -> [] | Some s -> counter_events s
+  in
+  let timeseries_events =
+    match timeseries with
+    | None -> []
+    | Some ts -> timeseries_counter_events ts
+  in
+  let counters =
+    match sampler_events @ timeseries_events with
+    | [] -> []
+    | events -> telemetry_process_name :: events
   in
   Json.Obj
     [
@@ -95,13 +129,57 @@ let chrome_json ?sampler trace =
       ("displayTimeUnit", Json.Str "ms");
     ]
 
-let chrome_trace ?sampler trace = Json.to_string (chrome_json ?sampler trace)
+let chrome_trace ?sampler ?timeseries trace =
+  Json.to_string (chrome_json ?sampler ?timeseries trace)
 
-let write_chrome_trace ?sampler trace ~file =
+let write_chrome_trace ?sampler ?timeseries trace ~file =
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (chrome_trace ?sampler trace))
+    (fun () -> output_string oc (chrome_trace ?sampler ?timeseries trace))
+
+let timeseries_json (ts : Timeseries.t) =
+  let window (w : Timeseries.window) =
+    Json.Obj
+      [
+        ("seq", Json.Num (float_of_int w.Timeseries.seq));
+        ("start_ms", Json.Num w.Timeseries.start_ms);
+        ("end_ms", Json.Num w.Timeseries.end_ms);
+        ( "counters",
+          Json.Obj
+            (List.map
+               (fun (name, n) -> (name, Json.Num (float_of_int n)))
+               w.Timeseries.counters) );
+        ( "gauges",
+          Json.Obj (List.map (fun (name, v) -> (name, Json.Num v)) w.Timeseries.gauges)
+        );
+        ( "dists",
+          Json.Obj
+            (List.map
+               (fun (name, (s : Timeseries.summary)) ->
+                 ( name,
+                   Json.Obj
+                     [
+                       ("count", Json.Num (float_of_int s.Timeseries.count));
+                       ("p50", Json.Num s.Timeseries.p50);
+                       ("p95", Json.Num s.Timeseries.p95);
+                       ("p99", Json.Num s.Timeseries.p99);
+                       ("max", Json.Num s.Timeseries.max);
+                     ] ))
+               w.Timeseries.dists) );
+      ]
+  in
+  Json.Obj
+    [
+      ("window_ms", Json.Num (Timeseries.window_ms ts));
+      ("windows", Json.Arr (List.map window (Timeseries.windows ts)));
+    ]
+
+let write_timeseries ts ~file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (timeseries_json ts)))
 
 let pp_text ppf trace =
   let spans = Trace.spans trace in

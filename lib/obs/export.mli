@@ -5,13 +5,23 @@
     certifier, clients), replicas as threads, spans as nested slices,
     and sampler series as counter tracks. *)
 
-val chrome_json : ?sampler:Sampler.t -> Trace.t -> Json.t
-(** The trace as a [{"traceEvents": [...]}] document; pass [sampler] to
-    include its time series as counter events. *)
+val chrome_json : ?sampler:Sampler.t -> ?timeseries:Timeseries.t -> Trace.t -> Json.t
+(** The trace as a [{"traceEvents": [...]}] document; pass [sampler]
+    and/or [timeseries] to include their series as counter events. *)
 
-val chrome_trace : ?sampler:Sampler.t -> Trace.t -> string
+val chrome_trace : ?sampler:Sampler.t -> ?timeseries:Timeseries.t -> Trace.t -> string
 
-val write_chrome_trace : ?sampler:Sampler.t -> Trace.t -> file:string -> unit
+val write_chrome_trace :
+  ?sampler:Sampler.t -> ?timeseries:Timeseries.t -> Trace.t -> file:string -> unit
+
+val timeseries_json : Timeseries.t -> Json.t
+(** The windowed series as a standalone document:
+    [{"window_ms": w, "windows": [{"seq", "start_ms", "end_ms",
+    "counters": {..}, "gauges": {..}, "dists": {name: {"count", "p50",
+    "p95", "p99", "max"}}}]}]. Field order is deterministic (channels
+    sorted by name), so two same-seed runs serialize byte-identically. *)
+
+val write_timeseries : Timeseries.t -> file:string -> unit
 
 val pp_text : Format.formatter -> Trace.t -> unit
 (** One line per finished span, oldest first. *)

@@ -1,9 +1,10 @@
 type t = {
   mutable clock : float;
   events : (unit -> unit) Util.Pqueue.t;
+  mutable executed : int;
 }
 
-let create () = { clock = 0.0; events = Util.Pqueue.create () }
+let create () = { clock = 0.0; events = Util.Pqueue.create (); executed = 0 }
 
 let now t = t.clock
 
@@ -17,11 +18,14 @@ let schedule_at t ~time f =
 
 let pending t = Util.Pqueue.length t.events
 
+let executed t = t.executed
+
 let step t =
   match Util.Pqueue.pop t.events with
   | None -> false
   | Some (time, f) ->
     t.clock <- time;
+    t.executed <- t.executed + 1;
     f ();
     true
 

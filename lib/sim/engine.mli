@@ -21,6 +21,10 @@ val schedule_at : t -> time:float -> (unit -> unit) -> unit
 val pending : t -> int
 (** Number of queued events. *)
 
+val executed : t -> int
+(** Total events executed since creation (monotonic) — the denominator
+    of the bench harness's simulated-events-per-wall-second metric. *)
+
 val run : ?until:float -> t -> unit
 (** Execute events in time order until the queue is empty, or until
     virtual time would exceed [until]. On return with [until], [now t]

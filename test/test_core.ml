@@ -308,6 +308,94 @@ let test_tracing_zero_overhead () =
   Alcotest.(check int) "same certified version" v1 v2;
   Alcotest.(check int) "same database contents" f1 f2
 
+(* The same fixed run with the run-health observatory attached; returns
+   the golden tuple plus the serialized time series. *)
+let observatory_run () =
+  let params = { Workload.Microbench.tables = 4; rows = 200; update_types = 2 } in
+  let cluster =
+    Core.Cluster.create
+      ~config:{ small_config with Core.Config.hiccup_interval_ms = 700.0 }
+      ~tracing:false ~mode:Core.Consistency.Fine
+      ~schemas:(Workload.Microbench.schemas params)
+      ~load:(Workload.Microbench.load params)
+      ()
+  in
+  Core.Client.spawn_many cluster ~n:12 ~first_sid:0
+    (Workload.Microbench.workload params);
+  let ts = Core.Cluster.start_observatory ~window_ms:100.0 cluster in
+  Core.Cluster.run_for cluster ~warmup_ms:200.0 ~measure_ms:1_500.0;
+  Core.Cluster.stop_observatory cluster ts;
+  let m = Core.Cluster.metrics cluster in
+  let v = Core.Certifier.version (Core.Cluster.certifier cluster) in
+  let fp =
+    Storage.Database.fingerprint
+      (Core.Replica.database (Core.Cluster.replica cluster 0))
+      ~at:(Core.Replica.v_local (Core.Cluster.replica cluster 0))
+  in
+  ( (Core.Metrics.committed m, Core.Metrics.mean_response_ms m, v, fp),
+    Obs.Json.to_string (Obs.Export.timeseries_json ts) )
+
+let test_observatory_zero_overhead () =
+  (* The observatory only reads: windows, histograms and gauges must
+     not shift a single event, so the instrumented run still reproduces
+     the golden baseline bit for bit. *)
+  let golden, _series = observatory_run () in
+  check_golden golden
+
+let test_observatory_series_deterministic () =
+  (* Two instrumented runs with the same seed serialize the exact same
+     time series, byte for byte. *)
+  let _, s1 = observatory_run () in
+  let _, s2 = observatory_run () in
+  Alcotest.(check bool) "series non-trivial" true (String.length s1 > 200);
+  Alcotest.(check string) "identical serialized time series" s1 s2
+
+let test_observatory_channels_populated () =
+  let _, series = observatory_run () in
+  let doc =
+    match Obs.Json.parse series with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "series is not valid JSON: %s" e
+  in
+  let windows =
+    match Option.bind (Obs.Json.member "windows" doc) Obs.Json.to_list with
+    | Some ws -> ws
+    | None -> Alcotest.fail "no windows array"
+  in
+  (* 1.7 s of virtual time in 100 ms windows, plus the flushed tail. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "many windows (got %d)" (List.length windows))
+    true
+    (List.length windows >= 17);
+  let counter_total name =
+    List.fold_left
+      (fun acc w ->
+        match
+          Option.bind
+            (Option.bind (Obs.Json.member "counters" w) (Obs.Json.member name))
+            Obs.Json.to_float
+        with
+        | Some v -> acc +. v
+        | None -> Alcotest.failf "window missing counter %S" name)
+      0.0 windows
+  in
+  Alcotest.(check bool) "commits counted" true (counter_total "txn.commit" > 0.0);
+  Alcotest.(check bool) "certifier decisions counted" true
+    (counter_total "certifier.decisions" > 0.0);
+  let last = List.nth windows (List.length windows - 1) in
+  let gauge name =
+    match
+      Option.bind
+        (Option.bind (Obs.Json.member "gauges" last) (Obs.Json.member name))
+        Obs.Json.to_float
+    with
+    | Some v -> v
+    | None -> Alcotest.failf "final window missing gauge %S" name
+  in
+  Alcotest.(check bool) "v_system gauge advanced" true (gauge "v_system" > 0.0);
+  Alcotest.(check bool) "lag gauge sane" true (gauge "replicas.lag.max" >= 0.0);
+  Alcotest.(check bool) "cert log gauge sane" true (gauge "certifier.log_size" >= 0.0)
+
 (* --- Certifier unit tests (driven directly, inside a process) --- *)
 
 let ws_on table key =
@@ -429,6 +517,12 @@ let suites =
           test_clean_fault_plan_matches_golden;
         Alcotest.test_case "linear cert index matches golden baseline" `Quick
           test_linear_index_matches_golden;
+        Alcotest.test_case "observatory run matches golden baseline" `Quick
+          test_observatory_zero_overhead;
+        Alcotest.test_case "observatory series deterministic" `Quick
+          test_observatory_series_deterministic;
+        Alcotest.test_case "observatory channels populated" `Quick
+          test_observatory_channels_populated;
         Alcotest.test_case "tracing is zero-overhead" `Quick test_tracing_zero_overhead;
       ] );
     ( "core.certifier",

@@ -117,6 +117,101 @@ let test_sampler_resource_probes () =
     (List.map (fun (ser : Obs.Sampler.series) -> ser.Obs.Sampler.name)
        (Obs.Sampler.series s))
 
+(* --- Timeseries (windowed run-health telemetry) --- *)
+
+(* A scripted 3-window run: activity in windows 0 and 1, silence in the
+   flushed partial window 2. *)
+let scripted_timeseries () =
+  let engine = Sim.Engine.create () in
+  let ts = Obs.Timeseries.create ~window_ms:10.0 engine in
+  let c = Obs.Timeseries.counter ts "ev" in
+  let d = Obs.Timeseries.dist ts "lat" in
+  Obs.Timeseries.add_probe ts ~name:"clock" (fun () -> Sim.Engine.now engine);
+  Obs.Timeseries.add_pre_close ts (fun () ->
+      Obs.Timeseries.bump ~by:5 (Obs.Timeseries.counter ts "hook"));
+  Sim.Process.spawn engine (fun () ->
+      Obs.Timeseries.bump c;
+      Obs.Timeseries.observe d 1.0;
+      Sim.Process.sleep engine 12.0;
+      Obs.Timeseries.bump ~by:2 c;
+      Obs.Timeseries.observe d 100.0;
+      Sim.Process.sleep engine 13.0);
+  Obs.Timeseries.start ts;
+  Sim.Engine.schedule engine ~delay:25.0 (fun () -> Obs.Timeseries.stop ts);
+  Sim.Engine.run engine;
+  Obs.Timeseries.flush ts;
+  ts
+
+let test_timeseries_windows_and_channels () =
+  let ts = scripted_timeseries () in
+  match Obs.Timeseries.windows ts with
+  | [ w0; w1; w2 ] ->
+    Alcotest.(check int) "window sequence" 0 w0.Obs.Timeseries.seq;
+    Alcotest.(check (float 1e-9)) "w0 spans [0, 10)" 10.0 w0.Obs.Timeseries.end_ms;
+    Alcotest.(check (list (pair string int)))
+      "w0 counters (sorted; hook from pre_close)"
+      [ ("ev", 1); ("hook", 5) ]
+      w0.Obs.Timeseries.counters;
+    Alcotest.(check (list (pair string int)))
+      "counters reset at the boundary"
+      [ ("ev", 2); ("hook", 5) ]
+      w1.Obs.Timeseries.counters;
+    Alcotest.(check (float 1e-9)) "windowed rate is count over span" 200.0
+      (Obs.Timeseries.rate_per_sec w1 "ev");
+    Alcotest.(check (float 1e-9)) "unknown counter rates 0" 0.0
+      (Obs.Timeseries.rate_per_sec w1 "nope");
+    Alcotest.(check (option (float 1e-9))) "probe read at each close" (Some 10.0)
+      (Obs.Timeseries.gauge_value w0 "clock");
+    (match Obs.Timeseries.summary_of w1 "lat" with
+    | Some s ->
+      Alcotest.(check int) "one observation in w1" 1 s.Obs.Timeseries.count;
+      Alcotest.(check (float 0.0)) "w1 max is the sample" 100.0 s.Obs.Timeseries.max
+    | None -> Alcotest.fail "no lat summary in w1");
+    (* The flushed partial window: empty but for the gauges and hook. *)
+    Alcotest.(check (list (pair string int)))
+      "flushed window saw no events"
+      [ ("ev", 0); ("hook", 5) ]
+      w2.Obs.Timeseries.counters;
+    (match Obs.Timeseries.summary_of w2 "lat" with
+    | Some s -> Alcotest.(check int) "empty dist summary" 0 s.Obs.Timeseries.count
+    | None -> Alcotest.fail "dist channel missing from flushed window")
+  | ws -> Alcotest.failf "expected 3 windows, got %d" (List.length ws)
+
+let test_timeseries_merged_rolls_up () =
+  let ts = scripted_timeseries () in
+  match Obs.Timeseries.merged ts "lat" with
+  | None -> Alcotest.fail "no merged histogram"
+  | Some h ->
+    Alcotest.(check int) "both windows' samples" 2 (Util.Histogram.Log.count h);
+    Alcotest.(check (float 0.0)) "whole-run min" 1.0 (Util.Histogram.Log.min_value h);
+    Alcotest.(check (float 0.0)) "whole-run max" 100.0 (Util.Histogram.Log.max_value h)
+
+let test_timeseries_flush_needs_elapsed_time () =
+  let ts = scripted_timeseries () in
+  let n = List.length (Obs.Timeseries.windows ts) in
+  Obs.Timeseries.flush ts;
+  Alcotest.(check int) "flush with no elapsed time is a no-op" n
+    (List.length (Obs.Timeseries.windows ts))
+
+let test_timeseries_json_parses_back () =
+  let ts = scripted_timeseries () in
+  let doc =
+    match Obs.Json.parse (Obs.Json.to_string (Obs.Export.timeseries_json ts)) with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "timeseries export is not valid JSON: %s" e
+  in
+  Alcotest.(check (option (float 1e-9))) "window_ms" (Some 10.0)
+    (Option.bind (Obs.Json.member "window_ms" doc) Obs.Json.to_float);
+  match Option.bind (Obs.Json.member "windows" doc) Obs.Json.to_list with
+  | Some ws ->
+    Alcotest.(check int) "one object per window" 3 (List.length ws);
+    let w0 = List.hd ws in
+    Alcotest.(check (option (float 1e-9))) "counters serialized" (Some 1.0)
+      (Option.bind
+         (Option.bind (Obs.Json.member "counters" w0) (Obs.Json.member "ev"))
+         Obs.Json.to_float)
+  | None -> Alcotest.fail "no windows array"
+
 (* --- JSON codec --- *)
 
 let test_json_roundtrip () =
@@ -220,6 +315,37 @@ let test_chrome_export_parses_back () =
       Alcotest.(check bool) "span pid has metadata" true (List.mem pid named_pids))
     pids
 
+let test_chrome_export_timeseries_counters () =
+  (* A timeseries handed to the exporter renders as Chrome counter
+     tracks: one "C" event per channel per window, stamped at the window
+     end, under a named telemetry process. *)
+  let ts = scripted_timeseries () in
+  let engine = Sim.Engine.create () in
+  let trace = Obs.Trace.create engine in
+  let doc = Obs.Export.chrome_json ~timeseries:ts trace in
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+    | Some events -> events
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let str name ev = Option.bind (Obs.Json.member name ev) Obs.Json.to_str in
+  let counters = List.filter (fun ev -> str "ph" ev = Some "C") events in
+  Alcotest.(check bool) "counter events present" true (counters <> []);
+  Alcotest.(check bool) "windowed rates exported" true
+    (List.exists (fun ev -> str "name" ev = Some "ev/s") counters);
+  Alcotest.(check bool) "gauges exported" true
+    (List.exists (fun ev -> str "name" ev = Some "clock") counters);
+  Alcotest.(check bool) "dist p99 exported" true
+    (List.exists (fun ev -> str "name" ev = Some "lat.p99") counters);
+  Alcotest.(check bool) "telemetry process named" true
+    (List.exists
+       (fun ev ->
+         str "ph" ev = Some "M"
+         && Option.bind (Obs.Json.member "args" ev) (fun a ->
+                Option.bind (Obs.Json.member "name" a) Obs.Json.to_str)
+            = Some "telemetry")
+       events)
+
 let contains_substring haystack needle =
   let n = String.length needle and h = String.length haystack in
   let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
@@ -252,6 +378,17 @@ let suites =
         Alcotest.test_case "periodic series" `Quick test_sampler_periodic_series;
         Alcotest.test_case "resource probes" `Quick test_sampler_resource_probes;
       ] );
+    ( "obs.timeseries",
+      [
+        Alcotest.test_case "windows and channels" `Quick
+          test_timeseries_windows_and_channels;
+        Alcotest.test_case "merged histograms roll up" `Quick
+          test_timeseries_merged_rolls_up;
+        Alcotest.test_case "flush idempotent" `Quick
+          test_timeseries_flush_needs_elapsed_time;
+        Alcotest.test_case "json export parses back" `Quick
+          test_timeseries_json_parses_back;
+      ] );
     ( "obs.json",
       [
         Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
@@ -260,6 +397,8 @@ let suites =
     ( "obs.export",
       [
         Alcotest.test_case "chrome trace parses back" `Quick test_chrome_export_parses_back;
+        Alcotest.test_case "chrome counter tracks" `Quick
+          test_chrome_export_timeseries_counters;
         Alcotest.test_case "text dump" `Quick test_text_dump_mentions_components;
       ] );
   ]

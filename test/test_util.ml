@@ -197,6 +197,123 @@ let test_histogram_pp_single_sample () =
     (String.length (String.concat "" (String.split_on_char '#' rendered))
     = String.length rendered - 40)
 
+(* --- Log histogram (mergeable, HDR-style; lib/util/histogram.ml) --- *)
+
+let log_hist_of_list ?buckets_per_decade xs =
+  let h = Util.Histogram.Log.create ?buckets_per_decade () in
+  List.iter (Util.Histogram.Log.add h) xs;
+  h
+
+let test_log_hist_quantile_accuracy () =
+  (* The documented bound: quantile answers carry a relative error of at
+     most 10^(1/(2*sub)) - 1 (~2.9% at the default sub = 40). Checked
+     against the exact percentile over the same stream, with a little
+     slack for the nearest-rank tie at bucket edges. *)
+  let h = Util.Histogram.Log.create () in
+  let s = Util.Stats.create () in
+  let rng = Util.Rng.create 17 in
+  for _ = 1 to 10_000 do
+    let x = Util.Rng.exponential rng ~mean:12.0 +. 0.01 in
+    Util.Histogram.Log.add h x;
+    Util.Stats.add s x
+  done;
+  let sub = float_of_int (Util.Histogram.Log.buckets_per_decade h) in
+  let bound = Float.pow 10.0 (1.0 /. (2.0 *. sub)) -. 1.0 +. 0.01 in
+  List.iter
+    (fun p ->
+      let exact = Util.Stats.percentile s p in
+      let approx = Util.Histogram.Log.percentile h p in
+      let rel = Float.abs (approx -. exact) /. exact in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g within %.1f%% (exact %.4f, log %.4f, err %.2f%%)" p
+           (100.0 *. bound) exact approx (100.0 *. rel))
+        true (rel <= bound))
+    [ 50.0; 90.0; 95.0; 99.0 ]
+
+let test_log_hist_single_value_exact () =
+  (* With one sample the [min, max] clamp pins every percentile to it. *)
+  let h = log_hist_of_list [ 3.7 ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p%g of a single sample" p)
+        3.7
+        (Util.Histogram.Log.percentile h p))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  Alcotest.(check (float 0.0)) "min" 3.7 (Util.Histogram.Log.min_value h);
+  Alcotest.(check (float 0.0)) "max" 3.7 (Util.Histogram.Log.max_value h)
+
+let test_log_hist_zeros_and_negatives () =
+  let h = log_hist_of_list [ -1.0; 0.0; 5.0 ] in
+  Alcotest.(check int) "count includes zero bucket" 3 (Util.Histogram.Log.count h);
+  Alcotest.(check (float 0.0)) "negatives clamp min to 0" 0.0
+    (Util.Histogram.Log.min_value h);
+  Alcotest.(check (float 0.0)) "p50 lands in the zero bucket" 0.0
+    (Util.Histogram.Log.percentile h 50.0);
+  Alcotest.(check (float 0.0)) "p100 is the max" 5.0
+    (Util.Histogram.Log.percentile h 100.0)
+
+let test_log_hist_empty_and_clear () =
+  let h = Util.Histogram.Log.create () in
+  Alcotest.(check bool) "fresh is empty" true (Util.Histogram.Log.is_empty h);
+  Alcotest.(check (float 0.0)) "percentile of empty" 0.0
+    (Util.Histogram.Log.percentile h 50.0);
+  Alcotest.(check (float 0.0)) "min of empty" 0.0 (Util.Histogram.Log.min_value h);
+  Util.Histogram.Log.add h 2.0;
+  Alcotest.(check bool) "non-empty after add" false (Util.Histogram.Log.is_empty h);
+  Util.Histogram.Log.clear h;
+  Alcotest.(check bool) "clear empties" true (Util.Histogram.Log.is_empty h);
+  Alcotest.(check int) "clear zeroes the count" 0 (Util.Histogram.Log.count h)
+
+let test_log_hist_create_and_merge_validation () =
+  Alcotest.check_raises "non-positive resolution rejected"
+    (Invalid_argument "Histogram.Log.create: buckets_per_decade must be positive")
+    (fun () -> ignore (Util.Histogram.Log.create ~buckets_per_decade:0 ()));
+  Alcotest.check_raises "bucketing mismatch rejected"
+    (Invalid_argument "Histogram.Log.merge: buckets_per_decade mismatch") (fun () ->
+      ignore
+        (Util.Histogram.Log.merge
+           (Util.Histogram.Log.create ~buckets_per_decade:10 ())
+           (Util.Histogram.Log.create ())))
+
+(* Two Log histograms with identical bucket counts are observationally
+   equal: same count, same extremes, same answer at every percentile. *)
+let log_hist_fingerprint h =
+  ( Util.Histogram.Log.count h,
+    Util.Histogram.Log.min_value h,
+    Util.Histogram.Log.max_value h,
+    List.map (Util.Histogram.Log.percentile h) [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ]
+  )
+
+let log_samples_gen = QCheck.(list_of_size (Gen.int_range 0 30) (float_bound_inclusive 1e4))
+
+let prop_log_hist_merge_commutative =
+  QCheck.Test.make ~name:"log histogram merge is commutative" ~count:100
+    QCheck.(pair log_samples_gen log_samples_gen)
+    (fun (xs, ys) ->
+      let a = log_hist_of_list xs and b = log_hist_of_list ys in
+      log_hist_fingerprint (Util.Histogram.Log.merge a b)
+      = log_hist_fingerprint (Util.Histogram.Log.merge b a))
+
+let prop_log_hist_merge_associative =
+  QCheck.Test.make ~name:"log histogram merge is associative" ~count:100
+    QCheck.(triple log_samples_gen log_samples_gen log_samples_gen)
+    (fun (xs, ys, zs) ->
+      let a = log_hist_of_list xs
+      and b = log_hist_of_list ys
+      and c = log_hist_of_list zs in
+      let open Util.Histogram.Log in
+      log_hist_fingerprint (merge (merge a b) c)
+      = log_hist_fingerprint (merge a (merge b c)))
+
+let prop_log_hist_merge_counts_add =
+  QCheck.Test.make ~name:"log histogram merge sums counts" ~count:100
+    QCheck.(pair log_samples_gen log_samples_gen)
+    (fun (xs, ys) ->
+      let m = Util.Histogram.Log.merge (log_hist_of_list xs) (log_hist_of_list ys) in
+      Util.Histogram.Log.count m = List.length xs + List.length ys
+      && log_hist_fingerprint m = log_hist_fingerprint (log_hist_of_list (xs @ ys)))
+
 let test_metrics_percentile_edge_cases () =
   let engine = Sim.Engine.create () in
   let m = Core.Metrics.create engine in
@@ -262,6 +379,21 @@ let suites =
         Alcotest.test_case "merge" `Quick test_stats_merge;
       ]
       @ qsuite [ prop_stats_mean_welford_agree ] );
+    ( "util.histogram.log",
+      [
+        Alcotest.test_case "quantile accuracy bound" `Quick test_log_hist_quantile_accuracy;
+        Alcotest.test_case "single value exact" `Quick test_log_hist_single_value_exact;
+        Alcotest.test_case "zeros and negatives" `Quick test_log_hist_zeros_and_negatives;
+        Alcotest.test_case "empty and clear" `Quick test_log_hist_empty_and_clear;
+        Alcotest.test_case "create/merge validation" `Quick
+          test_log_hist_create_and_merge_validation;
+      ]
+      @ qsuite
+          [
+            prop_log_hist_merge_commutative;
+            prop_log_hist_merge_associative;
+            prop_log_hist_merge_counts_add;
+          ] );
     ( "util.misc",
       [
         Alcotest.test_case "histogram buckets" `Quick test_histogram;
