@@ -212,6 +212,7 @@ let component_tests () =
             commit_version = (if i mod 2 = 0 then Some (i + 1) else None);
             epoch = 0;
             table_set = [ "t" ];
+            tier = Check.Runlog.Strong;
             tables_written = (if i mod 2 = 0 then [ "t" ] else []);
             write_keys = (if i mod 2 = 0 then [ ("t", string_of_int i) ] else []);
             trace = None;

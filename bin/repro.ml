@@ -367,7 +367,7 @@ let check_cmd =
 
 (* --- chaos: seeded fault-schedule soak --- *)
 
-let chaos seeds seed_count duration plan_str modes_str verify_digest health_file =
+let chaos seeds seed_count duration plan_str modes_str tiers verify_digest health_file =
   match Experiments.Chaos.plan_of_string plan_str with
   | Error e -> `Error (false, e)
   | Ok plan -> (
@@ -397,11 +397,12 @@ let chaos seeds seed_count duration plan_str modes_str verify_digest health_file
         `Error (false, "empty seed matrix: pass --seeds N with N > 0, or --seed-list")
       else
       let duration_ms = duration *. 1000.0 in
-      Printf.printf "Chaos soak: plan=%s, %d seed(s) x %d mode(s), %.1fs virtual each\n\n"
+      Printf.printf "Chaos soak: plan=%s%s, %d seed(s) x %d mode(s), %.1fs virtual each\n\n"
         (Experiments.Chaos.plan_name plan)
+        (if tiers then " (mixed-tier reads)" else "")
         (List.length seeds) (List.length modes) duration;
       let results =
-        Experiments.Chaos.soak_matrix ~modes ~plans:[ plan ] ~seeds ~duration_ms ()
+        Experiments.Chaos.soak_matrix ~tiers ~modes ~plans:[ plan ] ~seeds ~duration_ms ()
       in
       List.iter (fun r -> Format.printf "%a@." Experiments.Chaos.pp_result r) results;
       (match health_file with
@@ -416,7 +417,7 @@ let chaos seeds seed_count duration plan_str modes_str verify_digest health_file
              runlog: the whole stack, faults included, is deterministic. *)
           let mode = List.hd modes and seed = List.hd seeds in
           let _, same =
-            Experiments.Chaos.reproducible ~mode ~plan ~seed ~duration_ms ()
+            Experiments.Chaos.reproducible ~tiers ~mode ~plan ~seed ~duration_ms ()
           in
           Printf.printf "\ndigest reproducibility (%s, seed %d): %s\n"
             (Core.Consistency.to_string mode)
@@ -451,6 +452,14 @@ let chaos_modes_arg =
   let doc = "Comma-separated consistency modes (default: all four)." in
   Arg.(value & opt (some string) None & info [ "modes" ] ~docv:"MODES" ~doc)
 
+let chaos_tiers_arg =
+  let doc =
+    "Drive the mixed-tier read workload (strong/bounded/causal/eventual reads) with \
+     read-tier routing enabled, so the per-class contract checkers are exercised \
+     under the fault plan."
+  in
+  Arg.(value & flag & info [ "tiers" ] ~doc)
+
 let chaos_no_digest_arg =
   let doc = "Skip the double-run digest reproducibility check." in
   Arg.(value & flag & info [ "no-digest-check" ] ~doc)
@@ -471,9 +480,47 @@ let chaos_cmd =
           consistency, liveness and reproducibility")
     Term.(
       ret
-        (const (fun seeds n d p m nd hf -> chaos seeds n d p m (not nd) hf)
+        (const (fun seeds n d p m t nd hf -> chaos seeds n d p m t (not nd) hf)
         $ chaos_seeds_arg $ chaos_seed_count_arg $ chaos_duration_arg $ chaos_plan_arg
-        $ chaos_modes_arg $ chaos_no_digest_arg $ chaos_health_arg))
+        $ chaos_modes_arg $ chaos_tiers_arg $ chaos_no_digest_arg $ chaos_health_arg))
+
+(* --- tiers: read-tier latency/staleness frontier --- *)
+
+let tiers quick seed clients =
+  (* --quick trims sweep points, not measurement windows: each point is
+     an independent cluster run, so the quick rows are bit-identical to
+     the same rows of the full sweep, and the latency-ordering check
+     stays out of short-window noise. *)
+  let bounds = if quick then [ 0; 8; 32 ] else Experiments.Tiers.default_bounds in
+  let points =
+    Experiments.Tiers.run ~clients ~bounds ~seed ~warmup_ms:1_000.0 ~measure_ms:4_000.0 ()
+  in
+  print_string (Experiments.Tiers.render points);
+  if Experiments.Tiers.ok points then `Ok ()
+  else begin
+    let viol =
+      List.fold_left (fun acc p -> acc + Experiments.Tiers.total_violations p) 0 points
+    in
+    `Error
+      ( false,
+        if viol > 0 then Printf.sprintf "%d read-tier contract violation(s)" viol
+        else
+          "latency ordering eventual < bounded < causal < strong did not hold at any \
+           bound >= 8" )
+  end
+
+let tiers_clients_arg =
+  let doc = "Closed-loop clients driving the sweep." in
+  Arg.(value & opt int 24 & info [ "clients" ] ~docv:"N" ~doc)
+
+let tiers_cmd =
+  Cmd.v
+    (Cmd.info "tiers"
+       ~doc:
+         "Sweep the bounded-staleness lag bound and report per-read-tier latency and \
+          served staleness (the latency-vs-staleness frontier), validating every tier \
+          contract on the run log")
+    Term.(ret (const tiers $ quick_arg $ seed_arg $ tiers_clients_arg))
 
 (* --- bench: the committed baseline and its regression gate --- *)
 
@@ -709,7 +756,8 @@ let () =
     Cmd.group ~default:trace_term info
       [
         table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig7_cmd; batch_cmd; certindex_cmd;
-        ablation_cmd; ycsb_cmd; tpcc_cmd; check_cmd; chaos_cmd; bench_cmd; report_cmd;
+        ablation_cmd; ycsb_cmd; tpcc_cmd; check_cmd; chaos_cmd; tiers_cmd; bench_cmd;
+        report_cmd;
         all_cmd;
       ]
   in

@@ -1,3 +1,23 @@
+(* Mirror of Core.Consistency.read_tier, restated here so the checker
+   library stays decoupled from the protocol implementation it judges. *)
+type tier =
+  | Strong
+  | Bounded of {
+      versions : int option;
+      ms : float option;
+    }
+  | Causal
+  | Eventual
+
+let tier_string = function
+  | Strong -> "strong"
+  | Bounded { versions; ms } ->
+    let v = match versions with Some k -> Printf.sprintf "v%d" k | None -> "" in
+    let m = match ms with Some x -> Printf.sprintf "m%h" x | None -> "" in
+    "bounded:" ^ v ^ m
+  | Causal -> "causal"
+  | Eventual -> "eventual"
+
 type record = {
   tid : int;
   session : int;
@@ -6,6 +26,7 @@ type record = {
   snapshot_version : int;
   commit_version : int option;
   epoch : int;  (* certifier epoch that released the decision *)
+  tier : tier;  (* read class served; Strong for updates *)
   table_set : string list;
   tables_written : string list;
   write_keys : (string * string) list;
@@ -50,9 +71,14 @@ let precedence_pairs records ~relevant ~check =
   done;
   List.rev !violations
 
+(* The mode guarantees below constrain transactions that asked for the
+   mode's class: a record served under a weaker read tier is judged by
+   its own tier checker instead, so [tj] is restricted to Strong. (Tier
+   records never act as [ti]: they are read-only, hence uncommitted.) *)
+
 let strong_consistency records =
   precedence_pairs records
-    ~relevant:(fun _ _ -> true)
+    ~relevant:(fun _ tj -> tj.tier = Strong)
     ~check:(fun vi ti tj ->
       if tj.snapshot_version >= vi then None
       else
@@ -64,7 +90,7 @@ let strong_consistency records =
 let fine_strong_consistency records =
   let intersects a b = List.exists (fun x -> List.mem x b) a in
   precedence_pairs records
-    ~relevant:(fun ti tj -> intersects ti.tables_written tj.table_set)
+    ~relevant:(fun ti tj -> tj.tier = Strong && intersects ti.tables_written tj.table_set)
     ~check:(fun vi ti tj ->
       if tj.snapshot_version >= vi then None
       else
@@ -75,7 +101,7 @@ let fine_strong_consistency records =
 
 let session_consistency records =
   precedence_pairs records
-    ~relevant:(fun ti tj -> ti.session = tj.session)
+    ~relevant:(fun ti tj -> tj.tier = Strong && ti.session = tj.session)
     ~check:(fun vi ti tj ->
       if tj.snapshot_version >= vi then None
       else
@@ -119,7 +145,7 @@ let first_committer_wins records =
 
 let bounded_staleness ~k records =
   precedence_pairs records
-    ~relevant:(fun _ _ -> true)
+    ~relevant:(fun _ tj -> tj.tier = Strong)
     ~check:(fun vi ti tj ->
       if tj.snapshot_version >= vi - k then None
       else
@@ -141,8 +167,13 @@ let monotone_session_snapshots records =
       let ordered = List.sort (fun a b -> compare a.begin_time b.begin_time) rs in
       let rec walk = function
         | a :: (b :: _ as rest) ->
-          (* Only constrain non-overlapping pairs: a acked before b began. *)
-          if a.ack_time < b.begin_time && b.snapshot_version < a.snapshot_version then
+          (* Only constrain non-overlapping pairs: a acked before b began.
+             A weaker-tier [b] is exempt here (eventual reads may go back
+             in time; causal ones are judged by [tier_monotone_reads]). *)
+          if
+            b.tier = Strong && a.ack_time < b.begin_time
+            && b.snapshot_version < a.snapshot_version
+          then
             violations :=
               {
                 first = a;
@@ -207,6 +238,92 @@ let epoch_fencing records =
   in
   walk [] epochs
 
+(* --- Read-tier contracts (docs/CONSISTENCY.md) ----------------------- *)
+
+(* Bounded staleness, per record: a read declaring [versions = Some k]
+   must see every commit acked before it began except the k freshest;
+   one declaring [ms = Some m] must see every commit acked at least m
+   virtual ms before it began. Unlike the mode-level [bounded_staleness],
+   the bound comes from the record itself. *)
+let tier_bounded_staleness records =
+  precedence_pairs records
+    ~relevant:(fun _ tj -> match tj.tier with Bounded _ -> true | _ -> false)
+    ~check:(fun vi ti tj ->
+      match tj.tier with
+      | Bounded { versions; ms } ->
+        let stale_v =
+          match versions with Some k -> tj.snapshot_version < vi - k | None -> false
+        in
+        let stale_ms =
+          match ms with
+          | Some m -> ti.ack_time <= tj.begin_time -. m && tj.snapshot_version < vi
+          | None -> false
+        in
+        if stale_v || stale_ms then
+          Some
+            (Printf.sprintf
+               "bounded read T%d (%s) saw snapshot v%d, violating its bound against \
+                T%d's commit v%d (acked %.3f, read began %.3f)"
+               tj.tid (tier_string tj.tier) tj.snapshot_version ti.tid vi ti.ack_time
+               tj.begin_time)
+        else None
+      | _ -> None)
+
+(* Causal = read-your-writes: a causal read sees every commit its own
+   session was already acknowledged for. *)
+let tier_causal_ryw records =
+  precedence_pairs records
+    ~relevant:(fun ti tj -> tj.tier = Causal && ti.session = tj.session)
+    ~check:(fun vi ti tj ->
+      if tj.snapshot_version >= vi then None
+      else
+        Some
+          (Printf.sprintf
+             "causal read T%d missed its own session's write: session %d committed \
+              v%d (T%d) before the read began, but it saw snapshot v%d"
+             tj.tid tj.session vi ti.tid tj.snapshot_version))
+
+(* Causal = monotonic reads: within a session, a causal read never
+   observes an older snapshot than any earlier acknowledged transaction
+   of the same session (whatever tier that one ran under). *)
+let tier_monotone_reads records =
+  let by_session = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let l = Option.value (Hashtbl.find_opt by_session r.session) ~default:[] in
+      Hashtbl.replace by_session r.session (r :: l))
+    records;
+  let violations = ref [] in
+  Hashtbl.iter
+    (fun _ rs ->
+      let ordered = List.sort (fun a b -> compare a.begin_time b.begin_time) rs in
+      let rec walk = function
+        | a :: (_ :: _ as rest) ->
+          List.iter
+            (fun b ->
+              if
+                b.tier = Causal && a.ack_time < b.begin_time
+                && b.snapshot_version < a.snapshot_version
+              then
+                violations :=
+                  {
+                    first = a;
+                    second = b;
+                    reason =
+                      Printf.sprintf
+                        "causal read T%d went back in time: session %d had observed \
+                         v%d (T%d), then read snapshot v%d"
+                        b.tid b.session a.snapshot_version a.tid b.snapshot_version;
+                  }
+                  :: !violations)
+            rest;
+          walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk ordered)
+    by_session;
+  List.rev !violations
+
 let digest records =
   (* Canonical rendering of everything semantically meaningful in a
      record. [trace] is excluded: trace ids depend on whether tracing
@@ -217,13 +334,16 @@ let digest records =
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%d|%d|%h|%h|%d|%s|e%d|%s|%s|%s\n" r.tid r.session
+        (Printf.sprintf "%d|%d|%h|%h|%d|%s|e%d|%s|%s|%s%s\n" r.tid r.session
            r.begin_time r.ack_time r.snapshot_version
            (match r.commit_version with None -> "ro" | Some v -> string_of_int v)
            r.epoch
            (String.concat "," r.table_set)
            (String.concat "," r.tables_written)
            (String.concat ","
-              (List.map (fun (t, k) -> t ^ ":" ^ k) r.write_keys))))
+              (List.map (fun (t, k) -> t ^ ":" ^ k) r.write_keys))
+           (* Tier rendered only when weaker than Strong, so all-strong
+              logs digest identically to logs predating read tiers. *)
+           (match r.tier with Strong -> "" | t -> "|" ^ tier_string t)))
     records;
   Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -15,7 +15,27 @@
       the same session;
     - first-committer-wins (GSI): two committed update transactions with
       intersecting writesets must not have overlapping
-      (snapshot, commit] version windows. *)
+      (snapshot, commit] version windows.
+
+    Records additionally carry the {!tier} (read class) they were served
+    under. The mode-level guarantees above constrain [Strong]-class
+    records only — a read that explicitly requested a weaker class is
+    judged by its own tier checker ({!tier_bounded_staleness},
+    {!tier_causal_ryw}, {!tier_monotone_reads}) instead. *)
+
+(** Read class a record was served under — a decoupled mirror of
+    [Core.Consistency.read_tier] (this library judges logs; it does not
+    depend on the protocol implementation). *)
+type tier =
+  | Strong
+  | Bounded of {
+      versions : int option;
+      ms : float option;
+    }
+  | Causal
+  | Eventual
+
+val tier_string : tier -> string
 
 type record = {
   tid : int;
@@ -27,6 +47,7 @@ type record = {
   epoch : int;
       (** certifier epoch that released the decision (0 when no certifier
           failover ever happened) *)
+  tier : tier;  (** read class served; [Strong] for every update *)
   table_set : string list;  (** declared tables the txn may access *)
   tables_written : string list;  (** tables in the writeset *)
   write_keys : (string * string) list;  (** (table, rendered key) written *)
@@ -63,6 +84,27 @@ val monotone_session_snapshots : record list -> violation list
     than an earlier one's observed commit — the "never goes back in
     time" session guarantee. *)
 
+(** {2 Read-tier contracts (docs/CONSISTENCY.md)}
+
+    Each checker constrains only records of its own tier; they are all
+    trivially empty on a log with no tiered reads, so they can ride in
+    every checker battery. *)
+
+val tier_bounded_staleness : record list -> violation list
+(** Every [Bounded]-tier read respected the bound {e it declared}: with
+    [versions = Some k], its snapshot trails any previously-acked commit
+    by at most [k] versions; with [ms = Some m], it includes every
+    commit acked at least [m] virtual ms before the read began. *)
+
+val tier_causal_ryw : record list -> violation list
+(** Read-your-writes: a [Causal]-tier read observes every commit its own
+    session had already been acknowledged for. *)
+
+val tier_monotone_reads : record list -> violation list
+(** Monotonic reads: a [Causal]-tier read never observes an older
+    snapshot than any earlier acknowledged transaction of its session
+    (whatever tier that one ran under). *)
+
 val epoch_fencing : record list -> violation list
 (** Commit versions are partitioned by certifier epoch: for any two
     epochs e < e', every version committed under e is strictly below
@@ -74,7 +116,8 @@ val epoch_fencing : record list -> violation list
 val digest : record list -> string
 (** Hex digest of the canonical rendering of the log — tid, session,
     begin/ack times (full float precision), snapshot and commit
-    versions, table sets and written keys; [trace] ids are excluded so
-    the digest is invariant to whether tracing was on. Two runs with the
-    same seed and fault plan must produce equal digests (the chaos
-    harness's bit-reproducibility check). *)
+    versions, table sets, written keys, and (when weaker than [Strong])
+    the read tier; [trace] ids are excluded so the digest is invariant
+    to whether tracing was on. Two runs with the same seed and fault
+    plan must produce equal digests (the chaos harness's
+    bit-reproducibility check). *)

@@ -226,7 +226,11 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
                   Sim.Network.send network ~src:id ~dst:Config.node_lb ~size_bytes:16
                     (fun () ->
                       Load_balancer.note_contact lb ~replica:id
-                        ~now:(Sim.Engine.now engine));
+                        ~now:(Sim.Engine.now engine);
+                      (* The heartbeat carries the applied watermark as of
+                         send time — same payload the certifier gets, so
+                         the 16-byte message covers both piggybacks. *)
+                      Load_balancer.note_applied lb ~replica:id ~version:v);
                   Sim.Network.send network ~src:id
                     ~dst:(Certifier.primary_net certifier) ~size_bytes:16 (fun () ->
                       Certifier.heartbeat certifier ~replica:id ~applied:v)
@@ -504,6 +508,20 @@ let start_observatory ?window_ms t =
       (fun s -> (Metrics.stage_index s, Obs.Timeseries.dist ts ("stage." ^ Metrics.stage_name s)))
       Metrics.stages
   in
+  (* Per-read-tier channels (docs/CONSISTENCY.md): commit rate, response
+     and served staleness per class. Only materialized when read tiers
+     are on, so the exported series of a classic run are unchanged. *)
+  let tier_channels =
+    if t.cfg.Config.read_tiers then
+      List.map
+        (fun slug ->
+          ( slug,
+            Obs.Timeseries.counter ts ("tier." ^ slug ^ ".commit"),
+            Obs.Timeseries.dist ts ("tier." ^ slug ^ ".response"),
+            Obs.Timeseries.dist ts ("tier." ^ slug ^ ".staleness") ))
+        Consistency.all_tier_slugs
+    else []
+  in
   Metrics.set_observer t.metrics
     (Some
        (fun (o : Metrics.outcome) ->
@@ -514,7 +532,16 @@ let start_observatory ?window_ms t =
              (fun (i, d) ->
                let v = o.Metrics.out_stages.(i) in
                if v > 0.0 then Obs.Timeseries.observe d v)
-             d_stages
+             d_stages;
+           if o.Metrics.out_read_only then
+             List.iter
+               (fun (slug, c, d_resp, d_stale) ->
+                 if slug = o.Metrics.out_tier then begin
+                   Obs.Timeseries.bump c;
+                   Obs.Timeseries.observe d_resp o.Metrics.out_response_ms;
+                   Obs.Timeseries.observe d_stale (float_of_int o.Metrics.out_staleness)
+                 end)
+               tier_channels
          end
          else Obs.Timeseries.bump c_abort));
   (* Monotonic sources -> per-window deltas, mirrored at window close. *)
@@ -589,8 +616,16 @@ let stop_observatory t ts =
 let render_key key =
   String.concat "," (List.map Storage.Value.to_string (Array.to_list key))
 
-let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~epoch ~table_set ~ws
-    ~trace =
+(* The checker library mirrors the tier type rather than depending on
+   this one; translate at the recording boundary. *)
+let runlog_tier = function
+  | Consistency.Strong -> Check.Runlog.Strong
+  | Consistency.Bounded_staleness { versions; ms } -> Check.Runlog.Bounded { versions; ms }
+  | Consistency.Causal -> Check.Runlog.Causal
+  | Consistency.Eventual -> Check.Runlog.Eventual
+
+let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~epoch ~tier
+    ~table_set ~ws ~trace =
   if t.cfg.Config.record_log then begin
     let entries = Storage.Writeset.entries ws in
     let record =
@@ -602,6 +637,7 @@ let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~epoch ~tabl
         snapshot_version = snapshot;
         commit_version;
         epoch;
+        tier = runlog_tier tier;
         table_set;
         tables_written = Storage.Writeset.tables ws;
         write_keys =
@@ -617,6 +653,9 @@ let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~epoch ~tabl
 (* Response path shared by every outcome: replica -> LB -> client, with
    the LB's bookkeeping in between. *)
 let respond t ~replica_id ~ack_bytes ~on_lb =
+  (* The response implicitly reports the replica's applied version as of
+     send time — free freshness information for the staleness router. *)
+  let applied = Replica.v_local t.replicas.(replica_id) in
   (* Response legs are persistent transfers: once the replica holds a
      decision the client-visible outcome must eventually arrive, or a
      committed write would be reported lost. *)
@@ -626,6 +665,7 @@ let respond t ~replica_id ~ack_bytes ~on_lb =
   if t.cfg.Config.reliable then
     Load_balancer.note_contact t.lb ~replica:replica_id
       ~now:(Sim.Engine.now t.engine);
+  Load_balancer.note_applied t.lb ~replica:replica_id ~version:applied;
   Load_balancer.note_complete t.lb ~replica:replica_id;
   on_lb ();
   Sim.Network.transfer t.network ~src:Config.node_lb ~dst:Config.node_client
@@ -670,9 +710,19 @@ let submit t ~sid (req : Transaction.request) =
   | Error `Timeout -> abort_unrouted Transaction.Timeout
   | Ok () ->
   Sim.Process.sleep t.engine t.cfg.Config.lb_ms;
-  let replica_id = Load_balancer.choose_replica t.lb ~sid in
+  (* Strong requests take the mode's version oracle; with read tiers
+     enabled, a weaker read class is routed by staleness instead — the
+     floor comes from the tier, the replica from its applied watermark.
+     With tiers disabled the branch below is never entered for the
+     default [Strong] tier, keeping this path byte-identical. *)
+  let replica_id, v_start =
+    if t.cfg.Config.read_tiers && req.Transaction.tier <> Consistency.Strong then
+      Load_balancer.route_read t.lb ~sid ~tier:req.Transaction.tier ~now:(now ())
+    else
+      ( Load_balancer.choose_replica t.lb ~sid,
+        Load_balancer.start_version t.lb ~sid ~table_set:req.Transaction.table_set )
+  in
   let replica = t.replicas.(replica_id) in
-  let v_start = Load_balancer.start_version t.lb ~sid ~table_set:req.Transaction.table_set in
   Load_balancer.note_dispatch t.lb ~replica:replica_id;
   (match Metrics.txn_trace_id mtxn with
   | None -> ()
@@ -707,6 +757,12 @@ let submit t ~sid (req : Transaction.request) =
         m "[%.3f] T%d aborted: %a" (now ()) tid Transaction.pp_abort_reason reason);
     Transaction.Aborted { reason; response_ms = now () -. begin_time }
   in
+  (* Replica-side read-class admission: a weaker tier carrying update
+     statements is a contract violation, rejected before any execution
+     (a permanent abort — the client will not retry it). *)
+  match Transaction.tier_violation req with
+  | Some msg -> abort ~finish:false (Transaction.Statement_error msg)
+  | None ->
   (* Stage: version — the synchronization start delay. *)
   Metrics.stage_enter mtxn Metrics.Version;
   let deadline =
@@ -752,11 +808,17 @@ let submit t ~sid (req : Transaction.request) =
             Load_balancer.note_snapshot_ack t.lb ~sid ~snapshot);
         let response_ms = now () -. begin_time in
         let stages = Metrics.txn_stages mtxn in
-        Metrics.txn_commit mtxn ~read_only:true;
+        (* Served staleness: versions the snapshot trails V_system at
+           response time — the read tiers' quality-of-service number. *)
+        let staleness = Stdlib.max 0 (Load_balancer.v_system t.lb - snapshot) in
+        Metrics.txn_commit mtxn ~read_only:true
+          ~tier:(Consistency.tier_slug req.Transaction.tier)
+          ~staleness;
         Obs.Registry.incr t.c_commit_ro;
         record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version:None
           ~epoch:(Certifier.current_epoch t.certifier)
-          ~table_set:req.Transaction.table_set ~ws ~trace:(Metrics.txn_trace_id mtxn);
+          ~tier:req.Transaction.tier ~table_set:req.Transaction.table_set ~ws
+          ~trace:(Metrics.txn_trace_id mtxn);
         Transaction.Committed { commit_version = None; snapshot; stages; response_ms }
       end
       else begin
@@ -822,7 +884,7 @@ let submit t ~sid (req : Transaction.request) =
               Sim.Ivar.read ivar;
               Metrics.stage_exit mtxn Metrics.Global);
             respond t ~replica_id ~ack_bytes:64 ~on_lb:(fun () ->
-                Load_balancer.note_commit_ack ~epoch t.lb ~sid ~version
+                Load_balancer.note_commit_ack ~epoch ~now:(now ()) t.lb ~sid ~version
                   ~tables_written:(Storage.Writeset.tables ws));
             let response_ms = now () -. begin_time in
             let stages = Metrics.txn_stages mtxn in
@@ -830,7 +892,7 @@ let submit t ~sid (req : Transaction.request) =
               ~args:[ ("version", string_of_int version) ];
             Obs.Registry.incr t.c_commit;
             record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version:(Some version)
-              ~epoch ~table_set:req.Transaction.table_set ~ws
+              ~epoch ~tier:Consistency.Strong ~table_set:req.Transaction.table_set ~ws
               ~trace:(Metrics.txn_trace_id mtxn);
             Log.debug (fun m ->
                 m "[%.3f] T%d committed at v%d (snapshot v%d, %.2fms)" (now ()) tid

@@ -61,6 +61,8 @@ type t = {
   start_wait_timeout_ms : float;
   obs_window_ms : float;
   obs_hist_buckets_per_decade : int;
+  read_tiers : bool;
+  tier_history_ms : float;
 }
 
 (* Fault-plan node ids: replicas use their index (>= 0); the other roles
@@ -128,6 +130,8 @@ let default =
     start_wait_timeout_ms = 0.0;
     obs_window_ms = 250.0;
     obs_hist_buckets_per_decade = 40;
+    read_tiers = false;
+    tier_history_ms = 5_000.0;
   }
 
 let hardened c =
@@ -170,7 +174,8 @@ let pp ppf c =
      start_wait=%.0fms backoff=%.1f..%.0fms@,\
      certifier HA: standbys=%d ack_quorum=%s heartbeat=%.0fms suspect=%.0fms \
      promotion_backoff=%.0fms@,\
-     observatory: window=%.0fms hist_buckets/decade=%d@]"
+     observatory: window=%.0fms hist_buckets/decade=%d@,\
+     read tiers: enabled=%b history=%.0fms@]"
     c.replicas c.cpus_per_replica c.seed c.net_base_ms c.net_jitter_ms c.net_bandwidth_mbps
     c.lb_ms c.stmt_base_ms c.row_scan_ms c.row_read_ms c.row_write_ms c.ro_commit_ms
     c.commit_ms c.ws_apply_base_ms c.ws_apply_row_ms c.certify_base_ms c.certify_row_ms
@@ -181,4 +186,4 @@ let pp ppf c =
     c.certifier_standbys
     (if c.standby_ack_quorum <= 0 then "all" else string_of_int c.standby_ack_quorum)
     c.cert_heartbeat_ms c.cert_suspect_after_ms c.promotion_backoff_ms
-    c.obs_window_ms c.obs_hist_buckets_per_decade
+    c.obs_window_ms c.obs_hist_buckets_per_decade c.read_tiers c.tier_history_ms

@@ -196,6 +196,25 @@ type t = {
       (** resolution of the observatory's log-bucketed latency
           histograms ({!Util.Histogram.Log}): relative quantile error is
           bounded by [10^(1/(2n)) - 1] (~2.9% at the default 40) *)
+  (* mixed-consistency read tiers (docs/CONSISTENCY.md). Off by
+     default: with [read_tiers = false] every request runs under the
+     cluster's write mode and the tier machinery allocates nothing —
+     runs are bit-identical to a build without it. *)
+  read_tiers : bool;
+      (** accept non-[Strong] {!Consistency.read_tier} requests: the
+          load balancer tracks per-replica applied watermarks and a
+          [V_system] history for ms-bounds, routes tiered reads by
+          staleness instead of the version oracle, widens session-floor
+          maintenance to all modes (causal reads need it outside
+          [Session] mode), and the observatory exports per-tier
+          channels. Off, a non-[Strong] request is still honoured but
+          routed like any other — enable this to get the contracts. *)
+  tier_history_ms : float;
+      (** how much [V_system] history (time, version) the load balancer
+          retains for resolving [Bounded_staleness ms] floors; bounds
+          admissible ms-staleness requests (older cutoffs round {e up}
+          to the oldest retained version — conservative, never violating
+          the bound) *)
 }
 
 (** {2 Fault-plan node ids}

@@ -20,6 +20,16 @@ type t = {
   mutable cert_fenced : int;  (* acks observed carrying a stale epoch *)
   table_versions : (string, int) Hashtbl.t;
   session_versions : (int, int) Hashtbl.t;
+  (* read tiers (docs/CONSISTENCY.md): last applied version each replica
+     reported (piggybacked on responses and heartbeats — a lower bound
+     on its true progress), and, when [read_tiers] is on, a newest-first
+     [V_system] history for resolving ms-staleness floors. [vs_base] is
+     the newest version pruned out of the history: any cutoff older than
+     the retained window resolves to it, rounding the floor up. *)
+  applied : int array;
+  mutable vs_history : (float * int) list;
+  mutable vs_len : int;
+  mutable vs_base : int;
 }
 
 let create ?rng cfg ~mode =
@@ -39,6 +49,10 @@ let create ?rng cfg ~mode =
     cert_fenced = 0;
     table_versions = Hashtbl.create 64;
     session_versions = Hashtbl.create 256;
+    applied = Array.make cfg.Config.replicas 0;
+    vs_history = [];
+    vs_len = 0;
+    vs_base = 0;
   }
 
 let mode t = t.mode
@@ -159,7 +173,51 @@ let start_version t ~sid ~table_set =
   | Consistency.Session -> session_version t ~sid
   | Consistency.Bounded k -> max 0 (t.v_system - k)
 
-let note_commit_ack ?(epoch = 0) t ~sid ~version ~tables_written =
+(* --- Read-tier state (docs/CONSISTENCY.md) --------------------------- *)
+
+let note_applied t ~replica ~version =
+  if version > t.applied.(replica) then t.applied.(replica) <- version
+
+let applied_version t ~replica = t.applied.(replica)
+
+(* Prune [vs_history] entries older than the retention window. Runs
+   every 1024 appends so the per-commit cost is amortized O(1); the
+   newest pruned version becomes [vs_base]. *)
+let prune_history t ~now =
+  let cutoff = now -. t.cfg.Config.tier_history_ms in
+  let rec keep n = function
+    | [] -> (n, [])
+    | (tau, v) :: tl ->
+      if tau >= cutoff then
+        let n', kept = keep (n + 1) tl in
+        (n', (tau, v) :: kept)
+      else begin
+        (* newest-first: everything from here on is older — drop it all *)
+        if v > t.vs_base then t.vs_base <- v;
+        (n, [])
+      end
+  in
+  let n, kept = keep 0 t.vs_history in
+  t.vs_len <- n;
+  t.vs_history <- kept
+
+let note_history t ~now ~version =
+  t.vs_history <- (now, version) :: t.vs_history;
+  t.vs_len <- t.vs_len + 1;
+  if t.vs_len land 1023 = 0 then prune_history t ~now
+
+(* [V_system] as of [now - ms]: the newest history entry at or before
+   the cutoff, or [vs_base] when the cutoff predates the retained
+   window (conservative — a higher floor than strictly required). *)
+let floor_at_ms t ~ms ~now =
+  let cutoff = now -. ms in
+  let rec find = function
+    | [] -> t.vs_base
+    | (tau, v) :: tl -> if tau <= cutoff then v else find tl
+  in
+  find t.vs_history
+
+let note_commit_ack ?(epoch = 0) ?now t ~sid ~version ~tables_written =
   (* Epoch bookkeeping only: a commit released under an older epoch is
      still a valid decision of the surviving history (the certifier
      fences non-surviving decisions itself), so its version MUST still
@@ -168,7 +226,12 @@ let note_commit_ack ?(epoch = 0) t ~sid ~version ~tables_written =
      The counters surface how much cross-epoch traffic the LB relays. *)
   if epoch > t.cert_epoch then t.cert_epoch <- epoch
   else if epoch < t.cert_epoch then t.cert_fenced <- t.cert_fenced + 1;
-  if version > t.v_system then t.v_system <- version;
+  if version > t.v_system then begin
+    t.v_system <- version;
+    match now with
+    | Some now when t.cfg.Config.read_tiers -> note_history t ~now ~version
+    | _ -> ()
+  end;
   List.iter
     (fun table ->
       if version > table_version t table then Hashtbl.replace t.table_versions table version)
@@ -177,9 +240,13 @@ let note_commit_ack ?(epoch = 0) t ~sid ~version ~tables_written =
 
 let note_snapshot_ack t ~sid ~snapshot =
   (* Monotone-reads floor: only session mode consults the session table
-     for start versions, so only session mode pays for the entry. *)
-  if t.mode = Consistency.Session && snapshot > session_version t ~sid then
-    Hashtbl.replace t.session_versions sid snapshot
+     for start versions, so only session mode pays for the entry —
+     unless read tiers are on, where causal reads in any mode derive
+     their floor from it. *)
+  if
+    (t.mode = Consistency.Session || t.cfg.Config.read_tiers)
+    && snapshot > session_version t ~sid
+  then Hashtbl.replace t.session_versions sid snapshot
 
 let v_system t = t.v_system
 
@@ -198,3 +265,59 @@ let prune_sessions t ~applied_min =
   Hashtbl.filter_map_inplace
     (fun _sid version -> if version <= applied_min then None else Some version)
     t.session_versions
+
+(* --- Tier routing ---------------------------------------------------- *)
+
+let tier_floor t ~sid ~tier ~now =
+  match tier with
+  | Consistency.Strong ->
+    invalid_arg "Load_balancer.tier_floor: Strong follows the mode's start_version"
+  | Consistency.Eventual -> 0
+  | Consistency.Causal -> session_version t ~sid
+  | Consistency.Bounded_staleness { versions; ms } ->
+    let fv = match versions with Some k -> max 0 (t.v_system - k) | None -> 0 in
+    let fm = match ms with Some m -> floor_at_ms t ~ms:m ~now | None -> 0 in
+    max fv fm
+
+let most_caught_up t ok =
+  let best = ref (-1) in
+  for i = 0 to Array.length t.active - 1 do
+    if ok i && (!best < 0 || t.applied.(i) > t.applied.(!best)) then best := i
+  done;
+  !best
+
+let route_read t ~sid ~tier ~now =
+  let floor = tier_floor t ~sid ~tier ~now in
+  let healthy i = t.live.(i) && t.health.(i) = Alive in
+  let not_dead i = t.live.(i) && t.health.(i) <> Dead in
+  let any_live i = t.live.(i) in
+  let chosen =
+    if floor = 0 then
+      (* No floor to satisfy (eventual, or causal/bounded with nothing
+         committed): the classic health-tiered policy pick — the policy
+         already embodies "fastest replica" (least outstanding work). *)
+      let c = pick t ~sid healthy in
+      if c >= 0 then c
+      else
+        let c = pick t ~sid not_dead in
+        if c >= 0 then c else pick t ~sid any_live
+    else
+      (* Prefer replicas whose known applied watermark already satisfies
+         the floor — the read starts there without waiting. If none
+         qualifies, send it to the most-caught-up live replica (ties to
+         the lowest id — deterministic, no RNG draw): the floor still
+         travels with the request, and [Replica.await_version] holds the
+         read until the replica reaches it, so the bound is never
+         violated, only served later. *)
+      let satisfied i = healthy i && t.applied.(i) >= floor in
+      let c = pick t ~sid satisfied in
+      if c >= 0 then c
+      else
+        let c = most_caught_up t healthy in
+        if c >= 0 then c
+        else
+          let c = most_caught_up t not_dead in
+          if c >= 0 then c else most_caught_up t any_live
+  in
+  if chosen < 0 then failwith "Load_balancer.route_read: no live replica";
+  (chosen, floor)

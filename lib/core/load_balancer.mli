@@ -10,7 +10,17 @@
       transaction's table-set (Table I of the paper);
     - [Session]: tag with the session's last acknowledged version;
     - [Eager]: tag 0 — replicas are already up to date when clients
-      learn about commits. *)
+      learn about commits.
+
+    With {!Config.read_tiers} enabled the balancer additionally acts as
+    a {e staleness router} for read-only requests carrying a
+    non-[Strong] {!Consistency.read_tier}: it tracks every replica's
+    last reported applied version ({!note_applied}, fed by response and
+    heartbeat piggybacks) plus a bounded [V_system] history for
+    ms-staleness floors, and {!route_read} picks a replica already at
+    the request's floor — falling back to the most-caught-up one, where
+    the floor is enforced by the replica's start wait, so a staleness
+    contract is never violated, only served slower. *)
 
 type t
 
@@ -72,7 +82,13 @@ val start_version : t -> sid:int -> table_set:string list -> int
     may start, per the balancer's consistency mode. *)
 
 val note_commit_ack :
-  ?epoch:int -> t -> sid:int -> version:int -> tables_written:string list -> unit
+  ?epoch:int ->
+  ?now:float ->
+  t ->
+  sid:int ->
+  version:int ->
+  tables_written:string list ->
+  unit
 (** Called when relaying a successful update-commit response to the
     client: updates [V_system], the written tables' [V_t], and the
     session version. [epoch] (default 0) is the certifier epoch that
@@ -80,7 +96,9 @@ val note_commit_ack :
     counted ({!cert_fenced}) — but the version is applied either way,
     because a released decision belongs to the surviving history
     whatever epoch stamped it; refusing it would only weaken start
-    versions. *)
+    versions. [now] (virtual time) timestamps the [V_system] advance in
+    the staleness history when {!Config.read_tiers} is on; omitting it
+    (or running with tiers off) records nothing. *)
 
 val cert_epoch : t -> int
 (** Highest certifier epoch seen on any commit ack. *)
@@ -93,7 +111,9 @@ val note_snapshot_ack : t -> sid:int -> snapshot:int -> unit
     session's version floor to the snapshot the client just observed, so
     its next transaction never reads an older one (monotone reads even
     when routed to a laggard replica). A no-op in the other modes — they
-    either guarantee it structurally or don't promise it. *)
+    either guarantee it structurally or don't promise it — unless
+    {!Config.read_tiers} is on, where the floor is maintained in every
+    mode because causal reads consult it. *)
 
 val v_system : t -> int
 
@@ -114,3 +134,35 @@ val prune_sessions : t -> applied_min:int -> unit
 val session_count : t -> int
 (** Number of tracked session-version entries (test/telemetry hook for
     the {!prune_sessions} bound). *)
+
+(** {2 Read-tier routing (docs/CONSISTENCY.md)} *)
+
+val note_applied : t -> replica:int -> version:int -> unit
+(** Record a replica's reported applied version (monotone). Fed by the
+    cluster from transaction-response and heartbeat piggybacks, so the
+    balancer's view is a lower bound on the replica's true progress —
+    staleness-aware routing can only over-wait, never under-wait. *)
+
+val applied_version : t -> replica:int -> int
+(** Last applied version reported by the replica (0 until heard from). *)
+
+val tier_floor : t -> sid:int -> tier:Consistency.read_tier -> now:float -> int
+(** The snapshot floor a tiered read must reach: 0 for [Eventual], the
+    session's floor for [Causal], and [max] of the version-lag and
+    ms-lag floors for [Bounded_staleness] (an ms cutoff older than the
+    retained {!Config.tier_history_ms} window resolves conservatively
+    to the newest pruned version). Raises [Invalid_argument] for
+    [Strong] — strong reads take the mode's {!start_version}. *)
+
+val route_read : t -> sid:int -> tier:Consistency.read_tier -> now:float -> int * int
+(** Route a read-only request of the given tier: returns
+    [(replica, floor)]. Prefers live+healthy replicas whose known
+    applied watermark already satisfies {!tier_floor} (picked by the
+    configured routing policy among the qualifying set); when none
+    qualifies, deterministically picks the most-caught-up replica
+    (health-tiered, ties to the lowest id) — the returned floor must
+    still be enforced by the replica's start wait, so the contract
+    holds either way. [Eventual] reads carry no floor and take the
+    plain policy pick — the routing policy already embodies "fastest
+    replica" (least outstanding work). Raises [Failure] if no replica
+    is live. *)

@@ -49,10 +49,20 @@ type t = {
   mutable promotions : int;
   mutable fenced : int;
   outage_windows : Util.Stats.t;  (* commit-outage span per promotion, ms *)
+  (* per-read-tier breakdown (docs/CONSISTENCY.md): keyed by
+     Consistency.tier_slug; populated only for read-only commits, so it
+     stays empty in runs that never commit a read *)
+  tiers : (string, tier_stat) Hashtbl.t;
   (* per-outcome observer (the run-health observatory); None = zero cost *)
   mutable observer : (outcome -> unit) option;
   (* consistency health gauges, refreshed by the cluster's gauge pass *)
   mutable health : health option;
+}
+
+and tier_stat = {
+  mutable tier_n : int;
+  tier_response : Util.Stats.t;
+  tier_staleness : Util.Stats.t;  (* V_system - snapshot at response *)
 }
 
 and outcome = {
@@ -60,6 +70,8 @@ and outcome = {
   out_read_only : bool;
   out_response_ms : float;
   out_stages : float array;
+  out_tier : string;  (* Consistency.tier_slug; "strong" for updates *)
+  out_staleness : int;  (* versions behind V_system at response; reads only *)
 }
 
 and health = {
@@ -95,6 +107,7 @@ let create engine =
     promotions = 0;
     fenced = 0;
     outage_windows = Util.Stats.create ();
+    tiers = Hashtbl.create 4;
     observer = None;
     health = None;
   }
@@ -129,7 +142,8 @@ let reset_window t =
   t.failovers <- 0;
   t.promotions <- 0;
   t.fenced <- 0;
-  Util.Stats.clear t.outage_windows
+  Util.Stats.clear t.outage_windows;
+  Hashtbl.reset t.tiers
 
 let note_cert_batch t ~size =
   t.cert_batches <- t.cert_batches + 1;
@@ -238,13 +252,29 @@ let close_open_stage txn =
   | Some (stage, _, _) -> stage_exit txn stage
   | None -> ()
 
-let record_commit t ~read_only ~stages ~response_ms =
+let tier_stat t slug =
+  match Hashtbl.find_opt t.tiers slug with
+  | Some s -> s
+  | None ->
+    let s =
+      { tier_n = 0; tier_response = Util.Stats.create (); tier_staleness = Util.Stats.create () }
+    in
+    Hashtbl.replace t.tiers slug s;
+    s
+
+let record_commit ?(tier = "strong") ?(staleness = 0) t ~read_only ~stages ~response_ms =
   t.committed <- t.committed + 1;
   Util.Stats.add t.response response_ms;
   Array.iteri (fun i v -> t.stage_sums.(i) <- t.stage_sums.(i) +. v) stages;
   if not read_only then begin
     t.updates <- t.updates + 1;
     Array.iteri (fun i v -> t.stage_sums_update.(i) <- t.stage_sums_update.(i) +. v) stages
+  end
+  else begin
+    let s = tier_stat t tier in
+    s.tier_n <- s.tier_n + 1;
+    Util.Stats.add s.tier_response response_ms;
+    Util.Stats.add s.tier_staleness (float_of_int staleness)
   end
 
 let record_abort ?slug t =
@@ -290,7 +320,7 @@ let retransmits t = t.retransmits
 let suspects t = t.suspects
 let failovers t = t.failovers
 
-let notify txn ~committed ~read_only =
+let notify ?(tier = "strong") ?(staleness = 0) txn ~committed ~read_only =
   match txn.m.observer with
   | None -> ()
   | Some f ->
@@ -300,12 +330,15 @@ let notify txn ~committed ~read_only =
         out_read_only = read_only;
         out_response_ms = txn_response_ms txn;
         out_stages = txn.values;
+        out_tier = tier;
+        out_staleness = staleness;
       }
 
-let txn_commit ?(args = []) txn ~read_only =
+let txn_commit ?(args = []) ?(tier = "strong") ?(staleness = 0) txn ~read_only =
   close_open_stage txn;
-  record_commit txn.m ~read_only ~stages:txn.values ~response_ms:(txn_response_ms txn);
-  notify txn ~committed:true ~read_only;
+  record_commit txn.m ~tier ~staleness ~read_only ~stages:txn.values
+    ~response_ms:(txn_response_ms txn);
+  notify txn ~tier ~staleness ~committed:true ~read_only;
   match (txn.obs, txn.root) with
   | Some tr, Some root ->
     Obs.Trace.finish tr root
@@ -353,6 +386,34 @@ let abort_rate t =
   let total = t.committed + t.aborted in
   if total = 0 then 0.0 else float_of_int t.aborted /. float_of_int total
 
+(* --- Per-read-tier breakdown ---------------------------------------- *)
+
+let tier_slugs t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tiers [] |> List.sort compare
+
+let tier_committed t slug =
+  match Hashtbl.find_opt t.tiers slug with Some s -> s.tier_n | None -> 0
+
+let tier_mean_response_ms t slug =
+  match Hashtbl.find_opt t.tiers slug with
+  | Some s -> Util.Stats.mean s.tier_response
+  | None -> 0.0
+
+let tier_percentile_response_ms t slug p =
+  match Hashtbl.find_opt t.tiers slug with
+  | Some s -> Util.Stats.percentile s.tier_response p
+  | None -> 0.0
+
+let tier_mean_staleness t slug =
+  match Hashtbl.find_opt t.tiers slug with
+  | Some s -> Util.Stats.mean s.tier_staleness
+  | None -> 0.0
+
+let tier_max_staleness t slug =
+  match Hashtbl.find_opt t.tiers slug with
+  | Some s -> Util.Stats.max_value s.tier_staleness
+  | None -> 0.0
+
 let pp_summary ppf t =
   Format.fprintf ppf
     "@[<v>window %.0fms: %d committed (%.1f TPS), %d aborted (%.1f%%), %d gave up@,\
@@ -384,6 +445,18 @@ let pp_summary ppf t =
       t.promotions t.fenced
       (Util.Stats.mean t.outage_windows)
       (Util.Stats.max_value t.outage_windows);
+  (* The tier table always carries read-only commits under "strong";
+     print the breakdown only once a weaker class shows up, so runs
+     without tiered traffic keep the classic summary. *)
+  if List.exists (fun slug -> slug <> "strong") (tier_slugs t) then
+    List.iter
+      (fun slug ->
+        Format.fprintf ppf
+          "tier %-8s %6d reads, response mean %.2fms p95 %.2fms, staleness mean %.1f max %.0f@,"
+          slug (tier_committed t slug) (tier_mean_response_ms t slug)
+          (tier_percentile_response_ms t slug 95.0)
+          (tier_mean_staleness t slug) (tier_max_staleness t slug))
+      (tier_slugs t);
   (match t.health with
   | None -> ()
   | Some h ->

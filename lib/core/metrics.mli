@@ -23,6 +23,12 @@ type outcome = {
   out_read_only : bool;
   out_response_ms : float;
   out_stages : float array;
+  out_tier : string;
+      (** the read tier served ({!Consistency.tier_slug}); "strong" for
+          updates and aborts *)
+  out_staleness : int;
+      (** versions the served snapshot trailed [V_system] at response
+          time; meaningful for read-only commits, 0 otherwise *)
 }
 
 (** A point-in-time consistency health snapshot, refreshed by the
@@ -48,7 +54,16 @@ val health : t -> health option
 val reset_window : t -> unit
 (** Start (or restart) the measurement window; discards prior samples. *)
 
-val record_commit : t -> read_only:bool -> stages:float array -> response_ms:float -> unit
+val record_commit :
+  ?tier:string ->
+  ?staleness:int ->
+  t ->
+  read_only:bool ->
+  stages:float array ->
+  response_ms:float ->
+  unit
+(** [tier] (default ["strong"]) and [staleness] feed the per-read-tier
+    breakdown for read-only commits; both are ignored for updates. *)
 
 val record_abort : ?slug:string -> t -> unit
 (** [slug] (a {!Transaction.abort_slug}) feeds the per-reason abort
@@ -120,9 +135,16 @@ val txn_stages : txn -> float array
 val txn_response_ms : txn -> float
 (** Virtual time elapsed since {!txn_begin}. *)
 
-val txn_commit : ?args:(string * string) list -> txn -> read_only:bool -> unit
+val txn_commit :
+  ?args:(string * string) list ->
+  ?tier:string ->
+  ?staleness:int ->
+  txn ->
+  read_only:bool ->
+  unit
 (** Close any open stage, record the commit (stages + response time) and
-    finish the root span with an [outcome] arg. *)
+    finish the root span with an [outcome] arg. [tier]/[staleness] as in
+    {!record_commit}. *)
 
 val txn_abort : ?slug:string -> txn -> reason:string -> unit
 (** Close any open stage, record the abort and finish the root span.
@@ -212,5 +234,25 @@ val abort_rate : t -> float
 val aborts_by_reason : t -> (string * int) list
 (** Abort counts keyed by {!Transaction.abort_slug}, most frequent
     first; only aborts recorded with a slug appear. *)
+
+(** {2 Per-read-tier breakdown (docs/CONSISTENCY.md)}
+
+    Read-only commits, keyed by {!Consistency.tier_slug} — strong reads
+    land under ["strong"], so the four classes are directly comparable
+    within one run. Empty until a read commits. *)
+
+val tier_slugs : t -> string list
+(** Tiers with at least one read-only commit, sorted. *)
+
+val tier_committed : t -> string -> int
+
+val tier_mean_response_ms : t -> string -> float
+
+val tier_percentile_response_ms : t -> string -> float -> float
+
+val tier_mean_staleness : t -> string -> float
+(** Mean versions the served snapshots trailed [V_system] at response. *)
+
+val tier_max_staleness : t -> string -> float
 
 val pp_summary : Format.formatter -> t -> unit

@@ -2,6 +2,7 @@ type request = {
   profile : string;
   table_set : string list;
   statements : Storage.Query.t list;
+  tier : Consistency.read_tier;
 }
 
 type abort_reason =
@@ -23,13 +24,24 @@ type outcome =
       response_ms : float;
     }
 
-let make ~profile ?table_set statements =
+let make ~profile ?table_set ?(tier = Consistency.Strong) statements =
   let table_set =
     match table_set with Some ts -> ts | None -> Storage.Query.table_set statements
   in
-  { profile; table_set; statements }
+  { profile; table_set; statements; tier }
 
 let updates_possible r = List.exists Storage.Query.is_update r.statements
+
+(* Read-class admission: the weaker tiers are contracts about *reads*;
+   a request that may write must run under the cluster's write mode. *)
+let tier_violation r =
+  match r.tier with
+  | Consistency.Strong -> None
+  | t when updates_possible r ->
+    Some
+      (Printf.sprintf "read tier %s admits no update statements"
+         (Consistency.tier_to_string t))
+  | _ -> None
 
 let pp_abort_reason ppf = function
   | Certification_conflict -> Format.pp_print_string ppf "certification conflict"

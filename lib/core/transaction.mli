@@ -8,6 +8,11 @@ type request = {
   profile : string;  (** prepared-transaction identifier *)
   table_set : string list;  (** tables the transaction may access *)
   statements : Storage.Query.t list;
+  tier : Consistency.read_tier;
+      (** requested read class; [Strong] (the default) follows the
+          cluster's write {!Consistency.mode}. Non-[Strong] tiers are
+          only admissible for read-only requests — see
+          {!tier_violation}. *)
 }
 
 type abort_reason =
@@ -31,13 +36,26 @@ type outcome =
       response_ms : float;
     }
 
-val make : profile:string -> ?table_set:string list -> Storage.Query.t list -> request
+val make :
+  profile:string ->
+  ?table_set:string list ->
+  ?tier:Consistency.read_tier ->
+  Storage.Query.t list ->
+  request
 (** Build a request; the table-set defaults to the tables referenced by
     the statements (always a superset of the accessed data under our
-    statement language). *)
+    statement language), and the read tier defaults to
+    {!Consistency.Strong}. *)
 
 val updates_possible : request -> bool
 (** Whether any statement may write. *)
+
+val tier_violation : request -> string option
+(** Read-class admission check, enforced at the replica boundary: a
+    non-[Strong] tier combined with statements that may write is
+    rejected (the replica aborts with [Statement_error] before
+    executing anything). Returns the rejection message, or [None] if
+    the request is admissible. *)
 
 val pp_abort_reason : Format.formatter -> abort_reason -> unit
 

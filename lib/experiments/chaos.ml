@@ -96,6 +96,7 @@ type result = {
   mode : Core.Consistency.mode;
   plan : plan;
   seed : int;
+  tiers : bool;
   committed : int;
   aborted : int;
   aborts_by_reason : (string * int) list;
@@ -142,6 +143,12 @@ let checkers mode =
     [
       ("first_committer_wins", Check.Runlog.first_committer_wins);
       ("epoch_fencing", Check.Runlog.epoch_fencing);
+      (* The read-tier contracts constrain only records of their own
+         class, so they are trivially empty on untiered logs and can
+         ride in every battery. *)
+      ("tier_bounded_staleness", Check.Runlog.tier_bounded_staleness);
+      ("tier_causal_ryw", Check.Runlog.tier_causal_ryw);
+      ("tier_monotone_reads", Check.Runlog.tier_monotone_reads);
     ]
   in
   match (mode : Core.Consistency.mode) with
@@ -203,12 +210,15 @@ let default_config ~seed =
       hiccup_interval_ms = 0.0;
     }
 
-let soak ?config ?(params = default_params) ?(clients = 12) ~mode ~plan ~seed
-    ~duration_ms () =
+let soak ?config ?(params = default_params) ?(clients = 12) ?(tiers = false) ~mode ~plan
+    ~seed ~duration_ms () =
   let config =
     match config with
     | Some c -> { c with Core.Config.seed; record_log = true }
     | None -> default_config ~seed
+  in
+  let config =
+    if tiers then { config with Core.Config.read_tiers = true } else config
   in
   (* The cert-failover plan needs a certifier group that survives losing
      its primary while another member is partitioned: two standbys. *)
@@ -250,7 +260,8 @@ let soak ?config ?(params = default_params) ?(clients = 12) ~mode ~plan ~seed
         Sim.Process.sleep engine (0.24 *. duration_ms);
         Core.Cluster.revive_certifier_node cluster 0);
   Core.Client.spawn_many cluster ~n:clients ~first_sid:0
-    (Workload.Microbench.workload params);
+    (if tiers then Workload.Microbench.tiered_workload params
+     else Workload.Microbench.workload params);
   Core.Cluster.run_for cluster ~warmup_ms:0.0 ~measure_ms:duration_ms;
   (* Drain: every fault window has healed; a live cluster must keep
      committing and every replica must catch up to where the certifier
@@ -303,6 +314,7 @@ let soak ?config ?(params = default_params) ?(clients = 12) ~mode ~plan ~seed
     mode;
     plan;
     seed;
+    tiers;
     committed = Core.Metrics.committed metrics;
     aborted = Core.Metrics.aborted metrics;
     aborts_by_reason = Core.Metrics.aborts_by_reason metrics;
@@ -332,8 +344,8 @@ let soak ?config ?(params = default_params) ?(clients = 12) ~mode ~plan ~seed
     outage_max_ms = Core.Metrics.outage_max_ms metrics;
   }
 
-let reproducible ?config ?params ?clients ~mode ~plan ~seed ~duration_ms () =
-  let once () = soak ?config ?params ?clients ~mode ~plan ~seed ~duration_ms () in
+let reproducible ?config ?params ?clients ?tiers ~mode ~plan ~seed ~duration_ms () =
+  let once () = soak ?config ?params ?clients ?tiers ~mode ~plan ~seed ~duration_ms () in
   let a = once () and b = once () in
   (a, String.equal a.digest b.digest)
 
@@ -344,7 +356,8 @@ let pp_result ppf r =
      drain=%.0fms  faults: drop=%d dup=%d delay=%d retx=%d suspects=%d failovers=%d \
      reprov=%d evict=%d%s  digest=%s"
     (Core.Consistency.to_string r.mode)
-    (plan_name r.plan) r.seed
+    (plan_name r.plan ^ if r.tiers then "+tiers" else "")
+    r.seed
     (if ok r then "ok    " else "FAILED")
     r.committed r.aborted viol
     (if r.duplicate_commit_versions > 0 then
@@ -376,6 +389,7 @@ let result_json r =
       ("mode", Obs.Json.Str (Core.Consistency.to_string r.mode));
       ("plan", Obs.Json.Str (plan_name r.plan));
       ("seed", num r.seed);
+      ("tiers", Obs.Json.Bool r.tiers);
       ("ok", Obs.Json.Bool (ok r));
       ("committed", num r.committed);
       ("aborted", num r.aborted);
@@ -419,7 +433,7 @@ let write_health results ~file =
       output_string oc (Obs.Json.to_string (health_json results));
       output_char oc '\n')
 
-let soak_matrix ?config ?params ?clients ?(modes = Core.Consistency.all)
+let soak_matrix ?config ?params ?clients ?tiers ?(modes = Core.Consistency.all)
     ?(plans = [ Mixed ]) ~seeds ~duration_ms () =
   List.concat_map
     (fun plan ->
@@ -427,7 +441,9 @@ let soak_matrix ?config ?params ?clients ?(modes = Core.Consistency.all)
         (fun mode ->
           List.map
             (fun seed ->
-              let r = soak ?config ?params ?clients ~mode ~plan ~seed ~duration_ms () in
+              let r =
+                soak ?config ?params ?clients ?tiers ~mode ~plan ~seed ~duration_ms ()
+              in
               Log.info (fun m -> m "%a" pp_result r);
               r)
             seeds)

@@ -37,6 +37,7 @@ type result = {
   mode : Core.Consistency.mode;
   plan : plan;
   seed : int;
+  tiers : bool;  (** the run used the mixed-tier read workload *)
   committed : int;
   aborted : int;
   aborts_by_reason : (string * int) list;
@@ -81,6 +82,7 @@ val soak :
   ?config:Core.Config.t ->
   ?params:Workload.Microbench.params ->
   ?clients:int ->
+  ?tiers:bool ->
   mode:Core.Consistency.mode ->
   plan:plan ->
   seed:int ->
@@ -89,12 +91,17 @@ val soak :
   result
 (** One soak run. [config] defaults to a hardened 3-replica cluster
     with [record_log] on; [seed] overrides the config's seed so it
-    drives both the cluster and the fault plan. *)
+    drives both the cluster and the fault plan. [tiers] (default false)
+    turns on [read_tiers] and drives the mixed-tier read workload
+    ({!Workload.Microbench.tiered_workload}), so the tier contracts in
+    the battery are exercised under faults rather than vacuously
+    empty. *)
 
 val reproducible :
   ?config:Core.Config.t ->
   ?params:Workload.Microbench.params ->
   ?clients:int ->
+  ?tiers:bool ->
   mode:Core.Consistency.mode ->
   plan:plan ->
   seed:int ->
@@ -108,6 +115,7 @@ val soak_matrix :
   ?config:Core.Config.t ->
   ?params:Workload.Microbench.params ->
   ?clients:int ->
+  ?tiers:bool ->
   ?modes:Core.Consistency.mode list ->
   ?plans:plan list ->
   seeds:int list ->

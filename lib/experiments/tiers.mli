@@ -1,0 +1,56 @@
+(** Latency-vs-staleness frontier for mixed-consistency read tiers
+    (docs/CONSISTENCY.md).
+
+    One cluster per sweep point: coarse-grained write mode,
+    [read_tiers = true], and a mixed workload whose reads split evenly
+    across strong / bounded / causal / eventual. The sweep varies the
+    [max_lag] (in versions) that bounded reads declare and reports, per
+    tier, mean and p99 read response plus served staleness, then runs
+    the full checker battery (mode-level on [Strong]-class records, the
+    three tier contracts on their own classes) over the run log. *)
+
+type tier_row = {
+  slug : string;  (** {!Core.Consistency.tier_slug} *)
+  committed : int;
+  mean_ms : float;
+  p99_ms : float;
+  mean_staleness : float;  (** versions behind [V_system] at commit *)
+  max_staleness : float;
+}
+
+type point = {
+  bound : int;  (** bounded-staleness [max_lag] (versions) at this point *)
+  tps : float;
+  rows : tier_row list;  (** decreasing-strength tier order; empty tiers omitted *)
+  violations : (string * int) list;
+  ordered : bool;
+      (** eventual < bounded < causal < strong mean read response held *)
+  digest : string;  (** runlog digest — equal across reruns at one seed *)
+}
+
+val default_bounds : int list
+
+val run :
+  ?config:Core.Config.t ->
+  ?params:Workload.Microbench.params ->
+  ?clients:int ->
+  ?bounds:int list ->
+  ?seed:int ->
+  ?warmup_ms:float ->
+  ?measure_ms:float ->
+  unit ->
+  point list
+(** [read_tiers] and [record_log] are forced on in whatever config is
+    supplied. Defaults: 4 replicas, 24 clients, 8 tables with 4 update
+    types (a keep-up regime with frequent per-session writes, so causal
+    floors stay current and the tier ordering is observable). *)
+
+val total_violations : point -> int
+
+val ok : point list -> bool
+(** No contract violations anywhere, and the latency ordering
+    eventual < bounded < causal < strong holds at some bound [>= 8]
+    (tight bounds legitimately price like strong reads). *)
+
+val render : point list -> string
+(** Table plus latency-vs-bound chart. *)

@@ -97,3 +97,48 @@ let hot_request p ~hot_rows rng =
 
 let hot_workload p ~hot_rows =
   { Core.Client.think_ms = Core.Client.no_think; next_request = hot_request p ~hot_rows }
+
+(* --- Mixed-consistency read tiers (docs/CONSISTENCY.md) -------------- *)
+
+type tier_mix = {
+  bounded : float;
+  causal : float;
+  eventual : float;
+}
+
+let default_mix = { bounded = 0.25; causal = 0.25; eventual = 0.25 }
+
+let tiered_request p ~mix ~bounded_tier rng =
+  assert (p.update_types >= 0 && p.update_types <= p.tables);
+  assert (mix.bounded +. mix.causal +. mix.eventual <= 1.0 +. 1e-9);
+  let tx_type = Util.Rng.int rng p.tables in
+  let table = table_name tx_type in
+  let row = Util.Rng.int rng p.rows in
+  let key = [| Storage.Value.Int row |] in
+  if tx_type < p.update_types then
+    (* Updates always run under the cluster's write mode. *)
+    Core.Transaction.make ~profile:(Printf.sprintf "upd_%s" table)
+      [
+        Storage.Query.Update_key
+          { table; key; set = [ ("val", Storage.Expr.(Col 1 + i 1)) ] };
+      ]
+  else begin
+    let u = Util.Rng.float rng 1.0 in
+    let tier =
+      if u < mix.bounded then bounded_tier
+      else if u < mix.bounded +. mix.causal then Core.Consistency.Causal
+      else if u < mix.bounded +. mix.causal +. mix.eventual then Core.Consistency.Eventual
+      else Core.Consistency.Strong
+    in
+    Core.Transaction.make ~tier
+      ~profile:(Printf.sprintf "%s_read_%s" (Core.Consistency.tier_slug tier) table)
+      [ Storage.Query.Get { table; key } ]
+  end
+
+let tiered_workload ?(mix = default_mix)
+    ?(bounded_tier = Core.Consistency.Bounded_staleness { versions = Some 8; ms = None }) p
+    =
+  {
+    Core.Client.think_ms = Core.Client.no_think;
+    next_request = tiered_request p ~mix ~bounded_tier;
+  }

@@ -44,3 +44,30 @@ val hot_workload : params -> hot_rows:int -> Core.Client.workload
 (** Updates draw keys from only the first [hot_rows] rows of each table,
     raising the write-conflict rate. Used by the early-certification
     ablation. *)
+
+(** {2 Mixed-consistency read tiers (docs/CONSISTENCY.md)} *)
+
+(** Fractions of {e read} transactions assigned to each weaker tier; the
+    remainder (and every update) stays [Strong]. The three fractions
+    must sum to at most 1. *)
+type tier_mix = {
+  bounded : float;
+  causal : float;
+  eventual : float;
+}
+
+val default_mix : tier_mix
+(** An even split: 25% bounded / 25% causal / 25% eventual / 25% strong
+    reads. *)
+
+val tiered_workload :
+  ?mix:tier_mix ->
+  ?bounded_tier:Core.Consistency.read_tier ->
+  params ->
+  Core.Client.workload
+(** {!workload} with reads carrying a sampled {!Core.Consistency.read_tier}
+    per {!tier_mix} ([bounded_tier] — default [Bounded_staleness
+    {versions = Some 8; ms = None}] — is the tier bounded reads declare).
+    Tier assignment draws one extra random number per read, so this
+    workload is deterministic but not event-identical to {!workload};
+    use it only in runs that opt into tiers. *)

@@ -328,6 +328,7 @@ let fence_record ?(epoch = 0) tid ~commit =
     commit_version = Some commit;
     epoch;
     table_set = [ "t" ];
+    tier = Check.Runlog.Strong;
     tables_written = [ "t" ];
     write_keys = [];
     trace = None;

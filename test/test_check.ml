@@ -118,7 +118,7 @@ let test_commits_before_begin () =
 (* --- Runlog checkers --- *)
 
 let record ?(session = 0) ?(table_set = [ "t" ]) ?(written = []) ?(keys = []) ?(epoch = 0)
-    tid ~begin_ ~ack ~snapshot ~commit =
+    ?(tier = Runlog.Strong) tid ~begin_ ~ack ~snapshot ~commit =
   {
     Runlog.tid;
     session;
@@ -128,6 +128,7 @@ let record ?(session = 0) ?(table_set = [ "t" ]) ?(written = []) ?(keys = []) ?(
     commit_version = commit;
     epoch;
     table_set;
+    tier;
     tables_written = written;
     write_keys = keys;
     trace = None;
