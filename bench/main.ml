@@ -265,6 +265,94 @@ let certification_tests () =
          ])
        [ 1; 100; 10_000 ])
 
+(* Conflict probing over interned dense ids vs boxed (table, key)
+   tuples — the two representations a writeset can carry depending on
+   whether it was built against the group's intern table. Disjoint key
+   ranges force the full scan (worst case for both). *)
+let intern_tests () =
+  let open Bechamel in
+  let entries n offset =
+    List.init n (fun i ->
+        {
+          Storage.Writeset.ws_table = "bench";
+          ws_key = [| Storage.Value.Int (offset + i) |];
+          ws_op = Storage.Writeset.Delete;
+        })
+  in
+  let intern = Storage.Intern.create () in
+  let boxed n offset = Storage.Writeset.of_entries (entries n offset) in
+  let interned n offset = Storage.Writeset.of_entries ~intern (entries n offset) in
+  let pair name a b =
+    Test.make ~name (Staged.stage (fun () -> ignore (Storage.Writeset.conflicts a b)))
+  in
+  let probe_key = [| Storage.Value.Int 2 |] in
+  Test.make_grouped ~name:"interning"
+    [
+      pair "conflict check, boxed tuples (4 vs 4)" (boxed 4 0) (boxed 4 5_000);
+      pair "conflict check, interned ids (4 vs 4)" (interned 4 0) (interned 4 5_000);
+      pair "conflict check, boxed tuples (4 vs 64)" (boxed 4 0) (boxed 64 10_000);
+      pair "conflict check, interned ids (4 vs 64)" (interned 4 0)
+        (interned 64 10_000);
+      Test.make ~name:"intern probe, existing key"
+        (Staged.stage (fun () ->
+             ignore (Storage.Intern.find intern ~table:"bench" ~key:probe_key)));
+    ]
+
+(* Flat Bytes-based encoding vs the boxed Buffer codec, round-tripping
+   the same logical payload; plus a full runlog-record append into the
+   flat sink (the chaos-soak hot path). *)
+let codec_tests () =
+  let open Bechamel in
+  let row =
+    [| Storage.Value.Int 42; Storage.Value.Int 7; Storage.Value.Text "tag42" |]
+  in
+  let boxed_roundtrip =
+    Test.make ~name:"row round-trip, boxed Buffer codec"
+      (Staged.stage (fun () ->
+           let buf = Buffer.create 64 in
+           Storage.Codec.encode_row buf row;
+           let r = Storage.Codec.reader (Buffer.contents buf) in
+           ignore (Storage.Codec.decode_row r)))
+  in
+  let w = Storage.Codec.Flat.writer ~capacity:256 () in
+  let flat_roundtrip =
+    Test.make ~name:"fields round-trip, flat Bytes codec"
+      (Staged.stage (fun () ->
+           Storage.Codec.Flat.clear w;
+           Storage.Codec.Flat.int w 42;
+           Storage.Codec.Flat.int w 7;
+           Storage.Codec.Flat.str w "tag42";
+           let c = Storage.Codec.Flat.cursor w in
+           ignore (Storage.Codec.Flat.read_int c);
+           ignore (Storage.Codec.Flat.read_int c);
+           ignore (Storage.Codec.Flat.read_str c)))
+  in
+  let record =
+    {
+      Check.Runlog.tid = 42;
+      session = 3;
+      begin_time = 1234.5;
+      ack_time = 1236.0;
+      snapshot_version = 41;
+      commit_version = Some 43;
+      epoch = 0;
+      table_set = [ "bench" ];
+      tier = Check.Runlog.Strong;
+      tables_written = [ "bench" ];
+      write_keys = [ ("bench", "42") ];
+      trace = None;
+    }
+  in
+  let sink = Check.Runlog.Sink.create ~capacity:1024 () in
+  let sink_append =
+    Test.make ~name:"runlog record append, flat sink"
+      (Staged.stage (fun () ->
+           Check.Runlog.Sink.clear sink;
+           Check.Runlog.Sink.add sink record))
+  in
+  Test.make_grouped ~name:"codec"
+    [ boxed_roundtrip; flat_roundtrip; sink_append ]
+
 let run_bechamel () =
   let open Bechamel in
   let benchmark test =
@@ -291,7 +379,9 @@ let run_bechamel () =
       (List.sort compare !rows)
   in
   report "Component micro-benchmarks (Bechamel)" (component_tests ());
-  report "Certification index micro-benchmarks (Bechamel)" (certification_tests ())
+  report "Certification index micro-benchmarks (Bechamel)" (certification_tests ());
+  report "Interned vs boxed conflict keys (Bechamel)" (intern_tests ());
+  report "Flat vs boxed codec (Bechamel)" (codec_tests ())
 
 let () =
   say "Reproduction benchmarks — 'Strongly consistent replication for a bargain'";

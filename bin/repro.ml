@@ -13,6 +13,14 @@ let seed_arg =
   let doc = "Simulation seed." in
   Arg.(value & opt int Core.Config.default.Core.Config.seed & info [ "seed" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run up to $(docv) independent simulations in parallel (one OCaml domain \
+     each). Every run stays single-threaded and bit-deterministic; results and \
+     output come back in the same order as $(b,--jobs 1)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let micro_windows quick =
   if quick then (1_000.0, 4_000.0) else (2_000.0, 8_000.0)
 
@@ -178,12 +186,12 @@ let batch_cmd =
 
 (* --- certindex: host cost of the certification conflict check --- *)
 
-let certindex quick versions ws_rows =
+let certindex quick versions ws_rows jobs =
   let versions = if quick then min versions 2_000 else versions in
   let stalenesses =
     List.filter (fun s -> s <= versions) Experiments.Cert_index.default_stalenesses
   in
-  let points = Experiments.Cert_index.run ~versions ~ws_rows ~stalenesses () in
+  let points = Experiments.Cert_index.run ~versions ~ws_rows ~stalenesses ~jobs () in
   print_string (Experiments.Cert_index.render points)
 
 let certindex_cmd =
@@ -201,7 +209,7 @@ let certindex_cmd =
          "Measure the host CPU cost of Linear vs Keyed certification as the \
           requesting snapshot falls behind (the simulated protocol is \
           decision-identical either way)")
-    Term.(const certindex $ quick_arg $ versions $ ws_rows)
+    Term.(const certindex $ quick_arg $ versions $ ws_rows $ jobs_arg)
 
 (* --- ablations --- *)
 
@@ -367,7 +375,8 @@ let check_cmd =
 
 (* --- chaos: seeded fault-schedule soak --- *)
 
-let chaos seeds seed_count duration plan_str modes_str tiers verify_digest health_file =
+let chaos seeds seed_count duration plan_str modes_str tiers verify_digest health_file
+    jobs =
   match Experiments.Chaos.plan_of_string plan_str with
   | Error e -> `Error (false, e)
   | Ok plan -> (
@@ -402,7 +411,8 @@ let chaos seeds seed_count duration plan_str modes_str tiers verify_digest healt
         (if tiers then " (mixed-tier reads)" else "")
         (List.length seeds) (List.length modes) duration;
       let results =
-        Experiments.Chaos.soak_matrix ~tiers ~modes ~plans:[ plan ] ~seeds ~duration_ms ()
+        Experiments.Chaos.soak_matrix ~tiers ~modes ~plans:[ plan ] ~jobs ~seeds
+          ~duration_ms ()
       in
       List.iter (fun r -> Format.printf "%a@." Experiments.Chaos.pp_result r) results;
       (match health_file with
@@ -480,20 +490,22 @@ let chaos_cmd =
           consistency, liveness and reproducibility")
     Term.(
       ret
-        (const (fun seeds n d p m t nd hf -> chaos seeds n d p m t (not nd) hf)
+        (const (fun seeds n d p m t nd hf jobs -> chaos seeds n d p m t (not nd) hf jobs)
         $ chaos_seeds_arg $ chaos_seed_count_arg $ chaos_duration_arg $ chaos_plan_arg
-        $ chaos_modes_arg $ chaos_tiers_arg $ chaos_no_digest_arg $ chaos_health_arg))
+        $ chaos_modes_arg $ chaos_tiers_arg $ chaos_no_digest_arg $ chaos_health_arg
+        $ jobs_arg))
 
 (* --- tiers: read-tier latency/staleness frontier --- *)
 
-let tiers quick seed clients =
+let tiers quick seed clients jobs =
   (* --quick trims sweep points, not measurement windows: each point is
      an independent cluster run, so the quick rows are bit-identical to
      the same rows of the full sweep, and the latency-ordering check
      stays out of short-window noise. *)
   let bounds = if quick then [ 0; 8; 32 ] else Experiments.Tiers.default_bounds in
   let points =
-    Experiments.Tiers.run ~clients ~bounds ~seed ~warmup_ms:1_000.0 ~measure_ms:4_000.0 ()
+    Experiments.Tiers.run ~clients ~bounds ~seed ~warmup_ms:1_000.0 ~measure_ms:4_000.0
+      ~jobs ()
   in
   print_string (Experiments.Tiers.render points);
   if Experiments.Tiers.ok points then `Ok ()
@@ -520,15 +532,15 @@ let tiers_cmd =
          "Sweep the bounded-staleness lag bound and report per-read-tier latency and \
           served staleness (the latency-vs-staleness frontier), validating every tier \
           contract on the run log")
-    Term.(ret (const tiers $ quick_arg $ seed_arg $ tiers_clients_arg))
+    Term.(ret (const tiers $ quick_arg $ seed_arg $ tiers_clients_arg $ jobs_arg))
 
 (* --- bench: the committed baseline and its regression gate --- *)
 
-let bench quick seed out check_file threshold =
+let bench quick seed out check_file threshold jobs =
   let quick = quick || Sys.getenv_opt "REPRO_BENCH_QUICK" = Some "1" in
   match check_file with
   | None ->
-    let r = Experiments.Bench.run ~quick ~seed () in
+    let r = Experiments.Bench.run ~quick ~seed ~jobs () in
     print_string (Experiments.Bench.render r);
     (match out with
     | None -> `Ok ()
@@ -547,7 +559,7 @@ let bench quick seed out check_file threshold =
          however the baseline was generated. *)
       let r =
         Experiments.Bench.run ~quick:baseline.Experiments.Bench.quick
-          ~seed:baseline.Experiments.Bench.seed ()
+          ~seed:baseline.Experiments.Bench.seed ~jobs ()
       in
       print_string (Experiments.Bench.render r);
       (match Experiments.Bench.compare_runs ~baseline ~current:r ~threshold with
@@ -595,7 +607,7 @@ let bench_cmd =
     Term.(
       ret
         (const bench $ quick_arg $ seed_arg $ bench_out_arg $ bench_check_arg
-        $ bench_threshold_arg))
+        $ bench_threshold_arg $ jobs_arg))
 
 (* --- report: the run-health observatory on a demo run --- *)
 

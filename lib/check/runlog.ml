@@ -324,6 +324,142 @@ let tier_monotone_reads records =
     by_session;
   List.rev !violations
 
+(* --- Flat record sink ------------------------------------------------ *)
+
+(* A chaos soak commits hundreds of thousands of transactions per run;
+   keeping each as a boxed [record] (two floats, four lists, two
+   options) holds the whole window's worth of small heap objects live
+   until the checker battery runs, and the GC walks them on every major
+   slice. The sink flattens records into one growing [Bytes] buffer as
+   they are recorded and materializes [record] values only when a
+   checker asks. *)
+module Sink = struct
+  module Flat = Storage.Codec.Flat
+
+  type t = {
+    w : Flat.writer;
+    mutable count : int;
+  }
+
+  let create ?(capacity = 1 lsl 16) () = { w = Flat.writer ~capacity (); count = 0 }
+
+  let length t = t.count
+
+  let clear t =
+    Flat.clear t.w;
+    t.count <- 0
+
+  (* Option and tier tags. *)
+  let tag_none = 0
+  let tag_some = 1
+  let tier_strong = 0
+  let tier_bounded = 1
+  let tier_causal = 2
+  let tier_eventual = 3
+
+  let put_int_opt w = function
+    | None -> Flat.u8 w tag_none
+    | Some x ->
+      Flat.u8 w tag_some;
+      Flat.int w x
+
+  let put_float_opt w = function
+    | None -> Flat.u8 w tag_none
+    | Some x ->
+      Flat.u8 w tag_some;
+      Flat.float w x
+
+  let put_strs w l =
+    Flat.int w (List.length l);
+    List.iter (Flat.str w) l
+
+  let add t r =
+    let w = t.w in
+    Flat.int w r.tid;
+    Flat.int w r.session;
+    Flat.float w r.begin_time;
+    Flat.float w r.ack_time;
+    Flat.int w r.snapshot_version;
+    put_int_opt w r.commit_version;
+    Flat.int w r.epoch;
+    (match r.tier with
+    | Strong -> Flat.u8 w tier_strong
+    | Bounded { versions; ms } ->
+      Flat.u8 w tier_bounded;
+      put_int_opt w versions;
+      put_float_opt w ms
+    | Causal -> Flat.u8 w tier_causal
+    | Eventual -> Flat.u8 w tier_eventual);
+    put_strs w r.table_set;
+    put_strs w r.tables_written;
+    Flat.int w (List.length r.write_keys);
+    List.iter
+      (fun (table, key) ->
+        Flat.str w table;
+        Flat.str w key)
+      r.write_keys;
+    put_int_opt w r.trace;
+    t.count <- t.count + 1
+
+  let read_int_opt c =
+    match Flat.read_u8 c with
+    | 0 -> None
+    | _ -> Some (Flat.read_int c)
+
+  let read_float_opt c =
+    match Flat.read_u8 c with
+    | 0 -> None
+    | _ -> Some (Flat.read_float c)
+
+  let read_strs c = List.init (Flat.read_int c) (fun _ -> Flat.read_str c)
+
+  let read_record c =
+    let tid = Flat.read_int c in
+    let session = Flat.read_int c in
+    let begin_time = Flat.read_float c in
+    let ack_time = Flat.read_float c in
+    let snapshot_version = Flat.read_int c in
+    let commit_version = read_int_opt c in
+    let epoch = Flat.read_int c in
+    let tier =
+      match Flat.read_u8 c with
+      | 0 -> Strong
+      | 1 ->
+        let versions = read_int_opt c in
+        let ms = read_float_opt c in
+        Bounded { versions; ms }
+      | 2 -> Causal
+      | _ -> Eventual
+    in
+    let table_set = read_strs c in
+    let tables_written = read_strs c in
+    let write_keys =
+      List.init (Flat.read_int c) (fun _ ->
+          let table = Flat.read_str c in
+          let key = Flat.read_str c in
+          (table, key))
+    in
+    let trace = read_int_opt c in
+    {
+      tid;
+      session;
+      begin_time;
+      ack_time;
+      snapshot_version;
+      commit_version;
+      epoch;
+      tier;
+      table_set;
+      tables_written;
+      write_keys;
+      trace;
+    }
+
+  let records t =
+    let c = Flat.cursor t.w in
+    List.init t.count (fun _ -> read_record c)
+end
+
 let digest records =
   (* Canonical rendering of everything semantically meaningful in a
      record. [trace] is excluded: trace ids depend on whether tracing

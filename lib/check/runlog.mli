@@ -113,6 +113,29 @@ val epoch_fencing : record list -> violation list
     epoch that superseded it. Trivially empty when every record carries
     epoch 0. *)
 
+(** Flat in-memory store of records. The cluster appends every committed
+    transaction's record here during a measurement window; records are
+    flattened into one growing byte buffer ({!Storage.Codec.Flat}) at
+    append time, so a soak's worth of log costs the GC one large object
+    instead of hundreds of thousands of small ones. [records] decodes
+    them back, in append order. *)
+module Sink : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] is the initial buffer size in bytes (doubles on demand). *)
+
+  val length : t -> int
+  (** Number of records appended since creation or the last [clear]. *)
+
+  val clear : t -> unit
+
+  val add : t -> record -> unit
+
+  val records : t -> record list
+  (** Decode all appended records, in append order. *)
+end
+
 val digest : record list -> string
 (** Hex digest of the canonical rendering of the log — tid, session,
     begin/ack times (full float precision), snapshot and commit

@@ -1,5 +1,9 @@
+(* Int-keyed monomorphic tables: every map in here is keyed by a
+   replica id or a commit version. *)
+module Itbl = Util.Tables.Itbl
+
 type eager_state = {
-  waiting_on : (int, unit) Hashtbl.t;  (* replica ids that have not acked *)
+  waiting_on : unit Itbl.t;  (* replica ids that have not acked *)
   done_ : unit Sim.Ivar.t;
 }
 
@@ -66,27 +70,30 @@ type t = {
      reconciles by truncating to the base of the first epoch after its
      own (everything beyond it belongs to a dead history). *)
   mutable epoch_starts : (int * int) list;
-  (* The certification index: (table, key) -> last committed version
-     writing that record. Maintained only under [Config.Keyed]; covers
-     exactly the retained log of the current primary. *)
-  index : (string * Storage.Value.t array, int) Hashtbl.t;
+  (* The certification index: interned conflict id -> last committed
+     version writing that record. Maintained only under [Config.Keyed];
+     covers exactly the retained log of the current primary. Keys are
+     dense ints from [intern] (shared with the whole replication group),
+     so a probe neither allocates nor hashes strings. *)
+  index : int Util.Tables.Itbl.t;
+  intern : Storage.Intern.t;
   (* Highest version each subscribed replica reported applied — the
      piggybacked V_local watermarks driving log truncation ({!gc}). *)
-  watermarks : (int, int) Hashtbl.t;
+  watermarks : int Itbl.t;
   (* Virtual time we last heard anything from each replica (request,
      ack, heartbeat, subscription) — drives eviction of corpses. *)
-  last_heard : (int, float) Hashtbl.t;
+  last_heard : float Itbl.t;
   (* Replicas whose watermark entry was evicted; they must state-transfer
      on rejoin (the log may have been truncated past their position). *)
-  evicted : (int, unit) Hashtbl.t;
+  evicted : unit Itbl.t;
   (* Last watermark the repair loop saw per replica: a lagging replica is
      only re-sent the un-acked suffix when it made no progress since the
      previous tick (progress means delivery is working). *)
-  repair_seen : (int, int) Hashtbl.t;
+  repair_seen : int Itbl.t;
   subscribers :
-    (int, epoch:int -> (int option * int * Storage.Writeset.t) list -> unit) Hashtbl.t;
-  live : (int, unit) Hashtbl.t;
-  eager_pending : (int, eager_state) Hashtbl.t;  (* keyed by version *)
+    (epoch:int -> (int option * int * Storage.Writeset.t) list -> unit) Itbl.t;
+  live : unit Itbl.t;
+  eager_pending : eager_state Itbl.t;  (* keyed by version *)
   revive : Sim.Condition.t;  (* outage gate: primary crashed -> promoted *)
   repl_wake : Sim.Condition.t;  (* kicks the per-standby replication pushers *)
   repl_done : Sim.Condition.t;  (* standby acks arrived / promotion happened *)
@@ -158,13 +165,13 @@ let node_log t k =
   build n.cn_version []
 
 let note_heard t replica =
-  Hashtbl.replace t.last_heard replica (Sim.Engine.now t.engine)
+  Itbl.replace t.last_heard replica (Sim.Engine.now t.engine)
 
 let subscribe t ~replica deliver =
-  Hashtbl.replace t.subscribers replica deliver;
-  Hashtbl.replace t.live replica ();
+  Itbl.replace t.subscribers replica deliver;
+  Itbl.replace t.live replica ();
   note_heard t replica;
-  if not (Hashtbl.mem t.watermarks replica) then Hashtbl.replace t.watermarks replica 0
+  if not (Itbl.mem t.watermarks replica) then Itbl.replace t.watermarks replica 0
 
 let service_time t base =
   let base =
@@ -189,20 +196,25 @@ let log_entry_of n v = Util.Vec.get n.cn_log (v - n.cn_log_base - 1)
 let conflicts_since t ~snapshot ws =
   match t.cfg.Config.cert_index with
   | Config.Keyed ->
-    (* Index invariant: for every (table, key) written by a retained log
+    (* Index invariant: for every conflict key written by a retained log
        entry, [index] holds the *highest* committing version; a conflict
        exists iff some key of [ws] was last written after [snapshot].
        Entries at or below [snapshot] cannot conflict, and versions ≤
        log_base are pruned from the index only after the abort guard in
-       [process_batch] has rejected snapshots below log_base. *)
-    List.exists
-      (fun e ->
-        match
-          Hashtbl.find_opt t.index (e.Storage.Writeset.ws_table, e.Storage.Writeset.ws_key)
-        with
-        | Some v -> v > snapshot
-        | None -> false)
-      (Storage.Writeset.entries ws)
+       [process_batch] has rejected snapshots below log_base. Writesets
+       built by this replication group carry their ids ([cids] returns
+       the cached array); foreign writesets are resolved through this
+       group's intern table on the way in. *)
+    let kids = Storage.Writeset.cids ws ~intern:t.intern in
+    let n = Array.length kids in
+    let rec probe i =
+      if i >= n then false
+      else
+        match Util.Tables.Itbl.find_opt t.index kids.(i) with
+        | Some v when v > snapshot -> true
+        | _ -> probe (i + 1)
+    in
+    probe 0
   | Config.Linear ->
     let p = primary_node t in
     let rec scan v =
@@ -217,25 +229,24 @@ let check_conflict t ~snapshot ~ws = conflicts_since t ~snapshot ws
 (* Record a freshly committed writeset in the certification index. *)
 let index_commit t ws version =
   if t.cfg.Config.cert_index = Config.Keyed then
-    List.iter
-      (fun e ->
-        Hashtbl.replace t.index (e.Storage.Writeset.ws_table, e.Storage.Writeset.ws_key)
-          version)
-      (Storage.Writeset.entries ws)
+    Array.iter
+      (fun kid -> Util.Tables.Itbl.replace t.index kid version)
+      (Storage.Writeset.cids ws ~intern:t.intern)
 
 (* Rebuild the index from a log segment (standby promotion): ascending
    replay leaves the highest writer per key, restoring the invariant. *)
 let rebuild_index t ~base ~upto entry =
-  Hashtbl.reset t.index;
+  Util.Tables.Itbl.reset t.index;
   if t.cfg.Config.cert_index = Config.Keyed then
     for v = base + 1 to upto do
-      List.iter
-        (fun e ->
-          Hashtbl.replace t.index (e.Storage.Writeset.ws_table, e.Storage.Writeset.ws_key) v)
-        (Storage.Writeset.entries (entry v))
+      Array.iter
+        (fun kid -> Util.Tables.Itbl.replace t.index kid v)
+        (Storage.Writeset.cids (entry v) ~intern:t.intern)
     done
 
-let index_size t = Hashtbl.length t.index
+let index_size t = Util.Tables.Itbl.length t.index
+
+let intern t = t.intern
 
 (* --- Applied-version watermarks ------------------------------------
 
@@ -258,41 +269,41 @@ let index_size t = Hashtbl.length t.index
    overtake them); under message loss it is what lets a later heartbeat
    stand in for a lost ack instead of wedging the eager commit. *)
 let sweep_eager t ~replica ~upto =
-  if Hashtbl.length t.eager_pending > 0 then begin
+  if Itbl.length t.eager_pending > 0 then begin
     let completed = ref [] in
-    Hashtbl.iter
+    Itbl.iter
       (fun v state ->
-        if v <= upto && Hashtbl.mem state.waiting_on replica then begin
-          Hashtbl.remove state.waiting_on replica;
-          if Hashtbl.length state.waiting_on = 0 then completed := (v, state) :: !completed
+        if v <= upto && Itbl.mem state.waiting_on replica then begin
+          Itbl.remove state.waiting_on replica;
+          if Itbl.length state.waiting_on = 0 then completed := (v, state) :: !completed
         end)
       t.eager_pending;
     List.iter
       (fun (v, state) ->
-        Hashtbl.remove t.eager_pending v;
+        Itbl.remove t.eager_pending v;
         Sim.Ivar.fill state.done_ ())
       (List.sort compare !completed)
   end
 
 let observe_applied t ~replica ~version =
   note_heard t replica;
-  (match Hashtbl.find_opt t.watermarks replica with
+  (match Itbl.find_opt t.watermarks replica with
   | Some w when w >= version -> ()
-  | Some _ | None -> Hashtbl.replace t.watermarks replica version);
+  | Some _ | None -> Itbl.replace t.watermarks replica version);
   sweep_eager t ~replica ~upto:version
 
 let heartbeat t ~replica ~applied = observe_applied t ~replica ~version:applied
 
-let watermark t ~replica = Option.value (Hashtbl.find_opt t.watermarks replica) ~default:0
+let watermark t ~replica = Option.value (Itbl.find_opt t.watermarks replica) ~default:0
 
 let min_live_watermark t =
-  if Hashtbl.length t.live = 0 then None
+  if Itbl.length t.live = 0 then None
   else
-    Some (Hashtbl.fold (fun replica () acc -> min acc (watermark t ~replica)) t.live max_int)
+    Some (Itbl.fold (fun replica () acc -> min acc (watermark t ~replica)) t.live max_int)
 
 let min_watermark t =
-  if Hashtbl.length t.watermarks = 0 then 0
-  else Hashtbl.fold (fun _ w acc -> min acc w) t.watermarks max_int
+  if Itbl.length t.watermarks = 0 then 0
+  else Itbl.fold (fun _ w acc -> min acc w) t.watermarks max_int
 
 (* --- Group replication, epochs and failover -------------------------
 
@@ -392,7 +403,7 @@ let promote ?(auto = false) t k =
   (* Grace period for the other detectors: a fresh promotion is contact. *)
   Array.iter (fun n -> n.cn_last_heard <- now) t.nodes;
   rebuild_index t ~base:np.cn_log_base ~upto:np.cn_version (fun v -> log_entry_of np v);
-  Hashtbl.reset t.repair_seen;
+  Itbl.reset t.repair_seen;
   t.failovers <- t.failovers + 1;
   if auto then begin
     t.promotions <- t.promotions + 1;
@@ -559,7 +570,7 @@ let monitor t k =
   in
   loop ()
 
-let create ?obs ?metrics engine cfg ~rng ~network ~mode =
+let create ?obs ?metrics ?intern engine cfg ~rng ~network ~mode =
   let t =
     {
       engine;
@@ -591,14 +602,15 @@ let create ?obs ?metrics engine cfg ~rng ~network ~mode =
       epoch = 0;
       epoch_base = 0;
       epoch_starts = [];
-      index = Hashtbl.create 4096;
-      watermarks = Hashtbl.create 16;
-      last_heard = Hashtbl.create 16;
-      evicted = Hashtbl.create 4;
-      repair_seen = Hashtbl.create 16;
-      subscribers = Hashtbl.create 16;
-      live = Hashtbl.create 16;
-      eager_pending = Hashtbl.create 64;
+      index = Util.Tables.Itbl.create 4096;
+      intern = (match intern with Some it -> it | None -> Storage.Intern.create ());
+      watermarks = Itbl.create 16;
+      last_heard = Itbl.create 16;
+      evicted = Itbl.create 4;
+      repair_seen = Itbl.create 16;
+      subscribers = Itbl.create 16;
+      live = Itbl.create 16;
+      eager_pending = Itbl.create 64;
       revive = Sim.Condition.create engine;
       repl_wake = Sim.Condition.create engine;
       repl_done = Sim.Condition.create engine;
@@ -691,17 +703,20 @@ let process_batch t batch =
     await_standby_quorum t ~me ~target:p.cn_version
   end;
   Sim.Resource.release t.cpu;
-  List.iter
-    (fun (r, v) ->
-      let queue_ms = batch_start -. r.req_arrival in
-      let decision_args =
-        match v with
-        | None -> [ ("decision", "abort") ]
-        | Some v -> [ ("decision", "commit"); ("version", string_of_int v) ]
-      in
-      Obs.Trace.finish_opt t.obs r.req_span
-        ~args:(decision_args @ [ ("queue_ms", Printf.sprintf "%.3f" queue_ms) ]))
-    results;
+  (match t.obs with
+  | None -> ()
+  | Some _ ->
+    List.iter
+      (fun (r, v) ->
+        let queue_ms = batch_start -. r.req_arrival in
+        let decision_args =
+          match v with
+          | None -> [ ("decision", "abort") ]
+          | Some v -> [ ("decision", "commit"); ("version", string_of_int v) ]
+        in
+        Obs.Trace.finish_opt t.obs r.req_span
+          ~args:(decision_args @ [ ("queue_ms", Printf.sprintf "%.3f" queue_ms) ]))
+      results);
   (* Epoch fence on release: if a promotion happened while the batch was
      waiting on its quorum, only the members that made it into the new
      primary's history (version <= promotion point) are released as
@@ -717,9 +732,9 @@ let process_batch t batch =
   let refreshable = List.filter (fun (_, v) -> survives v) committed in
   if refreshable <> [] then begin
     let refresh_epoch = t.epoch and refresh_src = primary_net t in
-    Hashtbl.iter
+    Itbl.iter
       (fun replica deliver ->
-        if Hashtbl.mem t.live replica then begin
+        if Itbl.mem t.live replica then begin
           let items =
             List.filter_map
               (fun (r, v) ->
@@ -758,11 +773,11 @@ let process_batch t batch =
           let global_commit =
             match t.mode with
             | Consistency.Eager ->
-              let waiting_on = Hashtbl.create 8 in
-              Hashtbl.iter (fun replica () -> Hashtbl.replace waiting_on replica ()) t.live;
+              let waiting_on = Itbl.create 8 in
+              Itbl.iter (fun replica () -> Itbl.replace waiting_on replica ()) t.live;
               let done_ = Sim.Ivar.create t.engine in
-              if Hashtbl.length waiting_on = 0 then Sim.Ivar.fill done_ ()
-              else Hashtbl.replace t.eager_pending v { waiting_on; done_ };
+              if Itbl.length waiting_on = 0 then Sim.Ivar.fill done_ ()
+              else Itbl.replace t.eager_pending v { waiting_on; done_ };
               Some done_
             | Consistency.Coarse | Consistency.Fine | Consistency.Session
             | Consistency.Bounded _ -> None
@@ -838,12 +853,12 @@ let certify ?trace ?applied t ~origin ~snapshot ~ws =
 
 let ack t ~replica ~version =
   observe_applied t ~replica ~version;
-  match Hashtbl.find_opt t.eager_pending version with
+  match Itbl.find_opt t.eager_pending version with
   | None -> ()
   | Some state ->
-    Hashtbl.remove state.waiting_on replica;
-    if Hashtbl.length state.waiting_on = 0 then begin
-      Hashtbl.remove t.eager_pending version;
+    Itbl.remove state.waiting_on replica;
+    if Itbl.length state.waiting_on = 0 then begin
+      Itbl.remove t.eager_pending version;
       Sim.Ivar.fill state.done_ ()
     end
 
@@ -886,7 +901,7 @@ let prune t ~keep_after =
        conflict again: any request with snapshot < log_base is
        conservatively aborted before the check, and for snapshot ≥
        log_base ≥ v the comparison v > snapshot is false. *)
-    Hashtbl.filter_map_inplace
+    Util.Tables.Itbl.filter_map_inplace
       (fun _ v -> if v <= keep_after then None else Some v)
       t.index
   end
@@ -904,23 +919,23 @@ let evict_dead t =
   if horizon > 0.0 then begin
     let now = Sim.Engine.now t.engine in
     let victims =
-      Hashtbl.fold
+      Itbl.fold
         (fun replica _w acc ->
-          let heard = Option.value (Hashtbl.find_opt t.last_heard replica) ~default:0.0 in
-          if (not (Hashtbl.mem t.live replica)) && now -. heard > horizon then
+          let heard = Option.value (Itbl.find_opt t.last_heard replica) ~default:0.0 in
+          if (not (Itbl.mem t.live replica)) && now -. heard > horizon then
             replica :: acc
           else acc)
         t.watermarks []
     in
     List.iter
       (fun replica ->
-        Hashtbl.remove t.watermarks replica;
-        Hashtbl.replace t.evicted replica ();
+        Itbl.remove t.watermarks replica;
+        Itbl.replace t.evicted replica ();
         t.evictions <- t.evictions + 1)
       victims
   end
 
-let needs_state_transfer t ~replica = Hashtbl.mem t.evicted replica
+let needs_state_transfer t ~replica = Itbl.mem t.evicted replica
 
 let evictions t = t.evictions
 
@@ -989,38 +1004,38 @@ let failover t =
 let failovers t = t.failovers
 
 let mark_down t ~replica =
-  Hashtbl.remove t.live replica;
+  Itbl.remove t.live replica;
   (* Pending eager transactions stop waiting for the dead replica. *)
   let completed = ref [] in
-  Hashtbl.iter
+  Itbl.iter
     (fun v state ->
-      Hashtbl.remove state.waiting_on replica;
-      if Hashtbl.length state.waiting_on = 0 then completed := (v, state) :: !completed)
+      Itbl.remove state.waiting_on replica;
+      if Itbl.length state.waiting_on = 0 then completed := (v, state) :: !completed)
     t.eager_pending;
   List.iter
     (fun (v, state) ->
-      Hashtbl.remove t.eager_pending v;
+      Itbl.remove t.eager_pending v;
       Sim.Ivar.fill state.done_ ())
     !completed
 
 let mark_up ?applied t ~replica =
-  if Hashtbl.mem t.subscribers replica then begin
-    Hashtbl.replace t.live replica ();
+  if Itbl.mem t.subscribers replica then begin
+    Itbl.replace t.live replica ();
     note_heard t replica;
-    if Hashtbl.mem t.evicted replica then begin
+    if Itbl.mem t.evicted replica then begin
       (* Rejoin after eviction: the replica re-enters the watermark table
          at its state-transferred applied version. Re-entering at 0 —
          the old behaviour — pinned the GC floor at the log base until
          the replica's next heartbeat happened to arrive. *)
-      Hashtbl.remove t.evicted replica;
-      Hashtbl.replace t.watermarks replica (Option.value applied ~default:0)
+      Itbl.remove t.evicted replica;
+      Itbl.replace t.watermarks replica (Option.value applied ~default:0)
     end;
     match applied with
     | Some version -> observe_applied t ~replica ~version
     | None -> ()
   end
 
-let is_marked_live t ~replica = Hashtbl.mem t.live replica
+let is_marked_live t ~replica = Itbl.mem t.live replica
 
 (* --- Refresh repair (reliable mode) ---------------------------------
 
@@ -1040,12 +1055,12 @@ let repair_tick t =
   if not (is_crashed t) then begin
     let p = primary_node t in
     let repair_epoch = t.epoch in
-    Hashtbl.iter
+    Itbl.iter
       (fun replica deliver ->
-        if Hashtbl.mem t.live replica then begin
+        if Itbl.mem t.live replica then begin
           let w = watermark t ~replica in
-          let stalled = Hashtbl.find_opt t.repair_seen replica = Some w in
-          Hashtbl.replace t.repair_seen replica w;
+          let stalled = Itbl.find_opt t.repair_seen replica = Some w in
+          Itbl.replace t.repair_seen replica w;
           (* A replica more than one batch behind can never be healed by
              the live refresh stream (broadcasts only cover new versions),
              so stream its suffix on every tick instead of waiting for the

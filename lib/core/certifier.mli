@@ -69,9 +69,16 @@ type decision =
   | Abort
 
 val create :
-  ?obs:Obs.Trace.t -> ?metrics:Metrics.t -> Sim.Engine.t -> Config.t ->
-  rng:Util.Rng.t -> network:Sim.Network.t -> mode:Consistency.mode -> t
-(** With [obs], every certification request emits a service span
+  ?obs:Obs.Trace.t -> ?metrics:Metrics.t -> ?intern:Storage.Intern.t -> Sim.Engine.t ->
+  Config.t -> rng:Util.Rng.t -> network:Sim.Network.t -> mode:Consistency.mode -> t
+(** [?intern] shares the replication group's conflict-key intern table
+    (see {!Storage.Intern}): the keyed certification index is keyed by
+    its dense ids, so writesets built against the same table certify
+    without allocating or hashing strings. Defaults to a private table —
+    foreign writesets are then resolved through it on arrival, which is
+    always correct, just slower.
+
+    With [obs], every certification request emits a service span
     (component {!Obs.Span.Certifier}) carrying origin, snapshot, queue
     wait and the decision. With [metrics], each batch is recorded via
     {!Metrics.note_cert_batch}. With [certifier_standbys > 0] this also
@@ -133,6 +140,11 @@ val check_conflict : t -> snapshot:int -> ws:Storage.Writeset.t -> bool
 val index_size : t -> int
 (** Distinct (table, key) entries in the certification index (0 under
     [Config.Linear]). *)
+
+val intern : t -> Storage.Intern.t
+(** The conflict-key intern table the certification index is keyed by.
+    Writesets built with it ({!Storage.Writeset.of_entries} [?intern])
+    certify on the cached-id fast path. *)
 
 (** {2 Applied watermarks and log truncation} *)
 

@@ -3,6 +3,7 @@ let log_src =
 
 module Log = (val Logs.src_log log_src)
 
+
 type t = {
   engine : Sim.Engine.t;
   cfg : Config.t;
@@ -19,7 +20,7 @@ type t = {
   c_commit_ro : Obs.Registry.counter;
   c_abort : Obs.Registry.counter;
   mutable next_tid : int;
-  mutable log : Check.Runlog.record list;  (* reversed *)
+  log : Check.Runlog.Sink.t;  (* flat append-order store of commit records *)
   (* monotonic-counter cursors for mirroring deltas into Metrics *)
   mutable seen_net_retransmits : int;
   mutable seen_cert_retransmits : int;
@@ -117,13 +118,19 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
      RNG chain), so attaching an all-clean plan perturbs nothing. *)
   let faults = Option.map (fun build -> (build engine : Sim.Faults.t)) faults in
   (match faults with Some f -> Sim.Network.set_faults network f | None -> ());
+  (* One intern table per replication group: every replica database and
+     the certifier resolve conflict keys through the same id space, so
+     writesets built on any replica carry ids the certifier's index can
+     probe directly. *)
+  let intern = Storage.Intern.create () in
   let certifier =
-    Certifier.create ?obs ~metrics engine config ~rng:(Util.Rng.split rng) ~network ~mode
+    Certifier.create ?obs ~metrics ~intern engine config ~rng:(Util.Rng.split rng)
+      ~network ~mode
   in
   let lb = Load_balancer.create ~rng:(Util.Rng.split rng) config ~mode in
   let replicas =
     Array.init config.Config.replicas (fun id ->
-        let db = Storage.Database.create () in
+        let db = Storage.Database.create ~intern () in
         List.iter (fun schema -> ignore (Storage.Database.create_table db schema)) schemas;
         load db;
         Replica.create ?obs ~metrics engine config ~rng:(Util.Rng.split rng) ~id db)
@@ -161,7 +168,7 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
       c_commit_ro = Obs.Registry.counter registry "txn.commit_read_only";
       c_abort = Obs.Registry.counter registry "txn.abort";
       next_tid = 0;
-      log = [];
+      log = Check.Runlog.Sink.create ();
       seen_net_retransmits = 0;
       seen_cert_retransmits = 0;
       seen_suspects = 0;
@@ -647,7 +654,7 @@ let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~epoch ~tier
         trace;
       }
     in
-    t.log <- record :: t.log
+    Check.Runlog.Sink.add t.log record
   end
 
 (* Response path shared by every outcome: replica -> LB -> client, with
@@ -906,8 +913,8 @@ let run_for t ~warmup_ms ~measure_ms =
   Sim.Engine.run t.engine ~until:(start +. warmup_ms);
   Metrics.reset_window t.metrics;
   Obs.Registry.reset t.registry;
-  t.log <- [];
+  Check.Runlog.Sink.clear t.log;
   Sim.Engine.run t.engine ~until:(start +. warmup_ms +. measure_ms)
 
-let records t = List.rev t.log
+let records t = Check.Runlog.Sink.records t.log
 

@@ -18,8 +18,8 @@ type t = {
   mutable v_system : int;
   mutable cert_epoch : int;  (* highest certifier epoch seen on an ack *)
   mutable cert_fenced : int;  (* acks observed carrying a stale epoch *)
-  table_versions : (string, int) Hashtbl.t;
-  session_versions : (int, int) Hashtbl.t;
+  table_versions : int Util.Tables.Stbl.t;
+  session_versions : int Util.Tables.Itbl.t;
   (* read tiers (docs/CONSISTENCY.md): last applied version each replica
      reported (piggybacked on responses and heartbeats — a lower bound
      on its true progress), and, when [read_tiers] is on, a newest-first
@@ -47,8 +47,8 @@ let create ?rng cfg ~mode =
     v_system = 0;
     cert_epoch = 0;
     cert_fenced = 0;
-    table_versions = Hashtbl.create 64;
-    session_versions = Hashtbl.create 256;
+    table_versions = Util.Tables.Stbl.create 64;
+    session_versions = Util.Tables.Itbl.create 256;
     applied = Array.make cfg.Config.replicas 0;
     vs_history = [];
     vs_len = 0;
@@ -160,9 +160,11 @@ let set_live t ~replica flag = t.live.(replica) <- flag
 
 let is_live t ~replica = t.live.(replica)
 
-let table_version t name = Option.value (Hashtbl.find_opt t.table_versions name) ~default:0
+let table_version t name =
+  Option.value (Util.Tables.Stbl.find_opt t.table_versions name) ~default:0
 
-let session_version t ~sid = Option.value (Hashtbl.find_opt t.session_versions sid) ~default:0
+let session_version t ~sid =
+  Option.value (Util.Tables.Itbl.find_opt t.session_versions sid) ~default:0
 
 let start_version t ~sid ~table_set =
   match t.mode with
@@ -234,9 +236,11 @@ let note_commit_ack ?(epoch = 0) ?now t ~sid ~version ~tables_written =
   end;
   List.iter
     (fun table ->
-      if version > table_version t table then Hashtbl.replace t.table_versions table version)
+      if version > table_version t table then
+        Util.Tables.Stbl.replace t.table_versions table version)
     tables_written;
-  if version > session_version t ~sid then Hashtbl.replace t.session_versions sid version
+  if version > session_version t ~sid then
+    Util.Tables.Itbl.replace t.session_versions sid version
 
 let note_snapshot_ack t ~sid ~snapshot =
   (* Monotone-reads floor: only session mode consults the session table
@@ -246,7 +250,7 @@ let note_snapshot_ack t ~sid ~snapshot =
   if
     (t.mode = Consistency.Session || t.cfg.Config.read_tiers)
     && snapshot > session_version t ~sid
-  then Hashtbl.replace t.session_versions sid snapshot
+  then Util.Tables.Itbl.replace t.session_versions sid snapshot
 
 let v_system t = t.v_system
 
@@ -254,7 +258,7 @@ let cert_epoch t = t.cert_epoch
 
 let cert_fenced t = t.cert_fenced
 
-let session_count t = Hashtbl.length t.session_versions
+let session_count t = Util.Tables.Itbl.length t.session_versions
 
 let prune_sessions t ~applied_min =
   (* An entry <= the cluster-wide minimum applied version buys nothing:
@@ -262,7 +266,7 @@ let prune_sessions t ~applied_min =
      [session_version]'s default of 0 gives the same answer once the
      entry is gone. Dropping it re-bounds the table to the set of
      sessions that committed above the watermark. *)
-  Hashtbl.filter_map_inplace
+  Util.Tables.Itbl.filter_map_inplace
     (fun _sid version -> if version <= applied_min then None else Some version)
     t.session_versions
 

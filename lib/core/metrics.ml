@@ -1,3 +1,5 @@
+module Stbl = Util.Tables.Stbl
+
 type stage = Version | Queries | Certify | Sync | Commit | Global
 
 let stage_index = function
@@ -37,7 +39,7 @@ type t = {
   mutable apply_group_txns : int;
   mutable apply_group_lanes : int;
   (* per-reason abort breakdown (keys are Transaction.abort_slug values) *)
-  aborts_by_reason : (string, int) Hashtbl.t;
+  aborts_by_reason : int Stbl.t;
   (* fault-injection and hardened-layer counters *)
   mutable fault_drops : int;
   mutable fault_duplicates : int;
@@ -52,7 +54,7 @@ type t = {
   (* per-read-tier breakdown (docs/CONSISTENCY.md): keyed by
      Consistency.tier_slug; populated only for read-only commits, so it
      stays empty in runs that never commit a read *)
-  tiers : (string, tier_stat) Hashtbl.t;
+  tiers : tier_stat Stbl.t;
   (* per-outcome observer (the run-health observatory); None = zero cost *)
   mutable observer : (outcome -> unit) option;
   (* consistency health gauges, refreshed by the cluster's gauge pass *)
@@ -97,7 +99,7 @@ let create engine =
     apply_groups = 0;
     apply_group_txns = 0;
     apply_group_lanes = 0;
-    aborts_by_reason = Hashtbl.create 8;
+    aborts_by_reason = Stbl.create 8;
     fault_drops = 0;
     fault_duplicates = 0;
     fault_delays = 0;
@@ -107,7 +109,7 @@ let create engine =
     promotions = 0;
     fenced = 0;
     outage_windows = Util.Stats.create ();
-    tiers = Hashtbl.create 4;
+    tiers = Stbl.create 4;
     observer = None;
     health = None;
   }
@@ -133,7 +135,7 @@ let reset_window t =
   t.apply_groups <- 0;
   t.apply_group_txns <- 0;
   t.apply_group_lanes <- 0;
-  Hashtbl.reset t.aborts_by_reason;
+  Stbl.reset t.aborts_by_reason;
   t.fault_drops <- 0;
   t.fault_duplicates <- 0;
   t.fault_delays <- 0;
@@ -143,7 +145,7 @@ let reset_window t =
   t.promotions <- 0;
   t.fenced <- 0;
   Util.Stats.clear t.outage_windows;
-  Hashtbl.reset t.tiers
+  Stbl.reset t.tiers
 
 let note_cert_batch t ~size =
   t.cert_batches <- t.cert_batches + 1;
@@ -185,7 +187,12 @@ type txn = {
   begin_time : float;
   values : float array;
   mutable component : Obs.Span.component;
-  mutable open_stage : (stage * float * Obs.Span.t option) option;
+  (* The open stage, flattened into parallel fields: stage transitions
+     run six times per transaction, and a boxed (stage, start, span)
+     tuple per transition was measurable allocator traffic. *)
+  mutable open_stage : stage option;
+  mutable open_start : float;
+  mutable open_span : Obs.Span.t option;
 }
 
 let txn_begin ?obs ?(sid = 0) ~name t =
@@ -208,6 +215,8 @@ let txn_begin ?obs ?(sid = 0) ~name t =
     values = Array.make stage_count 0.0;
     component = Obs.Span.Client sid;
     open_stage = None;
+    open_start = 0.0;
+    open_span = None;
   }
 
 let txn_trace_id txn = txn.trace_id
@@ -233,33 +242,37 @@ let stage_enter ?at txn stage =
            ~component:txn.component ~name:(stage_name stage) ())
     | _ -> None
   in
-  txn.open_stage <- Some (stage, start, span)
+  txn.open_stage <- Some stage;
+  txn.open_start <- start;
+  txn.open_span <- span
 
 let stage_exit ?at txn stage =
   match txn.open_stage with
   | None -> invalid_arg "Metrics.stage_exit: no open stage"
-  | Some (open_stage, start, span) ->
+  | Some open_stage ->
     if open_stage <> stage then invalid_arg "Metrics.stage_exit: stage mismatch";
     let stop = match at with Some time -> time | None -> now_of txn in
-    txn.values.(stage_index stage) <- txn.values.(stage_index stage) +. (stop -. start);
-    (match (txn.obs, span) with
+    txn.values.(stage_index stage) <-
+      txn.values.(stage_index stage) +. (stop -. txn.open_start);
+    (match (txn.obs, txn.open_span) with
     | Some tr, Some span -> Obs.Trace.finish tr ~at:stop span
     | _ -> ());
-    txn.open_stage <- None
+    txn.open_stage <- None;
+    txn.open_span <- None
 
 let close_open_stage txn =
   match txn.open_stage with
-  | Some (stage, _, _) -> stage_exit txn stage
+  | Some stage -> stage_exit txn stage
   | None -> ()
 
 let tier_stat t slug =
-  match Hashtbl.find_opt t.tiers slug with
+  match Stbl.find_opt t.tiers slug with
   | Some s -> s
   | None ->
     let s =
       { tier_n = 0; tier_response = Util.Stats.create (); tier_staleness = Util.Stats.create () }
     in
-    Hashtbl.replace t.tiers slug s;
+    Stbl.replace t.tiers slug s;
     s
 
 let record_commit ?(tier = "strong") ?(staleness = 0) t ~read_only ~stages ~response_ms =
@@ -282,11 +295,11 @@ let record_abort ?slug t =
   match slug with
   | None -> ()
   | Some slug ->
-    let n = Option.value ~default:0 (Hashtbl.find_opt t.aborts_by_reason slug) in
-    Hashtbl.replace t.aborts_by_reason slug (n + 1)
+    let n = Option.value ~default:0 (Stbl.find_opt t.aborts_by_reason slug) in
+    Stbl.replace t.aborts_by_reason slug (n + 1)
 
 let aborts_by_reason t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.aborts_by_reason []
+  Stbl.fold (fun k v acc -> (k, v) :: acc) t.aborts_by_reason []
   |> List.sort (fun (ka, a) (kb, b) ->
          match compare (b : int) a with 0 -> compare ka kb | c -> c)
 
@@ -389,28 +402,28 @@ let abort_rate t =
 (* --- Per-read-tier breakdown ---------------------------------------- *)
 
 let tier_slugs t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.tiers [] |> List.sort compare
+  Stbl.fold (fun k _ acc -> k :: acc) t.tiers [] |> List.sort compare
 
 let tier_committed t slug =
-  match Hashtbl.find_opt t.tiers slug with Some s -> s.tier_n | None -> 0
+  match Stbl.find_opt t.tiers slug with Some s -> s.tier_n | None -> 0
 
 let tier_mean_response_ms t slug =
-  match Hashtbl.find_opt t.tiers slug with
+  match Stbl.find_opt t.tiers slug with
   | Some s -> Util.Stats.mean s.tier_response
   | None -> 0.0
 
 let tier_percentile_response_ms t slug p =
-  match Hashtbl.find_opt t.tiers slug with
+  match Stbl.find_opt t.tiers slug with
   | Some s -> Util.Stats.percentile s.tier_response p
   | None -> 0.0
 
 let tier_mean_staleness t slug =
-  match Hashtbl.find_opt t.tiers slug with
+  match Stbl.find_opt t.tiers slug with
   | Some s -> Util.Stats.mean s.tier_staleness
   | None -> 0.0
 
 let tier_max_staleness t slug =
-  match Hashtbl.find_opt t.tiers slug with
+  match Stbl.find_opt t.tiers slug with
   | Some s -> Util.Stats.max_value s.tier_staleness
   | None -> 0.0
 

@@ -1,3 +1,7 @@
+(* All replica-side maps are keyed by ints (commit versions, txn ids,
+   interned conflict ids) — use the monomorphic table. *)
+module Itbl = Util.Tables.Itbl
+
 type local_commit = (float, Transaction.abort_reason) result
 
 type slot =
@@ -15,8 +19,8 @@ type t = {
   cpu : Sim.Resource.t;
   version_changed : Sim.Condition.t;  (* broadcast when V_local advances or on crash *)
   slot_arrived : Sim.Condition.t;
-  slots : (int, slot) Hashtbl.t;  (* version -> pending ordered-commit work *)
-  active : (int, Storage.Txn.t * bool ref) Hashtbl.t;  (* tid -> txn, abort flag *)
+  slots : slot Itbl.t;  (* version -> pending ordered-commit work *)
+  active : (Storage.Txn.t * bool ref) Itbl.t;  (* tid -> txn, abort flag *)
   mutable crashed : bool;
   mutable epoch : int;  (* bumped on crash: cancels in-flight apply lanes *)
   mutable cert_epoch : int;  (* highest certifier epoch seen on a refresh *)
@@ -25,11 +29,12 @@ type t = {
       (* writesets of the parallel apply group in flight (removed from
          [slots] but not yet published) — still visible to early
          certification; always [] under the serial sequencer *)
-  pending_keys : (string * Storage.Value.t array, int) Hashtbl.t;
+  pending_keys : int Util.Tables.Itbl.t;
       (* conflict-key refcounts over the pending refresh writesets
          ([slots]' Refresh entries plus [applying]) — the certifier's
          index shape reused so early certification probes its statement
-         keys instead of scanning every pending writeset *)
+         keys instead of scanning every pending writeset. Keyed by the
+         group's interned conflict ids (the database's intern table). *)
   mutable slow_until : float;  (* hiccup window end; service times inflate until then *)
   mutable faults : Sim.Faults.t option;  (* gray-failure slowdown windows *)
   mutable on_commit : (version:int -> unit) option;
@@ -48,14 +53,14 @@ let create ?obs ?metrics engine cfg ~rng ~id db =
     cpu = Sim.Resource.create engine ~servers:cfg.Config.cpus_per_replica;
     version_changed = Sim.Condition.create engine;
     slot_arrived = Sim.Condition.create engine;
-    slots = Hashtbl.create 64;
-    active = Hashtbl.create 64;
+    slots = Itbl.create 64;
+    active = Itbl.create 64;
     crashed = false;
     epoch = 0;
     cert_epoch = 0;
     fenced_refreshes = 0;
     applying = [];
-    pending_keys = Hashtbl.create 256;
+    pending_keys = Util.Tables.Itbl.create 256;
     slow_until = neg_infinity;
     faults = None;
     on_commit = None;
@@ -107,20 +112,22 @@ let notify_commit t ~version =
    parallel group holds it in [applying], removed when it leaves the
    pending set (applied serially, published, or dropped by a crash). *)
 let add_pending_keys t ws =
-  List.iter
-    (fun key ->
-      Hashtbl.replace t.pending_keys key
-        (1 + Option.value (Hashtbl.find_opt t.pending_keys key) ~default:0))
-    (Storage.Writeset.keys ws)
+  let intern = Storage.Database.intern t.db in
+  Array.iter
+    (fun kid ->
+      Util.Tables.Itbl.replace t.pending_keys kid
+        (1 + Option.value (Util.Tables.Itbl.find_opt t.pending_keys kid) ~default:0))
+    (Storage.Writeset.cids ws ~intern)
 
 let remove_pending_keys t ws =
-  List.iter
-    (fun key ->
-      match Hashtbl.find_opt t.pending_keys key with
-      | Some 1 -> Hashtbl.remove t.pending_keys key
-      | Some n when n > 1 -> Hashtbl.replace t.pending_keys key (n - 1)
+  let intern = Storage.Database.intern t.db in
+  Array.iter
+    (fun kid ->
+      match Util.Tables.Itbl.find_opt t.pending_keys kid with
+      | Some 1 -> Util.Tables.Itbl.remove t.pending_keys kid
+      | Some n when n > 1 -> Util.Tables.Itbl.replace t.pending_keys kid (n - 1)
       | Some _ | None -> assert false (* refcount out of sync with the pending set *))
-    (Storage.Writeset.keys ws)
+    (Storage.Writeset.cids ws ~intern)
 
 (* --- Conflict-aware parallel refresh application ---------------------
 
@@ -132,10 +139,11 @@ let remove_pending_keys t ws =
    MVCC chains require ascending installs). [V_local] is published only
    when the whole run is installed, so no snapshot can observe a gap. *)
 
-(* [partition_lanes items] groups [(version, trace, ws)] items (ascending
-   versions) into conflict lanes, each ascending, in first-appearance
-   order. Union-find over item indices, keyed by conflict key. *)
-let partition_lanes items =
+(* [partition_lanes ~intern items] groups [(version, trace, ws)] items
+   (ascending versions) into conflict lanes, each ascending, in
+   first-appearance order. Union-find over item indices, keyed by the
+   interned conflict id. *)
+let partition_lanes ~intern items =
   let arr = Array.of_list items in
   let n = Array.length arr in
   let parent = Array.init n (fun i -> i) in
@@ -144,28 +152,28 @@ let partition_lanes items =
     let ri = find i and rj = find j in
     if ri <> rj then parent.(max ri rj) <- min ri rj
   in
-  let key_owner = Hashtbl.create 64 in
+  let key_owner = Util.Tables.Itbl.create 64 in
   Array.iteri
     (fun i (_, _, ws) ->
-      List.iter
-        (fun key ->
-          match Hashtbl.find_opt key_owner key with
+      Array.iter
+        (fun kid ->
+          match Util.Tables.Itbl.find_opt key_owner kid with
           | Some j -> union i j
-          | None -> Hashtbl.add key_owner key i)
-        (Storage.Writeset.keys ws))
+          | None -> Util.Tables.Itbl.add key_owner kid i)
+        (Storage.Writeset.cids ws ~intern))
     arr;
-  let lanes = Hashtbl.create 8 in
+  let lanes = Itbl.create 8 in
   let roots = ref [] in
   Array.iteri
     (fun i item ->
       let r = find i in
-      match Hashtbl.find_opt lanes r with
+      match Itbl.find_opt lanes r with
       | Some acc -> acc := item :: !acc
       | None ->
-        Hashtbl.add lanes r (ref [ item ]);
+        Itbl.add lanes r (ref [ item ]);
         roots := r :: !roots)
     arr;
-  List.rev_map (fun r -> List.rev !(Hashtbl.find lanes r)) !roots
+  List.rev_map (fun r -> List.rev !(Itbl.find lanes r)) !roots
 
 (* Cap the lane count at [p] by folding surplus lanes together
    round-robin. Folded lanes have disjoint conflict keys, so only the
@@ -191,17 +199,23 @@ let apply_lane t ~epoch ~lane_id lane () =
     (fun (v, trace, ws) ->
       if t.epoch = epoch && not t.crashed then begin
         let rows = Storage.Writeset.cardinal ws in
+        (* Build the span args only when tracing is live: this runs per
+           applied writeset, and the formatting is pure overhead on
+           untraced runs. *)
         let span =
-          Obs.Trace.start_opt t.obs
-            ~trace_id:(Option.value trace ~default:v)
-            ~component:(Obs.Span.Replica t.id) ~name:"refresh.apply"
-            ~args:
-              [
-                ("version", string_of_int v);
-                ("rows", string_of_int rows);
-                ("lane", string_of_int lane_id);
-              ]
-            ()
+          match t.obs with
+          | None -> None
+          | Some _ ->
+            Obs.Trace.start_opt t.obs
+              ~trace_id:(Option.value trace ~default:v)
+              ~component:(Obs.Span.Replica t.id) ~name:"refresh.apply"
+              ~args:
+                [
+                  ("version", string_of_int v);
+                  ("rows", string_of_int rows);
+                  ("lane", string_of_int lane_id);
+                ]
+              ()
         in
         let cost =
           t.cfg.Config.ws_apply_base_ms
@@ -222,22 +236,27 @@ let apply_refresh_group t ~first run =
   let p = t.cfg.Config.apply_parallelism in
   let last = first + List.length run - 1 in
   t.applying <- List.map (fun (_, _, ws) -> ws) run;
-  let lanes = bucketize p (partition_lanes run) in
+  let lanes =
+    bucketize p (partition_lanes ~intern:(Storage.Database.intern t.db) run)
+  in
   (match t.metrics with
   | Some m -> Metrics.note_apply_group m ~size:(List.length run) ~lanes:(List.length lanes)
   | None -> ());
   let group_span =
-    Obs.Trace.start_opt t.obs
-      ~trace_id:(match run with (_, Some trace, _) :: _ -> trace | _ -> first)
-      ~component:(Obs.Span.Replica t.id) ~name:"refresh.apply_batch"
-      ~args:
-        [
-          ("versions", Printf.sprintf "%d..%d" first last);
-          ("count", string_of_int (List.length run));
-          ("lanes", string_of_int (List.length lanes));
-          ("backlog", string_of_int (Hashtbl.length t.slots));
-        ]
-      ()
+    match t.obs with
+    | None -> None
+    | Some _ ->
+      Obs.Trace.start_opt t.obs
+        ~trace_id:(match run with (_, Some trace, _) :: _ -> trace | _ -> first)
+        ~component:(Obs.Span.Replica t.id) ~name:"refresh.apply_batch"
+        ~args:
+          [
+            ("versions", Printf.sprintf "%d..%d" first last);
+            ("count", string_of_int (List.length run));
+            ("lanes", string_of_int (List.length lanes));
+            ("backlog", string_of_int (Itbl.length t.slots));
+          ]
+        ()
   in
   let epoch = t.epoch in
   Sim.Fork.join t.engine
@@ -256,12 +275,12 @@ let apply_refresh_group t ~first run =
        the commit succeeded; fill its ivar or the submitter wedges (the
        sequencer never revisits a published version). *)
     for v = first to last do
-      (match Hashtbl.find_opt t.slots v with
+      (match Itbl.find_opt t.slots v with
       | Some (Refresh { ws; _ }) -> remove_pending_keys t ws
       | Some (Local { done_; _ }) ->
         Sim.Ivar.fill done_ (Ok (Sim.Engine.now t.engine))
       | None -> ());
-      Hashtbl.remove t.slots v
+      Itbl.remove t.slots v
     done;
     Sim.Condition.broadcast t.version_changed;
     for v = first to last do
@@ -284,40 +303,43 @@ let sequencer t () =
   let rec loop () =
     let next () = v_local t + 1 in
     Sim.Condition.await t.slot_arrived (fun () ->
-        (not t.crashed) && Hashtbl.mem t.slots (next ()));
+        (not t.crashed) && Itbl.mem t.slots (next ()));
     let v = next () in
-    (match Hashtbl.find_opt t.slots v with
+    (match Itbl.find_opt t.slots v with
     | None -> ()  (* crashed and cleaned up while waking; re-loop *)
     | Some (Refresh _) when parallelism > 1 ->
       let rec collect v acc n =
         if n >= max_run then List.rev acc
         else
-          match Hashtbl.find_opt t.slots v with
+          match Itbl.find_opt t.slots v with
           | Some (Refresh { ws; trace }) ->
-            Hashtbl.remove t.slots v;
+            Itbl.remove t.slots v;
             collect (v + 1) ((v, trace, ws) :: acc) (n + 1)
           | Some (Local _) | None -> List.rev acc
       in
       let run = collect v [] 0 in
       apply_refresh_group t ~first:v run
     | Some (Refresh { ws; trace }) ->
-      Hashtbl.remove t.slots v;
+      Itbl.remove t.slots v;
       remove_pending_keys t ws;
       let rows = Storage.Writeset.cardinal ws in
       (* The refresh-apply span joins the committing transaction's trace
          when the certifier forwarded its id; recovery replays (which
          have no originating trace) fall back to the commit version. *)
       let span =
-        Obs.Trace.start_opt t.obs
-          ~trace_id:(Option.value trace ~default:v)
-          ~component:(Obs.Span.Replica t.id) ~name:"refresh.apply"
-          ~args:
-            [
-              ("version", string_of_int v);
-              ("rows", string_of_int rows);
-              ("backlog", string_of_int (Hashtbl.length t.slots));
-            ]
-          ()
+        match t.obs with
+        | None -> None
+        | Some _ ->
+          Obs.Trace.start_opt t.obs
+            ~trace_id:(Option.value trace ~default:v)
+            ~component:(Obs.Span.Replica t.id) ~name:"refresh.apply"
+            ~args:
+              [
+                ("version", string_of_int v);
+                ("rows", string_of_int rows);
+                ("backlog", string_of_int (Itbl.length t.slots));
+              ]
+            ()
       in
       let cost =
         t.cfg.Config.ws_apply_base_ms
@@ -332,29 +354,29 @@ let sequencer t () =
          Local slot — [v] is now applied, so the commit succeeded; fill
          its ivar or the submitter wedges (this sequencer never revisits
          a published version). *)
-      (match Hashtbl.find_opt t.slots v with
+      (match Itbl.find_opt t.slots v with
       | Some (Refresh { ws = rws; _ }) ->
         remove_pending_keys t rws;
-        Hashtbl.remove t.slots v
+        Itbl.remove t.slots v
       | Some (Local { done_; _ }) ->
-        Hashtbl.remove t.slots v;
+        Itbl.remove t.slots v;
         Sim.Ivar.fill done_ (Ok (Sim.Engine.now t.engine))
       | None -> ());
       Obs.Trace.finish_opt t.obs span;
       Sim.Condition.broadcast t.version_changed;
       notify_commit t ~version:v
     | Some (Local { ws; done_ }) ->
-      Hashtbl.remove t.slots v;
+      Itbl.remove t.slots v;
       let commit_start = Sim.Engine.now t.engine in
       Sim.Resource.use t.cpu ~duration:(service_time t t.cfg.Config.commit_ms);
       Storage.Database.apply t.db ws ~version:v;
       (* A repair resend can re-queue [v] as a Refresh while the commit
          held the CPU; it is now applied, so drop the stale slot and its
          pending keys. *)
-      (match Hashtbl.find_opt t.slots v with
+      (match Itbl.find_opt t.slots v with
       | Some (Refresh { ws = rws; _ }) ->
         remove_pending_keys t rws;
-        Hashtbl.remove t.slots v
+        Itbl.remove t.slots v
       | Some (Local _) | None -> ());
       Sim.Condition.broadcast t.version_changed;
       notify_commit t ~version:v;
@@ -387,16 +409,16 @@ let await_version ?deadline t v =
 
 let begin_txn t ~tid =
   let txn = Storage.Txn.begin_ t.db in
-  Hashtbl.replace t.active tid (txn, ref false);
+  Itbl.replace t.active tid (txn, ref false);
   txn
 
 let abort_requested t ~tid =
-  match Hashtbl.find_opt t.active tid with
+  match Itbl.find_opt t.active tid with
   | Some (_, flag) -> !flag
   | None -> false
 
 let pending_refresh_writesets t =
-  Hashtbl.fold
+  Itbl.fold
     (fun _ slot acc -> match slot with Refresh { ws; _ } -> ws :: acc | Local _ -> acc)
     t.slots t.applying
 
@@ -407,9 +429,10 @@ let early_certify t txn =
      O(|writeset|) however deep the refresh backlog, where the previous
      [List.exists Writeset.conflicts] scanned every pending writeset. *)
   let ws = Storage.Txn.writeset txn in
-  not (List.exists (fun key -> Hashtbl.mem t.pending_keys key) (Storage.Writeset.keys ws))
+  let kids = Storage.Writeset.cids ws ~intern:(Storage.Database.intern t.db) in
+  not (Array.exists (fun kid -> Util.Tables.Itbl.mem t.pending_keys kid) kids)
 
-let finish_txn t ~tid = Hashtbl.remove t.active tid
+let finish_txn t ~tid = Itbl.remove t.active tid
 
 let exec_statement t txn stmt =
   Sim.Resource.acquire t.cpu;
@@ -434,14 +457,14 @@ let commit_local t ~version ~ws =
        happens over the exactly-once network — repair is what races us. *)
     Sim.Ivar.fill done_ (Ok (Sim.Engine.now t.engine))
   else begin
-    (match Hashtbl.find_opt t.slots version with
+    (match Itbl.find_opt t.slots version with
     | Some (Refresh { ws = rws; _ }) ->
       (* Same race, one step earlier: a repair resend queued our own
          commit as a refresh. Reclaim the slot for the local commit (the
          writesets are identical; the Local path fills [done_]). *)
       remove_pending_keys t rws
     | Some (Local _) | None -> ());
-    Hashtbl.replace t.slots version (Local { ws; done_ });
+    Itbl.replace t.slots version (Local { ws; done_ });
     Sim.Condition.broadcast t.slot_arrived
   end;
   done_
@@ -459,17 +482,20 @@ let enqueue_refresh_batch t items =
            including our own pending Local commit, which a repair resend
            must never clobber — is dropped here. Refresh delivery is
            thereby idempotent; versions are the sequence numbers. *)
-        if version > v_local t && not (Hashtbl.mem t.slots version) then begin
+        if version > v_local t && not (Itbl.mem t.slots version) then begin
           (* Early certification: abort active local transactions whose
              partial writesets conflict with an incoming refresh writeset. *)
           if t.cfg.Config.early_certification then
-            Hashtbl.iter
+            Itbl.iter
               (fun _ (txn, flag) ->
-                if (not !flag) && Storage.Writeset.conflicts (Storage.Txn.writeset txn) ws
+                if
+                  (not !flag)
+                  && (not (Storage.Txn.is_read_only txn))
+                  && Storage.Writeset.conflicts (Storage.Txn.writeset txn) ws
                 then flag := true)
               t.active;
           add_pending_keys t ws;
-          Hashtbl.replace t.slots version (Refresh { ws; trace })
+          Itbl.replace t.slots version (Refresh { ws; trace })
         end)
       items;
     Sim.Condition.broadcast t.slot_arrived
@@ -505,19 +531,19 @@ let crash t =
   t.applying <- [];
   (* Queued refreshes are dropped below and [applying] is cleared: the
      pending set empties, so the key index resets with it. *)
-  Hashtbl.reset t.pending_keys;
+  Util.Tables.Itbl.reset t.pending_keys;
   (* Abort in-flight local transactions. *)
-  Hashtbl.iter (fun _ (_, flag) -> flag := true) t.active;
-  Hashtbl.reset t.active;
+  Itbl.iter (fun _ (_, flag) -> flag := true) t.active;
+  Itbl.reset t.active;
   (* Fail local commits waiting for their sync turn; drop queued
      refreshes — recovery will replay them from the certifier log. *)
   let locals =
-    Hashtbl.fold
+    Itbl.fold
       (fun _ slot acc ->
         match slot with Local { done_; _ } -> done_ :: acc | Refresh _ -> acc)
       t.slots []
   in
-  Hashtbl.reset t.slots;
+  Itbl.reset t.slots;
   List.iter (fun done_ -> Sim.Ivar.fill done_ (Error Transaction.Replica_failure)) locals;
   (* Wake waiters so they observe the crash. *)
   Sim.Condition.broadcast t.version_changed;
@@ -527,20 +553,22 @@ let checkpoint t = Storage.Database.snapshot t.db
 
 let state_transfer t ~snapshot =
   if not t.crashed then invalid_arg "Replica.state_transfer: replica is running";
-  t.db <- Storage.Database.of_snapshot snapshot
+  (* Keep the group's intern table across the wipe so cached conflict
+     ids on in-flight writesets stay valid. *)
+  t.db <- Storage.Database.of_snapshot ~intern:(Storage.Database.intern t.db) snapshot
 
 let recover t ~missed =
   List.iter
     (fun (version, ws) ->
       if version > v_local t then begin
-        if not (Hashtbl.mem t.slots version) then add_pending_keys t ws;
-        Hashtbl.replace t.slots version (Refresh { ws; trace = None })
+        if not (Itbl.mem t.slots version) then add_pending_keys t ws;
+        Itbl.replace t.slots version (Refresh { ws; trace = None })
       end)
     missed;
   t.crashed <- false;
   Sim.Condition.broadcast t.slot_arrived
 
-let active_local t = Hashtbl.length t.active
+let active_local t = Itbl.length t.active
 
 let pending_refresh t = List.length (pending_refresh_writesets t)
 

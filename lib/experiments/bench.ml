@@ -70,21 +70,23 @@ let run_mode ~config ~params ~clients ~warmup_ms ~measure_ms mode =
   in
   (point, Sim.Engine.executed engine)
 
-let run ?(quick = false) ?(seed = Core.Config.default.Core.Config.seed) () =
+let run ?(quick = false) ?(seed = Core.Config.default.Core.Config.seed) ?(jobs = 1) () =
   let warmup_ms, measure_ms = if quick then (200.0, 1_000.0) else (500.0, 3_000.0) in
   let replicas = 4 and clients = 40 in
   let config = { Core.Config.default with Core.Config.seed; replicas } in
   let params = bench_params in
   let wall0 = Unix.gettimeofday () in
-  let points, events =
-    List.fold_left
-      (fun (points, events) mode ->
-        let p, e =
-          run_mode ~config ~params ~clients ~warmup_ms ~measure_ms mode
-        in
-        (p :: points, events + e))
-      ([], 0) Core.Consistency.all
+  (* One self-contained simulation per mode; the deterministic ["bench"]
+     object is identical whatever [jobs] is (points keep the
+     [Consistency.all] order), only the ["wall"] numbers move. Committed
+     baselines are generated at [jobs = 1]. *)
+  let per_mode =
+    Runner.map_jobs ~jobs
+      (fun mode -> run_mode ~config ~params ~clients ~warmup_ms ~measure_ms mode)
+      Core.Consistency.all
   in
+  let points = List.map fst per_mode in
+  let events = List.fold_left (fun acc (_, e) -> acc + e) 0 per_mode in
   let wall_s = Unix.gettimeofday () -. wall0 in
   {
     schema_version;
@@ -94,7 +96,7 @@ let run ?(quick = false) ?(seed = Core.Config.default.Core.Config.seed) () =
     warmup_ms;
     measure_ms;
     quick;
-    points = List.rev points;
+    points;
     sim_events = events;
     wall_s;
     sim_events_per_sec =

@@ -41,13 +41,16 @@ type run = {
 
 val schema_version : int
 
-val run : ?quick:bool -> ?seed:int -> unit -> run
+val run : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> run
 (** Execute the sweep: four consistency modes, 4 replicas, 40 clients
     on a pinned microbenchmark mix (20 tables x 2,000 rows, 25% update
     transaction types), warmup 500 ms / measure 3000 ms of virtual time
     ([~quick:true]: 200 / 1000). The mix is part of the baseline's
     identity: changing it requires a {!schema_version} bump and a
-    regenerated baseline. *)
+    regenerated baseline. [jobs] (default 1) runs the four mode
+    simulations on that many domains; the deterministic ["bench"]
+    object is unaffected, but the ["wall"] numbers then measure the
+    parallel driver — committed baselines are generated at [jobs=1]. *)
 
 val to_json : run -> Obs.Json.t
 (** [{"schema_version", "bench": {...deterministic...}, "wall": {...}}];

@@ -71,9 +71,21 @@ let time_ns f =
 
 let default_stalenesses = [ 1; 10; 100; 1_000; 10_000 ]
 
-let run ?(versions = 10_000) ?(ws_rows = 4) ?(stalenesses = default_stalenesses) () =
-  let linear = build ~index:Core.Config.Linear ~versions ~ws_rows () in
-  let keyed = build ~index:Core.Config.Keyed ~versions ~ws_rows () in
+let run ?(versions = 10_000) ?(ws_rows = 4) ?(stalenesses = default_stalenesses)
+    ?(jobs = 1) () =
+  (* The two fixtures (a 10k-version commit history each) build on
+     separate domains under [jobs >= 2]; the timing loops below stay
+     serial — concurrent timing would contend for cores and corrupt the
+     per-call nanosecond numbers. *)
+  let linear, keyed =
+    match
+      Runner.map_jobs ~jobs
+        (fun index -> build ~index ~versions ~ws_rows ())
+        [ Core.Config.Linear; Core.Config.Keyed ]
+    with
+    | [ l; k ] -> (l, k)
+    | _ -> assert false
+  in
   let clean = probe ~versions ~ws_rows in
   (* Differential sanity before timing: both certifiers must agree on a
      conflicting and a non-conflicting probe at every staleness. *)

@@ -36,9 +36,15 @@ val speedup : point -> float
 val default_stalenesses : int list
 
 val run :
-  ?versions:int -> ?ws_rows:int -> ?stalenesses:int list -> unit -> point list
+  ?versions:int ->
+  ?ws_rows:int ->
+  ?stalenesses:int list ->
+  ?jobs:int ->
+  unit ->
+  point list
 (** Build both fixtures, cross-check that they agree on conflicting and
     clean probes at every staleness (differential guard), then time the
-    clean probe. *)
+    clean probe. [jobs >= 2] builds the two fixtures on separate
+    domains; the timing loops always run serially. *)
 
 val render : point list -> string

@@ -434,18 +434,23 @@ let write_health results ~file =
       output_char oc '\n')
 
 let soak_matrix ?config ?params ?clients ?tiers ?(modes = Core.Consistency.all)
-    ?(plans = [ Mixed ]) ~seeds ~duration_ms () =
-  List.concat_map
-    (fun plan ->
-      List.concat_map
-        (fun mode ->
-          List.map
-            (fun seed ->
-              let r =
-                soak ?config ?params ?clients ?tiers ~mode ~plan ~seed ~duration_ms ()
-              in
-              Log.info (fun m -> m "%a" pp_result r);
-              r)
-            seeds)
-        modes)
-    plans
+    ?(plans = [ Mixed ]) ?(jobs = 1) ~seeds ~duration_ms () =
+  (* The matrix order (plans, then modes, then seeds) is part of the
+     harness contract: results come back in it whatever [jobs] is, and
+     per-run lines are logged after collection so the output stream is
+     identical too. Each soak is one self-contained simulation, so runs
+     only share the work queue. *)
+  let combos =
+    List.concat_map
+      (fun plan ->
+        List.concat_map (fun mode -> List.map (fun seed -> (plan, mode, seed)) seeds) modes)
+      plans
+  in
+  let results =
+    Runner.map_jobs ~jobs
+      (fun (plan, mode, seed) ->
+        soak ?config ?params ?clients ?tiers ~mode ~plan ~seed ~duration_ms ())
+      combos
+  in
+  List.iter (fun r -> Log.info (fun m -> m "%a" pp_result r)) results;
+  results

@@ -118,12 +118,16 @@ val soak_matrix :
   ?tiers:bool ->
   ?modes:Core.Consistency.mode list ->
   ?plans:plan list ->
+  ?jobs:int ->
   seeds:int list ->
   duration_ms:float ->
   unit ->
   result list
 (** The full grid: every plan x mode x seed (defaults: the paper's four
-    modes under the [Mixed] plan). *)
+    modes under the [Mixed] plan). [jobs] (default 1) runs that many
+    soaks concurrently on separate domains ({!Runner.map_jobs}); every
+    run is an independent simulation, so results — order, digests, and
+    per-run log lines — are identical whatever [jobs] is. *)
 
 val pp_result : Format.formatter -> result -> unit
 

@@ -1,3 +1,36 @@
+(* [map_jobs ~jobs f items] = [List.map f items], computed by [jobs]
+   domains. Each simulation is single-threaded and self-contained (its
+   engine, RNG chain, and cluster state are all built inside [f]), so
+   runs parallelize without sharing anything but the work queue; results
+   land in their item's slot, preserving order. [jobs <= 1] takes the
+   exact serial path — same closure, same order — so the parallel driver
+   can never perturb a serial run's behavior. *)
+let map_jobs ?(jobs = 1) f items =
+  if jobs <= 1 then List.map f items
+  else begin
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <- Some (f arr.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = min (jobs - 1) (max 0 (n - 1)) in
+    let domains = List.init spawned (fun _ -> Domain.spawn worker) in
+    Fun.protect
+      ~finally:(fun () -> List.iter Domain.join domains)
+      (fun () -> worker ());
+    Array.to_list
+      (Array.map (function Some x -> x | None -> assert false) out)
+  end
+
 type summary = {
   mode : Core.Consistency.mode;
   replicas : int;

@@ -1,6 +1,14 @@
 (** Shared experiment driver: build a cluster, attach closed-loop
     clients, run warm-up + measurement, and summarize. *)
 
+val map_jobs : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_jobs ~jobs f items] is [List.map f items] computed by [jobs]
+    domains pulling items off a shared queue; results keep their item's
+    position. Each call to [f] must be self-contained (simulations are:
+    engine, RNG, and cluster all live inside the run) — [f] runs off the
+    main domain when [jobs > 1]. [jobs <= 1] (the default) is exactly
+    [List.map f items] on the calling domain. *)
+
 type summary = {
   mode : Core.Consistency.mode;
   replicas : int;

@@ -99,7 +99,7 @@ let run_point ~config ~params ~clients ~warmup_ms ~measure_ms ~bound =
 let default_bounds = [ 0; 1; 2; 4; 8; 16; 32 ]
 
 let run ?config ?(params = default_params) ?(clients = 24) ?(bounds = default_bounds)
-    ?(seed = 42) ?(warmup_ms = 1_000.0) ?(measure_ms = 4_000.0) () =
+    ?(seed = 42) ?(warmup_ms = 1_000.0) ?(measure_ms = 4_000.0) ?(jobs = 1) () =
   let config =
     match config with
     | Some c -> { c with Core.Config.seed; read_tiers = true; record_log = true }
@@ -122,14 +122,21 @@ let run ?config ?(params = default_params) ?(clients = 24) ?(bounds = default_bo
         ws_apply_row_ms = 0.04;
       }
   in
-  List.map
-    (fun bound ->
-      let p = run_point ~config ~params ~clients ~warmup_ms ~measure_ms ~bound in
+  (* Each frontier point is an independent cluster run; log after
+     collection so the output order matches the bounds list whatever
+     [jobs] is. *)
+  let points =
+    Runner.map_jobs ~jobs
+      (fun bound -> run_point ~config ~params ~clients ~warmup_ms ~measure_ms ~bound)
+      bounds
+  in
+  List.iter
+    (fun p ->
       Log.info (fun m ->
           m "k=%-3d tps=%.0f ordered=%b violations=%d" p.bound p.tps p.ordered
-            (List.fold_left (fun acc (_, n) -> acc + n) 0 p.violations));
-      p)
-    bounds
+            (List.fold_left (fun acc (_, n) -> acc + n) 0 p.violations)))
+    points;
+  points
 
 let total_violations p = List.fold_left (fun acc (_, n) -> acc + n) 0 p.violations
 

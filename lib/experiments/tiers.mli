@@ -38,12 +38,16 @@ val run :
   ?seed:int ->
   ?warmup_ms:float ->
   ?measure_ms:float ->
+  ?jobs:int ->
   unit ->
   point list
 (** [read_tiers] and [record_log] are forced on in whatever config is
     supplied. Defaults: 4 replicas, 24 clients, 8 tables with 4 update
     types (a keep-up regime with frequent per-session writes, so causal
-    floors stay current and the tier ordering is observable). *)
+    floors stay current and the tier ordering is observable). [jobs]
+    (default 1) runs the frontier points on that many domains; each
+    point is an independent simulation, so the result list is identical
+    whatever [jobs] is. *)
 
 val total_violations : point -> int
 

@@ -20,14 +20,18 @@ let pending t = Util.Pqueue.length t.events
 
 let executed t = t.executed
 
+(* The two run loops below are the simulator's innermost cycle: use the
+   allocation-free queue accessors (min_prio/pop_exn), not peek/pop. *)
+
 let step t =
-  match Util.Pqueue.pop t.events with
-  | None -> false
-  | Some (time, f) ->
-    t.clock <- time;
+  if Util.Pqueue.is_empty t.events then false
+  else begin
+    t.clock <- Util.Pqueue.min_prio t.events;
     t.executed <- t.executed + 1;
+    let f = Util.Pqueue.pop_exn t.events in
     f ();
     true
+  end
 
 let run ?until t =
   match until with
@@ -36,10 +40,13 @@ let run ?until t =
     loop ()
   | Some horizon ->
     let rec loop () =
-      match Util.Pqueue.peek t.events with
-      | Some (time, _) when time <= horizon ->
+      if
+        (not (Util.Pqueue.is_empty t.events))
+        && Util.Pqueue.min_prio t.events <= horizon
+      then begin
         ignore (step t);
         loop ()
-      | Some _ | None -> t.clock <- horizon
+      end
+      else t.clock <- horizon
     in
     loop ()

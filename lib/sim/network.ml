@@ -10,8 +10,10 @@ type t = {
   mutable bytes : int;
   mutable retransmits : int;
   (* per-(src, dst) wire-copy counters; untagged endpoints appear as
-     [unspecified] *)
-  links : (int * int, int ref * int ref) Hashtbl.t;
+     [unspecified]. Keyed by a packed endpoint pair ([link_key]) so the
+     per-message lookup hashes one int instead of allocating and
+     polymorphically hashing a tuple. *)
+  links : (int ref * int ref) Util.Tables.Itbl.t;
 }
 
 let create ?(rto_ms = 5.0) engine ~rng ~base_ms ~jitter_ms ~bandwidth_mbps =
@@ -26,7 +28,7 @@ let create ?(rto_ms = 5.0) engine ~rng ~base_ms ~jitter_ms ~bandwidth_mbps =
     messages = 0;
     bytes = 0;
     retransmits = 0;
-    links = Hashtbl.create 64;
+    links = Util.Tables.Itbl.create 64;
   }
 
 let set_faults t faults = t.faults <- Some faults
@@ -44,25 +46,40 @@ let latency t ~size_bytes =
 
 let unspecified = min_int
 
+(* Endpoint ids are small (|id| < 2^30): replica indices from 0 and a
+   handful of negative infrastructure nodes (certifier, standbys, LB,
+   client). Taking the low 31 bits maps non-negatives to [0, 2^30) and
+   negatives to (2^30, 2^31) injectively; [unspecified] gets the gap
+   value 2^30 between the two ranges. Pack the pair into one int. *)
+let[@inline] norm_endpoint i =
+  if i = unspecified then 0x4000_0000 else i land 0x7fff_ffff
+
+let[@inline] link_key ~src ~dst = (norm_endpoint src lsl 31) lor norm_endpoint dst
+
 let record ?(src = unspecified) ?(dst = unspecified) t size_bytes =
   t.messages <- t.messages + 1;
   t.bytes <- t.bytes + size_bytes;
+  let key = link_key ~src ~dst in
   let msgs, bytes =
-    match Hashtbl.find_opt t.links (src, dst) with
+    match Util.Tables.Itbl.find_opt t.links key with
     | Some cell -> cell
     | None ->
       let cell = (ref 0, ref 0) in
-      Hashtbl.add t.links (src, dst) cell;
+      Util.Tables.Itbl.add t.links key cell;
       cell
   in
   incr msgs;
   bytes := !bytes + size_bytes
 
 let link_messages t ~src ~dst =
-  match Hashtbl.find_opt t.links (src, dst) with Some (m, _) -> !m | None -> 0
+  match Util.Tables.Itbl.find_opt t.links (link_key ~src ~dst) with
+  | Some (m, _) -> !m
+  | None -> 0
 
 let link_bytes t ~src ~dst =
-  match Hashtbl.find_opt t.links (src, dst) with Some (_, b) -> !b | None -> 0
+  match Util.Tables.Itbl.find_opt t.links (link_key ~src ~dst) with
+  | Some (_, b) -> !b
+  | None -> 0
 
 let judge t ~src ~dst =
   match t.faults with None -> Faults.Deliver | Some f -> Faults.judge f ~src ~dst

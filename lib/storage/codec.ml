@@ -125,7 +125,7 @@ let encode_writeset buf ws =
       | Writeset.Delete -> Buffer.add_char buf '\000')
     entries
 
-let decode_writeset r =
+let decode_writeset ?intern r =
   let n = decode_int r in
   if n < 0 then corrupt "negative writeset size %d" n;
   let entries =
@@ -140,12 +140,33 @@ let decode_writeset r =
         in
         { Writeset.ws_table; ws_key; ws_op })
   in
-  Writeset.of_entries entries
+  Writeset.of_entries ?intern entries
+
+(* Exact wire sizes, computed without encoding. [writeset_bytes] sits on
+   every message-sizing path (one call per refresh copy, per standby
+   push, per submitted update); materializing a Buffer just to read its
+   length allocated the whole encoding per message. These mirror the
+   encoders above — keep them in lockstep. *)
+
+let value_wire_size = function
+  | Value.Null | Value.Bool _ -> 1
+  | Value.Int _ | Value.Float _ -> 9
+  | Value.Text s -> 9 + String.length s
+
+let row_wire_size row =
+  Array.fold_left (fun acc v -> acc + value_wire_size v) 8 row
 
 let writeset_bytes ws =
-  let buf = Buffer.create 256 in
-  encode_writeset buf ws;
-  Buffer.length buf
+  List.fold_left
+    (fun acc e ->
+      let op_size =
+        match e.Writeset.ws_op with
+        | Writeset.Put row -> 1 + row_wire_size row
+        | Writeset.Delete -> 1
+      in
+      acc + 8 + String.length e.Writeset.ws_table + row_wire_size e.Writeset.ws_key
+      + op_size)
+    8 (Writeset.entries ws)
 
 let encode_schema buf (schema : Schema.t) =
   encode_string buf schema.Schema.table_name;
@@ -202,3 +223,102 @@ let decode_schema r =
   if nidx < 0 || nidx > ncols then corrupt "implausible index count %d" nidx;
   let indexes = List.init nidx (fun _ -> nth (decode_int r)) in
   Schema.make ~name ~columns ~nullable:!nullable ~indexes ~key ()
+
+(* --- Flat Bytes encodings ------------------------------------------- *)
+
+module Flat = struct
+  (* An append-only [Bytes] writer and a bounds-checked cursor over it.
+
+     The Buffer-based codec above allocates per encode (the Buffer, its
+     internal growth, and the final [contents] copy); high-volume sinks
+     — the runlog, long-lived accounting streams — instead append into
+     one growing [Bytes] and decode in place, so a soak's worth of
+     records costs one flat buffer instead of a heap of boxed values. *)
+
+  type writer = {
+    mutable bytes : Bytes.t;
+    mutable len : int;
+  }
+
+  let writer ?(capacity = 4096) () = { bytes = Bytes.create (max 16 capacity); len = 0 }
+
+  let length w = w.len
+
+  let clear w = w.len <- 0
+
+  let ensure w n =
+    let cap = Bytes.length w.bytes in
+    if w.len + n > cap then begin
+      let cap' = max (w.len + n) (2 * cap) in
+      let grown = Bytes.create cap' in
+      Bytes.blit w.bytes 0 grown 0 w.len;
+      w.bytes <- grown
+    end
+
+  let u8 w x =
+    ensure w 1;
+    Bytes.unsafe_set w.bytes w.len (Char.unsafe_chr (x land 0xff));
+    w.len <- w.len + 1
+
+  let i64 w x =
+    ensure w 8;
+    Bytes.set_int64_le w.bytes w.len x;
+    w.len <- w.len + 8
+
+  let int w x = i64 w (Int64.of_int x)
+
+  let float w x = i64 w (Int64.bits_of_float x)
+
+  let str w s =
+    let n = String.length s in
+    int w n;
+    ensure w n;
+    Bytes.blit_string s 0 w.bytes w.len n;
+    w.len <- w.len + n
+
+  let contents w = Bytes.sub_string w.bytes 0 w.len
+
+  type cursor = {
+    data : Bytes.t;
+    limit : int;
+    mutable pos : int;
+  }
+
+  let cursor ?limit w =
+    let limit = match limit with Some l -> l | None -> w.len in
+    if limit > Bytes.length w.bytes then corrupt "flat cursor limit beyond buffer";
+    { data = w.bytes; limit; pos = 0 }
+
+  let cursor_of_string s =
+    { data = Bytes.unsafe_of_string s; limit = String.length s; pos = 0 }
+
+  let at_end c = c.pos >= c.limit
+
+  let check c n =
+    if c.pos + n > c.limit then
+      corrupt "flat decode: need %d bytes at offset %d of %d" n c.pos c.limit
+
+  let read_u8 c =
+    check c 1;
+    let b = Char.code (Bytes.unsafe_get c.data c.pos) in
+    c.pos <- c.pos + 1;
+    b
+
+  let read_i64 c =
+    check c 8;
+    let x = Bytes.get_int64_le c.data c.pos in
+    c.pos <- c.pos + 8;
+    x
+
+  let read_int c = Int64.to_int (read_i64 c)
+
+  let read_float c = Int64.float_of_bits (read_i64 c)
+
+  let read_str c =
+    let n = read_int c in
+    if n < 0 then corrupt "flat decode: negative string length %d" n;
+    check c n;
+    let s = Bytes.sub_string c.data c.pos n in
+    c.pos <- c.pos + n;
+    s
+end

@@ -35,10 +35,57 @@ val encode_string : Buffer.t -> string -> unit
 val decode_string : reader -> string
 
 val encode_writeset : Buffer.t -> Writeset.t -> unit
-val decode_writeset : reader -> Writeset.t
+
+val decode_writeset : ?intern:Intern.t -> reader -> Writeset.t
+(** [?intern] is forwarded to {!Writeset.of_entries}: state transfer
+    passes the recovering group's table so decoded writesets carry
+    cached conflict ids. *)
 
 val writeset_bytes : Writeset.t -> int
-(** Exact encoded size of a writeset. *)
+(** Exact encoded size of a writeset, computed directly — no
+    intermediate encoding is materialized. Equal to the length
+    {!encode_writeset} would produce. *)
+
+val value_wire_size : Value.t -> int
+val row_wire_size : Value.t array -> int
 
 val encode_schema : Buffer.t -> Schema.t -> unit
 val decode_schema : reader -> Schema.t
+
+(** Flat [Bytes]-based encoding for high-volume sinks: an append-only
+    growing buffer plus a bounds-checked in-place cursor. Unlike the
+    [Buffer]-based codec above, appending allocates nothing beyond the
+    occasional doubling, and decoding walks the buffer without an
+    intermediate copy. The runlog sink ({!Check.Runlog}) stores every
+    committed transaction's record this way during chaos soaks. *)
+module Flat : sig
+  type writer
+
+  val writer : ?capacity:int -> unit -> writer
+  val length : writer -> int
+  val clear : writer -> unit
+
+  val u8 : writer -> int -> unit
+  val int : writer -> int -> unit
+  val i64 : writer -> int64 -> unit
+  val float : writer -> float -> unit
+  val str : writer -> string -> unit
+
+  val contents : writer -> string
+  (** Copy out the written prefix. *)
+
+  type cursor
+
+  val cursor : ?limit:int -> writer -> cursor
+  (** Read back what was written, in place (no copy). The writer must
+      not be appended to while the cursor is live. *)
+
+  val cursor_of_string : string -> cursor
+
+  val at_end : cursor -> bool
+  val read_u8 : cursor -> int
+  val read_int : cursor -> int
+  val read_i64 : cursor -> int64
+  val read_float : cursor -> float
+  val read_str : cursor -> string
+end

@@ -2,9 +2,20 @@ type t = {
   tables : (string, Table.t) Hashtbl.t;
   mutable order : string list;  (* creation order, reversed *)
   mutable version : int;
+  intern : Intern.t;
+      (* the conflict-key intern table writesets extracted from this
+         database resolve against; shared across a replication group *)
 }
 
-let create () = { tables = Hashtbl.create 16; order = []; version = 0 }
+let create ?intern () =
+  {
+    tables = Hashtbl.create 16;
+    order = [];
+    version = 0;
+    intern = (match intern with Some it -> it | None -> Intern.create ());
+  }
+
+let intern t = t.intern
 
 let create_table t schema =
   let name = schema.Schema.table_name in
@@ -124,12 +135,12 @@ let snapshot t =
     names;
   Buffer.contents buf
 
-let of_snapshot data =
+let of_snapshot ?intern data =
   let r = Codec.reader data in
   Codec.expect_raw r snapshot_magic;
   let version = Codec.decode_int r in
   if version < 0 then raise (Codec.Corrupt "negative database version");
-  let t = create () in
+  let t = create ?intern () in
   let ntables = Codec.decode_int r in
   if ntables < 0 then raise (Codec.Corrupt "negative table count");
   for _ = 1 to ntables do

@@ -8,7 +8,14 @@
 
 type t
 
-val create : unit -> t
+val create : ?intern:Intern.t -> unit -> t
+(** [?intern] shares a conflict-key intern table across a replication
+    group (the cluster passes one table to every replica database and
+    the certifier); by default each database gets its own. *)
+
+val intern : t -> Intern.t
+(** The intern table writesets extracted from this database ({!Txn.writeset})
+    resolve their conflict ids against. *)
 
 val create_table : t -> Schema.t -> Table.t
 (** Raises [Invalid_argument] if a table with that name exists. *)
@@ -70,10 +77,12 @@ val snapshot : t -> string
     the commit version — into a self-contained binary checkpoint
     ({!Codec} format). *)
 
-val of_snapshot : string -> t
+val of_snapshot : ?intern:Intern.t -> string -> t
 (** Rebuild a database from {!snapshot} output. Raises {!Codec.Corrupt}
     on malformed input. The result is value-equal to the original:
-    same schemas, same visible rows at every version retained. *)
+    same schemas, same visible rows at every version retained.
+    [?intern] as in {!create} — state transfer passes the recovering
+    replica's existing table so ids stay group-wide. *)
 
 val fingerprint : t -> at:int -> int
 (** Order-independent hash of the visible contents of every table at

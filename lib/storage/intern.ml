@@ -1,0 +1,49 @@
+(* Dense integer ids for (table, primary-key) conflict identities.
+
+   The certifier's keyed index, the replicas' pending-conflict-key
+   multisets and the refresh-apply lane partitioner all key hash tables
+   by "which record does this write touch". Before interning, each of
+   those tables was keyed by a boxed (string, Value.t array) pair:
+   every probe allocated a tuple and ran the polymorphic hash over the
+   table name and every key column. Interning resolves each pair to a
+   dense int exactly once — at writeset-build time — and the hot paths
+   probe int-keyed tables (Util.Tables.Itbl) instead.
+
+   One intern table serves one replication group: the cluster creates
+   a single table and shares it across the certifier and every replica
+   database, so ids are comparable wherever a writeset travels.
+   Writesets remember their origin table (Writeset.origin) and their
+   cached ids are only trusted against that same table — foreign
+   writesets re-resolve through the local table (Writeset.cids). *)
+
+type t = {
+  tables : (string, (Value.t array, int) Hashtbl.t) Hashtbl.t;
+      (* two levels so resolving never allocates a tuple key *)
+  mutable next : int;
+}
+
+let create ?(size = 64) () = { tables = Hashtbl.create size; next = 0 }
+
+let id t ~table ~key =
+  let keys =
+    match Hashtbl.find_opt t.tables table with
+    | Some keys -> keys
+    | None ->
+      let keys = Hashtbl.create 256 in
+      Hashtbl.add t.tables table keys;
+      keys
+  in
+  match Hashtbl.find_opt keys key with
+  | Some id -> id
+  | None ->
+    let id = t.next in
+    t.next <- id + 1;
+    Hashtbl.add keys key id;
+    id
+
+let find t ~table ~key =
+  match Hashtbl.find_opt t.tables table with
+  | None -> None
+  | Some keys -> Hashtbl.find_opt keys key
+
+let size t = t.next

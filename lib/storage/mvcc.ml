@@ -16,22 +16,54 @@ module Key_order = struct
     go 0
 end
 
-module Key_map = Map.Make (Key_order)
+(* Chains live in a hashtable specialized to keys: [Value.hash] reads
+   each constructor directly where the polymorphic hash would traverse
+   the boxed representation on every probe, and equality via
+   [Key_order.compare] keeps the same int/float coercions the ordered
+   directory uses. *)
+module Key_tbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal a b = Key_order.compare a b = 0
+
+  let hash (k : key) =
+    let h = ref (Array.length k) in
+    for i = 0 to Array.length k - 1 do
+      (* Ints hash as themselves: primary keys are typically dense, so
+         the identity is uniform under the table's power-of-two masking
+         and skips a generic-hash call per element per probe. *)
+      let hv =
+        match Array.unsafe_get k i with
+        | Value.Int x -> x
+        | Value.Text s -> Hashtbl.hash s
+        | v -> Value.hash v
+      in
+      h := (!h * 31) + hv
+    done;
+    !h land max_int
+end)
 
 type version = { version : int; row : Value.t array option }
 
+(* The key directory for ordered scans is a sorted array rebuilt lazily:
+   installing a brand-new key only invalidates it, and the next ordered
+   access pays one collect-and-sort over the whole table. Point
+   reads/updates (the hot path) never touch it; workloads that
+   interleave fresh-key inserts with range scans re-sort per scan, which
+   is the deliberate trade — bulk load of n keys went from n log n map
+   rebalancing allocations to zero. *)
 type t = {
-  chains : (key, version list ref) Hashtbl.t;
-  mutable ordered : unit Key_map.t;  (* key directory for ordered scans *)
+  chains : version list ref Key_tbl.t;
+  mutable dir : key array option;  (* sorted ascending; [None] = stale *)
 }
 
-let create () = { chains = Hashtbl.create 256; ordered = Key_map.empty }
+let create () = { chains = Key_tbl.create 256; dir = None }
 
 let install t key ~version row =
-  match Hashtbl.find_opt t.chains key with
+  match Key_tbl.find_opt t.chains key with
   | None ->
-    Hashtbl.add t.chains key (ref [ { version; row } ]);
-    t.ordered <- Key_map.add key () t.ordered
+    Key_tbl.add t.chains key (ref [ { version; row } ]);
+    t.dir <- None
   | Some chain -> begin
     match !chain with
     | { version = newest; _ } :: _ when newest >= version ->
@@ -41,7 +73,7 @@ let install t key ~version row =
   end
 
 let read t key ~at =
-  match Hashtbl.find_opt t.chains key with
+  match Key_tbl.find_opt t.chains key with
   | None -> None
   | Some chain ->
     let rec visible = function
@@ -51,52 +83,78 @@ let read t key ~at =
     visible !chain
 
 let latest_version t key =
-  match Hashtbl.find_opt t.chains key with
+  match Key_tbl.find_opt t.chains key with
   | None -> None
   | Some chain -> ( match !chain with [] -> None | { version; _ } :: _ -> Some version)
 
-let key_count t = Hashtbl.length t.chains
+let key_count t = Key_tbl.length t.chains
 
 let version_count t =
-  Hashtbl.fold (fun _ chain acc -> acc + List.length !chain) t.chains 0
+  Key_tbl.fold (fun _ chain acc -> acc + List.length !chain) t.chains 0
 
-let iter_keys_ordered t f = Key_map.iter (fun key () -> f key) t.ordered
+(* Rebuild (or reuse) the sorted key directory. *)
+let dir t =
+  match t.dir with
+  | Some d -> d
+  | None ->
+    let d = Array.make (Key_tbl.length t.chains) [||] in
+    let i = ref 0 in
+    Key_tbl.iter
+      (fun key _ ->
+        d.(!i) <- key;
+        incr i)
+      t.chains;
+    Array.sort Key_order.compare d;
+    t.dir <- Some d;
+    d
 
-exception Range_done
+let iter_keys_ordered t f = Array.iter f (dir t)
 
 let iter_keys_range t ?lo ?hi f =
-  let seq =
+  let d = dir t in
+  let n = Array.length d in
+  (* First index holding a key >= lo. *)
+  let start =
     match lo with
-    | Some lo -> Key_map.to_seq_from lo t.ordered
-    | None -> Key_map.to_seq t.ordered
+    | None -> 0
+    | Some lo ->
+      let rec bs l r =
+        if l >= r then l
+        else
+          let m = (l + r) / 2 in
+          if Key_order.compare d.(m) lo < 0 then bs (m + 1) r else bs l m
+      in
+      bs 0 n
   in
-  try
-    Seq.iter
-      (fun (key, ()) ->
-        (match hi with
-        | Some hi when Key_order.compare key hi > 0 -> raise Range_done
-        | Some _ | None -> ());
-        f key)
-      seq
-  with Range_done -> ()
+  let rec go i =
+    if i < n then begin
+      let key = d.(i) in
+      match hi with
+      | Some hi when Key_order.compare key hi > 0 -> ()
+      | Some _ | None ->
+        f key;
+        go (i + 1)
+    end
+  in
+  go start
 
 let fold_visible t ~at ~init ~f =
-  Key_map.fold
-    (fun key () acc ->
+  Array.fold_left
+    (fun acc key ->
       match read t key ~at with None -> acc | Some row -> f acc key row)
-    t.ordered init
+    init (dir t)
 
 let fold_chains t ~init ~f =
-  Key_map.fold
-    (fun key () acc ->
-      match Hashtbl.find_opt t.chains key with
+  Array.fold_left
+    (fun acc key ->
+      match Key_tbl.find_opt t.chains key with
       | None -> acc
       | Some chain -> f acc key (List.map (fun { version; row } -> (version, row)) !chain))
-    t.ordered init
+    init (dir t)
 
 let gc t ~keep_after =
   let removed = ref 0 in
-  Hashtbl.iter
+  Key_tbl.iter
     (fun _ chain ->
       (* Keep every version newer than the horizon, plus the newest one at
          or below it (still visible to snapshots above the horizon). *)
@@ -112,3 +170,4 @@ let gc t ~keep_after =
       chain := trim [] !chain)
     t.chains;
   !removed
+

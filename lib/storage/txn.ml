@@ -6,11 +6,25 @@ type cost = {
 
 type buffered = Bput of Value.t array | Bdelete
 
+(* One buffered record write. The table/key pair is kept for writeset
+   extraction; lookups go through the group intern table's dense ids, so
+   probing the buffer never allocates a tuple key or polymorphically
+   hashes a value array. *)
+type wcell = {
+  w_table : string;
+  w_key : Mvcc.key;
+  mutable w_op : buffered;
+}
+
 type t = {
   db : Database.t;
   snapshot : int;
-  writes : (string * Mvcc.key, buffered) Hashtbl.t;
-  mutable write_order : (string * Mvcc.key) list;  (* reversed *)
+  writes : wcell Util.Tables.Itbl.t;  (* conflict id -> cell *)
+  mutable write_order : wcell list;  (* reversed first-write order *)
+  mutable ws_cache : Writeset.t option;
+      (* memoized [writeset]: early certification probes an active
+         transaction's partial writeset once per incoming refresh, and
+         commit reuses the final build; any new write invalidates it *)
   mutable scanned : int;
   mutable read : int;
   mutable written : int;
@@ -24,8 +38,9 @@ let begin_at db ~snapshot =
   {
     db;
     snapshot;
-    writes = Hashtbl.create 8;
+    writes = Util.Tables.Itbl.create 8;
     write_order = [];
+    ws_cache = None;
     scanned = 0;
     read = 0;
     written = 0;
@@ -47,16 +62,32 @@ let reset_cost t =
   c
 
 let buffer t table key op =
-  if not (Hashtbl.mem t.writes (table, key)) then
-    t.write_order <- (table, key) :: t.write_order;
-  Hashtbl.replace t.writes (table, key) op;
+  let kid = Intern.id (Database.intern t.db) ~table ~key in
+  (match Util.Tables.Itbl.find_opt t.writes kid with
+  | Some cell -> cell.w_op <- op
+  | None ->
+    let cell = { w_table = table; w_key = key; w_op = op } in
+    Util.Tables.Itbl.add t.writes kid cell;
+    t.write_order <- cell :: t.write_order);
+  t.ws_cache <- None;
   t.written <- t.written + 1
+
+(* The write buffer's view of one record, if any. Read-only-so-far
+   transactions (the common case) skip the probe entirely; otherwise a
+   key the group has never interned cannot have been written here. *)
+let local_find t ~table ~key =
+  match t.write_order with
+  | [] -> None
+  | _ -> (
+    match Intern.find (Database.intern t.db) ~table ~key with
+    | None -> None
+    | Some kid -> Util.Tables.Itbl.find_opt t.writes kid)
 
 (* Point read overlaying the write buffer on the snapshot. *)
 let get_raw t ~table ~key =
-  match Hashtbl.find_opt t.writes (table, key) with
-  | Some (Bput row) -> Some row
-  | Some Bdelete -> None
+  match local_find t ~table ~key with
+  | Some { w_op = Bput row; _ } -> Some row
+  | Some { w_op = Bdelete; _ } -> None
   | None -> Table.read (Database.table t.db table) ~key ~at:t.snapshot
 
 let get t ~table ~key =
@@ -90,15 +121,15 @@ let key_eq table expr =
     | _ -> None
 
 let matching_local_writes t table_name pred =
-  Hashtbl.fold
-    (fun (tbl, key) op acc ->
-      if String.equal tbl table_name then
-        match op with
-        | Bput row when pred row -> (key, Some row) :: acc
-        | Bput _ -> (key, None) :: acc  (* overrides base row that may match *)
-        | Bdelete -> (key, None) :: acc
+  List.fold_left
+    (fun acc cell ->
+      if String.equal cell.w_table table_name then
+        match cell.w_op with
+        | Bput row when pred row -> (cell.w_key, Some row) :: acc
+        | Bput _ -> (cell.w_key, None) :: acc  (* overrides base row that may match *)
+        | Bdelete -> (cell.w_key, None) :: acc
       else acc)
-    t.writes []
+    [] t.write_order
 
 let select t ~table:table_name ?where ?limit () =
   let table = Database.table t.db table_name in
@@ -257,27 +288,33 @@ let delete_key t ~table:table_name ~key =
     true
 
 let writeset t =
-  let entries =
-    List.rev_map
-      (fun (ws_table, ws_key) ->
-        match Hashtbl.find t.writes (ws_table, ws_key) with
-        | Bput row -> { Writeset.ws_table; ws_key; ws_op = Writeset.Put row }
-        | Bdelete -> { Writeset.ws_table; ws_key; ws_op = Writeset.Delete })
-      t.write_order
-  in
-  Writeset.of_entries entries
+  match t.ws_cache with
+  | Some ws -> ws
+  | None ->
+    let entries =
+      List.rev_map
+        (fun cell ->
+          let ws_op =
+            match cell.w_op with
+            | Bput row -> Writeset.Put row
+            | Bdelete -> Writeset.Delete
+          in
+          { Writeset.ws_table = cell.w_table; ws_key = cell.w_key; ws_op })
+        t.write_order
+    in
+    let ws = Writeset.of_entries ~intern:(Database.intern t.db) entries in
+    t.ws_cache <- Some ws;
+    ws
 
 let is_read_only t = t.write_order = []
 
 let validate t =
-  Hashtbl.fold
-    (fun (table_name, key) _ ok ->
-      ok
-      &&
-      match Table.latest_version (Database.table t.db table_name) ~key with
+  List.for_all
+    (fun cell ->
+      match Table.latest_version (Database.table t.db cell.w_table) ~key:cell.w_key with
       | None -> true
       | Some v -> v <= t.snapshot)
-    t.writes true
+    t.write_order
 
 let commit_standalone t =
   if is_read_only t then Ok t.snapshot

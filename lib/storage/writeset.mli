@@ -19,8 +19,13 @@ type t
 
 val empty : t
 
-val of_entries : entry list -> t
-(** Later entries for the same (table, key) supersede earlier ones. *)
+val of_entries : ?intern:Intern.t -> entry list -> t
+(** Later entries for the same (table, key) supersede earlier ones.
+    With [?intern], each distinct (table, key) is resolved to its dense
+    conflict id at build time and cached in the writeset ({!cids}); the
+    writeset remembers the table as its {!origin}. Cluster code always
+    passes the group's shared table so every conflict probe downstream
+    runs over ints. *)
 
 val is_empty : t -> bool
 
@@ -34,6 +39,19 @@ val cardinal : t -> int
 
 val tables : t -> string list
 (** Distinct tables written, in first-write order. *)
+
+val origin : t -> Intern.t option
+(** The intern table the cached ids were resolved against, if any. *)
+
+val interned : t -> intern:Intern.t -> bool
+(** Whether {!cids} against [intern] is the zero-cost cached path. *)
+
+val cids : t -> intern:Intern.t -> int array
+(** The conflict ids of {!keys}, in insertion order, resolved against
+    [intern]. When the writeset was built with that same table
+    (physically equal — the cluster hot path) this returns the cached
+    array without allocating; otherwise each key is re-resolved through
+    [intern], assigning fresh ids as needed. *)
 
 val mem : t -> table:string -> key:Value.t array -> bool
 

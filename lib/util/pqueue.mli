@@ -22,6 +22,16 @@ val pop : 'a t -> (float * 'a) option
     if the queue is empty. Among equal priorities the element inserted
     first is returned first. *)
 
+val min_prio : 'a t -> float
+(** Priority of the minimum element. Undefined on an empty queue (may
+    raise or return garbage) — guard with {!is_empty}. Allocation-free,
+    unlike {!peek}. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove and return the minimum-priority payload. Raises
+    [Invalid_argument] on an empty queue. Allocation-free, unlike
+    {!pop}; read {!min_prio} first when the priority is needed. *)
+
 val peek : 'a t -> (float * 'a) option
 (** [peek q] is the minimum-priority element without removing it. *)
 

@@ -43,18 +43,28 @@ let exponential t ~mean =
 
 (* Zipf via the Gray et al. quick method used by YCSB: precomputation-free
    closed form based on zeta approximations would need table state, so we
-   keep a small memo keyed by (n, theta). *)
+   keep a small memo keyed by (n, theta). The memo is the one piece of
+   module-level mutable state in the whole library — the multicore run
+   driver (Experiments.Runner.map_jobs) executes independent simulations
+   on parallel domains, so it is guarded by a mutex. The computed values
+   are deterministic, so racing domains would only have duplicated work,
+   but unsynchronized Hashtbl mutation can corrupt the table itself. *)
 let zeta_memo : (int * float, float) Hashtbl.t = Hashtbl.create 8
+let zeta_lock = Mutex.create ()
 
 let zeta n theta =
+  Mutex.lock zeta_lock;
   match Hashtbl.find_opt zeta_memo (n, theta) with
-  | Some z -> z
+  | Some z ->
+    Mutex.unlock zeta_lock;
+    z
   | None ->
     let z = ref 0.0 in
     for i = 1 to n do
       z := !z +. (1.0 /. Float.pow (float_of_int i) theta)
     done;
     Hashtbl.add zeta_memo (n, theta) !z;
+    Mutex.unlock zeta_lock;
     !z
 
 let zipf t ~n ~theta =

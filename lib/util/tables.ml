@@ -1,0 +1,29 @@
+(* Monomorphic hash tables for the hot paths.
+
+   [Hashtbl.Make] over explicit key modules so hashing is monomorphic
+   and equality is structural-by-construction — the generic [Hashtbl]
+   falls back to polymorphic hashing, which both allocates (boxed key
+   tuples) and hashes whatever the key happens to contain. The intern
+   layer (Storage.Intern) reduces hot-path keys to dense ints; these are
+   the tables those ints live in. *)
+
+module Int_key = struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end
+
+module Str_key = struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end
+
+(** Int-keyed hash table: interned conflict-key ids, replica ids,
+    session ids. *)
+module Itbl = Hashtbl.Make (Int_key)
+
+(** String-keyed hash table: table names. *)
+module Stbl = Hashtbl.Make (Str_key)

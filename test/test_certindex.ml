@@ -130,19 +130,29 @@ let pp_op = function
   | Failover -> "Failover"
 
 (* Drive one certifier through the op stream and record every decision
-   (with its assigned version) plus the post-run log/index state. *)
-let run_ops ~index ops =
+   (with its assigned version) plus the post-run log/index state.
+   [~interned:true] builds each writeset against the certifier group's
+   intern table, exercising the cached dense-id fast path; [false]
+   submits bare (foreign) writesets that the certifier must re-resolve
+   per probe. The two must be indistinguishable in every decision. *)
+let run_ops ?(interned = false) ~index ops =
   let config =
     { small_config with Core.Config.cert_index = index; certifier_standbys = 1 }
   in
   let out = ref [] in
   with_certifier ~config (fun c ->
+      let ws_for key =
+        if interned then
+          Storage.Writeset.of_entries ~intern:(Core.Certifier.intern c)
+            (Storage.Writeset.entries (ws_on "t" key))
+        else ws_on "t" key
+      in
       List.iter
         (fun op ->
           match op with
           | Certify (origin, key, staleness) ->
             let snapshot = max 0 (Core.Certifier.version c - staleness) in
-            (match Core.Certifier.certify c ~origin ~snapshot ~ws:(ws_on "t" key) with
+            (match Core.Certifier.certify c ~origin ~snapshot ~ws:(ws_for key) with
             | Core.Certifier.Commit { version; _ } ->
               out := Printf.sprintf "C%d" version :: !out
             | Core.Certifier.Abort -> out := "A" :: !out)
@@ -184,6 +194,19 @@ let prop_linear_equals_keyed =
   QCheck.Test.make ~count:60 ~name:"Linear and Keyed decide identically" ops_arb
     (fun ops ->
       run_ops ~index:Core.Config.Linear ops = run_ops ~index:Core.Config.Keyed ops)
+
+(* The raw-speed pass differential: the interned dense-id index must be
+   a pure representation change. All four arms — {Linear, Keyed} ×
+   {interned, foreign} writesets — produce the identical decision/version
+   stream across random workloads, truncation, and failover mid-stream. *)
+let prop_interned_is_representation_only =
+  QCheck.Test.make ~count:60
+    ~name:"interned ids change no decision (vs Linear oracle and foreign keyed)" ops_arb
+    (fun ops ->
+      let oracle = run_ops ~interned:false ~index:Core.Config.Linear ops in
+      run_ops ~interned:true ~index:Core.Config.Keyed ops = oracle
+      && run_ops ~interned:false ~index:Core.Config.Keyed ops = oracle
+      && run_ops ~interned:true ~index:Core.Config.Linear ops = oracle)
 
 (* --- watermarks and GC ------------------------------------------------ *)
 
@@ -304,6 +327,7 @@ let suites =
         Alcotest.test_case "failover rebuilds index from the log" `Quick
           test_failover_rebuilds_index;
         QCheck_alcotest.to_alcotest prop_linear_equals_keyed;
+        QCheck_alcotest.to_alcotest prop_interned_is_representation_only;
       ] );
     ( "core.watermarks",
       [

@@ -294,6 +294,44 @@ let test_chaos_health_json_shape () =
   | Some rs -> Alcotest.failf "expected 1 run object, got %d" (List.length rs)
   | None -> Alcotest.fail "no runs array"
 
+(* --- Domain-pool run driver ------------------------------------------- *)
+
+let test_map_jobs_order_and_results () =
+  let items = List.init 23 Fun.id in
+  let serial = List.map (fun i -> i * i) items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d preserves order" jobs)
+        serial
+        (Experiments.Runner.map_jobs ~jobs (fun i -> i * i) items))
+    [ 1; 2; 4; 8 ]
+
+let test_parallel_chaos_matrix_identical () =
+  (* The tentpole's contract: every soak is one self-contained
+     simulation, so the domain pool may only change wall-clock — the
+     per-run runlog digests and the matrix result ordering must be
+     bit-identical between [--jobs 1] and [--jobs 4]. *)
+  let seeds = [ 3; 4 ] in
+  let modes = [ Core.Consistency.Coarse; Core.Consistency.Session ] in
+  let run jobs =
+    Experiments.Chaos.soak_matrix ~modes ~plans:[ Experiments.Chaos.Mixed ] ~jobs ~seeds
+      ~duration_ms:1_500.0 ()
+  in
+  let serial = run 1 and parallel = run 4 in
+  Alcotest.(check int) "same matrix size" (List.length serial) (List.length parallel);
+  List.iter2
+    (fun (a : Experiments.Chaos.result) (b : Experiments.Chaos.result) ->
+      Alcotest.(check string) "seed matrix order preserved"
+        (Printf.sprintf "%s/%d" (Core.Consistency.to_string a.mode) a.seed)
+        (Printf.sprintf "%s/%d" (Core.Consistency.to_string b.mode) b.seed);
+      Alcotest.(check string)
+        (Printf.sprintf "digest identical for %s/%d" (Core.Consistency.to_string a.mode)
+           a.seed)
+        a.digest b.digest;
+      Alcotest.(check int) "commit counts identical" a.committed b.committed)
+    serial parallel
+
 let suites =
   [
     ( "experiments",
@@ -308,6 +346,10 @@ let suites =
         Alcotest.test_case "replicate aggregates" `Quick test_replicate_aggregates;
         Alcotest.test_case "ablation render" `Quick test_ablation_rows_shape;
         Alcotest.test_case "sparkline" `Quick test_sparkline;
+        Alcotest.test_case "map_jobs order across pool sizes" `Quick
+          test_map_jobs_order_and_results;
+        Alcotest.test_case "chaos matrix digests identical at -j 4" `Quick
+          test_parallel_chaos_matrix_identical;
       ] );
     ( "experiments.bench",
       [
