@@ -211,6 +211,7 @@ let component_tests () =
             snapshot_version = i;
             commit_version = (if i mod 2 = 0 then Some (i + 1) else None);
             epoch = 0;
+            lb_epoch = 0;
             table_set = [ "t" ];
             tier = Check.Runlog.Strong;
             tables_written = (if i mod 2 = 0 then [ "t" ] else []);
@@ -336,6 +337,7 @@ let codec_tests () =
       snapshot_version = 41;
       commit_version = Some 43;
       epoch = 0;
+      lb_epoch = 0;
       table_set = [ "bench" ];
       tier = Check.Runlog.Strong;
       tables_written = [ "bench" ];

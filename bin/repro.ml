@@ -375,11 +375,41 @@ let check_cmd =
 
 (* --- chaos: seeded fault-schedule soak --- *)
 
-let chaos seeds seed_count duration plan_str modes_str tiers verify_digest health_file
-    jobs =
+let chaos seeds seed_count duration plan_str modes_str tiers cert_standbys ack_quorum
+    voter_lease lb_standby verify_digest health_file jobs =
   match Experiments.Chaos.plan_of_string plan_str with
   | Error e -> `Error (false, e)
   | Ok plan -> (
+    (* Control-plane knob overrides ride on the soak's own default
+       config, and go through Config.validate so a contradictory
+       combination fails here with a message instead of deep in a run. *)
+    let config =
+      match (cert_standbys, ack_quorum, voter_lease, lb_standby) with
+      | None, None, None, false -> Ok None
+      | _ ->
+        let c =
+          Experiments.Chaos.default_config
+            ~seed:Core.Config.default.Core.Config.seed
+        in
+        let c =
+          {
+            c with
+            Core.Config.certifier_standbys =
+              Option.value cert_standbys ~default:c.Core.Config.certifier_standbys;
+            standby_ack_quorum =
+              Option.value ack_quorum ~default:c.Core.Config.standby_ack_quorum;
+            voter_lease_ms =
+              Option.value voter_lease ~default:c.Core.Config.voter_lease_ms;
+            lb_standby = lb_standby || c.Core.Config.lb_standby;
+          }
+        in
+        (match Core.Config.validate c with
+        | Ok () -> Ok (Some c)
+        | Error e -> Error e)
+    in
+    match config with
+    | Error e -> `Error (false, e)
+    | Ok config -> (
     let modes =
       match modes_str with
       | None -> Ok Core.Consistency.all
@@ -411,8 +441,8 @@ let chaos seeds seed_count duration plan_str modes_str tiers verify_digest healt
         (if tiers then " (mixed-tier reads)" else "")
         (List.length seeds) (List.length modes) duration;
       let results =
-        Experiments.Chaos.soak_matrix ~tiers ~modes ~plans:[ plan ] ~jobs ~seeds
-          ~duration_ms ()
+        Experiments.Chaos.soak_matrix ?config ~tiers ~modes ~plans:[ plan ] ~jobs
+          ~seeds ~duration_ms ()
       in
       List.iter (fun r -> Format.printf "%a@." Experiments.Chaos.pp_result r) results;
       (match health_file with
@@ -427,7 +457,8 @@ let chaos seeds seed_count duration plan_str modes_str tiers verify_digest healt
              runlog: the whole stack, faults included, is deterministic. *)
           let mode = List.hd modes and seed = List.hd seeds in
           let _, same =
-            Experiments.Chaos.reproducible ~tiers ~mode ~plan ~seed ~duration_ms ()
+            Experiments.Chaos.reproducible ?config ~tiers ~mode ~plan ~seed
+              ~duration_ms ()
           in
           Printf.printf "\ndigest reproducibility (%s, seed %d): %s\n"
             (Core.Consistency.to_string mode)
@@ -440,7 +471,7 @@ let chaos seeds seed_count duration plan_str modes_str tiers verify_digest healt
       Printf.printf "\n%d/%d runs ok\n" (List.length results - List.length failed)
         (List.length results);
       if failed = [] && digest_ok then `Ok ()
-      else `Error (false, "chaos soak found violations"))
+      else `Error (false, "chaos soak found violations")))
 
 let chaos_seeds_arg =
   let doc = "Explicit seed list (repeatable); overrides $(b,--seeds)." in
@@ -455,8 +486,34 @@ let chaos_duration_arg =
   Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
 
 let chaos_plan_arg =
-  let doc = "Fault plan: clean, lossy, partitions, gray, mixed or cert-failover." in
+  let doc =
+    "Fault plan: clean, lossy, partitions, gray, mixed, cert-failover or \
+     control-plane."
+  in
   Arg.(value & opt string "mixed" & info [ "plan" ] ~docv:"PLAN" ~doc)
+
+let chaos_cert_standbys_arg =
+  let doc = "Certifier standbys (overrides the soak default config)." in
+  Arg.(value & opt (some int) None & info [ "cert-standbys" ] ~docv:"N" ~doc)
+
+let chaos_ack_quorum_arg =
+  let doc =
+    "Standby replication ack quorum: 0 = all caught-up standbys, else the count of \
+     standby acks a commit waits for."
+  in
+  Arg.(value & opt (some int) None & info [ "ack-quorum" ] ~docv:"N" ~doc)
+
+let chaos_voter_lease_arg =
+  let doc =
+    "Voter lease in virtual ms: a silent un-caught-up standby is demoted out of the \
+     ack quorum after this long (0 disables; the control-plane plan forces 100ms \
+     when unset)."
+  in
+  Arg.(value & opt (some float) None & info [ "voter-lease" ] ~docv:"MS" ~doc)
+
+let chaos_lb_standby_arg =
+  let doc = "Run a standby load balancer with heartbeat-driven takeover." in
+  Arg.(value & flag & info [ "lb-standby" ] ~doc)
 
 let chaos_modes_arg =
   let doc = "Comma-separated consistency modes (default: all four)." in
@@ -490,10 +547,12 @@ let chaos_cmd =
           consistency, liveness and reproducibility")
     Term.(
       ret
-        (const (fun seeds n d p m t nd hf jobs -> chaos seeds n d p m t (not nd) hf jobs)
+        (const (fun seeds n d p m t cs aq vl lbs nd hf jobs ->
+             chaos seeds n d p m t cs aq vl lbs (not nd) hf jobs)
         $ chaos_seeds_arg $ chaos_seed_count_arg $ chaos_duration_arg $ chaos_plan_arg
-        $ chaos_modes_arg $ chaos_tiers_arg $ chaos_no_digest_arg $ chaos_health_arg
-        $ jobs_arg))
+        $ chaos_modes_arg $ chaos_tiers_arg $ chaos_cert_standbys_arg
+        $ chaos_ack_quorum_arg $ chaos_voter_lease_arg $ chaos_lb_standby_arg
+        $ chaos_no_digest_arg $ chaos_health_arg $ jobs_arg))
 
 (* --- tiers: read-tier latency/staleness frontier --- *)
 

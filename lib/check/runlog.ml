@@ -26,6 +26,7 @@ type record = {
   snapshot_version : int;
   commit_version : int option;
   epoch : int;  (* certifier epoch that released the decision *)
+  lb_epoch : int;  (* LB routing epoch that served the request; 0 until a takeover *)
   tier : tier;  (* read class served; Strong for updates *)
   table_set : string list;
   tables_written : string list;
@@ -47,7 +48,10 @@ let pp_tid ppf r =
   | Some trace -> Format.fprintf ppf "T%d(trace %d)" r.tid trace
 
 let pp_violation ppf v =
-  Format.fprintf ppf "%a -> %a: %s" pp_tid v.first pp_tid v.second v.reason
+  Format.fprintf ppf "%a[%.3f..%.3f e%d L%d] -> %a[%.3f..%.3f e%d L%d]: %s" pp_tid
+    v.first v.first.begin_time v.first.ack_time v.first.epoch v.first.lb_epoch pp_tid
+    v.second v.second.begin_time v.second.ack_time v.second.epoch v.second.lb_epoch
+    v.reason
 
 (* All pairs (ti, tj) such that ti's ack precedes tj's begin. Sorting by
    begin time lets us stop the inner scan early for long logs. *)
@@ -238,6 +242,61 @@ let epoch_fencing records =
   in
   walk [] epochs
 
+(* Election safety: the certification log is a single history — no two
+   committed transactions may occupy the same commit version. Two
+   records sharing a version means two primaries each released their
+   own decision for that slot (a divergent log entry), which is exactly
+   what a non-quorum-intersecting election permits: a stale standby
+   promotes without having acked the releases it now re-assigns. *)
+let election_safety records =
+  let updates =
+    List.filter_map
+      (fun r -> match r.commit_version with Some v -> Some (r, v) | None -> None)
+      records
+  in
+  let by_version = Hashtbl.create 64 in
+  let violations = ref [] in
+  List.iter
+    (fun (r, v) ->
+      match Hashtbl.find_opt by_version v with
+      | None -> Hashtbl.add by_version v r
+      | Some prev ->
+        violations :=
+          {
+            first = prev;
+            second = r;
+            reason =
+              Printf.sprintf
+                "divergent log entry: T%d (epoch %d) and T%d (epoch %d) both \
+                 committed v%d"
+                prev.tid prev.epoch r.tid r.epoch v;
+          }
+          :: !violations)
+    updates;
+  List.rev !violations
+
+(* LB floor preservation: a takeover must not lose the guarantees the
+   deposed balancer had already handed out. If Ti's commit was acked to
+   its session and a later Causal read Tj of the same session was served
+   by a newer LB epoch, Tj still sees Ti's commit — the successor
+   reconstructed a conservative floor covering every previously
+   acknowledged version. Causal is the one tier whose read-your-writes
+   contract holds in every mode; Strong reads across a takeover are
+   already constrained by the per-mode checkers above, whose precedence
+   pairs do not exempt cross-epoch pairs. *)
+let lb_floor_preservation records =
+  precedence_pairs records
+    ~relevant:(fun ti tj ->
+      tj.lb_epoch > ti.lb_epoch && ti.session = tj.session && tj.tier = Causal)
+    ~check:(fun vi ti tj ->
+      if tj.snapshot_version >= vi then None
+      else
+        Some
+          (Printf.sprintf
+             "LB takeover dropped a floor: session %d had v%d acked (T%d, LB epoch \
+              %d) but T%d read snapshot v%d after takeover (LB epoch %d)"
+             ti.session vi ti.tid ti.lb_epoch tj.tid tj.snapshot_version tj.lb_epoch))
+
 (* --- Read-tier contracts (docs/CONSISTENCY.md) ----------------------- *)
 
 (* Bounded staleness, per record: a read declaring [versions = Some k]
@@ -382,6 +441,7 @@ module Sink = struct
     Flat.int w r.snapshot_version;
     put_int_opt w r.commit_version;
     Flat.int w r.epoch;
+    Flat.int w r.lb_epoch;
     (match r.tier with
     | Strong -> Flat.u8 w tier_strong
     | Bounded { versions; ms } ->
@@ -421,6 +481,7 @@ module Sink = struct
     let snapshot_version = Flat.read_int c in
     let commit_version = read_int_opt c in
     let epoch = Flat.read_int c in
+    let lb_epoch = Flat.read_int c in
     let tier =
       match Flat.read_u8 c with
       | 0 -> Strong
@@ -448,6 +509,7 @@ module Sink = struct
       snapshot_version;
       commit_version;
       epoch;
+      lb_epoch;
       tier;
       table_set;
       tables_written;
@@ -470,10 +532,13 @@ let digest records =
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%d|%d|%h|%h|%d|%s|e%d|%s|%s|%s%s\n" r.tid r.session
+        (Printf.sprintf "%d|%d|%h|%h|%d|%s|e%d%s|%s|%s|%s%s\n" r.tid r.session
            r.begin_time r.ack_time r.snapshot_version
            (match r.commit_version with None -> "ro" | Some v -> string_of_int v)
            r.epoch
+           (* LB epoch rendered only after a takeover, so single-LB logs
+              digest identically to logs predating LB failover. *)
+           (if r.lb_epoch > 0 then Printf.sprintf "|L%d" r.lb_epoch else "")
            (String.concat "," r.table_set)
            (String.concat "," r.tables_written)
            (String.concat ","

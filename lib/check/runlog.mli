@@ -47,6 +47,9 @@ type record = {
   epoch : int;
       (** certifier epoch that released the decision (0 when no certifier
           failover ever happened) *)
+  lb_epoch : int;
+      (** load-balancer routing epoch that served the request (0 until an
+          LB takeover ever happened) *)
   tier : tier;  (** read class served; [Strong] for every update *)
   table_set : string list;  (** declared tables the txn may access *)
   tables_written : string list;  (** tables in the writeset *)
@@ -112,6 +115,22 @@ val epoch_fencing : record list -> violation list
     deposed primary released a decision past the promotion point of the
     epoch that superseded it. Trivially empty when every record carries
     epoch 0. *)
+
+val election_safety : record list -> violation list
+(** The certification log is a single history: no two committed
+    transactions occupy the same commit version. Two records sharing a
+    version is a divergent log entry — two primaries each released a
+    decision for that slot, the failure a non-quorum-intersecting
+    election permits. *)
+
+val lb_floor_preservation : record list -> violation list
+(** LB takeovers preserve handed-out guarantees: if Ti's commit was
+    acked and a later [Causal] read of the same session was served under
+    a {e newer} LB epoch, that read still observes Ti's commit. Causal
+    is the one tier whose read-your-writes contract holds in every mode;
+    [Strong] reads across a takeover are covered by the per-mode
+    checkers, whose precedence pairs do not exempt cross-epoch pairs.
+    Trivially empty when every record carries LB epoch 0. *)
 
 (** Flat in-memory store of records. The cluster appends every committed
     transaction's record here during a measurement window; records are

@@ -32,6 +32,16 @@ type cnode = {
   (* Standby-side failure detection: when this member last heard the
      primary answer a heartbeat. *)
   mutable cn_last_heard : float;
+  (* Election state (docs/PROTOCOL.md, "Control plane"): the highest
+     epoch this member granted a vote for, and to whom. One vote per
+     target epoch — re-granted only to the same candidate (Raft). *)
+  mutable cn_vote_epoch : int;
+  mutable cn_vote_for : int;
+  (* Primary-side voter lease: when this member last acknowledged a
+     replication push to a primary. A voter silent beyond
+     [Config.voter_lease_ms] while decisions are outstanding is demoted
+     to learner so it stops gating the ack quorum. *)
+  mutable cn_last_ack : float;
 }
 
 type decision =
@@ -100,6 +110,9 @@ type t = {
   mutable failovers : int;
   mutable promotions : int;  (* automatic (detection-driven) promotions *)
   mutable fenced : int;  (* stale-epoch messages/decisions rejected *)
+  mutable elections : int;  (* vote rounds started *)
+  mutable vote_denials : int;  (* votes refused (log behind, stale target) *)
+  mutable lease_expiries : int;  (* voters demoted to learner by the lease *)
   mutable commits : int;
   mutable aborts : int;
   mutable retransmits : int;
@@ -142,6 +155,12 @@ let set_faults t faults = t.faults <- Some faults
 let fenced t = t.fenced
 
 let promotions t = t.promotions
+
+let elections t = t.elections
+
+let vote_denials t = t.vote_denials
+
+let lease_expiries t = t.lease_expiries
 
 (* Replication lag of the slowest non-crashed standby behind the
    primary's log head (0 with no standbys). *)
@@ -400,8 +419,13 @@ let promote ?(auto = false) t k =
   (* Every other member must reconcile against the new history before it
      votes again; pushes and heartbeat pongs carry the epoch to them. *)
   Array.iter (fun n -> if n.cn_index <> k then n.cn_caught_up <- false) t.nodes;
-  (* Grace period for the other detectors: a fresh promotion is contact. *)
-  Array.iter (fun n -> n.cn_last_heard <- now) t.nodes;
+  (* Grace period for the other detectors (and the voter lease): a fresh
+     promotion is contact. *)
+  Array.iter
+    (fun n ->
+      n.cn_last_heard <- now;
+      n.cn_last_ack <- now)
+    t.nodes;
   rebuild_index t ~base:np.cn_log_base ~upto:np.cn_version (fun v -> log_entry_of np v);
   Itbl.reset t.repair_seen;
   t.failovers <- t.failovers + 1;
@@ -502,6 +526,10 @@ let pusher t k =
            self-correcting (the head can legitimately move backwards). *)
         if acked_epoch = sb.cn_epoch then begin
           sb.cn_acked <- acked;
+          (* Any ack renews the voter lease; reaching the ruling head
+             (re-)admits a learner to the voter set — the lease demotion
+             heals itself through the ordinary catch-up path. *)
+          sb.cn_last_ack <- Sim.Engine.now t.engine;
           if sb.cn_epoch = t.epoch && sb.cn_acked >= (primary_node t).cn_version then
             sb.cn_caught_up <- true
         end;
@@ -512,13 +540,121 @@ let pusher t k =
   in
   loop ()
 
+(* --- Quorum-intersecting elections ----------------------------------
+
+   Promotion is decided by an explicit vote round, not by the suspecting
+   standby alone (docs/PROTOCOL.md, "Control plane"). A candidate needs
+
+     max( |voters| / 2 + 1,                          Raft majority
+          standby_voters - ack_quorum + 1 )          quorum intersection
+
+   votes for a bumped target epoch, where the voters are the caught-up
+   members of the ruling epoch (learners excluded; the crashed primary
+   still counts in the denominators — it just cannot grant, which only
+   raises the bar). A voter refuses any candidate whose log head is
+   behind its own, and grants at most one candidate per target epoch.
+
+   Safety: a released version [v] was acknowledged by at least
+   [ack_quorum] caught-up standbys before release ({!quorum_met}), and
+   any member that became caught up later first acked the full log
+   through [v]. A winning candidate collected grants from at least
+   [standby_voters - ack_quorum + 1] standby voters, a set that
+   intersects every [ack_quorum]-sized holder set — so some granting
+   voter holds [v], and its grant proves the candidate's head is at
+   least [v]. {!promote} then re-derives the epoch base from that head:
+   no released version can be re-assigned, under any
+   [Config.standby_ack_quorum]. The majority requirement additionally
+   makes concurrent candidates for one target epoch mutually exclusive.
+
+   Liveness: the old rank stagger survives as a {e candidacy} stagger —
+   the best-replicated standby starts (and normally wins) the first
+   round uncontested; a loser's next monitor tick simply runs a fresh
+   round at a higher target. *)
+
+let voting_member t n = n.cn_epoch = t.epoch && n.cn_caught_up
+
+let votes_needed t =
+  let voters = ref 0 and standby_voters = ref 0 in
+  Array.iter
+    (fun n ->
+      if voting_member t n then begin
+        incr voters;
+        if n.cn_index <> t.primary then incr standby_voters
+      end)
+    t.nodes;
+  let majority = (!voters / 2) + 1 in
+  let q = t.cfg.Config.standby_ack_quorum in
+  let q_eff = if q <= 0 then !standby_voters else min q !standby_voters in
+  max majority (!standby_voters - q_eff + 1)
+
+let note_vote_denial t =
+  t.vote_denials <- t.vote_denials + 1;
+  match t.metrics with Some m -> Metrics.note_vote_denial m | None -> ()
+
+(* One vote round run by suspecting standby [k]. Ballots travel as
+   fire-and-forget messages (a partitioned or crashed voter simply never
+   answers); the candidate sleeps the election timeout, tallies, and
+   promotes only if the grant set suffices {e and} the world did not
+   move on — a revived primary, an adopted newer epoch or a concurrent
+   winner all cancel the round. *)
+let run_election t k =
+  let sb = t.nodes.(k) in
+  let pi = t.primary in
+  (* The ballot must exceed not only every epoch but every ballot any
+     member has voted in: a retry after a split or failed round gets a
+     strictly fresher target, so stale self-votes can never pin the
+     group at an unwinnable ballot. *)
+  let target =
+    1
+    + Array.fold_left
+        (fun acc n -> max acc (max n.cn_epoch n.cn_vote_epoch))
+        t.epoch t.nodes
+  in
+  let my_version = sb.cn_version in
+  t.elections <- t.elections + 1;
+  (match t.metrics with Some m -> Metrics.note_election m | None -> ());
+  (* The candidate votes for itself (and thereby refuses any concurrent
+     candidate for the same target). *)
+  sb.cn_vote_epoch <- target;
+  sb.cn_vote_for <- k;
+  let votes = ref 1 in
+  Array.iter
+    (fun m ->
+      if m.cn_index <> k then
+        Sim.Network.send t.network ~src:sb.cn_net ~dst:m.cn_net ~size_bytes:24 (fun () ->
+            if not m.cn_crashed then begin
+              let grant =
+                voting_member t m && target > t.epoch
+                && (target > m.cn_vote_epoch
+                   || (target = m.cn_vote_epoch && m.cn_vote_for = k))
+                && my_version >= m.cn_version
+              in
+              if grant then begin
+                m.cn_vote_epoch <- target;
+                m.cn_vote_for <- k;
+                Sim.Network.send t.network ~src:m.cn_net ~dst:sb.cn_net ~size_bytes:16
+                  (fun () -> if not sb.cn_crashed then incr votes)
+              end
+              else note_vote_denial t
+            end))
+    t.nodes;
+  Sim.Process.sleep t.engine t.cfg.Config.cert_election_timeout_ms;
+  if
+    !votes >= votes_needed t
+    && t.epoch < target && t.primary = pi
+    && (not sb.cn_crashed)
+    && sb.cn_epoch = t.epoch && sb.cn_caught_up
+    && (t.nodes.(pi).cn_crashed
+       || Sim.Engine.now t.engine -. sb.cn_last_heard > t.cfg.Config.cert_suspect_after_ms)
+  then promote ~auto:true t k
+
 (* The standby-side failure detector: ping the primary every
    [cert_heartbeat_ms]; the pong carries the primary's epoch. After
-   [cert_suspect_after_ms] of silence plus a per-rank backoff (best
-   replicated log first, index breaking ties), the standby promotes
-   itself under a bumped epoch. Only caught-up members of the ruling
-   epoch are candidates: a member that has not reconciled could
-   resurrect a dead history. *)
+   [cert_suspect_after_ms] of silence plus a per-rank candidacy backoff
+   (best replicated log first, index breaking ties), the standby starts
+   a vote round. Only caught-up members of the ruling epoch are
+   candidates: a member that has not reconciled could resurrect a dead
+   history. *)
 let promotion_rank t k =
   let sk = t.nodes.(k) in
   let r = ref 0 in
@@ -564,7 +700,41 @@ let monitor t k =
         silence > deadline && t.primary = pi
         && (not sb.cn_crashed)
         && sb.cn_epoch = t.epoch && sb.cn_caught_up
-      then promote ~auto:true t k
+      then run_election t k
+    end;
+    loop ()
+  in
+  loop ()
+
+(* Primary-side voter lease (docs/PROTOCOL.md, "Control plane"): a voter
+   that has stopped acknowledging replication while the primary has
+   decisions outstanding is demoted to learner after
+   [Config.voter_lease_ms] of ack silence, so a partitioned-but-alive
+   voter stalls a [standby_ack_quorum = all] commit for at most one
+   lease window instead of forever. Demotion shrinks durability breadth,
+   never safety: {!votes_needed} is computed over the voter set as it
+   stands, and the demoted member re-enters it through the ordinary
+   learner catch-up path (its next ack run reaching the log head). *)
+let lease_loop t =
+  let lease = t.cfg.Config.voter_lease_ms in
+  let rec loop () =
+    Sim.Process.sleep t.engine (lease /. 4.0);
+    let p = primary_node t in
+    if not p.cn_crashed then begin
+      let now = Sim.Engine.now t.engine in
+      Array.iter
+        (fun n ->
+          if eligible_standby t n && n.cn_acked < p.cn_version
+             && now -. n.cn_last_ack > lease
+          then begin
+            n.cn_caught_up <- false;
+            t.lease_expiries <- t.lease_expiries + 1;
+            (match t.metrics with Some m -> Metrics.note_lease_expiry m | None -> ());
+            (* The quorum wait recomputes its need over the shrunken
+               voter set: this is what unblocks the stalled release. *)
+            Sim.Condition.broadcast t.repl_done
+          end)
+        t.nodes
     end;
     loop ()
   in
@@ -597,6 +767,9 @@ let create ?obs ?metrics ?intern engine cfg ~rng ~network ~mode =
               cn_acked = 0;
               cn_caught_up = true;
               cn_last_heard = Sim.Engine.now engine;
+              cn_vote_epoch = 0;
+              cn_vote_for = -1;
+              cn_last_ack = Sim.Engine.now engine;
             });
       primary = 0;
       epoch = 0;
@@ -617,6 +790,9 @@ let create ?obs ?metrics ?intern engine cfg ~rng ~network ~mode =
       failovers = 0;
       promotions = 0;
       fenced = 0;
+      elections = 0;
+      vote_denials = 0;
+      lease_expiries = 0;
       commits = 0;
       aborts = 0;
       retransmits = 0;
@@ -635,7 +811,9 @@ let create ?obs ?metrics ?intern engine cfg ~rng ~network ~mode =
     if cfg.Config.reliable && cfg.Config.cert_heartbeat_ms > 0.0 then
       for k = 0 to Array.length t.nodes - 1 do
         Sim.Process.spawn engine (fun () -> monitor t k)
-      done
+      done;
+    if cfg.Config.reliable && cfg.Config.voter_lease_ms > 0.0 then
+      Sim.Process.spawn engine (fun () -> lease_loop t)
   end;
   t
 
@@ -961,6 +1139,7 @@ let revive_node t k =
   if n.cn_crashed then begin
     n.cn_crashed <- false;
     n.cn_last_heard <- Sim.Engine.now t.engine;
+    n.cn_last_ack <- Sim.Engine.now t.engine;
     if t.primary = k then
       (* The primary came back without a failover: resume the queue. *)
       Sim.Condition.broadcast t.revive

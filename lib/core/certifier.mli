@@ -50,13 +50,23 @@
     to the standbys as addressed, fault-injectable stop-and-wait
     transfers and are released only after [Config.standby_ack_quorum]
     caught-up standbys acknowledged them. In reliable mode standbys run
-    a heartbeat failure detector against the primary and self-promote —
-    best replicated log first — after [Config.cert_suspect_after_ms] of
-    silence. Promotion bumps the {e epoch}; every certifier-originated
-    message carries it and stale-epoch traffic is fenced, so a deposed
-    but alive primary cannot commit behind the group's back and rejoins
-    as a standby via log reconciliation (truncate to the promotion
-    point, re-replicate forward). *)
+    a heartbeat failure detector against the primary; after
+    [Config.cert_suspect_after_ms] of silence (plus a best-replicated-
+    log-first candidacy stagger) the suspecting standby runs a
+    {e quorum-intersecting election} (docs/PROTOCOL.md, "Control
+    plane"): it must collect votes from a Raft-style majority of the
+    caught-up voters that also intersects every
+    [standby_ack_quorum]-sized ack set, and voters refuse candidates
+    whose log head is behind their own — so no released decision can be
+    re-assigned under {e any} quorum setting. Promotion bumps the
+    {e epoch}; every certifier-originated message carries it and
+    stale-epoch traffic is fenced, so a deposed but alive primary
+    cannot commit behind the group's back and rejoins as a standby via
+    log reconciliation (truncate to the promotion point, re-replicate
+    forward). With [Config.voter_lease_ms > 0] a voter whose acks go
+    silent while decisions are outstanding is demoted to learner after
+    one lease window, bounding the quorum=all stall a
+    partitioned-but-alive voter can cause. *)
 
 type t
 
@@ -240,8 +250,9 @@ val failover : t -> unit
 (** Manually promote the best eligible standby — highest replicated log
     first, member index breaking ties — and resume queued certification
     requests. Raises [Invalid_argument] if the primary is running or no
-    eligible standby exists. The automatic path (reliable mode) runs the
-    same promotion from the standby failure detectors. *)
+    eligible standby exists. The automatic path (reliable mode) instead
+    runs a quorum-intersecting vote round from the standby failure
+    detectors and promotes only an elected candidate. *)
 
 val failovers : t -> int
 (** Number of promotions performed (manual + automatic). *)
@@ -251,6 +262,21 @@ val promotions : t -> int
 
 val fenced : t -> int
 (** Stale-epoch messages and decisions rejected by an epoch fence. *)
+
+val elections : t -> int
+(** Vote rounds started by suspecting standbys (not all of them won —
+    compare {!promotions}). *)
+
+val vote_denials : t -> int
+(** Votes refused by a voter: candidate's log behind the voter's, stale
+    target epoch, already voted for another candidate this epoch, or
+    the voter is a learner. *)
+
+val lease_expiries : t -> int
+(** Voters demoted to learner by the liveness lease
+    ([Config.voter_lease_ms]) after their acks went silent with
+    decisions outstanding. Re-admission (catching back up to the log
+    head) is not counted separately. *)
 
 (** {2 Group introspection (telemetry, chaos checkers)} *)
 

@@ -11,7 +11,17 @@ type t = {
   network : Sim.Network.t;
   faults : Sim.Faults.t option;
   certifier : Certifier.t;
-  lb : Load_balancer.t;
+  lbs : Load_balancer.t array;
+      (* instance 0 is the initially active LB; instance 1 (present only
+         under [Config.lb_standby]) is the hot standby *)
+  mutable lb_active : int;  (* instance clients currently route to *)
+  mutable lb_epoch : int;  (* routing epoch; bumped by every takeover *)
+  lb_crashed : bool array;
+  lb_self_active : bool array;  (* each instance's own belief about its role *)
+  lb_self_epoch : int array;  (* highest routing epoch each instance knows *)
+  lb_heard : float array;  (* per instance: when it last received a state push *)
+  mutable lb_takeovers : int;
+  mutable lb_fenced : int;  (* stale-LB-epoch pushes and relays rejected *)
   replicas : Replica.t array;
   metrics : Metrics.t;
   obs : Obs.Trace.t option;
@@ -34,8 +44,19 @@ let request_bytes (req : Transaction.request) =
      plus parameters. *)
   64 + (List.length req.Transaction.statements * 48)
 
+let active_lb t = t.lbs.(t.lb_active)
+
+(* Network endpoint of LB instance [k]. *)
+let lb_node k = if k = 0 then Config.node_lb else Config.node_lb_standby
+
+(* Ground-truth replica liveness (crash/recover) is fed to every LB
+   instance: the standby must not take over with a stale live-set. *)
+let each_lb t f = Array.iter f t.lbs
+
+let lb_sum t f = Array.fold_left (fun acc lb -> acc + f lb) 0 t.lbs
+
 let crash_replica t i =
-  Load_balancer.set_live t.lb ~replica:i false;
+  each_lb t (fun lb -> Load_balancer.set_live lb ~replica:i false);
   Certifier.mark_down t.certifier ~replica:i;
   Replica.crash t.replicas.(i)
 
@@ -58,7 +79,7 @@ let recover_replica t i =
       Array.fold_left
         (fun best candidate ->
           let id = Replica.id candidate in
-          if id <> i && Load_balancer.is_live t.lb ~replica:id then
+          if id <> i && Load_balancer.is_live (active_lb t) ~replica:id then
             match best with
             | Some b when Replica.v_local b >= Replica.v_local candidate -> best
             | Some _ | None -> Some candidate
@@ -78,7 +99,8 @@ let recover_replica t i =
   Certifier.mark_up ~applied:(Replica.v_local r) t.certifier ~replica:i;
   (* Manual recovery counts as contact: without it the detector's next
      sweep would still see [Dead] and mark the replica down again. *)
-  Load_balancer.note_contact t.lb ~replica:i ~now:(Sim.Engine.now t.engine);
+  each_lb t (fun lb ->
+      Load_balancer.note_contact lb ~replica:i ~now:(Sim.Engine.now t.engine));
   if t.cfg.Config.reliable then
     (* [Replica.recover] only enqueues the missed suffix; the sequencer
        applies it over virtual time. Routing to the replica before it
@@ -90,11 +112,11 @@ let recover_replica t i =
     let target = Certifier.version t.certifier in
     Sim.Process.spawn t.engine (fun () ->
         (match Replica.await_version r target with Ok () | Error _ -> ());
-        if not (Replica.is_crashed r) then begin
-          Load_balancer.set_live t.lb ~replica:i true;
-          Load_balancer.note_contact t.lb ~replica:i ~now:(Sim.Engine.now t.engine)
-        end)
-  else Load_balancer.set_live t.lb ~replica:i true
+        if not (Replica.is_crashed r) then
+          each_lb t (fun lb ->
+              Load_balancer.set_live lb ~replica:i true;
+              Load_balancer.note_contact lb ~replica:i ~now:(Sim.Engine.now t.engine)))
+  else each_lb t (fun lb -> Load_balancer.set_live lb ~replica:i true)
 
 let crash_certifier t = Certifier.crash t.certifier
 
@@ -102,8 +124,22 @@ let failover_certifier t = Certifier.failover t.certifier
 
 let revive_certifier_node t k = Certifier.revive_node t.certifier k
 
+let crash_lb t k =
+  if Array.length t.lbs < 2 then
+    invalid_arg "Cluster.crash_lb: no standby LB configured (Config.lb_standby)";
+  t.lb_crashed.(k) <- true
+
+let recover_lb t k =
+  t.lb_crashed.(k) <- false;
+  (* Revival grace: restart the suspicion clock so the instance judges
+     its peer from fresh silence, not from the outage it slept through. *)
+  t.lb_heard.(k) <- Sim.Engine.now t.engine
+
 let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_536)
     ?faults ~mode ~schemas ~load () =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
   let engine = Sim.Engine.create () in
   (* The cluster owns the engine, so it also owns the trace context. *)
   let obs = if tracing then Some (Obs.Trace.create ~capacity:trace_capacity engine) else None in
@@ -127,7 +163,14 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
     Certifier.create ?obs ~metrics ~intern engine config ~rng:(Util.Rng.split rng)
       ~network ~mode
   in
-  let lb = Load_balancer.create ~rng:(Util.Rng.split rng) config ~mode in
+  let lb0 = Load_balancer.create ~rng:(Util.Rng.split rng) config ~mode in
+  let lbs =
+    (* The standby instance draws its RNG after the active's, so a run
+       without [lb_standby] consumes exactly the classic seed chain. *)
+    if config.Config.lb_standby then
+      [| lb0; Load_balancer.create ~rng:(Util.Rng.split rng) config ~mode |]
+    else [| lb0 |]
+  in
   let replicas =
     Array.init config.Config.replicas (fun id ->
         let db = Storage.Database.create ~intern () in
@@ -159,7 +202,15 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
       network;
       faults;
       certifier;
-      lb;
+      lbs;
+      lb_active = 0;
+      lb_epoch = 0;
+      lb_crashed = Array.make (Array.length lbs) false;
+      lb_self_active = Array.init (Array.length lbs) (fun k -> k = 0);
+      lb_self_epoch = Array.make (Array.length lbs) 0;
+      lb_heard = Array.make (Array.length lbs) 0.0;
+      lb_takeovers = 0;
+      lb_fenced = 0;
       replicas;
       metrics;
       obs;
@@ -211,9 +262,13 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
           Certifier.gc certifier;
           (* The all-replica minimum watermark (crashed included) is a
              permanent floor on applied versions: session-version
-             entries at or below it impose no wait and can go. *)
-          Load_balancer.prune_sessions lb
-            ~applied_min:(Certifier.min_watermark certifier);
+             entries at or below it impose no wait and can go — on the
+             standby too, which mirrors them via state pushes. *)
+          Array.iter
+            (fun lb ->
+              Load_balancer.prune_sessions lb
+                ~applied_min:(Certifier.min_watermark certifier))
+            lbs;
           loop ()
         in
         loop ());
@@ -230,8 +285,13 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
                 Sim.Process.sleep engine config.Config.heartbeat_ms;
                 if not (Replica.is_crashed r) then begin
                   let v = Replica.v_local r in
-                  Sim.Network.send network ~src:id ~dst:Config.node_lb ~size_bytes:16
+                  (* Addressed to whichever instance holds the routing
+                     role when the heartbeat leaves; applied to whichever
+                     holds it when it lands (both truthful piggybacks). *)
+                  Sim.Network.send network ~src:id ~dst:(lb_node t.lb_active)
+                    ~size_bytes:16
                     (fun () ->
+                      let lb = active_lb t in
                       Load_balancer.note_contact lb ~replica:id
                         ~now:(Sim.Engine.now engine);
                       (* The heartbeat carries the applied watermark as of
@@ -252,15 +312,18 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
         let rec loop () =
           Sim.Process.sleep engine interval;
           let now = Sim.Engine.now engine in
+          let lb = active_lb t in
           Load_balancer.sweep lb ~now;
-          (* Mirror detector transitions into metrics/registry. *)
-          let suspects = Load_balancer.suspect_events lb in
+          (* Mirror detector transitions into metrics/registry. Summed
+             over instances so the cursors stay monotone across an LB
+             takeover. *)
+          let suspects = lb_sum t Load_balancer.suspect_events in
           for _ = t.seen_suspects + 1 to suspects do
             Metrics.note_suspect metrics;
             Obs.Registry.incr (Obs.Registry.counter registry "detector.suspect")
           done;
           t.seen_suspects <- suspects;
-          let failovers = Load_balancer.failover_events lb in
+          let failovers = lb_sum t Load_balancer.failover_events in
           for _ = t.seen_failovers + 1 to failovers do
             Metrics.note_failover metrics;
             Obs.Registry.incr (Obs.Registry.counter registry "detector.dead")
@@ -323,14 +386,143 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
           in
           loop ())
   end;
+  if Array.length lbs > 1 then begin
+    (* --- LB state replication and takeover (docs/PROTOCOL.md, "Control
+       plane"). The instance that believes itself active pushes a
+       snapshot of its routing state every [lb_repl_ms] over the lossy
+       network; the push doubles as the liveness heartbeat. A standby
+       that hears nothing for [lb_suspect_after_ms] promotes itself: it
+       bumps the routing epoch, reconstructs a conservative version
+       floor by probing live replicas and the certifier, and only then
+       starts taking client traffic. A deposed instance that keeps
+       pushing is fenced by the epoch at every receiver, and learns of
+       its own deposition from the successor's higher-epoch pushes. *)
+    let reconstruct_floor k =
+      (* The replicated [V_system] covers everything the deposed LB
+         acked at least one push period ago; probing live replicas
+         (applied versions) and the certifier (released head) covers
+         the final window, because every client-acked commit was
+         applied at its origin replica before the ack left. An
+         unreachable node forfeits its probe after the bounded
+         retransmission budget — takeover must not block on the very
+         failure it is healing. *)
+      let floor = ref (Load_balancer.v_system lbs.(k)) in
+      let tries = Stdlib.max 1 config.Config.max_retransmits in
+      let probe ~dst read =
+        match
+          Sim.Network.transfer_bounded network ~src:(lb_node k) ~dst ~size_bytes:16
+            ~max_tries:tries
+        with
+        | Error `Timeout -> ()
+        | Ok () -> (
+          let v = read () in
+          match
+            Sim.Network.transfer_bounded network ~src:dst ~dst:(lb_node k)
+              ~size_bytes:16 ~max_tries:tries
+          with
+          | Ok () -> if v > !floor then floor := v
+          | Error `Timeout -> ())
+      in
+      Array.iter
+        (fun r ->
+          if not (Replica.is_crashed r) then
+            probe ~dst:(Replica.id r) (fun () -> Replica.v_local r))
+        replicas;
+      if not (Certifier.is_crashed certifier) then
+        probe
+          ~dst:(Certifier.primary_net certifier)
+          (fun () -> Certifier.version certifier);
+      !floor
+    in
+    Array.iteri
+      (fun k _ ->
+        let other = 1 - k in
+        (* State push (runs in the active role only). *)
+        Sim.Process.spawn engine (fun () ->
+            let rec loop () =
+              Sim.Process.sleep engine config.Config.lb_repl_ms;
+              if t.lb_self_active.(k) && not t.lb_crashed.(k) then begin
+                let st = Load_balancer.capture lbs.(k) in
+                let push_epoch = t.lb_self_epoch.(k) in
+                Sim.Network.send network ~src:(lb_node k) ~dst:(lb_node other)
+                  ~size_bytes:(Load_balancer.state_bytes st + 16)
+                  (fun () ->
+                    if not t.lb_crashed.(other) then
+                      if push_epoch < t.lb_self_epoch.(other) then
+                        (* A deposed active that has not yet learned of
+                           the takeover: fence the push. *)
+                        t.lb_fenced <- t.lb_fenced + 1
+                      else begin
+                        (* The sender claims the active role at our
+                           epoch or later: we are the standby. *)
+                        t.lb_self_active.(other) <- false;
+                        t.lb_self_epoch.(other) <- push_epoch;
+                        Load_balancer.absorb lbs.(other) st;
+                        t.lb_heard.(other) <- Sim.Engine.now engine
+                      end)
+              end;
+              loop ()
+            in
+            loop ());
+        (* Takeover monitor (runs in the standby role only). *)
+        Sim.Process.spawn engine (fun () ->
+            let rec loop () =
+              Sim.Process.sleep engine config.Config.lb_repl_ms;
+              let now = Sim.Engine.now engine in
+              if
+                (not t.lb_self_active.(k))
+                && (not t.lb_crashed.(k))
+                && now -. t.lb_heard.(k) > config.Config.lb_suspect_after_ms
+              then begin
+                let epoch =
+                  1
+                  + Stdlib.max t.lb_epoch
+                      (Stdlib.max t.lb_self_epoch.(0) t.lb_self_epoch.(1))
+                in
+                t.lb_self_epoch.(k) <- epoch;
+                t.lb_self_active.(k) <- true;
+                (* Detector grace: the standby never received contacts
+                   directly, so seed last-contact now or its first sweep
+                   would declare every replica dead at once. *)
+                Array.iter
+                  (fun r ->
+                    Load_balancer.note_contact lbs.(k) ~replica:(Replica.id r) ~now)
+                  replicas;
+                let floor = reconstruct_floor k in
+                Load_balancer.note_takeover lbs.(k) ~floor;
+                (* Routing flips last: clients only reach the successor
+                   once its floors are installed. *)
+                t.lb_epoch <- epoch;
+                t.lb_active <- k;
+                t.lb_takeovers <- t.lb_takeovers + 1;
+                Metrics.note_lb_takeover metrics;
+                Obs.Registry.incr (Obs.Registry.counter registry "lb.takeover");
+                Log.info (fun m ->
+                    m "[%.3f] LB instance %d took over routing (epoch %d, floor v%d)"
+                      (Sim.Engine.now engine) k epoch floor);
+                t.lb_heard.(k) <- Sim.Engine.now engine
+              end;
+              loop ()
+            in
+            loop ()))
+      lbs
+  end;
   t
 
 let engine t = t.engine
 let config t = t.cfg
-let mode t = Load_balancer.mode t.lb
+let mode t = Load_balancer.mode (active_lb t)
 let metrics t = t.metrics
 let certifier t = t.certifier
-let load_balancer t = t.lb
+let load_balancer t = active_lb t
+let lb_instance t k = t.lbs.(k)
+let lb_count t = Array.length t.lbs
+let lb_active_index t = t.lb_active
+let lb_epoch t = t.lb_epoch
+let lb_is_crashed t k = t.lb_crashed.(k)
+let lb_takeovers t = t.lb_takeovers
+let lb_fenced t = t.lb_fenced
+let lb_cert_fenced t = lb_sum t Load_balancer.cert_fenced
 let replica t i = t.replicas.(i)
 let rng t = Util.Rng.split t.rng
 let trace t = t.obs
@@ -345,7 +537,7 @@ let reprovisions t = t.reprovisions
    committed versions [v_system] is ahead of the replica's applied
    [v_local]. The observatory's headline consistency gauge. *)
 let replica_lag t r =
-  Stdlib.max 0 (Load_balancer.v_system t.lb - Replica.v_local r)
+  Stdlib.max 0 (Load_balancer.v_system (active_lb t) - Replica.v_local r)
 
 let max_lag t =
   Array.fold_left (fun acc r -> Stdlib.max acc (replica_lag t r)) 0 t.replicas
@@ -378,7 +570,7 @@ let update_gauges t =
     (float_of_int (Certifier.log_base t.certifier));
   Obs.Registry.set
     (Obs.Registry.gauge t.registry "lb.session_floors")
-    (float_of_int (Load_balancer.session_count t.lb));
+    (float_of_int (Load_balancer.session_count (active_lb t)));
   Metrics.set_health t.metrics
     ~lag_max:(float_of_int (max_lag t))
     ~cert_log:(Certifier.log_size t.certifier)
@@ -418,14 +610,32 @@ let update_gauges t =
     (Obs.Registry.gauge t.registry "certifier.standby_lag")
     (float_of_int (Certifier.standby_lag t.certifier));
   Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.elections")
+    (float_of_int (Certifier.elections t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.vote_denials")
+    (float_of_int (Certifier.vote_denials t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.lease_expiries")
+    (float_of_int (Certifier.lease_expiries t.certifier));
+  Obs.Registry.set
     (Obs.Registry.gauge t.registry "lb.cert_fenced")
-    (float_of_int (Load_balancer.cert_fenced t.lb));
+    (float_of_int (lb_cert_fenced t));
   Obs.Registry.set
     (Obs.Registry.gauge t.registry "lb.suspects")
-    (float_of_int (Load_balancer.suspect_events t.lb));
+    (float_of_int (lb_sum t Load_balancer.suspect_events));
   Obs.Registry.set
     (Obs.Registry.gauge t.registry "lb.failovers")
-    (float_of_int (Load_balancer.failover_events t.lb));
+    (float_of_int (lb_sum t Load_balancer.failover_events));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "lb.takeovers")
+    (float_of_int t.lb_takeovers);
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "lb.epoch")
+    (float_of_int t.lb_epoch);
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "lb.fenced")
+    (float_of_int t.lb_fenced);
   match t.faults with
   | None -> ()
   | Some f ->
@@ -451,7 +661,7 @@ let attach_probes t sampler =
       Obs.Sampler.add sampler ~name:(name "lag") (fun () ->
           float_of_int (replica_lag t r));
       Obs.Sampler.add sampler ~name:(name "lb_active") (fun () ->
-          float_of_int (Load_balancer.active t.lb ~replica:i)))
+          float_of_int (Load_balancer.active (active_lb t) ~replica:i)))
     t.replicas;
   Obs.Sampler.add sampler ~name:"replicas.lag.max" (fun () ->
       float_of_int (max_lag t));
@@ -461,7 +671,7 @@ let attach_probes t sampler =
   Obs.Sampler.add sampler ~name:"certifier.log_base" (fun () ->
       float_of_int (Certifier.log_base t.certifier));
   Obs.Sampler.add sampler ~name:"lb.session_floors" (fun () ->
-      float_of_int (Load_balancer.session_count t.lb));
+      float_of_int (Load_balancer.session_count (active_lb t)));
   Obs.Sampler.add sampler ~name:"certifier.watermark.min" (fun () ->
       float_of_int (Certifier.min_watermark t.certifier));
   Obs.Sampler.add sampler ~name:"certifier.index_size" (fun () ->
@@ -480,7 +690,7 @@ let attach_probes t sampler =
   (* Keep the registry's gauges fresh on the same cadence. *)
   Obs.Sampler.add sampler ~name:"v_system" (fun () ->
       update_gauges t;
-      float_of_int (Load_balancer.v_system t.lb))
+      float_of_int (Load_balancer.v_system (active_lb t)))
 
 let start_telemetry ?interval_ms t =
   let sampler = Obs.Sampler.create ?interval_ms t.engine in
@@ -567,10 +777,15 @@ let start_observatory ?window_ms t =
           commits + aborts);
       delta "net.retransmits" (fun () ->
           Sim.Network.retransmits t.network + Certifier.retransmits t.certifier);
-      delta "detector.suspect" (fun () -> Load_balancer.suspect_events t.lb);
-      delta "detector.dead" (fun () -> Load_balancer.failover_events t.lb);
+      delta "detector.suspect" (fun () -> lb_sum t Load_balancer.suspect_events);
+      delta "detector.dead" (fun () -> lb_sum t Load_balancer.failover_events);
       delta "certifier.promotions" (fun () -> Certifier.promotions t.certifier);
       delta "certifier.fenced" (fun () -> Certifier.fenced t.certifier);
+      delta "certifier.elections" (fun () -> Certifier.elections t.certifier);
+      delta "certifier.vote_denials" (fun () -> Certifier.vote_denials t.certifier);
+      delta "certifier.lease_expiries" (fun () ->
+          Certifier.lease_expiries t.certifier);
+      delta "lb.takeovers" (fun () -> t.lb_takeovers);
     ]
     @
     match t.faults with
@@ -587,7 +802,7 @@ let start_observatory ?window_ms t =
      registry gauges and the Metrics health snapshot). *)
   Obs.Timeseries.add_probe ts ~name:"v_system" (fun () ->
       update_gauges t;
-      float_of_int (Load_balancer.v_system t.lb));
+      float_of_int (Load_balancer.v_system (active_lb t)));
   Array.iteri
     (fun i r ->
       Obs.Timeseries.add_probe ts
@@ -607,7 +822,7 @@ let start_observatory ?window_ms t =
   Obs.Timeseries.add_probe ts ~name:"certifier.standby_lag" (fun () ->
       float_of_int (Certifier.standby_lag t.certifier));
   Obs.Timeseries.add_probe ts ~name:"lb.session_floors" (fun () ->
-      float_of_int (Load_balancer.session_count t.lb));
+      float_of_int (Load_balancer.session_count (active_lb t)));
   Obs.Timeseries.add_probe ts ~name:"refresh_queue.total" (fun () ->
       Array.fold_left
         (fun acc r -> acc +. float_of_int (Replica.pending_refresh r))
@@ -631,8 +846,8 @@ let runlog_tier = function
   | Consistency.Causal -> Check.Runlog.Causal
   | Consistency.Eventual -> Check.Runlog.Eventual
 
-let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~epoch ~tier
-    ~table_set ~ws ~trace =
+let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~epoch ~lb_epoch
+    ~tier ~table_set ~ws ~trace =
   if t.cfg.Config.record_log then begin
     let entries = Storage.Writeset.entries ws in
     let record =
@@ -644,6 +859,7 @@ let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~epoch ~tier
         snapshot_version = snapshot;
         commit_version;
         epoch;
+        lb_epoch;
         tier = runlog_tier tier;
         table_set;
         tables_written = Storage.Writeset.tables ws;
@@ -657,25 +873,49 @@ let record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version ~epoch ~tier
     Check.Runlog.Sink.add t.log record
   end
 
+(* An LB outage stalls response relays until the standby takes over or
+   the instance revives — response legs are persistent, so they wait
+   rather than time out. Never entered without [Config.lb_standby]
+   (nothing ever crashes the only LB). *)
+let await_routable t =
+  let rec wait () =
+    if t.lb_crashed.(t.lb_active) then begin
+      Sim.Process.sleep t.engine (Float.max 1.0 t.cfg.Config.lb_repl_ms);
+      wait ()
+    end
+  in
+  wait ()
+
 (* Response path shared by every outcome: replica -> LB -> client, with
-   the LB's bookkeeping in between. *)
-let respond t ~replica_id ~ack_bytes ~on_lb =
+   the LB's bookkeeping in between. [route_lb] is the instance that
+   dispatched the transaction — its active-count must be balanced even
+   if routing moved on — while floors and freshness go to whichever
+   instance is authoritative when the response relays, so guarantees
+   handed out after a takeover live where the next request looks. *)
+let respond t ~route_lb ~route_epoch ~replica_id ~ack_bytes ~on_lb =
   (* The response implicitly reports the replica's applied version as of
      send time — free freshness information for the staleness router. *)
   let applied = Replica.v_local t.replicas.(replica_id) in
   (* Response legs are persistent transfers: once the replica holds a
      decision the client-visible outcome must eventually arrive, or a
      committed write would be reported lost. *)
-  Sim.Network.transfer t.network ~src:replica_id ~dst:Config.node_lb
+  await_routable t;
+  Sim.Network.transfer t.network ~src:replica_id ~dst:(lb_node t.lb_active)
     ~size_bytes:ack_bytes;
   Sim.Process.sleep t.engine t.cfg.Config.lb_ms;
+  await_routable t;
+  let lb = active_lb t in
   if t.cfg.Config.reliable then
-    Load_balancer.note_contact t.lb ~replica:replica_id
+    Load_balancer.note_contact lb ~replica:replica_id
       ~now:(Sim.Engine.now t.engine);
-  Load_balancer.note_applied t.lb ~replica:replica_id ~version:applied;
-  Load_balancer.note_complete t.lb ~replica:replica_id;
-  on_lb ();
-  Sim.Network.transfer t.network ~src:Config.node_lb ~dst:Config.node_client
+  Load_balancer.note_applied lb ~replica:replica_id ~version:applied;
+  Load_balancer.note_complete route_lb ~replica:replica_id;
+  if route_epoch < t.lb_epoch then
+    (* The dispatching LB was deposed while the transaction ran; the
+       relay is re-stamped by the successor. *)
+    t.lb_fenced <- t.lb_fenced + 1;
+  on_lb lb;
+  Sim.Network.transfer t.network ~src:(lb_node t.lb_active) ~dst:Config.node_client
     ~size_bytes:ack_bytes
 
 let submit t ~sid (req : Transaction.request) =
@@ -709,14 +949,35 @@ let submit t ~sid (req : Transaction.request) =
           Transaction.pp_abort_reason reason);
     Transaction.Aborted { reason; response_ms = now () -. begin_time }
   in
+  (* A crashed active LB answers nothing: the client burns its
+     retransmission budget and times out (the standby's takeover flips
+     routing for later requests). Checked before and after the leg —
+     the instance may die while the request is in flight. *)
+  let lb_down () = Array.length t.lbs > 1 && t.lb_crashed.(t.lb_active) in
+  let abort_lb_down () =
+    Sim.Process.sleep t.engine
+      (t.cfg.Config.rto_ms *. float_of_int (Stdlib.max 1 t.cfg.Config.max_retransmits));
+    abort_unrouted Transaction.Timeout
+  in
   (* Client -> load balancer. *)
+  if lb_down () then abort_lb_down ()
+  else
   match
-    leg_req ~src:Config.node_client ~dst:Config.node_lb
+    leg_req ~src:Config.node_client ~dst:(lb_node t.lb_active)
       ~size_bytes:(request_bytes req)
   with
   | Error `Timeout -> abort_unrouted Transaction.Timeout
   | Ok () ->
+  if lb_down () then abort_lb_down ()
+  else begin
   Sim.Process.sleep t.engine t.cfg.Config.lb_ms;
+  (* The dispatching instance and routing epoch are pinned here: the
+     active-count must be balanced on this instance even if a takeover
+     happens mid-flight, and the commit record carries the epoch so the
+     floor-preservation checker can see across takeovers. *)
+  let route_li = t.lb_active in
+  let route_lb = t.lbs.(route_li) in
+  let route_epoch = t.lb_epoch in
   (* Strong requests take the mode's version oracle; with read tiers
      enabled, a weaker read class is routed by staleness instead — the
      floor comes from the tier, the replica from its applied watermark.
@@ -724,13 +985,14 @@ let submit t ~sid (req : Transaction.request) =
      default [Strong] tier, keeping this path byte-identical. *)
   let replica_id, v_start =
     if t.cfg.Config.read_tiers && req.Transaction.tier <> Consistency.Strong then
-      Load_balancer.route_read t.lb ~sid ~tier:req.Transaction.tier ~now:(now ())
+      Load_balancer.route_read route_lb ~sid ~tier:req.Transaction.tier ~now:(now ())
     else
-      ( Load_balancer.choose_replica t.lb ~sid,
-        Load_balancer.start_version t.lb ~sid ~table_set:req.Transaction.table_set )
+      ( Load_balancer.choose_replica route_lb ~sid,
+        Load_balancer.start_version route_lb ~sid
+          ~table_set:req.Transaction.table_set )
   in
   let replica = t.replicas.(replica_id) in
-  Load_balancer.note_dispatch t.lb ~replica:replica_id;
+  Load_balancer.note_dispatch route_lb ~replica:replica_id;
   (match Metrics.txn_trace_id mtxn with
   | None -> ()
   | Some trace_id ->
@@ -740,13 +1002,13 @@ let submit t ~sid (req : Transaction.request) =
   Metrics.txn_locate mtxn ~replica:replica_id;
   (* Load balancer -> replica. *)
   match
-    leg_req ~src:Config.node_lb ~dst:replica_id ~size_bytes:(request_bytes req)
+    leg_req ~src:(lb_node route_li) ~dst:replica_id ~size_bytes:(request_bytes req)
   with
   | Error `Timeout ->
     (* The replica never saw the request; undo the dispatch count and
        answer the client directly from the LB. *)
-    Load_balancer.note_complete t.lb ~replica:replica_id;
-    Sim.Network.transfer t.network ~src:Config.node_lb ~dst:Config.node_client
+    Load_balancer.note_complete route_lb ~replica:replica_id;
+    Sim.Network.transfer t.network ~src:(lb_node route_li) ~dst:Config.node_client
       ~size_bytes:32;
     abort_unrouted Transaction.Timeout
   | Ok () ->
@@ -755,7 +1017,7 @@ let submit t ~sid (req : Transaction.request) =
         req.Transaction.profile replica_id v_start);
   let abort ?(finish = true) reason =
     if finish then Replica.finish_txn replica ~tid;
-    respond t ~replica_id ~ack_bytes:32 ~on_lb:(fun () -> ());
+    respond t ~route_lb ~route_epoch ~replica_id ~ack_bytes:32 ~on_lb:(fun _ -> ());
     Metrics.txn_abort mtxn
       ~slug:(Transaction.abort_slug reason)
       ~reason:(Format.asprintf "%a" Transaction.pp_abort_reason reason);
@@ -811,20 +1073,23 @@ let submit t ~sid (req : Transaction.request) =
         Replica.commit_read_only replica txn;
         Metrics.stage_exit mtxn Metrics.Commit;
         Replica.finish_txn replica ~tid;
-        respond t ~replica_id ~ack_bytes:64 ~on_lb:(fun () ->
-            Load_balancer.note_snapshot_ack t.lb ~sid ~snapshot);
+        respond t ~route_lb ~route_epoch ~replica_id ~ack_bytes:64 ~on_lb:(fun lb ->
+            Load_balancer.note_snapshot_ack lb ~sid ~snapshot);
         let response_ms = now () -. begin_time in
         let stages = Metrics.txn_stages mtxn in
         (* Served staleness: versions the snapshot trails V_system at
            response time — the read tiers' quality-of-service number. *)
-        let staleness = Stdlib.max 0 (Load_balancer.v_system t.lb - snapshot) in
+        let staleness =
+          Stdlib.max 0 (Load_balancer.v_system (active_lb t) - snapshot)
+        in
         Metrics.txn_commit mtxn ~read_only:true
           ~tier:(Consistency.tier_slug req.Transaction.tier)
           ~staleness;
         Obs.Registry.incr t.c_commit_ro;
         record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version:None
           ~epoch:(Certifier.current_epoch t.certifier)
-          ~tier:req.Transaction.tier ~table_set:req.Transaction.table_set ~ws
+          ~lb_epoch:route_epoch ~tier:req.Transaction.tier
+          ~table_set:req.Transaction.table_set ~ws
           ~trace:(Metrics.txn_trace_id mtxn);
         Transaction.Committed { commit_version = None; snapshot; stages; response_ms }
       end
@@ -890,8 +1155,9 @@ let submit t ~sid (req : Transaction.request) =
               Metrics.stage_enter mtxn Metrics.Global;
               Sim.Ivar.read ivar;
               Metrics.stage_exit mtxn Metrics.Global);
-            respond t ~replica_id ~ack_bytes:64 ~on_lb:(fun () ->
-                Load_balancer.note_commit_ack ~epoch ~now:(now ()) t.lb ~sid ~version
+            respond t ~route_lb ~route_epoch ~replica_id ~ack_bytes:64
+              ~on_lb:(fun lb ->
+                Load_balancer.note_commit_ack ~epoch ~now:(now ()) lb ~sid ~version
                   ~tables_written:(Storage.Writeset.tables ws));
             let response_ms = now () -. begin_time in
             let stages = Metrics.txn_stages mtxn in
@@ -899,7 +1165,8 @@ let submit t ~sid (req : Transaction.request) =
               ~args:[ ("version", string_of_int version) ];
             Obs.Registry.incr t.c_commit;
             record_commit t ~tid ~sid ~begin_time ~snapshot ~commit_version:(Some version)
-              ~epoch ~tier:Consistency.Strong ~table_set:req.Transaction.table_set ~ws
+              ~epoch ~lb_epoch:route_epoch ~tier:Consistency.Strong
+              ~table_set:req.Transaction.table_set ~ws
               ~trace:(Metrics.txn_trace_id mtxn);
             Log.debug (fun m ->
                 m "[%.3f] T%d committed at v%d (snapshot v%d, %.2fms)" (now ()) tid
@@ -907,6 +1174,7 @@ let submit t ~sid (req : Transaction.request) =
             Transaction.Committed
               { commit_version = Some version; snapshot; stages; response_ms })
       end))
+  end
 
 let run_for t ~warmup_ms ~measure_ms =
   let start = Sim.Engine.now t.engine in

@@ -21,7 +21,8 @@ val create :
   t
 (** Build a cluster: every replica gets the schemas and is populated by
     [load]. Spawns the per-replica sequencer processes and, if
-    configured, the MVCC vacuum process.
+    configured, the MVCC vacuum process. Raises [Invalid_argument] when
+    the configuration fails {!Config.validate}.
 
     With [~tracing:true] (default [false]) the cluster owns an
     {!Obs.Trace.t} and every component emits spans into it; virtual
@@ -43,6 +44,34 @@ val mode : t -> Consistency.mode
 val metrics : t -> Metrics.t
 val certifier : t -> Certifier.t
 val load_balancer : t -> Load_balancer.t
+(** The {e currently active} LB instance (see {!lb_active_index}). *)
+
+val lb_instance : t -> int -> Load_balancer.t
+(** LB instance [k] (0 = initial active, 1 = standby); test hook. *)
+
+val lb_count : t -> int
+(** 2 when [Config.lb_standby], else 1. *)
+
+val lb_active_index : t -> int
+(** Which instance clients currently route to. *)
+
+val lb_epoch : t -> int
+(** Routing epoch: 0 initially, bumped by every takeover. Commit records
+    carry the epoch that dispatched them ({!Check.Runlog.record}). *)
+
+val lb_is_crashed : t -> int -> bool
+
+val lb_takeovers : t -> int
+(** Times a standby LB deposed a silent active and took over routing. *)
+
+val lb_fenced : t -> int
+(** Stale-LB-epoch events rejected: state pushes from a deposed active,
+    and response relays whose dispatching instance was deposed
+    mid-flight. *)
+
+val lb_cert_fenced : t -> int
+(** {!Load_balancer.cert_fenced} summed over instances. *)
+
 val replica : t -> int -> Replica.t
 val rng : t -> Util.Rng.t
 (** A generator split from the cluster seed, for workload use. *)
@@ -138,3 +167,14 @@ val revive_certifier_node : t -> int -> unit
 (** Bring a crashed certifier group member back
     ({!Certifier.revive_node}): a deposed ex-primary rejoins as a
     standby and is reconciled against the ruling epoch. *)
+
+val crash_lb : t -> int -> unit
+(** Fail-stop LB instance [k]: it stops pushing state, client requests
+    routed to it time out, and response relays stall until the standby
+    takes over. Raises [Invalid_argument] without [Config.lb_standby] —
+    crashing the only LB would wedge the cluster forever. *)
+
+val recover_lb : t -> int -> unit
+(** Revive LB instance [k]. If it still believes itself active it
+    resumes pushing and is fenced (then deposed) by the successor's
+    higher epoch; otherwise it resumes as the standby. *)

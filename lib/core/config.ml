@@ -63,6 +63,11 @@ type t = {
   obs_hist_buckets_per_decade : int;
   read_tiers : bool;
   tier_history_ms : float;
+  cert_election_timeout_ms : float;
+  voter_lease_ms : float;
+  lb_standby : bool;
+  lb_repl_ms : float;
+  lb_suspect_after_ms : float;
 }
 
 (* Fault-plan node ids: replicas use their index (>= 0); the other roles
@@ -77,6 +82,10 @@ let node_certifier = -2
    the other roles so fault plans can partition an individual standby —
    or a promoted primary — without touching the rest of the cluster. *)
 let node_cert_standby k = if k = 0 then node_certifier else -8 - k
+
+(* The standby load balancer's endpoint (-5 is free: -6/-7 were never
+   assigned and certifier standbys live at -9 and below). *)
+let node_lb_standby = -5
 
 let default =
   {
@@ -132,6 +141,11 @@ let default =
     obs_hist_buckets_per_decade = 40;
     read_tiers = false;
     tier_history_ms = 5_000.0;
+    cert_election_timeout_ms = 15.0;
+    voter_lease_ms = 0.0;
+    lb_standby = false;
+    lb_repl_ms = 5.0;
+    lb_suspect_after_ms = 25.0;
   }
 
 let hardened c =
@@ -160,6 +174,38 @@ let tpcw =
 
 let batched c = { c with cert_batch = 8; apply_parallelism = c.cpus_per_replica }
 
+let validate c =
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  if c.replicas < 1 then err "replicas must be >= 1 (got %d)" c.replicas
+  else if c.certifier_standbys < 0 then
+    err "certifier-standbys must be >= 0 (got %d)" c.certifier_standbys
+  else if c.standby_ack_quorum > c.certifier_standbys then
+    err
+      "standby-ack-quorum (%d) exceeds the number of certifier standbys (%d): \
+       no commit could ever be released"
+      c.standby_ack_quorum c.certifier_standbys
+  else if c.certifier_standbys > 0 && c.cert_heartbeat_ms < 0.0 then
+    err "cert-heartbeat interval must be >= 0 (got %g ms)" c.cert_heartbeat_ms
+  else if c.certifier_standbys > 0 && c.cert_heartbeat_ms > 0.0 && c.cert_suspect_after_ms <= 0.0
+  then err "cert-suspect-after must be > 0 when heartbeats run (got %g ms)" c.cert_suspect_after_ms
+  else if c.certifier_standbys > 0 && c.promotion_backoff_ms < 0.0 then
+    err "promotion-backoff must be >= 0 (got %g ms)" c.promotion_backoff_ms
+  else if c.certifier_standbys > 0 && c.cert_election_timeout_ms <= 0.0 then
+    err "cert-election-timeout must be > 0 (got %g ms)" c.cert_election_timeout_ms
+  else if c.voter_lease_ms < 0.0 then
+    err "voter-lease must be >= 0 (0 disables; got %g ms)" c.voter_lease_ms
+  else if c.lb_standby && c.lb_repl_ms <= 0.0 then
+    err "lb-repl interval must be > 0 when the standby LB is on (got %g ms)" c.lb_repl_ms
+  else if c.lb_standby && c.lb_suspect_after_ms <= 0.0 then
+    err "lb-suspect-after must be > 0 when the standby LB is on (got %g ms)"
+      c.lb_suspect_after_ms
+  else if c.lb_standby && c.lb_suspect_after_ms <= c.lb_repl_ms then
+    err
+      "lb-suspect-after (%g ms) must exceed the lb-repl interval (%g ms) or the standby \
+       deposes a healthy LB on every push gap"
+      c.lb_suspect_after_ms c.lb_repl_ms
+  else Ok ()
+
 let pp ppf c =
   Format.fprintf ppf
     "@[<v>replicas=%d cpus=%d seed=%d@,\
@@ -173,7 +219,8 @@ let pp ppf c =
      heartbeat=%.0fms suspect=%.0fms dead=%.0fms evict=%.0fms \
      start_wait=%.0fms backoff=%.1f..%.0fms@,\
      certifier HA: standbys=%d ack_quorum=%s heartbeat=%.0fms suspect=%.0fms \
-     promotion_backoff=%.0fms@,\
+     promotion_backoff=%.0fms election_timeout=%.0fms voter_lease=%s@,\
+     lb HA: standby=%b repl=%.0fms suspect=%.0fms@,\
      observatory: window=%.0fms hist_buckets/decade=%d@,\
      read tiers: enabled=%b history=%.0fms@]"
     c.replicas c.cpus_per_replica c.seed c.net_base_ms c.net_jitter_ms c.net_bandwidth_mbps
@@ -186,4 +233,7 @@ let pp ppf c =
     c.certifier_standbys
     (if c.standby_ack_quorum <= 0 then "all" else string_of_int c.standby_ack_quorum)
     c.cert_heartbeat_ms c.cert_suspect_after_ms c.promotion_backoff_ms
+    c.cert_election_timeout_ms
+    (if c.voter_lease_ms <= 0.0 then "off" else Printf.sprintf "%.0fms" c.voter_lease_ms)
+    c.lb_standby c.lb_repl_ms c.lb_suspect_after_ms
     c.obs_window_ms c.obs_hist_buckets_per_decade c.read_tiers c.tier_history_ms

@@ -79,11 +79,13 @@ type t = {
   standby_ack_quorum : int;
       (** standby acknowledgements a commit batch waits for before its
           decisions are released (docs/PROTOCOL.md, "Certifier HA").
-          [<= 0] (the default) means {e all} standbys — the only setting
-          under which the promotion rule (highest acked log wins) is
-          guaranteed to preserve every released decision; smaller quorums
-          trade that guarantee for latency (see ROADMAP open items).
-          Clamped to the number of live standbys. *)
+          [<= 0] (the default) means {e all} standbys. Any setting is
+          safe: elections intersect the write quorum (a candidate needs
+          votes from enough voters that at least one holds every
+          released decision — see docs/PROTOCOL.md, "Control plane"),
+          so smaller quorums trade durability breadth for release
+          latency without risking a released decision. Clamped to the
+          number of live standbys. *)
   cert_heartbeat_ms : float;
       (** certifier-group heartbeat period: each standby pings the
           primary and the pong carries the primary's epoch and log head.
@@ -94,11 +96,12 @@ type t = {
       (** silence from the primary before a standby suspects it and arms
           promotion *)
   promotion_backoff_ms : float;
-      (** per-rank promotion stagger: the standby with the [n]-th best
-          (highest) replicated log waits [n * promotion_backoff_ms]
-          beyond the suspicion timeout before self-promoting, so the
-          best-replicated eligible standby wins without an election
-          protocol *)
+      (** per-rank {e candidacy} stagger: the standby with the [n]-th
+          best (highest) replicated log waits [n * promotion_backoff_ms]
+          beyond the suspicion timeout before starting a vote round, so
+          the best-replicated standby usually runs (and wins) the first
+          election uncontested. Purely a liveness optimisation — safety
+          comes from the vote rule, not the stagger. *)
   apply_parallelism : int;
       (** conflict-aware parallel refresh application: the maximum number
           of concurrent apply lanes a replica's commit sequencer forks
@@ -215,6 +218,42 @@ type t = {
           admissible ms-staleness requests (older cutoffs round {e up}
           to the oldest retained version — conservative, never violating
           the bound) *)
+  (* consensus-grade control plane (docs/PROTOCOL.md, "Control plane").
+     All three knob groups default so that control-plane-off runs are
+     event-identical to builds without them: elections only replace the
+     (reliable-mode) self-promotion path that already existed, the voter
+     lease is off at 0, and the standby LB is off. *)
+  cert_election_timeout_ms : float;
+      (** how long a candidate collects votes before tallying: a
+          suspicion-armed standby requests votes from every group
+          member, sleeps this long, and promotes only if it gathered a
+          quorum-intersecting majority (see docs/PROTOCOL.md). Must be
+          > 0 when [certifier_standbys > 0]. *)
+  voter_lease_ms : float;
+      (** voter liveness lease: a standby that has not acknowledged
+          replication for this long while the primary has decisions
+          outstanding is demoted to learner and leaves the ack quorum,
+          bounding the [standby_ack_quorum = all] commit stall under a
+          partitioned-but-alive voter to one lease window. The demoted
+          member is re-admitted by the existing learner→voter
+          reconciliation path as soon as its acks catch back up.
+          0 (the default) disables demotion — a partitioned voter then
+          stalls quorum=all commits until it heals. *)
+  lb_standby : bool;
+      (** run a standby load balancer ({!node_lb_standby}): the active
+          LB pushes its routing state ([V_system], certifier epoch,
+          session floors, applied watermarks, tier-history base) to the
+          standby every [lb_repl_ms]; the standby takes over after
+          [lb_suspect_after_ms] of push silence, conservatively
+          reconstructing floors from live replicas so read-your-writes
+          and bounded-staleness guarantees survive the takeover. The
+          deposed LB is fenced by the LB epoch. Off (the default) the
+          cluster runs the classic singleton LB and allocates none of
+          this. *)
+  lb_repl_ms : float;  (** LB state-push (and heartbeat) period *)
+  lb_suspect_after_ms : float;
+      (** push silence before the standby LB deposes the active one and
+          takes over; must exceed [lb_repl_ms] *)
 }
 
 (** {2 Fault-plan node ids}
@@ -233,6 +272,10 @@ val node_cert_standby : int -> int
 (** Network id of certifier-group member [k]: member 0 (the initial
     primary) is {!node_certifier}; standby [k >= 1] gets its own fixed
     negative id so fault plans can cut it off individually. *)
+
+val node_lb_standby : int
+(** Network id of the standby load balancer ([lb_standby = true]), so
+    fault plans can crash or partition either LB instance on its own. *)
 
 val default : t
 (** 8 replicas, 2 CPUs each, LAN latencies, service times calibrated so
@@ -258,5 +301,14 @@ val hardened : t -> t
     [start_wait_timeout_ms = 300], [retry_backoff_ms = 0.5]. This is the
     configuration the chaos harness ([repro chaos]) runs under; see
     docs/FAULTS.md. *)
+
+val validate : t -> (unit, string) result
+(** Reject nonsensical settings with a human-readable reason instead of
+    silently clamping or failing at runtime: an ack quorum larger than
+    the standby count (no commit could ever release), zero or negative
+    lease/heartbeat/election intervals, a standby-LB suspicion window
+    that does not exceed the push period. {!Cluster.create} runs this
+    and raises [Invalid_argument] on [Error]; the CLI surfaces the
+    message as a clean usage error. *)
 
 val pp : Format.formatter -> t -> unit

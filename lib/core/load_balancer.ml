@@ -30,6 +30,13 @@ type t = {
   mutable vs_history : (float * int) list;
   mutable vs_len : int;
   mutable vs_base : int;
+  (* LB failover (docs/PROTOCOL.md, "Control plane"): floor installed by
+     a takeover. Session floors replicated to a standby may lag the
+     active LB by up to one push period, so a fresh active conservatively
+     raises {e every} session's floor to the reconstructed system floor —
+     read-your-writes survives the lost tail. 0 (never taken over) is
+     invisible: [max 0 v = v]. *)
+  mutable floor_min : int;
 }
 
 let create ?rng cfg ~mode =
@@ -53,6 +60,7 @@ let create ?rng cfg ~mode =
     vs_history = [];
     vs_len = 0;
     vs_base = 0;
+    floor_min = 0;
   }
 
 let mode t = t.mode
@@ -160,11 +168,17 @@ let set_live t ~replica flag = t.live.(replica) <- flag
 
 let is_live t ~replica = t.live.(replica)
 
+(* [floor_min] bounds every table from below, not just sessions: the
+   push-period tail lost in a takeover could have written any table, so
+   a fresh active must assume each table was written at the
+   reconstructed floor until it observes a newer ack. *)
 let table_version t name =
-  Option.value (Util.Tables.Stbl.find_opt t.table_versions name) ~default:0
+  max t.floor_min
+    (Option.value (Util.Tables.Stbl.find_opt t.table_versions name) ~default:0)
 
 let session_version t ~sid =
-  Option.value (Util.Tables.Itbl.find_opt t.session_versions sid) ~default:0
+  max t.floor_min
+    (Option.value (Util.Tables.Itbl.find_opt t.session_versions sid) ~default:0)
 
 let start_version t ~sid ~table_set =
   match t.mode with
@@ -325,3 +339,75 @@ let route_read t ~sid ~tier ~now =
   in
   if chosen < 0 then failwith "Load_balancer.route_read: no live replica";
   (chosen, floor)
+
+(* --- LB state replication (docs/PROTOCOL.md, "Control plane") --------
+
+   The routing state worth surviving a takeover is tiny and monotone:
+   [V_system], the certifier epoch, per-table and per-session version
+   floors, per-replica applied watermarks and the tier-history base.
+   The active LB snapshots it every [Config.lb_repl_ms] and pushes it to
+   the standby, which max-merges — replays and reordering are harmless,
+   so the push can ride the lossy fire-and-forget network. Everything
+   deliberately NOT replicated (active counts, detector state, the
+   [V_system] history list) is either per-instance by nature or rebuilt
+   conservatively: the fresh active re-learns contacts and watermarks
+   from traffic, and ms-staleness floors resolve to [vs_base] — rounded
+   up, never violating a bound. *)
+
+type state = {
+  st_v_system : int;
+  st_cert_epoch : int;
+  st_tables : (string * int) list;
+  st_sessions : (int * int) list;
+  st_applied : int array;
+  st_vs_base : int;
+  st_floor_min : int;
+}
+
+let capture t =
+  {
+    st_v_system = t.v_system;
+    st_cert_epoch = t.cert_epoch;
+    st_tables = Util.Tables.Stbl.fold (fun k v acc -> (k, v) :: acc) t.table_versions [];
+    st_sessions =
+      Util.Tables.Itbl.fold (fun k v acc -> (k, v) :: acc) t.session_versions [];
+    st_applied = Array.copy t.applied;
+    st_vs_base = max t.vs_base t.floor_min;
+    st_floor_min = t.floor_min;
+  }
+
+let state_bytes st =
+  64
+  + (12 * List.length st.st_tables)
+  + (8 * List.length st.st_sessions)
+  + (4 * Array.length st.st_applied)
+
+let absorb t st =
+  if st.st_v_system > t.v_system then t.v_system <- st.st_v_system;
+  if st.st_cert_epoch > t.cert_epoch then t.cert_epoch <- st.st_cert_epoch;
+  List.iter
+    (fun (table, v) ->
+      if v > table_version t table then Util.Tables.Stbl.replace t.table_versions table v)
+    st.st_tables;
+  List.iter
+    (fun (sid, v) ->
+      if v > Option.value (Util.Tables.Itbl.find_opt t.session_versions sid) ~default:0
+      then Util.Tables.Itbl.replace t.session_versions sid v)
+    st.st_sessions;
+  Array.iteri
+    (fun i v -> if i < Array.length t.applied && v > t.applied.(i) then t.applied.(i) <- v)
+    st.st_applied;
+  if st.st_vs_base > t.vs_base then t.vs_base <- st.st_vs_base;
+  if st.st_floor_min > t.floor_min then t.floor_min <- st.st_floor_min
+
+(* Takeover: install the conservative floor the cluster reconstructed
+   (replicated [V_system] ∨ live-replica probe maxima). Raising
+   [floor_min] lifts every session floor at once; raising [vs_base]
+   makes ms-staleness cutoffs that predate this instance's (empty)
+   history resolve at or above the floor. *)
+let note_takeover t ~floor =
+  if floor > t.v_system then t.v_system <- floor;
+  if floor > t.vs_base then t.vs_base <- floor;
+  if floor > t.floor_min then t.floor_min <- floor
+
+let floor_min t = t.floor_min

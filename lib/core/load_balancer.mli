@@ -154,6 +154,40 @@ val tier_floor : t -> sid:int -> tier:Consistency.read_tier -> now:float -> int
     to the newest pruned version). Raises [Invalid_argument] for
     [Strong] — strong reads take the mode's {!start_version}. *)
 
+(** {2 LB state replication and takeover (docs/PROTOCOL.md, "Control
+    plane")}
+
+    The routing state worth surviving a takeover — [V_system], certifier
+    epoch, table/session floors, applied watermarks, tier-history base —
+    is snapshotted by the active LB and max-merged by the standby, so
+    pushes tolerate loss, duplication and reordering. The cluster owns
+    the processes; this module only moves state. *)
+
+type state
+(** One replication snapshot. *)
+
+val capture : t -> state
+
+val state_bytes : state -> int
+(** Wire size of a snapshot (for the simulated network). *)
+
+val absorb : t -> state -> unit
+(** Max-merge a snapshot into this instance: versions and floors only
+    ever go up, so stale or duplicated pushes are no-ops. *)
+
+val note_takeover : t -> floor:int -> unit
+(** Install the takeover floor on a freshly promoted active LB:
+    [V_system], the tier-history base and {!floor_min} are raised to
+    [floor] — the max of the replicated [V_system] and the live
+    replicas' probed commit points — so every guarantee the deposed LB
+    had handed out (session floors included, which may lag replication
+    by one push period) is covered conservatively. *)
+
+val floor_min : t -> int
+(** The takeover floor below which no session floor ever resolves
+    (0 until a takeover happens). {!session_version} already applies
+    it. *)
+
 val route_read : t -> sid:int -> tier:Consistency.read_tier -> now:float -> int * int
 (** Route a read-only request of the given tier: returns
     [(replica, floor)]. Prefers live+healthy replicas whose known

@@ -51,6 +51,11 @@ type t = {
   mutable promotions : int;
   mutable fenced : int;
   outage_windows : Util.Stats.t;  (* commit-outage span per promotion, ms *)
+  (* consensus-grade control plane *)
+  mutable elections : int;
+  mutable vote_denials : int;
+  mutable lease_expiries : int;
+  mutable lb_takeovers : int;
   (* per-read-tier breakdown (docs/CONSISTENCY.md): keyed by
      Consistency.tier_slug; populated only for read-only commits, so it
      stays empty in runs that never commit a read *)
@@ -109,6 +114,10 @@ let create engine =
     promotions = 0;
     fenced = 0;
     outage_windows = Util.Stats.create ();
+    elections = 0;
+    vote_denials = 0;
+    lease_expiries = 0;
+    lb_takeovers = 0;
     tiers = Stbl.create 4;
     observer = None;
     health = None;
@@ -145,6 +154,10 @@ let reset_window t =
   t.promotions <- 0;
   t.fenced <- 0;
   Util.Stats.clear t.outage_windows;
+  t.elections <- 0;
+  t.vote_denials <- 0;
+  t.lease_expiries <- 0;
+  t.lb_takeovers <- 0;
   Stbl.reset t.tiers
 
 let note_cert_batch t ~size =
@@ -321,8 +334,20 @@ let note_promotion t ~outage_ms =
 
 let note_fenced t = t.fenced <- t.fenced + 1
 
+let note_election t = t.elections <- t.elections + 1
+
+let note_vote_denial t = t.vote_denials <- t.vote_denials + 1
+
+let note_lease_expiry t = t.lease_expiries <- t.lease_expiries + 1
+
+let note_lb_takeover t = t.lb_takeovers <- t.lb_takeovers + 1
+
 let promotions t = t.promotions
 let fenced t = t.fenced
+let elections t = t.elections
+let vote_denials t = t.vote_denials
+let lease_expiries t = t.lease_expiries
+let lb_takeovers t = t.lb_takeovers
 let outage_windows t = t.outage_windows
 let outage_max_ms t = Util.Stats.max_value t.outage_windows
 
@@ -458,6 +483,10 @@ let pp_summary ppf t =
       t.promotions t.fenced
       (Util.Stats.mean t.outage_windows)
       (Util.Stats.max_value t.outage_windows);
+  if t.elections + t.vote_denials + t.lease_expiries + t.lb_takeovers > 0 then
+    Format.fprintf ppf
+      "control plane: elections=%d vote_denials=%d lease_expiries=%d lb_takeovers=%d@,"
+      t.elections t.vote_denials t.lease_expiries t.lb_takeovers;
   (* The tier table always carries read-only commits under "strong";
      print the breakdown only once a weaker class shows up, so runs
      without tiered traffic keep the classic summary. *)

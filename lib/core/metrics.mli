@@ -177,9 +177,32 @@ val note_fenced : t -> unit
 (** A stale-epoch certifier message (refresh batch, repair stream,
     replication push or decision) was rejected by an epoch fence. *)
 
+val note_election : t -> unit
+(** A suspecting standby started a vote round (won or not). *)
+
+val note_vote_denial : t -> unit
+(** A voter refused a candidate (log behind, stale target epoch, vote
+    already granted elsewhere, or learner). *)
+
+val note_lease_expiry : t -> unit
+(** The voter liveness lease demoted an unresponsive voter to learner
+    ([Config.voter_lease_ms]). *)
+
+val note_lb_takeover : t -> unit
+(** The standby load balancer deposed a silent active LB and took over
+    routing ([Config.lb_standby]). *)
+
 val promotions : t -> int
 
 val fenced : t -> int
+
+val elections : t -> int
+
+val vote_denials : t -> int
+
+val lease_expiries : t -> int
+
+val lb_takeovers : t -> int
 
 val outage_windows : t -> Util.Stats.t
 (** Per-promotion commit-outage spans (ms). *)

@@ -2,9 +2,9 @@ let log_src = Logs.Src.create "repro.chaos" ~doc:"Seeded fault-schedule soak har
 
 module Log = (val Logs.src_log log_src)
 
-type plan = Clean | Lossy | Partitions | Gray | Mixed | CertFailover
+type plan = Clean | Lossy | Partitions | Gray | Mixed | CertFailover | ControlPlane
 
-let all_plans = [ Clean; Lossy; Partitions; Gray; Mixed; CertFailover ]
+let all_plans = [ Clean; Lossy; Partitions; Gray; Mixed; CertFailover; ControlPlane ]
 
 let plan_name = function
   | Clean -> "clean"
@@ -13,6 +13,7 @@ let plan_name = function
   | Gray -> "gray"
   | Mixed -> "mixed"
   | CertFailover -> "cert-failover"
+  | ControlPlane -> "control-plane"
 
 let plan_of_string = function
   | "clean" -> Ok Clean
@@ -21,10 +22,12 @@ let plan_of_string = function
   | "gray" -> Ok Gray
   | "mixed" -> Ok Mixed
   | "cert-failover" -> Ok CertFailover
+  | "control-plane" -> Ok ControlPlane
   | s ->
     Error
       (Printf.sprintf
-         "unknown fault plan %S (clean|lossy|partitions|gray|mixed|cert-failover)" s)
+         "unknown fault plan %S \
+          (clean|lossy|partitions|gray|mixed|cert-failover|control-plane)" s)
 
 (* Every schedule below is derived only from [seed] and [duration_ms]:
    same inputs, same plan, bit for bit. All windows close by
@@ -89,7 +92,27 @@ let build_plan plan ~seed ~duration_ms ~replicas engine =
       ~b:[] ~from_ms:(frac 0.18) ~until_ms:(frac 0.55) ();
     Sim.Faults.partition f
       ~a:[ Core.Config.node_cert_standby 1 ]
-      ~b:[] ~from_ms:(frac 0.5) ~until_ms:(frac 0.7) ());
+      ~b:[] ~from_ms:(frac 0.5) ~until_ms:(frac 0.7) ()
+  | ControlPlane ->
+    (* Whole-control-plane havoc (certifier group AND load balancer in
+       one run), layered over mild ambient loss. Three overlapping
+       phases, all healed by 0.75d:
+       - [0.12d, 0.30d]: a caught-up standby is partitioned while the
+         primary is healthy — under [standby_ack_quorum = all] every
+         commit stalls until the voter lease demotes it to learner;
+       - [0.25d, 0.55d]: the active LB is crashed by the soak schedule
+         (below); the standby LB must take over routing with floors
+         intact, and the deposed instance is fenced when it returns;
+       - [0.45d, 0.62d]: the certifier primary is crashed by the soak
+         schedule — overlapping the LB outage window's tail, so for a
+         while the cluster has neither its original router nor its
+         original certifier — and a quorum-intersecting election must
+         promote a safe successor. *)
+    Sim.Faults.set_default f
+      (Sim.Faults.spec ~drop:0.02 ~duplicate:0.01 ~delay:0.02 ~delay_ms:10.0 ());
+    Sim.Faults.partition f
+      ~a:[ Core.Config.node_cert_standby 1 ]
+      ~b:[] ~from_ms:(frac 0.12) ~until_ms:(frac 0.3) ());
   f
 
 type result = {
@@ -118,6 +141,12 @@ type result = {
   promotions : int;  (** automatic certifier promotions *)
   fenced : int;  (** stale-epoch certifier messages/decisions rejected *)
   epoch : int;  (** final certifier epoch *)
+  elections : int;  (** certifier vote rounds started *)
+  vote_denials : int;  (** ballots refused by voters *)
+  lease_expiries : int;  (** voters demoted to learner by the liveness lease *)
+  lb_takeovers : int;  (** standby-LB routing takeovers *)
+  lb_fenced : int;  (** stale-LB-epoch pushes/relays rejected *)
+  lb_epoch : int;  (** final LB routing epoch *)
   divergent_log_entries : int;
       (** versions whose writeset differs between two certifier group
           members' retained logs (must be 0: same version, same decision
@@ -133,6 +162,10 @@ let ok r =
   (* The cert-failover plan exists to exercise automatic promotion: a
      run where no standby ever took over proves nothing. *)
   && (r.plan <> CertFailover || r.promotions >= 1)
+  (* Likewise, a control-plane run must see both halves actually fail
+     over: at least one safe election-backed promotion AND at least one
+     standby-LB takeover. *)
+  && (r.plan <> ControlPlane || (r.promotions >= 1 && r.lb_takeovers >= 1))
 
 (* The per-mode checker battery: first-committer-wins (no lost or
    double-committed writes under GSI) and epoch fencing (commit versions
@@ -143,6 +176,12 @@ let checkers mode =
     [
       ("first_committer_wins", Check.Runlog.first_committer_wins);
       ("epoch_fencing", Check.Runlog.epoch_fencing);
+      (* Control-plane invariants: one certification history (no version
+         assigned twice by rival primaries), and LB takeovers preserve
+         handed-out session guarantees. Both trivially empty on runs
+         without failovers. *)
+      ("election_safety", Check.Runlog.election_safety);
+      ("lb_floor_preservation", Check.Runlog.lb_floor_preservation);
       (* The read-tier contracts constrain only records of their own
          class, so they are trivially empty on untiered logs and can
          ride in every battery. *)
@@ -227,6 +266,23 @@ let soak ?config ?(params = default_params) ?(clients = 12) ?(tiers = false) ~mo
       { config with Core.Config.certifier_standbys = 2 }
     else config
   in
+  (* The control-plane plan needs the whole HA surface: two certifier
+     standbys (an election quorum that survives one partitioned voter),
+     a standby LB, and the voter lease — under the default
+     [standby_ack_quorum = all] the partitioned-voter phase would
+     otherwise stall commits for its entire window. *)
+  let config =
+    if plan = ControlPlane then
+      {
+        config with
+        Core.Config.certifier_standbys = max 2 config.Core.Config.certifier_standbys;
+        lb_standby = true;
+        voter_lease_ms =
+          (if config.Core.Config.voter_lease_ms <= 0.0 then 100.0
+           else config.Core.Config.voter_lease_ms);
+      }
+    else config
+  in
   let replicas = config.Core.Config.replicas in
   let cluster =
     Core.Cluster.create ~config
@@ -259,6 +315,24 @@ let soak ?config ?(params = default_params) ?(clients = 12) ?(tiers = false) ~mo
         Core.Cluster.crash_certifier cluster;
         Sim.Process.sleep engine (0.24 *. duration_ms);
         Core.Cluster.revive_certifier_node cluster 0);
+  (* The control-plane schedule (see the plan's phase comment in
+     [build_plan]): crash the active LB while the certifier group is
+     digesting a partitioned voter, then crash the certifier primary
+     while the LB outage still holds — both successors must come up, by
+     takeover and by election, with no released guarantee lost. *)
+  if plan = ControlPlane then begin
+    Sim.Process.spawn engine (fun () ->
+        Sim.Process.sleep engine (0.25 *. duration_ms);
+        let victim = Core.Cluster.lb_active_index cluster in
+        Core.Cluster.crash_lb cluster victim;
+        Sim.Process.sleep engine (0.3 *. duration_ms);
+        Core.Cluster.recover_lb cluster victim);
+    Sim.Process.spawn engine (fun () ->
+        Sim.Process.sleep engine (0.45 *. duration_ms);
+        Core.Cluster.crash_certifier cluster;
+        Sim.Process.sleep engine (0.17 *. duration_ms);
+        Core.Cluster.revive_certifier_node cluster 0)
+  end;
   Core.Client.spawn_many cluster ~n:clients ~first_sid:0
     (if tiers then Workload.Microbench.tiered_workload params
      else Workload.Microbench.workload params);
@@ -338,10 +412,16 @@ let soak ?config ?(params = default_params) ?(clients = 12) ?(tiers = false) ~mo
           (fun acc i -> acc + Core.Replica.fenced_refreshes (Core.Cluster.replica cluster i))
           0
           (Array.init replicas Fun.id)
-      + Core.Load_balancer.cert_fenced (Core.Cluster.load_balancer cluster);
+      + Core.Cluster.lb_cert_fenced cluster;
     epoch = Core.Certifier.current_epoch (Core.Cluster.certifier cluster);
     divergent_log_entries = divergent_log_entries (Core.Cluster.certifier cluster);
     outage_max_ms = Core.Metrics.outage_max_ms metrics;
+    elections = Core.Certifier.elections (Core.Cluster.certifier cluster);
+    vote_denials = Core.Certifier.vote_denials (Core.Cluster.certifier cluster);
+    lease_expiries = Core.Certifier.lease_expiries (Core.Cluster.certifier cluster);
+    lb_takeovers = Core.Cluster.lb_takeovers cluster;
+    lb_fenced = Core.Cluster.lb_fenced cluster;
+    lb_epoch = Core.Cluster.lb_epoch cluster;
   }
 
 let reproducible ?config ?params ?clients ?tiers ~mode ~plan ~seed ~duration_ms () =
@@ -354,7 +434,7 @@ let pp_result ppf r =
   Format.fprintf ppf
     "%-7s %-13s seed=%-4d %s  committed=%-5d aborted=%-4d violations=%d%s%s%s  \
      drain=%.0fms  faults: drop=%d dup=%d delay=%d retx=%d suspects=%d failovers=%d \
-     reprov=%d evict=%d%s  digest=%s"
+     reprov=%d evict=%d%s%s  digest=%s"
     (Core.Consistency.to_string r.mode)
     (plan_name r.plan ^ if r.tiers then "+tiers" else "")
     r.seed
@@ -373,6 +453,10 @@ let pp_result ppf r =
     (if r.epoch > 0 then
        Printf.sprintf " epoch=%d promotions=%d fenced=%d outage_max=%.0fms" r.epoch
          r.promotions r.fenced r.outage_max_ms
+     else "")
+    (if r.elections + r.lb_takeovers + r.lease_expiries > 0 then
+       Printf.sprintf " elections=%d denials=%d leases=%d lb_takeovers=%d lb_fenced=%d"
+         r.elections r.vote_denials r.lease_expiries r.lb_takeovers r.lb_fenced
      else "")
     (String.sub r.digest 0 12)
 
@@ -414,6 +498,12 @@ let result_json r =
       ("promotions", num r.promotions);
       ("fenced", num r.fenced);
       ("epoch", num r.epoch);
+      ("elections", num r.elections);
+      ("vote_denials", num r.vote_denials);
+      ("lease_expiries", num r.lease_expiries);
+      ("lb_takeovers", num r.lb_takeovers);
+      ("lb_fenced", num r.lb_fenced);
+      ("lb_epoch", num r.lb_epoch);
       ("outage_max_ms", Obs.Json.Num r.outage_max_ms);
       ("digest", Obs.Json.Str r.digest);
     ]

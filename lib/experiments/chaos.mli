@@ -26,6 +26,17 @@ type plan =
           Promotions are automatic; the soak requires at least one, zero
           consistency violations and zero decision divergence across the
           group's log copies. Forces [certifier_standbys >= 2]. *)
+  | ControlPlane
+      (** combined control-plane havoc: a certifier standby is
+          partitioned away while the primary is healthy (exercising the
+          partitioned-voter lease under [standby_ack_quorum = all]),
+          then the active LB is crashed (the standby LB must take over
+          routing with session floors intact), and while the LB outage
+          still holds the certifier primary is crashed (the survivors
+          must elect a successor by quorum vote). Requires at least one
+          automatic promotion AND one LB takeover, zero violations,
+          zero divergent log entries. Forces [certifier_standbys >= 2],
+          [lb_standby], and a nonzero [voter_lease_ms]. *)
 
 val all_plans : plan list
 
@@ -66,6 +77,13 @@ type result = {
       (** stale-epoch certifier messages/decisions rejected, summed over
           certifier, replicas and load balancer *)
   epoch : int;  (** final certifier epoch (0 when no failover happened) *)
+  elections : int;  (** certifier vote rounds started *)
+  vote_denials : int;  (** votes refused (stale log, old ballot, busy) *)
+  lease_expiries : int;
+      (** partitioned voters demoted out of the ack quorum by lease *)
+  lb_takeovers : int;  (** standby-LB routing takeovers *)
+  lb_fenced : int;  (** stale-LB-epoch pushes/relays rejected *)
+  lb_epoch : int;  (** final LB routing epoch (0 when no takeover) *)
   divergent_log_entries : int;
       (** versions whose writeset differs between two certifier group
           members' retained logs (must be 0) *)
@@ -76,7 +94,13 @@ type result = {
 val ok : result -> bool
 (** No checker violations, no duplicate commit versions, no divergent
     certifier log entries, not wedged — and, under {!CertFailover}, at
-    least one automatic promotion. *)
+    least one automatic promotion; under {!ControlPlane}, at least one
+    automatic promotion and one LB takeover. *)
+
+val default_config : seed:int -> Core.Config.t
+(** The config a soak runs under when none is given: a hardened
+    3-replica cluster with [record_log] on. Exposed so CLI overrides
+    can start from the same base the soak would use. *)
 
 val soak :
   ?config:Core.Config.t ->

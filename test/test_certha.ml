@@ -327,6 +327,7 @@ let fence_record ?(epoch = 0) tid ~commit =
     snapshot_version = 0;
     commit_version = Some commit;
     epoch;
+    lb_epoch = 0;
     table_set = [ "t" ];
     tier = Check.Runlog.Strong;
     tables_written = [ "t" ];

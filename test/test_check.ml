@@ -118,7 +118,7 @@ let test_commits_before_begin () =
 (* --- Runlog checkers --- *)
 
 let record ?(session = 0) ?(table_set = [ "t" ]) ?(written = []) ?(keys = []) ?(epoch = 0)
-    ?(tier = Runlog.Strong) tid ~begin_ ~ack ~snapshot ~commit =
+    ?(lb_epoch = 0) ?(tier = Runlog.Strong) tid ~begin_ ~ack ~snapshot ~commit =
   {
     Runlog.tid;
     session;
@@ -127,6 +127,7 @@ let record ?(session = 0) ?(table_set = [ "t" ]) ?(written = []) ?(keys = []) ?(
     snapshot_version = snapshot;
     commit_version = commit;
     epoch;
+    lb_epoch;
     table_set;
     tier;
     tables_written = written;
