@@ -376,7 +376,7 @@ let check_cmd =
 (* --- chaos: seeded fault-schedule soak --- *)
 
 let chaos seeds seed_count duration plan_str modes_str tiers cert_standbys ack_quorum
-    voter_lease lb_standby verify_digest health_file jobs =
+    voter_lease lb_standby verify_digest health_file offered_tps protections jobs =
   match Experiments.Chaos.plan_of_string plan_str with
   | Error e -> `Error (false, e)
   | Ok plan -> (
@@ -441,8 +441,8 @@ let chaos seeds seed_count duration plan_str modes_str tiers cert_standbys ack_q
         (if tiers then " (mixed-tier reads)" else "")
         (List.length seeds) (List.length modes) duration;
       let results =
-        Experiments.Chaos.soak_matrix ?config ~tiers ~modes ~plans:[ plan ] ~jobs
-          ~seeds ~duration_ms ()
+        Experiments.Chaos.soak_matrix ?config ~tiers ~protections ~offered_tps ~modes
+          ~plans:[ plan ] ~jobs ~seeds ~duration_ms ()
       in
       List.iter (fun r -> Format.printf "%a@." Experiments.Chaos.pp_result r) results;
       (match health_file with
@@ -457,8 +457,8 @@ let chaos seeds seed_count duration plan_str modes_str tiers cert_standbys ack_q
              runlog: the whole stack, faults included, is deterministic. *)
           let mode = List.hd modes and seed = List.hd seeds in
           let _, same =
-            Experiments.Chaos.reproducible ?config ~tiers ~mode ~plan ~seed
-              ~duration_ms ()
+            Experiments.Chaos.reproducible ?config ~tiers ~protections ~offered_tps
+              ~mode ~plan ~seed ~duration_ms ()
           in
           Printf.printf "\ndigest reproducibility (%s, seed %d): %s\n"
             (Core.Consistency.to_string mode)
@@ -487,8 +487,8 @@ let chaos_duration_arg =
 
 let chaos_plan_arg =
   let doc =
-    "Fault plan: clean, lossy, partitions, gray, mixed, cert-failover or \
-     control-plane."
+    "Fault plan: clean, lossy, partitions, gray, mixed, cert-failover, control-plane \
+     or overload (open-loop metastable-failure reproduction)."
   in
   Arg.(value & opt string "mixed" & info [ "plan" ] ~docv:"PLAN" ~doc)
 
@@ -531,6 +531,21 @@ let chaos_no_digest_arg =
   let doc = "Skip the double-run digest reproducibility check." in
   Arg.(value & flag & info [ "no-digest-check" ] ~doc)
 
+let chaos_offered_arg =
+  let doc =
+    "Aggregate open-loop arrival rate for the overload plan, in offered \
+     transactions/second (ignored by the closed-loop plans)."
+  in
+  Arg.(value & opt float 6_000.0 & info [ "offered-tps" ] ~docv:"TPS" ~doc)
+
+let chaos_no_protections_arg =
+  let doc =
+    "Overload plan only: leave every overload-protection knob off — the control arm \
+     that demonstrates the metastable collapse (the soak is expected to FAIL its \
+     shed requirement)."
+  in
+  Arg.(value & flag & info [ "no-protections" ] ~doc)
+
 let chaos_health_arg =
   let doc =
     "Write the per-run health timeline (faults injected, detector and HA events, \
@@ -547,12 +562,120 @@ let chaos_cmd =
           consistency, liveness and reproducibility")
     Term.(
       ret
-        (const (fun seeds n d p m t cs aq vl lbs nd hf jobs ->
-             chaos seeds n d p m t cs aq vl lbs (not nd) hf jobs)
+        (const (fun seeds n d p m t cs aq vl lbs nd hf otps noprot jobs ->
+             chaos seeds n d p m t cs aq vl lbs (not nd) hf otps (not noprot) jobs)
         $ chaos_seeds_arg $ chaos_seed_count_arg $ chaos_duration_arg $ chaos_plan_arg
         $ chaos_modes_arg $ chaos_tiers_arg $ chaos_cert_standbys_arg
         $ chaos_ack_quorum_arg $ chaos_voter_lease_arg $ chaos_lb_standby_arg
-        $ chaos_no_digest_arg $ chaos_health_arg $ jobs_arg))
+        $ chaos_no_digest_arg $ chaos_health_arg $ chaos_offered_arg
+        $ chaos_no_protections_arg $ jobs_arg))
+
+(* --- overload: open-loop offered-rate sweep --- *)
+
+let overload rates_str mode_str protect seed clients duration warmup json_file jobs =
+  match Core.Consistency.of_string mode_str with
+  | Error e -> `Error (false, e)
+  | Ok mode -> (
+    let rates =
+      let parts = String.split_on_char ',' rates_str in
+      List.fold_left
+        (fun acc r ->
+          match (acc, float_of_string_opt (String.trim r)) with
+          | Error e, _ -> Error e
+          | Ok _, None -> Error (Printf.sprintf "bad offered rate %S" (String.trim r))
+          | Ok _, Some r when r <= 0.0 ->
+            Error (Printf.sprintf "offered rate must be > 0 (got %g)" r)
+          | Ok rs, Some r -> Ok (rs @ [ r ]))
+        (Ok []) parts
+    in
+    match rates with
+    | Error e -> `Error (false, e)
+    | Ok [] -> `Error (false, "empty rate list")
+    | Ok rates ->
+      (* The protected arm arms the same stack the chaos overload soak
+         uses, so the sweep's plateau and the soak's recovery claim are
+         about one configuration. *)
+      let config =
+        let c = with_seed seed (Experiments.Chaos.default_config ~seed) in
+        if protect then
+          {
+            c with
+            Core.Config.admission_limit = 48;
+            cert_queue_bound = 24;
+            apply_lag_gap = 200;
+            retry_budget = 6.0;
+            retry_budget_per_s = 2.0;
+            deadline_ms = 500.0;
+          }
+        else c
+      in
+      Printf.printf
+        "Open-loop sweep: mode=%s, %d rate(s), %.1fs measured, protections %s\n\n"
+        (Core.Consistency.to_string mode)
+        (List.length rates) duration
+        (if protect then "ON" else "off");
+      let points =
+        Experiments.Overload.sweep ~config ~clients ~jobs ~mode ~rates
+          ~warmup_ms:(warmup *. 1000.0) ~measure_ms:(duration *. 1000.0) ()
+      in
+      List.iter (fun p -> Format.printf "%a@." Experiments.Overload.pp_point p) points;
+      (match json_file with
+      | None -> `Ok ()
+      | Some file ->
+        let out = open_out file in
+        output_string out (Obs.Json.to_string (Experiments.Overload.sweep_json ~mode points));
+        output_char out '\n';
+        close_out out;
+        Printf.printf "\nwrote sweep to %s\n" file;
+        `Ok ()))
+
+let overload_rates_arg =
+  let doc = "Comma-separated offered arrival rates (aggregate tps) to sweep." in
+  Arg.(
+    value
+    & opt string "1000,2000,4000,8000,12000,16000"
+    & info [ "rates" ] ~docv:"TPS,TPS,..." ~doc)
+
+let overload_mode_arg =
+  let doc = "Consistency mode for the sweep." in
+  Arg.(value & opt string "coarse" & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let overload_protect_arg =
+  let doc =
+    "Arm the overload-protection stack (admission control, bounded certifier \
+     backlog, apply-lag governor, retry budget, deadlines) — the same knobs the \
+     chaos overload soak uses. Off by default so the bare collapse is visible."
+  in
+  Arg.(value & flag & info [ "protect" ] ~doc)
+
+let overload_clients_arg =
+  let doc = "Open-loop generators the offered rate is split across." in
+  Arg.(value & opt int 16 & info [ "clients" ] ~docv:"N" ~doc)
+
+let overload_duration_arg =
+  let doc = "Measured virtual seconds per point." in
+  Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let overload_warmup_arg =
+  let doc = "Warmup virtual seconds per point (excluded from the measurement)." in
+  Arg.(value & opt float 0.5 & info [ "warmup" ] ~docv:"SECONDS" ~doc)
+
+let overload_json_arg =
+  let doc = "Write the sweep points as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let overload_cmd =
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:
+         "Sweep an open-loop offered-load range and report goodput, shedding, tail \
+          latency and queue depth — the goodput-vs-offered-load curve, with or \
+          without the overload-protection stack")
+    Term.(
+      ret
+        (const overload $ overload_rates_arg $ overload_mode_arg $ overload_protect_arg
+        $ seed_arg $ overload_clients_arg $ overload_duration_arg $ overload_warmup_arg
+        $ overload_json_arg $ jobs_arg))
 
 (* --- tiers: read-tier latency/staleness frontier --- *)
 
@@ -595,8 +718,41 @@ let tiers_cmd =
 
 (* --- bench: the committed baseline and its regression gate --- *)
 
+(* `--check` with no FILE picks the newest committed baseline: the
+   highest-numbered BENCH_<n>.json in the working directory (the
+   in-tree convention — BENCH_6.json is the pre-optimization reference,
+   the highest number is the current gate). *)
+let newest_baseline () =
+  let number name =
+    if String.length name > 11
+       && String.sub name 0 6 = "BENCH_"
+       && Filename.check_suffix name ".json"
+    then int_of_string_opt (String.sub name 6 (String.length name - 11))
+    else None
+  in
+  Array.fold_left
+    (fun best name ->
+      match (number name, best) with
+      | Some n, Some (bn, _) when n > bn -> Some (n, name)
+      | Some n, None -> Some (n, name)
+      | _ -> best)
+    None (Sys.readdir ".")
+
 let bench quick seed out check_file threshold jobs =
   let quick = quick || Sys.getenv_opt "REPRO_BENCH_QUICK" = Some "1" in
+  let check_file =
+    match check_file with
+    | Some "auto" -> (
+      match newest_baseline () with
+      | Some (_, name) ->
+        Printf.printf "auto-selected baseline %s (highest-numbered BENCH_*.json)\n" name;
+        Ok (Some name)
+      | None -> Error "no BENCH_*.json baseline found in the working directory")
+    | other -> Ok other
+  in
+  match check_file with
+  | Error e -> `Error (false, e)
+  | Ok check_file -> (
   match check_file with
   | None ->
     let r = Experiments.Bench.run ~quick ~seed ~jobs () in
@@ -631,7 +787,7 @@ let bench quick seed out check_file threshold jobs =
         `Error
           ( false,
             Printf.sprintf "%d headline regression(s) against %s"
-              (List.length problems) file )))
+              (List.length problems) file ))))
 
 let bench_out_arg =
   let doc = "Also write the sweep as JSON to $(docv) (the committed baseline format)." in
@@ -641,9 +797,13 @@ let bench_check_arg =
   let doc =
     "Regression gate: re-run the sweep at the baseline's scale and seed and fail \
      if any headline metric (TPS, p99 response, certifier decisions/sec) regressed \
-     beyond the threshold."
+     beyond the threshold. With no $(docv), auto-selects the highest-numbered \
+     BENCH_*.json in the working directory and prints which one."
   in
-  Arg.(value & opt (some string) None & info [ "check" ] ~docv:"FILE" ~doc)
+  Arg.(
+    value
+    & opt ~vopt:(Some "auto") (some string) None
+    & info [ "check" ] ~docv:"FILE" ~doc)
 
 let bench_threshold_arg =
   let doc = "Relative regression threshold for $(b,--check) (fraction)." in
@@ -827,7 +987,8 @@ let () =
     Cmd.group ~default:trace_term info
       [
         table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig7_cmd; batch_cmd; certindex_cmd;
-        ablation_cmd; ycsb_cmd; tpcc_cmd; check_cmd; chaos_cmd; tiers_cmd; bench_cmd;
+        ablation_cmd; ycsb_cmd; tpcc_cmd; check_cmd; chaos_cmd; overload_cmd; tiers_cmd;
+        bench_cmd;
         report_cmd;
         all_cmd;
       ]

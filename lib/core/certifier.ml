@@ -47,6 +47,8 @@ type cnode = {
 type decision =
   | Commit of { version : int; epoch : int; global_commit : unit Sim.Ivar.t option }
   | Abort
+  | Overloaded
+  | Expired
 
 (* One queued certification request. Requests enter [pending] in the same
    order their processes queue on the CPU (there is no suspension point
@@ -59,6 +61,7 @@ type request = {
   req_trace : (int * Obs.Span.t option) option;
   req_span : Obs.Span.t option;
   req_arrival : float;
+  req_deadline : float;  (* virtual-time drop-dead point; infinity = none *)
   req_decided : decision Sim.Ivar.t;
 }
 
@@ -115,6 +118,8 @@ type t = {
   mutable lease_expiries : int;  (* voters demoted to learner by the lease *)
   mutable commits : int;
   mutable aborts : int;
+  mutable shed : int;  (* refused by the bounded backlog (cert_queue_bound) *)
+  mutable expired : int;  (* dropped with their deadline already passed *)
   mutable retransmits : int;
   mutable evictions : int;
   mutable faults : Sim.Faults.t option;  (* gray-failure slowdown windows *)
@@ -161,6 +166,12 @@ let elections t = t.elections
 let vote_denials t = t.vote_denials
 
 let lease_expiries t = t.lease_expiries
+
+let shed t = t.shed
+
+let expired t = t.expired
+
+let backlog t = Queue.length t.pending
 
 (* Replication lag of the slowest non-crashed standby behind the
    primary's log head (0 with no standbys). *)
@@ -795,6 +806,8 @@ let create ?obs ?metrics ?intern engine cfg ~rng ~network ~mode =
       lease_expiries = 0;
       commits = 0;
       aborts = 0;
+      shed = 0;
+      expired = 0;
       retransmits = 0;
       evictions = 0;
       faults = None;
@@ -965,13 +978,30 @@ let process_batch t batch =
       Sim.Ivar.fill r.req_decided decision)
     results
 
-let certify ?trace ?applied t ~origin ~snapshot ~ws =
+let certify ?trace ?applied ?(deadline = infinity) t ~origin ~snapshot ~ws =
   let rows = Storage.Writeset.cardinal ws in
   (* Watermark piggyback: the origin's applied V_local rides on the
      certification request (no extra message, no virtual time). *)
   (match applied with
   | Some version -> observe_applied t ~replica:origin ~version
   | None -> ());
+  (* Bounded backlog (Config.cert_queue_bound): a request arriving at a
+     full pending queue is refused on the spot — no CPU queueing, no log
+     work, no virtual time — so the backlog (and the latency it would
+     add to every admitted request) stays bounded. Expired work is
+     likewise dropped before it queues. Both answers happen strictly
+     before any decision is made for the request, so a refused
+     transaction can never also commit. *)
+  let bound = t.cfg.Config.cert_queue_bound in
+  if bound > 0 && Queue.length t.pending >= bound then begin
+    t.shed <- t.shed + 1;
+    Overloaded
+  end
+  else if Sim.Engine.now t.engine > deadline then begin
+    t.expired <- t.expired + 1;
+    Expired
+  end
+  else begin
   (* The service span covers outage queueing, CPU queueing and the
      certification work itself; [queue_ms] separates the wait. *)
   let span =
@@ -1002,10 +1032,15 @@ let certify ?trace ?applied t ~origin ~snapshot ~ws =
       req_trace = trace;
       req_span = span;
       req_arrival = arrival;
+      req_deadline = deadline;
       req_decided = Sim.Ivar.create t.engine;
     }
   in
   Queue.add request t.pending;
+  (if bound > 0 then
+     match t.metrics with
+     | Some m -> Metrics.note_queue_depth m (Queue.length t.pending)
+     | None -> ());
   Sim.Resource.acquire t.cpu;
   (* Group commit: the first undecided waiter to win the CPU is the
      leader; it drains up to [cert_batch] queued requests (its own is at
@@ -1025,9 +1060,28 @@ let certify ?trace ?applied t ~origin ~snapshot ~ws =
       if n >= cap || Queue.is_empty t.pending then List.rev acc
       else drain (Queue.pop t.pending :: acc) (n + 1)
     in
-    process_batch t (drain [ head ] 1)
+    let batch = drain [ head ] 1 in
+    (* Deadline propagation: a drained request whose deadline has passed
+       while it queued is answered [Expired] here — before the conflict
+       check, so it can never also commit — and drops out of the batch
+       rather than consuming certification work. *)
+    let now = Sim.Engine.now t.engine in
+    let live, dead =
+      List.partition (fun r -> r.req_deadline >= now) batch
+    in
+    List.iter
+      (fun r ->
+        t.expired <- t.expired + 1;
+        Obs.Trace.finish_opt t.obs r.req_span
+          ~args:[ ("decision", "expired") ];
+        Sim.Ivar.fill r.req_decided Expired)
+      dead;
+    (match live with
+    | [] -> Sim.Resource.release t.cpu
+    | live -> process_batch t live)
   end;
   Sim.Ivar.read request.req_decided
+  end
 
 let ack t ~replica ~version =
   observe_applied t ~replica ~version;

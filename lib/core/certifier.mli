@@ -77,6 +77,14 @@ type decision =
           only under {!Consistency.Eager}: it fills once every live
           replica has committed the transaction. *)
   | Abort
+  | Overloaded
+      (** Refused at arrival by the bounded backlog
+          ([Config.cert_queue_bound]) — no queueing, no log work, no
+          virtual time consumed, and therefore never also committed. *)
+  | Expired
+      (** Dropped because the request's [?deadline] had passed — either
+          on arrival or after queueing, but always strictly before the
+          conflict check, so an expired transaction never commits. *)
 
 val create :
   ?obs:Obs.Trace.t -> ?metrics:Metrics.t -> ?intern:Storage.Intern.t -> Sim.Engine.t ->
@@ -120,13 +128,18 @@ val log_size : t -> int
 val certify :
   ?trace:int * Obs.Span.t option ->
   ?applied:int ->
+  ?deadline:float ->
   t -> origin:int -> snapshot:int -> ws:Storage.Writeset.t -> decision
 (** Certify an update transaction. Blocks the calling process for the
     certifier service time. Must be called from within a process.
     [trace] is the caller's (trace id, parent span) for the service
     span; ignored when the certifier has no {!Obs.Trace.t}. [applied]
     piggybacks the origin replica's applied [V_local] (watermark
-    accounting; costs no virtual time). *)
+    accounting; costs no virtual time). [deadline] (virtual time,
+    default none) is the request's drop-dead point: past it the request
+    is answered [Expired] instead of being certified — checked on
+    arrival and again when a batch leader drains it, never after a
+    decision. *)
 
 val ack : t -> replica:int -> version:int -> unit
 (** A replica committed (applied) the given version: advances the
@@ -168,6 +181,11 @@ val min_watermark : t -> int
     never overstates what a replica has applied). A permanent lower
     bound on every replica's applied version — what
     {!Load_balancer.prune_sessions} keys off. *)
+
+val min_live_watermark : t -> int option
+(** Minimum watermark over the {e live} replicas only; [None] when none
+    is live. What the GC floor and the cluster's apply-lag governor
+    ([Config.apply_lag_gap]) key off. *)
 
 val gc : t -> unit
 (** Evict watermark entries of replicas that are down and silent beyond
@@ -277,6 +295,20 @@ val lease_expiries : t -> int
     ([Config.voter_lease_ms]) after their acks went silent with
     decisions outstanding. Re-admission (catching back up to the log
     head) is not counted separately. *)
+
+(** {2 Overload protection (docs/PROTOCOL.md, "Overload & admission
+    control")} *)
+
+val shed : t -> int
+(** Requests refused [Overloaded] by the bounded backlog (monotonic;
+    0 unless [Config.cert_queue_bound > 0]). *)
+
+val expired : t -> int
+(** Requests answered [Expired] because their deadline passed
+    (monotonic; 0 unless callers pass [?deadline]). *)
+
+val backlog : t -> int
+(** Current pending-request queue length (telemetry probe). *)
 
 (** {2 Group introspection (telemetry, chaos checkers)} *)
 

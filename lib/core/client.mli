@@ -1,21 +1,61 @@
-(** Closed-loop client driver (the paper's RTE threads).
+(** Client drivers: the paper's closed-loop RTE threads, plus an
+    open-loop arrival process for overload experiments.
 
-    Each client owns a session, repeatedly: think, generate a
-    transaction from its workload function, submit it, and retry on
-    abort (up to [max_retries], with the same request — the benchmark
-    semantics of a re-submitted business action). *)
+    A {e closed-loop} client owns a session and repeatedly thinks,
+    generates a transaction from its workload function, submits it, and
+    retries on abort (up to [max_retries] conflict retries, under the
+    optional per-client retry budget — see docs/PROTOCOL.md, "Overload &
+    admission control").
+
+    An {e open-loop} client is an arrival process: transactions arrive
+    at a configured rate whether or not earlier ones have completed, so
+    offered load can exceed capacity — the regime where admission
+    control, retry budgets and deadlines earn their keep. *)
 
 type workload = {
   think_ms : Util.Rng.t -> float;  (** sampled think time before each txn *)
   next_request : Util.Rng.t -> Transaction.request;
 }
 
+(** Inter-arrival law of an open-loop generator. *)
+type arrival =
+  | Poisson  (** exponential gaps (memoryless arrivals) — the default *)
+  | Fixed  (** a metronome: constant gaps at exactly the configured rate *)
+
 val spawn : Cluster.t -> sid:int -> rng:Util.Rng.t -> workload -> unit
-(** Start one client process; it runs until the simulation stops. *)
+(** Start one closed-loop client process; it runs until the simulation
+    stops. *)
 
 val spawn_many : Cluster.t -> n:int -> first_sid:int -> workload -> unit
-(** Start [n] clients with distinct sessions and independent RNG
-    streams split from the cluster RNG. *)
+(** Start [n] closed-loop clients with distinct sessions and independent
+    RNG streams split from the cluster RNG. *)
+
+val open_loop :
+  Cluster.t ->
+  sid:int ->
+  rng:Util.Rng.t ->
+  ?arrival:arrival ->
+  rate_tps:float ->
+  workload ->
+  unit
+(** Start one open-loop arrival process offering [rate_tps] transactions
+    per virtual second ([workload.think_ms] is ignored — the clock, not
+    completion, paces arrivals). Each arrival is handled by its own
+    process running the same abort-class-aware retry loop as the
+    closed-loop driver; all handlers of one generator share its session
+    and its retry budget. Raises [Invalid_argument] on a non-positive
+    rate. *)
+
+val open_loop_many :
+  Cluster.t ->
+  n:int ->
+  first_sid:int ->
+  ?arrival:arrival ->
+  rate_tps:float ->
+  workload ->
+  unit
+(** Start [n] open-loop generators with distinct sessions splitting the
+    {e aggregate} [rate_tps] evenly between them. *)
 
 val no_think : Util.Rng.t -> float
 (** Zero think time: back-to-back submission (micro-benchmark). *)

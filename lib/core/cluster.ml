@@ -29,6 +29,12 @@ type t = {
   c_commit : Obs.Registry.counter;
   c_commit_ro : Obs.Registry.counter;
   c_abort : Obs.Registry.counter;
+  c_shed : Obs.Registry.counter;
+  c_deadline : Obs.Registry.counter;
+  shed_tids : (int, unit) Hashtbl.t;
+      (* every tid refused with [Transaction.Overloaded] — the chaos
+         zombie-commit checker asserts none of them appears in the
+         commit log; empty unless an overload knob is on *)
   mutable next_tid : int;
   log : Check.Runlog.Sink.t;  (* flat append-order store of commit records *)
   (* monotonic-counter cursors for mirroring deltas into Metrics *)
@@ -218,6 +224,9 @@ let create ?(config = Config.default) ?(tracing = false) ?(trace_capacity = 65_5
       c_commit = Obs.Registry.counter registry "txn.commit";
       c_commit_ro = Obs.Registry.counter registry "txn.commit_read_only";
       c_abort = Obs.Registry.counter registry "txn.abort";
+      c_shed = Obs.Registry.counter registry "txn.shed";
+      c_deadline = Obs.Registry.counter registry "txn.deadline_expired";
+      shed_tids = Hashtbl.create 64;
       next_tid = 0;
       log = Check.Runlog.Sink.create ();
       seen_net_retransmits = 0;
@@ -636,6 +645,18 @@ let update_gauges t =
   Obs.Registry.set
     (Obs.Registry.gauge t.registry "lb.fenced")
     (float_of_int t.lb_fenced);
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.backlog")
+    (float_of_int (Certifier.backlog t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.shed")
+    (float_of_int (Certifier.shed t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "certifier.expired")
+    (float_of_int (Certifier.expired t.certifier));
+  Obs.Registry.set
+    (Obs.Registry.gauge t.registry "lb.admitted")
+    (float_of_int (Load_balancer.admitted (active_lb t)));
   match t.faults with
   | None -> ()
   | Some f ->
@@ -682,6 +703,16 @@ let attach_probes t sampler =
       float_of_int (Certifier.standby_lag t.certifier));
   Obs.Sampler.add sampler ~name:"net.retransmits" (fun () ->
       float_of_int (Sim.Network.retransmits t.network));
+  (* Overload channels: backlog depth, admitted in-flight and the shed /
+     deadline counters — flat zero lines unless an overload knob is on. *)
+  Obs.Sampler.add sampler ~name:"certifier.backlog" (fun () ->
+      float_of_int (Certifier.backlog t.certifier));
+  Obs.Sampler.add sampler ~name:"lb.admitted" (fun () ->
+      float_of_int (Load_balancer.admitted (active_lb t)));
+  Obs.Sampler.add sampler ~name:"txn.shed" (fun () ->
+      float_of_int (Metrics.shed t.metrics));
+  Obs.Sampler.add sampler ~name:"txn.deadline_expired" (fun () ->
+      float_of_int (Metrics.deadline_expired t.metrics));
   (match t.faults with
   | None -> ()
   | Some f ->
@@ -786,6 +817,13 @@ let start_observatory ?window_ms t =
       delta "certifier.lease_expiries" (fun () ->
           Certifier.lease_expiries t.certifier);
       delta "lb.takeovers" (fun () -> t.lb_takeovers);
+      (* Overload-protection channels (docs/PROTOCOL.md, "Overload &
+         admission control"): zero-rate (and absent from rendered
+         reports) unless a protection knob is on and actually fires. *)
+      delta "txn.shed" (fun () -> Metrics.shed t.metrics);
+      delta "txn.deadline_expired" (fun () -> Metrics.deadline_expired t.metrics);
+      delta "txn.retry_budget_exhausted" (fun () ->
+          Metrics.retry_budget_exhausted t.metrics);
     ]
     @
     match t.faults with
@@ -823,6 +861,10 @@ let start_observatory ?window_ms t =
       float_of_int (Certifier.standby_lag t.certifier));
   Obs.Timeseries.add_probe ts ~name:"lb.session_floors" (fun () ->
       float_of_int (Load_balancer.session_count (active_lb t)));
+  Obs.Timeseries.add_probe ts ~name:"certifier.backlog" (fun () ->
+      float_of_int (Certifier.backlog t.certifier));
+  Obs.Timeseries.add_probe ts ~name:"lb.admitted" (fun () ->
+      float_of_int (Load_balancer.admitted (active_lb t)));
   Obs.Timeseries.add_probe ts ~name:"refresh_queue.total" (fun () ->
       Array.fold_left
         (fun acc r -> acc +. float_of_int (Replica.pending_refresh r))
@@ -922,6 +964,16 @@ let submit t ~sid (req : Transaction.request) =
   let begin_time = Sim.Engine.now t.engine in
   let tid = t.next_tid in
   t.next_tid <- t.next_tid + 1;
+  (* Deadline propagation (docs/PROTOCOL.md, "Overload & admission
+     control"): the client's drop-dead point rides with the transaction;
+     the version wait, the certify hand-off and the certifier itself all
+     drop work past it — always strictly before a commit decision, so an
+     expired transaction can never commit. [infinity] when off. *)
+  let txn_deadline =
+    if t.cfg.Config.deadline_ms > 0.0 then
+      begin_time +. t.cfg.Config.deadline_ms
+    else infinity
+  in
   (* The stage clock: feeds both the aggregate breakdown and, when the
      cluster was created with [~tracing:true], the transaction's spans. *)
   let mtxn = Metrics.txn_begin ?obs:t.obs ~sid ~name:req.Transaction.profile t.metrics in
@@ -978,6 +1030,56 @@ let submit t ~sid (req : Transaction.request) =
   let route_li = t.lb_active in
   let route_lb = t.lbs.(route_li) in
   let route_epoch = t.lb_epoch in
+  (* Admission control: the LB refuses work it cannot afford before any
+     replica is engaged — the refusal is answered straight back to the
+     client with a retry-after hint, and the tid is remembered so the
+     zombie-commit checker can prove a shed transaction never commits.
+     All gates are off by default (see Config). *)
+  let shed_abort retry_after_ms =
+    Metrics.record_shed t.metrics;
+    Obs.Registry.incr t.c_shed;
+    Hashtbl.replace t.shed_tids tid ();
+    Sim.Network.transfer t.network ~src:(lb_node route_li) ~dst:Config.node_client
+      ~size_bytes:32;
+    let reason = Transaction.Overloaded { retry_after_ms } in
+    Metrics.txn_abort mtxn
+      ~slug:(Transaction.abort_slug reason)
+      ~reason:(Format.asprintf "%a" Transaction.pp_abort_reason reason);
+    Transaction.Aborted { reason; response_ms = now () -. begin_time }
+  in
+  let strong = req.Transaction.tier = Consistency.Strong in
+  let writes =
+    List.exists Storage.Query.is_update req.Transaction.statements
+  in
+  (* Apply-lag governor: when the slowest live replica's applied
+     watermark trails [V_system] by more than [apply_lag_gap] versions,
+     new writes are refused — admitting them would only stretch the
+     refresh backlog (and every tiered read's staleness) further. Reads
+     stay admitted: they don't grow the backlog. *)
+  if
+    t.cfg.Config.apply_lag_gap > 0 && writes
+    &&
+    match Certifier.min_live_watermark t.certifier with
+    | None -> false
+    | Some w -> Certifier.version t.certifier - w > t.cfg.Config.apply_lag_gap
+  then shed_abort t.cfg.Config.shed_retry_after_ms
+  else begin
+    let admission =
+      if Load_balancer.admission_on t.cfg then
+        match Load_balancer.admit route_lb ~now:(now ()) ~strong with
+        | Ok () -> `Admitted
+        | Error retry_after_ms -> `Shed retry_after_ms
+      else `Off
+    in
+    match admission with
+    | `Shed retry_after_ms -> shed_abort retry_after_ms
+    | (`Admitted | `Off) as adm ->
+      (if adm = `Admitted then
+         Metrics.note_queue_depth t.metrics (Load_balancer.admitted route_lb));
+      let release () =
+        if adm = `Admitted then Load_balancer.release route_lb
+      in
+      Fun.protect ~finally:release @@ fun () ->
   (* Strong requests take the mode's version oracle; with read tiers
      enabled, a weaker read class is routed by staleness instead — the
      floor comes from the tier, the replica from its applied watermark.
@@ -1035,12 +1137,23 @@ let submit t ~sid (req : Transaction.request) =
   (* Stage: version — the synchronization start delay. *)
   Metrics.stage_enter mtxn Metrics.Version;
   let deadline =
-    if t.cfg.Config.start_wait_timeout_ms > 0.0 then
-      Some (now () +. t.cfg.Config.start_wait_timeout_ms)
-    else None
+    (* The start wait gives up at the earlier of the bounded-wait
+       timeout and the transaction's own deadline. *)
+    let start_wait =
+      if t.cfg.Config.start_wait_timeout_ms > 0.0 then
+        now () +. t.cfg.Config.start_wait_timeout_ms
+      else infinity
+    in
+    let d = Float.min start_wait txn_deadline in
+    if d = infinity then None else Some d
   in
   match Replica.await_version ?deadline replica v_start with
-  | Error reason -> abort ~finish:false reason
+  | Error reason ->
+    if now () >= txn_deadline then begin
+      Metrics.record_deadline_expired t.metrics;
+      Obs.Registry.incr t.c_deadline
+    end;
+    abort ~finish:false reason
   | Ok () -> (
     Metrics.stage_exit mtxn Metrics.Version;
     let txn = Replica.begin_txn replica ~tid in
@@ -1093,6 +1206,13 @@ let submit t ~sid (req : Transaction.request) =
           ~trace:(Metrics.txn_trace_id mtxn);
         Transaction.Committed { commit_version = None; snapshot; stages; response_ms }
       end
+      else if now () > txn_deadline then begin
+        (* The deadline passed while statements ran: drop the update
+           before it ever reaches the certifier. *)
+        Metrics.record_deadline_expired t.metrics;
+        Obs.Registry.incr t.c_deadline;
+        abort Transaction.Timeout
+      end
       else begin
         (* Stage: certify — round trip to whichever group member holds
            the primary role when the request leaves. *)
@@ -1111,8 +1231,8 @@ let submit t ~sid (req : Transaction.request) =
             (Metrics.txn_trace_id mtxn)
         in
         let decision =
-          Certifier.certify ?trace ~applied:(Replica.v_local replica) t.certifier
-            ~origin:replica_id ~snapshot ~ws
+          Certifier.certify ?trace ~applied:(Replica.v_local replica)
+            ~deadline:txn_deadline t.certifier ~origin:replica_id ~snapshot ~ws
         in
         (* The decision leg is persistent: once certified, the outcome
            is durable at the certifier group and must reach the replica.
@@ -1125,6 +1245,20 @@ let submit t ~sid (req : Transaction.request) =
         Metrics.stage_exit mtxn Metrics.Certify;
         match decision with
         | Certifier.Abort -> abort Transaction.Certification_conflict
+        | Certifier.Overloaded ->
+          (* Refused by the bounded certifier backlog: surfaced to the
+             client exactly like an LB shed, with the same hint. *)
+          Metrics.record_shed t.metrics;
+          Obs.Registry.incr t.c_shed;
+          Hashtbl.replace t.shed_tids tid ();
+          abort
+            (Transaction.Overloaded
+               { retry_after_ms = t.cfg.Config.shed_retry_after_ms })
+        | Certifier.Expired ->
+          (* Its deadline passed while it queued at the certifier. *)
+          Metrics.record_deadline_expired t.metrics;
+          Obs.Registry.incr t.c_deadline;
+          abort Transaction.Timeout
         | Certifier.Commit { version; epoch; global_commit = _ }
           when
             epoch < Certifier.current_epoch t.certifier
@@ -1175,6 +1309,7 @@ let submit t ~sid (req : Transaction.request) =
               { commit_version = Some version; snapshot; stages; response_ms })
       end))
   end
+  end
 
 let run_for t ~warmup_ms ~measure_ms =
   let start = Sim.Engine.now t.engine in
@@ -1185,4 +1320,8 @@ let run_for t ~warmup_ms ~measure_ms =
   Sim.Engine.run t.engine ~until:(start +. warmup_ms +. measure_ms)
 
 let records t = Check.Runlog.Sink.records t.log
+
+let was_shed t ~tid = Hashtbl.mem t.shed_tids tid
+
+let shed_count t = Hashtbl.length t.shed_tids
 

@@ -144,6 +144,15 @@ val records : t -> Check.Runlog.record list
 (** Committed-transaction records collected in the current window
     (requires [record_log]). *)
 
+val was_shed : t -> tid:int -> bool
+(** Whether transaction [tid] was ever refused with
+    {!Transaction.Overloaded} (LB admission, apply-lag governor, or the
+    bounded certifier backlog). The chaos zombie-commit checker asserts
+    no shed tid appears among {!records}. *)
+
+val shed_count : t -> int
+(** Distinct transactions shed so far (0 with overload knobs off). *)
+
 (** {2 Fault injection} *)
 
 val crash_replica : t -> int -> unit

@@ -68,6 +68,15 @@ type t = {
   lb_standby : bool;
   lb_repl_ms : float;
   lb_suspect_after_ms : float;
+  admission_limit : int;
+  admission_rate_tps : float;
+  admission_burst : float;
+  cert_queue_bound : int;
+  apply_lag_gap : int;
+  shed_retry_after_ms : float;
+  retry_budget : float;
+  retry_budget_per_s : float;
+  deadline_ms : float;
 }
 
 (* Fault-plan node ids: replicas use their index (>= 0); the other roles
@@ -146,6 +155,18 @@ let default =
     lb_standby = false;
     lb_repl_ms = 5.0;
     lb_suspect_after_ms = 25.0;
+    (* overload protection (docs/PROTOCOL.md, "Overload & admission
+       control"): every knob defaults off so an unprotected run is
+       bit-identical to a build without the machinery. *)
+    admission_limit = 0;
+    admission_rate_tps = 0.0;
+    admission_burst = 16.0;
+    cert_queue_bound = 0;
+    apply_lag_gap = 0;
+    shed_retry_after_ms = 5.0;
+    retry_budget = 0.0;
+    retry_budget_per_s = 10.0;
+    deadline_ms = 0.0;
   }
 
 let hardened c =
@@ -204,6 +225,36 @@ let validate c =
       "lb-suspect-after (%g ms) must exceed the lb-repl interval (%g ms) or the standby \
        deposes a healthy LB on every push gap"
       c.lb_suspect_after_ms c.lb_repl_ms
+  else if c.admission_limit < 0 then
+    err "admission-limit must be >= 1, or 0 to disable (got %d)" c.admission_limit
+  else if c.admission_rate_tps < 0.0 then
+    err "admission-rate must be > 0, or 0 to disable (got %g tps)" c.admission_rate_tps
+  else if c.admission_rate_tps > 0.0 && c.admission_burst < 1.0 then
+    err
+      "admission-burst (%g) must be >= 1 token when the admission token bucket is on: \
+       no request could ever be admitted"
+      c.admission_burst
+  else if c.cert_queue_bound < 0 then
+    err "cert-queue-bound must be >= 1, or 0 to disable (got %d)" c.cert_queue_bound
+  else if c.apply_lag_gap < 0 then
+    err "apply-lag-gap must be >= 1, or 0 to disable (got %d versions)" c.apply_lag_gap
+  else if c.apply_lag_gap > 0 && c.apply_lag_gap >= c.watermark_slack then
+    err
+      "apply-lag-gap (%d versions) must stay below watermark-slack (%d): a replica \
+       lagging past the slack is forced into state transfer before the governor would \
+       ever throttle writes"
+      c.apply_lag_gap c.watermark_slack
+  else if c.shed_retry_after_ms <= 0.0 then
+    err "shed-retry-after must be > 0 (got %g ms)" c.shed_retry_after_ms
+  else if c.retry_budget < 0.0 then
+    err "retry-budget must be > 0 tokens, or 0 to disable (got %g)" c.retry_budget
+  else if c.retry_budget > 0.0 && c.retry_budget_per_s <= 0.0 then
+    err
+      "retry-budget-per-s must be > 0 when the retry budget is on (got %g): an \
+       exhausted client could never retry again"
+      c.retry_budget_per_s
+  else if c.deadline_ms < 0.0 then
+    err "deadline must be > 0, or 0 to disable (got %g ms)" c.deadline_ms
   else Ok ()
 
 let pp ppf c =
@@ -222,7 +273,9 @@ let pp ppf c =
      promotion_backoff=%.0fms election_timeout=%.0fms voter_lease=%s@,\
      lb HA: standby=%b repl=%.0fms suspect=%.0fms@,\
      observatory: window=%.0fms hist_buckets/decade=%d@,\
-     read tiers: enabled=%b history=%.0fms@]"
+     read tiers: enabled=%b history=%.0fms@,\
+     overload: admission_limit=%s rate=%s burst=%.0f cert_queue_bound=%s \
+     apply_lag_gap=%s retry_after=%.1fms retry_budget=%s deadline=%s@]"
     c.replicas c.cpus_per_replica c.seed c.net_base_ms c.net_jitter_ms c.net_bandwidth_mbps
     c.lb_ms c.stmt_base_ms c.row_scan_ms c.row_read_ms c.row_write_ms c.ro_commit_ms
     c.commit_ms c.ws_apply_base_ms c.ws_apply_row_ms c.certify_base_ms c.certify_row_ms
@@ -237,3 +290,13 @@ let pp ppf c =
     (if c.voter_lease_ms <= 0.0 then "off" else Printf.sprintf "%.0fms" c.voter_lease_ms)
     c.lb_standby c.lb_repl_ms c.lb_suspect_after_ms
     c.obs_window_ms c.obs_hist_buckets_per_decade c.read_tiers c.tier_history_ms
+    (if c.admission_limit <= 0 then "off" else string_of_int c.admission_limit)
+    (if c.admission_rate_tps <= 0.0 then "off"
+     else Printf.sprintf "%.0ftps" c.admission_rate_tps)
+    c.admission_burst
+    (if c.cert_queue_bound <= 0 then "off" else string_of_int c.cert_queue_bound)
+    (if c.apply_lag_gap <= 0 then "off" else string_of_int c.apply_lag_gap)
+    c.shed_retry_after_ms
+    (if c.retry_budget <= 0.0 then "off"
+     else Printf.sprintf "%.0f@%.0f/s" c.retry_budget c.retry_budget_per_s)
+    (if c.deadline_ms <= 0.0 then "off" else Printf.sprintf "%.0fms" c.deadline_ms)

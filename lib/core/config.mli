@@ -254,6 +254,62 @@ type t = {
   lb_suspect_after_ms : float;
       (** push silence before the standby LB deposes the active one and
           takes over; must exceed [lb_repl_ms] *)
+  (* overload protection (docs/PROTOCOL.md, "Overload & admission
+     control"). Every knob defaults {e off}: an unprotected run draws no
+     extra random numbers and schedules no extra events, so it is
+     bit-identical to a build without the overload machinery. Rejected
+     work aborts with {!Transaction.Overloaded} before consuming any
+     replica or certifier resources. *)
+  admission_limit : int;
+      (** load-balancer concurrency cap: maximum transactions admitted
+          and not yet answered. At the cap every new arrival is shed;
+          {e strong} (potentially-writing) requests are shed earlier —
+          from 7/8 of the cap — so weak-tier reads degrade last
+          (priority shedding). 0 (the default) = unbounded. *)
+  admission_rate_tps : float;
+      (** token-bucket admission rate at the load balancer, in admitted
+          transactions per virtual second; refilled lazily on arrival
+          (no timer events). Weak-tier reads need 1 token; strong
+          requests are shed while the bucket holds less than 1 +
+          [admission_burst / 4] tokens, reserving headroom for reads.
+          0 (the default) disables the bucket. *)
+  admission_burst : float;
+      (** token-bucket capacity (maximum burst admitted at line rate);
+          must be >= 1 when [admission_rate_tps > 0] *)
+  cert_queue_bound : int;
+      (** bound on the certifier's pending-request backlog: a
+          certification request arriving when this many are already
+          queued is refused ([Transaction.Overloaded]) without touching
+          the certifier CPU or log. 0 (the default) = unbounded. *)
+  apply_lag_gap : int;
+      (** apply-lag governor: writes are refused at admission while the
+          minimum live-replica applied watermark trails the system
+          version by more than this many versions — back-pressure that
+          keeps refresh queues from growing without bound while reads
+          (which need no certification) continue. Must stay below
+          [watermark_slack]. 0 (the default) disables the governor. *)
+  shed_retry_after_ms : float;
+      (** base retry-after hint carried on [Transaction.Overloaded]
+          aborts; the apply-lag governor scales it by how far the lag
+          exceeds the gap *)
+  retry_budget : float;
+      (** per-client retry token bucket capacity: every retry (conflict
+          {e and} transient) spends one token; a client with an empty
+          bucket gives the transaction up instead of retrying, capping
+          aggregate retry amplification during overload. Refills at
+          [retry_budget_per_s]. 0 (the default) = unlimited retries
+          (PR 4 behaviour). *)
+  retry_budget_per_s : float;
+      (** retry tokens returned per virtual second (lazy refill — no
+          timer events); must be > 0 when [retry_budget > 0] *)
+  deadline_ms : float;
+      (** per-attempt client deadline carried on every request: each
+          stage (start-version wait, execution, certification) drops the
+          work as soon as the deadline has passed instead of processing
+          it, aborting with {!Transaction.Timeout} and counting
+          [deadline_expired]. Deadlines are only checked {e before} the
+          certifier decides, so an expired transaction can never be
+          silently committed. 0 (the default) = no deadline. *)
 }
 
 (** {2 Fault-plan node ids}

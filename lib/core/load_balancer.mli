@@ -188,6 +188,34 @@ val floor_min : t -> int
     (0 until a takeover happens). {!session_version} already applies
     it. *)
 
+(** {2 Overload admission (docs/PROTOCOL.md, "Overload & admission
+    control")}
+
+    Two gates, both off by default: the [Config.admission_limit]
+    concurrency cap and the [Config.admission_rate_tps] token bucket
+    (refilled lazily on arrival — no timer events, no RNG draws).
+    Priority shedding: a {e strong} (potentially-writing) request is
+    capped at 7/8 of the concurrency limit and must leave a
+    quarter-burst of tokens in reserve, so under pressure strong writes
+    shed first and weak-tier reads degrade last. *)
+
+val admission_on : Config.t -> bool
+(** Whether either admission gate is configured — the cluster only
+    calls {!admit}/{!release} (and counts admitted work) when true. *)
+
+val admit : t -> now:float -> strong:bool -> (unit, float) result
+(** Try to admit one transaction at virtual time [now]. [Ok ()] admits
+    it (the caller must eventually {!release}); [Error retry_after_ms]
+    sheds it with the hint the client should wait before re-offering
+    ([Config.shed_retry_after_ms], or the bucket's time-to-token when
+    that is longer). *)
+
+val release : t -> unit
+(** The admitted transaction was answered (committed {e or} aborted). *)
+
+val admitted : t -> int
+(** Transactions currently admitted and not yet answered. *)
+
 val route_read : t -> sid:int -> tier:Consistency.read_tier -> now:float -> int * int
 (** Route a read-only request of the given tier: returns
     [(replica, floor)]. Prefers live+healthy replicas whose known

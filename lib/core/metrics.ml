@@ -29,6 +29,12 @@ type t = {
   mutable updates : int;
   mutable aborted : int;
   mutable retry_exhausted : int;
+  (* overload protection (docs/PROTOCOL.md, "Overload & admission
+     control") *)
+  mutable shed : int;
+  mutable retry_budget_exhausted : int;
+  mutable deadline_expired : int;
+  mutable max_queue_depth : int;
   response : Util.Stats.t;
   stage_sums : float array;  (* over all committed txns *)
   stage_sums_update : float array;  (* over update txns only *)
@@ -96,6 +102,10 @@ let create engine =
     updates = 0;
     aborted = 0;
     retry_exhausted = 0;
+    shed = 0;
+    retry_budget_exhausted = 0;
+    deadline_expired = 0;
+    max_queue_depth = 0;
     response = Util.Stats.create ();
     stage_sums = Array.make stage_count 0.0;
     stage_sums_update = Array.make stage_count 0.0;
@@ -136,6 +146,10 @@ let reset_window t =
   t.updates <- 0;
   t.aborted <- 0;
   t.retry_exhausted <- 0;
+  t.shed <- 0;
+  t.retry_budget_exhausted <- 0;
+  t.deadline_expired <- 0;
+  t.max_queue_depth <- 0;
   Util.Stats.clear t.response;
   Array.fill t.stage_sums 0 stage_count 0.0;
   Array.fill t.stage_sums_update 0 stage_count 0.0;
@@ -394,6 +408,24 @@ let txn_abort ?slug txn ~reason =
 
 let record_retry_exhausted t = t.retry_exhausted <- t.retry_exhausted + 1
 
+let record_shed t = t.shed <- t.shed + 1
+
+let record_retry_budget_exhausted t =
+  t.retry_budget_exhausted <- t.retry_budget_exhausted + 1
+
+let record_deadline_expired t = t.deadline_expired <- t.deadline_expired + 1
+
+let note_queue_depth t depth =
+  if depth > t.max_queue_depth then t.max_queue_depth <- depth
+
+let shed t = t.shed
+
+let retry_budget_exhausted t = t.retry_budget_exhausted
+
+let deadline_expired t = t.deadline_expired
+
+let max_queue_depth t = t.max_queue_depth
+
 let window_ms t = Sim.Engine.now t.engine -. t.window_start
 
 let committed t = t.committed
@@ -487,6 +519,10 @@ let pp_summary ppf t =
     Format.fprintf ppf
       "control plane: elections=%d vote_denials=%d lease_expiries=%d lb_takeovers=%d@,"
       t.elections t.vote_denials t.lease_expiries t.lb_takeovers;
+  if t.shed + t.retry_budget_exhausted + t.deadline_expired + t.max_queue_depth > 0 then
+    Format.fprintf ppf
+      "overload: shed=%d retry_budget_exhausted=%d deadline_expired=%d max_queue=%d@,"
+      t.shed t.retry_budget_exhausted t.deadline_expired t.max_queue_depth;
   (* The tier table always carries read-only commits under "strong";
      print the breakdown only once a weaker class shows up, so runs
      without tiered traffic keep the classic summary. *)

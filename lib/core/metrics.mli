@@ -71,6 +71,36 @@ val record_abort : ?slug:string -> t -> unit
 
 val record_retry_exhausted : t -> unit
 
+(** {2 Overload protection (docs/PROTOCOL.md, "Overload & admission
+    control")}
+
+    All four counters stay 0 unless an overload knob is enabled. *)
+
+val record_shed : t -> unit
+(** A request was refused with {!Transaction.Overloaded} (LB admission,
+    apply-lag governor, or the bounded certifier backlog). *)
+
+val record_retry_budget_exhausted : t -> unit
+(** A client's retry token bucket ran dry and it gave the transaction
+    up instead of retrying ([Config.retry_budget]). *)
+
+val record_deadline_expired : t -> unit
+(** A stage dropped a transaction whose [Config.deadline_ms] deadline
+    had already passed. *)
+
+val note_queue_depth : t -> int -> unit
+(** Report an observed queue depth (certifier backlog, admitted
+    in-flight); the window keeps the maximum. *)
+
+val shed : t -> int
+
+val retry_budget_exhausted : t -> int
+
+val deadline_expired : t -> int
+
+val max_queue_depth : t -> int
+(** Largest queue depth reported this window; 0 when never reported. *)
+
 (** {2 Pipeline batching}
 
     Group-certification and parallel-apply accounting. A {e cert batch}

@@ -10,6 +10,7 @@ type abort_reason =
   | Early_certification
   | Replica_failure
   | Timeout
+  | Overloaded of { retry_after_ms : float }
   | Statement_error of string
 
 type outcome =
@@ -48,6 +49,8 @@ let pp_abort_reason ppf = function
   | Early_certification -> Format.pp_print_string ppf "early certification conflict"
   | Replica_failure -> Format.pp_print_string ppf "replica failure"
   | Timeout -> Format.pp_print_string ppf "timeout"
+  | Overloaded { retry_after_ms } ->
+    Format.fprintf ppf "overloaded (retry after %.1fms)" retry_after_ms
   | Statement_error msg -> Format.fprintf ppf "statement error: %s" msg
 
 let abort_slug = function
@@ -55,13 +58,17 @@ let abort_slug = function
   | Early_certification -> "early_certification"
   | Replica_failure -> "replica_failure"
   | Timeout -> "timeout"
+  | Overloaded _ -> "overloaded"
   | Statement_error _ -> "statement_error"
 
 (* Conflict-class aborts (certification) are the transaction's own fault
    and consume the client's retry budget; failure-class aborts are the
-   cluster's fault and are retried until the cluster heals. *)
+   cluster's fault and are retried until the cluster heals. Overload
+   sheds are also no fault of the transaction — but unlike the failure
+   class they are throttled by the retry-after hint and the client's
+   retry *budget* (Config.retry_budget), never by max_retries. *)
 let abort_is_transient = function
-  | Replica_failure | Timeout -> true
+  | Replica_failure | Timeout | Overloaded _ -> true
   | Certification_conflict | Early_certification | Statement_error _ -> false
 
 let pp_outcome ppf = function

@@ -22,6 +22,13 @@ type abort_reason =
   | Timeout  (** a hardened message exchange exhausted its retransmission
           budget, or the replica never caught up to the start version
           within [Config.start_wait_timeout_ms] (lossy-network mode) *)
+  | Overloaded of { retry_after_ms : float }
+      (** shed by admission control before doing any work — the LB
+          token bucket / concurrency limit, the apply-lag governor, or
+          the bounded certifier backlog rejected the request
+          (docs/PROTOCOL.md, "Overload & admission control").
+          [retry_after_ms] is the server's hint for how long the client
+          should wait before re-offering the work. *)
   | Statement_error of string  (** e.g. duplicate-key insert *)
 
 type outcome =
@@ -64,8 +71,11 @@ val abort_slug : abort_reason -> string
     "certification", ...); collapses [Statement_error] payloads. *)
 
 val abort_is_transient : abort_reason -> bool
-(** Failure-class aborts ([Replica_failure], [Timeout]) are retried
-    without consuming the client's [max_retries] budget — the conflict
-    budget is reserved for certification losses. *)
+(** Failure-class aborts ([Replica_failure], [Timeout], [Overloaded])
+    are retried without consuming the client's [max_retries] budget —
+    the conflict budget is reserved for certification losses. Transient
+    retries are still capped by the per-client retry {e budget}
+    ([Config.retry_budget]) when one is configured, and an [Overloaded]
+    retry waits out the shed's [retry_after_ms] hint first. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

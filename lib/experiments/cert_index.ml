@@ -40,7 +40,9 @@ let build ?(config = Core.Config.default) ~index ~versions ~ws_rows () =
         let ws = ws_of ~first_key:(i * ws_rows) ~rows:ws_rows in
         match Core.Certifier.certify certifier ~origin:0 ~snapshot:i ~ws with
         | Core.Certifier.Commit _ -> ()
-        | Core.Certifier.Abort -> assert false
+        | Core.Certifier.Abort | Core.Certifier.Overloaded
+        | Core.Certifier.Expired ->
+          assert false
       done);
   Sim.Engine.run engine;
   assert (Core.Certifier.version certifier = versions);

@@ -2,9 +2,18 @@ let log_src = Logs.Src.create "repro.chaos" ~doc:"Seeded fault-schedule soak har
 
 module Log = (val Logs.src_log log_src)
 
-type plan = Clean | Lossy | Partitions | Gray | Mixed | CertFailover | ControlPlane
+type plan =
+  | Clean
+  | Lossy
+  | Partitions
+  | Gray
+  | Mixed
+  | CertFailover
+  | ControlPlane
+  | Overload
 
-let all_plans = [ Clean; Lossy; Partitions; Gray; Mixed; CertFailover; ControlPlane ]
+let all_plans =
+  [ Clean; Lossy; Partitions; Gray; Mixed; CertFailover; ControlPlane; Overload ]
 
 let plan_name = function
   | Clean -> "clean"
@@ -14,6 +23,7 @@ let plan_name = function
   | Mixed -> "mixed"
   | CertFailover -> "cert-failover"
   | ControlPlane -> "control-plane"
+  | Overload -> "overload"
 
 let plan_of_string = function
   | "clean" -> Ok Clean
@@ -23,11 +33,12 @@ let plan_of_string = function
   | "mixed" -> Ok Mixed
   | "cert-failover" -> Ok CertFailover
   | "control-plane" -> Ok ControlPlane
+  | "overload" -> Ok Overload
   | s ->
     Error
       (Printf.sprintf
          "unknown fault plan %S \
-          (clean|lossy|partitions|gray|mixed|cert-failover|control-plane)" s)
+          (clean|lossy|partitions|gray|mixed|cert-failover|control-plane|overload)" s)
 
 (* Every schedule below is derived only from [seed] and [duration_ms]:
    same inputs, same plan, bit for bit. All windows close by
@@ -112,7 +123,17 @@ let build_plan plan ~seed ~duration_ms ~replicas engine =
       (Sim.Faults.spec ~drop:0.02 ~duplicate:0.01 ~delay:0.02 ~delay_ms:10.0 ());
     Sim.Faults.partition f
       ~a:[ Core.Config.node_cert_standby 1 ]
-      ~b:[] ~from_ms:(frac 0.12) ~until_ms:(frac 0.3) ());
+      ~b:[] ~from_ms:(frac 0.12) ~until_ms:(frac 0.3) ()
+  | Overload ->
+    (* The metastable trigger (docs/FAULTS.md, "Overload"): a gray
+       slowdown of the certifier — the shared bottleneck — while an
+       open-loop arrival process keeps offering load regardless of
+       completions. Work queues, clients time out and retry, and the
+       retry traffic outlives the fault: without admission control the
+       collapse is self-sustaining after the heal. The window closes by
+       0.55d, leaving the usual convergence tail. *)
+    Sim.Faults.slow f ~node:Core.Config.node_certifier ~factor:6.0
+      ~from_ms:(frac 0.25) ~until_ms:(frac 0.55));
   f
 
 type result = {
@@ -152,6 +173,13 @@ type result = {
           members' retained logs (must be 0: same version, same decision
           on every surviving copy) *)
   outage_max_ms : float;  (** widest commit-outage window a promotion closed *)
+  shed : int;  (** requests refused [Overloaded] (LB, governor, certifier) *)
+  deadline_expired : int;  (** transactions dropped past their deadline *)
+  retry_budget_exhausted : int;  (** clients that gave up on an empty budget *)
+  max_queue_depth : int;  (** deepest backlog/admitted depth observed *)
+  zombie_commits : int;
+      (** committed-log records whose tid was also shed — must be 0:
+          a refused transaction may never commit *)
 }
 
 let ok r =
@@ -166,6 +194,11 @@ let ok r =
      over: at least one safe election-backed promotion AND at least one
      standby-LB takeover. *)
   && (r.plan <> ControlPlane || (r.promotions >= 1 && r.lb_takeovers >= 1))
+  (* A shed transaction may never also commit, whatever the plan. *)
+  && r.zombie_commits = 0
+  (* An overload run where nothing was ever refused proves nothing: the
+     open-loop load is sized beyond capacity, so protection must bite. *)
+  && (r.plan <> Overload || r.shed > 0)
 
 (* The per-mode checker battery: first-committer-wins (no lost or
    double-committed writes under GSI) and epoch fencing (commit versions
@@ -249,12 +282,30 @@ let default_config ~seed =
       hiccup_interval_ms = 0.0;
     }
 
-let soak ?config ?(params = default_params) ?(clients = 12) ?(tiers = false) ~mode ~plan
-    ~seed ~duration_ms () =
+let soak ?config ?(params = default_params) ?(clients = 12) ?(tiers = false)
+    ?(protections = true) ?(offered_tps = 6_000.0) ~mode ~plan ~seed ~duration_ms () =
   let config =
     match config with
     | Some c -> { c with Core.Config.seed; record_log = true }
     | None -> default_config ~seed
+  in
+  (* The overload plan arms the full protection stack (admission cap,
+     bounded certifier backlog, apply-lag governor, retry budget,
+     deadlines). [~protections:false] is the experiment's control arm:
+     same open-loop load, same gray fault, nothing shed — the metastable
+     collapse the protections exist to prevent. *)
+  let config =
+    if plan = Overload && protections then
+      {
+        config with
+        Core.Config.admission_limit = 48;
+        cert_queue_bound = 24;
+        apply_lag_gap = 200;
+        retry_budget = 6.0;
+        retry_budget_per_s = 2.0;
+        deadline_ms = 500.0;
+      }
+    else config
   in
   let config =
     if tiers then { config with Core.Config.read_tiers = true } else config
@@ -333,9 +384,18 @@ let soak ?config ?(params = default_params) ?(clients = 12) ?(tiers = false) ~mo
         Sim.Process.sleep engine (0.17 *. duration_ms);
         Core.Cluster.revive_certifier_node cluster 0)
   end;
-  Core.Client.spawn_many cluster ~n:clients ~first_sid:0
-    (if tiers then Workload.Microbench.tiered_workload params
-     else Workload.Microbench.workload params);
+  let workload =
+    if tiers then Workload.Microbench.tiered_workload params
+    else Workload.Microbench.workload params
+  in
+  (* The overload plan drives open-loop arrivals: [offered_tps] is the
+     aggregate offered rate, split across [clients] generators, and it
+     does not slow down when the cluster does — the defining property of
+     the regime. Every other plan keeps the paper's closed-loop RTEs. *)
+  if plan = Overload then
+    Core.Client.open_loop_many cluster ~n:clients ~first_sid:0 ~rate_tps:offered_tps
+      workload
+  else Core.Client.spawn_many cluster ~n:clients ~first_sid:0 workload;
   Core.Cluster.run_for cluster ~warmup_ms:0.0 ~measure_ms:duration_ms;
   (* Drain: every fault window has healed; a live cluster must keep
      committing and every replica must catch up to where the certifier
@@ -422,10 +482,24 @@ let soak ?config ?(params = default_params) ?(clients = 12) ?(tiers = false) ~mo
     lb_takeovers = Core.Cluster.lb_takeovers cluster;
     lb_fenced = Core.Cluster.lb_fenced cluster;
     lb_epoch = Core.Cluster.lb_epoch cluster;
+    shed = Core.Metrics.shed metrics;
+    deadline_expired = Core.Metrics.deadline_expired metrics;
+    retry_budget_exhausted = Core.Metrics.retry_budget_exhausted metrics;
+    max_queue_depth = Core.Metrics.max_queue_depth metrics;
+    zombie_commits =
+      List.fold_left
+        (fun acc r ->
+          if Core.Cluster.was_shed cluster ~tid:r.Check.Runlog.tid then acc + 1
+          else acc)
+        0 records;
   }
 
-let reproducible ?config ?params ?clients ?tiers ~mode ~plan ~seed ~duration_ms () =
-  let once () = soak ?config ?params ?clients ?tiers ~mode ~plan ~seed ~duration_ms () in
+let reproducible ?config ?params ?clients ?tiers ?protections ?offered_tps ~mode ~plan
+    ~seed ~duration_ms () =
+  let once () =
+    soak ?config ?params ?clients ?tiers ?protections ?offered_tps ~mode ~plan ~seed
+      ~duration_ms ()
+  in
   let a = once () and b = once () in
   (a, String.equal a.digest b.digest)
 
@@ -434,7 +508,7 @@ let pp_result ppf r =
   Format.fprintf ppf
     "%-7s %-13s seed=%-4d %s  committed=%-5d aborted=%-4d violations=%d%s%s%s  \
      drain=%.0fms  faults: drop=%d dup=%d delay=%d retx=%d suspects=%d failovers=%d \
-     reprov=%d evict=%d%s%s  digest=%s"
+     reprov=%d evict=%d%s%s%s  digest=%s"
     (Core.Consistency.to_string r.mode)
     (plan_name r.plan ^ if r.tiers then "+tiers" else "")
     r.seed
@@ -457,6 +531,12 @@ let pp_result ppf r =
     (if r.elections + r.lb_takeovers + r.lease_expiries > 0 then
        Printf.sprintf " elections=%d denials=%d leases=%d lb_takeovers=%d lb_fenced=%d"
          r.elections r.vote_denials r.lease_expiries r.lb_takeovers r.lb_fenced
+     else "")
+    (if r.shed + r.deadline_expired + r.retry_budget_exhausted + r.zombie_commits > 0
+     then
+       Printf.sprintf " shed=%d expired=%d budget_out=%d max_queue=%d zombies=%d"
+         r.shed r.deadline_expired r.retry_budget_exhausted r.max_queue_depth
+         r.zombie_commits
      else "")
     (String.sub r.digest 0 12)
 
@@ -505,6 +585,15 @@ let result_json r =
       ("lb_fenced", num r.lb_fenced);
       ("lb_epoch", num r.lb_epoch);
       ("outage_max_ms", Obs.Json.Num r.outage_max_ms);
+      ( "overload",
+        counts
+          [
+            ("shed", r.shed);
+            ("deadline_expired", r.deadline_expired);
+            ("retry_budget_exhausted", r.retry_budget_exhausted);
+            ("max_queue_depth", r.max_queue_depth);
+            ("zombie_commits", r.zombie_commits);
+          ] );
       ("digest", Obs.Json.Str r.digest);
     ]
 
@@ -523,8 +612,9 @@ let write_health results ~file =
       output_string oc (Obs.Json.to_string (health_json results));
       output_char oc '\n')
 
-let soak_matrix ?config ?params ?clients ?tiers ?(modes = Core.Consistency.all)
-    ?(plans = [ Mixed ]) ?(jobs = 1) ~seeds ~duration_ms () =
+let soak_matrix ?config ?params ?clients ?tiers ?protections ?offered_tps
+    ?(modes = Core.Consistency.all) ?(plans = [ Mixed ]) ?(jobs = 1) ~seeds ~duration_ms
+    () =
   (* The matrix order (plans, then modes, then seeds) is part of the
      harness contract: results come back in it whatever [jobs] is, and
      per-run lines are logged after collection so the output stream is
@@ -539,7 +629,8 @@ let soak_matrix ?config ?params ?clients ?tiers ?(modes = Core.Consistency.all)
   let results =
     Runner.map_jobs ~jobs
       (fun (plan, mode, seed) ->
-        soak ?config ?params ?clients ?tiers ~mode ~plan ~seed ~duration_ms ())
+        soak ?config ?params ?clients ?tiers ?protections ?offered_tps ~mode ~plan ~seed
+          ~duration_ms ())
       combos
   in
   List.iter (fun r -> Log.info (fun m -> m "%a" pp_result r)) results;

@@ -37,6 +37,16 @@ type plan =
           automatic promotion AND one LB takeover, zero violations,
           zero divergent log entries. Forces [certifier_standbys >= 2],
           [lb_standby], and a nonzero [voter_lease_ms]. *)
+  | Overload
+      (** metastable-failure reproduction (docs/FAULTS.md, "Overload"):
+          an {e open-loop} arrival process offers more load than the
+          cluster can serve while a gray slowdown hits the certifier —
+          the trigger whose retry storm outlives the fault. The soak
+          arms the full protection stack (admission cap, bounded
+          certifier backlog, apply-lag governor, retry budget,
+          deadlines) unless [~protections:false]; it requires at least
+          one shed, zero zombie commits, zero violations, and bounded
+          post-heal recovery. *)
 
 val all_plans : plan list
 
@@ -89,13 +99,24 @@ type result = {
           members' retained logs (must be 0) *)
   outage_max_ms : float;
       (** widest commit-outage window an automatic promotion closed *)
+  shed : int;
+      (** requests refused with {!Core.Transaction.Overloaded} — LB
+          admission, apply-lag governor, or certifier backlog *)
+  deadline_expired : int;  (** transactions dropped past their deadline *)
+  retry_budget_exhausted : int;
+      (** clients that gave a transaction up on an empty retry budget *)
+  max_queue_depth : int;
+      (** deepest certifier backlog / admitted-in-flight depth observed *)
+  zombie_commits : int;
+      (** committed records whose tid was also shed (must be 0) *)
 }
 
 val ok : result -> bool
 (** No checker violations, no duplicate commit versions, no divergent
-    certifier log entries, not wedged — and, under {!CertFailover}, at
-    least one automatic promotion; under {!ControlPlane}, at least one
-    automatic promotion and one LB takeover. *)
+    certifier log entries, no zombie commits, not wedged — and, under
+    {!CertFailover}, at least one automatic promotion; under
+    {!ControlPlane}, at least one automatic promotion and one LB
+    takeover; under {!Overload}, at least one shed. *)
 
 val default_config : seed:int -> Core.Config.t
 (** The config a soak runs under when none is given: a hardened
@@ -107,6 +128,8 @@ val soak :
   ?params:Workload.Microbench.params ->
   ?clients:int ->
   ?tiers:bool ->
+  ?protections:bool ->
+  ?offered_tps:float ->
   mode:Core.Consistency.mode ->
   plan:plan ->
   seed:int ->
@@ -119,13 +142,19 @@ val soak :
     turns on [read_tiers] and drives the mixed-tier read workload
     ({!Workload.Microbench.tiered_workload}), so the tier contracts in
     the battery are exercised under faults rather than vacuously
-    empty. *)
+    empty. [protections] (default true) and [offered_tps] (default
+    6000, the aggregate open-loop arrival rate — comfortably past the
+    gray-window capacity for every mode) only affect the
+    {!Overload} plan: [~protections:false] leaves every overload knob
+    off — the control arm that demonstrates the metastable collapse. *)
 
 val reproducible :
   ?config:Core.Config.t ->
   ?params:Workload.Microbench.params ->
   ?clients:int ->
   ?tiers:bool ->
+  ?protections:bool ->
+  ?offered_tps:float ->
   mode:Core.Consistency.mode ->
   plan:plan ->
   seed:int ->
@@ -140,6 +169,8 @@ val soak_matrix :
   ?params:Workload.Microbench.params ->
   ?clients:int ->
   ?tiers:bool ->
+  ?protections:bool ->
+  ?offered_tps:float ->
   ?modes:Core.Consistency.mode list ->
   ?plans:plan list ->
   ?jobs:int ->

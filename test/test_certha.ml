@@ -54,7 +54,7 @@ let with_group ?(config = ha_config) ?faults ?(mode = Core.Consistency.Coarse) f
 let commit_or_fail c ~origin ~snapshot ~ws =
   match Core.Certifier.certify c ~origin ~snapshot ~ws with
   | Core.Certifier.Commit { version; epoch; _ } -> (version, epoch)
-  | Core.Certifier.Abort -> Alcotest.fail "disjoint writer aborted"
+  | _ -> Alcotest.fail "disjoint writer aborted"
 
 (* --- Replication on the wire (satellite: latency accounting) -------- *)
 

@@ -45,22 +45,22 @@ let test_index_tracks_last_writer () =
       for i = 1 to 5 do
         match Core.Certifier.certify c ~origin:0 ~snapshot:(i - 1) ~ws:(ws_on "t" i) with
         | Core.Certifier.Commit _ -> ()
-        | Core.Certifier.Abort -> Alcotest.fail "disjoint writer aborted"
+        | _ -> Alcotest.fail "disjoint writer aborted"
       done;
       Alcotest.(check int) "one entry per distinct key" 5 (Core.Certifier.index_size c);
       (* Rewriting key 3 must supersede, not add. *)
       (match Core.Certifier.certify c ~origin:0 ~snapshot:5 ~ws:(ws_on "t" 3) with
       | Core.Certifier.Commit { version; _ } -> Alcotest.(check int) "v6" 6 version
-      | Core.Certifier.Abort -> Alcotest.fail "up-to-date rewrite aborted");
+      | _ -> Alcotest.fail "up-to-date rewrite aborted");
       Alcotest.(check int) "rewrite replaces the entry" 5 (Core.Certifier.index_size c);
       (* A snapshot that predates the rewrite now conflicts on key 3
          only. *)
       (match Core.Certifier.certify c ~origin:1 ~snapshot:5 ~ws:(ws_on "t" 3) with
       | Core.Certifier.Abort -> ()
-      | Core.Certifier.Commit _ -> Alcotest.fail "stale rewrite certified");
+      | _ -> Alcotest.fail "stale rewrite certified");
       match Core.Certifier.certify c ~origin:1 ~snapshot:5 ~ws:(ws_on "t" 1) with
       | Core.Certifier.Commit _ -> ()
-      | Core.Certifier.Abort -> Alcotest.fail "non-conflicting key aborted")
+      | _ -> Alcotest.fail "non-conflicting key aborted")
 
 let test_linear_oracle_conflict_window () =
   (* The Linear arm must implement the same window semantics — the
@@ -69,13 +69,13 @@ let test_linear_oracle_conflict_window () =
       Alcotest.(check int) "linear keeps no index" 0 (Core.Certifier.index_size c);
       (match Core.Certifier.certify c ~origin:0 ~snapshot:0 ~ws:(ws_on "t" 1) with
       | Core.Certifier.Commit { version; _ } -> Alcotest.(check int) "v1" 1 version
-      | Core.Certifier.Abort -> Alcotest.fail "first writer aborted");
+      | _ -> Alcotest.fail "first writer aborted");
       (match Core.Certifier.certify c ~origin:1 ~snapshot:0 ~ws:(ws_on "t" 1) with
       | Core.Certifier.Abort -> ()
-      | Core.Certifier.Commit _ -> Alcotest.fail "conflicting writer committed");
+      | _ -> Alcotest.fail "conflicting writer committed");
       (match Core.Certifier.certify c ~origin:1 ~snapshot:1 ~ws:(ws_on "t" 1) with
       | Core.Certifier.Commit _ -> ()
-      | Core.Certifier.Abort -> Alcotest.fail "sequential writer aborted");
+      | _ -> Alcotest.fail "sequential writer aborted");
       Alcotest.(check int) "still no index" 0 (Core.Certifier.index_size c))
 
 let test_prune_drops_index_entries () =
@@ -83,7 +83,7 @@ let test_prune_drops_index_entries () =
       for i = 1 to 10 do
         match Core.Certifier.certify c ~origin:0 ~snapshot:(i - 1) ~ws:(ws_on "t" i) with
         | Core.Certifier.Commit _ -> ()
-        | Core.Certifier.Abort -> Alcotest.fail "unexpected abort"
+        | _ -> Alcotest.fail "unexpected abort"
       done;
       Core.Certifier.prune c ~keep_after:6;
       Alcotest.(check int) "entries <= horizon dropped" 4 (Core.Certifier.index_size c);
@@ -91,10 +91,10 @@ let test_prune_drops_index_entries () =
          snapshot of 7; key 9 does not for a snapshot of 9. *)
       (match Core.Certifier.certify c ~origin:0 ~snapshot:7 ~ws:(ws_on "t" 8) with
       | Core.Certifier.Abort -> ()
-      | Core.Certifier.Commit _ -> Alcotest.fail "post-horizon conflict missed");
+      | _ -> Alcotest.fail "post-horizon conflict missed");
       match Core.Certifier.certify c ~origin:0 ~snapshot:10 ~ws:(ws_on "t" 9) with
       | Core.Certifier.Commit _ -> ()
-      | Core.Certifier.Abort -> Alcotest.fail "up-to-date writer aborted")
+      | _ -> Alcotest.fail "up-to-date writer aborted")
 
 let test_failover_rebuilds_index () =
   let config = { keyed_config with Core.Config.certifier_standbys = 1 } in
@@ -102,7 +102,7 @@ let test_failover_rebuilds_index () =
       for i = 1 to 8 do
         match Core.Certifier.certify c ~origin:0 ~snapshot:(i - 1) ~ws:(ws_on "t" i) with
         | Core.Certifier.Commit _ -> ()
-        | Core.Certifier.Abort -> Alcotest.fail "unexpected abort"
+        | _ -> Alcotest.fail "unexpected abort"
       done;
       Core.Certifier.prune c ~keep_after:3;
       Core.Certifier.crash c;
@@ -112,10 +112,10 @@ let test_failover_rebuilds_index () =
       Alcotest.(check int) "rebuilt from the log suffix" 5 (Core.Certifier.index_size c);
       (match Core.Certifier.certify c ~origin:0 ~snapshot:5 ~ws:(ws_on "t" 7) with
       | Core.Certifier.Abort -> ()
-      | Core.Certifier.Commit _ -> Alcotest.fail "conflict lost across failover");
+      | _ -> Alcotest.fail "conflict lost across failover");
       match Core.Certifier.certify c ~origin:0 ~snapshot:8 ~ws:(ws_on "t" 2) with
       | Core.Certifier.Commit _ -> ()
-      | Core.Certifier.Abort -> Alcotest.fail "clean writer aborted after failover")
+      | _ -> Alcotest.fail "clean writer aborted after failover")
 
 (* --- Linear ≡ Keyed differential property ----------------------------- *)
 
@@ -155,7 +155,9 @@ let run_ops ?(interned = false) ~index ops =
             (match Core.Certifier.certify c ~origin ~snapshot ~ws:(ws_for key) with
             | Core.Certifier.Commit { version; _ } ->
               out := Printf.sprintf "C%d" version :: !out
-            | Core.Certifier.Abort -> out := "A" :: !out)
+            | Core.Certifier.Abort -> out := "A" :: !out
+            | Core.Certifier.Overloaded | Core.Certifier.Expired ->
+              Alcotest.fail "unexpected overload decision")
           | Truncate window ->
             Core.Certifier.prune c
               ~keep_after:(max 0 (Core.Certifier.version c - window))
@@ -221,7 +223,7 @@ let test_watermark_tracking_and_gc () =
             ~ws:(ws_on "t" i)
         with
         | Core.Certifier.Commit _ -> ()
-        | Core.Certifier.Abort -> Alcotest.fail "unexpected abort"
+        | _ -> Alcotest.fail "unexpected abort"
       done;
       (* Origin 0 piggybacked applied = 9 on its last request; replica 1
          has only acked what we tell it. *)

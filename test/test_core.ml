@@ -424,26 +424,26 @@ let test_certifier_conflict_window () =
       (* T1 commits key 1 at v1. *)
       (match Core.Certifier.certify c ~origin:0 ~snapshot:0 ~ws:(ws_on "t" 1) with
       | Core.Certifier.Commit { version; _ } -> Alcotest.(check int) "v1" 1 version
-      | Core.Certifier.Abort -> Alcotest.fail "first writer aborted");
+      | _ -> Alcotest.fail "first writer aborted");
       (* A conflicting writeset with a pre-commit snapshot aborts... *)
       (match Core.Certifier.certify c ~origin:1 ~snapshot:0 ~ws:(ws_on "t" 1) with
       | Core.Certifier.Abort -> ()
-      | Core.Certifier.Commit _ -> Alcotest.fail "conflicting writer committed");
+      | _ -> Alcotest.fail "conflicting writer committed");
       (* ...but commits once its snapshot includes v1. *)
       (match Core.Certifier.certify c ~origin:1 ~snapshot:1 ~ws:(ws_on "t" 1) with
       | Core.Certifier.Commit { version; _ } -> Alcotest.(check int) "v2" 2 version
-      | Core.Certifier.Abort -> Alcotest.fail "sequential writer aborted");
+      | _ -> Alcotest.fail "sequential writer aborted");
       (* Non-conflicting concurrent writesets both commit. *)
       match Core.Certifier.certify c ~origin:2 ~snapshot:0 ~ws:(ws_on "t" 99) with
       | Core.Certifier.Commit _ -> ()
-      | Core.Certifier.Abort -> Alcotest.fail "disjoint writer aborted")
+      | _ -> Alcotest.fail "disjoint writer aborted")
 
 let test_certifier_prune_and_replay () =
   with_certifier (fun c ->
       for i = 1 to 10 do
         match Core.Certifier.certify c ~origin:0 ~snapshot:(i - 1) ~ws:(ws_on "t" i) with
         | Core.Certifier.Commit _ -> ()
-        | Core.Certifier.Abort -> Alcotest.fail "unexpected abort"
+        | _ -> Alcotest.fail "unexpected abort"
       done;
       (match Core.Certifier.writesets_from c 4 with
       | Some l -> Alcotest.(check int) "replay suffix length" 6 (List.length l)
@@ -460,7 +460,7 @@ let test_certifier_prune_and_replay () =
       (* A snapshot below the horizon is conservatively aborted. *)
       match Core.Certifier.certify c ~origin:0 ~snapshot:2 ~ws:(ws_on "t" 77) with
       | Core.Certifier.Abort -> ()
-      | Core.Certifier.Commit _ -> Alcotest.fail "stale snapshot certified")
+      | _ -> Alcotest.fail "stale snapshot certified")
 
 let test_certifier_decisions_counter () =
   with_certifier (fun c ->
